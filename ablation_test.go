@@ -1,0 +1,193 @@
+package fireledger
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the §5.1
+// next-block piggyback (amortized single-phase rounds vs the two-phase
+// strawman) and the §6.1.1 benign failure detector under crash failures.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/transport"
+)
+
+// BenchmarkAblationPiggyback contrasts the amortized one-phase protocol
+// (piggyback on) against the two-phase strawman (piggyback off, explicit
+// push every round). The paper's point: the piggyback removes one message
+// delay per round, so bps rises with it, most visibly when latency
+// dominates (LAN model, small blocks).
+func BenchmarkAblationPiggyback(b *testing.B) {
+	base := harness.Options{
+		N: 4, Workers: 1, Batch: 1, TxSize: 64,
+		Latency:           transport.SingleDC(),
+		EgressBytesPerSec: 10e9 / 8,
+		Warmup:            400 * time.Millisecond,
+		Duration:          time.Second,
+	}
+	b.Run("piggyback-on", func(b *testing.B) {
+		var bps float64
+		for i := 0; i < b.N; i++ {
+			bps = harness.RunFLO(base).BPS
+		}
+		b.ReportMetric(bps, "bps")
+	})
+	b.Run("piggyback-off", func(b *testing.B) {
+		opts := base
+		opts.DisablePiggyback = true
+		var bps float64
+		for i := 0; i < b.N; i++ {
+			bps = harness.RunFLO(opts).BPS
+		}
+		b.ReportMetric(bps, "bps")
+	})
+}
+
+// BenchmarkAblationFailureDetector contrasts throughput under a crashed
+// node with the §6.1.1 benign FD active (default threshold) versus
+// effectively disabled (huge threshold): without suspicion the cluster pays
+// a full delivery timeout on every one of the crashed node's turns.
+func BenchmarkAblationFailureDetector(b *testing.B) {
+	base := harness.Options{
+		N: 4, Workers: 1, Batch: 100, TxSize: 512,
+		Latency:           transport.SingleDC(),
+		EgressBytesPerSec: 10e9 / 8,
+		Warmup:            400 * time.Millisecond,
+		Duration:          2 * time.Second,
+		CrashF:            1,
+		InitialTimer:      100 * time.Millisecond,
+	}
+	b.Run("fd-on", func(b *testing.B) {
+		var tps float64
+		for i := 0; i < b.N; i++ {
+			tps = harness.RunFLO(base).TPS
+		}
+		b.ReportMetric(tps, "tps")
+	})
+	b.Run("fd-off", func(b *testing.B) {
+		opts := base
+		opts.FDThreshold = 1 << 30 // suspicion never triggers
+		var tps float64
+		for i := 0; i < b.N; i++ {
+			tps = harness.RunFLO(opts).TPS
+		}
+		b.ReportMetric(tps, "tps")
+	})
+}
+
+// BenchmarkAblationProposerReshuffle measures the cost of the §6.1.1
+// pseudo-random proposer permutation (VRF substitute) relative to plain
+// round-robin in the fault-free case — it should be ~free.
+func BenchmarkAblationProposerReshuffle(b *testing.B) {
+	base := harness.Options{
+		N: 7, Workers: 1, Batch: 100, TxSize: 512,
+		Latency:           transport.SingleDC(),
+		EgressBytesPerSec: 10e9 / 8,
+		Warmup:            400 * time.Millisecond,
+		Duration:          time.Second,
+	}
+	b.Run("round-robin", func(b *testing.B) {
+		var tps float64
+		for i := 0; i < b.N; i++ {
+			tps = harness.RunFLO(base).TPS
+		}
+		b.ReportMetric(tps, "tps")
+	})
+	b.Run("reshuffle-every-20", func(b *testing.B) {
+		opts := base
+		opts.EpochLen = 20
+		var tps float64
+		for i := 0; i < b.N; i++ {
+			tps = harness.RunFLO(opts).TPS
+		}
+		b.ReportMetric(tps, "tps")
+	})
+}
+
+// BenchmarkAblationGossip contrasts clique body dissemination against
+// push-gossip (§7.2.2's remark: gossip "may improve the throughput but not
+// the latency"). The interesting metric is origin egress — with gossip the
+// proposer sends fanout bodies instead of n−1 — traded against extra hops.
+func BenchmarkAblationGossip(b *testing.B) {
+	base := harness.Options{
+		N: 10, Workers: 1, Batch: 100, TxSize: 512,
+		Latency:           transport.SingleDC(),
+		EgressBytesPerSec: 10e9 / 8,
+		Warmup:            400 * time.Millisecond,
+		Duration:          time.Second,
+	}
+	report := func(b *testing.B, opts harness.Options) {
+		var res harness.Result
+		for i := 0; i < b.N; i++ {
+			res = harness.RunFLO(opts)
+		}
+		b.ReportMetric(res.BPS, "bps")
+		b.ReportMetric(res.BytesPerBlock, "bytes/block")
+	}
+	b.Run("clique", func(b *testing.B) { report(b, base) })
+	b.Run("gossip-fanout-3", func(b *testing.B) {
+		opts := base
+		opts.GossipBodies = true
+		opts.GossipFanout = 3
+		report(b, opts)
+	})
+}
+
+// BenchmarkAblationCompression measures body compression (the paper's
+// Conclusions: "one should consider compressing the data for large
+// transactions") on large compressible transactions — wire bytes per block
+// should collapse while throughput holds or improves under bandwidth
+// pressure.
+func BenchmarkAblationCompression(b *testing.B) {
+	base := harness.Options{
+		N: 4, Workers: 1, Batch: 100, TxSize: 4096,
+		Latency:           transport.SingleDC(),
+		EgressBytesPerSec: 10e9 / 8,
+		Warmup:            400 * time.Millisecond,
+		Duration:          time.Second,
+		CompressibleLoad:  true,
+	}
+	report := func(b *testing.B, opts harness.Options) {
+		var res harness.Result
+		for i := 0; i < b.N; i++ {
+			res = harness.RunFLO(opts)
+		}
+		b.ReportMetric(res.TPS, "tps")
+		b.ReportMetric(res.BytesPerBlock, "bytes/block")
+	}
+	b.Run("plain", func(b *testing.B) { report(b, base) })
+	b.Run("compressed", func(b *testing.B) {
+		opts := base
+		opts.CompressBodies = true
+		report(b, opts)
+	})
+}
+
+// BenchmarkAblationExcludeConvicted measures the accountability path (paper
+// §1: Byzantine nodes are removed once proven): with exclusion on, an
+// equivocator is convicted early in the run and throughput recovers to near
+// fault-free levels; with it off, every one of its turns risks a recovery.
+func BenchmarkAblationExcludeConvicted(b *testing.B) {
+	base := harness.Options{
+		N: 4, Workers: 1, Batch: 100, TxSize: 512,
+		Latency:           transport.SingleDC(),
+		EgressBytesPerSec: 10e9 / 8,
+		Warmup:            time.Second, // long enough for the conviction to land
+		Duration:          2 * time.Second,
+		ByzantineF:        1,
+	}
+	report := func(b *testing.B, opts harness.Options) {
+		var res harness.Result
+		for i := 0; i < b.N; i++ {
+			res = harness.RunFLO(opts)
+		}
+		b.ReportMetric(res.TPS, "tps")
+		b.ReportMetric(res.RPS, "recoveries/s")
+	}
+	b.Run("exclusion-off", func(b *testing.B) { report(b, base) })
+	b.Run("exclusion-on", func(b *testing.B) {
+		opts := base
+		opts.ExcludeConvicted = true
+		report(b, opts)
+	})
+}

@@ -1,0 +1,109 @@
+package fireledger
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/evidence"
+	"repro/internal/types"
+)
+
+// Client is the application-facing submission handle of a FLO node: it
+// assigns client-local sequence numbers, routes writes through the node's
+// least-loaded worker (§6.2), and resolves each write when the transaction
+// appears in a definite block of the merged, globally-ordered stream — i.e.,
+// when the write is final under BBFC(f+1), not merely tentative.
+//
+// A Client tracks only its own transactions; many Clients (with distinct
+// IDs) may share a node. Wait-style methods respect context cancellation.
+type Client struct {
+	node *Node
+	id   uint64
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan struct{} // seq → closed on commit
+}
+
+// NewClient attaches a client with the given identity to a node. The
+// identity must be unique among the node's clients and must not be the
+// reserved system identity used for conviction transactions. Create clients
+// before calling Node.Start, or accept that earlier deliveries are not
+// observed.
+func NewClient(node *Node, clientID uint64) (*Client, error) {
+	if clientID == evidence.SystemClient {
+		return nil, fmt.Errorf("fireledger: client id %#x is reserved for conviction transactions", clientID)
+	}
+	c := &Client{node: node, id: clientID, pending: make(map[uint64]chan struct{})}
+	node.SubscribeDeliver(func(_ uint32, blk types.Block) {
+		for i := range blk.Body.Txs {
+			tx := &blk.Body.Txs[i]
+			if tx.Client != c.id {
+				continue
+			}
+			c.mu.Lock()
+			if ch, ok := c.pending[tx.Seq]; ok {
+				close(ch)
+				delete(c.pending, tx.Seq)
+			}
+			c.mu.Unlock()
+		}
+	})
+	return c, nil
+}
+
+// Pending is an in-flight write: it resolves when the transaction reaches a
+// definite block in the merged order.
+type Pending struct {
+	// Tx is the submitted transaction (with the assigned Seq).
+	Tx Transaction
+	ch <-chan struct{}
+}
+
+// Done returns a channel closed when the write is final.
+func (p *Pending) Done() <-chan struct{} { return p.ch }
+
+// Wait blocks until the write is final or ctx ends.
+func (p *Pending) Wait(ctx context.Context) error {
+	select {
+	case <-p.ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fireledger: waiting for tx (client %d, seq %d): %w", p.Tx.Client, p.Tx.Seq, ctx.Err())
+	}
+}
+
+// Submit sends payload as this client's next transaction and returns its
+// Pending handle.
+func (c *Client) Submit(payload []byte) (*Pending, error) {
+	c.mu.Lock()
+	c.seq++
+	tx := Transaction{Client: c.id, Seq: c.seq, Payload: payload}
+	ch := make(chan struct{})
+	c.pending[tx.Seq] = ch
+	c.mu.Unlock()
+	if err := c.node.Submit(tx); err != nil {
+		c.mu.Lock()
+		delete(c.pending, tx.Seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return &Pending{Tx: tx, ch: ch}, nil
+}
+
+// SubmitWait is Submit followed by Wait.
+func (c *Client) SubmitWait(ctx context.Context, payload []byte) error {
+	p, err := c.Submit(payload)
+	if err != nil {
+		return err
+	}
+	return p.Wait(ctx)
+}
+
+// InFlight reports how many of this client's writes are not yet final.
+func (c *Client) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}

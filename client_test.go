@@ -1,0 +1,135 @@
+package fireledger
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clientCluster builds a 4-node cluster in client-pool mode (no saturating
+// load) and returns it started.
+func clientCluster(t *testing.T, tweak func(i int, cfg *Config)) *Cluster {
+	t.Helper()
+	cluster, err := NewLocalCluster(4, func(i int, cfg *Config) {
+		cfg.BatchSize = 8
+		if tweak != nil {
+			tweak(i, cfg)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+	return cluster
+}
+
+func TestClientSubmitWait(t *testing.T) {
+	cluster := clientCluster(t, nil)
+	client, err := NewClient(cluster.Node(0), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if err := client.SubmitWait(ctx, []byte(fmt.Sprintf("write-%d", i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if n := client.InFlight(); n != 0 {
+		t.Fatalf("in-flight after all commits = %d", n)
+	}
+}
+
+func TestClientConcurrentWriters(t *testing.T) {
+	cluster := clientCluster(t, nil)
+	const writers = 4
+	const each = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*each)
+	for w := 0; w < writers; w++ {
+		client, err := NewClient(cluster.Node(w%cluster.N()), 100+uint64(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c *Client, w int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for i := 0; i < each; i++ {
+				if err := c.SubmitWait(ctx, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(client, w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientSequencesAreDistinct(t *testing.T) {
+	cluster := clientCluster(t, nil)
+	client, err := NewClient(cluster.Node(0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	var ps []*Pending
+	for i := 0; i < 10; i++ {
+		p, err := client.Submit([]byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[p.Tx.Seq] {
+			t.Fatalf("duplicate seq %d", p.Tx.Seq)
+		}
+		seen[p.Tx.Seq] = true
+		ps = append(ps, p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, p := range ps {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatalf("pending %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientRejectsReservedID(t *testing.T) {
+	cluster := clientCluster(t, nil)
+	if _, err := NewClient(cluster.Node(0), 0xF1_7E_1E_D6_E5_00_00_01); err == nil {
+		t.Fatal("reserved system client id accepted")
+	}
+}
+
+func TestClientWaitHonorsContext(t *testing.T) {
+	// A node that cannot make progress alone: submit and expect the wait to
+	// end with the context, not hang.
+	cluster, err := NewLocalCluster(4, func(i int, cfg *Config) { cfg.BatchSize = 8 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only node 0 started: no quorum, nothing ever commits.
+	cluster.Node(0).Start()
+	t.Cleanup(cluster.Stop)
+	client, err := NewClient(cluster.Node(0), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := client.SubmitWait(ctx, []byte("never")); err == nil {
+		t.Fatal("wait returned success without quorum")
+	}
+	if client.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1 (uncommitted)", client.InFlight())
+	}
+}

@@ -1,0 +1,165 @@
+// Command fireledger runs one FLO node of a multi-process TCP cluster.
+//
+// Every process is started with the same -addrs list and -seed; node
+// identity is -id (the index into the address list). The shared seed
+// deterministically derives the whole cluster's key set, which stands in
+// for the PKI a permissioned deployment would provision out of band (keys
+// derived this way are for demos and benchmarks only).
+//
+// Example — a local 4-node cluster (run each in its own terminal, any
+// start order):
+//
+//	fireledger -id 0 -addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	fireledger -id 1 -addrs ...
+//	fireledger -id 2 -addrs ...
+//	fireledger -id 3 -addrs ...
+//
+// With -saturate σ the node fills every block with random σ-byte
+// transactions (the paper's §7.2 load). With -client :port it also accepts
+// client transactions from cmd/flclient on that port.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	fireledger "repro"
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		id         = flag.Int("id", 0, "this node's index into -addrs")
+		addrs      = flag.String("addrs", "", "comma-separated host:port list, one per node (required)")
+		seed       = flag.String("seed", "fireledger-demo", "shared key-derivation seed (demo PKI)")
+		workers    = flag.Int("workers", 1, "FLO workers (the paper's omega)")
+		batch      = flag.Int("batch", 100, "transactions per block (beta)")
+		saturate   = flag.Int("saturate", 0, "fill blocks with random transactions of this size (sigma); 0 = client load only")
+		clientAddr = flag.String("client", "", "listen address for flclient submissions (optional)")
+		dataDir    = flag.String("data", "", "directory for the persistent chain logs (optional; enables restart recovery)")
+		syncWrites = flag.Bool("sync", false, "fsync every persisted block (requires -data)")
+		statsEvery = flag.Duration("stats", 5*time.Second, "stats print interval")
+		gossip     = flag.Bool("gossip", false, "disseminate block bodies by push-gossip instead of the clique overlay")
+		fanout     = flag.Int("fanout", 3, "gossip fanout (with -gossip)")
+		compressB  = flag.Bool("compress", false, "DEFLATE-compress block bodies on the wire")
+		exclude    = flag.Bool("exclude-convicted", false, "convict equivocators on-chain and remove them from the proposer rotation (must match across the cluster)")
+	)
+	flag.Parse()
+
+	list := strings.Split(*addrs, ",")
+	if *addrs == "" || len(list) < 4 {
+		log.Fatal("need -addrs with at least 4 nodes (f >= 1 requires n >= 4)")
+	}
+	if *id < 0 || *id >= len(list) {
+		log.Fatalf("-id %d out of range for %d addrs", *id, len(list))
+	}
+
+	ks, err := flcrypto.GenerateKeySet(len(list), flcrypto.Ed25519, flcrypto.NewDeterministicReader(*seed))
+	if err != nil {
+		log.Fatalf("derive keys: %v", err)
+	}
+
+	ep, err := transport.NewTCPEndpoint(transport.TCPConfig{
+		ID:    flcrypto.NodeID(*id),
+		Addrs: list,
+	})
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+
+	node, err := fireledger.NewNode(fireledger.Config{
+		Endpoint:         ep,
+		Registry:         ks.Registry,
+		Priv:             ks.Privs[*id],
+		Workers:          *workers,
+		BatchSize:        *batch,
+		Saturate:         *saturate,
+		DataDir:          *dataDir,
+		SyncWrites:       *syncWrites,
+		GossipBodies:     *gossip,
+		GossipFanout:     *fanout,
+		CompressBodies:   *compressB,
+		ExcludeConvicted: *exclude,
+		OnConviction: func(w uint32, rec fireledger.ConvictionRecord) {
+			log.Printf("worker %d: node %d convicted of equivocation (offense round %d, on-chain at round %d)",
+				w, rec.Culprit, rec.Proof.Round(), rec.ChainRound)
+		},
+	})
+	if err != nil {
+		log.Fatalf("assemble node: %v", err)
+	}
+	node.Start()
+	defer node.Stop()
+	log.Printf("node %d up on %s (n=%d, workers=%d, batch=%d, saturate=%d)",
+		*id, list[*id], len(list), *workers, *batch, *saturate)
+
+	if *clientAddr != "" {
+		go serveClients(*clientAddr, node)
+	}
+
+	go func() {
+		var lastTxs, lastBlocks uint64
+		for range time.Tick(*statsEvery) {
+			txs, blocks := node.DeliveredTxs(), node.DeliveredBlocks()
+			secs := statsEvery.Seconds()
+			log.Printf("tps=%.0f bps=%.0f (total: %d txs, %d blocks)",
+				float64(txs-lastTxs)/secs, float64(blocks-lastBlocks)/secs, txs, blocks)
+			lastTxs, lastBlocks = txs, blocks
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+}
+
+// serveClients accepts flclient connections: a stream of length-prefixed
+// transaction payloads, each submitted to the node's client manager.
+func serveClients(addr string, node *fireledger.Node) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("client listener: %v", err)
+		return
+	}
+	log.Printf("accepting client transactions on %s", addr)
+	var clientSeq uint64
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			for {
+				var lenBuf [4]byte
+				if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+					return
+				}
+				n := binary.BigEndian.Uint32(lenBuf[:])
+				if n > 16<<20 {
+					return
+				}
+				payload := make([]byte, n)
+				if _, err := io.ReadFull(conn, payload); err != nil {
+					return
+				}
+				clientSeq++
+				tx := fireledger.Transaction{Client: 1, Seq: clientSeq, Payload: payload}
+				if err := node.Submit(tx); err != nil {
+					fmt.Fprintln(os.Stderr, "submit:", err)
+					return
+				}
+			}
+		}(conn)
+	}
+}

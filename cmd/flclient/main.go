@@ -1,0 +1,61 @@
+// Command flclient submits random transactions to a running cmd/fireledger
+// node's client port (-client on the node) at a configurable rate, for
+// driving multi-process clusters by hand.
+//
+//	flclient -node 127.0.0.1:9000 -size 512 -rate 1000 -duration 30s
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+)
+
+func main() {
+	var (
+		node     = flag.String("node", "127.0.0.1:9000", "node client address")
+		size     = flag.Int("size", 512, "transaction payload size (sigma)")
+		rate     = flag.Int("rate", 1000, "transactions per second (0 = as fast as possible)")
+		duration = flag.Duration("duration", 30*time.Second, "how long to run")
+	)
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *node)
+	if err != nil {
+		log.Fatalf("dial %s: %v", *node, err)
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	payload := make([]byte, *size)
+	lenBuf := make([]byte, 4)
+	binary.BigEndian.PutUint32(lenBuf, uint32(*size))
+
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Second / time.Duration(*rate)
+	}
+	deadline := time.Now().Add(*duration)
+	sent := 0
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		rng.Read(payload)
+		if _, err := conn.Write(lenBuf); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		if _, err := conn.Write(payload); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		sent++
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	log.Printf("submitted %d transactions of %d bytes", sent, *size)
+}

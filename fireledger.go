@@ -1,0 +1,153 @@
+// Package fireledger is the public API of this FireLedger reproduction: a
+// high-throughput permissioned blockchain consensus protocol (Buchnik &
+// Friedman, VLDB 2020) together with the FLO orchestrator the paper
+// evaluates.
+//
+// A node runs ω FireLedger worker instances over a shared transport. In the
+// optimistic case each worker decides a block per communication step: the
+// round's proposer broadcasts its block, every other node contributes a
+// single unsigned bit (the OBBC vote), and the next proposer piggybacks its
+// own block on that vote. The last f+1 blocks of each chain are tentative;
+// a block is final (definite) at depth f+2. Byzantine equivocation is
+// detected through the chain's hash links and repaired by an
+// atomic-broadcast recovery procedure that all correct nodes run together.
+//
+// Quick start (in-process cluster):
+//
+//	cluster, _ := fireledger.NewLocalCluster(4, func(i int, cfg *fireledger.Config) {
+//	    cfg.Workers = 2
+//	})
+//	cluster.Start()
+//	defer cluster.Stop()
+//	cluster.Node(0).Submit(fireledger.Transaction{Client: 1, Seq: 1, Payload: []byte("pay alice 10")})
+//
+// See examples/ for complete applications and cmd/fireledger for a TCP
+// multi-process deployment.
+package fireledger
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/evidence"
+	"repro/internal/flcrypto"
+	"repro/internal/flo"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Re-exported core types. Downstream code imports only this package.
+type (
+	// Transaction is a client operation: an opaque payload plus a
+	// (Client, Seq) identity.
+	Transaction = types.Transaction
+	// Block is a decided batch of transactions with its signed header.
+	Block = types.Block
+	// BlockHeader is the consensus-path view of a block.
+	BlockHeader = types.BlockHeader
+	// Node is one FLO participant running ω FireLedger workers.
+	Node = flo.Node
+	// Config assembles a Node; see flo.Config for all knobs.
+	Config = flo.Config
+	// NodeID identifies a cluster member (0..n−1).
+	NodeID = flcrypto.NodeID
+	// KeySet bundles a test/simulation cluster's keys.
+	KeySet = flcrypto.KeySet
+	// Event is a per-round lifecycle event (block proposed, header
+	// proposed, tentative, definite).
+	Event = core.Event
+	// LatencyModel shapes the simulated network's propagation delays.
+	LatencyModel = transport.LatencyModel
+	// Equivocation is a transferable proof that a proposer signed two
+	// different headers for the same round — the "strong proof of which
+	// node was the culprit" of paper §1 (see Config.ExcludeConvicted).
+	Equivocation = evidence.Equivocation
+	// ConvictionRecord is one culprit's entry in a node's evidence pool.
+	ConvictionRecord = evidence.Record
+)
+
+// Lifecycle events, re-exported for Deliver/OnEvent consumers.
+const (
+	EventBlockProposed  = core.EventBlockProposed
+	EventHeaderProposed = core.EventHeaderProposed
+	EventTentative      = core.EventTentative
+	EventDefinite       = core.EventDefinite
+)
+
+// NewNode creates a FLO node from cfg. The caller supplies the transport
+// endpoint (see NewLocalCluster for the in-process path and
+// transport.NewTCPEndpoint for real deployments).
+func NewNode(cfg Config) (*Node, error) { return flo.NewNode(cfg) }
+
+// Cluster is an in-process FireLedger deployment: n nodes over a simulated
+// network. It is the entry point for examples, tests, and experimentation;
+// production deployments wire Nodes over TCP instead (cmd/fireledger).
+type Cluster struct {
+	Keys  *KeySet
+	Net   *transport.ChanNetwork
+	nodes []*Node
+}
+
+// NewLocalCluster builds an n-node in-process cluster. tweak (optional) is
+// invoked with each node's Config before the node is created — set Workers,
+// BatchSize, Deliver callbacks, Byzantine behavior, and so on there.
+func NewLocalCluster(n int, tweak func(i int, cfg *Config)) (*Cluster, error) {
+	return NewLocalClusterOn(n, nil, tweak)
+}
+
+// NewLocalClusterOn is NewLocalCluster with an explicit latency model
+// (transport.SingleDC(), transport.Geo(scale), or nil for zero latency).
+func NewLocalClusterOn(n int, latency LatencyModel, tweak func(i int, cfg *Config)) (*Cluster, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("fireledger: need n ≥ 4 for f ≥ 1 (got %d)", n)
+	}
+	ks, err := flcrypto.GenerateKeySet(n, flcrypto.Ed25519, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Keys: ks,
+		Net:  transport.NewChanNetwork(transport.ChanConfig{N: n, Latency: latency}),
+	}
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Endpoint: c.Net.Endpoint(NodeID(i)),
+			Registry: ks.Registry,
+			Priv:     ks.Privs[i],
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		node, err := flo.NewNode(cfg)
+		if err != nil {
+			c.Net.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Start launches every node.
+func (c *Cluster) Start() {
+	for _, node := range c.nodes {
+		node.Start()
+	}
+}
+
+// Stop shuts every node down and closes the network.
+func (c *Cluster) Stop() {
+	for _, node := range c.nodes {
+		node.Stop()
+	}
+	c.Net.Close()
+}
+
+// Crash silences node i (fail-stop), for failure experiments.
+func (c *Cluster) Crash(i int) { c.Net.Crash(NodeID(i)) }

@@ -1,0 +1,103 @@
+// Package compress wraps stdlib DEFLATE in a self-describing frame for
+// block-body transfer. The paper's conclusion recommends it outright: "one
+// should consider compressing the data for large transactions" — for large σ
+// the raw transaction bytes dominate the network, so shrinking them is worth
+// CPU (the trade the BenchmarkAblationCompression harness measures).
+//
+// A frame is [tag][payload]: tag 0 stores the data verbatim (used when the
+// data is small or incompressible — compression never makes a frame larger
+// than data+1), tag 1 holds the DEFLATE stream of the data. Unframe enforces
+// a caller-supplied expansion bound so a malicious frame cannot balloon
+// memory.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame tags.
+const (
+	tagStored  = 0
+	tagDeflate = 1
+)
+
+// MinSize is the default threshold below which data is stored verbatim —
+// DEFLATE overhead swamps any gain on tiny payloads.
+const MinSize = 256
+
+// ErrFrameCorrupt reports a frame that cannot be decoded.
+var ErrFrameCorrupt = errors.New("compress: corrupt frame")
+
+// ErrFrameTooLarge reports a frame whose decompressed size exceeds the
+// caller's bound.
+var ErrFrameTooLarge = errors.New("compress: frame exceeds size bound")
+
+// Frame encodes data as a frame, compressing when the payload is at least
+// minSize bytes (pass 0 for MinSize) and compression actually shrinks it.
+// The result is always decodable by Unframe; in the worst case it is data
+// plus one tag byte.
+func Frame(data []byte, minSize int) []byte {
+	if minSize <= 0 {
+		minSize = MinSize
+	}
+	if len(data) >= minSize {
+		var buf bytes.Buffer
+		buf.WriteByte(tagDeflate)
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err == nil {
+			if _, err = w.Write(data); err == nil && w.Close() == nil && buf.Len() < 1+len(data) {
+				return buf.Bytes()
+			}
+		}
+	}
+	out := make([]byte, 1+len(data))
+	out[0] = tagStored
+	copy(out[1:], data)
+	return out
+}
+
+// Unframe decodes a frame produced by Frame. maxLen bounds the decoded size
+// (0 means 64 MiB); frames that would exceed it fail with ErrFrameTooLarge.
+func Unframe(frame []byte, maxLen int) ([]byte, error) {
+	if maxLen <= 0 {
+		maxLen = 64 << 20
+	}
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrFrameCorrupt)
+	}
+	switch frame[0] {
+	case tagStored:
+		data := frame[1:]
+		if len(data) > maxLen {
+			return nil, ErrFrameTooLarge
+		}
+		return append([]byte(nil), data...), nil
+	case tagDeflate:
+		r := flate.NewReader(bytes.NewReader(frame[1:]))
+		defer r.Close()
+		// Read one byte past the bound to detect overflow.
+		data, err := io.ReadAll(io.LimitReader(r, int64(maxLen)+1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
+		}
+		if len(data) > maxLen {
+			return nil, ErrFrameTooLarge
+		}
+		return data, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrFrameCorrupt, frame[0])
+	}
+}
+
+// Ratio reports the frame's size as a fraction of the original data size
+// (1.0+ means compression did not help and the frame stored verbatim).
+func Ratio(dataLen, frameLen int) float64 {
+	if dataLen == 0 {
+		return 1
+	}
+	return float64(frameLen) / float64(dataLen)
+}

@@ -1,0 +1,144 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTripCompressible(t *testing.T) {
+	data := bytes.Repeat([]byte("transaction payload "), 200)
+	frame := Frame(data, 0)
+	if frame[0] != tagDeflate {
+		t.Fatalf("compressible data stored verbatim (tag %d)", frame[0])
+	}
+	if len(frame) >= len(data) {
+		t.Fatalf("frame (%d) not smaller than data (%d)", len(frame), len(data))
+	}
+	got, err := Unframe(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestFrameStoresIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 4096)
+	rng.Read(data)
+	frame := Frame(data, 0)
+	if len(frame) > len(data)+1 {
+		t.Fatalf("frame expanded data: %d > %d+1", len(frame), len(data))
+	}
+	got, err := Unframe(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestFrameSmallDataStoredVerbatim(t *testing.T) {
+	data := []byte("tiny")
+	frame := Frame(data, 0)
+	if frame[0] != tagStored {
+		t.Fatalf("sub-threshold data compressed (tag %d)", frame[0])
+	}
+	if len(frame) != len(data)+1 {
+		t.Fatalf("stored frame length %d", len(frame))
+	}
+}
+
+func TestFrameEmptyData(t *testing.T) {
+	frame := Frame(nil, 0)
+	got, err := Unframe(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty round trip yielded %d bytes", len(got))
+	}
+}
+
+func TestUnframeRejectsGarbage(t *testing.T) {
+	if _, err := Unframe(nil, 0); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if _, err := Unframe([]byte{7, 1, 2}, 0); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := Unframe([]byte{tagDeflate, 0xff, 0xff, 0xff}, 0); err == nil {
+		t.Fatal("corrupt deflate stream accepted")
+	}
+}
+
+func TestUnframeEnforcesBound(t *testing.T) {
+	data := bytes.Repeat([]byte{'a'}, 10_000) // compresses very well
+	frame := Frame(data, 0)
+	if _, err := Unframe(frame, 100); err != ErrFrameTooLarge {
+		t.Fatalf("decompression bomb not capped: %v", err)
+	}
+	// Stored frames respect the bound too.
+	stored := Frame(bytes.Repeat([]byte{'b'}, 50), 1000)
+	if _, err := Unframe(stored, 10); err != ErrFrameTooLarge {
+		t.Fatalf("stored frame exceeded bound: %v", err)
+	}
+	if got, err := Unframe(frame, len(data)); err != nil || len(got) != len(data) {
+		t.Fatalf("exact bound rejected: %v", err)
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	fn := func(data []byte, small bool) bool {
+		minSize := 0
+		if small {
+			minSize = 1 // force the compression attempt on everything
+		}
+		frame := Frame(data, minSize)
+		if len(frame) > len(data)+1 {
+			return false // never expands beyond the tag byte
+		}
+		got, err := Unframe(frame, 0)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(0, 5) != 1 {
+		t.Fatal("zero-length ratio")
+	}
+	if r := Ratio(100, 50); r != 0.5 {
+		t.Fatalf("ratio = %v", r)
+	}
+}
+
+func BenchmarkFrameCompressible4K(b *testing.B) {
+	data := bytes.Repeat([]byte("ledger entry: pay 100 to account 42; "), 110) // ~4 KiB
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Frame(data, 0)
+	}
+}
+
+func BenchmarkUnframe4K(b *testing.B) {
+	data := bytes.Repeat([]byte("ledger entry: pay 100 to account 42; "), 110)
+	frame := Frame(data, 0)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unframe(frame, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

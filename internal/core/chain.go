@@ -1,0 +1,217 @@
+// Package core implements the FireLedger protocol itself (paper §5,
+// Algorithms 2 and 3): a round-based, rotating-proposer blockchain that
+// decides a block per communication step in the optimistic case and falls
+// back to an atomic-broadcast recovery procedure when the chain's hash links
+// expose Byzantine behavior. It realizes the BBFC(f+1) abstraction of §3.3:
+// the last f+1 blocks of the local chain are tentative; a block becomes
+// definite (final) once it reaches depth f+2.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// Chain is the per-worker blockchain: an append-only list of blocks rounds
+// 1..tip, with an implicit genesis header at round 0. The last f+1 entries
+// are tentative and may be replaced by the recovery procedure; everything
+// at depth ≥ f+2 is definite (BBFC-Finality).
+type Chain struct {
+	mu       sync.RWMutex
+	instance uint32
+	genesis  types.BlockHeader
+	blocks   []types.Block // blocks[i] is round i+1
+	definite uint64        // rounds ≤ definite are final
+}
+
+// NewChain creates the empty chain of one worker instance.
+func NewChain(instance uint32) *Chain {
+	return &Chain{instance: instance, genesis: types.GenesisHeader(instance)}
+}
+
+// Tip returns the highest appended round (0 when empty).
+func (c *Chain) Tip() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return uint64(len(c.blocks))
+}
+
+// Definite returns the highest definite (final) round.
+func (c *Chain) Definite() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.definite
+}
+
+// TipHash returns the hash of the highest block's header (the PrevHash the
+// next proposal must carry).
+func (c *Chain) TipHash() flcrypto.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tipHashLocked()
+}
+
+func (c *Chain) tipHashLocked() flcrypto.Hash {
+	if len(c.blocks) == 0 {
+		return c.genesis.Hash()
+	}
+	return c.blocks[len(c.blocks)-1].Hash()
+}
+
+// HeaderAt returns the header of round r (the genesis header for r = 0) and
+// whether it exists.
+func (c *Chain) HeaderAt(r uint64) (types.BlockHeader, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if r == 0 {
+		return c.genesis, true
+	}
+	if r > uint64(len(c.blocks)) {
+		return types.BlockHeader{}, false
+	}
+	return c.blocks[r-1].Signed.Header, true
+}
+
+// BlockAt returns the block of round r, if present.
+func (c *Chain) BlockAt(r uint64) (types.Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if r == 0 || r > uint64(len(c.blocks)) {
+		return types.Block{}, false
+	}
+	return c.blocks[r-1], true
+}
+
+// SignedAt returns the signed header of round r, if present.
+func (c *Chain) SignedAt(r uint64) (types.SignedHeader, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if r == 0 || r > uint64(len(c.blocks)) {
+		return types.SignedHeader{}, false
+	}
+	return c.blocks[r-1].Signed, true
+}
+
+// Append adds blk as the next round. It enforces linkage: blk must extend
+// the current tip at round tip+1.
+func (c *Chain) Append(blk types.Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hdr := blk.Signed.Header
+	want := uint64(len(c.blocks)) + 1
+	if hdr.Round != want {
+		return fmt.Errorf("core: append round %d, tip is %d", hdr.Round, want-1)
+	}
+	if hdr.PrevHash != c.tipHashLocked() {
+		return fmt.Errorf("core: append round %d does not link to tip", hdr.Round)
+	}
+	if hdr.Instance != c.instance {
+		return fmt.Errorf("core: append block of instance %d onto instance %d", hdr.Instance, c.instance)
+	}
+	c.blocks = append(c.blocks, blk)
+	return nil
+}
+
+// MarkDefinite advances the definite boundary to r (monotonically).
+// It returns the rounds that newly became definite.
+func (c *Chain) MarkDefinite(r uint64) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r > uint64(len(c.blocks)) {
+		r = uint64(len(c.blocks))
+	}
+	var newly []uint64
+	for c.definite < r {
+		c.definite++
+		newly = append(newly, c.definite)
+	}
+	return newly
+}
+
+// ReplaceSuffix installs version as the new chain content from round `from`
+// onward, discarding any existing blocks at rounds ≥ from. The recovery
+// procedure (Algorithm 3) calls this after adopting the agreed version.
+// Blocks at definite rounds are never replaced: from must exceed the
+// definite boundary.
+func (c *Chain) ReplaceSuffix(from uint64, version []types.Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if from <= c.definite {
+		return fmt.Errorf("core: recovery would replace definite round %d", from)
+	}
+	if from > uint64(len(c.blocks))+1 {
+		return fmt.Errorf("core: recovery suffix starts at %d, tip is %d", from, len(c.blocks))
+	}
+	c.blocks = c.blocks[:from-1]
+	for _, blk := range version {
+		hdr := blk.Signed.Header
+		if hdr.Round != uint64(len(c.blocks))+1 || hdr.PrevHash != c.tipHashLocked() {
+			return fmt.Errorf("core: recovery version does not chain at round %d", hdr.Round)
+		}
+		c.blocks = append(c.blocks, blk)
+	}
+	return nil
+}
+
+// Suffix returns copies of the blocks at rounds [from, tip].
+func (c *Chain) Suffix(from uint64) []types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if from == 0 {
+		from = 1
+	}
+	if from > uint64(len(c.blocks)) {
+		return nil
+	}
+	out := make([]types.Block, uint64(len(c.blocks))-from+1)
+	copy(out, c.blocks[from-1:])
+	return out
+}
+
+// ProposersOf returns the proposers of rounds [from, to] that exist.
+func (c *Chain) ProposersOf(from, to uint64) []flcrypto.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []flcrypto.NodeID
+	for r := from; r <= to && r >= 1 && r <= uint64(len(c.blocks)); r++ {
+		out = append(out, c.blocks[r-1].Signed.Header.Proposer)
+	}
+	return out
+}
+
+// Audit verifies the whole chain's internal consistency: hash links, body
+// hashes, and the Lemma 5.3.2 proposer-diversity invariant for windows of
+// f+1 consecutive blocks. Tests use it as the safety oracle.
+func (c *Chain) Audit(reg *flcrypto.Registry) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	prev := c.genesis.Hash()
+	f := reg.F()
+	for i, blk := range c.blocks {
+		hdr := blk.Signed.Header
+		if hdr.Round != uint64(i)+1 {
+			return fmt.Errorf("core: audit: block %d has round %d", i, hdr.Round)
+		}
+		if hdr.PrevHash != prev {
+			return fmt.Errorf("core: audit: round %d prev-hash mismatch", hdr.Round)
+		}
+		if !blk.Signed.Verify(reg) {
+			return fmt.Errorf("core: audit: round %d bad signature", hdr.Round)
+		}
+		if err := blk.CheckBody(); err != nil {
+			return fmt.Errorf("core: audit: round %d: %w", hdr.Round, err)
+		}
+		// Proposer diversity over any f+1 consecutive blocks.
+		for j := i - f; j < i; j++ {
+			if j >= 0 && c.blocks[j].Signed.Header.Proposer == hdr.Proposer {
+				return fmt.Errorf("core: audit: proposer %d repeats within f+1 window at rounds %d and %d",
+					hdr.Proposer, c.blocks[j].Signed.Header.Round, hdr.Round)
+			}
+		}
+		prev = hdr.Hash()
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/flcrypto"
+	"repro/internal/gossip"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Wire kinds on the data path (§6.1.1: block bodies travel asynchronously,
+// outside the consensus path). Body payloads travel as self-describing
+// compress frames, so compression is a per-sender choice the receiver never
+// has to be configured for.
+const (
+	kindBody      = 1 // proactive body dissemination (framed body)
+	kindReqBody   = 2 // body pull by hash
+	kindRespBody  = 3 // pull response (framed body)
+	kindReqBlock  = 4 // definite-block pull by round (recovery catch-up)
+	kindRespBlock = 5
+)
+
+// dataOpts selects the dissemination and encoding strategy of a data path.
+type dataOpts struct {
+	// gossipProto, when useGossip is set, carries rumor messages (its own
+	// mux tag; see internal/gossip).
+	gossipProto transport.ProtoID
+	useGossip   bool
+	fanout      int
+	// compress DEFLATE-frames body payloads at least compress.MinSize long
+	// (the paper's conclusion for large σ).
+	compress bool
+}
+
+// dataPath owns body dissemination, the body store, and block catch-up for
+// one worker instance.
+type dataPath struct {
+	mux   *transport.Mux
+	proto transport.ProtoID
+	reg   *flcrypto.Registry
+	chain *Chain
+	opts  dataOpts
+	rumor *gossip.Disseminator // nil on the clique overlay
+
+	// onBody is invoked (on the transport goroutine) when a new body
+	// arrives, so the instance can re-kick a pending WRB delivery.
+	onBody func(bodyHash flcrypto.Hash)
+	// onFetched is invoked when a definite block arrives on the catch-up
+	// path, so the instance can divert from a stuck round to adopt it.
+	onFetched func(round uint64)
+
+	mu      sync.Mutex
+	bodies  map[flcrypto.Hash]types.Body
+	fetched map[uint64]types.Block // recovery catch-up responses by round
+	update  chan struct{}
+
+	// lastPull rate-limits the proactive pull-on-accept-miss (one request
+	// per hash per interval); see maybeRequestBody.
+	lastPull     flcrypto.Hash
+	lastPullTime time.Time
+}
+
+// pullRetryInterval paces proactive body pulls from the accept predicate.
+const pullRetryInterval = 5 * time.Millisecond
+
+// maybeRequestBody broadcasts a pull for hash unless one was just sent —
+// called from the vote-accept path so a node a gossip rumor missed recovers
+// the body before its delivery timer runs out, not after.
+func (dp *dataPath) maybeRequestBody(hash flcrypto.Hash) {
+	now := time.Now()
+	dp.mu.Lock()
+	if dp.lastPull == hash && now.Sub(dp.lastPullTime) < pullRetryInterval {
+		dp.mu.Unlock()
+		return
+	}
+	dp.lastPull = hash
+	dp.lastPullTime = now
+	dp.mu.Unlock()
+	e := types.NewEncoder(40)
+	e.Uint8(kindReqBody)
+	e.Hash(hash)
+	dp.mux.Broadcast(dp.proto, e.Bytes())
+}
+
+// maxStoredBodies bounds the body store; bodies of definite blocks live in
+// the chain, so the store only needs to cover in-flight rounds.
+const maxStoredBodies = 4096
+
+func newDataPath(mux *transport.Mux, proto transport.ProtoID, reg *flcrypto.Registry, chain *Chain, opts dataOpts) *dataPath {
+	dp := &dataPath{
+		mux:    mux,
+		proto:  proto,
+		reg:    reg,
+		chain:  chain,
+		opts:   opts,
+		bodies: make(map[flcrypto.Hash]types.Body),
+		update: make(chan struct{}),
+	}
+	mux.Handle(proto, dp.onWire)
+	if opts.useGossip {
+		dp.rumor = gossip.New(gossip.Config{
+			Mux:     mux,
+			Proto:   opts.gossipProto,
+			Fanout:  opts.fanout,
+			Deliver: dp.ingestFrame,
+		})
+	}
+	return dp
+}
+
+// frameBody encodes a body as a self-describing compress frame. With
+// compression off the frame stores the bytes verbatim (one tag byte).
+func (dp *dataPath) frameBody(body *types.Body) []byte {
+	enc := body.Marshal()
+	if dp.opts.compress {
+		return compress.Frame(enc, 0)
+	}
+	return compress.Frame(enc, len(enc)+1) // threshold above size: stored
+}
+
+// ingestFrame decodes and stores a framed body arriving from dissemination
+// (clique push, gossip rumor, or pull response).
+func (dp *dataPath) ingestFrame(frame []byte) {
+	enc, err := compress.Unframe(frame, 0)
+	if err != nil {
+		return
+	}
+	d := types.NewDecoder(enc)
+	body := types.DecodeBody(d)
+	if d.Finish() != nil {
+		return
+	}
+	dp.store(body)
+}
+
+// have reports whether the body for hash is obtainable locally. The empty
+// body needs no dissemination.
+func (dp *dataPath) have(hash flcrypto.Hash) bool {
+	empty := types.Body{}
+	if hash == empty.Hash() {
+		return true
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	_, ok := dp.bodies[hash]
+	return ok
+}
+
+// get returns the stored body for hash.
+func (dp *dataPath) get(hash flcrypto.Hash) (types.Body, bool) {
+	empty := types.Body{}
+	if hash == empty.Hash() {
+		return empty, true
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	b, ok := dp.bodies[hash]
+	return b, ok
+}
+
+func (dp *dataPath) store(body types.Body) {
+	hash := body.Hash()
+	dp.mu.Lock()
+	if _, dup := dp.bodies[hash]; dup {
+		dp.mu.Unlock()
+		return
+	}
+	if len(dp.bodies) >= maxStoredBodies {
+		// Evict an arbitrary entry; losing a body is safe (it can be
+		// re-pulled), it only costs latency.
+		for k := range dp.bodies {
+			delete(dp.bodies, k)
+			break
+		}
+	}
+	dp.bodies[hash] = body
+	close(dp.update)
+	dp.update = make(chan struct{})
+	dp.mu.Unlock()
+	if dp.onBody != nil {
+		dp.onBody(hash)
+	}
+}
+
+// drop removes bodies that have been absorbed into definite blocks.
+func (dp *dataPath) drop(hash flcrypto.Hash) {
+	dp.mu.Lock()
+	delete(dp.bodies, hash)
+	dp.mu.Unlock()
+}
+
+// broadcastBody pushes a body to every node ("a node broadcasts a block as
+// soon as the block is ready", §6.1.1) — or originates a gossip rumor when
+// the gossip overlay is selected (§7.2.2's alternative).
+func (dp *dataPath) broadcastBody(body *types.Body) error {
+	// The origin keeps its own body first: gossip does not self-deliver,
+	// and the proposer must be able to vote for (and serve pulls of) its
+	// own block.
+	dp.store(*body)
+	frame := dp.frameBody(body)
+	if dp.rumor != nil {
+		return dp.rumor.Broadcast(frame)
+	}
+	e := types.NewEncoder(8 + len(frame))
+	e.Uint8(kindBody)
+	e.Bytes32(frame)
+	return dp.mux.Broadcast(dp.proto, e.Bytes())
+}
+
+// sendBodyTo sends a body to a single node (used by the Byzantine
+// equivocator harness behavior, §7.4.2).
+func (dp *dataPath) sendBodyTo(to flcrypto.NodeID, body *types.Body) error {
+	frame := dp.frameBody(body)
+	e := types.NewEncoder(8 + len(frame))
+	e.Uint8(kindBody)
+	e.Bytes32(frame)
+	return dp.mux.Send(dp.proto, to, e.Bytes())
+}
+
+func (dp *dataPath) onWire(from flcrypto.NodeID, buf []byte) {
+	d := types.NewDecoder(buf)
+	switch d.Uint8() {
+	case kindBody, kindRespBody:
+		frame := d.Bytes32()
+		if d.Finish() != nil {
+			return
+		}
+		dp.ingestFrame(frame)
+	case kindReqBody:
+		hash := d.Hash()
+		if d.Finish() != nil {
+			return
+		}
+		if body, ok := dp.get(hash); ok {
+			frame := dp.frameBody(&body)
+			e := types.NewEncoder(8 + len(frame))
+			e.Uint8(kindRespBody)
+			e.Bytes32(frame)
+			dp.mux.Send(dp.proto, from, e.Bytes())
+		}
+	case kindReqBlock:
+		round := d.Uint64()
+		if d.Finish() != nil {
+			return
+		}
+		// Serve only definite blocks: tentative ones may still change.
+		if round == 0 || round > dp.chain.Definite() {
+			return
+		}
+		if blk, ok := dp.chain.BlockAt(round); ok {
+			e := types.NewEncoder(64 + blk.Body.Size())
+			e.Uint8(kindRespBlock)
+			blk.Encode(e)
+			dp.mux.Send(dp.proto, from, e.Bytes())
+		}
+	case kindRespBlock:
+		blk := types.DecodeBlock(d)
+		if d.Finish() != nil {
+			return
+		}
+		if !blk.Signed.Verify(dp.reg) || blk.CheckBody() != nil {
+			return
+		}
+		dp.mu.Lock()
+		if dp.fetched == nil {
+			dp.fetched = make(map[uint64]types.Block)
+		}
+		dp.fetched[blk.Header().Round] = blk
+		close(dp.update)
+		dp.update = make(chan struct{})
+		dp.mu.Unlock()
+		if dp.onFetched != nil {
+			dp.onFetched(blk.Header().Round)
+		}
+	}
+}
+
+// waitBody blocks until the body referenced by hdr is available, pulling it
+// from peers ("p has to retrieve the block from a correct node q that has
+// it", §6.1.1). Returns false if aborted.
+func (dp *dataPath) waitBody(hdr types.BlockHeader, abort <-chan struct{}) (types.Body, bool) {
+	interval := 10 * time.Millisecond
+	for {
+		dp.mu.Lock()
+		body, ok := dp.bodies[hdr.BodyHash]
+		ch := dp.update
+		dp.mu.Unlock()
+		if hdr.TxCount == 0 {
+			empty := types.Body{}
+			if empty.Hash() == hdr.BodyHash {
+				return empty, true
+			}
+		}
+		if ok {
+			return body, true
+		}
+		// Pull.
+		e := types.NewEncoder(40)
+		e.Uint8(kindReqBody)
+		e.Hash(hdr.BodyHash)
+		dp.mux.Broadcast(dp.proto, e.Bytes())
+		select {
+		case <-ch:
+		case <-time.After(interval):
+			if interval < time.Second {
+				interval *= 2
+			}
+		case <-abort:
+			return types.Body{}, false
+		}
+	}
+}
+
+// sendBlockTo pushes the definite block at round to one peer unsolicited —
+// the catch-up fast path for a node observed voting on an already-definite
+// round.
+func (dp *dataPath) sendBlockTo(to flcrypto.NodeID, round uint64) {
+	if round == 0 || round > dp.chain.Definite() {
+		return
+	}
+	blk, ok := dp.chain.BlockAt(round)
+	if !ok {
+		return
+	}
+	e := types.NewEncoder(64 + blk.Body.Size())
+	e.Uint8(kindRespBlock)
+	blk.Encode(e)
+	dp.mux.Send(dp.proto, to, e.Bytes())
+}
+
+// takeFetched pops the catch-up block for round, if one arrived.
+func (dp *dataPath) takeFetched(round uint64) (types.Block, bool) {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	blk, ok := dp.fetched[round]
+	if ok {
+		delete(dp.fetched, round)
+	}
+	return blk, ok
+}
+
+// requestBlock broadcasts one catch-up request for round.
+func (dp *dataPath) requestBlock(round uint64) {
+	e := types.NewEncoder(16)
+	e.Uint8(kindReqBlock)
+	e.Uint64(round)
+	dp.mux.Broadcast(dp.proto, e.Bytes())
+}
+
+// fetchBlock retrieves the definite block at round from peers, for recovery
+// catch-up. Returns false if aborted.
+func (dp *dataPath) fetchBlock(round uint64, abort <-chan struct{}) (types.Block, bool) {
+	interval := 20 * time.Millisecond
+	for {
+		dp.mu.Lock()
+		blk, ok := dp.fetched[round]
+		ch := dp.update
+		dp.mu.Unlock()
+		if ok {
+			return blk, true
+		}
+		e := types.NewEncoder(16)
+		e.Uint8(kindReqBlock)
+		e.Uint64(round)
+		dp.mux.Broadcast(dp.proto, e.Bytes())
+		select {
+		case <-ch:
+		case <-time.After(interval):
+			if interval < time.Second {
+				interval *= 2
+			}
+		case <-abort:
+			return types.Block{}, false
+		}
+	}
+}

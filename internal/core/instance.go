@@ -1,0 +1,812 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/evidence"
+	"repro/internal/flcrypto"
+	"repro/internal/obbc"
+	"repro/internal/rbroadcast"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wrb"
+)
+
+// TxSource supplies transactions for blocks. The pool semantics follow the
+// paper's TX pool (Fig 3): NextBatch leases up to max transactions (a lease
+// expires if the block carrying them is never finalized), MarkCommitted
+// retires transactions that reached a definite block.
+type TxSource interface {
+	NextBatch(max int) []types.Transaction
+	MarkCommitted(txs []types.Transaction)
+}
+
+// Event identifies the per-round lifecycle points of Fig 9's breakdown.
+type Event int
+
+// The five events of §7.2.2 (E, FLO delivery, is emitted by the flo layer).
+const (
+	EventBlockProposed  Event = iota // A: the block body left the proposer
+	EventHeaderProposed              // B: the header entered the consensus path
+	EventTentative                   // C: tentative decision (appended to chain)
+	EventDefinite                    // D: definite decision (depth f+2)
+)
+
+// Config assembles one FireLedger worker instance.
+type Config struct {
+	// Instance is the worker index (§6.2); instance 0 is the only one in a
+	// plain FireLedger deployment.
+	Instance uint32
+	// Mux is the node's transport.
+	Mux *transport.Mux
+	// Registry and Priv identify the node.
+	Registry *flcrypto.Registry
+	Priv     flcrypto.PrivateKey
+	// WRB, OBBC, RB are the instance's protocol services (wired by the
+	// node assembly; see flo.NewNode).
+	WRB  *wrb.Service
+	OBBC *obbc.Service
+	RB   *rbroadcast.Service
+	// DataProto is the mux protocol for the body/data path.
+	DataProto transport.ProtoID
+	// SubmitAB atomic-broadcasts recovery versions (PBFT Submit).
+	SubmitAB func([]byte) error
+	// Pool supplies transactions; nil means always-empty blocks.
+	Pool TxSource
+	// BatchSize is the paper's β: transactions per block (default 100).
+	BatchSize int
+	// OnDecide receives definite blocks in round order.
+	OnDecide func(blk types.Block)
+	// OnEvent receives Fig 9 lifecycle events (may be nil).
+	OnEvent func(round uint64, ev Event)
+	// EpochLen reshuffles the proposer permutation every EpochLen rounds
+	// (0 disables; see §6.1.1 "Consecutive Byzantine Proposers").
+	EpochLen uint64
+	// FDThreshold is the timeout-strike count before suspicion (default 2).
+	FDThreshold int
+	// Equivocate turns this node into the §7.4.2 Byzantine proposer: on
+	// its turn it sends different blocks to two random halves of the
+	// cluster. A fault-injection facility for experiments.
+	Equivocate bool
+	// MaxPending bounds how many non-definite rounds may be outstanding
+	// before the proposer stops creating new blocks — the paper's basic
+	// flow control (§7.2). 0 means no bound.
+	MaxPending int
+	// Preload installs an already-definite chain prefix before the round
+	// loop starts — the restart path: blocks replayed from the persistent
+	// store (internal/store) resume the node at its last finalized round.
+	Preload []types.Block
+	// Persist, when non-nil, receives every definite block before OnDecide
+	// (the durability hook; internal/store.BlockLog.Append fits).
+	Persist func(types.Block) error
+	// DisablePiggyback turns off the §5.1 optimization that rides the next
+	// block on the current round's OBBC vote; the proposer then pushes its
+	// header explicitly at the start of its round instead. This is an
+	// ablation switch: it converts the amortized one-phase protocol back
+	// into the two-phase design of §5.1's strawman.
+	DisablePiggyback bool
+	// Evidence, when non-nil, activates the accountability path (paper §1:
+	// "any Byzantine deviation ... results in a strong proof of which node
+	// was the culprit"): equivocations observed through WRB or during
+	// recovery are recorded in the pool, and pending conviction
+	// transactions are embedded in this node's block proposals.
+	Evidence *evidence.Pool
+	// ExcludeConvicted additionally removes convicted nodes from the
+	// proposer rotation ("the corresponding Byzantine node will be removed
+	// from the system", §1). The exclusion is derived from conviction
+	// transactions in definite blocks, so it activates at the same round at
+	// every correct node; all nodes of a deployment must agree on this
+	// setting.
+	ExcludeConvicted bool
+	// UseGossip disseminates block bodies by push-gossip on GossipProto
+	// instead of the clique overlay (§7.2.2's alternative: less origin
+	// egress, more hops). The pull-by-hash fallback stays in place, so a
+	// missed rumor costs latency only. GossipFanout defaults to 3.
+	UseGossip    bool
+	GossipProto  transport.ProtoID
+	GossipFanout int
+	// CompressBodies DEFLATE-frames body payloads (the paper's conclusion
+	// recommends compressing large transactions). Receivers auto-detect;
+	// only senders need the switch.
+	CompressBodies bool
+}
+
+// Metrics counts instance activity for the evaluation harness.
+type Metrics struct {
+	TentativeBlocks atomic.Uint64
+	DefiniteBlocks  atomic.Uint64
+	DefiniteTxs     atomic.Uint64
+	NilRounds       atomic.Uint64
+	Recoveries      atomic.Uint64
+	SignOps         atomic.Uint64
+	// Convictions counts culprits excluded from the rotation (with
+	// ExcludeConvicted) or recorded on-chain (without).
+	Convictions atomic.Uint64
+}
+
+// Instance is one FireLedger worker: a single-threaded round loop
+// (Algorithm 2) over the WRB/OBBC/RB services, plus the recovery procedure
+// (Algorithm 3) on the shared atomic broadcast.
+type Instance struct {
+	cfg   Config
+	id    flcrypto.NodeID
+	n, f  int
+	chain *Chain
+	data  *dataPath
+	sched *schedule
+	fd    *failureDetector
+
+	metrics Metrics
+
+	stop    chan struct{}
+	once    sync.Once
+	stopped sync.WaitGroup
+
+	// panicCh carries RB-delivered inconsistency proofs to the round loop;
+	// panicPending closes the race between queuing a proof and the loop
+	// starting its next delivery attempt.
+	panicCh      chan Proof
+	panicPending atomic.Bool
+
+	// current attempt state, guarded by mu: the wire handlers use it to
+	// kick/abort the in-flight delivery.
+	mu         sync.Mutex
+	currentKey obbc.Key
+	abortCh    chan struct{}
+
+	rec *recoveryTracker
+
+	rng *rand.Rand // equivocator's half-picker
+
+	// propMu guards propCache: this node's signed proposals memoized per
+	// (round, parent) slot. A slot is signed at most once — re-proposing
+	// after an aborted attempt or a recovery redo re-sends the identical
+	// block — which is the behavior that makes the evidence layer's
+	// same-slot-different-hash conviction predicate sound (a correct node
+	// can never be framed; see internal/evidence).
+	propMu    sync.Mutex
+	propCache map[propKey]types.Block
+}
+
+// propKey identifies one proposal slot of this node.
+type propKey struct {
+	round uint64
+	prev  flcrypto.Hash
+}
+
+// New creates an instance. Call Start to run the round loop.
+func New(cfg Config) *Instance {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 100
+	}
+	n := cfg.Mux.N()
+	in := &Instance{
+		cfg:     cfg,
+		id:      cfg.Mux.ID(),
+		n:       n,
+		f:       (n - 1) / 3,
+		chain:   NewChain(cfg.Instance),
+		stop:    make(chan struct{}),
+		panicCh: make(chan Proof, 16),
+		abortCh: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(int64(cfg.Instance)*1000 + int64(cfg.Mux.ID()))),
+	}
+	in.sched = newSchedule(n, in.f, cfg.EpochLen)
+	in.fd = newFailureDetector(in.f, cfg.FDThreshold)
+	in.data = newDataPath(cfg.Mux, cfg.DataProto, cfg.Registry, in.chain, dataOpts{
+		gossipProto: cfg.GossipProto,
+		useGossip:   cfg.UseGossip,
+		fanout:      cfg.GossipFanout,
+		compress:    cfg.CompressBodies,
+	})
+	// The OBBC evidence path carries the block body (see wrb.SetBodyStore):
+	// a node vouches for a header only when it holds the body, and a node
+	// convinced by evidence receives the body with it.
+	cfg.WRB.SetBodyStore(
+		func(h flcrypto.Hash) ([]byte, bool) {
+			body, ok := in.data.get(h)
+			if !ok {
+				return nil, false
+			}
+			return body.Marshal(), true
+		},
+		func(enc []byte) bool {
+			d := types.NewDecoder(enc)
+			body := types.DecodeBody(d)
+			if d.Finish() != nil {
+				return false
+			}
+			in.data.store(body)
+			return true
+		},
+	)
+	in.data.onBody = func(flcrypto.Hash) {
+		in.mu.Lock()
+		key := in.currentKey
+		in.mu.Unlock()
+		if key.Round != 0 {
+			in.cfg.WRB.Kick(key)
+		}
+	}
+	in.rec = newRecoveryTracker(in)
+	in.data.onFetched = func(round uint64) {
+		// A definite block for the round we are stuck on arrived on the
+		// catch-up path: abort the attempt so the loop adopts it.
+		in.mu.Lock()
+		key := in.currentKey
+		in.mu.Unlock()
+		if key.Round == round {
+			in.interrupt()
+		}
+	}
+	cfg.OBBC.SetOnVote(func(from flcrypto.NodeID, key obbc.Key) {
+		// A peer voting on a round that is definite here is behind (e.g.,
+		// it restarted): hand it the block directly.
+		if key.Instance != in.cfg.Instance || from == in.id {
+			return
+		}
+		if key.Round <= in.chain.Definite() {
+			in.data.sendBlockTo(from, key.Round)
+		}
+	})
+	if cfg.Evidence != nil {
+		// WRB sees two conflicting headers from the same proposer: a
+		// ready-made equivocation proof.
+		cfg.WRB.SetOnEquivocation(func(a, b types.SignedHeader) {
+			if a.Header.Instance != in.cfg.Instance {
+				return
+			}
+			in.cfg.Evidence.ObservePair(a, b)
+		})
+	}
+	for _, blk := range cfg.Preload {
+		if err := in.chain.Append(blk); err != nil {
+			break
+		}
+	}
+	in.chain.MarkDefinite(in.chain.Tip())
+	// Replayed blocks re-derive the conviction set: a restarted node ends
+	// up with the same proposer exclusions as the rest of the cluster.
+	for r := uint64(1); r <= in.chain.Tip(); r++ {
+		if blk, ok := in.chain.BlockAt(r); ok {
+			in.registerConvictions(blk)
+		}
+	}
+	return in
+}
+
+// registerConvictions scans a definite block for conviction transactions
+// and applies them: the pool records the proof (adopting foreign ones) and,
+// with ExcludeConvicted, the culprit leaves the proposer rotation from an
+// agreed round on.
+//
+// The effective round is R+f+3 for a conviction in the block at round R: a
+// node computing round X's proposer has tip X−1 and therefore definite
+// boundary X−f−3, so every conviction at rounds ≤ X−f−3 — exactly those
+// with effective round ≤ X — has been scanned at every correct node by the
+// time any of them evaluates round X. Blocks that deep are also beyond the
+// recovery procedure's reach, so the derivation never reverses.
+func (in *Instance) registerConvictions(blk types.Block) {
+	if in.cfg.Evidence == nil && !in.cfg.ExcludeConvicted {
+		return
+	}
+	round := blk.Header().Round
+	for i := range blk.Body.Txs {
+		tx := &blk.Body.Txs[i]
+		if tx.Client != evidence.SystemClient {
+			continue
+		}
+		eq, ok := evidence.ParseConvictionTx(*tx)
+		if !ok || eq.Verify(in.cfg.Registry) != nil {
+			continue // malformed conviction txs are inert filler
+		}
+		fresh := false
+		if in.cfg.Evidence != nil {
+			_, fresh = in.cfg.Evidence.IngestBlockTx(*tx, round)
+		}
+		if in.cfg.ExcludeConvicted {
+			if in.sched.convict(eq.Culprit(), round+uint64(in.f)+3) {
+				in.metrics.Convictions.Add(1)
+			}
+		} else if fresh {
+			in.metrics.Convictions.Add(1)
+		}
+	}
+}
+
+// Convictions exposes the schedule's exclusion map (culprit → first
+// excluded round) for observability and tests.
+func (in *Instance) Convictions() map[flcrypto.NodeID]uint64 {
+	return in.sched.convictions()
+}
+
+// Chain exposes the instance's blockchain (read access).
+func (in *Instance) Chain() *Chain { return in.chain }
+
+// BindRB installs the reliable-broadcast service used for panic proofs when
+// it could not be passed in Config (its delivery callback needs the
+// instance, so the wiring is circular).
+func (in *Instance) BindRB(rb *rbroadcast.Service) { in.cfg.RB = rb }
+
+// HandleOrdered routes one atomically-ordered request to this instance's
+// recovery tracker. It returns false for requests belonging elsewhere.
+func (in *Instance) HandleOrdered(req []byte) bool { return in.rec.HandleOrdered(req) }
+
+// Metrics returns the instance counters.
+func (in *Instance) Metrics() *Metrics { return &in.metrics }
+
+// Start launches the round loop.
+func (in *Instance) Start() {
+	in.stopped.Add(1)
+	go in.run()
+}
+
+// Stop terminates the round loop and aborts any in-flight delivery.
+func (in *Instance) Stop() {
+	in.once.Do(func() {
+		close(in.stop)
+		in.interrupt()
+	})
+	in.stopped.Wait()
+}
+
+// OnPanic is the RB delivery callback (Algorithm 2 lines b12–b14): a valid
+// proof diverts every correct node into the recovery procedure. The node
+// assembly registers it with the instance's reliable-broadcast service.
+func (in *Instance) OnPanic(origin flcrypto.NodeID, seq uint64, payload []byte) {
+	d := types.NewDecoder(payload)
+	proof := DecodeProof(d)
+	if d.Finish() != nil {
+		return
+	}
+	if proof.Curr.Header.Instance != in.cfg.Instance {
+		return
+	}
+	if err := proof.Verify(in.cfg.Registry); err != nil {
+		return
+	}
+	select {
+	case in.panicCh <- proof:
+	default: // a recovery is already queued; one is enough
+	}
+	in.panicPending.Store(true)
+	in.interrupt()
+}
+
+// interrupt aborts the in-flight WRB delivery so the round loop regains
+// control (the paper's panic thread interrupting the main thread, Fig 3).
+func (in *Instance) interrupt() {
+	in.mu.Lock()
+	key := in.currentKey
+	ch := in.abortCh
+	in.abortCh = make(chan struct{})
+	in.mu.Unlock()
+	close(ch)
+	if key.Round != 0 {
+		in.cfg.OBBC.Abort(key)
+	}
+}
+
+// beginAttempt installs the current delivery key and returns a fresh abort
+// channel for this attempt. If a panic slipped in between attempts, the
+// channel comes pre-closed so the attempt aborts immediately.
+func (in *Instance) beginAttempt(key obbc.Key) <-chan struct{} {
+	in.mu.Lock()
+	in.currentKey = key
+	in.abortCh = make(chan struct{})
+	ch := in.abortCh
+	in.mu.Unlock()
+	if in.panicPending.Load() {
+		in.interrupt()
+	}
+	return ch
+}
+
+func (in *Instance) event(round uint64, ev Event) {
+	if in.cfg.OnEvent != nil {
+		in.cfg.OnEvent(round, ev)
+	}
+}
+
+// run is Algorithm 2's main loop.
+func (in *Instance) run() {
+	defer in.stopped.Done()
+	attempt := 0
+	fullMode := true // line 3
+	for {
+		select {
+		case <-in.stop:
+			return
+		case proof := <-in.panicCh:
+			in.panicPending.Store(false)
+			if in.rec.runRecovery(proof) {
+				attempt = 0
+				fullMode = true
+			}
+			continue
+		default:
+		}
+
+		ri := in.chain.Tip() + 1
+		// Catch-up fast path: a peer already finalized this round and
+		// handed us the block (we restarted or fell behind); adopt it
+		// without running the round.
+		if blk, ok := in.data.takeFetched(ri); ok {
+			if in.validateLink(blk.Signed, ri) && blk.Signed.Verify(in.cfg.Registry) && blk.CheckBody() == nil {
+				if in.chain.Append(blk) == nil {
+					in.metrics.TentativeBlocks.Add(1)
+					if ri > uint64(in.f)+2 {
+						in.finalizeThrough(ri - uint64(in.f) - 2)
+					}
+					// Chase the next round proactively.
+					in.data.requestBlock(ri + 1)
+					attempt = 0
+					fullMode = true
+					continue
+				}
+			}
+		}
+		proposer, skipped := in.sched.proposerFor(in.chain, ri, attempt)
+		if skipped {
+			// Lines b1–b3 skipped a recent proposer: the FD suspicion list
+			// is invalidated (§6.1.1) so a skipped correct node regains
+			// its turn.
+			in.fd.invalidate()
+		}
+		key := obbc.Key{Instance: in.cfg.Instance, Round: ri, Proposer: proposer}
+		abort := in.beginAttempt(key)
+
+		// Lines 6–11: in full mode the round's proposer pushes its block
+		// explicitly (no piggyback carried it). The equivocator always
+		// pushes on its turn (it never piggybacks), as does every proposer
+		// when the piggyback ablation is on.
+		if proposer == in.id && (fullMode || in.cfg.Equivocate || in.cfg.DisablePiggyback) {
+			in.proposeOwn(ri)
+		}
+
+		// Lines 12–15: try to deliver, piggybacking our next block if we
+		// are the following round's proposer (§5.1). The piggyback closure
+		// runs at vote time, when the current header (the next block's
+		// parent) is known.
+		pgdFn := func(hdr *types.SignedHeader) []byte {
+			if hdr == nil || in.cfg.Equivocate || in.cfg.DisablePiggyback {
+				return nil
+			}
+			return in.preparePiggyback(*hdr)
+		}
+		wait := in.cfg.WRB.CurrentTimer(in.cfg.Instance)
+		if in.fd.isSuspected(proposer) {
+			wait = 0 // benign FD: do not wait for a suspected node (§6.1.1)
+		}
+		hdr, err := in.cfg.WRB.DeliverWithWait(key, pgdFn, in.acceptHeader, abort, wait)
+		if err != nil {
+			if errors.Is(err, wrb.ErrAborted) {
+				continue // panic or stop; handled at loop top
+			}
+			continue
+		}
+
+		if hdr == nil {
+			// Lines 16–20: agreed non-delivery; rotate the proposer.
+			in.metrics.NilRounds.Add(1)
+			in.fd.onTimeout(proposer)
+			fullMode = true
+			attempt++
+			continue
+		}
+		in.fd.onDelivered(proposer)
+
+		// Lines b4–b10: validate the chain linkage.
+		if !in.validateLink(*hdr, ri) {
+			if in.panicAbout(*hdr, ri) {
+				// Wait for our own proof to RB-deliver back (it triggers
+				// the recovery at the loop top); re-attempting the round
+				// before then would just re-deliver the same bad header.
+				select {
+				case proof := <-in.panicCh:
+					in.panicPending.Store(false)
+					if in.rec.runRecovery(proof) {
+						attempt = 0
+						fullMode = true
+					}
+				case <-in.stop:
+					return
+				case <-time.After(10 * time.Second):
+				}
+			} else {
+				// No proof can be built (round-1 edge case): all correct
+				// nodes saw the same header fail the same check, so they
+				// all rotate consistently.
+				fullMode = true
+				attempt++
+			}
+			continue
+		}
+
+		// Assemble the block (§6.1.1: fetch the body if we voted without it
+		// — possible when delivery was decided by others).
+		body, ok := in.data.waitBody(hdr.Header, abort)
+		if !ok {
+			continue
+		}
+		blk := types.Block{Signed: *hdr, Body: body}
+		if blk.CheckBody() != nil {
+			// The proposer signed a header whose body hash does not match
+			// any real body — indistinguishable from a missing body; the
+			// pull loop above only returns matching bodies, so this is
+			// unreachable unless the store was evicted mid-flight.
+			continue
+		}
+
+		// Line 22: append (tentative decision).
+		if err := in.chain.Append(blk); err != nil {
+			continue
+		}
+		in.metrics.TentativeBlocks.Add(1)
+		in.event(ri, EventTentative)
+
+		// Line b11: definite decision at depth f+2.
+		if ri > uint64(in.f)+2 {
+			in.finalizeThrough(ri - uint64(in.f) - 2)
+		}
+
+		fullMode = false
+		attempt = 0
+	}
+}
+
+// finalizeThrough marks rounds ≤ r definite and emits them.
+func (in *Instance) finalizeThrough(r uint64) {
+	for _, round := range in.chain.MarkDefinite(r) {
+		blk, ok := in.chain.BlockAt(round)
+		if !ok {
+			continue
+		}
+		if in.cfg.Persist != nil {
+			// Durability before visibility: a crash after this point
+			// replays the block; a crash before it re-decides it.
+			if err := in.cfg.Persist(blk); err != nil {
+				// Persistence failure is fatal for durability but not for
+				// agreement; keep running, the operator sees the error
+				// through the store.
+				_ = err
+			}
+		}
+		in.metrics.DefiniteBlocks.Add(1)
+		in.metrics.DefiniteTxs.Add(uint64(len(blk.Body.Txs)))
+		in.registerConvictions(blk)
+		in.event(round, EventDefinite)
+		if in.cfg.Pool != nil {
+			in.cfg.Pool.MarkCommitted(blk.Body.Txs)
+		}
+		if in.cfg.OnDecide != nil {
+			in.cfg.OnDecide(blk)
+		}
+		in.data.drop(blk.Header().BodyHash)
+	}
+	// Protocol state below the definite boundary can never be needed again.
+	def := in.chain.Definite()
+	if def > 0 {
+		in.cfg.WRB.GC(in.cfg.Instance, def)
+		in.cfg.OBBC.GC(in.cfg.Instance, def)
+		in.pruneProposals(def)
+	}
+}
+
+// acceptHeader is the WRB accept predicate: vote for a header only when its
+// body is locally available (§6.1.1). A miss proactively pulls the body, so
+// a node that dissemination skipped (possible under gossip, §7.2.2) chases
+// the data inside its delivery window instead of timing out.
+func (in *Instance) acceptHeader(hdr types.SignedHeader) bool {
+	if in.data.have(hdr.Header.BodyHash) {
+		return true
+	}
+	in.data.maybeRequestBody(hdr.Header.BodyHash)
+	return false
+}
+
+// validateLink checks that hdr extends the local chain at round ri.
+func (in *Instance) validateLink(hdr types.SignedHeader, ri uint64) bool {
+	h := hdr.Header
+	return h.Round == ri && h.PrevHash == in.chain.TipHash()
+}
+
+// panicAbout RB-broadcasts the inconsistency proof (lines b6–b7) and reports
+// whether a proof could be constructed. The proof loops back through
+// OnPanic, which triggers the recovery.
+func (in *Instance) panicAbout(hdr types.SignedHeader, ri uint64) bool {
+	prev, ok := in.chain.SignedAt(ri - 1)
+	if !ok {
+		// Round 1 inconsistency: the predecessor is the unsigned genesis,
+		// so no two-signature proof exists. The deviation is local-only
+		// (the proposer's header does not extend genesis), and WRB
+		// agreement means every correct node saw the same header.
+		in.metrics.NilRounds.Add(1)
+		return false
+	}
+	proof := Proof{Curr: hdr, Prev: prev}
+	if proof.Verify(in.cfg.Registry) != nil {
+		return false
+	}
+	in.fd.invalidate() // Byzantine activity detected (§6.1.1)
+	_, err := in.cfg.RB.Broadcast(proof.Marshal())
+	return err == nil
+}
+
+// proposeOwn builds and disseminates this node's block for round ri: body on
+// the data path, header through WRB (lines 6–11).
+func (in *Instance) proposeOwn(ri uint64) {
+	if in.cfg.Equivocate {
+		in.proposeEquivocating(ri)
+		return
+	}
+	if in.cfg.MaxPending > 0 && in.chain.Tip()-in.chain.Definite() > uint64(in.cfg.MaxPending) {
+		// Flow control: too many undecided blocks outstanding (§7.2).
+		return
+	}
+	blk, err := in.buildBlock(ri, in.chain.TipHash())
+	if err != nil {
+		return
+	}
+	in.data.broadcastBody(&blk.Body)
+	in.event(ri, EventBlockProposed)
+	in.cfg.WRB.Broadcast(blk.Signed)
+	in.event(ri, EventHeaderProposed)
+}
+
+// preparePiggyback builds this node's block for round parent.Round+1 on top
+// of parent, disseminates the body, and returns the encoded signed header to
+// ride on the current vote — but only if this node is that round's proposer.
+func (in *Instance) preparePiggyback(parent types.SignedHeader) []byte {
+	nextRound := parent.Header.Round + 1
+	// The next round's proposer is computed as if parent is decided.
+	next := in.nextProposerAfter(parent)
+	if next != in.id {
+		return nil
+	}
+	if in.cfg.MaxPending > 0 && in.chain.Tip()-in.chain.Definite() > uint64(in.cfg.MaxPending) {
+		return nil
+	}
+	blk, err := in.buildBlock(nextRound, parent.Header.Hash())
+	if err != nil {
+		return nil
+	}
+	in.data.broadcastBody(&blk.Body)
+	in.event(nextRound, EventBlockProposed)
+	e := types.NewEncoder(192)
+	blk.Signed.Encode(e)
+	in.event(nextRound, EventHeaderProposed)
+	return e.Bytes()
+}
+
+// nextProposerAfter computes round parent.Round+1's attempt-0 proposer given
+// that parent decides its round. It mirrors schedule.proposerFor but with
+// the parent header supplying the not-yet-appended round.
+func (in *Instance) nextProposerAfter(parent types.SignedHeader) flcrypto.NodeID {
+	round := parent.Header.Round + 1
+	order := in.sched.orderFor(in.chain, round)
+	start := 0
+	for i, id := range order {
+		if id == parent.Header.Proposer {
+			start = i + 1
+			break
+		}
+	}
+	skip := map[flcrypto.NodeID]bool{parent.Header.Proposer: true}
+	if round >= 2 {
+		lo := uint64(1)
+		if round > uint64(in.f) {
+			lo = round - uint64(in.f)
+		}
+		for _, p := range in.chain.ProposersOf(lo, round-2) {
+			skip[p] = true
+		}
+	}
+	for i := 0; ; i++ {
+		cand := order[(start+i)%in.n]
+		if !skip[cand] && !in.sched.excluded(cand, round) {
+			return cand
+		}
+	}
+}
+
+// buildBlock assembles and signs a block for round ri extending prevHash.
+// Pending conviction transactions (at most f — one per possible culprit)
+// ride ahead of the client batch, putting observed equivocation proofs on
+// the chain at the proposer's next turn.
+//
+// Each (round, parent) slot is signed at most once: redoing a slot (after
+// an aborted attempt or a recovery that reinstalled the same parent)
+// re-proposes the memoized block verbatim. Signing two different blocks for
+// one slot is exactly the offense the evidence layer convicts, so a correct
+// node must never do it.
+func (in *Instance) buildBlock(ri uint64, prevHash flcrypto.Hash) (types.Block, error) {
+	key := propKey{round: ri, prev: prevHash}
+	in.propMu.Lock()
+	if blk, ok := in.propCache[key]; ok {
+		in.propMu.Unlock()
+		return blk, nil
+	}
+	in.propMu.Unlock()
+
+	var txs []types.Transaction
+	if in.cfg.Evidence != nil && !in.cfg.Equivocate {
+		txs = in.cfg.Evidence.PendingTxs(in.f)
+	}
+	if in.cfg.Pool != nil {
+		txs = append(txs, in.cfg.Pool.NextBatch(in.cfg.BatchSize)...)
+	}
+	blk, err := types.NewBlock(in.cfg.Instance, ri, in.id, prevHash, txs, in.cfg.Priv)
+	if err != nil {
+		return types.Block{}, fmt.Errorf("core: build block: %w", err)
+	}
+	in.metrics.SignOps.Add(1)
+
+	in.propMu.Lock()
+	if prev, ok := in.propCache[key]; ok {
+		// A concurrent builder (piggyback vs explicit push) won the slot:
+		// discard ours and use the already-signed block.
+		blk = prev
+	} else {
+		if in.propCache == nil {
+			in.propCache = make(map[propKey]types.Block)
+		}
+		in.propCache[key] = blk
+	}
+	in.propMu.Unlock()
+	return blk, nil
+}
+
+// pruneProposals drops memoized proposals at definite rounds (they can never
+// be re-proposed: recovery cannot reach below the definite boundary).
+func (in *Instance) pruneProposals(definite uint64) {
+	in.propMu.Lock()
+	for key := range in.propCache {
+		if key.round <= definite {
+			delete(in.propCache, key)
+		}
+	}
+	in.propMu.Unlock()
+}
+
+// proposeEquivocating is the §7.4.2 Byzantine behavior: split the cluster
+// into two random halves and send each a different version of the block.
+func (in *Instance) proposeEquivocating(ri uint64) {
+	prev := in.chain.TipHash()
+	blkA, errA := in.buildBlock(ri, prev)
+	blkB, errB := in.buildBlock(ri, prev)
+	if errA != nil || errB != nil {
+		return
+	}
+	if blkA.Hash() == blkB.Hash() {
+		// Identical blocks (empty pool): perturb one body so the versions
+		// actually differ.
+		blkB.Body.Txs = append(blkB.Body.Txs, types.Transaction{Client: ^uint64(0), Seq: ri})
+		hdr := blkB.Signed.Header
+		hdr.BodyHash = blkB.Body.Hash()
+		hdr.TxCount = uint32(len(blkB.Body.Txs))
+		signed, err := hdr.Sign(in.cfg.Priv)
+		if err != nil {
+			return
+		}
+		blkB.Signed = signed
+	}
+	perm := in.rng.Perm(in.n)
+	half := in.n / 2
+	for idx, p := range perm {
+		to := flcrypto.NodeID(p)
+		blk := &blkA
+		if idx >= half {
+			blk = &blkB
+		}
+		in.data.sendBodyTo(to, &blk.Body)
+		in.cfg.WRB.PushTo(to, blk.Signed)
+	}
+	in.event(ri, EventBlockProposed)
+	in.event(ri, EventHeaderProposed)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// Proof is the cryptographic evidence of chain inconsistency a node
+// RB-broadcasts before invoking the recovery procedure (Algorithm 2 lines
+// b4–b10): two correctly-signed headers at consecutive rounds whose hash
+// link does not hold. Such a pair can only exist if some proposer signed
+// inconsistent data, so a valid Proof is a "strong proof of which node was
+// the culprit" in the paper's words — and any node can verify it offline.
+type Proof struct {
+	// Curr is the header of round r that fails to link.
+	Curr types.SignedHeader
+	// Prev is a correctly-signed header of round r−1 that Curr does not
+	// extend.
+	Prev types.SignedHeader
+}
+
+// Encode appends the proof to e.
+func (p *Proof) Encode(e *types.Encoder) {
+	p.Curr.Encode(e)
+	p.Prev.Encode(e)
+}
+
+// DecodeProof reads a proof from d.
+func DecodeProof(d *types.Decoder) Proof {
+	var p Proof
+	p.Curr = types.DecodeSignedHeader(d)
+	p.Prev = types.DecodeSignedHeader(d)
+	return p
+}
+
+// Marshal returns the standalone encoding.
+func (p *Proof) Marshal() []byte {
+	e := types.NewEncoder(320)
+	p.Encode(e)
+	return e.Bytes()
+}
+
+// ErrInvalidProof reports a proof that fails verification.
+var ErrInvalidProof = errors.New("core: invalid inconsistency proof")
+
+// Verify checks the proof: both headers carry valid proposer signatures,
+// belong to the same instance, sit at consecutive rounds, and the hash link
+// between them is broken.
+func (p *Proof) Verify(reg *flcrypto.Registry) error {
+	ch, ph := p.Curr.Header, p.Prev.Header
+	if ch.Instance != ph.Instance {
+		return ErrInvalidProof
+	}
+	if ch.Round != ph.Round+1 || ch.Round < 2 {
+		return ErrInvalidProof
+	}
+	if !p.Curr.Verify(reg) || !p.Prev.Verify(reg) {
+		return ErrInvalidProof
+	}
+	if ch.PrevHash == ph.Hash() {
+		return ErrInvalidProof // the link holds: nothing is inconsistent
+	}
+	return nil
+}
+
+// Round returns the round the recovery procedure is invoked for.
+func (p *Proof) Round() uint64 { return p.Curr.Header.Round }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/flcrypto"
+)
+
+// schedule computes the proposer of each delivery attempt deterministically
+// from agreed state, so all correct nodes track the same rotation:
+//
+//   - the base order is the round-robin of §5, optionally reshuffled every
+//     EpochLen rounds into a pseudo-random permutation seeded by a definite
+//     block's hash (§6.1.1's defense against consecutive Byzantine
+//     proposers; the hash seed substitutes for a VRF);
+//   - the proposer of (round r, attempt a) is the (a+1)-th candidate after
+//     round r−1's decided proposer in the order, skipping — per Algorithm 2
+//     lines b1–b3 — any candidate that proposed one of the last f decided
+//     blocks, which yields the Lemma 5.3.2 proposer-diversity invariant.
+//
+// Because WRB's all-or-nothing agreement makes failed attempts agreed too,
+// every correct node evaluates the same (r, a) pairs.
+type schedule struct {
+	n, f     int
+	epochLen uint64
+
+	mu    sync.Mutex
+	epoch uint64
+	order []flcrypto.NodeID
+	// convicted maps a provably-Byzantine node to the first round its
+	// exclusion applies to. Entries are derived from conviction transactions
+	// in definite blocks only (see Instance.registerConvictions), so every
+	// correct node — including one replaying the chain after a restart —
+	// computes the same map at the same rounds, keeping the rotation agreed.
+	convicted map[flcrypto.NodeID]uint64
+}
+
+func newSchedule(n, f int, epochLen uint64) *schedule {
+	s := &schedule{n: n, f: f, epochLen: epochLen, convicted: make(map[flcrypto.NodeID]uint64)}
+	s.order = make([]flcrypto.NodeID, n)
+	for i := range s.order {
+		s.order[i] = flcrypto.NodeID(i)
+	}
+	return s
+}
+
+// convict excludes id from the rotation for rounds ≥ eff. At most f nodes
+// are ever excluded (more would be outside the fault model and could cost
+// liveness); extras are ignored, which is deterministic because convictions
+// arrive in definite-chain order at every node.
+func (s *schedule) convict(id flcrypto.NodeID, eff uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.convicted[id]; dup {
+		return false
+	}
+	if len(s.convicted) >= s.f {
+		return false
+	}
+	s.convicted[id] = eff
+	return true
+}
+
+// excluded reports whether id is excluded from proposing in round.
+func (s *schedule) excluded(id flcrypto.NodeID, round uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eff, ok := s.convicted[id]
+	return ok && round >= eff
+}
+
+// convictions returns a snapshot of the exclusion map.
+func (s *schedule) convictions() map[flcrypto.NodeID]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[flcrypto.NodeID]uint64, len(s.convicted))
+	for id, eff := range s.convicted {
+		out[id] = eff
+	}
+	return out
+}
+
+// orderFor returns the proposer permutation in force at round.
+func (s *schedule) orderFor(chain *Chain, round uint64) []flcrypto.NodeID {
+	if s.epochLen == 0 {
+		return s.order
+	}
+	epoch := (round - 1) / s.epochLen
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch == s.epoch && s.order != nil {
+		return s.order
+	}
+	// Seed from the definite block at the epoch boundary minus f+2; all
+	// correct nodes agree on definite blocks, hence on the permutation.
+	seedRound := int64(epoch*s.epochLen) - int64(s.f+2)
+	var seed flcrypto.Hash
+	if seedRound >= 1 {
+		if hdr, ok := chain.HeaderAt(uint64(seedRound)); ok {
+			seed = hdr.Hash()
+		}
+	}
+	s.epoch = epoch
+	s.order = flcrypto.Permutation(seed, epoch, s.n)
+	return s.order
+}
+
+// proposerFor returns the proposer of the given round and attempt, and
+// whether the lines b1–b3 rule skipped any candidate on the way (which
+// invalidates the failure detector's suspicion list, §6.1.1).
+func (s *schedule) proposerFor(chain *Chain, round uint64, attempt int) (flcrypto.NodeID, bool) {
+	order := s.orderFor(chain, round)
+	// Index of the previous round's decided proposer; genesis maps to the
+	// slot before order[0].
+	start := 0
+	if hdr, ok := chain.HeaderAt(round - 1); ok && round >= 2 {
+		for i, id := range order {
+			if id == hdr.Proposer {
+				start = i + 1
+				break
+			}
+		}
+	}
+	// Skip set: proposers of the last f decided blocks (lines b1–b3).
+	skip := make(map[flcrypto.NodeID]bool, s.f)
+	if round >= 2 {
+		lo := uint64(1)
+		if round > uint64(s.f) {
+			lo = round - uint64(s.f)
+		}
+		for _, p := range chain.ProposersOf(lo, round-1) {
+			skip[p] = true
+		}
+	}
+	// Walk the order from start and return the attempt-th (0-based)
+	// non-skipped candidate. |skip| ≤ f and at most f convicted nodes, so
+	// every full lap yields at least n−2f ≥ f+1 candidates and the walk
+	// terminates. Skipping a convicted node does not count as a rotation
+	// skip (it never regains its turn, so the FD list need not reset).
+	seen := 0
+	didSkip := false
+	for i := 0; ; i++ {
+		cand := order[(start+i)%s.n]
+		if s.excluded(cand, round) {
+			continue
+		}
+		if skip[cand] {
+			didSkip = true
+			continue
+		}
+		if seen == attempt {
+			return cand, didSkip
+		}
+		seen++
+	}
+}
+
+// failureDetector is the benign FD of §6.1.1: nodes that repeatedly caused
+// delivery timeouts are suspected (at most f at a time), and WRB-deliver
+// does not wait for a suspected proposer's message. The list is invalidated
+// whenever the rotation skips a recent proposer or Byzantine activity is
+// detected, preserving liveness as argued in the paper.
+type failureDetector struct {
+	mu        sync.Mutex
+	f         int
+	threshold int
+	strikes   map[flcrypto.NodeID]int
+	suspected map[flcrypto.NodeID]bool
+}
+
+func newFailureDetector(f, threshold int) *failureDetector {
+	if threshold <= 0 {
+		threshold = 2
+	}
+	return &failureDetector{
+		f:         f,
+		threshold: threshold,
+		strikes:   make(map[flcrypto.NodeID]int),
+		suspected: make(map[flcrypto.NodeID]bool),
+	}
+}
+
+// onTimeout records that p's block failed to arrive in time.
+func (fd *failureDetector) onTimeout(p flcrypto.NodeID) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	fd.strikes[p]++
+	if fd.strikes[p] >= fd.threshold && len(fd.suspected) < fd.f {
+		fd.suspected[p] = true
+	}
+}
+
+// onDelivered clears p's record after a successful delivery.
+func (fd *failureDetector) onDelivered(p flcrypto.NodeID) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	delete(fd.strikes, p)
+	delete(fd.suspected, p)
+}
+
+// isSuspected reports whether p is currently suspected.
+func (fd *failureDetector) isSuspected(p flcrypto.NodeID) bool {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.suspected[p]
+}
+
+// invalidate clears the suspicion list (rotation skipped a recent proposer,
+// or Byzantine activity was detected).
+func (fd *failureDetector) invalidate() {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	fd.strikes = make(map[flcrypto.NodeID]int)
+	fd.suspected = make(map[flcrypto.NodeID]bool)
+}

@@ -1,0 +1,116 @@
+// Package evidence implements the accountability side of FireLedger. The
+// paper (§1) argues that "any Byzantine deviation from the protocol results
+// in a strong proof of which node was the culprit" and that "once a proof of
+// Byzantine behavior is being generated, the corresponding Byzantine node
+// will be removed from the system". This package supplies that machinery:
+//
+//   - Equivocation is the transferable proof itself — two correctly-signed
+//     block headers by the same proposer for the same round of the same
+//     worker chain with different hashes. Only the proposer's key can create
+//     such a pair, so a verified Equivocation convicts its signer offline.
+//   - Pool is one node's local evidence ledger: it verifies and deduplicates
+//     observed equivocations and turns them into conviction transactions
+//     that proposers embed in blocks, putting the proof on the chain itself.
+//
+// Removal is realized by the consensus layer (internal/core with
+// ExcludeConvicted): once a conviction transaction reaches a definite block,
+// every node derives the same exclusion — the culprit is skipped by the
+// proposer rotation from an agreed round on. Keeping the conviction on-chain
+// (rather than acting on locally-observed proofs) is what makes the
+// exclusion deterministic across correct nodes and across restarts: the
+// chain is the single agreed source, so replaying it reproduces the same
+// conviction set.
+package evidence
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// Equivocation proves that a proposer signed two different headers for the
+// same proposal slot — the same (instance, round, parent block): an offense
+// only the key holder can commit. The pair is kept in canonical order (A's
+// header hash < B's) so the same offense always serializes to the same
+// bytes.
+//
+// The parent (PrevHash) is part of the slot on purpose: a *correct*
+// FireLedger proposer may sign two different headers for the same round —
+// its first proposal can be rescinded by the recovery procedure and the
+// round redone on an adopted chain — so "same round, different hash" alone
+// convicts the innocent. What a correct node never does (the consensus
+// layer memoizes its proposals per slot, see core.Instance.buildBlock) is
+// sign two different blocks extending the same parent at the same round.
+// The §7.4.2 split-equivocator does exactly that, and is caught.
+type Equivocation struct {
+	A, B types.SignedHeader
+}
+
+// NewEquivocation builds a canonical Equivocation from two conflicting
+// signed headers (in either order).
+func NewEquivocation(x, y types.SignedHeader) Equivocation {
+	hx, hy := x.Header.Hash(), y.Header.Hash()
+	for i := range hx {
+		if hx[i] < hy[i] {
+			return Equivocation{A: x, B: y}
+		}
+		if hx[i] > hy[i] {
+			return Equivocation{A: y, B: x}
+		}
+	}
+	return Equivocation{A: x, B: y} // equal hashes: Verify will reject
+}
+
+// Culprit returns the node the proof convicts.
+func (p *Equivocation) Culprit() flcrypto.NodeID { return p.A.Header.Proposer }
+
+// Instance returns the worker chain the offense happened on.
+func (p *Equivocation) Instance() uint32 { return p.A.Header.Instance }
+
+// Round returns the round the offense happened in.
+func (p *Equivocation) Round() uint64 { return p.A.Header.Round }
+
+// ErrInvalidEquivocation reports a proof that fails verification.
+var ErrInvalidEquivocation = errors.New("evidence: invalid equivocation proof")
+
+// Verify checks the proof: both headers are correctly signed by the same
+// proposer, for the same instance and round, and differ.
+func (p *Equivocation) Verify(reg *flcrypto.Registry) error {
+	a, b := p.A.Header, p.B.Header
+	if a.Instance != b.Instance || a.Round != b.Round || a.Proposer != b.Proposer || a.PrevHash != b.PrevHash {
+		return fmt.Errorf("%w: headers do not describe the same proposal slot", ErrInvalidEquivocation)
+	}
+	if a.Round == 0 {
+		return fmt.Errorf("%w: genesis cannot be equivocated", ErrInvalidEquivocation)
+	}
+	if a.Hash() == b.Hash() {
+		return fmt.Errorf("%w: headers are identical", ErrInvalidEquivocation)
+	}
+	if !p.A.Verify(reg) || !p.B.Verify(reg) {
+		return fmt.Errorf("%w: bad signature", ErrInvalidEquivocation)
+	}
+	return nil
+}
+
+// Encode appends the proof to e.
+func (p *Equivocation) Encode(e *types.Encoder) {
+	p.A.Encode(e)
+	p.B.Encode(e)
+}
+
+// DecodeEquivocation reads a proof from d.
+func DecodeEquivocation(d *types.Decoder) Equivocation {
+	var p Equivocation
+	p.A = types.DecodeSignedHeader(d)
+	p.B = types.DecodeSignedHeader(d)
+	return p
+}
+
+// Marshal returns the standalone encoding.
+func (p *Equivocation) Marshal() []byte {
+	e := types.NewEncoder(384)
+	p.Encode(e)
+	return e.Bytes()
+}

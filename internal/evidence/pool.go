@@ -1,0 +1,190 @@
+package evidence
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// Record is one culprit's entry in a Pool.
+type Record struct {
+	// Culprit is the convicted node.
+	Culprit flcrypto.NodeID
+	// Proof is the verified equivocation.
+	Proof Equivocation
+	// OnChain reports whether a conviction transaction for this culprit has
+	// reached a definite block.
+	OnChain bool
+	// ChainRound is the definite round whose block carries the conviction
+	// (0 until OnChain). The consensus layer derives the exclusion's
+	// effective round from it.
+	ChainRound uint64
+}
+
+// Pool is one node's evidence ledger for one worker chain. It verifies and
+// deduplicates observed equivocations (at most one record per culprit — one
+// proof suffices to convict) and tracks which convictions have made it onto
+// the chain. All methods are safe for concurrent use.
+type Pool struct {
+	reg *flcrypto.Registry
+
+	mu        sync.Mutex
+	records   map[flcrypto.NodeID]*Record
+	onObserve func(Record)
+	onChain   func(Record)
+}
+
+// NewPool creates an empty pool verifying against reg.
+func NewPool(reg *flcrypto.Registry) *Pool {
+	return &Pool{reg: reg, records: make(map[flcrypto.NodeID]*Record)}
+}
+
+// SetHooks installs observability callbacks: onObserve fires when a new
+// culprit's proof is first verified locally, onChain when its conviction
+// reaches a definite block. Either may be nil. Callbacks run synchronously
+// under the caller's goroutine and must not re-enter the pool.
+func (p *Pool) SetHooks(onObserve, onChain func(Record)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onObserve = onObserve
+	p.onChain = onChain
+}
+
+// Observe verifies and records an equivocation. It reports whether the proof
+// was new (first verified offense by this culprit). Invalid proofs are
+// dropped and reported as not new.
+func (p *Pool) Observe(eq Equivocation) bool {
+	if eq.Verify(p.reg) != nil {
+		return false
+	}
+	p.mu.Lock()
+	if _, dup := p.records[eq.Culprit()]; dup {
+		p.mu.Unlock()
+		return false
+	}
+	rec := &Record{Culprit: eq.Culprit(), Proof: eq}
+	p.records[eq.Culprit()] = rec
+	cb := p.onObserve
+	snap := *rec
+	p.mu.Unlock()
+	if cb != nil {
+		cb(snap)
+	}
+	return true
+}
+
+// ObservePair is Observe on two conflicting signed headers (any order).
+func (p *Pool) ObservePair(x, y types.SignedHeader) bool {
+	return p.Observe(NewEquivocation(x, y))
+}
+
+// MarkOnChain records that a conviction transaction for culprit sits in the
+// definite block at round. The first call wins; later sightings of duplicate
+// conviction transactions are ignored.
+func (p *Pool) MarkOnChain(culprit flcrypto.NodeID, round uint64) {
+	p.mu.Lock()
+	rec := p.records[culprit]
+	if rec == nil || rec.OnChain {
+		p.mu.Unlock()
+		return
+	}
+	rec.OnChain = true
+	rec.ChainRound = round
+	cb := p.onChain
+	snap := *rec
+	p.mu.Unlock()
+	if cb != nil {
+		cb(snap)
+	}
+}
+
+// adoptFromChain records a conviction seen on the chain (possibly a proof
+// this node never observed directly, embedded by another node). It reports
+// whether the culprit was newly marked on-chain.
+func (p *Pool) adoptFromChain(eq Equivocation, round uint64) bool {
+	if eq.Verify(p.reg) != nil {
+		return false
+	}
+	p.mu.Lock()
+	rec := p.records[eq.Culprit()]
+	if rec == nil {
+		rec = &Record{Culprit: eq.Culprit(), Proof: eq}
+		p.records[eq.Culprit()] = rec
+	}
+	if rec.OnChain {
+		p.mu.Unlock()
+		return false
+	}
+	rec.OnChain = true
+	rec.ChainRound = round
+	cb := p.onChain
+	snap := *rec
+	p.mu.Unlock()
+	if cb != nil {
+		cb(snap)
+	}
+	return true
+}
+
+// IngestBlockTx processes one transaction from a definite block at `round`:
+// if it is a valid conviction, the pool records it (adopting proofs this
+// node had not seen) and reports the culprit, with true exactly when the
+// culprit was newly marked on-chain (duplicates in later blocks are inert).
+// The consensus layer calls this for every transaction of every definite
+// block, in order.
+func (p *Pool) IngestBlockTx(tx types.Transaction, round uint64) (flcrypto.NodeID, bool) {
+	eq, ok := ParseConvictionTx(tx)
+	if !ok {
+		return 0, false
+	}
+	if eq.Verify(p.reg) != nil {
+		return 0, false
+	}
+	return eq.Culprit(), p.adoptFromChain(eq, round)
+}
+
+// PendingTxs returns conviction transactions (at most max) for culprits
+// whose proof has not yet been seen on-chain, in ascending culprit order so
+// all nodes emit the same bytes. Block proposers prepend these to their
+// batches.
+func (p *Pool) PendingTxs(max int) []types.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var culprits []flcrypto.NodeID
+	for id, rec := range p.records {
+		if !rec.OnChain {
+			culprits = append(culprits, id)
+		}
+	}
+	sort.Slice(culprits, func(i, j int) bool { return culprits[i] < culprits[j] })
+	if max > 0 && len(culprits) > max {
+		culprits = culprits[:max]
+	}
+	txs := make([]types.Transaction, 0, len(culprits))
+	for _, id := range culprits {
+		txs = append(txs, ConvictionTx(p.records[id].Proof))
+	}
+	return txs
+}
+
+// Convicted reports whether culprit has a verified record (on-chain or not).
+func (p *Pool) Convicted(culprit flcrypto.NodeID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.records[culprit]
+	return ok
+}
+
+// Records returns a snapshot of all records, ordered by culprit.
+func (p *Pool) Records() []Record {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Record, 0, len(p.records))
+	for _, rec := range p.records {
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Culprit < out[j].Culprit })
+	return out
+}

@@ -1,0 +1,44 @@
+package evidence
+
+import "repro/internal/types"
+
+// SystemClient is the reserved client identity of conviction transactions.
+// Application clients must not use it; the consensus layer recognizes
+// transactions with this Client as conviction proofs and interprets their
+// payload as a marshaled Equivocation.
+const SystemClient uint64 = 0xF1_7E_1E_D6_E5_00_00_01
+
+// txMagic opens every conviction payload, so a random application payload
+// that happens to use SystemClient is still rejected by ParseConvictionTx.
+var txMagic = []byte("fireledger/conviction/v1")
+
+// ConvictionTx wraps a proof as a transaction a proposer can embed in its
+// next block. The Seq field carries the offense round, making (Client, Seq,
+// Payload) stable for identical offenses: any two correct nodes that
+// observed the same equivocation emit byte-identical transactions.
+func ConvictionTx(p Equivocation) types.Transaction {
+	body := p.Marshal()
+	payload := make([]byte, 0, len(txMagic)+len(body))
+	payload = append(payload, txMagic...)
+	payload = append(payload, body...)
+	return types.Transaction{Client: SystemClient, Seq: p.Round(), Payload: payload}
+}
+
+// ParseConvictionTx recognizes and decodes a conviction transaction. It does
+// not verify signatures — callers pass the result to Equivocation.Verify.
+func ParseConvictionTx(tx types.Transaction) (Equivocation, bool) {
+	if tx.Client != SystemClient || len(tx.Payload) < len(txMagic) {
+		return Equivocation{}, false
+	}
+	for i, c := range txMagic {
+		if tx.Payload[i] != c {
+			return Equivocation{}, false
+		}
+	}
+	d := types.NewDecoder(tx.Payload[len(txMagic):])
+	p := DecodeEquivocation(d)
+	if d.Finish() != nil {
+		return Equivocation{}, false
+	}
+	return p, true
+}

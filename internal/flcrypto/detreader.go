@@ -1,0 +1,41 @@
+package flcrypto
+
+import "crypto/sha256"
+
+// DeterministicReader is an io.Reader producing a reproducible pseudo-random
+// stream from a seed (SHA-256 in counter mode). It exists so that every
+// process of a demo cluster can derive the same key set from a shared seed
+// (cmd/fireledger's -seed flag). It is NOT cryptographically appropriate for
+// production keys: anyone who knows the seed knows every private key.
+type DeterministicReader struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+// NewDeterministicReader creates a reader for the given seed string.
+func NewDeterministicReader(seed string) *DeterministicReader {
+	return &DeterministicReader{seed: sha256.Sum256([]byte(seed))}
+}
+
+// Read fills p with the next stream bytes. It never fails.
+func (r *DeterministicReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(r.buf) == 0 {
+			h := sha256.New()
+			h.Write(r.seed[:])
+			var ctr [8]byte
+			for i := 0; i < 8; i++ {
+				ctr[i] = byte(r.counter >> (8 * i))
+			}
+			h.Write(ctr[:])
+			r.counter++
+			r.buf = h.Sum(nil)
+		}
+		c := copy(p[n:], r.buf)
+		r.buf = r.buf[c:]
+		n += c
+	}
+	return n, nil
+}

@@ -1,0 +1,118 @@
+package flcrypto
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// NodeID identifies a participant in the permissioned cluster. Nodes are
+// numbered 0..n-1; the paper's rotating proposer is (round mod n) over a
+// permutation of these IDs.
+type NodeID int
+
+// Registry is the PKI assumed by permissioned blockchains (§3.1): every node
+// knows every other node's verification key. It also carries each node's own
+// signing key when it belongs to that node.
+type Registry struct {
+	mu   sync.RWMutex
+	pubs map[NodeID]PublicKey
+	n    int
+}
+
+// NewRegistry creates an empty registry sized for n nodes.
+func NewRegistry(n int) *Registry {
+	return &Registry{pubs: make(map[NodeID]PublicKey, n), n: n}
+}
+
+// N returns the cluster size the registry was built for.
+func (r *Registry) N() int { return r.n }
+
+// F returns the maximum number of Byzantine nodes tolerated, ⌊(n−1)/3⌋,
+// per the f < n/3 bound of §3.1.
+func (r *Registry) F() int { return (r.n - 1) / 3 }
+
+// Register associates id with its public key. Re-registration replaces the
+// key; permissioned membership changes are out of the paper's scope but the
+// registry does not preclude them.
+func (r *Registry) Register(id NodeID, pub PublicKey) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pubs[id] = pub
+}
+
+// PublicKey returns the verification key of id, or nil if unknown.
+func (r *Registry) PublicKey(id NodeID) PublicKey {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.pubs[id]
+}
+
+// Verify checks sig over msg against id's registered key.
+func (r *Registry) Verify(id NodeID, msg []byte, sig Signature) bool {
+	pub := r.PublicKey(id)
+	return pub != nil && pub.Verify(msg, sig)
+}
+
+// KeySet bundles a full cluster's private keys with the shared registry.
+// It is a test-and-simulation convenience: real deployments load only their
+// own private key (see cmd/fireledger).
+type KeySet struct {
+	Registry *Registry
+	Privs    []PrivateKey
+}
+
+// GenerateKeySet creates keys for n nodes under one registry. rnd may be nil
+// for crypto/rand. Deterministic test setups pass a seeded reader.
+func GenerateKeySet(n int, scheme Scheme, rnd io.Reader) (*KeySet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flcrypto: key set size %d", n)
+	}
+	ks := &KeySet{Registry: NewRegistry(n), Privs: make([]PrivateKey, n)}
+	for i := 0; i < n; i++ {
+		priv, err := GenerateKey(scheme, rnd)
+		if err != nil {
+			return nil, err
+		}
+		ks.Privs[i] = priv
+		ks.Registry.Register(NodeID(i), priv.Public())
+	}
+	return ks, nil
+}
+
+// MustGenerateKeySet is GenerateKeySet that panics on error, for tests and
+// examples where key generation cannot reasonably fail.
+func MustGenerateKeySet(n int, scheme Scheme) *KeySet {
+	ks, err := GenerateKeySet(n, scheme, nil)
+	if err != nil {
+		panic(err)
+	}
+	return ks
+}
+
+// Permutation derives a pseudo-random proposer permutation of 0..n-1 from a
+// seed hash, implementing the §6.1.1 defense against consecutive Byzantine
+// proposers. The seed is a decided block's hash, which a static adversary
+// cannot predict when choosing its position; this substitutes for the VRF
+// the paper cites (Algorand-style) while remaining deterministic across
+// correct nodes.
+func Permutation(seed Hash, epoch uint64, n int) []NodeID {
+	h := NewHasher()
+	h.Write(seed[:])
+	h.WriteUint64(epoch)
+	d := h.Sum()
+	// Seed a PRNG from the digest; all correct nodes derive the same
+	// permutation because they agree on the seed block.
+	var s int64
+	for i := 0; i < 8; i++ {
+		s = s<<8 | int64(d[i])
+	}
+	rng := rand.New(rand.NewSource(s))
+	perm := make([]NodeID, n)
+	for i := range perm {
+		perm[i] = NodeID(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}

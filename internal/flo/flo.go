@@ -1,0 +1,416 @@
+// Package flo implements the FireLedger Orchestrator of paper §6.2: each
+// node runs ω FireLedger worker instances as a blockchain-based ordering
+// service, a client manager that routes each write to the least-loaded
+// worker, and a round-robin merger that delivers the workers' definite
+// blocks in one global order. All workers share a single transport endpoint
+// and a single PBFT replica (the paper likewise shares one BFT-SMaRt
+// instance across workers, Fig 3).
+package flo
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evidence"
+	"repro/internal/flcrypto"
+	"repro/internal/obbc"
+	"repro/internal/pbft"
+	"repro/internal/rbroadcast"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/workload"
+	"repro/internal/wrb"
+)
+
+// Protocol-ID layout on the shared mux: PBFT gets a fixed tag, and each
+// worker w claims a contiguous block of five tags.
+const (
+	protoPBFT transport.ProtoID = 1
+	// protoWorkerBase + 5*w + {0,1,2,3,4} = WRB, OBBC, RB, data, gossip of
+	// worker w.
+	protoWorkerBase transport.ProtoID = 8
+	protosPerWorker                   = 5
+)
+
+// MaxWorkers bounds ω by the 8-bit protocol-ID space.
+const MaxWorkers = 48
+
+// Config assembles one FLO node.
+type Config struct {
+	// Endpoint is the node's transport attachment (chan or TCP).
+	Endpoint transport.Endpoint
+	// Registry and Priv identify the node.
+	Registry *flcrypto.Registry
+	Priv     flcrypto.PrivateKey
+	// Workers is the paper's ω (default 1).
+	Workers int
+	// BatchSize is the paper's β (default 100).
+	BatchSize int
+	// Saturate installs the §7.2 load model: every proposal is a full
+	// block of fresh random Saturate-byte transactions (σ). When false,
+	// transactions come from client pools via Submit.
+	Saturate int
+	// Deliver receives the merged, definite, globally-ordered blocks
+	// (event E of Fig 9). May be nil.
+	Deliver func(worker uint32, blk types.Block)
+	// OnEvent receives per-worker lifecycle events (Fig 9). May be nil.
+	OnEvent func(worker uint32, round uint64, ev core.Event)
+	// Equivocate makes every worker a §7.4.2 Byzantine split-proposer.
+	Equivocate bool
+	// DisablePiggyback ablates the §5.1 next-block piggyback (see
+	// core.Config.DisablePiggyback).
+	DisablePiggyback bool
+	// EpochLen, FDThreshold, MaxPending pass through to core.Config.
+	EpochLen    uint64
+	FDThreshold int
+	MaxPending  int
+	// InitialTimer seeds the WRB adaptive timer (default 50ms).
+	InitialTimer time.Duration
+	// ViewTimeout is the PBFT leader-failure timeout (default 400ms).
+	ViewTimeout time.Duration
+	// LeaseTimeout for client pools (default 5s).
+	LeaseTimeout time.Duration
+	// DataDir, when set, persists each worker's definite chain to
+	// DataDir/w<N>.log and resumes from it on restart (internal/store).
+	DataDir string
+	// SyncWrites fsyncs every persisted block (durable, slower).
+	SyncWrites bool
+	// EnableEvidence activates the accountability path: each worker keeps
+	// an evidence pool, records equivocation proofs it observes, and embeds
+	// pending convictions in its block proposals (see internal/evidence).
+	EnableEvidence bool
+	// ExcludeConvicted additionally removes convicted nodes from the
+	// proposer rotation once their conviction is on-chain (implies
+	// EnableEvidence-style scanning of definite blocks). All nodes of a
+	// deployment must agree on this setting.
+	ExcludeConvicted bool
+	// OnConviction, when set (requires EnableEvidence), fires when worker
+	// w's pool sees a conviction reach a definite block.
+	OnConviction func(w uint32, rec evidence.Record)
+	// GossipBodies disseminates block bodies by push-gossip instead of the
+	// clique overlay (§7.2.2); GossipFanout tunes the branching (default 3).
+	GossipBodies bool
+	GossipFanout int
+	// CompressBodies DEFLATE-frames body payloads on the data path — the
+	// paper's recommendation for large transactions (Conclusions, §7.6).
+	CompressBodies bool
+	// CompressibleLoad makes the saturating load model emit compressible
+	// text payloads instead of random bytes (for compression experiments).
+	CompressibleLoad bool
+}
+
+// Node is one FLO participant.
+type Node struct {
+	cfg Config
+	id  flcrypto.NodeID
+	mux *transport.Mux
+
+	replica *pbft.Replica
+	workers []*core.Instance
+	obbcs   []*obbc.Service
+	pools   []*workload.Pool
+	sats    []*workload.SaturatingSource
+	logs    []*store.BlockLog
+	evpools []*evidence.Pool
+
+	merger *merger
+
+	subMu sync.RWMutex
+	subs  []func(uint32, types.Block)
+
+	stopOnce sync.Once
+}
+
+// SubscribeDeliver registers an additional consumer of the merged definite
+// block stream (alongside Config.Deliver). Subscribers run synchronously in
+// delivery order and must not block; register before Start.
+func (n *Node) SubscribeDeliver(fn func(worker uint32, blk types.Block)) {
+	n.subMu.Lock()
+	n.subs = append(n.subs, fn)
+	n.subMu.Unlock()
+}
+
+// NewNode wires a node; call Start to run it.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > MaxWorkers {
+		return nil, fmt.Errorf("flo: %d workers exceed the protocol-ID space (max %d)", cfg.Workers, MaxWorkers)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 100
+	}
+	n := &Node{cfg: cfg, id: cfg.Endpoint.ID(), mux: transport.NewMux(cfg.Endpoint)}
+	n.merger = newMerger(cfg.Workers, func(w uint32, blk types.Block) {
+		if cfg.Deliver != nil {
+			cfg.Deliver(w, blk)
+		}
+		n.subMu.RLock()
+		subs := n.subs
+		n.subMu.RUnlock()
+		for _, fn := range subs {
+			fn(w, blk)
+		}
+	})
+
+	// Shared PBFT replica: the ordering substrate for OBBC fallbacks and
+	// recovery versions, demultiplexed by request tag.
+	n.replica = pbft.NewReplica(pbft.Config{
+		Mux:         n.mux,
+		Proto:       protoPBFT,
+		Registry:    cfg.Registry,
+		Priv:        cfg.Priv,
+		ViewTimeout: cfg.ViewTimeout,
+		Deliver:     n.onOrdered,
+	})
+
+	for w := 0; w < cfg.Workers; w++ {
+		if err := n.addWorker(uint32(w)); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func (n *Node) addWorker(w uint32) error {
+	base := protoWorkerBase + transport.ProtoID(protosPerWorker*w)
+	cfg := n.cfg
+
+	wrbSvc := wrb.New(wrb.Config{
+		Mux:          n.mux,
+		Proto:        base,
+		Registry:     cfg.Registry,
+		InitialTimer: cfg.InitialTimer,
+	})
+	obbcSvc := obbc.New(obbc.Config{
+		Mux:           n.mux,
+		Proto:         base + 1,
+		Instance:      w,
+		Registry:      cfg.Registry,
+		Priv:          cfg.Priv,
+		SubmitAB:      n.replica.Submit,
+		ValidEvidence: wrbSvc.ValidEvidence,
+		Evidence:      wrbSvc.EvidenceFor,
+		OnPgd:         wrbSvc.OnPgd,
+	})
+	wrbSvc.BindOBBC(obbcSvc)
+
+	var pool core.TxSource
+	if cfg.Saturate > 0 {
+		sat := workload.NewSaturatingSource(cfg.Saturate, uint64(n.id)*1000+uint64(w), int64(n.id)*striding+int64(w))
+		sat.SetCompressible(cfg.CompressibleLoad)
+		n.sats = append(n.sats, sat)
+		pool = sat
+	} else {
+		p := workload.NewPool(cfg.LeaseTimeout)
+		n.pools = append(n.pools, p)
+		pool = p
+	}
+
+	var preload []types.Block
+	var persist func(types.Block) error
+	if cfg.DataDir != "" {
+		log, replayed, err := store.Open(
+			filepath.Join(cfg.DataDir, fmt.Sprintf("w%d.log", w)),
+			store.Options{Registry: cfg.Registry, Instance: w, Sync: cfg.SyncWrites})
+		if err != nil {
+			return fmt.Errorf("flo: worker %d store: %w", w, err)
+		}
+		preload = replayed
+		persist = log.Append
+		n.logs = append(n.logs, log)
+	}
+
+	var evpool *evidence.Pool
+	if cfg.EnableEvidence || cfg.ExcludeConvicted {
+		evpool = evidence.NewPool(cfg.Registry)
+		if cfg.OnConviction != nil {
+			onConv := cfg.OnConviction
+			evpool.SetHooks(nil, func(rec evidence.Record) { onConv(w, rec) })
+		}
+	}
+	n.evpools = append(n.evpools, evpool)
+
+	inst := core.New(core.Config{
+		Instance:         w,
+		Mux:              n.mux,
+		Registry:         cfg.Registry,
+		Priv:             cfg.Priv,
+		WRB:              wrbSvc,
+		OBBC:             obbcSvc,
+		DataProto:        base + 3,
+		SubmitAB:         n.replica.Submit,
+		Pool:             pool,
+		BatchSize:        cfg.BatchSize,
+		EpochLen:         cfg.EpochLen,
+		FDThreshold:      cfg.FDThreshold,
+		Equivocate:       cfg.Equivocate,
+		MaxPending:       cfg.MaxPending,
+		DisablePiggyback: cfg.DisablePiggyback,
+		Evidence:         evpool,
+		ExcludeConvicted: cfg.ExcludeConvicted,
+		UseGossip:        cfg.GossipBodies,
+		GossipProto:      base + 4,
+		GossipFanout:     cfg.GossipFanout,
+		CompressBodies:   cfg.CompressBodies,
+		Preload:          preload,
+		Persist:          persist,
+		OnDecide:         n.merger.enqueue(w),
+		OnEvent: func(round uint64, ev core.Event) {
+			if cfg.OnEvent != nil {
+				cfg.OnEvent(w, round, ev)
+			}
+		},
+	})
+	// The reliable-broadcast channel for panic proofs.
+	rbSvc := rbroadcast.New(n.mux, base+2, func(origin flcrypto.NodeID, seq uint64, payload []byte) {
+		inst.OnPanic(origin, seq, payload)
+	})
+	inst.BindRB(rbSvc)
+
+	n.workers = append(n.workers, inst)
+	n.obbcs = append(n.obbcs, obbcSvc)
+	return nil
+}
+
+const striding = 7919 // distinct RNG seeds per node
+
+// onOrdered routes each atomically-ordered request to its consumer: an OBBC
+// fallback instance or a worker's recovery tracker.
+func (n *Node) onOrdered(_ uint64, batch [][]byte) {
+	for _, req := range batch {
+		routed := false
+		for _, o := range n.obbcs {
+			if o.HandleOrdered(req) {
+				routed = true
+				break
+			}
+		}
+		if routed {
+			continue
+		}
+		for _, w := range n.workers {
+			if w.HandleOrdered(req) {
+				break
+			}
+		}
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() flcrypto.NodeID { return n.id }
+
+// Start launches the transport, the PBFT replica, and all workers.
+func (n *Node) Start() {
+	n.mux.Start()
+	n.replica.Start()
+	for _, w := range n.workers {
+		w.Start()
+	}
+}
+
+// Stop shuts the node down.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		for _, w := range n.workers {
+			w.Stop()
+		}
+		for _, o := range n.obbcs {
+			o.Stop()
+		}
+		n.replica.Stop()
+		n.mux.Stop()
+		for _, log := range n.logs {
+			log.Close()
+		}
+	})
+}
+
+// Submit routes a client write to the least-loaded worker's pool (§6.2).
+// It errors when the node runs the saturating load model.
+func (n *Node) Submit(tx types.Transaction) error {
+	if len(n.pools) == 0 {
+		return fmt.Errorf("flo: node runs the saturating load model; Submit is for client pools")
+	}
+	best := 0
+	bestLoad := int(^uint(0) >> 1)
+	for i, p := range n.pools {
+		if load := p.Pending(); load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	n.pools[best].Add(tx)
+	return nil
+}
+
+// Worker exposes worker w's core instance (chain access, metrics).
+func (n *Node) Worker(w int) *core.Instance { return n.workers[w] }
+
+// Workers returns ω.
+func (n *Node) Workers() int { return len(n.workers) }
+
+// Replica exposes the shared PBFT replica (metrics).
+func (n *Node) Replica() *pbft.Replica { return n.replica }
+
+// OBBCMetrics exposes worker w's OBBC fast-path/fallback counters.
+func (n *Node) OBBCMetrics(w int) *obbc.Metrics { return n.obbcs[w].Metrics() }
+
+// EvidencePool exposes worker w's evidence pool (nil unless EnableEvidence
+// or ExcludeConvicted is set).
+func (n *Node) EvidencePool(w int) *evidence.Pool { return n.evpools[w] }
+
+// DeliveredBlocks reports how many merged blocks this node has delivered.
+func (n *Node) DeliveredBlocks() uint64 { return n.merger.delivered.Load() }
+
+// DeliveredTxs reports how many transactions the merged log contains.
+func (n *Node) DeliveredTxs() uint64 { return n.merger.txs.Load() }
+
+// merger implements §6.2's pre-defined-order collection: the k-th delivery
+// cycle emits each worker's k-th definite block, worker 0 first. A single
+// slow worker therefore delays the merged log — exactly the latency effect
+// the paper discusses.
+type merger struct {
+	mu        sync.Mutex
+	queues    [][]types.Block
+	cursor    int // next worker to emit from
+	deliver   func(uint32, types.Block)
+	delivered atomic.Uint64
+	txs       atomic.Uint64
+}
+
+func newMerger(workers int, deliver func(uint32, types.Block)) *merger {
+	return &merger{queues: make([][]types.Block, workers), deliver: deliver}
+}
+
+// enqueue returns worker w's OnDecide callback.
+func (m *merger) enqueue(w uint32) func(types.Block) {
+	return func(blk types.Block) {
+		m.mu.Lock()
+		m.queues[w] = append(m.queues[w], blk)
+		var ready []struct {
+			w   uint32
+			blk types.Block
+		}
+		for len(m.queues[m.cursor]) > 0 {
+			next := m.queues[m.cursor][0]
+			m.queues[m.cursor] = m.queues[m.cursor][1:]
+			ready = append(ready, struct {
+				w   uint32
+				blk types.Block
+			}{uint32(m.cursor), next})
+			m.cursor = (m.cursor + 1) % len(m.queues)
+		}
+		m.mu.Unlock()
+		for _, r := range ready {
+			m.delivered.Add(1)
+			m.txs.Add(uint64(len(r.blk.Body.Txs)))
+			m.deliver(r.w, r.blk)
+		}
+	}
+}

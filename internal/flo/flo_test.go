@@ -1,0 +1,314 @@
+package flo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+type cluster struct {
+	t     *testing.T
+	ks    *flcrypto.KeySet
+	net   *transport.ChanNetwork
+	nodes []*Node
+}
+
+func newCluster(t *testing.T, n int, tweak func(i int, cfg *Config)) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:   t,
+		ks:  flcrypto.MustGenerateKeySet(n, flcrypto.Ed25519),
+		net: transport.NewChanNetwork(transport.ChanConfig{N: n}),
+	}
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Endpoint:     c.net.Endpoint(flcrypto.NodeID(i)),
+			Registry:     c.ks.Registry,
+			Priv:         c.ks.Privs[i],
+			Workers:      1,
+			BatchSize:    10,
+			Saturate:     64,
+			InitialTimer: 50 * time.Millisecond,
+			ViewTimeout:  300 * time.Millisecond,
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	for _, node := range c.nodes {
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, node := range c.nodes {
+			node.Stop()
+		}
+		c.net.Close()
+	})
+	return c
+}
+
+// waitDefinite blocks until every node in `who` has at least `rounds`
+// definite rounds on worker w.
+func (c *cluster) waitDefinite(who []int, w int, rounds uint64, timeout time.Duration) {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		for _, i := range who {
+			if c.nodes[i].Worker(w).Chain().Definite() < rounds {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			var have []uint64
+			for _, i := range who {
+				have = append(have, c.nodes[i].Worker(w).Chain().Definite())
+			}
+			c.t.Fatalf("timed out waiting for %d definite rounds; have %v", rounds, have)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// checkAgreement verifies BBFC-Agreement: the definite prefixes of all
+// listed nodes are identical, and each chain passes the audit oracle.
+func (c *cluster) checkAgreement(who []int, w int) {
+	c.t.Helper()
+	minDef := ^uint64(0)
+	for _, i := range who {
+		if d := c.nodes[i].Worker(w).Chain().Definite(); d < minDef {
+			minDef = d
+		}
+	}
+	for r := uint64(1); r <= minDef; r++ {
+		base, ok := c.nodes[who[0]].Worker(w).Chain().HeaderAt(r)
+		if !ok {
+			c.t.Fatalf("node %d missing definite round %d", who[0], r)
+		}
+		for _, i := range who[1:] {
+			hdr, ok := c.nodes[i].Worker(w).Chain().HeaderAt(r)
+			if !ok || hdr.Hash() != base.Hash() {
+				c.t.Fatalf("definite round %d differs between nodes %d and %d", r, who[0], i)
+			}
+		}
+	}
+	for _, i := range who {
+		if err := c.nodes[i].Worker(w).Chain().Audit(c.ks.Registry); err != nil {
+			c.t.Fatalf("node %d chain audit: %v", i, err)
+		}
+	}
+}
+
+func nodeIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestFLOHappyPath(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	c.waitDefinite(nodeIDs(4), 0, 10, 20*time.Second)
+	c.checkAgreement(nodeIDs(4), 0)
+	// Throughput sanity: definite blocks are full (saturating source).
+	blk, ok := c.nodes[0].Worker(0).Chain().BlockAt(3)
+	if !ok {
+		t.Fatal("missing block 3")
+	}
+	if len(blk.Body.Txs) != 10 {
+		t.Fatalf("block has %d txs, want full batch of 10", len(blk.Body.Txs))
+	}
+	// Merged delivery is flowing.
+	if c.nodes[1].DeliveredBlocks() == 0 {
+		t.Fatal("merger delivered nothing")
+	}
+}
+
+func TestFLOProposerRotation(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	c.waitDefinite(nodeIDs(4), 0, 8, 20*time.Second)
+	// Lemma 5.3.2: every f+1=2 consecutive blocks have distinct proposers;
+	// over 8 rounds of round-robin all 4 nodes must have proposed.
+	seen := make(map[flcrypto.NodeID]bool)
+	for r := uint64(1); r <= 8; r++ {
+		hdr, ok := c.nodes[0].Worker(0).Chain().HeaderAt(r)
+		if !ok {
+			t.Fatalf("missing round %d", r)
+		}
+		seen[hdr.Proposer] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d distinct proposers in 8 rounds", len(seen))
+	}
+}
+
+func TestFLOMultiWorker(t *testing.T) {
+	c := newCluster(t, 4, func(i int, cfg *Config) { cfg.Workers = 3 })
+	for w := 0; w < 3; w++ {
+		c.waitDefinite(nodeIDs(4), w, 5, 30*time.Second)
+		c.checkAgreement(nodeIDs(4), w)
+	}
+	// The merged log interleaves workers round-robin.
+	if got := c.nodes[0].DeliveredBlocks(); got < 15 {
+		t.Fatalf("merged deliveries = %d, want >= 15", got)
+	}
+}
+
+func TestFLOClientPoolNonTriviality(t *testing.T) {
+	// Client-submitted transactions must reach definite non-empty blocks
+	// (the Non-Triviality requirement of §3.3).
+	c := newCluster(t, 4, func(i int, cfg *Config) { cfg.Saturate = 0 })
+	const k = 50
+	for j := 0; j < k; j++ {
+		tx := types.Transaction{Client: 42, Seq: uint64(j + 1), Payload: []byte(fmt.Sprintf("op-%d", j))}
+		if err := c.nodes[j%4].Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var total uint64
+		for _, node := range c.nodes {
+			total = node.Worker(0).Metrics().DefiniteTxs.Load()
+			break
+		}
+		if total >= k {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d client txs finalized", total, k)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.checkAgreement(nodeIDs(4), 0)
+}
+
+func TestFLOCrashFailures(t *testing.T) {
+	// §7.4.1: crash f nodes mid-run; the rest keep finalizing blocks.
+	c := newCluster(t, 4, nil)
+	c.waitDefinite(nodeIDs(4), 0, 5, 20*time.Second)
+	c.net.Crash(3)
+	alive := []int{0, 1, 2}
+	base := c.nodes[0].Worker(0).Chain().Definite()
+	c.waitDefinite(alive, 0, base+10, 60*time.Second)
+	c.checkAgreement(alive, 0)
+}
+
+func TestFLOCrashTwoOfSeven(t *testing.T) {
+	c := newCluster(t, 7, nil)
+	c.waitDefinite(nodeIDs(7), 0, 4, 30*time.Second)
+	c.net.Crash(1)
+	c.net.Crash(5)
+	alive := []int{0, 2, 3, 4, 6}
+	base := c.nodes[0].Worker(0).Chain().Definite()
+	c.waitDefinite(alive, 0, base+8, 90*time.Second)
+	c.checkAgreement(alive, 0)
+}
+
+func TestFLOByzantineEquivocator(t *testing.T) {
+	// §7.4.2: node 3 sends different block versions to two halves of the
+	// cluster on its proposing turns. Correct nodes must detect the hash
+	// inconsistency, run the recovery procedure, and keep agreeing on the
+	// definite prefix.
+	c := newCluster(t, 4, func(i int, cfg *Config) {
+		if i == 3 {
+			cfg.Equivocate = true
+		}
+	})
+	correct := []int{0, 1, 2}
+	c.waitDefinite(correct, 0, 15, 120*time.Second)
+	c.checkAgreement(correct, 0)
+	// The equivocation must actually have been exercised: either a
+	// recovery ran somewhere, or every equivocating proposal failed
+	// delivery outright (nil rounds). Require at least one of the two
+	// observable effects.
+	var recoveries, nils uint64
+	for _, i := range correct {
+		m := c.nodes[i].Worker(0).Metrics()
+		recoveries += m.Recoveries.Load()
+		nils += m.NilRounds.Load()
+	}
+	if recoveries == 0 && nils == 0 {
+		t.Fatal("equivocator left no observable trace; behavior injection broken")
+	}
+}
+
+func TestFLOSevenWithEquivocators(t *testing.T) {
+	// n=7, f=2: two equivocating nodes.
+	c := newCluster(t, 7, func(i int, cfg *Config) {
+		if i >= 5 {
+			cfg.Equivocate = true
+		}
+	})
+	correct := []int{0, 1, 2, 3, 4}
+	c.waitDefinite(correct, 0, 10, 180*time.Second)
+	c.checkAgreement(correct, 0)
+}
+
+func TestFLODeliveredTxsCount(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	c.waitDefinite(nodeIDs(4), 0, 6, 20*time.Second)
+	if got := c.nodes[2].DeliveredTxs(); got == 0 {
+		t.Fatal("no transactions in merged log")
+	}
+}
+
+func TestFLOWorkersBound(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	net := transport.NewChanNetwork(transport.ChanConfig{N: 4})
+	defer net.Close()
+	_, err := NewNode(Config{
+		Endpoint: net.Endpoint(0),
+		Registry: ks.Registry,
+		Priv:     ks.Privs[0],
+		Workers:  MaxWorkers + 1,
+	})
+	if err == nil {
+		t.Fatal("worker bound not enforced")
+	}
+}
+
+func TestFLOEventsEmitted(t *testing.T) {
+	type evKey struct {
+		w  uint32
+		ev core.Event
+	}
+	events := make(chan evKey, 1024)
+	c := newCluster(t, 4, func(i int, cfg *Config) {
+		if i != 0 {
+			return
+		}
+		cfg.OnEvent = func(w uint32, round uint64, ev core.Event) {
+			select {
+			case events <- evKey{w, ev}:
+			default:
+			}
+		}
+	})
+	c.waitDefinite(nodeIDs(4), 0, 5, 20*time.Second)
+	seen := make(map[core.Event]bool)
+	deadline := time.After(2 * time.Second)
+	for len(seen) < 4 {
+		select {
+		case e := <-events:
+			seen[e.ev] = true
+		case <-deadline:
+			t.Fatalf("missing lifecycle events; saw %v", seen)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package gossip implements push-gossip payload dissemination over the
+// transport mux. The paper's prototype disseminates block bodies on a clique
+// overlay (every node unicasts to every other) and remarks that "other
+// methods (e.g., gossip) may improve the throughput but not the latency"
+// (§7.2.2); this package supplies that alternative so the trade-off can be
+// measured (see BenchmarkAblationGossip).
+//
+// The protocol is classic infect-and-forward: the origin pushes the payload
+// to Fanout random peers with a hop budget (TTL); every node seeing a
+// payload for the first time delivers it upward and forwards it to Fanout
+// more random peers with the budget decremented. Delivery is probabilistic
+// by design — FireLedger's data path keeps its pull-by-hash fallback, so a
+// node the rumor missed recovers the body on demand and only pays latency.
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+)
+
+// Config wires a Disseminator.
+type Config struct {
+	// Mux and Proto attach the rumor messages to the transport.
+	Mux   *transport.Mux
+	Proto transport.ProtoID
+	// Fanout is how many random peers each infection step pushes to
+	// (default 3).
+	Fanout int
+	// TTL is the forwarding hop budget (default: enough hops for
+	// Fanout^TTL ≥ 4n, so the rumor saturates the cluster with high
+	// probability).
+	TTL int
+	// Seed makes peer selection reproducible in tests (0 = node-derived).
+	Seed int64
+	// Deliver receives each payload exactly once, on the transport read
+	// goroutine; it must not block. The origin does not deliver to itself.
+	Deliver func(payload []byte)
+	// SeenLimit bounds the duplicate-suppression cache (default 8192
+	// payload hashes).
+	SeenLimit int
+}
+
+// Disseminator is one node's gossip endpoint.
+type Disseminator struct {
+	cfg   Config
+	id    flcrypto.NodeID
+	n     int
+	peers []flcrypto.NodeID
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seen  map[flcrypto.Hash]struct{}
+	order []flcrypto.Hash // FIFO eviction ring over seen
+	next  int
+
+	metrics Metrics
+}
+
+// Metrics counts gossip activity.
+type Metrics struct {
+	mu         sync.Mutex
+	originated int
+	forwarded  int
+	duplicates int
+	delivered  int
+}
+
+// Snapshot returns (originated, forwarded, duplicates, delivered).
+func (m *Metrics) Snapshot() (int, int, int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.originated, m.forwarded, m.duplicates, m.delivered
+}
+
+// New registers a Disseminator on cfg.Mux.
+func New(cfg Config) *Disseminator {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 3
+	}
+	n := cfg.Mux.N()
+	if cfg.TTL <= 0 {
+		// Smallest t with Fanout^t ≥ 4n.
+		budget := 1
+		for reach := cfg.Fanout; reach < 4*n; reach *= cfg.Fanout {
+			budget++
+		}
+		cfg.TTL = budget
+	}
+	if cfg.SeenLimit <= 0 {
+		cfg.SeenLimit = 8192
+	}
+	id := cfg.Mux.ID()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(id)*2654435761 + 12345
+	}
+	d := &Disseminator{
+		cfg:   cfg,
+		id:    id,
+		n:     n,
+		rng:   rand.New(rand.NewSource(seed)),
+		seen:  make(map[flcrypto.Hash]struct{}, cfg.SeenLimit),
+		order: make([]flcrypto.Hash, cfg.SeenLimit),
+	}
+	for i := 0; i < n; i++ {
+		if p := flcrypto.NodeID(i); p != id {
+			d.peers = append(d.peers, p)
+		}
+	}
+	cfg.Mux.Handle(cfg.Proto, d.onWire)
+	return d
+}
+
+// Metrics returns the endpoint's counters.
+func (d *Disseminator) Metrics() *Metrics { return &d.metrics }
+
+// Broadcast originates a rumor: the payload goes to Fanout random peers with
+// the full TTL. The origin itself is marked seen (it already has the data)
+// and does not self-deliver.
+func (d *Disseminator) Broadcast(payload []byte) error {
+	h := flcrypto.Sum256(payload)
+	d.mu.Lock()
+	d.markSeenLocked(h)
+	d.mu.Unlock()
+	d.metrics.mu.Lock()
+	d.metrics.originated++
+	d.metrics.mu.Unlock()
+	return d.push(payload, d.cfg.TTL)
+}
+
+// push sends the rumor with the given remaining hop budget to Fanout random
+// distinct peers.
+func (d *Disseminator) push(payload []byte, ttl int) error {
+	if ttl < 0 {
+		return nil
+	}
+	targets := d.pickPeers()
+	msg := make([]byte, 1+len(payload))
+	if ttl > 255 {
+		ttl = 255
+	}
+	msg[0] = byte(ttl)
+	copy(msg[1:], payload)
+	var firstErr error
+	for _, p := range targets {
+		if err := d.cfg.Mux.Send(d.cfg.Proto, p, msg); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("gossip: push to %d: %w", p, err)
+		}
+	}
+	return firstErr
+}
+
+// pickPeers draws Fanout distinct random peers (all peers when Fanout ≥ n−1).
+func (d *Disseminator) pickPeers() []flcrypto.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := d.cfg.Fanout
+	if k >= len(d.peers) {
+		return d.peers
+	}
+	idx := d.rng.Perm(len(d.peers))[:k]
+	out := make([]flcrypto.NodeID, k)
+	for i, j := range idx {
+		out[i] = d.peers[j]
+	}
+	return out
+}
+
+// markSeenLocked inserts h into the bounded duplicate-suppression cache.
+func (d *Disseminator) markSeenLocked(h flcrypto.Hash) {
+	if _, dup := d.seen[h]; dup {
+		return
+	}
+	// Evict the slot this insertion reuses (FIFO ring).
+	if old := d.order[d.next]; old != (flcrypto.Hash{}) {
+		delete(d.seen, old)
+	}
+	d.order[d.next] = h
+	d.next = (d.next + 1) % len(d.order)
+	d.seen[h] = struct{}{}
+}
+
+func (d *Disseminator) onWire(_ flcrypto.NodeID, buf []byte) {
+	if len(buf) < 1 {
+		return
+	}
+	ttl := int(buf[0])
+	payload := buf[1:]
+	h := flcrypto.Sum256(payload)
+	d.mu.Lock()
+	_, dup := d.seen[h]
+	if !dup {
+		d.markSeenLocked(h)
+	}
+	d.mu.Unlock()
+	if dup {
+		d.metrics.mu.Lock()
+		d.metrics.duplicates++
+		d.metrics.mu.Unlock()
+		return
+	}
+	d.metrics.mu.Lock()
+	d.metrics.delivered++
+	d.metrics.mu.Unlock()
+	if d.cfg.Deliver != nil {
+		d.cfg.Deliver(append([]byte(nil), payload...))
+	}
+	if ttl > 0 {
+		d.metrics.mu.Lock()
+		d.metrics.forwarded++
+		d.metrics.mu.Unlock()
+		d.push(payload, ttl-1)
+	}
+}

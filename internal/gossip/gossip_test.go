@@ -1,0 +1,242 @@
+package gossip
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+)
+
+const protoGossip transport.ProtoID = 30
+
+type mesh struct {
+	net     *transport.ChanNetwork
+	muxes   []*transport.Mux
+	dis     []*Disseminator
+	mu      sync.Mutex
+	gotByID map[int][][]byte
+}
+
+func newMesh(t *testing.T, n, fanout, ttl int) *mesh {
+	t.Helper()
+	m := &mesh{
+		net:     transport.NewChanNetwork(transport.ChanConfig{N: n}),
+		gotByID: make(map[int][][]byte),
+	}
+	for i := 0; i < n; i++ {
+		mux := transport.NewMux(m.net.Endpoint(flcrypto.NodeID(i)))
+		i := i
+		d := New(Config{
+			Mux:    mux,
+			Proto:  protoGossip,
+			Fanout: fanout,
+			TTL:    ttl,
+			Seed:   int64(i) + 1,
+			Deliver: func(payload []byte) {
+				m.mu.Lock()
+				m.gotByID[i] = append(m.gotByID[i], payload)
+				m.mu.Unlock()
+			},
+		})
+		mux.Start()
+		m.muxes = append(m.muxes, mux)
+		m.dis = append(m.dis, d)
+	}
+	t.Cleanup(func() {
+		for _, mux := range m.muxes {
+			mux.Stop()
+		}
+		m.net.Close()
+	})
+	return m
+}
+
+// countReached reports how many nodes other than origin have the payload.
+func (m *mesh) countReached(origin int, payload []byte) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	reached := 0
+	for i, msgs := range m.gotByID {
+		if i == origin {
+			continue
+		}
+		for _, msg := range msgs {
+			if string(msg) == string(payload) {
+				reached++
+				break
+			}
+		}
+	}
+	return reached
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return true
+}
+
+func TestGossipReachesEveryNode(t *testing.T) {
+	const n = 10
+	m := newMesh(t, n, 3, 0) // auto TTL
+	payload := []byte("block body payload")
+	if err := m.dis[0].Broadcast(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return m.countReached(0, payload) == n-1 }) {
+		t.Fatalf("rumor reached only %d/%d nodes", m.countReached(0, payload), n-1)
+	}
+}
+
+func TestGossipDeliversExactlyOnce(t *testing.T) {
+	const n = 8
+	m := newMesh(t, n, 4, 0)
+	payload := []byte("dedup me")
+	if err := m.dis[2].Broadcast(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return m.countReached(2, payload) == n-1 }) {
+		t.Fatal("rumor did not saturate")
+	}
+	time.Sleep(50 * time.Millisecond) // let duplicates drain
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, msgs := range m.gotByID {
+		count := 0
+		for _, msg := range msgs {
+			if string(msg) == string(payload) {
+				count++
+			}
+		}
+		if count > 1 {
+			t.Fatalf("node %d delivered the payload %d times", i, count)
+		}
+	}
+}
+
+func TestGossipOriginDoesNotSelfDeliver(t *testing.T) {
+	m := newMesh(t, 5, 2, 0)
+	payload := []byte("self")
+	if err := m.dis[1].Broadcast(payload); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return m.countReached(1, payload) == 4 })
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, msg := range m.gotByID[1] {
+		if string(msg) == string(payload) {
+			t.Fatal("origin delivered its own rumor")
+		}
+	}
+}
+
+func TestGossipTTLBoundsSpread(t *testing.T) {
+	// TTL is the forwarding budget carried on the wire: a message sent with
+	// ttl 0 is delivered but never forwarded, so only the origin's direct
+	// fanout targets can receive it.
+	const n = 12
+	m := newMesh(t, n, 2, 0)
+	// Build a ttl-0 message by hand and push it from node 0.
+	payload := []byte("one hop only")
+	msg := append([]byte{0}, payload...)
+	for _, p := range m.dis[0].pickPeers() {
+		if err := m.muxes[0].Send(protoGossip, p, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(150 * time.Millisecond)
+	if got := m.countReached(0, payload); got > 2 {
+		t.Fatalf("ttl-0 rumor reached %d nodes, want ≤ fanout (2)", got)
+	}
+}
+
+func TestGossipSeenCacheBounded(t *testing.T) {
+	net := transport.NewChanNetwork(transport.ChanConfig{N: 4})
+	defer net.Close()
+	mux := transport.NewMux(net.Endpoint(0))
+	mux.Start()
+	defer mux.Stop()
+	d := New(Config{Mux: mux, Proto: protoGossip, SeenLimit: 64, Deliver: func([]byte) {}})
+	for i := 0; i < 1000; i++ {
+		if err := d.Broadcast([]byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.mu.Lock()
+	size := len(d.seen)
+	d.mu.Unlock()
+	if size > 64 {
+		t.Fatalf("seen cache grew to %d entries, limit 64", size)
+	}
+	// Old entries were evicted, so a re-broadcast of an early payload is
+	// treated as new (acceptable: dedup is an optimization, not safety).
+	if size == 0 {
+		t.Fatal("seen cache empty after broadcasts")
+	}
+}
+
+func TestGossipFanoutCappedAtPeers(t *testing.T) {
+	m := newMesh(t, 4, 99, 0) // fanout larger than the cluster
+	payload := []byte("wide")
+	if err := m.dis[0].Broadcast(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return m.countReached(0, payload) == 3 }) {
+		t.Fatal("oversized fanout failed to reach all peers")
+	}
+}
+
+func TestGossipPayloadIntegrityQuick(t *testing.T) {
+	// Property: payloads of arbitrary content and size arrive bit-exact.
+	m := newMesh(t, 5, 4, 0)
+	var mu sync.Mutex
+	received := make(map[string]bool)
+	// Re-register node 4's deliver to record.
+	m.mu.Lock()
+	m.gotByID[4] = nil
+	m.mu.Unlock()
+	// Uses the mesh's recorder via countReached; quick generates payloads.
+	fn := func(payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		if err := m.dis[0].Broadcast(payload); err != nil {
+			return false
+		}
+		ok := waitFor(t, 2*time.Second, func() bool { return m.countReached(0, payload) == 4 })
+		mu.Lock()
+		received[string(payload)] = ok
+		mu.Unlock()
+		return ok
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGossipMessageCountBelowClique(t *testing.T) {
+	// The whole point: total messages per rumor stay O(n·fanout) versus the
+	// clique's n−1 from one node — and per-origin load drops from n−1 to
+	// fanout. Count messages the origin sends.
+	const n = 20
+	m := newMesh(t, n, 3, 0)
+	base := m.net.MessagesSent(0)
+	if err := m.dis[0].Broadcast([]byte("load test")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	sent := m.net.MessagesSent(0) - base
+	if sent > 3 {
+		t.Fatalf("origin sent %d messages, want fanout (3)", sent)
+	}
+}

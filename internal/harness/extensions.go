@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/transport"
+)
+
+// The ext-* experiments measure this reproduction's extensions beyond the
+// paper's figures: the §7.2.2 gossip remark, the Conclusions' compression
+// recommendation, and §1's conviction-and-removal claim. flbench runs them
+// after the paper's own experiments under `-exp all`.
+
+// ExtGossip contrasts clique and gossip body dissemination.
+func ExtGossip(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "# ext-gossip: clique vs push-gossip body dissemination (sigma=512, beta=100)\n")
+	fmt.Fprintf(w, "n\toverlay\tbps\tbytes/block/node\tmsgs/block/node\n")
+	for _, n := range s.Ns {
+		for _, mode := range []struct {
+			name   string
+			gossip bool
+		}{{"clique", false}, {"gossip3", true}} {
+			res := RunFLO(Options{
+				N: n, Workers: 1, Batch: 100, TxSize: 512,
+				Latency: transport.SingleDC(), EgressBytesPerSec: s.Bandwidth,
+				Warmup: s.Warmup, Duration: s.Duration,
+				GossipBodies: mode.gossip, GossipFanout: 3,
+			})
+			fmt.Fprintf(w, "%d\t%s\t%.0f\t%.0f\t%.1f\n",
+				n, mode.name, res.BPS, res.BytesPerBlock, res.MsgsPerBlock)
+		}
+	}
+}
+
+// ExtCompression measures body compression on compressible payloads.
+func ExtCompression(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "# ext-compression: DEFLATE body frames, compressible 4 KiB transactions (n=4, beta=100)\n")
+	fmt.Fprintf(w, "mode\ttps\tbytes/block/node\n")
+	for _, mode := range []struct {
+		name     string
+		compress bool
+	}{{"plain", false}, {"compressed", true}} {
+		res := RunFLO(Options{
+			N: 4, Workers: 1, Batch: 100, TxSize: 4096,
+			Latency: transport.SingleDC(), EgressBytesPerSec: s.Bandwidth,
+			Warmup: s.Warmup, Duration: s.Duration,
+			CompressibleLoad: true, CompressBodies: mode.compress,
+		})
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\n", mode.name, res.TPS, res.BytesPerBlock)
+	}
+}
+
+// ExtAccountability measures conviction + proposer exclusion under the
+// §7.4.2 equivocator.
+func ExtAccountability(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "# ext-accountability: equivocator with and without on-chain conviction + exclusion (n=4, f=1)\n")
+	fmt.Fprintf(w, "mode\ttps\trecoveries/s\tconvictions\n")
+	for _, mode := range []struct {
+		name    string
+		exclude bool
+	}{{"exclusion-off", false}, {"exclusion-on", true}} {
+		res := RunFLO(Options{
+			N: 4, Workers: 1, Batch: 100, TxSize: 512,
+			Latency: transport.SingleDC(), EgressBytesPerSec: s.Bandwidth,
+			// Warmup long enough for the conviction to land before the
+			// measured window opens.
+			Warmup: 2 * s.Warmup, Duration: 2 * s.Duration,
+			ByzantineF: 1, ExcludeConvicted: mode.exclude,
+		})
+		fmt.Fprintf(w, "%s\t%.0f\t%.2f\t%d\n", mode.name, res.TPS, res.RPS, res.Convictions)
+	}
+}
+
+func init() {
+	Experiments["ext-gossip"] = ExtGossip
+	Experiments["ext-compression"] = ExtCompression
+	Experiments["ext-accountability"] = ExtAccountability
+	ExperimentOrder = append(ExperimentOrder, "ext-gossip", "ext-compression", "ext-accountability")
+}

@@ -1,0 +1,7 @@
+package hotstuff
+
+import "repro/internal/types"
+
+// Thin aliases keeping the test file free of a second types import block.
+func newTestEncoder() *types.Encoder         { return types.NewEncoder(0) }
+func newTestDecoder(b []byte) *types.Decoder { return types.NewDecoder(b) }

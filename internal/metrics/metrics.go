@@ -1,0 +1,223 @@
+// Package metrics provides the measurement instruments of the paper's §7
+// evaluation: latency histograms with CDFs and trimmed means (Fig 8, 15),
+// throughput accounting (Fig 6, 7, 10-14), and the per-round event timeline
+// behind the Fig 9 heatmaps.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples and answers percentile/CDF queries.
+// It keeps raw samples (bounded) rather than buckets: experiment runs are
+// short and exact percentiles keep the CDF plots honest.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	max     int
+	dropped int
+}
+
+// NewHistogram creates a histogram bounded to maxSamples (default 1<<20).
+func NewHistogram(maxSamples int) *Histogram {
+	if maxSamples <= 0 {
+		maxSamples = 1 << 20
+	}
+	return &Histogram{max: maxSamples}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) >= h.max {
+		h.dropped++
+		return
+	}
+	h.samples = append(h.samples, d)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+func (h *Histogram) sorted() []time.Duration {
+	h.mu.Lock()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100), or 0 when empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	s := h.sorted()
+	if len(s) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// TrimmedMean returns the mean after dropping the `trim` most extreme
+// fraction from the top (the paper omits the 5% most extreme results in
+// Fig 15: trim = 0.05).
+func (h *Histogram) TrimmedMean(trim float64) time.Duration {
+	s := h.sorted()
+	keep := len(s) - int(float64(len(s))*trim)
+	if keep <= 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s[:keep] {
+		sum += d
+	}
+	return sum / time.Duration(keep)
+}
+
+// CDF returns (value, cumulative-fraction) pairs at `points` evenly spaced
+// quantiles, ready for a Fig 8-style plot.
+func (h *Histogram) CDF(points int) []CDFPoint {
+	s := h.sorted()
+	if len(s) == 0 || points <= 0 {
+		return nil
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		frac := float64(i) / float64(points)
+		idx := int(frac*float64(len(s))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CDFPoint{Value: s[idx], Fraction: frac})
+	}
+	return out
+}
+
+// CDFPoint is one point of a cumulative distribution plot.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64
+}
+
+// WriteCDF renders the CDF as "fraction<TAB>seconds" rows.
+func (h *Histogram) WriteCDF(w io.Writer, points int) {
+	for _, p := range h.CDF(points) {
+		fmt.Fprintf(w, "%.3f\t%.4f\n", p.Fraction, p.Value.Seconds())
+	}
+}
+
+// Timeline records the per-round lifecycle timestamps behind Fig 9: for
+// each (worker, round), the first time each event was observed anywhere in
+// the cluster. Events are the paper's A (block proposal), B (header
+// proposal), C (tentative decision), D (definite decision), E (FLO
+// delivery).
+type Timeline struct {
+	mu sync.Mutex
+	m  map[timelineKey][5]time.Time
+}
+
+type timelineKey struct {
+	worker uint32
+	round  uint64
+}
+
+// EventCount is the number of tracked lifecycle events.
+const EventCount = 5
+
+// EventNames label the Fig 9 rows.
+var EventNames = [EventCount]string{"A:block", "B:header", "C:tentative", "D:definite", "E:delivered"}
+
+// NewTimeline creates an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{m: make(map[timelineKey][5]time.Time)}
+}
+
+// Record stamps event ev (0..4) for (worker, round) if not already stamped.
+func (t *Timeline) Record(worker uint32, round uint64, ev int) {
+	if ev < 0 || ev >= EventCount {
+		return
+	}
+	now := time.Now()
+	key := timelineKey{worker, round}
+	t.mu.Lock()
+	stamps := t.m[key]
+	if stamps[ev].IsZero() {
+		stamps[ev] = now
+		t.m[key] = stamps
+	}
+	t.mu.Unlock()
+}
+
+// Gaps returns the average duration between consecutive events (A→B, B→C,
+// C→D, D→E) over all rounds where both stamps exist — the Fig 9 heat
+// values — plus how many rounds contributed.
+func (t *Timeline) Gaps() ([EventCount - 1]time.Duration, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sums [EventCount - 1]time.Duration
+	var counts [EventCount - 1]int
+	for _, stamps := range t.m {
+		for i := 0; i < EventCount-1; i++ {
+			if !stamps[i].IsZero() && !stamps[i+1].IsZero() && stamps[i+1].After(stamps[i]) {
+				sums[i] += stamps[i+1].Sub(stamps[i])
+				counts[i]++
+			}
+		}
+	}
+	var out [EventCount - 1]time.Duration
+	total := 0
+	for i := range sums {
+		if counts[i] > 0 {
+			out[i] = sums[i] / time.Duration(counts[i])
+			total = counts[i]
+		}
+	}
+	return out, total
+}
+
+// Birth returns the A-event timestamp of (worker, round), for latency
+// measurements (block birth → delivery).
+func (t *Timeline) Birth(worker uint32, round uint64) (time.Time, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	stamps, ok := t.m[timelineKey{worker, round}]
+	if !ok || stamps[0].IsZero() {
+		return time.Time{}, false
+	}
+	return stamps[0], true
+}
+
+// Rate is a simple throughput window: totals divided by elapsed time.
+type Rate struct {
+	start time.Time
+	base  uint64
+}
+
+// NewRate opens a measurement window with the counter's current value.
+func NewRate(current uint64) *Rate {
+	return &Rate{start: time.Now(), base: current}
+}
+
+// PerSecond returns the rate given the counter's value now.
+func (r *Rate) PerSecond(current uint64) float64 {
+	elapsed := time.Since(r.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(current-r.base) / elapsed
+}

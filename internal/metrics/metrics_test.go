@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Percentile(50); got < 45*time.Millisecond || got > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.Percentile(1); got > 5*time.Millisecond {
+		t.Fatalf("p1 = %v", got)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Percentile(50) != 0 || h.TrimmedMean(0.05) != 0 {
+		t.Fatal("empty histogram should answer zeros")
+	}
+	if h.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestHistogramTrimmedMean(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 0; i < 95; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(10 * time.Second) // outliers the paper's Fig 15 trims
+	}
+	if got := h.TrimmedMean(0.05); got != 10*time.Millisecond {
+		t.Fatalf("trimmed mean = %v, want 10ms", got)
+	}
+	if got := h.TrimmedMean(0); got <= 10*time.Millisecond {
+		t.Fatal("untrimmed mean should be pulled up by outliers")
+	}
+}
+
+func TestHistogramBounded(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("bounded histogram kept %d samples", h.Count())
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := NewHistogram(0)
+		for _, v := range raw {
+			h.Observe(time.Duration(v) * time.Microsecond)
+		}
+		pts := h.CDF(8)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCDFFormat(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(time.Second)
+	var sb strings.Builder
+	h.WriteCDF(&sb, 4)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 CDF rows, got %d", len(lines))
+	}
+	if !strings.Contains(lines[3], "1.000") {
+		t.Fatalf("last row should reach fraction 1.000: %q", lines[3])
+	}
+}
+
+func TestTimelineGaps(t *testing.T) {
+	tl := NewTimeline()
+	tl.Record(0, 1, 0)
+	time.Sleep(5 * time.Millisecond)
+	tl.Record(0, 1, 1)
+	time.Sleep(2 * time.Millisecond)
+	tl.Record(0, 1, 2)
+	tl.Record(0, 1, 3)
+	tl.Record(0, 1, 4)
+	gaps, n := tl.Gaps()
+	if n == 0 {
+		t.Fatal("no rounds contributed")
+	}
+	if gaps[0] < 4*time.Millisecond {
+		t.Fatalf("A->B gap = %v, want >= ~5ms", gaps[0])
+	}
+}
+
+func TestTimelineFirstStampWins(t *testing.T) {
+	tl := NewTimeline()
+	tl.Record(0, 1, 0)
+	birth1, ok := tl.Birth(0, 1)
+	if !ok {
+		t.Fatal("missing birth")
+	}
+	time.Sleep(2 * time.Millisecond)
+	tl.Record(0, 1, 0) // duplicate: ignored
+	birth2, _ := tl.Birth(0, 1)
+	if !birth1.Equal(birth2) {
+		t.Fatal("duplicate stamp overwrote the first")
+	}
+}
+
+func TestTimelineIgnoresBadEvent(t *testing.T) {
+	tl := NewTimeline()
+	tl.Record(0, 1, -1)
+	tl.Record(0, 1, EventCount)
+	if _, ok := tl.Birth(0, 1); ok {
+		t.Fatal("invalid events were recorded")
+	}
+}
+
+func TestRate(t *testing.T) {
+	r := NewRate(100)
+	time.Sleep(50 * time.Millisecond)
+	got := r.PerSecond(200)
+	if got < 500 || got > 2100 {
+		t.Fatalf("rate = %v, want ~2000 within slack", got)
+	}
+}

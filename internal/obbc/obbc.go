@@ -1,0 +1,572 @@
+// Package obbc implements the Optimistic Binary Byzantine Consensus of the
+// paper's Appendix A (Algorithm 4): a binary consensus that decides in a
+// single all-to-all communication step of unsigned single-bit votes whenever
+// every node proposes the optimistic value v=1, and falls back to a full
+// Byzantine consensus otherwise.
+//
+// The fast path is exactly the paper's: broadcast the vote, wait for n−f
+// votes, decide 1 if they are unanimously 1 (lines OB5–OB8). Otherwise the
+// node exchanges evidence (lines OB12–OB18) and proposes through a fallback
+// BBC. The fallback here is built on the PBFT atomic-broadcast substrate
+// (the paper uses BFT-SMaRt the same way, §6.1.2): every participant
+// atomic-broadcasts a signed proposal for the instance, and all nodes decide
+// the majority value of the first 2f+1 valid proposals in the agreed order.
+// Since 2f+1 proposals contain at least f+1 from correct nodes, a majority
+// value was proposed by at least one correct node (BBC-Validity), and the
+// agreed order makes the decision identical everywhere (BBC-Agreement).
+//
+// Votes also carry the piggybacked payload of §5.1 (the next proposer's
+// block header rides on its vote for the current round), delivered to the
+// client through the OnPgd callback.
+package obbc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Key identifies one OBBC instance: one delivery attempt of one proposer's
+// block in one round of one FLO worker.
+type Key struct {
+	Instance uint32
+	Round    uint64
+	Proposer flcrypto.NodeID
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("obbc(w%d r%d p%d)", k.Instance, k.Round, k.Proposer)
+}
+
+func (k Key) encode(e *types.Encoder) {
+	e.Uint32(k.Instance)
+	e.Uint64(k.Round)
+	e.Int64(int64(k.Proposer))
+}
+
+func decodeKey(d *types.Decoder) Key {
+	return Key{Instance: d.Uint32(), Round: d.Uint64(), Proposer: flcrypto.NodeID(d.Int64())}
+}
+
+// Wire message kinds.
+const (
+	kindVote   = 1
+	kindEvReq  = 2
+	kindEvResp = 3
+	// kindVoteEcho is a vote re-sent by a node that already decided the
+	// instance, for a peer observed still voting on it. It is recorded like
+	// a vote but never triggers an echo in response, so echoes cannot
+	// ping-pong between two decided nodes.
+	kindVoteEcho = 4
+)
+
+// BBCTag prefixes fallback proposals in the shared atomic-broadcast stream,
+// distinguishing them from recovery versions (see core).
+const BBCTag byte = 0x01
+
+// ErrAborted is returned by Propose when the instance is aborted (the node
+// entered the recovery procedure) or the service stopped.
+var ErrAborted = errors.New("obbc: instance aborted")
+
+// retryInterval paces the re-broadcast of votes and evidence requests while
+// a Propose waits on its quorum.
+const retryInterval = 500 * time.Millisecond
+
+// Config wires a Service to its node.
+type Config struct {
+	// Mux and Proto attach the vote/evidence messages to the transport.
+	Mux   *transport.Mux
+	Proto transport.ProtoID
+	// Instance scopes this service to one FLO worker: HandleOrdered leaves
+	// proposals of other instances to their own service.
+	Instance uint32
+	// Registry verifies fallback-proposal signatures; Priv signs ours.
+	Registry *flcrypto.Registry
+	Priv     flcrypto.PrivateKey
+	// SubmitAB atomic-broadcasts a fallback proposal (PBFT Submit).
+	SubmitAB func([]byte) error
+	// ValidEvidence reports whether ev is a valid evidence(1) for key —
+	// for WRB, a header correctly signed by the round's proposer.
+	ValidEvidence func(key Key, ev []byte) bool
+	// Evidence returns the local evidence(1) for key, or nil. Consulted
+	// when answering evidence requests, so a node can serve evidence for
+	// rounds it has not reached yet.
+	Evidence func(key Key) []byte
+	// OnPgd receives piggybacked payloads attached to votes. Runs on the
+	// transport read goroutine; must not block.
+	OnPgd func(from flcrypto.NodeID, key Key, pgd []byte)
+	// OnVote observes every incoming vote (after dedup checks are NOT yet
+	// applied). The core uses it to spot peers voting on rounds that are
+	// already definite here — a lagging node it can help catch up. Runs on
+	// the transport read goroutine; must not block.
+	OnVote func(from flcrypto.NodeID, key Key)
+}
+
+// Metrics counts fast-path and fallback decisions for the evaluation.
+type Metrics struct {
+	FastDecisions     atomic.Uint64
+	FallbackDecisions atomic.Uint64
+}
+
+type inst struct {
+	mu      sync.Mutex
+	update  chan struct{} // closed and replaced on every state change
+	votes   map[flcrypto.NodeID]byte
+	evResp  map[flcrypto.NodeID][]byte
+	ordered []bbcProposal // valid fallback proposals in atomic order
+	decided bool
+	value   byte
+	// fallbackSeen: some node started the fallback (an ordered proposal
+	// exists); fast path is no longer attempted locally (and per line
+	// OB26, a fast decider echoes its value into the fallback).
+	fallbackSeen bool
+	submitted    bool // we atomic-broadcast our proposal already
+	fastLocal    bool // we decided on the fast path
+	aborted      bool
+}
+
+type bbcProposal struct {
+	voter flcrypto.NodeID
+	value byte
+}
+
+func newInst() *inst {
+	return &inst{
+		update: make(chan struct{}),
+		votes:  make(map[flcrypto.NodeID]byte),
+		evResp: make(map[flcrypto.NodeID][]byte),
+	}
+}
+
+// bump wakes all waiters; callers hold i.mu.
+func (i *inst) bump() {
+	close(i.update)
+	i.update = make(chan struct{})
+}
+
+// Service runs OBBC instances for one node.
+type Service struct {
+	cfg     Config
+	n, f    int
+	id      flcrypto.NodeID
+	metrics Metrics
+
+	mu    sync.Mutex
+	insts map[Key]*inst
+	stop  chan struct{}
+	once  sync.Once
+}
+
+// New registers an OBBC service on cfg.Mux.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:   cfg,
+		n:     cfg.Mux.N(),
+		f:     (cfg.Mux.N() - 1) / 3,
+		id:    cfg.Mux.ID(),
+		insts: make(map[Key]*inst),
+		stop:  make(chan struct{}),
+	}
+	cfg.Mux.Handle(cfg.Proto, s.onWire)
+	return s
+}
+
+// Metrics returns the service counters.
+func (s *Service) Metrics() *Metrics { return &s.metrics }
+
+// SetOnVote installs the vote observer after construction (the core binds
+// it once it exists; see Config.OnVote).
+func (s *Service) SetOnVote(fn func(from flcrypto.NodeID, key Key)) {
+	s.mu.Lock()
+	s.cfg.OnVote = fn
+	s.mu.Unlock()
+}
+
+// Stop aborts all waiting Propose calls.
+func (s *Service) Stop() {
+	s.once.Do(func() { close(s.stop) })
+}
+
+func (s *Service) inst(key Key) *inst {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.insts[key]
+	if i == nil {
+		i = newInst()
+		s.insts[key] = i
+	}
+	return i
+}
+
+// GC drops instances of `instance` with round < olderThan. The core calls it
+// as rounds become definite; instances can no longer be needed once their
+// round is beyond recovery reach.
+func (s *Service) GC(instance uint32, olderThan uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.insts {
+		if key.Instance == instance && key.Round < olderThan {
+			delete(s.insts, key)
+		}
+	}
+}
+
+// DropFrom discards all state of `instance` at rounds ≥ fromRound. The
+// recovery procedure calls it before re-running those rounds, so stale
+// pre-recovery votes and decisions cannot leak into the redone attempts
+// (every correct node drops and re-votes, so quorums re-form).
+func (s *Service) DropFrom(instance uint32, fromRound uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.insts {
+		if key.Instance == instance && key.Round >= fromRound {
+			delete(s.insts, key)
+		}
+	}
+}
+
+// Abort wakes any Propose blocked on key with ErrAborted; used when the
+// node diverts into the recovery procedure.
+func (s *Service) Abort(key Key) {
+	i := s.inst(key)
+	i.mu.Lock()
+	i.aborted = true
+	i.bump()
+	i.mu.Unlock()
+}
+
+// --- Wire handling ---
+
+func (s *Service) onWire(from flcrypto.NodeID, buf []byte) {
+	d := types.NewDecoder(buf)
+	kind := d.Uint8()
+	key := decodeKey(d)
+	switch kind {
+	case kindVote, kindVoteEcho:
+		value := d.Uint8()
+		pgd := d.Bytes32()
+		if d.Finish() != nil || value > 1 {
+			return
+		}
+		if len(pgd) > 0 && s.cfg.OnPgd != nil {
+			s.cfg.OnPgd(from, key, append([]byte(nil), pgd...))
+		}
+		s.mu.Lock()
+		onVote := s.cfg.OnVote
+		s.mu.Unlock()
+		if onVote != nil {
+			onVote(from, key)
+		}
+		i := s.inst(key)
+		i.mu.Lock()
+		if _, dup := i.votes[from]; !dup {
+			i.votes[from] = value
+			i.bump()
+		}
+		// Vote echo: if this instance is already decided here and the peer
+		// is still voting on it, it missed our vote (partition, restart,
+		// or in-flight decision right before a cut). Re-send our own vote
+		// directly so the peer's quorum can complete — without this, a
+		// side that decided from in-flight messages advances while the
+		// other side waits forever on an instance nobody revisits. One
+		// echo per received vote, unicast: no amplification.
+		echo := byte(0)
+		doEcho := false
+		if kind == kindVote && i.decided {
+			if own, ok := i.votes[s.id]; ok {
+				echo = own
+				doEcho = true
+			}
+		}
+		i.mu.Unlock()
+		if doEcho && from != s.id {
+			e := types.NewEncoder(64)
+			e.Uint8(kindVoteEcho)
+			key.encode(e)
+			e.Uint8(echo)
+			e.Bytes32(nil)
+			s.cfg.Mux.Send(s.cfg.Proto, from, e.Bytes())
+		}
+	case kindEvReq:
+		if d.Finish() != nil {
+			return
+		}
+		var ev []byte
+		if s.cfg.Evidence != nil {
+			ev = s.cfg.Evidence(key)
+		}
+		e := types.NewEncoder(32 + len(ev))
+		e.Uint8(kindEvResp)
+		key.encode(e)
+		e.Bytes32(ev)
+		s.cfg.Mux.Send(s.cfg.Proto, from, e.Bytes())
+	case kindEvResp:
+		ev := append([]byte(nil), d.Bytes32()...)
+		if d.Finish() != nil {
+			return
+		}
+		i := s.inst(key)
+		i.mu.Lock()
+		if _, dup := i.evResp[from]; !dup {
+			i.evResp[from] = ev
+			i.bump()
+		}
+		i.mu.Unlock()
+	}
+}
+
+// Propose runs OBBC_1 for key with initial value v (0 or 1) and optional
+// piggyback payload pgd attached to the vote. evidence must be non-nil and
+// valid exactly when v == 1 (assertion lines OB2–OB3). It blocks until a
+// decision is reached or the instance is aborted.
+func (s *Service) Propose(key Key, v byte, evidence []byte, pgd []byte) (byte, error) {
+	if v == 1 && evidence == nil {
+		return 0, fmt.Errorf("obbc: %v: proposing 1 requires evidence", key)
+	}
+	if v != 1 && evidence != nil {
+		return 0, fmt.Errorf("obbc: %v: proposing 0 with evidence", key)
+	}
+
+	// OB4: broadcast the vote (with piggyback). The vote is re-broadcast
+	// periodically while waiting: receivers deduplicate by sender, and a
+	// peer whose recovery procedure discarded this instance's state (see
+	// DropFrom) re-learns the vote instead of waiting forever.
+	e := types.NewEncoder(64 + len(pgd))
+	e.Uint8(kindVote)
+	key.encode(e)
+	e.Uint8(v)
+	e.Bytes32(pgd)
+	voteMsg := e.Bytes()
+	if err := s.cfg.Mux.Broadcast(s.cfg.Proto, voteMsg); err != nil {
+		return 0, err
+	}
+
+	i := s.inst(key)
+
+	// OB5–OB8: wait for n−f votes; decide fast on unanimity for 1.
+	for {
+		i.mu.Lock()
+		if i.decided {
+			val := i.value
+			i.mu.Unlock()
+			return val, nil
+		}
+		if i.aborted {
+			i.aborted = false // one-shot: the abort targets this attempt only
+			i.mu.Unlock()
+			return 0, ErrAborted
+		}
+		if i.fallbackSeen {
+			// Someone already fell back: skip the fast path and join.
+			i.mu.Unlock()
+			break
+		}
+		ones := 0
+		for _, vv := range i.votes {
+			if vv == 1 {
+				ones++
+			}
+		}
+		if ones >= s.n-s.f {
+			// Fast decision. It is safe even with stray 0 votes present:
+			// n−f one-votes imply at least f+1 correct evidence holders,
+			// which is what guarantees any fallback also decides 1
+			// (Lemma A.4.1).
+			i.decided = true
+			i.value = 1
+			i.fastLocal = true
+			i.bump()
+			i.mu.Unlock()
+			s.metrics.FastDecisions.Add(1)
+			return 1, nil
+		}
+		if len(i.votes) >= s.n-s.f {
+			// Mixed votes: fall back (OB11).
+			i.mu.Unlock()
+			break
+		}
+		ch := i.update
+		i.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(retryInterval):
+			s.cfg.Mux.Broadcast(s.cfg.Proto, voteMsg)
+		case <-s.stop:
+			return 0, ErrAborted
+		}
+	}
+
+	// OB12–OB13: request evidence, wait for n−f replies.
+	evReq := func() []byte {
+		e := types.NewEncoder(32)
+		e.Uint8(kindEvReq)
+		key.encode(e)
+		return e.Bytes()
+	}()
+	if err := s.cfg.Mux.Broadcast(s.cfg.Proto, evReq); err != nil {
+		return 0, err
+	}
+	for {
+		i.mu.Lock()
+		if i.decided || i.aborted {
+			break
+		}
+		if len(i.evResp) >= s.n-s.f {
+			break
+		}
+		ch := i.update
+		i.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(retryInterval):
+			s.cfg.Mux.Broadcast(s.cfg.Proto, voteMsg)
+			s.cfg.Mux.Broadcast(s.cfg.Proto, evReq)
+		case <-s.stop:
+			return 0, ErrAborted
+		}
+	}
+	// (i.mu held here)
+	if i.aborted && !i.decided {
+		i.aborted = false
+		i.mu.Unlock()
+		return 0, ErrAborted
+	}
+	if i.decided {
+		val := i.value
+		i.mu.Unlock()
+		return val, nil
+	}
+	// OB15–OB18: adopt v if any valid evidence arrived.
+	newV := v
+	for _, ev := range i.evResp {
+		if len(ev) > 0 && s.cfg.ValidEvidence != nil && s.cfg.ValidEvidence(key, ev) {
+			newV = 1
+			break
+		}
+	}
+	submit := !i.submitted
+	i.submitted = true
+	i.mu.Unlock()
+
+	// OB19: propose through the fallback BBC.
+	if submit {
+		if err := s.submitProposal(key, newV); err != nil {
+			return 0, err
+		}
+	}
+	for {
+		i.mu.Lock()
+		if i.decided {
+			val := i.value
+			i.mu.Unlock()
+			return val, nil
+		}
+		if i.aborted {
+			i.aborted = false
+			i.mu.Unlock()
+			return 0, ErrAborted
+		}
+		ch := i.update
+		i.mu.Unlock()
+		select {
+		case <-ch:
+		case <-s.stop:
+			return 0, ErrAborted
+		}
+	}
+}
+
+// --- Fallback BBC over atomic broadcast ---
+
+func proposalSigBody(key Key, voter flcrypto.NodeID, value byte) []byte {
+	e := types.NewEncoder(64)
+	e.Bytes32([]byte("fireledger/bbc"))
+	key.encode(e)
+	e.Int64(int64(voter))
+	e.Uint8(value)
+	return e.Bytes()
+}
+
+func (s *Service) submitProposal(key Key, value byte) error {
+	sig, err := s.cfg.Priv.Sign(proposalSigBody(key, s.id, value))
+	if err != nil {
+		return fmt.Errorf("obbc: sign proposal: %w", err)
+	}
+	e := types.NewEncoder(96)
+	e.Uint8(BBCTag)
+	key.encode(e)
+	e.Int64(int64(s.id))
+	e.Uint8(value)
+	e.Bytes32(sig)
+	return s.cfg.SubmitAB(e.Bytes())
+}
+
+// HandleOrdered consumes one atomic-broadcast request. It returns true if
+// the request was a BBC proposal (consumed), false otherwise so the caller
+// can route it elsewhere. It must be called with requests in the agreed
+// total order, identically at every node.
+func (s *Service) HandleOrdered(req []byte) bool {
+	if len(req) == 0 || req[0] != BBCTag {
+		return false
+	}
+	d := types.NewDecoder(req[1:])
+	key := decodeKey(d)
+	if key.Instance != s.cfg.Instance {
+		return false
+	}
+	voter := flcrypto.NodeID(d.Int64())
+	value := d.Uint8()
+	sig := d.Bytes32()
+	if d.Finish() != nil || value > 1 || int(voter) < 0 || int(voter) >= s.n {
+		return true
+	}
+	if !s.cfg.Registry.Verify(voter, proposalSigBody(key, voter, value), sig) {
+		return true
+	}
+
+	i := s.inst(key)
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.fallbackSeen {
+		i.fallbackSeen = true
+		// Line OB26–OB27: a node that decided fast joins the fallback so
+		// it reaches the 2f+1 proposals quorum.
+		if i.fastLocal && !i.submitted {
+			i.submitted = true
+			go s.submitProposal(key, i.value)
+		}
+		i.bump()
+	}
+	for _, p := range i.ordered {
+		if p.voter == voter {
+			return true // one proposal per voter
+		}
+	}
+	if len(i.ordered) >= 2*s.f+1 {
+		return true
+	}
+	i.ordered = append(i.ordered, bbcProposal{voter: voter, value: value})
+	if len(i.ordered) == 2*s.f+1 && !i.decided {
+		ones := 0
+		for _, p := range i.ordered {
+			if p.value == 1 {
+				ones++
+			}
+		}
+		i.decided = true
+		if ones >= s.f+1 {
+			i.value = 1
+		} else {
+			i.value = 0
+		}
+		s.metrics.FallbackDecisions.Add(1)
+		i.bump()
+	}
+	return true
+}

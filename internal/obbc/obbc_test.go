@@ -1,0 +1,359 @@
+package obbc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+)
+
+const testProto transport.ProtoID = 11
+
+// orderer is a test stand-in for the PBFT atomic broadcast: it delivers
+// every submitted request to all services in one global order.
+type orderer struct {
+	mu       sync.Mutex
+	services []*Service
+}
+
+func (o *orderer) submit(req []byte) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, s := range o.services {
+		s.HandleOrdered(req)
+	}
+	return nil
+}
+
+type fixture struct {
+	net      *transport.ChanNetwork
+	muxes    []*transport.Mux
+	services []*Service
+	ord      *orderer
+
+	mu       sync.Mutex
+	evidence map[flcrypto.NodeID]map[Key][]byte
+	pgds     map[flcrypto.NodeID][]string
+}
+
+func evidenceFor(key Key) []byte {
+	return []byte(fmt.Sprintf("EV|%d|%d|%d", key.Instance, key.Round, key.Proposer))
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	ks := flcrypto.MustGenerateKeySet(n, flcrypto.Ed25519)
+	f := &fixture{
+		net:      transport.NewChanNetwork(transport.ChanConfig{N: n}),
+		ord:      &orderer{},
+		evidence: make(map[flcrypto.NodeID]map[Key][]byte),
+		pgds:     make(map[flcrypto.NodeID][]string),
+	}
+	for i := 0; i < n; i++ {
+		id := flcrypto.NodeID(i)
+		f.evidence[id] = make(map[Key][]byte)
+		mux := transport.NewMux(f.net.Endpoint(id))
+		svc := New(Config{
+			Mux:      mux,
+			Proto:    testProto,
+			Registry: ks.Registry,
+			Priv:     ks.Privs[i],
+			SubmitAB: f.ord.submit,
+			ValidEvidence: func(key Key, ev []byte) bool {
+				return string(ev) == string(evidenceFor(key))
+			},
+			Evidence: func(key Key) []byte {
+				f.mu.Lock()
+				defer f.mu.Unlock()
+				return f.evidence[id][key]
+			},
+			OnPgd: func(from flcrypto.NodeID, key Key, pgd []byte) {
+				f.mu.Lock()
+				f.pgds[id] = append(f.pgds[id], string(pgd))
+				f.mu.Unlock()
+			},
+		})
+		mux.Start()
+		f.muxes = append(f.muxes, mux)
+		f.services = append(f.services, svc)
+		f.ord.services = append(f.ord.services, svc)
+	}
+	t.Cleanup(func() {
+		for _, s := range f.services {
+			s.Stop()
+		}
+		for _, m := range f.muxes {
+			m.Stop()
+		}
+		f.net.Close()
+	})
+	return f
+}
+
+// grantEvidence marks node i as holding the proposer's message for key.
+func (f *fixture) grantEvidence(i int, key Key) {
+	f.mu.Lock()
+	f.evidence[flcrypto.NodeID(i)][key] = evidenceFor(key)
+	f.mu.Unlock()
+}
+
+// propose runs Propose at every node with the given per-node values and
+// returns the decisions.
+func (f *fixture) propose(t *testing.T, key Key, values []byte) []byte {
+	t.Helper()
+	n := len(f.services)
+	decisions := make([]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		var ev []byte
+		if values[i] == 1 {
+			f.grantEvidence(i, key)
+			ev = evidenceFor(key)
+		}
+		wg.Add(1)
+		go func(i int, ev []byte) {
+			defer wg.Done()
+			decisions[i], errs[i] = f.services[i].Propose(key, values[i], ev, nil)
+		}(i, ev)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Propose did not terminate")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return decisions
+}
+
+func assertAll(t *testing.T, decisions []byte, want byte) {
+	t.Helper()
+	for i, d := range decisions {
+		if d != want {
+			t.Fatalf("node %d decided %d, want %d (all: %v)", i, d, want, decisions)
+		}
+	}
+}
+
+func TestOBBCFastPathUnanimous(t *testing.T) {
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	decisions := f.propose(t, key, []byte{1, 1, 1, 1})
+	assertAll(t, decisions, 1)
+	fast := uint64(0)
+	for _, s := range f.services {
+		fast += s.Metrics().FastDecisions.Load()
+	}
+	if fast != 4 {
+		t.Fatalf("expected 4 fast decisions, got %d", fast)
+	}
+}
+
+func TestOBBCSingleZeroStillDecidesOne(t *testing.T) {
+	// n=4, f=1: three 1-votes reach the n−f fast threshold, so 1 is
+	// decided; the zero voter also converges on 1.
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 2, Proposer: 1}
+	decisions := f.propose(t, key, []byte{1, 1, 1, 0})
+	assertAll(t, decisions, 1)
+}
+
+func TestOBBCFallbackWithEvidenceDecidesOne(t *testing.T) {
+	// Two zero votes in n=4 block the fast path; the evidence exchange
+	// (Lemma A.4.1 machinery) must pull the decision to 1 because two
+	// correct nodes hold evidence.
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 3, Proposer: 2}
+	decisions := f.propose(t, key, []byte{1, 1, 0, 0})
+	assertAll(t, decisions, 1)
+	fb := uint64(0)
+	for _, s := range f.services {
+		fb += s.Metrics().FallbackDecisions.Load()
+	}
+	if fb == 0 {
+		t.Fatal("expected fallback decisions")
+	}
+}
+
+func TestOBBCAllZeroDecidesZero(t *testing.T) {
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 4, Proposer: 3}
+	decisions := f.propose(t, key, []byte{0, 0, 0, 0})
+	assertAll(t, decisions, 0)
+}
+
+func TestOBBCAgreementAcrossManyRounds(t *testing.T) {
+	// Property: whatever the vote pattern, all nodes decide the same value,
+	// and if the decision is 1 at least one node had evidence.
+	f := newFixture(t, 4)
+	patterns := [][]byte{
+		{1, 1, 1, 1}, {0, 1, 1, 1}, {1, 0, 1, 0}, {0, 0, 0, 1},
+		{0, 0, 0, 0}, {1, 1, 0, 0}, {0, 1, 0, 1}, {1, 0, 0, 0},
+	}
+	for r, pat := range patterns {
+		key := Key{Instance: 0, Round: uint64(r + 1), Proposer: flcrypto.NodeID(r % 4)}
+		decisions := f.propose(t, key, pat)
+		for i := 1; i < len(decisions); i++ {
+			if decisions[i] != decisions[0] {
+				t.Fatalf("round %d pattern %v: decisions diverge %v", r, pat, decisions)
+			}
+		}
+		ones := 0
+		for _, v := range pat {
+			ones += int(v)
+		}
+		if decisions[0] == 1 && ones == 0 {
+			t.Fatalf("round %d: decided 1 with no evidence holder", r)
+		}
+	}
+}
+
+func TestOBBCProposeValidation(t *testing.T) {
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 99, Proposer: 0}
+	if _, err := f.services[0].Propose(key, 1, nil, nil); err == nil {
+		t.Fatal("propose 1 without evidence accepted")
+	}
+	if _, err := f.services[0].Propose(key, 0, []byte("ev"), nil); err == nil {
+		t.Fatal("propose 0 with evidence accepted")
+	}
+}
+
+func TestOBBCAbort(t *testing.T) {
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 77, Proposer: 0}
+	errCh := make(chan error, 1)
+	go func() {
+		// Only this node proposes: it blocks waiting for n−f votes.
+		_, err := f.services[0].Propose(key, 0, nil, nil)
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	f.services[0].Abort(key)
+	select {
+	case err := <-errCh:
+		if err != ErrAborted {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Abort did not unblock Propose")
+	}
+}
+
+func TestOBBCStopUnblocks(t *testing.T) {
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 88, Proposer: 0}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.services[1].Propose(key, 0, nil, nil)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.services[1].Stop()
+	select {
+	case err := <-errCh:
+		if err != ErrAborted {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not unblock Propose")
+	}
+}
+
+func TestOBBCPiggybackDelivered(t *testing.T) {
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 10, Proposer: 1}
+	n := len(f.services)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		f.grantEvidence(i, key)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var pgd []byte
+			if i == 2 {
+				pgd = []byte("next-block-header")
+			}
+			f.services[i].Propose(key, 1, evidenceFor(key), pgd)
+		}(i)
+	}
+	wg.Wait()
+	// Every node must have received node 2's piggyback.
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < n; i++ {
+		for {
+			f.mu.Lock()
+			got := len(f.pgds[flcrypto.NodeID(i)]) > 0
+			var val string
+			if got {
+				val = f.pgds[flcrypto.NodeID(i)][0]
+			}
+			f.mu.Unlock()
+			if got {
+				if val != "next-block-header" {
+					t.Fatalf("node %d pgd = %q", i, val)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d never received the piggyback", i)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestOBBCGC(t *testing.T) {
+	f := newFixture(t, 4)
+	for r := uint64(1); r <= 5; r++ {
+		key := Key{Instance: 0, Round: r, Proposer: 0}
+		f.propose(t, key, []byte{1, 1, 1, 1})
+	}
+	s := f.services[0]
+	s.mu.Lock()
+	before := len(s.insts)
+	s.mu.Unlock()
+	if before < 5 {
+		t.Fatalf("expected ≥5 instances, got %d", before)
+	}
+	s.GC(0, 4)
+	s.mu.Lock()
+	after := len(s.insts)
+	s.mu.Unlock()
+	if after >= before {
+		t.Fatalf("GC did not shrink instance map: %d -> %d", before, after)
+	}
+}
+
+func TestOBBCEvidenceServedForUnknownRound(t *testing.T) {
+	// A node that holds the proposer's message but has not reached the
+	// round yet must still answer evidence requests (the Evidence callback
+	// reads the WRB stash, not OBBC state).
+	f := newFixture(t, 4)
+	key := Key{Instance: 0, Round: 20, Proposer: 3}
+	// Nodes 2 and 3 hold evidence but never propose. Nodes 0 and 1 propose
+	// 0; the fast path fails (only 2 < n−f votes... they wait), so give
+	// votes from 2,3 manually by having them propose 0 too — but with
+	// evidence reachable via the EV exchange, the decision may become 1
+	// only if someone votes 1. Here no one votes 1 and no proposal carries
+	// evidence, so the decision is 0 — but the EV responses themselves
+	// must flow. We grant evidence to 2,3 and check the decision is still
+	// agreed (the adopt rule may lift it to 1; both outcomes must agree).
+	f.grantEvidence(2, key)
+	f.grantEvidence(3, key)
+	decisions := f.propose(t, key, []byte{0, 0, 0, 0})
+	for i := 1; i < 4; i++ {
+		if decisions[i] != decisions[0] {
+			t.Fatalf("decisions diverge: %v", decisions)
+		}
+	}
+}

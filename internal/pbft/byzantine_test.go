@@ -1,0 +1,227 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// byzCluster runs replicas 1..n-1 honestly while the test drives node 0's
+// endpoint by hand, signing with node 0's real key — a fully-equipped
+// Byzantine leader.
+type byzCluster struct {
+	t        *testing.T
+	ks       *flcrypto.KeySet
+	net      *transport.ChanNetwork
+	evilMux  *transport.Mux
+	replicas []*Replica // index 1..n-1; [0] is nil
+	logs     *testCluster
+}
+
+func newByzCluster(t *testing.T, n int) (*byzCluster, *testCluster) {
+	t.Helper()
+	ks := flcrypto.MustGenerateKeySet(n, flcrypto.Ed25519)
+	c := &testCluster{
+		t:         t,
+		net:       transport.NewChanNetwork(transport.ChanConfig{N: n}),
+		delivered: make([][]string, n),
+	}
+	bz := &byzCluster{t: t, ks: ks, net: c.net, logs: c}
+	for i := 0; i < n; i++ {
+		i := i
+		mux := transport.NewMux(c.net.Endpoint(flcrypto.NodeID(i)))
+		c.muxes = append(c.muxes, mux)
+		if i == 0 {
+			bz.evilMux = mux
+			mux.Start()
+			c.replicas = append(c.replicas, nil)
+			continue
+		}
+		r := NewReplica(Config{
+			Mux:         mux,
+			Proto:       testProto,
+			Registry:    ks.Registry,
+			Priv:        ks.Privs[i],
+			ViewTimeout: 250 * time.Millisecond,
+			Tick:        10 * time.Millisecond,
+			Deliver: func(seq uint64, batch [][]byte) {
+				c.mu.Lock()
+				for _, req := range batch {
+					c.delivered[i] = append(c.delivered[i], string(req))
+				}
+				c.mu.Unlock()
+			},
+		})
+		c.replicas = append(c.replicas, r)
+		mux.Start()
+		r.Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range c.replicas {
+			if r != nil {
+				r.Stop()
+			}
+		}
+		for _, m := range c.muxes {
+			m.Stop()
+		}
+		c.net.Close()
+	})
+	return bz, c
+}
+
+// sign wraps body in the wire envelope signed with node 0's key.
+func (bz *byzCluster) sign(body []byte) []byte {
+	sig, err := bz.ks.Privs[0].Sign(body)
+	if err != nil {
+		bz.t.Fatal(err)
+	}
+	e := types.NewEncoder(len(body) + len(sig) + 8)
+	e.Bytes32(body)
+	e.Bytes32(sig)
+	return e.Bytes()
+}
+
+func (bz *byzCluster) prePrepareBody(view, seq uint64, batch [][]byte) []byte {
+	pp := prePrepare{View: view, Seq: seq, Batch: batch}
+	return encodeBody(kindPrePrepare, func(e *types.Encoder) { pp.encode(e) })
+}
+
+func TestPBFTEquivocatingLeaderCannotFork(t *testing.T) {
+	// The Byzantine leader of view 0 sends conflicting pre-prepares for
+	// seq 1: batch A to replicas 1,2 and batch B to replica 3. At most one
+	// can gather a commit quorum (3 of 4), and after the inevitable view
+	// change the logs of all correct replicas must still be
+	// prefix-consistent.
+	bz, c := newByzCluster(t, 4)
+	reqA := []byte("batch-A")
+	reqB := []byte("batch-B")
+	ppA := bz.sign(bz.prePrepareBody(0, 1, [][]byte{reqA}))
+	ppB := bz.sign(bz.prePrepareBody(0, 1, [][]byte{reqB}))
+	if err := bz.evilMux.Send(testProto, 1, ppA); err != nil {
+		t.Fatal(err)
+	}
+	if err := bz.evilMux.Send(testProto, 2, ppA); err != nil {
+		t.Fatal(err)
+	}
+	if err := bz.evilMux.Send(testProto, 3, ppB); err != nil {
+		t.Fatal(err)
+	}
+	// Submit an honest request so the cluster keeps having work; the view
+	// change away from the silent/equivocating leader must restore
+	// liveness.
+	if err := c.replicas[1].Submit([]byte("honest")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitDelivered([]int{1, 2, 3}, 1, 30*time.Second)
+	c.checkPrefixAgreement([]int{1, 2, 3})
+	// No replica may ever deliver both conflicting batches out of thin
+	// air; if one was ordered (possible, both are "valid" requests), all
+	// replicas agree on which.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, i := range []int{1, 2, 3} {
+		for _, j := range []int{1, 2, 3} {
+			a, b := c.delivered[i], c.delivered[j]
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			for k := 0; k < n; k++ {
+				if a[k] != b[k] {
+					t.Fatalf("forked logs: replica %d has %q, replica %d has %q at %d", i, a[k], j, b[k], k)
+				}
+			}
+		}
+	}
+}
+
+func TestPBFTForgedSignaturesIgnored(t *testing.T) {
+	// Envelopes with broken signatures must be dropped wholesale.
+	bz, c := newByzCluster(t, 4)
+	body := bz.prePrepareBody(0, 1, [][]byte{[]byte("evil")})
+	sig, _ := bz.ks.Privs[0].Sign(body)
+	sig[0] ^= 0xff // corrupt
+	e := types.NewEncoder(0)
+	e.Bytes32(body)
+	e.Bytes32(sig)
+	if err := bz.evilMux.Broadcast(testProto, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// The cluster still works (view change away from silent leader 0).
+	if err := c.replicas[2].Submit([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitDelivered([]int{1, 2, 3}, 1, 30*time.Second)
+	for _, i := range []int{1, 2, 3} {
+		c.mu.Lock()
+		for _, req := range c.delivered[i] {
+			if req == "evil" {
+				c.mu.Unlock()
+				t.Fatal("forged pre-prepare was executed")
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+func TestPBFTGarbageFramesIgnored(t *testing.T) {
+	bz, c := newByzCluster(t, 4)
+	for _, frame := range [][]byte{nil, {1}, {0xff, 0xff, 0xff}, make([]byte, 64)} {
+		if err := bz.evilMux.Broadcast(testProto, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.replicas[1].Submit([]byte("after garbage")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitDelivered([]int{1, 2, 3}, 1, 30*time.Second)
+	c.checkPrefixAgreement([]int{1, 2, 3})
+}
+
+func TestPBFTBogusViewChangeCannotHijack(t *testing.T) {
+	// A Byzantine node announces a view change with a fabricated prepared
+	// certificate (not enough prepares). Correct replicas must not adopt a
+	// batch on its say-so.
+	bz, c := newByzCluster(t, 4)
+	// Craft a cert with a real pre-prepare but zero prepares.
+	ppBody := bz.prePrepareBody(0, 1, [][]byte{[]byte("hijack")})
+	ppSig, _ := bz.ks.Privs[0].Sign(ppBody)
+	cert := preparedCert{PrePrepare: signedRaw{From: 0, Body: ppBody, Sig: ppSig}}
+	vc := viewChange{NewView: 1, LastExec: 0, Certs: []preparedCert{cert}}
+	vcBody := encodeBody(kindViewChange, func(e *types.Encoder) { vc.encode(e) })
+	if err := bz.evilMux.Broadcast(testProto, bz.sign(vcBody)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.replicas[1].Submit([]byte("normal work")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitDelivered([]int{1, 2, 3}, 1, 30*time.Second)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, i := range []int{1, 2, 3} {
+		for _, req := range c.delivered[i] {
+			if req == "hijack" {
+				t.Fatalf("uncertified batch executed at replica %d", i)
+			}
+		}
+	}
+}
+
+func TestPBFTHighThroughputManyRequests(t *testing.T) {
+	// Soak: 1000 requests through a 4-replica cluster, exactly-once, in
+	// one order.
+	c := newTestCluster(t, 4, func(cfg *Config) { cfg.BatchSize = 64 })
+	const k = 1000
+	for i := 0; i < k; i++ {
+		if err := c.replicas[i%4].Submit([]byte(fmt.Sprintf("req-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitDelivered(all(4), k, 60*time.Second)
+	c.checkPrefixAgreement(all(4))
+}

@@ -1,0 +1,294 @@
+package pbft
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// startViewChange abandons the current view and votes for target.
+func (r *Replica) startViewChange(target uint64) {
+	if target <= r.view || (r.inVC && target <= r.vcTarget) {
+		return
+	}
+	r.inVC = true
+	r.vcTarget = target
+	r.vcFails++
+	r.deadline = time.Now().Add(r.timeout()) // bound the view change itself
+
+	vc := viewChange{NewView: target, LastExec: r.lastExec}
+	for _, en := range r.sortedEntries() {
+		if en.seq <= r.lastExec || en.pp == nil || !r.preparedQuorum(en) {
+			continue
+		}
+		cert := preparedCert{PrePrepare: *en.pp}
+		set := en.prepares[voteKey{view: en.view, digest: en.digest}]
+		for from, raw := range set {
+			if from == r.leaderOf(en.view) {
+				continue
+			}
+			cert.Prepares = append(cert.Prepares, raw)
+			if len(cert.Prepares) == 2*r.f {
+				break
+			}
+		}
+		vc.Certs = append(vc.Certs, cert)
+	}
+	r.signAndBroadcast(encodeBody(kindViewChange, func(e *types.Encoder) { vc.encode(e) }))
+}
+
+func (r *Replica) sortedEntries() []*entry {
+	out := make([]*entry, 0, len(r.entries))
+	for _, en := range r.entries {
+		out = append(out, en)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+func (r *Replica) onViewChange(raw signedRaw, vc viewChange) {
+	if vc.NewView <= r.view {
+		return
+	}
+	set := r.vcs[vc.NewView]
+	if set == nil {
+		set = make(map[flcrypto.NodeID]signedRaw)
+		r.vcs[vc.NewView] = set
+	}
+	set[raw.From] = raw
+
+	// Join a view change that f+1 others already voted for: at least one
+	// correct replica timed out, so the suspicion is credible.
+	if !r.inVC || r.vcTarget < vc.NewView {
+		if len(set) >= r.f+1 && (!r.inVC || vc.NewView > r.vcTarget) {
+			r.startViewChange(vc.NewView)
+		}
+	}
+
+	// The designated leader of the new view assembles NEW-VIEW at quorum.
+	if r.leaderOf(vc.NewView) == r.id && len(set) >= 2*r.f+1 {
+		r.buildNewView(vc.NewView)
+	}
+}
+
+// validateCert checks a prepared certificate: a pre-prepare signed by the
+// leader of its view plus 2f distinct non-leader prepares on its digest.
+// It returns the decoded pre-prepare and true on success.
+func (r *Replica) validateCert(c *preparedCert) (prePrepare, bool) {
+	if len(c.PrePrepare.Body) == 0 || c.PrePrepare.Body[0] != kindPrePrepare {
+		return prePrepare{}, false
+	}
+	if !c.PrePrepare.verify(r.cfg.Registry) {
+		return prePrepare{}, false
+	}
+	r.metrics.VerifyOps.Add(1)
+	d := types.NewDecoder(c.PrePrepare.Body[1:])
+	pp := decodePrePrepare(d)
+	if d.Err() != nil {
+		return prePrepare{}, false
+	}
+	if c.PrePrepare.From != r.leaderOf(pp.View) {
+		return prePrepare{}, false
+	}
+	digest := batchDigest(pp.Batch)
+	seen := make(map[flcrypto.NodeID]bool)
+	for i := range c.Prepares {
+		p := &c.Prepares[i]
+		if len(p.Body) == 0 || p.Body[0] != kindPrepare {
+			continue
+		}
+		if p.From == r.leaderOf(pp.View) || seen[p.From] {
+			continue
+		}
+		if !p.verify(r.cfg.Registry) {
+			continue
+		}
+		r.metrics.VerifyOps.Add(1)
+		pd := types.NewDecoder(p.Body[1:])
+		v := decodeVote(pd)
+		if pd.Finish() != nil || v.View != pp.View || v.Seq != pp.Seq || v.Digest != digest {
+			continue
+		}
+		seen[p.From] = true
+	}
+	return pp, len(seen) >= 2*r.f
+}
+
+// computeNewViewPlan derives, from a quorum of view changes, the pre-prepare
+// assignments the new view must start with: for every sequence number above
+// the quorum's minimum LastExec up to the highest certified one, the batch
+// from the highest-view valid certificate, or an empty no-op batch if no
+// certificate covers it. Both the new leader (to build NEW-VIEW) and the
+// backups (to validate it) run this same function, so they agree.
+func (r *Replica) computeNewViewPlan(vcRaws []signedRaw) (low uint64, plan map[uint64][][]byte, high uint64, ok bool) {
+	low = ^uint64(0)
+	plan = make(map[uint64][][]byte)
+	bestView := make(map[uint64]uint64)
+	for i := range vcRaws {
+		raw := &vcRaws[i]
+		if len(raw.Body) == 0 || raw.Body[0] != kindViewChange {
+			return 0, nil, 0, false
+		}
+		d := types.NewDecoder(raw.Body[1:])
+		vc := decodeViewChange(d)
+		if d.Err() != nil {
+			return 0, nil, 0, false
+		}
+		if vc.LastExec < low {
+			low = vc.LastExec
+		}
+		for j := range vc.Certs {
+			pp, valid := r.validateCert(&vc.Certs[j])
+			if !valid {
+				continue
+			}
+			if old, exists := bestView[pp.Seq]; !exists || pp.View > old {
+				bestView[pp.Seq] = pp.View
+				plan[pp.Seq] = pp.Batch
+				if pp.Seq > high {
+					high = pp.Seq
+				}
+			}
+		}
+	}
+	if low == ^uint64(0) {
+		low = 0
+	}
+	if high < low {
+		high = low
+	}
+	return low, plan, high, true
+}
+
+// buildNewView is executed by the leader of `target` once it holds a view
+// change quorum.
+func (r *Replica) buildNewView(target uint64) {
+	set := r.vcs[target]
+	var raws []signedRaw
+	seen := make(map[flcrypto.NodeID]bool)
+	for from, raw := range set {
+		if seen[from] {
+			continue
+		}
+		seen[from] = true
+		raws = append(raws, raw)
+		if len(raws) == 2*r.f+1 {
+			break
+		}
+	}
+	if len(raws) < 2*r.f+1 {
+		return
+	}
+	low, plan, high, ok := r.computeNewViewPlan(raws)
+	if !ok {
+		return
+	}
+	nv := newView{View: target, ViewChanges: raws}
+	for seq := low + 1; seq <= high; seq++ {
+		batch := plan[seq] // nil -> no-op batch
+		pp := prePrepare{View: target, Seq: seq, Batch: batch}
+		body := encodeBody(kindPrePrepare, func(e *types.Encoder) { pp.encode(e) })
+		raw, err := r.signedRawFor(body)
+		if err != nil {
+			return
+		}
+		nv.PrePrepares = append(nv.PrePrepares, raw)
+	}
+	r.signAndBroadcast(encodeBody(kindNewView, func(e *types.Encoder) { nv.encode(e) }))
+	// Install locally when the broadcast loops back through onNewView.
+}
+
+func (r *Replica) onNewView(raw signedRaw, nv newView) {
+	if nv.View < r.view || (nv.View == r.view && !r.inVC) {
+		return
+	}
+	if raw.From != r.leaderOf(nv.View) {
+		return
+	}
+	// Validate the view-change quorum.
+	seen := make(map[flcrypto.NodeID]bool)
+	for i := range nv.ViewChanges {
+		vcr := &nv.ViewChanges[i]
+		if len(vcr.Body) == 0 || vcr.Body[0] != kindViewChange || seen[vcr.From] {
+			continue
+		}
+		if !vcr.verify(r.cfg.Registry) {
+			continue
+		}
+		r.metrics.VerifyOps.Add(1)
+		d := types.NewDecoder(vcr.Body[1:])
+		vc := decodeViewChange(d)
+		if d.Err() != nil || vc.NewView != nv.View {
+			continue
+		}
+		seen[vcr.From] = true
+	}
+	if len(seen) < 2*r.f+1 {
+		return
+	}
+	// Recompute the plan and check the leader followed it.
+	low, plan, high, ok := r.computeNewViewPlan(nv.ViewChanges)
+	if !ok {
+		return
+	}
+	expected := int(high - low)
+	if expected < 0 || len(nv.PrePrepares) != expected {
+		return
+	}
+	decoded := make([]prePrepare, 0, len(nv.PrePrepares))
+	for i := range nv.PrePrepares {
+		ppr := &nv.PrePrepares[i]
+		if len(ppr.Body) == 0 || ppr.Body[0] != kindPrePrepare {
+			return
+		}
+		if ppr.From != r.leaderOf(nv.View) || !ppr.verify(r.cfg.Registry) {
+			return
+		}
+		r.metrics.VerifyOps.Add(1)
+		d := types.NewDecoder(ppr.Body[1:])
+		pp := decodePrePrepare(d)
+		if d.Err() != nil || pp.View != nv.View {
+			return
+		}
+		wantSeq := low + 1 + uint64(i)
+		if pp.Seq != wantSeq {
+			return
+		}
+		if batchDigest(pp.Batch) != batchDigest(plan[pp.Seq]) {
+			return
+		}
+		decoded = append(decoded, pp)
+	}
+
+	// Install the new view.
+	r.view = nv.View
+	r.inVC = false
+	r.vcTarget = 0
+	r.metrics.ViewChanges.Add(1)
+	for v := range r.vcs {
+		if v <= nv.View {
+			delete(r.vcs, v)
+		}
+	}
+	// Reset in-flight entries from older views that were not carried over:
+	// their pre-prepares are void in the new view.
+	for seq, en := range r.entries {
+		if seq > r.lastExec && !en.executed && en.view < nv.View {
+			delete(r.entries, seq)
+		}
+	}
+	r.assigned = make(map[flcrypto.Hash]uint64)
+	// Process the carried-over pre-prepares through the normal path.
+	for i := range decoded {
+		r.onPrePrepare(nv.PrePrepares[i], decoded[i])
+	}
+	r.nextSeq = high + 1
+	if r.nextSeq <= r.lastExec {
+		r.nextSeq = r.lastExec + 1
+	}
+	r.deadline = time.Time{}
+	r.armTimer()
+	r.tryPropose()
+}

@@ -1,0 +1,190 @@
+// Package rbroadcast implements Byzantine reliable broadcast (the
+// RB-Broadcast abstraction of paper §3.2) in the style of Bracha's protocol:
+// SEND / ECHO / READY with amplification. FireLedger uses it to disseminate
+// panic proofs (Algorithm 2, lines b7 and b12): once any correct node
+// RB-delivers a proof, every correct node eventually does, so all correct
+// nodes enter the recovery procedure together.
+//
+// Properties (for each (origin, seq) slot):
+//
+//	RB-Validity:    a delivered message from a correct origin was broadcast by it.
+//	RB-Agreement:   if one correct node delivers m, all correct nodes deliver m.
+//	RB-Termination: a correct origin's broadcast is eventually delivered by all.
+package rbroadcast
+
+import (
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+const (
+	kindSend  = 1
+	kindEcho  = 2
+	kindReady = 3
+)
+
+type msgKey struct {
+	origin flcrypto.NodeID
+	seq    uint64
+}
+
+type slot struct {
+	payloads map[flcrypto.Hash][]byte
+	echoes   map[flcrypto.Hash]map[flcrypto.NodeID]bool
+	readys   map[flcrypto.Hash]map[flcrypto.NodeID]bool
+	sentEcho bool
+	sentRdy  bool
+	done     bool
+}
+
+// DeliverFunc receives RB-delivered messages. It is invoked on the
+// transport's read goroutine and must not block.
+type DeliverFunc func(origin flcrypto.NodeID, seq uint64, payload []byte)
+
+// Service is one node's reliable-broadcast endpoint.
+type Service struct {
+	mux   *transport.Mux
+	proto transport.ProtoID
+	n, f  int
+	id    flcrypto.NodeID
+
+	deliver DeliverFunc
+
+	mu    sync.Mutex
+	slots map[msgKey]*slot
+	seq   uint64
+}
+
+// New registers a reliable-broadcast service on mux under proto. deliver is
+// called exactly once per delivered (origin, seq) slot.
+func New(mux *transport.Mux, proto transport.ProtoID, deliver DeliverFunc) *Service {
+	s := &Service{
+		mux:     mux,
+		proto:   proto,
+		n:       mux.N(),
+		f:       (mux.N() - 1) / 3,
+		id:      mux.ID(),
+		deliver: deliver,
+		slots:   make(map[msgKey]*slot),
+	}
+	mux.Handle(proto, s.onMessage)
+	return s
+}
+
+// Broadcast RB-broadcasts payload under the node's next sequence number,
+// which it returns.
+func (s *Service) Broadcast(payload []byte) (uint64, error) {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+	return seq, s.mux.Broadcast(s.proto, encode(kindSend, s.id, seq, payload))
+}
+
+func encode(kind uint8, origin flcrypto.NodeID, seq uint64, payload []byte) []byte {
+	e := types.NewEncoder(1 + 8 + 8 + 4 + len(payload))
+	e.Uint8(kind)
+	e.Int64(int64(origin))
+	e.Uint64(seq)
+	e.Bytes32(payload)
+	return e.Bytes()
+}
+
+func (s *Service) onMessage(from flcrypto.NodeID, buf []byte) {
+	d := types.NewDecoder(buf)
+	kind := d.Uint8()
+	origin := flcrypto.NodeID(d.Int64())
+	seq := d.Uint64()
+	payload := append([]byte(nil), d.Bytes32()...)
+	if d.Finish() != nil {
+		return
+	}
+	if int(origin) < 0 || int(origin) >= s.n {
+		return
+	}
+	// A SEND must come from its claimed origin; the link layer
+	// authenticates the sender (§3.1), so this check prevents
+	// impersonation without needing a signature here.
+	if kind == kindSend && from != origin {
+		return
+	}
+	digest := flcrypto.Sum256(payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := msgKey{origin, seq}
+	sl := s.slots[key]
+	if sl == nil {
+		sl = &slot{
+			payloads: make(map[flcrypto.Hash][]byte),
+			echoes:   make(map[flcrypto.Hash]map[flcrypto.NodeID]bool),
+			readys:   make(map[flcrypto.Hash]map[flcrypto.NodeID]bool),
+		}
+		s.slots[key] = sl
+	}
+	if sl.done {
+		return
+	}
+	sl.payloads[digest] = payload
+
+	switch kind {
+	case kindSend:
+		s.maybeEcho(key, sl, digest, payload)
+	case kindEcho:
+		set := sl.echoes[digest]
+		if set == nil {
+			set = make(map[flcrypto.NodeID]bool)
+			sl.echoes[digest] = set
+		}
+		set[from] = true
+	case kindReady:
+		set := sl.readys[digest]
+		if set == nil {
+			set = make(map[flcrypto.NodeID]bool)
+			sl.readys[digest] = set
+		}
+		set[from] = true
+	default:
+		return
+	}
+	s.progress(key, sl)
+}
+
+func (s *Service) maybeEcho(key msgKey, sl *slot, digest flcrypto.Hash, payload []byte) {
+	if sl.sentEcho {
+		return
+	}
+	sl.sentEcho = true
+	s.mux.Broadcast(s.proto, encode(kindEcho, key.origin, key.seq, payload))
+}
+
+func (s *Service) progress(key msgKey, sl *slot) {
+	// READY on 2f+1 echoes or f+1 readys for the same digest.
+	echoThreshold := 2*s.f + 1
+	for digest, set := range sl.echoes {
+		if !sl.sentRdy && len(set) >= echoThreshold {
+			sl.sentRdy = true
+			s.mux.Broadcast(s.proto, encode(kindReady, key.origin, key.seq, sl.payloads[digest]))
+		}
+	}
+	for digest, set := range sl.readys {
+		if !sl.sentRdy && len(set) >= s.f+1 {
+			sl.sentRdy = true
+			s.mux.Broadcast(s.proto, encode(kindReady, key.origin, key.seq, sl.payloads[digest]))
+		}
+		// Deliver on 2f+1 readys.
+		if len(set) >= 2*s.f+1 {
+			sl.done = true
+			payload := sl.payloads[digest]
+			// Release the lock around the callback: deliver may call back
+			// into the service (e.g., RB-broadcast a response).
+			s.mu.Unlock()
+			s.deliver(key.origin, key.seq, payload)
+			s.mu.Lock()
+			return
+		}
+	}
+}

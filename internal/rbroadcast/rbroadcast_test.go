@@ -1,0 +1,235 @@
+package rbroadcast
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+const testProto transport.ProtoID = 7
+
+type delivered struct {
+	origin  flcrypto.NodeID
+	seq     uint64
+	payload []byte
+}
+
+type cluster struct {
+	net      *transport.ChanNetwork
+	muxes    []*transport.Mux
+	services []*Service
+	sinks    []chan delivered
+}
+
+func newCluster(t *testing.T, n int, latency transport.LatencyModel) *cluster {
+	t.Helper()
+	c := &cluster{net: transport.NewChanNetwork(transport.ChanConfig{N: n, Latency: latency})}
+	for i := 0; i < n; i++ {
+		mux := transport.NewMux(c.net.Endpoint(flcrypto.NodeID(i)))
+		sink := make(chan delivered, 64)
+		svc := New(mux, testProto, func(origin flcrypto.NodeID, seq uint64, payload []byte) {
+			sink <- delivered{origin, seq, payload}
+		})
+		mux.Start()
+		c.muxes = append(c.muxes, mux)
+		c.services = append(c.services, svc)
+		c.sinks = append(c.sinks, sink)
+	}
+	t.Cleanup(func() {
+		for _, m := range c.muxes {
+			m.Stop()
+		}
+		c.net.Close()
+	})
+	return c
+}
+
+func waitDelivered(t *testing.T, sink chan delivered) delivered {
+	t.Helper()
+	select {
+	case d := <-sink:
+		return d
+	case <-time.After(5 * time.Second):
+		t.Fatal("RB-deliver timed out")
+		return delivered{}
+	}
+}
+
+func TestRBDeliverAll(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	payload := []byte("panic proof")
+	seq, err := c.services[0].Broadcast(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sink := range c.sinks {
+		d := waitDelivered(t, sink)
+		if d.origin != 0 || d.seq != seq || !bytes.Equal(d.payload, payload) {
+			t.Fatalf("node %d delivered %+v", i, d)
+		}
+	}
+}
+
+func TestRBMultipleBroadcastsDistinctSlots(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	for k := 0; k < 5; k++ {
+		if _, err := c.services[1].Broadcast([]byte(fmt.Sprintf("m%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, sink := range c.sinks {
+		seen := make(map[uint64]string)
+		for k := 0; k < 5; k++ {
+			d := waitDelivered(t, sink)
+			seen[d.seq] = string(d.payload)
+		}
+		if len(seen) != 5 {
+			t.Fatalf("node %d delivered %d distinct slots", i, len(seen))
+		}
+	}
+}
+
+func TestRBConcurrentOrigins(t *testing.T) {
+	const n = 7
+	c := newCluster(t, n, transport.Uniform(time.Millisecond, time.Millisecond))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.services[i].Broadcast([]byte(fmt.Sprintf("from-%d", i))); err != nil {
+				t.Errorf("broadcast %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, sink := range c.sinks {
+		got := make(map[flcrypto.NodeID]bool)
+		for k := 0; k < n; k++ {
+			d := waitDelivered(t, sink)
+			got[d.origin] = true
+		}
+		if len(got) != n {
+			t.Fatalf("node %d delivered from %d/%d origins", i, len(got), n)
+		}
+	}
+}
+
+func TestRBToleratesSilentNode(t *testing.T) {
+	// n=4, f=1: one crashed node must not block delivery at the rest.
+	c := newCluster(t, 4, nil)
+	c.net.Crash(3)
+	if _, err := c.services[0].Broadcast([]byte("still works")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d := waitDelivered(t, c.sinks[i])
+		if string(d.payload) != "still works" {
+			t.Fatalf("node %d delivered %q", i, d.payload)
+		}
+	}
+}
+
+// byzantineSend injects a raw SEND frame claiming a given origin, bypassing
+// the Service API, to exercise validation paths.
+func byzantineSend(t *testing.T, mux *transport.Mux, origin flcrypto.NodeID, seq uint64, payload []byte) {
+	t.Helper()
+	e := types.NewEncoder(0)
+	e.Uint8(1) // kindSend
+	e.Int64(int64(origin))
+	e.Uint64(seq)
+	e.Bytes32(payload)
+	if err := mux.Broadcast(testProto, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBRejectsImpersonatedSend(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	// Node 2 claims to relay a SEND from node 0: must be ignored, so no
+	// delivery happens anywhere.
+	byzantineSend(t, c.muxes[2], 0, 99, []byte("forged"))
+	select {
+	case d := <-c.sinks[1]:
+		t.Fatalf("impersonated send was delivered: %+v", d)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestRBAgreementUnderEquivocation(t *testing.T) {
+	// A Byzantine origin SENDs different payloads to different nodes. With
+	// Bracha echo quorums, at most one payload can gather 2f+1 echoes, so
+	// either all correct nodes deliver the same payload or none deliver.
+	const n = 4
+	c := newCluster(t, n, nil)
+
+	// Craft two conflicting SENDs from node 3 (the Byzantine one) and send
+	// each to half the cluster directly.
+	mk := func(payload string) []byte {
+		e := types.NewEncoder(0)
+		e.Uint8(1)
+		e.Int64(3)
+		e.Uint64(1)
+		e.Bytes32([]byte(payload))
+		return e.Bytes()
+	}
+	ep := c.muxes[3]
+	if err := ep.Send(testProto, 0, mk("version A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(testProto, 1, mk("version B")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(testProto, 2, mk("version A")); err != nil {
+		t.Fatal(err)
+	}
+	// Byzantine node 3 also echoes version A to push it over the threshold.
+	e := types.NewEncoder(0)
+	e.Uint8(2) // echo
+	e.Int64(3)
+	e.Uint64(1)
+	e.Bytes32([]byte("version A"))
+	if err := ep.Broadcast(testProto, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect deliveries for up to 500ms; all that arrive must agree.
+	var got []string
+	deadline := time.After(500 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		select {
+		case d := <-c.sinks[i]:
+			got = append(got, string(d.payload))
+		case <-deadline:
+		}
+	}
+	for _, g := range got {
+		if g != got[0] {
+			t.Fatalf("correct nodes delivered conflicting payloads: %v", got)
+		}
+	}
+}
+
+func TestRBGarbageIgnored(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	if err := c.muxes[1].Broadcast(testProto, []byte{0xFF, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.muxes[1].Broadcast(testProto, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Then a legitimate broadcast still goes through.
+	if _, err := c.services[0].Broadcast([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	d := waitDelivered(t, c.sinks[2])
+	if string(d.payload) != "ok" {
+		t.Fatalf("delivered %q", d.payload)
+	}
+}

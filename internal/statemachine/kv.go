@@ -1,0 +1,220 @@
+// Package statemachine provides the deterministic replicated state machine
+// that rides on FLO's total order: every replica applies the merged definite
+// transaction stream to a KV store and, because application is a pure
+// function of the stream, all replicas hold identical state at equal
+// positions ("transactions may in fact be any deterministic computational
+// step", paper §1). Snapshots make replica state portable: a digest for
+// cross-replica comparison, a serialized form for state transfer and
+// restart.
+package statemachine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// Op codes of the KV command language.
+const (
+	// OpSet assigns a value to a key.
+	OpSet = 1
+	// OpDel removes a key.
+	OpDel = 2
+	// OpAdd increments a key's value interpreted as a big-endian uint64
+	// (missing keys count as 0) — enough for balances and counters.
+	OpAdd = 3
+)
+
+// Errors returned by Apply. An erroring transaction leaves the state
+// unchanged but still advances the applied-count: replicas must agree on
+// rejection exactly as they agree on application.
+var (
+	ErrBadOp = errors.New("statemachine: malformed operation")
+)
+
+// EncodeSet builds a SET payload.
+func EncodeSet(key string, value []byte) []byte {
+	e := types.NewEncoder(16 + len(key) + len(value))
+	e.Uint8(OpSet)
+	e.Bytes32([]byte(key))
+	e.Bytes32(value)
+	return e.Bytes()
+}
+
+// EncodeDel builds a DEL payload.
+func EncodeDel(key string) []byte {
+	e := types.NewEncoder(8 + len(key))
+	e.Uint8(OpDel)
+	e.Bytes32([]byte(key))
+	return e.Bytes()
+}
+
+// EncodeAdd builds an ADD payload (delta is two's-complement, so negative
+// deltas subtract).
+func EncodeAdd(key string, delta int64) []byte {
+	e := types.NewEncoder(16 + len(key))
+	e.Uint8(OpAdd)
+	e.Bytes32([]byte(key))
+	e.Int64(delta)
+	return e.Bytes()
+}
+
+// KV is one replica's state. All methods are safe for concurrent use;
+// Apply calls must arrive in the replica's delivery order.
+type KV struct {
+	mu      sync.RWMutex
+	data    map[string][]byte
+	applied uint64 // count of Apply calls (including rejected ones)
+}
+
+// NewKV returns an empty store.
+func NewKV() *KV {
+	return &KV{data: make(map[string][]byte)}
+}
+
+// Apply executes one transaction payload. Malformed payloads are rejected
+// deterministically (same error at every replica) and counted.
+func (kv *KV) Apply(tx types.Transaction) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.applied++
+	d := types.NewDecoder(tx.Payload)
+	op := d.Uint8()
+	switch op {
+	case OpSet:
+		key := string(d.Bytes32())
+		value := append([]byte(nil), d.Bytes32()...)
+		if d.Finish() != nil {
+			return ErrBadOp
+		}
+		kv.data[key] = value
+	case OpDel:
+		key := string(d.Bytes32())
+		if d.Finish() != nil {
+			return ErrBadOp
+		}
+		delete(kv.data, key)
+	case OpAdd:
+		key := string(d.Bytes32())
+		delta := d.Int64()
+		if d.Finish() != nil {
+			return ErrBadOp
+		}
+		cur := int64(0)
+		if raw, ok := kv.data[key]; ok {
+			if len(raw) != 8 {
+				return fmt.Errorf("%w: ADD on non-counter key %q", ErrBadOp, key)
+			}
+			cur = int64(beUint64(raw))
+		}
+		kv.data[key] = beBytes(uint64(cur + delta))
+	default:
+		return fmt.Errorf("%w: op %d", ErrBadOp, op)
+	}
+	return nil
+}
+
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for _, c := range b {
+		v = v<<8 | uint64(c)
+	}
+	return v
+}
+
+func beBytes(v uint64) []byte {
+	out := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		out[i] = byte(v)
+		v >>= 8
+	}
+	return out
+}
+
+// Get returns the value of key.
+func (kv *KV) Get(key string) ([]byte, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Counter returns key's value as a counter (0 when absent or malformed).
+func (kv *KV) Counter(key string) int64 {
+	v, ok := kv.Get(key)
+	if !ok || len(v) != 8 {
+		return 0
+	}
+	return int64(beUint64(v))
+}
+
+// Len returns the number of keys.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}
+
+// Applied returns how many transactions have been applied (including
+// rejected ones) — the replica's logical position.
+func (kv *KV) Applied() uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.applied
+}
+
+// Hash returns a digest of the full state (keys, values, position). Two
+// replicas that applied the same stream have equal hashes — the
+// cross-replica consistency oracle used in tests and examples.
+func (kv *KV) Hash() flcrypto.Hash {
+	return flcrypto.Sum256(kv.Snapshot())
+}
+
+// Snapshot serializes the state deterministically (sorted keys).
+func (kv *KV) Snapshot() []byte {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e := types.NewEncoder(64 * (len(keys) + 1))
+	e.Uint64(kv.applied)
+	e.Uint32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Bytes32([]byte(k))
+		e.Bytes32(kv.data[k])
+	}
+	return e.Bytes()
+}
+
+// Restore rebuilds a replica from a snapshot.
+func Restore(snap []byte) (*KV, error) {
+	d := types.NewDecoder(snap)
+	kv := NewKV()
+	kv.applied = d.Uint64()
+	n := d.Uint32()
+	if d.Err() != nil || n > types.MaxFieldLen/8 {
+		return nil, fmt.Errorf("statemachine: corrupt snapshot header")
+	}
+	for i := uint32(0); i < n; i++ {
+		key := string(d.Bytes32())
+		value := append([]byte(nil), d.Bytes32()...)
+		if d.Err() != nil {
+			break
+		}
+		kv.data[key] = value
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("statemachine: corrupt snapshot: %w", err)
+	}
+	return kv, nil
+}

@@ -1,0 +1,192 @@
+// Package store persists each worker's definite chain to disk: an
+// append-only log of length-prefixed, checksummed block frames. Only
+// definite (final) blocks are written — tentative blocks may be rescinded
+// by the recovery procedure and never touch disk — so a restarted node
+// reloads a prefix that BBFC-Finality guarantees will never change, and
+// rejoins the cluster from there via the normal catch-up path.
+//
+// The format is deliberately simple and self-healing: on open, the log is
+// replayed frame by frame; the first torn or corrupt frame (a crash mid
+// append) truncates the file to the last good boundary.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// frameMagic guards against replaying a foreign file.
+const frameMagic uint32 = 0xF17E_B10C
+
+// maxFrame bounds a single persisted block.
+const maxFrame = 256 << 20
+
+// BlockLog is one worker's persistent chain.
+type BlockLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	tip  uint64 // last persisted round
+	sync bool
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync forces an fsync after every append (durable but slow); without
+	// it the OS page cache owns durability, which is the usual trade for
+	// throughput-oriented deployments.
+	Sync bool
+	// Registry, when non-nil, verifies block signatures during replay so a
+	// tampered log is rejected rather than adopted.
+	Registry *flcrypto.Registry
+	// Instance is the worker the log belongs to; replay rejects frames of
+	// other instances.
+	Instance uint32
+}
+
+// Open opens (creating if needed) the log at path and replays it, returning
+// the persisted definite chain prefix in round order. A corrupt or torn
+// tail is truncated away; corruption in the middle of the replayed prefix
+// surfaces as an error.
+func Open(path string, opts Options) (*BlockLog, []types.Block, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	blocks, goodBytes, err := replay(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Truncate any torn tail so the next append starts at a frame
+	// boundary.
+	if err := f.Truncate(goodBytes); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: truncate: %w", err)
+	}
+	if _, err := f.Seek(goodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: seek: %w", err)
+	}
+	log := &BlockLog{f: f, sync: opts.Sync}
+	if len(blocks) > 0 {
+		log.tip = blocks[len(blocks)-1].Signed.Header.Round
+	}
+	return log, blocks, nil
+}
+
+// replay scans the file, returning the valid block prefix and the byte
+// offset of the end of the last good frame.
+func replay(f *os.File, opts Options) ([]types.Block, int64, error) {
+	var blocks []types.Block
+	var offset int64
+	var prevHash flcrypto.Hash
+	prevHash = types.GenesisHeader(opts.Instance).Hash()
+	nextRound := uint64(1)
+	var header [12]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			break // clean EOF or torn header: stop at last good frame
+		}
+		if binary.BigEndian.Uint32(header[0:]) != frameMagic {
+			break
+		}
+		n := binary.BigEndian.Uint32(header[4:])
+		wantCRC := binary.BigEndian.Uint32(header[8:])
+		if n > maxFrame {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break // bit rot or torn write across the crc boundary
+		}
+		d := types.NewDecoder(payload)
+		blk := types.DecodeBlock(d)
+		if d.Finish() != nil {
+			break
+		}
+		hdr := blk.Signed.Header
+		// The replayed prefix must be a real chain: in-order rounds,
+		// intact hash links, matching bodies, valid signatures.
+		if hdr.Instance != opts.Instance || hdr.Round != nextRound || hdr.PrevHash != prevHash {
+			return nil, 0, fmt.Errorf("store: log frame at offset %d does not chain (round %d)", offset, hdr.Round)
+		}
+		if blk.CheckBody() != nil {
+			return nil, 0, fmt.Errorf("store: body mismatch at round %d", hdr.Round)
+		}
+		if opts.Registry != nil && !blk.Signed.Verify(opts.Registry) {
+			return nil, 0, fmt.Errorf("store: bad signature at round %d", hdr.Round)
+		}
+		blocks = append(blocks, blk)
+		prevHash = hdr.Hash()
+		nextRound++
+		offset += 12 + int64(n)
+	}
+	return blocks, offset, nil
+}
+
+// ErrOutOfOrder reports an append that does not extend the persisted tip.
+var ErrOutOfOrder = errors.New("store: append out of order")
+
+// Append persists one definite block. Blocks must arrive in round order
+// with no gaps (the core emits definite decisions exactly that way).
+func (l *BlockLog) Append(blk types.Block) error {
+	hdr := blk.Signed.Header
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if hdr.Round != l.tip+1 {
+		return fmt.Errorf("%w: round %d after tip %d", ErrOutOfOrder, hdr.Round, l.tip)
+	}
+	e := types.NewEncoder(256 + blk.Body.Size())
+	blk.Encode(e)
+	payload := e.Bytes()
+	var header [12]byte
+	binary.BigEndian.PutUint32(header[0:], frameMagic)
+	binary.BigEndian.PutUint32(header[4:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[8:], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(header[:]); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+	}
+	l.tip = hdr.Round
+	return nil
+}
+
+// Tip returns the last persisted round.
+func (l *BlockLog) Tip() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tip
+}
+
+// Close flushes and closes the log.
+func (l *BlockLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

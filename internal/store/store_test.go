@@ -1,0 +1,233 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+func buildBlocks(t *testing.T, ks *flcrypto.KeySet, instance uint32, n int) []types.Block {
+	t.Helper()
+	prev := types.GenesisHeader(instance).Hash()
+	var out []types.Block
+	for r := 1; r <= n; r++ {
+		proposer := (r - 1) % ks.Registry.N()
+		blk, err := types.NewBlock(instance, uint64(r), flcrypto.NodeID(proposer), prev,
+			[]types.Transaction{{Client: uint64(r), Seq: 1, Payload: []byte{byte(r)}}},
+			ks.Privs[proposer])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, blk)
+		prev = blk.Hash()
+	}
+	return out
+}
+
+func TestStoreAppendReopenReplay(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	path := filepath.Join(t.TempDir(), "chain", "w0.log")
+	opts := Options{Registry: ks.Registry, Instance: 0}
+
+	log, blocks, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 0 {
+		t.Fatalf("fresh log replayed %d blocks", len(blocks))
+	}
+	want := buildBlocks(t, ks, 0, 8)
+	for _, blk := range want {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if log.Tip() != 8 {
+		t.Fatalf("tip = %d", log.Tip())
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, got, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(got) != 8 {
+		t.Fatalf("replayed %d blocks, want 8", len(got))
+	}
+	for i := range got {
+		if got[i].Hash() != want[i].Hash() {
+			t.Fatalf("block %d changed across restart", i)
+		}
+	}
+	// Appending continues from the replayed tip.
+	more := buildBlocksFrom(t, ks, got[len(got)-1], 2)
+	for _, blk := range more {
+		if err := log2.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if log2.Tip() != 10 {
+		t.Fatalf("tip after continue = %d", log2.Tip())
+	}
+}
+
+func buildBlocksFrom(t *testing.T, ks *flcrypto.KeySet, parent types.Block, n int) []types.Block {
+	t.Helper()
+	prev := parent.Hash()
+	round := parent.Signed.Header.Round
+	var out []types.Block
+	for i := 1; i <= n; i++ {
+		r := round + uint64(i)
+		proposer := int(r-1) % ks.Registry.N()
+		blk, err := types.NewBlock(0, r, flcrypto.NodeID(proposer), prev, nil, ks.Privs[proposer])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, blk)
+		prev = blk.Hash()
+	}
+	return out
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	path := filepath.Join(t.TempDir(), "w0.log")
+	opts := Options{Registry: ks.Registry, Instance: 0}
+	log, _, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := buildBlocks(t, ks, 0, 3)
+	for _, blk := range blocks {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+
+	// Simulate a crash mid-append: write a partial frame at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xF1, 0x7E, 0xB1, 0x0C, 0x00, 0x00}) // magic + half a length
+	f.Close()
+
+	log2, got, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("torn tail should self-heal: %v", err)
+	}
+	defer log2.Close()
+	if len(got) != 3 {
+		t.Fatalf("replayed %d, want 3", len(got))
+	}
+	// The log accepts new appends at the healed boundary.
+	more := buildBlocksFrom(t, ks, got[2], 1)
+	if err := log2.Append(more[0]); err != nil {
+		t.Fatal(err)
+	}
+	log2.Close()
+	_, got2, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 4 {
+		t.Fatalf("after heal+append replay got %d, want 4", len(got2))
+	}
+}
+
+func TestStoreCorruptPayloadStopsReplay(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	path := filepath.Join(t.TempDir(), "w0.log")
+	opts := Options{Registry: ks.Registry, Instance: 0}
+	log, _, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range buildBlocks(t, ks, 0, 2) {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+
+	// Flip one payload byte of the LAST frame: CRC fails, frame dropped,
+	// earlier prefix survives.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log2, got, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(got) != 1 {
+		t.Fatalf("replayed %d blocks after tail corruption, want 1", len(got))
+	}
+}
+
+func TestStoreRejectsWrongInstance(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	path := filepath.Join(t.TempDir(), "w0.log")
+	log, _, err := Open(path, Options{Registry: ks.Registry, Instance: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range buildBlocks(t, ks, 0, 2) {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+	// Reopening the same file as instance 1's log must fail loudly — the
+	// frames chain but belong to another worker.
+	if _, _, err := Open(path, Options{Registry: ks.Registry, Instance: 1}); err == nil {
+		t.Fatal("foreign instance log accepted")
+	}
+}
+
+func TestStoreAppendOrderEnforced(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	path := filepath.Join(t.TempDir(), "w0.log")
+	log, _, err := Open(path, Options{Registry: ks.Registry, Instance: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	blocks := buildBlocks(t, ks, 0, 3)
+	if err := log.Append(blocks[1]); err == nil {
+		t.Fatal("gap append accepted")
+	}
+	if err := log.Append(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(blocks[0]); err == nil {
+		t.Fatal("duplicate round accepted")
+	}
+}
+
+func TestStoreSyncMode(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	path := filepath.Join(t.TempDir(), "w0.log")
+	log, _, err := Open(path, Options{Registry: ks.Registry, Instance: 0, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	for _, blk := range buildBlocks(t, ks, 0, 2) {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

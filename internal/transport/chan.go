@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/flcrypto"
+)
+
+// ChanConfig configures an in-process simulated network.
+type ChanConfig struct {
+	// N is the cluster size.
+	N int
+	// Latency models one-way propagation delay; nil means Zero.
+	Latency LatencyModel
+	// EgressBytesPerSec models each node's shared NIC egress bandwidth:
+	// a broadcast of a B-byte block to n−1 peers occupies the sender's
+	// egress for (n−1)·B / rate. Zero disables bandwidth modeling.
+	// The paper's VMs have "up to 10 Gbps" links (§7).
+	EgressBytesPerSec float64
+}
+
+// ChanNetwork is the in-process network used by tests, examples, and the
+// benchmark harness. It plays the role of the paper's AWS fabric and adds
+// the fault injection needed for §7.4: crashes, per-link omission, and
+// partitions.
+type ChanNetwork struct {
+	cfg  ChanConfig
+	eps  []*chanEndpoint
+	now0 time.Time
+
+	mu        sync.RWMutex
+	crashed   map[flcrypto.NodeID]bool
+	blockLink func(from, to flcrypto.NodeID) bool
+}
+
+// NewChanNetwork creates a network of cfg.N endpoints.
+func NewChanNetwork(cfg ChanConfig) *ChanNetwork {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("transport: invalid cluster size %d", cfg.N))
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = Zero
+	}
+	n := &ChanNetwork{
+		cfg:     cfg,
+		now0:    time.Now(),
+		crashed: make(map[flcrypto.NodeID]bool),
+	}
+	n.eps = make([]*chanEndpoint, cfg.N)
+	for i := range n.eps {
+		n.eps[i] = &chanEndpoint{
+			net:   n,
+			id:    flcrypto.NodeID(i),
+			mbox:  newMailbox(),
+			links: make([]linkQueue, cfg.N),
+		}
+	}
+	return n
+}
+
+// Endpoint returns node id's attachment. It panics on out-of-range ids;
+// membership is static in a permissioned deployment.
+func (n *ChanNetwork) Endpoint(id flcrypto.NodeID) Endpoint {
+	return n.eps[id]
+}
+
+// Crash makes id silent: nothing it sends is delivered anymore and nothing
+// reaches it. This models the fail-stop crashes of §7.4.1.
+func (n *ChanNetwork) Crash(id flcrypto.NodeID) {
+	n.mu.Lock()
+	n.crashed[id] = true
+	n.mu.Unlock()
+}
+
+// Heal undoes Crash for id.
+func (n *ChanNetwork) Heal(id flcrypto.NodeID) {
+	n.mu.Lock()
+	delete(n.crashed, id)
+	n.mu.Unlock()
+}
+
+// SetLinkFilter installs a predicate that blocks (from→to) links when it
+// returns true. Used to inject omission failures and partitions. Passing nil
+// removes the filter.
+func (n *ChanNetwork) SetLinkFilter(f func(from, to flcrypto.NodeID) bool) {
+	n.mu.Lock()
+	n.blockLink = f
+	n.mu.Unlock()
+}
+
+func (n *ChanNetwork) linkBlocked(from, to flcrypto.NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.crashed[from] || n.crashed[to] {
+		return true
+	}
+	return n.blockLink != nil && n.blockLink(from, to)
+}
+
+// BytesSent reports the cumulative payload bytes node id has sent (excluding
+// self-delivery), for bandwidth accounting in experiments.
+func (n *ChanNetwork) BytesSent(id flcrypto.NodeID) uint64 {
+	return atomic.LoadUint64(&n.eps[id].bytesSent)
+}
+
+// MessagesSent reports the cumulative message count node id has sent
+// (excluding self-delivery).
+func (n *ChanNetwork) MessagesSent(id flcrypto.NodeID) uint64 {
+	return atomic.LoadUint64(&n.eps[id].msgsSent)
+}
+
+// Close shuts down every endpoint.
+func (n *ChanNetwork) Close() {
+	for _, ep := range n.eps {
+		ep.Close()
+	}
+}
+
+type chanEndpoint struct {
+	net  *ChanNetwork
+	id   flcrypto.NodeID
+	mbox *mailbox
+
+	closed atomic.Bool
+
+	// egress is the time the node's NIC becomes free, for bandwidth
+	// modeling; links[j] holds the FIFO queue of id→j messages awaiting
+	// their delivery timers.
+	mu     sync.Mutex
+	egress time.Time
+	links  []linkQueue
+
+	bytesSent uint64
+	msgsSent  uint64
+}
+
+// linkQueue keeps one ordered pair's in-flight messages. Delivery timers
+// each release the queue *head*, not "their" message, so FIFO order holds
+// even when the runtime fires timer callbacks out of deadline order.
+type linkQueue struct {
+	mu    sync.Mutex
+	queue []Message
+	last  time.Time // monotone delivery horizon for the link
+}
+
+func (e *chanEndpoint) ID() flcrypto.NodeID { return e.id }
+func (e *chanEndpoint) N() int              { return e.net.cfg.N }
+
+func (e *chanEndpoint) Recv() <-chan Message { return e.mbox.out }
+
+func (e *chanEndpoint) Close() error {
+	if e.closed.Swap(true) {
+		return ErrClosed
+	}
+	e.mbox.close()
+	return nil
+}
+
+func (e *chanEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if int(to) < 0 || int(to) >= e.net.cfg.N {
+		return fmt.Errorf("transport: send to unknown node %d", to)
+	}
+	if to == e.id {
+		// Loopback: immediate, no NIC cost.
+		e.mbox.put(Message{From: e.id, Payload: payload})
+		return nil
+	}
+	if e.net.linkBlocked(e.id, to) {
+		// Blocked links silently drop: from the protocol's point of view
+		// this is indistinguishable from an arbitrarily slow link, which
+		// is exactly the asynchronous-period behavior being modeled.
+		return nil
+	}
+	atomic.AddUint64(&e.bytesSent, uint64(len(payload)))
+	atomic.AddUint64(&e.msgsSent, 1)
+
+	now := time.Now()
+	e.mu.Lock()
+	sendDone := now
+	if rate := e.net.cfg.EgressBytesPerSec; rate > 0 {
+		if e.egress.Before(now) {
+			e.egress = now
+		}
+		e.egress = e.egress.Add(time.Duration(float64(len(payload)) / rate * float64(time.Second)))
+		sendDone = e.egress
+	}
+	e.mu.Unlock()
+	deliverAt := sendDone.Add(e.net.cfg.Latency.Delay(e.id, to))
+
+	target := e.net.eps[to]
+	lq := &e.links[to]
+	lq.mu.Lock()
+	if deliverAt.Before(lq.last) {
+		deliverAt = lq.last // a message never overtakes its predecessor's horizon
+	}
+	lq.last = deliverAt
+	lq.queue = append(lq.queue, Message{From: e.id, Payload: payload})
+	lq.mu.Unlock()
+
+	delay := time.Until(deliverAt)
+	if delay <= 50*time.Microsecond {
+		e.deliverHead(target, lq)
+		return nil
+	}
+	time.AfterFunc(delay, func() { e.deliverHead(target, lq) })
+	return nil
+}
+
+// deliverHead releases the oldest queued message on the link. Every send
+// schedules exactly one deliverHead, so counts match; taking the head keeps
+// the link FIFO regardless of timer callback scheduling order.
+func (e *chanEndpoint) deliverHead(target *chanEndpoint, lq *linkQueue) {
+	lq.mu.Lock()
+	if len(lq.queue) == 0 {
+		lq.mu.Unlock()
+		return
+	}
+	msg := lq.queue[0]
+	lq.queue = lq.queue[1:]
+	lq.mu.Unlock()
+	// Re-check fault state at delivery time: messages in flight when a
+	// crash or partition is injected are dropped, like packets on a cut
+	// cable.
+	if e.net.linkBlocked(msg.From, target.id) {
+		return
+	}
+	target.mbox.put(msg)
+}
+
+func (e *chanEndpoint) Broadcast(payload []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	for i := 0; i < e.net.cfg.N; i++ {
+		if err := e.Send(flcrypto.NodeID(i), payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

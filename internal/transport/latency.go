@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/flcrypto"
+)
+
+// LatencyModel yields the one-way propagation delay for a message from one
+// node to another. Implementations may be stochastic; they must be safe for
+// concurrent use.
+type LatencyModel interface {
+	Delay(from, to flcrypto.NodeID) time.Duration
+}
+
+// LatencyFunc adapts a function to LatencyModel.
+type LatencyFunc func(from, to flcrypto.NodeID) time.Duration
+
+// Delay implements LatencyModel.
+func (f LatencyFunc) Delay(from, to flcrypto.NodeID) time.Duration { return f(from, to) }
+
+// Zero is a latency model with no propagation delay, for unit tests that
+// exercise logic rather than timing.
+var Zero = LatencyFunc(func(_, _ flcrypto.NodeID) time.Duration { return 0 })
+
+// Uniform returns a model drawing delays uniformly from [base, base+jitter).
+// With jitter 0 it is constant.
+func Uniform(base, jitter time.Duration) LatencyModel {
+	return &uniformModel{base: base, jitter: jitter, rng: rand.New(rand.NewSource(1))}
+}
+
+type uniformModel struct {
+	mu     sync.Mutex
+	base   time.Duration
+	jitter time.Duration
+	rng    *rand.Rand
+}
+
+func (u *uniformModel) Delay(_, _ flcrypto.NodeID) time.Duration {
+	if u.jitter <= 0 {
+		return u.base
+	}
+	u.mu.Lock()
+	d := u.base + time.Duration(u.rng.Int63n(int64(u.jitter)))
+	u.mu.Unlock()
+	return d
+}
+
+// SingleDC models intra-data-center latency: ~250µs ± 100µs one way, matching
+// AWS same-AZ VM-to-VM round trips of roughly 0.5ms (§7.2's m5.xlarge setting).
+func SingleDC() LatencyModel { return Uniform(200*time.Microsecond, 100*time.Microsecond) }
+
+// GeoRegions are the ten AWS regions of the paper's §7.5 deployment, in the
+// paper's placement order: node i runs in GeoRegions[i mod 10].
+var GeoRegions = []string{
+	"Tokyo", "Canada-Central", "Frankfurt", "Paris", "Sao-Paulo",
+	"Oregon", "Singapore", "Sydney", "Ireland", "Ohio",
+}
+
+// geoRTTms holds approximate public inter-region RTT medians in milliseconds
+// (upper triangle, symmetric). Sources: published AWS inter-region latency
+// tables; exact values matter less than their relative structure (intra-
+// continent ≈ tens of ms, antipodal ≈ 200-300ms).
+var geoRTTms = [10][10]float64{
+	//          Tok  CaC  Fra  Par  SaP  Ore  Sin  Syd  Ire  Ohi
+	/*Tokyo*/ {2, 156, 236, 222, 270, 97, 69, 104, 212, 156},
+	/*CaC*/ {156, 2, 92, 87, 125, 60, 216, 197, 67, 25},
+	/*Fra*/ {236, 92, 2, 8, 203, 159, 147, 283, 25, 100},
+	/*Par*/ {222, 87, 8, 2, 196, 141, 158, 280, 18, 95},
+	/*SaP*/ {270, 125, 203, 196, 2, 177, 328, 310, 186, 125},
+	/*Ore*/ {97, 60, 159, 141, 177, 2, 161, 139, 124, 52},
+	/*Sin*/ {69, 216, 147, 158, 328, 161, 2, 92, 174, 200},
+	/*Syd*/ {104, 197, 283, 280, 310, 139, 92, 2, 258, 186},
+	/*Ire*/ {212, 67, 25, 18, 186, 124, 174, 258, 2, 75},
+	/*Ohi*/ {156, 25, 100, 95, 125, 52, 200, 186, 75, 2},
+}
+
+// Geo returns the §7.5 multi-data-center latency model: node i is placed in
+// region i mod 10 and one-way delay is half the region-pair RTT with ±10%
+// jitter. scale compresses or stretches all delays (scale 1 = real RTTs;
+// benchmarks use smaller scales to keep wall-clock runs short while
+// preserving the latency *structure*).
+func Geo(scale float64) LatencyModel {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &geoModel{scale: scale, rng: rand.New(rand.NewSource(2))}
+}
+
+type geoModel struct {
+	mu    sync.Mutex
+	scale float64
+	rng   *rand.Rand
+}
+
+func (g *geoModel) Delay(from, to flcrypto.NodeID) time.Duration {
+	rtt := geoRTTms[int(from)%10][int(to)%10]
+	oneWay := rtt / 2 * g.scale
+	g.mu.Lock()
+	jitter := 1 + (g.rng.Float64()-0.5)*0.2
+	g.mu.Unlock()
+	return time.Duration(oneWay * jitter * float64(time.Millisecond))
+}

@@ -1,0 +1,9 @@
+package transport
+
+import "net"
+
+// newLoopbackListener binds an ephemeral loopback port, used by tests to
+// reserve addresses before starting TCP endpoints.
+func newLoopbackListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/flcrypto"
+)
+
+// ProtoID tags each message with the protocol layer it belongs to, so one
+// endpoint per node can serve WRB, OBBC, PBFT, reliable broadcast, the
+// FireLedger data path, and the baselines simultaneously.
+type ProtoID uint8
+
+// Handler consumes a demultiplexed message. Handlers run on the mux's read
+// goroutine and must hand work off quickly (protocol components own their
+// own mailboxes and event loops).
+type Handler func(from flcrypto.NodeID, payload []byte)
+
+// Mux demultiplexes an Endpoint's inbound stream by ProtoID and prepends the
+// tag on the way out. The envelope is one byte: [proto][payload...].
+type Mux struct {
+	ep Endpoint
+
+	mu       sync.RWMutex
+	handlers map[ProtoID]Handler
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+}
+
+// NewMux wraps ep. Call Handle for each protocol, then Start.
+func NewMux(ep Endpoint) *Mux {
+	return &Mux{ep: ep, handlers: make(map[ProtoID]Handler), done: make(chan struct{})}
+}
+
+// Endpoint returns the underlying endpoint.
+func (m *Mux) Endpoint() Endpoint { return m.ep }
+
+// ID returns the local node id.
+func (m *Mux) ID() flcrypto.NodeID { return m.ep.ID() }
+
+// N returns the cluster size.
+func (m *Mux) N() int { return m.ep.N() }
+
+// Handle registers h for proto. Registering after Start is allowed; messages
+// for unregistered protocols are dropped.
+func (m *Mux) Handle(proto ProtoID, h Handler) {
+	m.mu.Lock()
+	m.handlers[proto] = h
+	m.mu.Unlock()
+}
+
+// Start launches the read loop.
+func (m *Mux) Start() {
+	m.startOnce.Do(func() { go m.readLoop() })
+}
+
+// Stop terminates the read loop and closes the endpoint.
+func (m *Mux) Stop() {
+	m.stopOnce.Do(func() {
+		close(m.done)
+		m.ep.Close()
+	})
+}
+
+func (m *Mux) readLoop() {
+	for {
+		select {
+		case <-m.done:
+			return
+		case msg, ok := <-m.ep.Recv():
+			if !ok {
+				return
+			}
+			if len(msg.Payload) < 1 {
+				continue
+			}
+			proto := ProtoID(msg.Payload[0])
+			m.mu.RLock()
+			h := m.handlers[proto]
+			m.mu.RUnlock()
+			if h != nil {
+				h(msg.From, msg.Payload[1:])
+			}
+		}
+	}
+}
+
+func envelope(proto ProtoID, payload []byte) []byte {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = byte(proto)
+	copy(buf[1:], payload)
+	return buf
+}
+
+// Send sends payload tagged with proto to node `to`.
+func (m *Mux) Send(proto ProtoID, to flcrypto.NodeID, payload []byte) error {
+	return m.ep.Send(to, envelope(proto, payload))
+}
+
+// Broadcast sends payload tagged with proto to all nodes including self.
+func (m *Mux) Broadcast(proto ProtoID, payload []byte) error {
+	return m.ep.Broadcast(envelope(proto, payload))
+}

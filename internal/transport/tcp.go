@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/flcrypto"
+)
+
+// MaxFrame bounds a single TCP frame. Blocks of 1000 × 4KiB transactions fit
+// comfortably; anything larger is a protocol error or an attack.
+const MaxFrame = 64 << 20 // 64 MiB
+
+// TCPConfig configures one node's attachment to a TCP clique.
+type TCPConfig struct {
+	// ID is the local node.
+	ID flcrypto.NodeID
+	// Addrs maps node id → host:port for every cluster member, so Addrs
+	// doubles as the membership list.
+	Addrs []string
+	// DialTimeout bounds each connection attempt (default 3s).
+	DialTimeout time.Duration
+	// RetryInterval is the pause between reconnection attempts (default 500ms).
+	RetryInterval time.Duration
+}
+
+// TCPEndpoint implements Endpoint over a TCP clique: for each ordered pair
+// (i→j) node i maintains one outbound connection to j, identified by a
+// 4-byte hello frame carrying i's id. Outbound messages queue in an
+// unbounded per-peer buffer and a writer goroutine drains it, reconnecting
+// with backoff on failure — the retransmission construction of §3.1 that
+// turns fair-lossy links into reliable ones.
+type TCPEndpoint struct {
+	cfg  TCPConfig
+	ln   net.Listener
+	mbox *mailbox
+
+	mu     sync.Mutex
+	peers  []*tcpPeer
+	conns  map[net.Conn]bool // accepted connections, closed on shutdown
+	closed bool
+	wg     sync.WaitGroup
+	done   chan struct{}
+}
+
+type tcpPeer struct {
+	ep   *TCPEndpoint
+	id   flcrypto.NodeID
+	addr string
+
+	mu    sync.Mutex
+	queue [][]byte
+	wake  chan struct{}
+}
+
+// NewTCPEndpoint binds cfg.Addrs[cfg.ID] and starts the accept loop and one
+// writer per peer. It returns once the listener is up; peer connections are
+// established lazily and retried forever, so cluster members may start in
+// any order.
+func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
+	if int(cfg.ID) < 0 || int(cfg.ID) >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("transport: id %d out of range for %d addrs", cfg.ID, len(cfg.Addrs))
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.RetryInterval == 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.ID])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.ID], err)
+	}
+	ep := &TCPEndpoint{
+		cfg:   cfg,
+		ln:    ln,
+		mbox:  newMailbox(),
+		conns: make(map[net.Conn]bool),
+		done:  make(chan struct{}),
+	}
+	ep.peers = make([]*tcpPeer, len(cfg.Addrs))
+	for i, addr := range cfg.Addrs {
+		if flcrypto.NodeID(i) == cfg.ID {
+			continue
+		}
+		p := &tcpPeer{ep: ep, id: flcrypto.NodeID(i), addr: addr, wake: make(chan struct{}, 1)}
+		ep.peers[i] = p
+		ep.wg.Add(1)
+		go p.writeLoop()
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// ID implements Endpoint.
+func (e *TCPEndpoint) ID() flcrypto.NodeID { return e.cfg.ID }
+
+// N implements Endpoint.
+func (e *TCPEndpoint) N() int { return len(e.cfg.Addrs) }
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() <-chan Message { return e.mbox.out }
+
+// Addr returns the bound listen address (useful with ":0" configs in tests).
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// Send implements Endpoint.
+func (e *TCPEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if int(to) < 0 || int(to) >= len(e.cfg.Addrs) {
+		return fmt.Errorf("transport: send to unknown node %d", to)
+	}
+	if to == e.cfg.ID {
+		e.mbox.put(Message{From: e.cfg.ID, Payload: payload})
+		return nil
+	}
+	p := e.peers[to]
+	p.mu.Lock()
+	p.queue = append(p.queue, payload)
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Broadcast implements Endpoint.
+func (e *TCPEndpoint) Broadcast(payload []byte) error {
+	for i := range e.cfg.Addrs {
+		if err := e.Send(flcrypto.NodeID(i), payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	close(e.done)
+	e.ln.Close()
+	// Unblock reader goroutines parked in ReadFull on live connections;
+	// without this, Close deadlocks until the *peer* shuts down.
+	for _, c := range conns {
+		c.Close()
+	}
+	e.mbox.close()
+	e.wg.Wait()
+	return nil
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+				continue
+			}
+		}
+		e.wg.Add(1)
+		go e.readConn(conn)
+	}
+}
+
+func (e *TCPEndpoint) readConn(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.conns[conn] = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
+	var hello [4]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := flcrypto.NodeID(binary.BigEndian.Uint32(hello[:]))
+	if int(from) < 0 || int(from) >= len(e.cfg.Addrs) || from == e.cfg.ID {
+		return
+	}
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > MaxFrame {
+			return // protocol violation; drop the connection
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		e.mbox.put(Message{From: from, Payload: payload})
+	}
+}
+
+func (p *tcpPeer) writeLoop() {
+	defer p.ep.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		// Wait for work.
+		p.mu.Lock()
+		empty := len(p.queue) == 0
+		p.mu.Unlock()
+		if empty {
+			select {
+			case <-p.ep.done:
+				return
+			case <-p.wake:
+			}
+		}
+		select {
+		case <-p.ep.done:
+			return
+		default:
+		}
+		if conn == nil {
+			c, err := p.dial()
+			if err != nil {
+				select {
+				case <-p.ep.done:
+					return
+				case <-time.After(p.ep.cfg.RetryInterval):
+				}
+				continue
+			}
+			conn = c
+		}
+		p.mu.Lock()
+		batch := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+		for i, payload := range batch {
+			if err := writeFrame(conn, payload); err != nil {
+				conn.Close()
+				conn = nil
+				// Requeue what we did not manage to send; the frame that
+				// failed mid-write may arrive twice after reconnect in
+				// rare cases, which upper layers tolerate (all protocol
+				// messages are idempotent by construction).
+				p.mu.Lock()
+				p.queue = append(batch[i:], p.queue...)
+				p.mu.Unlock()
+				break
+			}
+		}
+	}
+}
+
+func (p *tcpPeer) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", p.addr, p.ep.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var hello [4]byte
+	binary.BigEndian.PutUint32(hello[:], uint32(p.ep.cfg.ID))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func writeFrame(conn net.Conn, payload []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}

@@ -1,0 +1,128 @@
+// Package transport provides the reliable fully-connected message layer the
+// paper assumes (§3.1): every pair of nodes is connected by a link that does
+// not lose, modify, duplicate, or reorder messages.
+//
+// Two implementations are provided:
+//
+//   - ChanNetwork: an in-process network with a configurable per-pair latency
+//     model and per-node egress bandwidth. It stands in for the paper's AWS
+//     deployments (single data-center and the 10-region geo setting) and adds
+//     fault injection (crash, omission, partition) for the §7.4 experiments.
+//   - TCPNetwork: a real TCP clique with length-prefixed framing, for
+//     multi-process runs (cmd/fireledger).
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/flcrypto"
+)
+
+// Message is a payload received from a peer. From is the link-level sender
+// identity; protocols must not trust it for anything signatures should
+// protect, but links themselves are authenticated (nodes cannot impersonate
+// each other at the link level, per §3.1).
+type Message struct {
+	From    flcrypto.NodeID
+	Payload []byte
+}
+
+// ErrClosed reports use of a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// ID returns the local node's identity.
+	ID() flcrypto.NodeID
+	// N returns the cluster size.
+	N() int
+	// Send enqueues payload for delivery to node `to`. It never blocks on
+	// the network; reliability is the transport's job. Sending to self
+	// delivers locally.
+	Send(to flcrypto.NodeID, payload []byte) error
+	// Broadcast sends payload to every node, including self.
+	Broadcast(payload []byte) error
+	// Recv returns the stream of inbound messages (including self-sends).
+	Recv() <-chan Message
+	// Close detaches the endpoint. Recv is closed after in-flight
+	// deliveries drain.
+	Close() error
+}
+
+// mailbox is an unbounded FIFO of messages feeding a Recv channel. Unbounded
+// buffering is what makes links "reliable" in-process: a slow consumer delays
+// messages but never drops them.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []Message
+	wake   chan struct{}
+	out    chan Message
+	closed bool
+	done   chan struct{}
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{
+		wake: make(chan struct{}, 1),
+		out:  make(chan Message, 256),
+		done: make(chan struct{}),
+	}
+	go m.pump()
+	return m
+}
+
+func (m *mailbox) put(msg Message) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) pump() {
+	defer close(m.out)
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 {
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case <-m.wake:
+			case <-m.done:
+			}
+			m.mu.Lock()
+		}
+		batch := m.queue
+		m.queue = nil
+		m.mu.Unlock()
+		for _, msg := range batch {
+			select {
+			case m.out <- msg:
+			case <-m.done:
+				// Drain remaining messages best-effort then exit.
+				return
+			}
+		}
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.done)
+}

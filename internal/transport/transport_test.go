@@ -1,0 +1,376 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+)
+
+func TestChanSendReceive(t *testing.T) {
+	net := NewChanNetwork(ChanConfig{N: 3})
+	defer net.Close()
+	a, b := net.Endpoint(0), net.Endpoint(1)
+	if err := a.Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, b)
+	if msg.From != 0 || string(msg.Payload) != "hello" {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+func recvOne(t *testing.T, ep Endpoint) Message {
+	t.Helper()
+	select {
+	case msg := <-ep.Recv():
+		return msg
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return Message{}
+	}
+}
+
+func TestChanSelfDelivery(t *testing.T) {
+	net := NewChanNetwork(ChanConfig{N: 2})
+	defer net.Close()
+	a := net.Endpoint(0)
+	if err := a.Send(0, []byte("me")); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, a)
+	if msg.From != 0 || string(msg.Payload) != "me" {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+func TestChanBroadcastReachesAll(t *testing.T) {
+	const n = 5
+	net := NewChanNetwork(ChanConfig{N: n})
+	defer net.Close()
+	if err := net.Endpoint(2).Broadcast([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		msg := recvOne(t, net.Endpoint(flcrypto.NodeID(i)))
+		if msg.From != 2 || string(msg.Payload) != "b" {
+			t.Fatalf("node %d got %+v", i, msg)
+		}
+	}
+}
+
+func TestChanFIFOPerLink(t *testing.T) {
+	// Jittered latency must not reorder a link: the model assumes reliable
+	// FIFO channels (§3.1).
+	net := NewChanNetwork(ChanConfig{N: 2, Latency: Uniform(time.Millisecond, 3*time.Millisecond)})
+	defer net.Close()
+	a, b := net.Endpoint(0), net.Endpoint(1)
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := a.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		msg := recvOne(t, b)
+		if msg.Payload[0] != byte(i) {
+			t.Fatalf("message %d arrived out of order (got %d)", i, msg.Payload[0])
+		}
+	}
+}
+
+func TestChanLatencyApplied(t *testing.T) {
+	const d = 30 * time.Millisecond
+	net := NewChanNetwork(ChanConfig{N: 2, Latency: Uniform(d, 0)})
+	defer net.Close()
+	start := time.Now()
+	if err := net.Endpoint(0).Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, net.Endpoint(1))
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("message arrived after %v, want >= %v", elapsed, d)
+	}
+}
+
+func TestChanCrashSilencesNode(t *testing.T) {
+	net := NewChanNetwork(ChanConfig{N: 3})
+	defer net.Close()
+	net.Crash(1)
+	if err := net.Endpoint(0).Send(1, []byte("to crashed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Endpoint(1).Send(0, []byte("from crashed")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-net.Endpoint(0).Recv():
+		t.Fatalf("received %+v from crashed node", msg)
+	case msg := <-net.Endpoint(1).Recv():
+		t.Fatalf("crashed node received %+v", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Healing restores connectivity.
+	net.Heal(1)
+	if err := net.Endpoint(0).Send(1, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, net.Endpoint(1))
+	if string(msg.Payload) != "again" {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+func TestChanLinkFilter(t *testing.T) {
+	net := NewChanNetwork(ChanConfig{N: 2})
+	defer net.Close()
+	net.SetLinkFilter(func(from, to flcrypto.NodeID) bool { return from == 0 && to == 1 })
+	if err := net.Endpoint(0).Send(1, []byte("blocked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Endpoint(1).Send(0, []byte("open")); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, net.Endpoint(0))
+	if string(msg.Payload) != "open" {
+		t.Fatalf("got %+v", msg)
+	}
+	select {
+	case msg := <-net.Endpoint(1).Recv():
+		t.Fatalf("filtered link delivered %+v", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestChanClosedEndpointErrors(t *testing.T) {
+	net := NewChanNetwork(ChanConfig{N: 2})
+	a := net.Endpoint(0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, []byte("x")); err != ErrClosed {
+		t.Fatalf("Send after close: %v, want ErrClosed", err)
+	}
+	if err := a.Broadcast([]byte("x")); err != ErrClosed {
+		t.Fatalf("Broadcast after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestChanStats(t *testing.T) {
+	net := NewChanNetwork(ChanConfig{N: 3})
+	defer net.Close()
+	payload := make([]byte, 100)
+	if err := net.Endpoint(0).Broadcast(payload); err != nil {
+		t.Fatal(err)
+	}
+	// Self-delivery is free; two peers get 100 bytes each.
+	if got := net.BytesSent(0); got != 200 {
+		t.Fatalf("BytesSent = %d, want 200", got)
+	}
+	if got := net.MessagesSent(0); got != 2 {
+		t.Fatalf("MessagesSent = %d, want 2", got)
+	}
+}
+
+func TestChanEgressBandwidth(t *testing.T) {
+	// 1 MiB payload over a 100 MiB/s NIC should take ~10ms to serialize.
+	net := NewChanNetwork(ChanConfig{N: 2, EgressBytesPerSec: 100 << 20})
+	defer net.Close()
+	payload := make([]byte, 1<<20)
+	start := time.Now()
+	if err := net.Endpoint(0).Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, net.Endpoint(1))
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("bandwidth not applied: delivery after %v", elapsed)
+	}
+}
+
+func TestChanConcurrentSenders(t *testing.T) {
+	const n = 8
+	net := NewChanNetwork(ChanConfig{N: n})
+	defer net.Close()
+	const per = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id flcrypto.NodeID) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				if err := net.Endpoint(id).Send(0, []byte{byte(id)}); err != nil {
+					t.Errorf("send: %v", err)
+				}
+			}
+		}(flcrypto.NodeID(i))
+	}
+	wg.Wait()
+	counts := make(map[byte]int)
+	for i := 0; i < n*per; i++ {
+		msg := recvOne(t, net.Endpoint(0))
+		counts[msg.Payload[0]]++
+	}
+	for i := 0; i < n; i++ {
+		if counts[byte(i)] != per {
+			t.Fatalf("node %d delivered %d/%d", i, counts[byte(i)], per)
+		}
+	}
+}
+
+func TestMuxRoutesByProto(t *testing.T) {
+	net := NewChanNetwork(ChanConfig{N: 2})
+	defer net.Close()
+	muxA, muxB := NewMux(net.Endpoint(0)), NewMux(net.Endpoint(1))
+	gotA := make(chan string, 4)
+	gotB := make(chan string, 4)
+	muxB.Handle(1, func(from flcrypto.NodeID, p []byte) { gotA <- "p1:" + string(p) })
+	muxB.Handle(2, func(from flcrypto.NodeID, p []byte) { gotB <- "p2:" + string(p) })
+	muxA.Start()
+	muxB.Start()
+	defer muxA.Stop()
+	defer muxB.Stop()
+
+	if err := muxA.Send(1, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := muxA.Send(2, 1, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-gotA; got != "p1:x" {
+		t.Fatalf("proto 1 handler got %q", got)
+	}
+	if got := <-gotB; got != "p2:y" {
+		t.Fatalf("proto 2 handler got %q", got)
+	}
+	// Unregistered protocol: silently dropped, no crash.
+	if err := muxA.Send(9, 1, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoModelStructure(t *testing.T) {
+	m := Geo(1)
+	// Frankfurt(2) ↔ Paris(3) must be far faster than São Paulo(4) ↔ Singapore(6).
+	close := m.Delay(2, 3)
+	far := m.Delay(4, 6)
+	if close >= far {
+		t.Fatalf("geo model lost structure: Fra-Par %v >= SaP-Sin %v", close, far)
+	}
+	if m.Delay(0, 0) <= 0 {
+		t.Fatal("self-region delay should still be positive (same-DC hop)")
+	}
+	// Scaling compresses delays.
+	if Geo(0.1).Delay(4, 6) >= far {
+		t.Fatal("scale did not compress delays")
+	}
+}
+
+func TestGeoModelWrapsBeyondTenNodes(t *testing.T) {
+	m := Geo(1)
+	// Node 12 is in region 2: delay(12, 3) should be in the same ballpark
+	// as delay(2, 3).
+	a, b := m.Delay(12, 3), m.Delay(2, 3)
+	ratio := float64(a) / float64(b)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("region wrap broken: %v vs %v", a, b)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	// Bind with :0 then rewire real addresses: start node 0, learn its
+	// port, start node 1 with the full table, then node 0's table is fixed
+	// lazily via a fresh endpoint. Simpler: pre-reserve two ports.
+	ep0, ep1 := startTCPPair(t, addrs)
+	defer ep0.Close()
+	defer ep1.Close()
+
+	if err := ep0.Send(1, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, ep1)
+	if msg.From != 0 || string(msg.Payload) != "over tcp" {
+		t.Fatalf("got %+v", msg)
+	}
+	// And the reverse direction.
+	if err := ep1.Broadcast([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	msg = recvOne(t, ep0)
+	if msg.From != 1 || string(msg.Payload) != "back" {
+		t.Fatalf("got %+v", msg)
+	}
+	// Self-delivery on broadcast.
+	msg = recvOne(t, ep1)
+	if msg.From != 1 {
+		t.Fatalf("got %+v", msg)
+	}
+}
+
+// startTCPPair starts two TCP endpoints on loopback with dynamically
+// assigned ports.
+func startTCPPair(t *testing.T, _ []string) (*TCPEndpoint, *TCPEndpoint) {
+	t.Helper()
+	// Reserve ports by binding listeners, reading addresses, and closing.
+	ports := make([]string, 2)
+	for i := range ports {
+		ln, err := newLoopbackListener()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = ln.Addr().String()
+		ln.Close()
+	}
+	ep0, err := NewTCPEndpoint(TCPConfig{ID: 0, Addrs: ports})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := NewTCPEndpoint(TCPConfig{ID: 1, Addrs: ports})
+	if err != nil {
+		ep0.Close()
+		t.Fatal(err)
+	}
+	return ep0, ep1
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	ep0, ep1 := startTCPPair(t, nil)
+	defer ep0.Close()
+	defer ep1.Close()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := ep0.Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, ep1)
+	if len(msg.Payload) != len(payload) {
+		t.Fatalf("length %d, want %d", len(msg.Payload), len(payload))
+	}
+	for i := range payload {
+		if msg.Payload[i] != payload[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}
+
+func TestTCPManyMessagesOrdered(t *testing.T) {
+	ep0, ep1 := startTCPPair(t, nil)
+	defer ep0.Close()
+	defer ep1.Close()
+	const k = 500
+	for i := 0; i < k; i++ {
+		if err := ep0.Send(1, []byte(fmt.Sprintf("%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		msg := recvOne(t, ep1)
+		if string(msg.Payload) != fmt.Sprintf("%04d", i) {
+			t.Fatalf("message %d: got %q", i, msg.Payload)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/flcrypto"
+)
+
+// Transaction is a client-submitted operation. In the paper's evaluation
+// transactions are opaque random payloads of σ bytes (Table 2); applications
+// (examples/payments, examples/kvstore) put structured data in Payload and
+// interpret it in their validity predicate and state machine.
+type Transaction struct {
+	// Client identifies the submitting client (free-form).
+	Client uint64
+	// Seq is the client-local sequence number, giving each transaction a
+	// unique identity together with Client.
+	Seq uint64
+	// Payload is the operation body; its length is the σ of the paper.
+	Payload []byte
+}
+
+// Encode appends the transaction to e.
+func (t *Transaction) Encode(e *Encoder) {
+	e.Uint64(t.Client)
+	e.Uint64(t.Seq)
+	e.Bytes32(t.Payload)
+}
+
+// DecodeTransaction reads a transaction from d.
+func DecodeTransaction(d *Decoder) Transaction {
+	var t Transaction
+	t.Client = d.Uint64()
+	t.Seq = d.Uint64()
+	t.Payload = append([]byte(nil), d.Bytes32()...)
+	return t
+}
+
+// Size returns the encoded size in bytes.
+func (t *Transaction) Size() int { return 8 + 8 + 4 + len(t.Payload) }
+
+// ID returns the transaction's content hash.
+func (t *Transaction) ID() flcrypto.Hash {
+	e := NewEncoder(t.Size())
+	t.Encode(e)
+	return flcrypto.Sum256(e.Bytes())
+}
+
+// BlockHeader is the consensus-path view of a block (§6.1.1 separates headers
+// from block bodies: only headers flow through WRB/OBBC; bodies are
+// disseminated asynchronously). The header carries the authentication data
+// linking the chain: PrevHash commits to the entire prefix.
+type BlockHeader struct {
+	// Instance is the FLO worker index this chain belongs to (§6.2).
+	Instance uint32
+	// Round is the chain height / protocol round r of Algorithm 2.
+	Round uint64
+	// Proposer is the node that created the block.
+	Proposer flcrypto.NodeID
+	// PrevHash is the hash of the predecessor block's header.
+	PrevHash flcrypto.Hash
+	// BodyHash commits to the block body (the transaction batch), so a
+	// header uniquely identifies its body.
+	BodyHash flcrypto.Hash
+	// TxCount is the number of transactions in the body; carried in the
+	// header so empty blocks are recognizable without fetching the body.
+	TxCount uint32
+}
+
+// Encode appends the header to e.
+func (h BlockHeader) Encode(e *Encoder) {
+	e.Uint32(h.Instance)
+	e.Uint64(h.Round)
+	e.Int64(int64(h.Proposer))
+	e.Hash(h.PrevHash)
+	e.Hash(h.BodyHash)
+	e.Uint32(h.TxCount)
+}
+
+// DecodeBlockHeader reads a header from d.
+func DecodeBlockHeader(d *Decoder) BlockHeader {
+	var h BlockHeader
+	h.Instance = d.Uint32()
+	h.Round = d.Uint64()
+	h.Proposer = flcrypto.NodeID(d.Int64())
+	h.PrevHash = d.Hash()
+	h.BodyHash = d.Hash()
+	h.TxCount = d.Uint32()
+	return h
+}
+
+// Marshal returns the standalone encoding of the header; this is the byte
+// string nodes sign and hash.
+func (h BlockHeader) Marshal() []byte {
+	e := NewEncoder(4 + 8 + 8 + 32 + 32 + 4)
+	h.Encode(e)
+	return e.Bytes()
+}
+
+// Hash returns the header's digest, which serves as the block's identity and
+// as the next block's PrevHash.
+func (h BlockHeader) Hash() flcrypto.Hash {
+	return flcrypto.Sum256(h.Marshal())
+}
+
+// SignedHeader is a header together with its proposer's signature — the
+// (m, sig_k(m)) pairs of Algorithm 1 and the evidence of OBBC (Appendix A.5).
+type SignedHeader struct {
+	Header BlockHeader
+	Sig    flcrypto.Signature
+}
+
+// Encode appends the signed header to e.
+func (s *SignedHeader) Encode(e *Encoder) {
+	s.Header.Encode(e)
+	e.Bytes32(s.Sig)
+}
+
+// DecodeSignedHeader reads a signed header from d.
+func DecodeSignedHeader(d *Decoder) SignedHeader {
+	var s SignedHeader
+	s.Header = DecodeBlockHeader(d)
+	s.Sig = append(flcrypto.Signature(nil), d.Bytes32()...)
+	return s
+}
+
+// Verify checks the proposer's signature against the registry.
+func (s *SignedHeader) Verify(reg *flcrypto.Registry) bool {
+	return reg.Verify(s.Header.Proposer, s.Header.Marshal(), s.Sig)
+}
+
+// Sign produces a SignedHeader using the proposer's private key.
+func (h BlockHeader) Sign(priv flcrypto.PrivateKey) (SignedHeader, error) {
+	sig, err := priv.Sign(h.Marshal())
+	if err != nil {
+		return SignedHeader{}, fmt.Errorf("types: sign header: %w", err)
+	}
+	return SignedHeader{Header: h, Sig: sig}, nil
+}
+
+// Body is a block's transaction batch, disseminated on the data path.
+type Body struct {
+	Txs []Transaction
+}
+
+// Encode appends the body to e.
+func (b *Body) Encode(e *Encoder) {
+	e.Uint32(uint32(len(b.Txs)))
+	for i := range b.Txs {
+		b.Txs[i].Encode(e)
+	}
+}
+
+// DecodeBody reads a body from d.
+func DecodeBody(d *Decoder) Body {
+	n := d.Uint32()
+	if d.Err() != nil {
+		return Body{}
+	}
+	if n > MaxFieldLen/8 {
+		return Body{} // defensive: bogus count; Finish will flag trailing/truncation
+	}
+	body := Body{Txs: make([]Transaction, 0, n)}
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		body.Txs = append(body.Txs, DecodeTransaction(d))
+	}
+	return body
+}
+
+// Size returns the encoded size of the body in bytes.
+func (b *Body) Size() int {
+	n := 4
+	for i := range b.Txs {
+		n += b.Txs[i].Size()
+	}
+	return n
+}
+
+// Marshal returns the standalone encoding of the body.
+func (b *Body) Marshal() []byte {
+	e := NewEncoder(b.Size())
+	b.Encode(e)
+	return e.Bytes()
+}
+
+// Hash returns the digest a header's BodyHash must match.
+func (b *Body) Hash() flcrypto.Hash { return flcrypto.Sum256(b.Marshal()) }
+
+// Block pairs a signed header with its body. Only fully assembled blocks are
+// appended to the chain.
+type Block struct {
+	Signed SignedHeader
+	Body   Body
+}
+
+// Header returns the block's header.
+func (b *Block) Header() *BlockHeader { return &b.Signed.Header }
+
+// Hash returns the block's identity (its header hash).
+func (b *Block) Hash() flcrypto.Hash { return b.Signed.Header.Hash() }
+
+// Encode appends the full block to e.
+func (b *Block) Encode(e *Encoder) {
+	b.Signed.Encode(e)
+	b.Body.Encode(e)
+}
+
+// DecodeBlock reads a block from d.
+func DecodeBlock(d *Decoder) Block {
+	var b Block
+	b.Signed = DecodeSignedHeader(d)
+	b.Body = DecodeBody(d)
+	return b
+}
+
+// ErrBodyMismatch reports a body whose hash does not match its header.
+var ErrBodyMismatch = errors.New("types: body hash does not match header")
+
+// CheckBody verifies internal consistency between header and body.
+func (b *Block) CheckBody() error {
+	if b.Body.Hash() != b.Signed.Header.BodyHash {
+		return ErrBodyMismatch
+	}
+	if uint32(len(b.Body.Txs)) != b.Signed.Header.TxCount {
+		return fmt.Errorf("types: header declares %d txs, body has %d",
+			b.Signed.Header.TxCount, len(b.Body.Txs))
+	}
+	return nil
+}
+
+// NewBlock assembles and signs a block extending prev (identified by its
+// header hash) with the given batch.
+func NewBlock(instance uint32, round uint64, proposer flcrypto.NodeID,
+	prevHash flcrypto.Hash, txs []Transaction, priv flcrypto.PrivateKey) (Block, error) {
+	body := Body{Txs: txs}
+	hdr := BlockHeader{
+		Instance: instance,
+		Round:    round,
+		Proposer: proposer,
+		PrevHash: prevHash,
+		BodyHash: body.Hash(),
+		TxCount:  uint32(len(txs)),
+	}
+	signed, err := hdr.Sign(priv)
+	if err != nil {
+		return Block{}, err
+	}
+	return Block{Signed: signed, Body: body}, nil
+}
+
+// GenesisHeader returns the implicit round-0 predecessor of instance's chain.
+// It is identical at all correct nodes, so round-1 headers chain to a common
+// root without any communication.
+func GenesisHeader(instance uint32) BlockHeader {
+	return BlockHeader{Instance: instance, Round: 0, Proposer: -1}
+}

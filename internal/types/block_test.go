@@ -1,0 +1,259 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flcrypto"
+)
+
+func testKey(t testing.TB) flcrypto.PrivateKey {
+	t.Helper()
+	priv, err := flcrypto.GenerateKey(flcrypto.Ed25519, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return priv
+}
+
+func TestTransactionRoundTrip(t *testing.T) {
+	tx := Transaction{Client: 7, Seq: 42, Payload: []byte("transfer 10 coins")}
+	e := NewEncoder(tx.Size())
+	tx.Encode(e)
+	if got := len(e.Bytes()); got != tx.Size() {
+		t.Fatalf("encoded size %d, Size() says %d", got, tx.Size())
+	}
+	d := NewDecoder(e.Bytes())
+	got := DecodeTransaction(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Client != tx.Client || got.Seq != tx.Seq || !bytes.Equal(got.Payload, tx.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, tx)
+	}
+	if got.ID() != tx.ID() {
+		t.Fatal("IDs differ after round trip")
+	}
+}
+
+func TestTransactionRoundTripQuick(t *testing.T) {
+	f := func(client, seq uint64, payload []byte) bool {
+		tx := Transaction{Client: client, Seq: seq, Payload: payload}
+		e := NewEncoder(tx.Size())
+		tx.Encode(e)
+		d := NewDecoder(e.Bytes())
+		got := DecodeTransaction(d)
+		return d.Finish() == nil &&
+			got.Client == tx.Client && got.Seq == tx.Seq &&
+			bytes.Equal(got.Payload, tx.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderRoundTripQuick(t *testing.T) {
+	f := func(inst uint32, round uint64, proposer int16, prev, body [32]byte, txc uint32) bool {
+		h := BlockHeader{
+			Instance: inst, Round: round, Proposer: flcrypto.NodeID(proposer),
+			PrevHash: prev, BodyHash: body, TxCount: txc,
+		}
+		d := NewDecoder(h.Marshal())
+		got := DecodeBlockHeader(d)
+		return d.Finish() == nil && got == h && got.Hash() == h.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderHashBindsAllFields(t *testing.T) {
+	base := BlockHeader{Instance: 1, Round: 5, Proposer: 2,
+		PrevHash: flcrypto.Sum256([]byte("p")), BodyHash: flcrypto.Sum256([]byte("b")), TxCount: 9}
+	mutants := []BlockHeader{base, base, base, base, base, base}
+	mutants[0].Instance++
+	mutants[1].Round++
+	mutants[2].Proposer++
+	mutants[3].PrevHash[0] ^= 1
+	mutants[4].BodyHash[0] ^= 1
+	mutants[5].TxCount++
+	for i, m := range mutants {
+		if m.Hash() == base.Hash() {
+			t.Errorf("mutant %d has same hash as base", i)
+		}
+	}
+}
+
+func TestSignedHeaderVerify(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	hdr := BlockHeader{Instance: 0, Round: 1, Proposer: 2}
+	signed, err := hdr.Sign(ks.Privs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !signed.Verify(ks.Registry) {
+		t.Fatal("valid signed header rejected")
+	}
+	// Claiming a different proposer must fail: impersonation is impossible.
+	forged := signed
+	forged.Header.Proposer = 1
+	if forged.Verify(ks.Registry) {
+		t.Fatal("forged proposer accepted")
+	}
+	// Mutating content must fail.
+	tampered := signed
+	tampered.Header.Round = 9
+	if tampered.Verify(ks.Registry) {
+		t.Fatal("tampered header accepted")
+	}
+}
+
+func TestSignedHeaderRoundTrip(t *testing.T) {
+	priv := testKey(t)
+	hdr := BlockHeader{Round: 3, Proposer: 0, TxCount: 1}
+	signed, err := hdr.Sign(priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEncoder(0)
+	signed.Encode(e)
+	d := NewDecoder(e.Bytes())
+	got := DecodeSignedHeader(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != signed.Header || !bytes.Equal(got.Sig, signed.Sig) {
+		t.Fatal("signed header round trip mismatch")
+	}
+}
+
+func TestBlockAssemblyAndCheck(t *testing.T) {
+	priv := testKey(t)
+	txs := []Transaction{
+		{Client: 1, Seq: 1, Payload: []byte("a")},
+		{Client: 2, Seq: 1, Payload: []byte("bb")},
+	}
+	blk, err := NewBlock(0, 1, 0, flcrypto.ZeroHash, txs, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blk.CheckBody(); err != nil {
+		t.Fatalf("CheckBody on fresh block: %v", err)
+	}
+	if blk.Header().TxCount != 2 {
+		t.Fatalf("TxCount = %d", blk.Header().TxCount)
+	}
+	// Swapping the body for a different one must be detected: this is the
+	// binding the header/block separation optimization (§6.1.1) relies on.
+	evil := blk
+	evil.Body = Body{Txs: []Transaction{{Client: 9, Seq: 9, Payload: []byte("evil")}}}
+	if err := evil.CheckBody(); err == nil {
+		t.Fatal("body substitution not detected")
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	priv := testKey(t)
+	blk, err := NewBlock(3, 17, 1, flcrypto.Sum256([]byte("prev")),
+		[]Transaction{{Client: 5, Seq: 8, Payload: bytes.Repeat([]byte{0xAB}, 512)}}, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEncoder(0)
+	blk.Encode(e)
+	d := NewDecoder(e.Bytes())
+	got := DecodeBlock(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != blk.Hash() {
+		t.Fatal("block hash changed across round trip")
+	}
+	if err := got.CheckBody(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBodyRoundTripQuick(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		body := Body{}
+		for i, p := range payloads {
+			body.Txs = append(body.Txs, Transaction{Client: uint64(i), Seq: 1, Payload: p})
+		}
+		d := NewDecoder(body.Marshal())
+		got := DecodeBody(d)
+		if d.Finish() != nil || len(got.Txs) != len(body.Txs) {
+			return false
+		}
+		return got.Hash() == body.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	priv := testKey(t)
+	blk, err := NewBlock(0, 1, 0, flcrypto.ZeroHash,
+		[]Transaction{{Payload: []byte("x")}}, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEncoder(0)
+	blk.Encode(e)
+	full := e.Bytes()
+	// Every strict prefix must fail to decode cleanly (either decode error
+	// or trailing-byte error); none may panic.
+	for i := 0; i < len(full); i++ {
+		d := NewDecoder(full[:i])
+		DecodeBlock(d)
+		if d.Finish() == nil {
+			t.Fatalf("prefix of length %d decoded cleanly", i)
+		}
+	}
+}
+
+func TestDecoderRejectsHugeLengthPrefix(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uint32(1 << 30) // absurd length, no data
+	d := NewDecoder(e.Bytes())
+	if b := d.Bytes32(); b != nil {
+		t.Fatal("huge length prefix yielded data")
+	}
+	if d.Err() != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", d.Err())
+	}
+}
+
+func TestGenesisHeaderStable(t *testing.T) {
+	if GenesisHeader(2).Hash() != GenesisHeader(2).Hash() {
+		t.Fatal("genesis hash not deterministic")
+	}
+	if GenesisHeader(1).Hash() == GenesisHeader(2).Hash() {
+		t.Fatal("different instances share a genesis hash")
+	}
+}
+
+func TestEncoderPrimitivesRoundTripQuick(t *testing.T) {
+	f := func(a uint8, b uint32, c uint64, d int64, e bool, raw []byte) bool {
+		enc := NewEncoder(0)
+		enc.Uint8(a)
+		enc.Uint32(b)
+		enc.Uint64(c)
+		enc.Int64(d)
+		enc.Bool(e)
+		enc.Bytes32(raw)
+		dec := NewDecoder(enc.Bytes())
+		okA := dec.Uint8() == a
+		okB := dec.Uint32() == b
+		okC := dec.Uint64() == c
+		okD := dec.Int64() == d
+		okE := dec.Bool() == e
+		okRaw := bytes.Equal(dec.Bytes32(), raw)
+		return okA && okB && okC && okD && okE && okRaw && dec.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

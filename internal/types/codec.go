@@ -1,0 +1,171 @@
+// Package types defines FireLedger's wire-level data model: transactions,
+// block headers, blocks, and the signed envelopes the protocols exchange,
+// together with a deterministic binary codec. Determinism matters because
+// hashes and signatures are computed over encodings; two correct nodes must
+// produce byte-identical encodings of the same value (§3.1, §5.2).
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/flcrypto"
+)
+
+// ErrTruncated reports a decode that ran off the end of the buffer.
+var ErrTruncated = errors.New("types: truncated encoding")
+
+// ErrTooLarge reports a length prefix exceeding the decoder's sanity limit.
+var ErrTooLarge = errors.New("types: length prefix exceeds limit")
+
+// MaxFieldLen caps any single length-prefixed field. It is a defensive bound
+// against malicious length prefixes: a Byzantine node must not be able to
+// make a correct node allocate gigabytes from a short message.
+const MaxFieldLen = 1 << 28 // 256 MiB
+
+// Encoder appends deterministic big-endian encodings to a byte slice.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity hint n.
+func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded buffer. The encoder must not be reused after.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uint8 appends a single byte.
+func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+
+// Uint32 appends a big-endian uint32.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Uint64 appends a big-endian uint64.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 appends a big-endian int64 (two's complement).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint8(1)
+	} else {
+		e.Uint8(0)
+	}
+}
+
+// Hash appends a 32-byte hash.
+func (e *Encoder) Hash(h flcrypto.Hash) { e.buf = append(e.buf, h[:]...) }
+
+// Bytes32 appends a length-prefixed byte slice (uint32 length).
+func (e *Encoder) Bytes32(b []byte) {
+	if len(b) > math.MaxUint32 {
+		panic("types: field too large to encode")
+	}
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder consumes deterministic encodings produced by Encoder.
+type Decoder struct {
+	buf []byte
+	err error
+}
+
+// NewDecoder wraps buf for reading.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Len returns the number of unread bytes.
+func (d *Decoder) Len() int { return len(d.buf) }
+
+// Finish returns an error if decoding failed or left trailing bytes.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("types: %d trailing bytes after decode", len(d.buf))
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = ErrTruncated
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+// Uint8 reads one byte.
+func (d *Decoder) Uint8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Uint32 reads a big-endian uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Uint64 reads a big-endian uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a big-endian int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Bool reads a boolean byte; any nonzero value is true.
+func (d *Decoder) Bool() bool { return d.Uint8() != 0 }
+
+// Hash reads a 32-byte hash.
+func (d *Decoder) Hash() flcrypto.Hash {
+	var h flcrypto.Hash
+	b := d.take(len(h))
+	if b != nil {
+		copy(h[:], b)
+	}
+	return h
+}
+
+// Bytes32 reads a length-prefixed byte slice. The returned slice aliases the
+// decoder's buffer; callers that retain it across buffer reuse must copy.
+func (d *Decoder) Bytes32() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxFieldLen {
+		d.err = ErrTooLarge
+		return nil
+	}
+	return d.take(int(n))
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/types"
+)
+
+func TestPoolLeaseAndCommit(t *testing.T) {
+	p := NewPool(time.Hour)
+	tx := types.Transaction{Client: 1, Seq: 1, Payload: []byte("a")}
+	p.Add(tx)
+	batch := p.NextBatch(10)
+	if len(batch) != 1 {
+		t.Fatalf("leased %d", len(batch))
+	}
+	// Leased transactions are not handed out twice.
+	if again := p.NextBatch(10); len(again) != 0 {
+		t.Fatalf("leased tx handed out twice: %d", len(again))
+	}
+	p.MarkCommitted(batch)
+	if p.Committed() != 1 {
+		t.Fatalf("committed = %d", p.Committed())
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d", p.Pending())
+	}
+}
+
+func TestPoolLeaseExpiry(t *testing.T) {
+	p := NewPool(10 * time.Millisecond)
+	p.Add(types.Transaction{Client: 1, Seq: 1})
+	if got := p.NextBatch(1); len(got) != 1 {
+		t.Fatal("lease failed")
+	}
+	time.Sleep(20 * time.Millisecond)
+	// The lease expired: the transaction returns to the queue so it is not
+	// lost when a tentative block is rescinded.
+	if got := p.NextBatch(1); len(got) != 1 {
+		t.Fatal("expired lease was not reclaimed")
+	}
+}
+
+func TestPoolRejectsDuplicates(t *testing.T) {
+	p := NewPool(time.Hour)
+	tx := types.Transaction{Client: 2, Seq: 7, Payload: []byte("dup")}
+	p.Add(tx)
+	p.Add(tx) // while queued... the queue holds it; second Add allowed only if not leased/committed
+	batch := p.NextBatch(10)
+	p.MarkCommitted(batch)
+	p.Add(tx) // after commit: dropped
+	if got := p.NextBatch(10); len(got) != 0 {
+		t.Fatalf("committed duplicate re-entered the pool: %d", len(got))
+	}
+}
+
+func TestPoolBatchBound(t *testing.T) {
+	p := NewPool(time.Hour)
+	for i := 0; i < 25; i++ {
+		p.Add(types.Transaction{Client: 3, Seq: uint64(i)})
+	}
+	if got := p.NextBatch(10); len(got) != 10 {
+		t.Fatalf("batch = %d, want 10", len(got))
+	}
+	if p.Pending() != 25 {
+		t.Fatalf("pending = %d, want 25 (15 queued + 10 leased)", p.Pending())
+	}
+}
+
+func TestGeneratorSizeAndUniqueness(t *testing.T) {
+	g := NewGenerator(512, 9, 1)
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		tx := g.Next()
+		if len(tx.Payload) != 512 {
+			t.Fatalf("payload size %d", len(tx.Payload))
+		}
+		if tx.Client != 9 {
+			t.Fatalf("client = %d", tx.Client)
+		}
+		txc := tx
+		key := txc.ID().String()
+		if seen[key] {
+			t.Fatal("duplicate transaction generated")
+		}
+		seen[key] = true
+	}
+}
+
+func TestGeneratorDeterministicBySeed(t *testing.T) {
+	a, b := NewGenerator(64, 1, 7), NewGenerator(64, 1, 7)
+	for i := 0; i < 10; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.ID() != tb.ID() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSaturatingSourceAlwaysFull(t *testing.T) {
+	s := NewSaturatingSource(128, 5, 3)
+	f := func(max uint8) bool {
+		m := int(max%32) + 1
+		batch := s.NextBatch(m)
+		if len(batch) != m {
+			return false
+		}
+		for _, tx := range batch {
+			if len(tx.Payload) != 128 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkCommitted(make([]types.Transaction, 7))
+	if s.Committed() != 7 {
+		t.Fatalf("committed = %d", s.Committed())
+	}
+}

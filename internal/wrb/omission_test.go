@@ -1,0 +1,142 @@
+package wrb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// TestWRBPropertiesUnderRandomOmission drops a random subset of push links
+// each round and checks WRB's contract over many rounds: deliveries are
+// all-or-nothing across nodes (WRB-Agreement), any delivered header is the
+// proposer's (WRB-Validity), and no Deliver call hangs (WRB-Termination).
+func TestWRBPropertiesUnderRandomOmission(t *testing.T) {
+	const n = 4
+	f := newFixture(t, n, nil)
+	rng := rand.New(rand.NewSource(7))
+
+	for round := uint64(1); round <= 12; round++ {
+		proposer := int(round) % n
+		hdr := f.header(proposer, round)
+
+		// Drop the push toward a random subset of nodes (possibly all or
+		// none); pulls and votes stay connected so the round terminates.
+		blocked := make(map[flcrypto.NodeID]bool)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				blocked[flcrypto.NodeID(i)] = true
+			}
+		}
+		f.net.SetLinkFilter(func(from, to flcrypto.NodeID) bool {
+			return from == flcrypto.NodeID(proposer) && blocked[to]
+		})
+		if err := f.wrbs[proposer].Broadcast(hdr); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		f.net.SetLinkFilter(nil)
+
+		key := Key{Instance: 0, Round: round, Proposer: flcrypto.NodeID(proposer)}
+		results := make([]*types.SignedHeader, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], _ = f.wrbs[i].Deliver(key, nil, nil, nil)
+			}(i)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("round %d: WRB-Termination violated (Deliver hung)", round)
+		}
+
+		nils := 0
+		for i, r := range results {
+			if r == nil {
+				nils++
+				continue
+			}
+			if r.Header.Hash() != hdr.Header.Hash() {
+				t.Fatalf("round %d node %d: WRB-Validity violated (foreign header delivered)", round, i)
+			}
+		}
+		if nils != 0 && nils != n {
+			t.Fatalf("round %d: WRB-Agreement violated (%d/%d nil)", round, nils, n)
+		}
+	}
+}
+
+// TestWRBNonTriviality: a correct node that keeps re-broadcasting its
+// message eventually gets it delivered, even after rounds of omission
+// (the ◊Synch argument of Lemma 4.3.4 — here synchrony returns when the
+// filter is lifted).
+func TestWRBNonTriviality(t *testing.T) {
+	const n = 4
+	f := newFixture(t, n, nil)
+	hdr := f.header(1, 1)
+	key := Key{Instance: 0, Round: 1, Proposer: 1}
+
+	// Total omission of the proposer's pushes at first.
+	f.net.SetLinkFilter(func(from, to flcrypto.NodeID) bool {
+		return from == 1 && to != 1
+	})
+	if err := f.wrbs[1].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	// All nodes attempt delivery; attempt 1 very likely agrees on nil.
+	deliver := func() (nils int) {
+		results := make([]*types.SignedHeader, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], _ = f.wrbs[i].Deliver(key, nil, nil, nil)
+			}(i)
+		}
+		wg.Wait()
+		for _, r := range results {
+			if r == nil {
+				nils++
+			}
+		}
+		return nils
+	}
+	first := deliver()
+
+	// Synchrony returns; the proposer re-broadcasts (Algorithm 2's full
+	// mode). If the first attempt delivered already, nothing more to show.
+	if first == 0 {
+		return
+	}
+	if first != n {
+		t.Fatalf("agreement violated on first attempt: %d/%d nil", first, n)
+	}
+	f.net.SetLinkFilter(nil)
+	// The redo uses a fresh attempt under the same round but the protocol
+	// keys attempts by proposer; here the same proposer retries, so clear
+	// the decided instance state as the recovery path would.
+	f.obbcs[0].DropFrom(0, 1)
+	f.obbcs[1].DropFrom(0, 1)
+	f.obbcs[2].DropFrom(0, 1)
+	f.obbcs[3].DropFrom(0, 1)
+	for i := 0; i < n; i++ {
+		f.wrbs[i].DropFrom(0, 1)
+	}
+	if err := f.wrbs[1].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if again := deliver(); again != 0 {
+		t.Fatalf("after synchrony returned, %d/%d still delivered nil", again, n)
+	}
+}

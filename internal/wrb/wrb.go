@@ -1,0 +1,594 @@
+// Package wrb implements the Weak Reliable Broadcast abstraction of paper
+// §4 (Algorithm 1). WRB agrees on the sender's identity and on *whether* a
+// message is delivered at all, rather than on its content: nodes vote
+// through OBBC on delivering the expected proposer's header, and if delivery
+// is decided but a node lacks the message, it pulls it from a node that
+// voted for it.
+//
+// Per §6.1.1, what travels through WRB is the block *header* (the signed
+// (m, sig_k(m)) of Algorithm 1); block bodies are disseminated on the data
+// path, and the caller's accept predicate lets a node vote against a header
+// whose body it has not received. The delivery timer is tuned with the
+// exponential moving average of recent message delays (§6.1.1).
+package wrb
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/obbc"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Key aliases the OBBC instance key: one delivery attempt of one proposer's
+// header in one round of one worker.
+type Key = obbc.Key
+
+// Wire message kinds. The pull phase (Algorithm 1 lines 22–26) transfers
+// the *message* (m, sig_k(m)) — with the §6.1.1 header/body separation that
+// is the evidence format: the signed header plus, when a body store is
+// installed, the body. A peer answers a pull only when it can supply the
+// whole message, which is what makes the post-decision pull terminate
+// (at least one correct node voted 1, so it has header and body).
+const (
+	kindPush    = 1 // WRB-broadcast push phase
+	kindReqMsg  = 2 // pull request (Algorithm 1 line 22)
+	kindRespMsg = 3 // pull response (line 26): key + evidence-format message
+)
+
+// ErrAborted is returned by Deliver when the caller aborts the round (the
+// node diverted into the recovery procedure).
+var ErrAborted = errors.New("wrb: delivery aborted")
+
+// Config wires a Service.
+type Config struct {
+	// Mux and Proto carry push/pull messages.
+	Mux   *transport.Mux
+	Proto transport.ProtoID
+	// OBBC votes on delivery. The service installs itself as the OBBC
+	// evidence provider and piggyback sink via Bind.
+	OBBC *obbc.Service
+	// Registry validates header signatures.
+	Registry *flcrypto.Registry
+	// InitialTimer is the starting τ of Algorithm 1 (default 50ms).
+	InitialTimer time.Duration
+	// MinTimer / MaxTimer clamp the adaptive timer (defaults 2ms / 10s).
+	MinTimer time.Duration
+	MaxTimer time.Duration
+	// EMASpan is the N of the §6.1.1 moving average (default 16).
+	EMASpan int
+	// Margin multiplies the EMA when setting the delivery deadline
+	// (default 4): the EMA tracks the typical readiness delay, and the
+	// margin absorbs scheduling jitter so transient slowness does not
+	// trigger spurious non-delivery votes.
+	Margin int
+}
+
+func (c *Config) fillDefaults() {
+	if c.InitialTimer == 0 {
+		c.InitialTimer = 50 * time.Millisecond
+	}
+	if c.MinTimer == 0 {
+		c.MinTimer = 5 * time.Millisecond
+	}
+	if c.MaxTimer == 0 {
+		c.MaxTimer = 10 * time.Second
+	}
+	if c.EMASpan == 0 {
+		c.EMASpan = 16
+	}
+	if c.Margin == 0 {
+		c.Margin = 4
+	}
+}
+
+// slot holds the (at most one) header stashed for a key, plus a broadcast
+// channel waiters use to observe updates.
+type slot struct {
+	hdr     *types.SignedHeader
+	arrived time.Time
+	update  chan struct{}
+}
+
+// timerState implements the §6.1.1 EMA tuning:
+//
+//	timer_r = 2/(N+1)·d_{r−1} + timer_{r−2}·(1−2/(N+1))
+type timerState struct {
+	cur  time.Duration // timer_{r−1}
+	prev time.Duration // timer_{r−2}
+}
+
+// Service is one node's WRB endpoint.
+type Service struct {
+	cfg Config
+	id  flcrypto.NodeID
+
+	mu     sync.Mutex
+	slots  map[Key]*slot
+	timers map[uint32]*timerState
+
+	// Body store hooks (SetBodyStore); nil in header-only deployments.
+	getBody func(flcrypto.Hash) ([]byte, bool)
+	putBody func([]byte) bool
+
+	// onEquivocation (SetOnEquivocation) observes conflicting headers.
+	onEquivocation func(a, b types.SignedHeader)
+}
+
+// New creates a WRB service. Wiring order with OBBC: create the WRB service
+// first (cfg.OBBC may be nil), create the OBBC service with ValidEvidence,
+// Evidence, and OnPgd pointing at the WRB service's methods, then call
+// BindOBBC.
+func New(cfg Config) *Service {
+	cfg.fillDefaults()
+	s := &Service{
+		cfg:    cfg,
+		id:     cfg.Mux.ID(),
+		slots:  make(map[Key]*slot),
+		timers: make(map[uint32]*timerState),
+	}
+	cfg.Mux.Handle(cfg.Proto, s.onWire)
+	return s
+}
+
+// BindOBBC completes the two-phase wiring described at New.
+func (s *Service) BindOBBC(o *obbc.Service) { s.cfg.OBBC = o }
+
+// SetBodyStore installs the block-body accessors the §6.1.1 header/body
+// separation needs on OBBC's evidence path. get returns the encoded body for
+// a body hash when it is locally available; put ingests an encoded body
+// received inside an evidence message and reports whether it was accepted.
+//
+// In Algorithm 4, evidence(1) is (m, sig_k(m)) — it contains the message
+// itself, which is what lets a node that adopts v=1 from received evidence
+// complete its delivery. With headers and bodies separated, the header alone
+// does not play that role: a node that has the header but not the body votes
+// 0 and must not vouch for deliverability. With a body store installed,
+// EvidenceFor therefore serves evidence only when the body is available
+// (header‖body), and ValidEvidence requires the body and ingests it — so
+// adopting 1 always leaves the adopter in possession of the full block,
+// restoring the pull phase's termination guarantee. Without a body store the
+// service runs in header-only mode (the message is the header).
+func (s *Service) SetBodyStore(get func(flcrypto.Hash) ([]byte, bool), put func([]byte) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.getBody = get
+	s.putBody = put
+}
+
+// Evidence wire flags: header-only or header followed by the encoded body.
+const (
+	evHeaderOnly = 0
+	evWithBody   = 1
+)
+
+// EvidenceFor returns the encoded evidence(1) for key, or nil — the OBBC
+// Evidence callback (Appendix A.5: evidence(1) = (m, sig_proposer(m))). With
+// a body store installed the evidence is header‖body, and nil when the body
+// is not locally available (this node could not have voted 1, assertion
+// OB2–OB3).
+func (s *Service) EvidenceFor(key Key) []byte {
+	s.mu.Lock()
+	hdr := (*types.SignedHeader)(nil)
+	if sl := s.slots[key]; sl != nil {
+		hdr = sl.hdr
+	}
+	get := s.getBody
+	s.mu.Unlock()
+	if hdr == nil {
+		return nil
+	}
+	if get == nil {
+		e := types.NewEncoder(192)
+		hdr.Encode(e)
+		e.Uint8(evHeaderOnly)
+		return e.Bytes()
+	}
+	body, ok := get(hdr.Header.BodyHash)
+	if !ok {
+		return nil
+	}
+	e := types.NewEncoder(192 + len(body))
+	hdr.Encode(e)
+	e.Uint8(evWithBody)
+	e.Bytes32(body)
+	return e.Bytes()
+}
+
+// ValidEvidence reports whether ev is a valid evidence(1) for key: a header
+// correctly signed by key's proposer for key's round, carrying — when a body
+// store is installed — the matching body, which is ingested as a side
+// effect. The OBBC ValidEvidence callback.
+func (s *Service) ValidEvidence(key Key, ev []byte) bool {
+	d := types.NewDecoder(ev)
+	hdr := types.DecodeSignedHeader(d)
+	flag := d.Uint8()
+	var body []byte
+	if flag == evWithBody {
+		body = d.Bytes32()
+	}
+	if d.Finish() != nil || flag > evWithBody {
+		return false
+	}
+	if !hdr.Verify(s.cfg.Registry) || !s.matches(hdr, key) {
+		return false
+	}
+	s.mu.Lock()
+	put := s.putBody
+	s.mu.Unlock()
+	if put == nil {
+		s.stash(hdr)
+		return true // header-only mode: the header is the message
+	}
+	if flag != evWithBody {
+		return false // body store present: evidence must carry the body
+	}
+	if flcrypto.Sum256(body) != hdr.Header.BodyHash {
+		return false
+	}
+	if !put(body) {
+		return false
+	}
+	// The evidence carries the full message: keep the header too, so the
+	// post-decision pull resolves locally.
+	s.stash(hdr)
+	return true
+}
+
+// OnPgd ingests a piggybacked header from an OBBC vote (§5.1): the next
+// round's proposer attaches its header to its current-round vote.
+func (s *Service) OnPgd(from flcrypto.NodeID, _ Key, pgd []byte) {
+	hdr, ok := s.decodeHeader(pgd)
+	if !ok || hdr.Header.Proposer != from {
+		return
+	}
+	s.stash(hdr)
+}
+
+func (s *Service) decodeHeader(buf []byte) (types.SignedHeader, bool) {
+	d := types.NewDecoder(buf)
+	hdr := types.DecodeSignedHeader(d)
+	if d.Finish() != nil {
+		return types.SignedHeader{}, false
+	}
+	if !hdr.Verify(s.cfg.Registry) {
+		return types.SignedHeader{}, false
+	}
+	return hdr, true
+}
+
+func (s *Service) matches(hdr types.SignedHeader, key Key) bool {
+	h := hdr.Header
+	return h.Instance == key.Instance && h.Round == key.Round && h.Proposer == key.Proposer
+}
+
+func (s *Service) slot(key Key) *slot {
+	sl := s.slots[key]
+	if sl == nil {
+		sl = &slot{update: make(chan struct{})}
+		s.slots[key] = sl
+	}
+	return sl
+}
+
+// SetOnEquivocation installs an observer for conflicting headers: two
+// different correctly-signed headers by the same proposer for the same
+// (instance, round). Such a pair is a transferable proof of Byzantine
+// behavior (see internal/evidence); the consensus layer feeds it to its
+// evidence pool. The callback runs on the transport goroutine and must not
+// block.
+func (s *Service) SetOnEquivocation(fn func(a, b types.SignedHeader)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEquivocation = fn
+}
+
+// stash stores a verified header under its own key and wakes waiters.
+func (s *Service) stash(hdr types.SignedHeader) {
+	key := Key{Instance: hdr.Header.Instance, Round: hdr.Header.Round, Proposer: hdr.Header.Proposer}
+	s.mu.Lock()
+	sl := s.slot(key)
+	if sl.hdr != nil {
+		prev := *sl.hdr
+		onEq := s.onEquivocation
+		s.mu.Unlock()
+		// First one wins for delivery purposes (chain validation catches a
+		// bad winner), but a *different* second header is an equivocation
+		// proof worth reporting.
+		if onEq != nil && prev.Header.Hash() != hdr.Header.Hash() {
+			onEq(prev, hdr)
+		}
+		return
+	}
+	cp := hdr
+	sl.hdr = &cp
+	sl.arrived = time.Now()
+	close(sl.update)
+	sl.update = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// Kick wakes Deliver waiters for key so they re-evaluate their accept
+// predicate (the core calls this when a block body arrives).
+func (s *Service) Kick(key Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slot(key)
+	close(sl.update)
+	sl.update = make(chan struct{})
+}
+
+// DropFrom discards stashed headers of `instance` at rounds ≥ fromRound
+// (recovery is about to redo those rounds; pre-recovery headers may not link
+// to the adopted chain).
+func (s *Service) DropFrom(instance uint32, fromRound uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.slots {
+		if key.Instance == instance && key.Round >= fromRound {
+			delete(s.slots, key)
+		}
+	}
+}
+
+// GC drops slots of `instance` with round < olderThan.
+func (s *Service) GC(instance uint32, olderThan uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.slots {
+		if key.Instance == instance && key.Round < olderThan {
+			delete(s.slots, key)
+		}
+	}
+}
+
+// --- Wire handling ---
+
+func (s *Service) onWire(from flcrypto.NodeID, buf []byte) {
+	d := types.NewDecoder(buf)
+	kind := d.Uint8()
+	switch kind {
+	case kindPush:
+		hdr := types.DecodeSignedHeader(d)
+		if d.Finish() != nil || hdr.Header.Proposer != from || !hdr.Verify(s.cfg.Registry) {
+			return
+		}
+		s.stash(hdr)
+	case kindReqMsg:
+		key := Key{Instance: d.Uint32(), Round: d.Uint64(), Proposer: flcrypto.NodeID(d.Int64())}
+		if d.Finish() != nil {
+			return
+		}
+		// Answer only when the full message is available here (lines 25–26:
+		// "∧ a valid (m, sig_k(m)) has been received").
+		ev := s.EvidenceFor(key)
+		if ev == nil {
+			return
+		}
+		e := types.NewEncoder(64 + len(ev))
+		e.Uint8(kindRespMsg)
+		keyEncode(e, key)
+		e.Bytes32(ev)
+		s.cfg.Mux.Send(s.cfg.Proto, from, e.Bytes())
+	case kindRespMsg:
+		key := Key{Instance: d.Uint32(), Round: d.Uint64(), Proposer: flcrypto.NodeID(d.Int64())}
+		ev := append([]byte(nil), d.Bytes32()...)
+		if d.Finish() != nil {
+			return
+		}
+		// ValidEvidence verifies the signature and key match, ingests the
+		// body when present, and stashes the header.
+		s.ValidEvidence(key, ev)
+	}
+}
+
+// keyEncode appends a key's fields (the wrb-side mirror of obbc's encoding).
+func keyEncode(e *types.Encoder, key Key) {
+	e.Uint32(key.Instance)
+	e.Uint64(key.Round)
+	e.Int64(int64(key.Proposer))
+}
+
+// Broadcast is WRB-broadcast(m): push the signed header to everyone
+// (Algorithm 1 line 3). The header must already be signed by this node.
+func (s *Service) Broadcast(hdr types.SignedHeader) error {
+	e := types.NewEncoder(160)
+	e.Uint8(kindPush)
+	hdr.Encode(e)
+	return s.cfg.Mux.Broadcast(s.cfg.Proto, e.Bytes())
+}
+
+// PushTo sends a push to a single node. Correct nodes have no use for it —
+// it exists so the harness can realize the §7.4.2 Byzantine proposer that
+// distributes different block versions to different parts of the cluster.
+func (s *Service) PushTo(to flcrypto.NodeID, hdr types.SignedHeader) error {
+	e := types.NewEncoder(160)
+	e.Uint8(kindPush)
+	hdr.Encode(e)
+	return s.cfg.Mux.Send(s.cfg.Proto, to, e.Bytes())
+}
+
+// timer returns the instance's adaptive timer state.
+func (s *Service) timer(instance uint32) *timerState {
+	ts := s.timers[instance]
+	if ts == nil {
+		ts = &timerState{cur: s.cfg.InitialTimer, prev: s.cfg.InitialTimer}
+		s.timers[instance] = ts
+	}
+	return ts
+}
+
+func (s *Service) clamp(d time.Duration) time.Duration {
+	if d < s.cfg.MinTimer {
+		return s.cfg.MinTimer
+	}
+	if d > s.cfg.MaxTimer {
+		return s.cfg.MaxTimer
+	}
+	return d
+}
+
+// observeDelay folds a measured delivery delay into the EMA (line 19's
+// "adjust timer").
+func (s *Service) observeDelay(instance uint32, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.timer(instance)
+	alpha := 2.0 / float64(s.cfg.EMASpan+1)
+	next := time.Duration(alpha*float64(d) + (1-alpha)*float64(ts.prev))
+	ts.prev = ts.cur
+	ts.cur = s.clamp(next)
+}
+
+// onTimeout doubles the timer (line 14's "increase timer").
+func (s *Service) onTimeout(instance uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.timer(instance)
+	ts.prev = ts.cur
+	ts.cur = s.clamp(ts.cur * 2)
+}
+
+// CurrentTimer reports the instance's current delivery deadline: the EMA
+// value times the safety margin.
+func (s *Service) CurrentTimer(instance uint32) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timer(instance).cur * time.Duration(s.cfg.Margin)
+}
+
+// Deliver is WRB-deliver(k, pgd) with k = key.Proposer (Algorithm 1 plus the
+// §5.1 piggyback and §6.1.1 separation):
+//
+//   - wait up to the adaptive timer for a header signed by k that also
+//     satisfies accept (body availability);
+//   - vote through OBBC, attaching pgdFn's result to the vote. pgdFn (may
+//     be nil) is evaluated at vote time with the header about to be voted
+//     on (nil when voting 0): the next round's proposer uses it to build
+//     its block on the just-received header and piggyback it;
+//   - on decision 0 return (nil, nil); on decision 1 return the header,
+//     pulling it from peers if necessary.
+//
+// abort (may be nil) diverts the call; the caller must also abort the OBBC
+// instance so a Propose in flight unblocks.
+func (s *Service) Deliver(key Key, pgdFn func(*types.SignedHeader) []byte, accept func(types.SignedHeader) bool, abort <-chan struct{}) (*types.SignedHeader, error) {
+	return s.DeliverWithWait(key, pgdFn, accept, abort, s.CurrentTimer(key.Instance))
+}
+
+// DeliverWithWait is Deliver with an explicit wait budget instead of the
+// adaptive timer. The benign failure detector of §6.1.1 passes 0 for
+// suspected proposers: the node does not wait for their message and votes
+// immediately on whatever it has.
+func (s *Service) DeliverWithWait(key Key, pgdFn func(*types.SignedHeader) []byte, accept func(types.SignedHeader) bool, abort <-chan struct{}, wait time.Duration) (*types.SignedHeader, error) {
+	start := time.Now()
+	deadline := start.Add(wait)
+
+	hdr := s.awaitHeader(key, accept, deadline, abort)
+	ready := time.Now()
+	if hdr == nil {
+		select {
+		case <-abort:
+			return nil, ErrAborted
+		default:
+		}
+	}
+
+	var pgd []byte
+	if pgdFn != nil {
+		pgd = pgdFn(hdr)
+	}
+	var decision byte
+	var err error
+	if hdr != nil {
+		ev := s.EvidenceFor(key)
+		if ev == nil {
+			// The body was evicted between accept and vote; degrade to
+			// header-only evidence (it is never served to peers).
+			e := types.NewEncoder(192)
+			hdr.Encode(e)
+			e.Uint8(evHeaderOnly)
+			ev = e.Bytes()
+		}
+		decision, err = s.cfg.OBBC.Propose(key, 1, ev, pgd)
+	} else {
+		decision, err = s.cfg.OBBC.Propose(key, 0, nil, pgd)
+	}
+	if err != nil {
+		if errors.Is(err, obbc.ErrAborted) {
+			return nil, ErrAborted
+		}
+		return nil, err
+	}
+
+	if decision == 0 {
+		s.onTimeout(key.Instance)
+		return nil, nil
+	}
+	if hdr != nil {
+		// The observed delay is the time from the start of this delivery
+		// attempt until the header (and its body, via accept) was ready —
+		// what the next round's deadline must cover.
+		d := ready.Sub(start)
+		if d < 0 {
+			d = 0
+		}
+		s.observeDelay(key.Instance, d)
+		return hdr, nil
+	}
+	// Decision is 1 but we lack the header: pull phase (lines 22–24). At
+	// least one correct node voted 1, so it has the header and will answer.
+	return s.pull(key, accept, abort)
+}
+
+// awaitHeader waits until a stashed header for key satisfies accept, the
+// deadline passes, or abort fires.
+func (s *Service) awaitHeader(key Key, accept func(types.SignedHeader) bool, deadline time.Time, abort <-chan struct{}) *types.SignedHeader {
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		sl := s.slot(key)
+		hdr := sl.hdr
+		ch := sl.update
+		s.mu.Unlock()
+		if hdr != nil && (accept == nil || accept(*hdr)) {
+			return hdr
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return nil
+		case <-abort:
+			return nil
+		}
+	}
+}
+
+// pull broadcasts requests for key's header until one arrives (line 23's
+// wait; re-broadcast makes it robust to a responder crashing mid-answer).
+func (s *Service) pull(key Key, accept func(types.SignedHeader) bool, abort <-chan struct{}) (*types.SignedHeader, error) {
+	req := types.NewEncoder(32)
+	req.Uint8(kindReqMsg)
+	keyEncode(req, key)
+	interval := 20 * time.Millisecond
+	for {
+		if err := s.cfg.Mux.Broadcast(s.cfg.Proto, req.Bytes()); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(interval)
+		if hdr := s.awaitHeader(key, accept, deadline, abort); hdr != nil {
+			return hdr, nil
+		}
+		select {
+		case <-abort:
+			return nil, ErrAborted
+		default:
+		}
+		if interval < time.Second {
+			interval *= 2
+		}
+	}
+}

@@ -1,0 +1,669 @@
+package wrb
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/obbc"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+const (
+	protoWRB  transport.ProtoID = 20
+	protoOBBC transport.ProtoID = 21
+)
+
+// orderer mocks the PBFT atomic broadcast for the OBBC fallback.
+type orderer struct {
+	mu       sync.Mutex
+	services []*obbc.Service
+}
+
+func (o *orderer) submit(req []byte) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, s := range o.services {
+		s.HandleOrdered(req)
+	}
+	return nil
+}
+
+type fixture struct {
+	t     *testing.T
+	ks    *flcrypto.KeySet
+	net   *transport.ChanNetwork
+	muxes []*transport.Mux
+	wrbs  []*Service
+	obbcs []*obbc.Service
+}
+
+func newFixture(t *testing.T, n int, latency transport.LatencyModel) *fixture {
+	t.Helper()
+	f := &fixture{
+		t:   t,
+		ks:  flcrypto.MustGenerateKeySet(n, flcrypto.Ed25519),
+		net: transport.NewChanNetwork(transport.ChanConfig{N: n, Latency: latency}),
+	}
+	ord := &orderer{}
+	for i := 0; i < n; i++ {
+		mux := transport.NewMux(f.net.Endpoint(flcrypto.NodeID(i)))
+		w := New(Config{
+			Mux:          mux,
+			Proto:        protoWRB,
+			Registry:     f.ks.Registry,
+			InitialTimer: 100 * time.Millisecond,
+		})
+		o := obbc.New(obbc.Config{
+			Mux:           mux,
+			Proto:         protoOBBC,
+			Registry:      f.ks.Registry,
+			Priv:          f.ks.Privs[i],
+			SubmitAB:      ord.submit,
+			ValidEvidence: w.ValidEvidence,
+			Evidence:      w.EvidenceFor,
+			OnPgd:         w.OnPgd,
+		})
+		w.BindOBBC(o)
+		ord.services = append(ord.services, o)
+		mux.Start()
+		f.muxes = append(f.muxes, mux)
+		f.wrbs = append(f.wrbs, w)
+		f.obbcs = append(f.obbcs, o)
+	}
+	t.Cleanup(func() {
+		for _, o := range f.obbcs {
+			o.Stop()
+		}
+		for _, m := range f.muxes {
+			m.Stop()
+		}
+		f.net.Close()
+	})
+	return f
+}
+
+func (f *fixture) header(proposer int, round uint64) types.SignedHeader {
+	f.t.Helper()
+	hdr := types.BlockHeader{
+		Instance: 0,
+		Round:    round,
+		Proposer: flcrypto.NodeID(proposer),
+		PrevHash: flcrypto.Sum256([]byte("prev")),
+		BodyHash: flcrypto.Sum256([]byte("body")),
+	}
+	signed, err := hdr.Sign(f.ks.Privs[proposer])
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return signed
+}
+
+// deliverAll runs Deliver at every node for the key and returns the results.
+func (f *fixture) deliverAll(key Key) []*types.SignedHeader {
+	f.t.Helper()
+	n := len(f.wrbs)
+	out := make([]*types.SignedHeader, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = f.wrbs[i].Deliver(key, nil, nil, nil)
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		f.t.Fatal("Deliver did not terminate")
+	}
+	for i, err := range errs {
+		if err != nil {
+			f.t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestWRBDeliverHappyPath(t *testing.T) {
+	f := newFixture(t, 4, nil)
+	hdr := f.header(0, 1)
+	if err := f.wrbs[0].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	results := f.deliverAll(key)
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("node %d delivered nil", i)
+		}
+		if r.Header.Hash() != hdr.Header.Hash() {
+			t.Fatalf("node %d delivered a different header", i)
+		}
+	}
+	// Happy path must be fast-path OBBC everywhere.
+	fast := uint64(0)
+	for _, o := range f.obbcs {
+		fast += o.Metrics().FastDecisions.Load()
+	}
+	if fast != 4 {
+		t.Fatalf("fast decisions = %d, want 4", fast)
+	}
+}
+
+func TestWRBDeliverNilOnSilentProposer(t *testing.T) {
+	// Nothing is broadcast: every node times out, votes 0, and WRB agrees
+	// on nil (WRB-Agreement's all-or-nothing).
+	f := newFixture(t, 4, nil)
+	key := Key{Instance: 0, Round: 1, Proposer: 2}
+	results := f.deliverAll(key)
+	for i, r := range results {
+		if r != nil {
+			t.Fatalf("node %d delivered %v for a silent proposer", i, r.Header)
+		}
+	}
+	// Line 14: the timer must have grown.
+	if f.wrbs[0].CurrentTimer(0) <= 100*time.Millisecond {
+		t.Fatalf("timer did not increase: %v", f.wrbs[0].CurrentTimer(0))
+	}
+}
+
+func TestWRBPullPhase(t *testing.T) {
+	// The proposer's push reaches only nodes 0-2 (link to 3 is cut); the
+	// delivery decision is 1, so node 3 must pull the header (lines 22-24).
+	f := newFixture(t, 4, nil)
+	f.net.SetLinkFilter(func(from, to flcrypto.NodeID) bool {
+		return from == 0 && to == 3 // node 3 misses the push
+	})
+	hdr := f.header(0, 1)
+	if err := f.wrbs[0].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let the push land at 0-2
+	f.net.SetLinkFilter(nil)          // pull responses must flow
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	results := f.deliverAll(key)
+	for i, r := range results {
+		if r == nil || r.Header.Hash() != hdr.Header.Hash() {
+			t.Fatalf("node %d: wrong delivery %v", i, r)
+		}
+	}
+}
+
+func TestWRBAgreementAllOrNothing(t *testing.T) {
+	// Push reaches only one node. Whatever OBBC decides, all nodes must
+	// return the same nil-ness (WRB-Agreement).
+	f := newFixture(t, 4, nil)
+	f.net.SetLinkFilter(func(from, to flcrypto.NodeID) bool {
+		return from == 1 && to != 1 && to != 2 // only node 2 (and self) get the push
+	})
+	hdr := f.header(1, 5)
+	if err := f.wrbs[1].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	f.net.SetLinkFilter(nil)
+	key := Key{Instance: 0, Round: 5, Proposer: 1}
+	results := f.deliverAll(key)
+	nils := 0
+	for _, r := range results {
+		if r == nil {
+			nils++
+		}
+	}
+	if nils != 0 && nils != len(results) {
+		t.Fatalf("WRB-Agreement violated: %d/%d nil deliveries", nils, len(results))
+	}
+	for _, r := range results {
+		if r != nil && r.Header.Hash() != hdr.Header.Hash() {
+			t.Fatal("delivered header differs from broadcast one")
+		}
+	}
+}
+
+func TestWRBRejectsForgedHeader(t *testing.T) {
+	// A header signed by the wrong key must never be stashed or delivered.
+	f := newFixture(t, 4, nil)
+	hdr := types.BlockHeader{Instance: 0, Round: 1, Proposer: 0}
+	forged, err := hdr.Sign(f.ks.Privs[1]) // signed by node 1, claims proposer 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := types.NewEncoder(160)
+	e.Uint8(kindPush)
+	forged.Encode(e)
+	if err := f.muxes[1].Broadcast(protoWRB, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if ev := f.wrbs[2].EvidenceFor(Key{Instance: 0, Round: 1, Proposer: 0}); ev != nil {
+		t.Fatal("forged header was stashed")
+	}
+}
+
+func TestWRBPiggybackFeedsNextRound(t *testing.T) {
+	// Round 1 is delivered normally; node 1 piggybacks its round-2 header
+	// on its round-1 vote. Round 2's delivery must then find the header
+	// without any push.
+	f := newFixture(t, 4, nil)
+	h1 := f.header(0, 1)
+	h2 := f.header(1, 2)
+	if err := f.wrbs[0].Broadcast(h1); err != nil {
+		t.Fatal(err)
+	}
+	key1 := Key{Instance: 0, Round: 1, Proposer: 0}
+	e := types.NewEncoder(160)
+	h2.Encode(e)
+	pgd := e.Bytes()
+
+	n := len(f.wrbs)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var pgdFn func(*types.SignedHeader) []byte
+			if i == 1 { // node 1 is round 2's proposer
+				pgdFn = func(*types.SignedHeader) []byte { return pgd }
+			}
+			if _, err := f.wrbs[i].Deliver(key1, pgdFn, nil, nil); err != nil {
+				t.Errorf("node %d round 1: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Round 2: no push happened; the piggyback must be in every stash.
+	key2 := Key{Instance: 0, Round: 2, Proposer: 1}
+	results := f.deliverAll(key2)
+	for i, r := range results {
+		if r == nil || r.Header.Hash() != h2.Header.Hash() {
+			t.Fatalf("node %d: piggybacked header not delivered: %v", i, r)
+		}
+	}
+}
+
+func TestWRBAcceptPredicateBlocksVote(t *testing.T) {
+	// The withholding attack of the header/body separation: every node sees
+	// the (valid, signed) header but no node anywhere has the body. With the
+	// body store installed, no node can serve evidence(1), so the decision
+	// must be 0 / nil everywhere — the round rotates instead of stalling.
+	f := newFixture(t, 4, nil)
+	for _, w := range f.wrbs {
+		w.SetBodyStore(
+			func(flcrypto.Hash) ([]byte, bool) { return nil, false },
+			func([]byte) bool { return true },
+		)
+	}
+	hdr := f.header(0, 1)
+	if err := f.wrbs[0].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	n := len(f.wrbs)
+	results := make([]*types.SignedHeader, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = f.wrbs[i].Deliver(key, nil,
+				func(types.SignedHeader) bool { return false }, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r != nil {
+			t.Fatalf("node %d delivered a header whose body it rejected", i)
+		}
+	}
+}
+
+// bodyStore is a tiny in-memory body store for evidence-path tests.
+type bodyStore struct {
+	mu     sync.Mutex
+	bodies map[flcrypto.Hash][]byte
+	puts   int
+}
+
+func newBodyStore() *bodyStore {
+	return &bodyStore{bodies: make(map[flcrypto.Hash][]byte)}
+}
+
+func (bs *bodyStore) get(h flcrypto.Hash) ([]byte, bool) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b, ok := bs.bodies[h]
+	return b, ok
+}
+
+func (bs *bodyStore) put(enc []byte) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	bs.bodies[flcrypto.Sum256(enc)] = append([]byte(nil), enc...)
+	bs.puts++
+	return true
+}
+
+func (bs *bodyStore) add(enc []byte) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	bs.bodies[flcrypto.Sum256(enc)] = append([]byte(nil), enc...)
+}
+
+func (bs *bodyStore) putCount() int {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return bs.puts
+}
+
+// headerWithBody builds a signed header whose BodyHash commits to enc.
+func (f *fixture) headerWithBody(proposer int, round uint64, enc []byte) types.SignedHeader {
+	f.t.Helper()
+	hdr := types.BlockHeader{
+		Instance: 0,
+		Round:    round,
+		Proposer: flcrypto.NodeID(proposer),
+		PrevHash: flcrypto.Sum256([]byte("prev")),
+		BodyHash: flcrypto.Sum256(enc),
+	}
+	signed, err := hdr.Sign(f.ks.Privs[proposer])
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return signed
+}
+
+func TestWRBEvidenceCarriesBody(t *testing.T) {
+	// Only the proposer and one other node hold the body; the other two vote
+	// 0. The fallback's evidence exchange must hand them header AND body, so
+	// everyone delivers (Algorithm 4: evidence(1) contains the message m).
+	f := newFixture(t, 4, nil)
+	bodyEnc := []byte("the block body bytes")
+	stores := make([]*bodyStore, 4)
+	for i, w := range f.wrbs {
+		stores[i] = newBodyStore()
+		w.SetBodyStore(stores[i].get, stores[i].put)
+	}
+	stores[0].add(bodyEnc)
+	stores[1].add(bodyEnc)
+	hdr := f.headerWithBody(0, 1, bodyEnc)
+	if err := f.wrbs[0].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	accept := func(i int) func(types.SignedHeader) bool {
+		return func(h types.SignedHeader) bool {
+			_, ok := stores[i].get(h.Header.BodyHash)
+			return ok
+		}
+	}
+	n := len(f.wrbs)
+	results := make([]*types.SignedHeader, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = f.wrbs[i].Deliver(key, nil, accept(i), nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("node %d did not deliver", i)
+		}
+		if r.Header.Hash() != hdr.Header.Hash() {
+			t.Fatalf("node %d delivered a different header", i)
+		}
+		if _, ok := stores[i].get(hdr.Header.BodyHash); !ok {
+			t.Fatalf("node %d delivered without obtaining the body", i)
+		}
+	}
+	if stores[2].putCount() == 0 && stores[3].putCount() == 0 {
+		t.Fatal("no body traveled on the evidence path")
+	}
+}
+
+func TestWRBEvidenceForRequiresBody(t *testing.T) {
+	f := newFixture(t, 4, nil)
+	bs := newBodyStore()
+	f.wrbs[1].SetBodyStore(bs.get, bs.put)
+	bodyEnc := []byte("body")
+	hdr := f.headerWithBody(0, 1, bodyEnc)
+	if err := f.wrbs[0].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	time.Sleep(50 * time.Millisecond) // let the push land
+	// Header stashed but body missing: no evidence.
+	if ev := f.wrbs[1].EvidenceFor(key); ev != nil {
+		t.Fatal("EvidenceFor vouched for a header without its body")
+	}
+	bs.add(bodyEnc)
+	var ev []byte
+	deadline := time.Now().Add(2 * time.Second)
+	for ev = f.wrbs[1].EvidenceFor(key); ev == nil && time.Now().Before(deadline); ev = f.wrbs[1].EvidenceFor(key) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ev == nil {
+		t.Fatal("EvidenceFor returned nil despite header+body present")
+	}
+	// The produced evidence must validate at a peer with a body store, and
+	// ingest the body there.
+	peer := newBodyStore()
+	f.wrbs[2].SetBodyStore(peer.get, peer.put)
+	if !f.wrbs[2].ValidEvidence(key, ev) {
+		t.Fatal("peer rejected valid header+body evidence")
+	}
+	if _, ok := peer.get(hdr.Header.BodyHash); !ok {
+		t.Fatal("ValidEvidence did not ingest the body")
+	}
+}
+
+func TestWRBValidEvidenceRejectsHeaderOnlyWhenBodyStoreSet(t *testing.T) {
+	f := newFixture(t, 4, nil)
+	bs := newBodyStore()
+	f.wrbs[1].SetBodyStore(bs.get, bs.put)
+	hdr := f.header(0, 1)
+	e := types.NewEncoder(192)
+	hdr.Encode(e)
+	e.Uint8(0) // header-only flag
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	if f.wrbs[1].ValidEvidence(key, e.Bytes()) {
+		t.Fatal("accepted header-only evidence despite body store")
+	}
+	// Header-only mode (no body store) accepts the same evidence.
+	if !f.wrbs[2].ValidEvidence(key, e.Bytes()) {
+		t.Fatal("header-only mode rejected a valid header")
+	}
+}
+
+func TestWRBValidEvidenceRejectsMismatchedBody(t *testing.T) {
+	f := newFixture(t, 4, nil)
+	bs := newBodyStore()
+	f.wrbs[1].SetBodyStore(bs.get, bs.put)
+	bodyEnc := []byte("real body")
+	hdr := f.headerWithBody(0, 1, bodyEnc)
+	e := types.NewEncoder(256)
+	hdr.Encode(e)
+	e.Uint8(1)
+	e.Bytes32([]byte("a different body")) // hash will not match
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	if f.wrbs[1].ValidEvidence(key, e.Bytes()) {
+		t.Fatal("accepted evidence whose body does not match the header")
+	}
+	if bs.putCount() != 0 {
+		t.Fatal("mismatched body was ingested")
+	}
+}
+
+func TestWRBKickReevaluatesAccept(t *testing.T) {
+	// accept is false until the "body" arrives; Kick must wake the waiter
+	// before the timer expires.
+	f := newFixture(t, 4, nil)
+	hdr := f.header(0, 1)
+	if err := f.wrbs[0].Broadcast(hdr); err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Instance: 0, Round: 1, Proposer: 0}
+	var haveBody sync.Map
+	n := len(f.wrbs)
+	results := make([]*types.SignedHeader, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = f.wrbs[i].Deliver(key, nil, func(types.SignedHeader) bool {
+				_, ok := haveBody.Load(i)
+				return ok
+			}, nil)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		haveBody.Store(i, true)
+		f.wrbs[i].Kick(key)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("node %d: Kick did not lead to delivery", i)
+		}
+	}
+}
+
+func TestWRBAbort(t *testing.T) {
+	f := newFixture(t, 4, nil)
+	key := Key{Instance: 0, Round: 9, Proposer: 0}
+	abort := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.wrbs[0].Deliver(key, nil, nil, abort)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(abort)
+	f.obbcs[0].Abort(key)
+	select {
+	case err := <-errCh:
+		if err != ErrAborted {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort did not unblock Deliver")
+	}
+}
+
+func TestWRBTimerEMAAdapts(t *testing.T) {
+	// After fast deliveries the timer should shrink toward the observed
+	// (near-zero) delays from its 100ms start. With EMASpan 16 each round
+	// folds in α = 2/17 of the new delay (into alternating slots, §6.1.1's
+	// timer_{r−2} recurrence), so 40 rounds contract cur by (1−α)^20 ≈ 0.08.
+	f := newFixture(t, 4, nil)
+	for r := uint64(1); r <= 40; r++ {
+		hdr := f.header(0, r)
+		if err := f.wrbs[0].Broadcast(hdr); err != nil {
+			t.Fatal(err)
+		}
+		f.deliverAll(Key{Instance: 0, Round: r, Proposer: 0})
+	}
+	if got := f.wrbs[1].CurrentTimer(0); got >= 100*time.Millisecond {
+		t.Fatalf("timer did not adapt downward: %v", got)
+	}
+	// And never below the floor.
+	if got := f.wrbs[1].CurrentTimer(0); got < 2*time.Millisecond {
+		t.Fatalf("timer fell below MinTimer: %v", got)
+	}
+}
+
+func TestWRBGC(t *testing.T) {
+	f := newFixture(t, 4, nil)
+	for r := uint64(1); r <= 5; r++ {
+		hdr := f.header(0, r)
+		if err := f.wrbs[0].Broadcast(hdr); err != nil {
+			t.Fatal(err)
+		}
+		f.deliverAll(Key{Instance: 0, Round: r, Proposer: 0})
+	}
+	w := f.wrbs[0]
+	w.mu.Lock()
+	before := len(w.slots)
+	w.mu.Unlock()
+	w.GC(0, 5)
+	w.mu.Lock()
+	after := len(w.slots)
+	w.mu.Unlock()
+	if after >= before {
+		t.Fatalf("GC did not shrink slots: %d -> %d", before, after)
+	}
+}
+
+func TestWRBOnEquivocationObserver(t *testing.T) {
+	f := newFixture(t, 4, nil)
+	var mu sync.Mutex
+	var pairs [][2]types.SignedHeader
+	f.wrbs[1].SetOnEquivocation(func(a, b types.SignedHeader) {
+		mu.Lock()
+		pairs = append(pairs, [2]types.SignedHeader{a, b})
+		mu.Unlock()
+	})
+	// Node 0 pushes two different headers for the same round (equivocation).
+	hdrA := f.headerWithBody(0, 1, []byte("version A"))
+	hdrB := f.headerWithBody(0, 1, []byte("version B"))
+	if err := f.wrbs[0].Broadcast(hdrA); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		// Wait for A to stash at node 1 before pushing B, so the conflict
+		// is observed deterministically.
+		if ev := f.wrbs[1].EvidenceFor(Key{Instance: 0, Round: 1, Proposer: 0}); ev != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first header never stashed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := f.wrbs[0].PushTo(1, hdrB); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(pairs)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("equivocation not observed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	a, b := pairs[0][0], pairs[0][1]
+	if a.Header.Proposer != 0 || b.Header.Proposer != 0 || a.Header.Round != 1 || b.Header.Round != 1 {
+		t.Fatalf("observed pair describes the wrong slot: %+v / %+v", a.Header, b.Header)
+	}
+	if a.Header.Hash() == b.Header.Hash() {
+		t.Fatal("observed pair is not conflicting")
+	}
+	// Re-pushing an identical header must NOT fire the observer.
+	before := len(pairs)
+	if err := f.wrbs[0].PushTo(1, hdrA); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if len(pairs) != before {
+		t.Fatal("duplicate identical header reported as equivocation")
+	}
+}
