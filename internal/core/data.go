@@ -41,6 +41,7 @@ type dataPath struct {
 	mux   *transport.Mux
 	proto transport.ProtoID
 	reg   *flcrypto.Registry
+	pool  *flcrypto.VerifyPool // nil = synchronous verification
 	chain *Chain
 	opts  dataOpts
 	rumor *gossip.Disseminator // nil on the clique overlay
@@ -89,17 +90,23 @@ func (dp *dataPath) maybeRequestBody(hash flcrypto.Hash) {
 // the chain, so the store only needs to cover in-flight rounds.
 const maxStoredBodies = 4096
 
-func newDataPath(mux *transport.Mux, proto transport.ProtoID, reg *flcrypto.Registry, chain *Chain, opts dataOpts) *dataPath {
+func newDataPath(mux *transport.Mux, proto transport.ProtoID, reg *flcrypto.Registry, pool *flcrypto.VerifyPool, chain *Chain, opts dataOpts) *dataPath {
 	dp := &dataPath{
 		mux:    mux,
 		proto:  proto,
 		reg:    reg,
+		pool:   pool,
 		chain:  chain,
 		opts:   opts,
 		bodies: make(map[flcrypto.Hash]types.Body),
 		update: make(chan struct{}),
 	}
-	mux.Handle(proto, dp.onWire)
+	// Every data-path message has a pull/retry fallback (bodies are
+	// re-pullable by hash, catch-up blocks are re-requested in a loop), so
+	// the mailbox drops on overflow: a body flood — the cheapest Byzantine
+	// flooding vector, since bodies are the largest messages — costs the
+	// flooder its own traffic and cannot stall the consensus protocols.
+	mux.HandleWith(proto, dp.onWire, transport.MailboxConfig{Policy: transport.DropNewest})
 	if opts.useGossip {
 		dp.rumor = gossip.New(gossip.Config{
 			Mux:     mux,
@@ -261,7 +268,7 @@ func (dp *dataPath) onWire(from flcrypto.NodeID, buf []byte) {
 		if d.Finish() != nil {
 			return
 		}
-		if !blk.Signed.Verify(dp.reg) || blk.CheckBody() != nil {
+		if !blk.Signed.VerifyPooled(dp.reg, dp.pool) || blk.CheckBody() != nil {
 			return
 		}
 		dp.mu.Lock()

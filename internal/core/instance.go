@@ -47,6 +47,12 @@ type Config struct {
 	// Registry and Priv identify the node.
 	Registry *flcrypto.Registry
 	Priv     flcrypto.PrivateKey
+	// VerifyPool, when non-nil, routes the data-path and recovery signature
+	// checks through the node's shared verification pool — recovery
+	// versions and catch-up blocks re-present headers the node has usually
+	// verified already, so they resolve from the cache. Nil verifies
+	// synchronously (deterministic tests).
+	VerifyPool *flcrypto.VerifyPool
 	// WRB, OBBC, RB are the instance's protocol services (wired by the
 	// node assembly; see flo.NewNode).
 	WRB  *wrb.Service
@@ -198,7 +204,7 @@ func New(cfg Config) *Instance {
 	}
 	in.sched = newSchedule(n, in.f, cfg.EpochLen)
 	in.fd = newFailureDetector(in.f, cfg.FDThreshold)
-	in.data = newDataPath(cfg.Mux, cfg.DataProto, cfg.Registry, in.chain, dataOpts{
+	in.data = newDataPath(cfg.Mux, cfg.DataProto, cfg.Registry, cfg.VerifyPool, in.chain, dataOpts{
 		gossipProto: cfg.GossipProto,
 		useGossip:   cfg.UseGossip,
 		fanout:      cfg.GossipFanout,
@@ -367,7 +373,7 @@ func (in *Instance) OnPanic(origin flcrypto.NodeID, seq uint64, payload []byte) 
 	if proof.Curr.Header.Instance != in.cfg.Instance {
 		return
 	}
-	if err := proof.Verify(in.cfg.Registry); err != nil {
+	if err := proof.VerifyPooled(in.cfg.Registry, in.cfg.VerifyPool); err != nil {
 		return
 	}
 	select {
@@ -437,7 +443,7 @@ func (in *Instance) run() {
 		// handed us the block (we restarted or fell behind); adopt it
 		// without running the round.
 		if blk, ok := in.data.takeFetched(ri); ok {
-			if in.validateLink(blk.Signed, ri) && blk.Signed.Verify(in.cfg.Registry) && blk.CheckBody() == nil {
+			if in.validateLink(blk.Signed, ri) && blk.Signed.VerifyPooled(in.cfg.Registry, in.cfg.VerifyPool) && blk.CheckBody() == nil {
 				if in.chain.Append(blk) == nil {
 					in.metrics.TentativeBlocks.Add(1)
 					if ri > uint64(in.f)+2 {
@@ -630,7 +636,7 @@ func (in *Instance) panicAbout(hdr types.SignedHeader, ri uint64) bool {
 		return false
 	}
 	proof := Proof{Curr: hdr, Prev: prev}
-	if proof.Verify(in.cfg.Registry) != nil {
+	if proof.VerifyPooled(in.cfg.Registry, in.cfg.VerifyPool) != nil {
 		return false
 	}
 	in.fd.invalidate() // Byzantine activity detected (§6.1.1)

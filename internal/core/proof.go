@@ -49,6 +49,13 @@ var ErrInvalidProof = errors.New("core: invalid inconsistency proof")
 // belong to the same instance, sit at consecutive rounds, and the hash link
 // between them is broken.
 func (p *Proof) Verify(reg *flcrypto.Registry) error {
+	return p.VerifyPooled(reg, nil)
+}
+
+// VerifyPooled is Verify with header signatures checked through a verify
+// pool's cache (a proof RB-delivers n times cluster-wide and usually names
+// headers the node already verified). A nil pool verifies directly.
+func (p *Proof) VerifyPooled(reg *flcrypto.Registry, pool *flcrypto.VerifyPool) error {
 	ch, ph := p.Curr.Header, p.Prev.Header
 	if ch.Instance != ph.Instance {
 		return ErrInvalidProof
@@ -56,7 +63,7 @@ func (p *Proof) Verify(reg *flcrypto.Registry) error {
 	if ch.Round != ph.Round+1 || ch.Round < 2 {
 		return ErrInvalidProof
 	}
-	if !p.Curr.Verify(reg) || !p.Prev.Verify(reg) {
+	if !p.Curr.VerifyPooled(reg, pool) || !p.Prev.VerifyPooled(reg, pool) {
 		return ErrInvalidProof
 	}
 	if ch.PrevHash == ph.Hash() {

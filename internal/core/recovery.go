@@ -122,7 +122,7 @@ func (rt *recoveryTracker) HandleOrdered(req []byte) bool {
 	if int(v.From) < 0 || int(v.From) >= rt.in.n {
 		return true
 	}
-	if !rt.in.cfg.Registry.Verify(v.From, versionSigBody(v.Instance, v.RecRound, v.From, v.Blocks), v.Sig) {
+	if !rt.in.cfg.VerifyPool.VerifyNode(rt.in.cfg.Registry, v.From, versionSigBody(v.Instance, v.RecRound, v.From, v.Blocks), v.Sig) {
 		return true
 	}
 	rt.mu.Lock()
@@ -187,7 +187,7 @@ func (rt *recoveryTracker) validVersion(v *versionMsg, r uint64) bool {
 		if hdr.PrevHash != prev {
 			return false
 		}
-		if !blk.Signed.Verify(rt.in.cfg.Registry) || blk.CheckBody() != nil {
+		if !blk.Signed.VerifyPooled(rt.in.cfg.Registry, rt.in.cfg.VerifyPool) || blk.CheckBody() != nil {
 			return false
 		}
 		// Proposer diversity within the version (Definition 5.3.1).

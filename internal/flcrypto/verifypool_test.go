@@ -1,0 +1,263 @@
+package flcrypto
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func poolKeyPair(t *testing.T) (PrivateKey, PublicKey) {
+	t.Helper()
+	priv, err := GenerateKey(Ed25519, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return priv, priv.Public()
+}
+
+func TestVerifyPoolCacheHitMiss(t *testing.T) {
+	priv, pub := poolKeyPair(t)
+	p := NewVerifyPool(2, 0)
+	defer p.Close()
+
+	msg := []byte("cached envelope")
+	sig, err := priv.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First check: a miss that runs the crypto.
+	if !p.Verify(pub, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	hits, misses := p.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("after first check: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	// Re-presenting the same envelope hits the cache.
+	for i := 0; i < 5; i++ {
+		if !p.Verify(pub, msg, sig) {
+			t.Fatal("cached valid signature rejected")
+		}
+	}
+	hits, misses = p.Stats()
+	if hits != 5 || misses != 1 {
+		t.Fatalf("after re-checks: hits=%d misses=%d, want 5/1", hits, misses)
+	}
+
+	// A different message is a fresh miss.
+	msg2 := []byte("other envelope")
+	sig2, _ := priv.Sign(msg2)
+	if !p.Verify(pub, msg2, sig2) {
+		t.Fatal("valid signature rejected")
+	}
+	if _, misses = p.Stats(); misses != 2 {
+		t.Fatalf("misses = %d, want 2", misses)
+	}
+}
+
+func TestVerifyPoolNoCacheBypassForForgeries(t *testing.T) {
+	// The key property behind the ISSUE's "no verification bypass via the
+	// cache": after a genuine envelope is cached as valid, a forged
+	// signature over the same message — or the same signature over a
+	// tampered message, or the right pair under the wrong key — must still
+	// be rejected.
+	priv, pub := poolKeyPair(t)
+	otherPriv, otherPub := poolKeyPair(t)
+	p := NewVerifyPool(2, 0)
+	defer p.Close()
+
+	msg := []byte("transfer 10 to alice")
+	sig, _ := priv.Sign(msg)
+	if !p.Verify(pub, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+
+	forged := append(Signature(nil), sig...)
+	forged[0] ^= 0xff
+	if p.Verify(pub, msg, forged) {
+		t.Fatal("forged signature accepted after genuine one was cached")
+	}
+	tampered := []byte("transfer 10 to mallory")
+	if p.Verify(pub, tampered, sig) {
+		t.Fatal("signature accepted over tampered message")
+	}
+	if p.Verify(otherPub, msg, sig) {
+		t.Fatal("signature accepted under the wrong public key")
+	}
+	// And the reverse: a cached negative must not block the real one.
+	otherSig, _ := otherPriv.Sign(msg)
+	if !p.Verify(otherPub, msg, otherSig) {
+		t.Fatal("valid signature rejected after forgery was cached")
+	}
+}
+
+func TestVerifyPoolForgedRejectionUnderConcurrentLoad(t *testing.T) {
+	// Mixed genuine and forged envelopes from many goroutines: every
+	// genuine check must pass and every forged one must fail, regardless of
+	// cache state and interleaving.
+	priv, pub := poolKeyPair(t)
+	p := NewVerifyPool(0, 64) // small cache to force eviction churn
+	defer p.Close()
+
+	const workers = 8
+	const perWorker = 200
+	var wrong atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				msg := []byte(fmt.Sprintf("envelope %d", i%20)) // shared across workers
+				sig, err := priv.Sign(msg)
+				if err != nil {
+					wrong.Add(1)
+					return
+				}
+				if i%3 == 0 {
+					bad := append(Signature(nil), sig...)
+					bad[i%len(bad)] ^= 0x55
+					if p.Verify(pub, msg, bad) {
+						wrong.Add(1)
+					}
+				} else if !p.Verify(pub, msg, sig) {
+					wrong.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d wrong verification results under concurrent load", n)
+	}
+	hits, misses := p.Stats()
+	if hits == 0 {
+		t.Fatalf("expected cache hits under repeated load (hits=%d misses=%d)", hits, misses)
+	}
+}
+
+func TestVerifyPoolAsync(t *testing.T) {
+	priv, pub := poolKeyPair(t)
+	p := NewVerifyPool(4, 0)
+	defer p.Close()
+
+	msg := []byte("async envelope")
+	sig, _ := priv.Sign(msg)
+	forged := append(Signature(nil), sig...)
+	forged[3] ^= 0x01
+
+	const k = 100
+	results := make(chan bool, 2*k)
+	for i := 0; i < k; i++ {
+		p.VerifyAsync(pub, msg, sig, func(ok bool) { results <- ok })
+		p.VerifyAsync(pub, msg, forged, func(ok bool) { results <- !ok })
+	}
+	for i := 0; i < 2*k; i++ {
+		if !<-results {
+			t.Fatal("async verification produced a wrong result")
+		}
+	}
+}
+
+func TestVerifyPoolNilIsSynchronous(t *testing.T) {
+	// A nil pool is the SyncVerify escape hatch: verification still works,
+	// done callbacks run inline on the caller.
+	priv, pub := poolKeyPair(t)
+	var p *VerifyPool
+
+	msg := []byte("sync fallback")
+	sig, _ := priv.Sign(msg)
+	if !p.Verify(pub, msg, sig) {
+		t.Fatal("nil pool rejected a valid signature")
+	}
+	if p.Verify(pub, []byte("tampered"), sig) {
+		t.Fatal("nil pool accepted an invalid signature")
+	}
+	called := false
+	p.VerifyAsync(pub, msg, sig, func(ok bool) { called = ok })
+	if !called {
+		t.Fatal("nil pool did not invoke done synchronously")
+	}
+	p.Close() // must not panic
+}
+
+func TestVerifyPoolVerifyNode(t *testing.T) {
+	ks := MustGenerateKeySet(4, Ed25519)
+	p := NewVerifyPool(2, 0)
+	defer p.Close()
+
+	msg := []byte("registry routed")
+	sig, _ := ks.Privs[2].Sign(msg)
+	if !p.VerifyNode(ks.Registry, 2, msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if p.VerifyNode(ks.Registry, 1, msg, sig) {
+		t.Fatal("signature accepted for the wrong node")
+	}
+	if p.VerifyNode(ks.Registry, 99, msg, sig) {
+		t.Fatal("signature accepted for an unregistered node")
+	}
+}
+
+func TestVerifyPoolLRUEviction(t *testing.T) {
+	priv, pub := poolKeyPair(t)
+	// Tiny cache: 16 shards × 8 entries minimum = 128 total.
+	p := NewVerifyPool(1, 1)
+	defer p.Close()
+
+	type env struct {
+		msg []byte
+		sig Signature
+	}
+	var envs []env
+	for i := 0; i < 1000; i++ {
+		msg := []byte(fmt.Sprintf("evicted %d", i))
+		sig, _ := priv.Sign(msg)
+		envs = append(envs, env{msg, sig})
+		if !p.Verify(pub, msg, sig) {
+			t.Fatal("valid signature rejected")
+		}
+	}
+	_, missesBefore := p.Stats()
+	// The earliest envelope must have been evicted: re-checking it is a
+	// miss (and still correct).
+	if !p.Verify(pub, envs[0].msg, envs[0].sig) {
+		t.Fatal("valid signature rejected after eviction")
+	}
+	_, missesAfter := p.Stats()
+	if missesAfter != missesBefore+1 {
+		t.Fatalf("expected an eviction-induced miss (misses %d -> %d)", missesBefore, missesAfter)
+	}
+}
+
+func TestVerifyPoolCloseCompletesQueued(t *testing.T) {
+	priv, pub := poolKeyPair(t)
+	p := NewVerifyPool(1, 0)
+	msg := []byte("closing")
+	sig, _ := priv.Sign(msg)
+
+	var done sync.WaitGroup
+	var ok atomic.Uint64
+	for i := 0; i < 50; i++ {
+		done.Add(1)
+		p.VerifyAsync(pub, msg, sig, func(v bool) {
+			if v {
+				ok.Add(1)
+			}
+			done.Done()
+		})
+	}
+	p.Close()
+	done.Wait()
+	if ok.Load() != 50 {
+		t.Fatalf("only %d/50 queued verifications completed across Close", ok.Load())
+	}
+	// Submissions after Close still complete synchronously.
+	ran := false
+	p.VerifyAsync(pub, msg, sig, func(v bool) { ran = v })
+	if !ran {
+		t.Fatal("VerifyAsync after Close did not run")
+	}
+}

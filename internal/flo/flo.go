@@ -47,6 +47,15 @@ type Config struct {
 	// Registry and Priv identify the node.
 	Registry *flcrypto.Registry
 	Priv     flcrypto.PrivateKey
+	// VerifyPool is the node's shared signature-verification pool (parallel
+	// workers plus a dedup cache; see flcrypto.VerifyPool), threaded down to
+	// every protocol service. Nil creates a GOMAXPROCS-sized pool owned (and
+	// closed) by the node — set SyncVerify to opt out entirely.
+	VerifyPool *flcrypto.VerifyPool
+	// SyncVerify disables the asynchronous verification pipeline: every
+	// signature is checked inline and uncached where it arrives. The
+	// deterministic escape hatch for tests and debugging.
+	SyncVerify bool
 	// Workers is the paper's ω (default 1).
 	Workers int
 	// BatchSize is the paper's β (default 100).
@@ -113,10 +122,14 @@ type Node struct {
 	replica *pbft.Replica
 	workers []*core.Instance
 	obbcs   []*obbc.Service
+	rbs     []*rbroadcast.Service
 	pools   []*workload.Pool
 	sats    []*workload.SaturatingSource
 	logs    []*store.BlockLog
 	evpools []*evidence.Pool
+
+	verify    *flcrypto.VerifyPool
+	ownVerify bool // the node created verify and must close it
 
 	merger *merger
 
@@ -147,6 +160,13 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.BatchSize = 100
 	}
 	n := &Node{cfg: cfg, id: cfg.Endpoint.ID(), mux: transport.NewMux(cfg.Endpoint)}
+	if !cfg.SyncVerify {
+		n.verify = cfg.VerifyPool
+		if n.verify == nil {
+			n.verify = flcrypto.NewVerifyPool(0, 0)
+			n.ownVerify = true
+		}
+	}
 	n.merger = newMerger(cfg.Workers, func(w uint32, blk types.Block) {
 		if cfg.Deliver != nil {
 			cfg.Deliver(w, blk)
@@ -166,6 +186,7 @@ func NewNode(cfg Config) (*Node, error) {
 		Proto:       protoPBFT,
 		Registry:    cfg.Registry,
 		Priv:        cfg.Priv,
+		VerifyPool:  n.verify,
 		ViewTimeout: cfg.ViewTimeout,
 		Deliver:     n.onOrdered,
 	})
@@ -186,6 +207,7 @@ func (n *Node) addWorker(w uint32) error {
 		Mux:          n.mux,
 		Proto:        base,
 		Registry:     cfg.Registry,
+		VerifyPool:   n.verify,
 		InitialTimer: cfg.InitialTimer,
 	})
 	obbcSvc := obbc.New(obbc.Config{
@@ -194,6 +216,7 @@ func (n *Node) addWorker(w uint32) error {
 		Instance:      w,
 		Registry:      cfg.Registry,
 		Priv:          cfg.Priv,
+		VerifyPool:    n.verify,
 		SubmitAB:      n.replica.Submit,
 		ValidEvidence: wrbSvc.ValidEvidence,
 		Evidence:      wrbSvc.EvidenceFor,
@@ -242,6 +265,7 @@ func (n *Node) addWorker(w uint32) error {
 		Mux:              n.mux,
 		Registry:         cfg.Registry,
 		Priv:             cfg.Priv,
+		VerifyPool:       n.verify,
 		WRB:              wrbSvc,
 		OBBC:             obbcSvc,
 		DataProto:        base + 3,
@@ -276,6 +300,7 @@ func (n *Node) addWorker(w uint32) error {
 
 	n.workers = append(n.workers, inst)
 	n.obbcs = append(n.obbcs, obbcSvc)
+	n.rbs = append(n.rbs, rbSvc)
 	return nil
 }
 
@@ -324,8 +349,14 @@ func (n *Node) Stop() {
 		for _, o := range n.obbcs {
 			o.Stop()
 		}
+		for _, rb := range n.rbs {
+			rb.Stop()
+		}
 		n.replica.Stop()
 		n.mux.Stop()
+		if n.ownVerify {
+			n.verify.Close()
+		}
 		for _, log := range n.logs {
 			log.Close()
 		}

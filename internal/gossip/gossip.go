@@ -111,7 +111,9 @@ func New(cfg Config) *Disseminator {
 			d.peers = append(d.peers, p)
 		}
 	}
-	cfg.Mux.Handle(cfg.Proto, d.onWire)
+	// Gossip delivery is probabilistic by design (the data path keeps its
+	// pull fallback), so overflow drops rumors instead of backpressuring.
+	cfg.Mux.HandleWith(cfg.Proto, d.onWire, transport.MailboxConfig{Policy: transport.DropNewest})
 	return d
 }
 

@@ -66,6 +66,10 @@ type Options struct {
 	// ExcludeConvicted activates the accountability path: equivocators are
 	// convicted on-chain and leave the proposer rotation.
 	ExcludeConvicted bool
+	// SyncVerify disables the asynchronous verification pipeline (worker
+	// pool + verify cache) — the ablation knob for the verification
+	// benchmarks. Default false: the pipeline is on, as in deployment.
+	SyncVerify bool
 }
 
 func (o *Options) fill() {
@@ -166,6 +170,7 @@ func RunFLO(opts Options) Result {
 			CompressBodies:   opts.CompressBodies,
 			CompressibleLoad: opts.CompressibleLoad,
 			ExcludeConvicted: opts.ExcludeConvicted,
+			SyncVerify:       opts.SyncVerify,
 		}
 		if i == 0 && !byz {
 			// Node 0 instruments the timeline and the latency histogram.

@@ -89,6 +89,10 @@ type Config struct {
 	// Registry verifies fallback-proposal signatures; Priv signs ours.
 	Registry *flcrypto.Registry
 	Priv     flcrypto.PrivateKey
+	// VerifyPool, when non-nil, routes fallback-proposal signature checks
+	// through the node's shared verification pool and its cache. Nil
+	// verifies synchronously (deterministic tests).
+	VerifyPool *flcrypto.VerifyPool
 	// SubmitAB atomic-broadcasts a fallback proposal (PBFT Submit).
 	SubmitAB func([]byte) error
 	// ValidEvidence reports whether ev is a valid evidence(1) for key —
@@ -526,7 +530,7 @@ func (s *Service) HandleOrdered(req []byte) bool {
 	if d.Finish() != nil || value > 1 || int(voter) < 0 || int(voter) >= s.n {
 		return true
 	}
-	if !s.cfg.Registry.Verify(voter, proposalSigBody(key, voter, value), sig) {
+	if !s.cfg.VerifyPool.VerifyNode(s.cfg.Registry, voter, proposalSigBody(key, voter, value), sig) {
 		return true
 	}
 

@@ -122,10 +122,6 @@ func decodeSignedRaw(d *types.Decoder) signedRaw {
 	return m
 }
 
-func (m *signedRaw) verify(reg *flcrypto.Registry) bool {
-	return reg.Verify(m.From, m.Body, m.Sig)
-}
-
 // preparedCert proves that a batch was prepared at some replica: the
 // leader's signed pre-prepare plus 2f signed prepares on its digest.
 type preparedCert struct {

@@ -26,6 +26,12 @@ type Config struct {
 	Registry *flcrypto.Registry
 	// Priv is this replica's signing key.
 	Priv flcrypto.PrivateKey
+	// VerifyPool, when non-nil, moves inbound-envelope verification off the
+	// event loop onto the transport mailbox goroutine (the event loop then
+	// runs crypto-free) and routes it — and certificate checks — through the
+	// pool's dedup cache. Nil preserves the fully synchronous path: every
+	// signature verified on the event loop.
+	VerifyPool *flcrypto.VerifyPool
 	// Deliver receives executed batches.
 	Deliver DeliverFunc
 	// BatchSize caps requests per pre-prepare (default 256).
@@ -114,6 +120,9 @@ type event struct {
 	from flcrypto.NodeID
 	body []byte
 	sig  flcrypto.Signature
+	// verified marks envelopes already checked by the verify pool on the
+	// inbound path, so the event loop does not re-verify them.
+	verified bool
 }
 
 // Replica is one PBFT node. Create with NewReplica, then Start. All protocol
@@ -200,7 +209,16 @@ func (r *Replica) Submit(req []byte) error {
 	return r.signAndBroadcast(body)
 }
 
-// onWire runs on the mux read goroutine: decode the envelope and queue.
+// onWire runs on the replica's transport mailbox goroutine: decode the
+// envelope and queue it for the event loop. With a verify pool the signature
+// check happens here — synchronously on the mailbox goroutine, through the
+// pool's cache — so the event loop runs crypto-free and only valid envelopes
+// reach it. Verification stays on the single mailbox goroutine (rather than
+// fanning out to pool workers) deliberately: it preserves the mux's
+// per-protocol FIFO, which the view-change sequences lean on (a NEW-VIEW
+// overtaken by its own follow-up pre-prepares would drop them); when the
+// mailbox falls behind, the backpressure lands there, never on the socket
+// reader.
 func (r *Replica) onWire(from flcrypto.NodeID, buf []byte) {
 	d := types.NewDecoder(buf)
 	body := append([]byte(nil), d.Bytes32()...)
@@ -208,8 +226,16 @@ func (r *Replica) onWire(from flcrypto.NodeID, buf []byte) {
 	if d.Finish() != nil || len(body) == 0 {
 		return
 	}
+	verified := false
+	if r.cfg.VerifyPool != nil {
+		if !r.cfg.VerifyPool.VerifyNode(r.cfg.Registry, from, body, sig) {
+			return
+		}
+		r.metrics.VerifyOps.Add(1)
+		verified = true
+	}
 	select {
-	case r.events <- event{from: from, body: body, sig: sig}:
+	case r.events <- event{from: from, body: body, sig: sig, verified: verified}:
 	case <-r.stop:
 	}
 }
@@ -224,6 +250,14 @@ func (r *Replica) signAndBroadcast(body []byte) error {
 	e.Bytes32(body)
 	e.Bytes32(sig)
 	return r.cfg.Mux.Broadcast(r.cfg.Proto, e.Bytes())
+}
+
+// verifyRaw checks an embedded signed message (certificate element) through
+// the verify pool's cache when one is configured — view changes and fetch
+// responses re-present prepares/commits the replica usually verified when
+// they first arrived — falling back to direct registry verification.
+func (r *Replica) verifyRaw(m *signedRaw) bool {
+	return r.cfg.VerifyPool.VerifyNode(r.cfg.Registry, m.From, m.Body, m.Sig)
 }
 
 func (r *Replica) signedRawFor(body []byte) (signedRaw, error) {
@@ -256,10 +290,12 @@ func (r *Replica) run() {
 }
 
 func (r *Replica) handle(ev event) {
-	if !r.cfg.Registry.Verify(ev.from, ev.body, ev.sig) {
-		return
+	if !ev.verified {
+		if !r.cfg.Registry.Verify(ev.from, ev.body, ev.sig) {
+			return
+		}
+		r.metrics.VerifyOps.Add(1)
 	}
-	r.metrics.VerifyOps.Add(1)
 	raw := signedRaw{From: ev.from, Body: ev.body, Sig: ev.sig}
 	kind := ev.body[0]
 	d := types.NewDecoder(ev.body[1:])
@@ -634,7 +670,7 @@ func (r *Replica) onFetchResp(fr fetchResp) {
 	if len(fr.PrePrepare.Body) == 0 || fr.PrePrepare.Body[0] != kindPrePrepare {
 		return
 	}
-	if !fr.PrePrepare.verify(r.cfg.Registry) {
+	if !r.verifyRaw(&fr.PrePrepare) {
 		return
 	}
 	r.metrics.VerifyOps.Add(1)
@@ -649,7 +685,7 @@ func (r *Replica) onFetchResp(fr fetchResp) {
 	digest := batchDigest(pp.Batch)
 	seen := make(map[flcrypto.NodeID]bool)
 	for _, c := range fr.Commits {
-		if len(c.Body) == 0 || c.Body[0] != kindCommit || !c.verify(r.cfg.Registry) {
+		if len(c.Body) == 0 || c.Body[0] != kindCommit || !r.verifyRaw(&c) {
 			continue
 		}
 		r.metrics.VerifyOps.Add(1)

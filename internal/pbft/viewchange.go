@@ -80,7 +80,7 @@ func (r *Replica) validateCert(c *preparedCert) (prePrepare, bool) {
 	if len(c.PrePrepare.Body) == 0 || c.PrePrepare.Body[0] != kindPrePrepare {
 		return prePrepare{}, false
 	}
-	if !c.PrePrepare.verify(r.cfg.Registry) {
+	if !r.verifyRaw(&c.PrePrepare) {
 		return prePrepare{}, false
 	}
 	r.metrics.VerifyOps.Add(1)
@@ -102,7 +102,7 @@ func (r *Replica) validateCert(c *preparedCert) (prePrepare, bool) {
 		if p.From == r.leaderOf(pp.View) || seen[p.From] {
 			continue
 		}
-		if !p.verify(r.cfg.Registry) {
+		if !r.verifyRaw(p) {
 			continue
 		}
 		r.metrics.VerifyOps.Add(1)
@@ -214,7 +214,7 @@ func (r *Replica) onNewView(raw signedRaw, nv newView) {
 		if len(vcr.Body) == 0 || vcr.Body[0] != kindViewChange || seen[vcr.From] {
 			continue
 		}
-		if !vcr.verify(r.cfg.Registry) {
+		if !r.verifyRaw(vcr) {
 			continue
 		}
 		r.metrics.VerifyOps.Add(1)
@@ -243,7 +243,7 @@ func (r *Replica) onNewView(raw signedRaw, nv newView) {
 		if len(ppr.Body) == 0 || ppr.Body[0] != kindPrePrepare {
 			return
 		}
-		if ppr.From != r.leaderOf(nv.View) || !ppr.verify(r.cfg.Registry) {
+		if ppr.From != r.leaderOf(nv.View) || !r.verifyRaw(ppr) {
 			return
 		}
 		r.metrics.VerifyOps.Add(1)

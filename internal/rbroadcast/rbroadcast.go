@@ -41,7 +41,7 @@ type slot struct {
 }
 
 // DeliverFunc receives RB-delivered messages. It is invoked on the
-// transport's read goroutine and must not block.
+// protocol's transport mailbox goroutine and must not block.
 type DeliverFunc func(origin flcrypto.NodeID, seq uint64, payload []byte)
 
 // Service is one node's reliable-broadcast endpoint.
@@ -56,6 +56,8 @@ type Service struct {
 	mu    sync.Mutex
 	slots map[msgKey]*slot
 	seq   uint64
+
+	stopOnce sync.Once
 }
 
 // New registers a reliable-broadcast service on mux under proto. deliver is
@@ -72,6 +74,14 @@ func New(mux *transport.Mux, proto transport.ProtoID, deliver DeliverFunc) *Serv
 	}
 	mux.Handle(proto, s.onMessage)
 	return s
+}
+
+// Stop deregisters the service from its mux, terminating the protocol's
+// mailbox goroutine. Queued undelivered messages are discarded; reliable
+// broadcast tolerates that like any other crash, and the node assembly only
+// stops the service when the whole node shuts down.
+func (s *Service) Stop() {
+	s.stopOnce.Do(func() { s.mux.Unhandle(s.proto) })
 }
 
 // Broadcast RB-broadcasts payload under the node's next sequence number,

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/flcrypto"
 )
@@ -11,27 +12,112 @@ import (
 // FireLedger data path, and the baselines simultaneously.
 type ProtoID uint8
 
-// Handler consumes a demultiplexed message. Handlers run on the mux's read
-// goroutine and must hand work off quickly (protocol components own their
-// own mailboxes and event loops).
+// Handler consumes a demultiplexed message. Each registered protocol owns a
+// bounded mailbox drained by a dedicated goroutine, so a handler may do real
+// work (decode, verify, take protocol locks) without stalling the endpoint
+// reader or the other protocols; messages of one protocol are still handed
+// to its handler in arrival order.
 type Handler func(from flcrypto.NodeID, payload []byte)
 
-// Mux demultiplexes an Endpoint's inbound stream by ProtoID and prepends the
-// tag on the way out. The envelope is one byte: [proto][payload...].
+// OverflowPolicy selects what the mux does when a protocol's mailbox is
+// full.
+type OverflowPolicy int
+
+const (
+	// Backpressure makes the reader wait for mailbox space. The protocol
+	// never loses a message, at the price of slowing the whole endpoint
+	// down when it falls behind — the right choice for control protocols.
+	Backpressure OverflowPolicy = iota
+	// DropNewest discards the incoming message. The right choice for
+	// traffic with a pull/retry fallback (body dissemination, gossip): a
+	// Byzantine flood on such a protocol costs it its own messages and
+	// nothing else.
+	DropNewest
+)
+
+// DefaultMailboxCapacity is the mailbox bound used by Handle.
+const DefaultMailboxCapacity = 1024
+
+// MailboxConfig tunes one protocol's mailbox.
+type MailboxConfig struct {
+	// Capacity bounds the mailbox (default DefaultMailboxCapacity).
+	Capacity int
+	// Policy is the overflow behavior (default Backpressure).
+	Policy OverflowPolicy
+}
+
+// protoMailbox is one protocol's bounded queue plus its drainer goroutine.
+type protoMailbox struct {
+	handler Handler
+	ch      chan Message
+	policy  OverflowPolicy
+	stop    chan struct{} // closed to terminate the drainer
+	done    chan struct{} // closed by the drainer on exit
+
+	enqueued atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+func (b *protoMailbox) enqueue(msg Message, muxDone <-chan struct{}) {
+	if b.policy == DropNewest {
+		select {
+		case b.ch <- msg:
+			b.enqueued.Add(1)
+		default:
+			b.dropped.Add(1)
+		}
+		return
+	}
+	select {
+	case b.ch <- msg:
+		b.enqueued.Add(1)
+	case <-b.stop:
+	case <-muxDone:
+	}
+}
+
+func (b *protoMailbox) drain() {
+	defer close(b.done)
+	for {
+		select {
+		case msg := <-b.ch:
+			b.handler(msg.From, msg.Payload)
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+func (b *protoMailbox) terminate() {
+	close(b.stop)
+	<-b.done
+}
+
+// Mux demultiplexes an Endpoint's inbound stream by ProtoID into per-proto
+// mailboxes and prepends the tag on the way out. The envelope is one byte:
+// [proto][payload...].
 type Mux struct {
 	ep Endpoint
 
-	mu       sync.RWMutex
-	handlers map[ProtoID]Handler
+	mu      sync.RWMutex
+	boxes   map[ProtoID]*protoMailbox
+	stopped bool // set by Stop; late registrations are refused
 
 	startOnce sync.Once
 	stopOnce  sync.Once
+	started   atomic.Bool
 	done      chan struct{}
+	readDone  chan struct{}
 }
 
 // NewMux wraps ep. Call Handle for each protocol, then Start.
 func NewMux(ep Endpoint) *Mux {
-	return &Mux{ep: ep, handlers: make(map[ProtoID]Handler), done: make(chan struct{})}
+	return &Mux{
+		ep:       ep,
+		boxes:    make(map[ProtoID]*protoMailbox),
+		done:     make(chan struct{}),
+		readDone: make(chan struct{}),
+	}
 }
 
 // Endpoint returns the underlying endpoint.
@@ -43,28 +129,109 @@ func (m *Mux) ID() flcrypto.NodeID { return m.ep.ID() }
 // N returns the cluster size.
 func (m *Mux) N() int { return m.ep.N() }
 
-// Handle registers h for proto. Registering after Start is allowed; messages
-// for unregistered protocols are dropped.
+// Handle registers h for proto with the default mailbox (Backpressure,
+// DefaultMailboxCapacity). Registering after Start is allowed; messages for
+// unregistered protocols are dropped.
 func (m *Mux) Handle(proto ProtoID, h Handler) {
+	m.HandleWith(proto, h, MailboxConfig{})
+}
+
+// HandleWith registers h for proto with an explicit mailbox configuration.
+// Re-registering a protocol replaces its handler; the previous mailbox is
+// terminated first (queued messages for it are discarded).
+func (m *Mux) HandleWith(proto ProtoID, h Handler, cfg MailboxConfig) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultMailboxCapacity
+	}
+	box := &protoMailbox{
+		handler: h,
+		ch:      make(chan Message, cfg.Capacity),
+		policy:  cfg.Policy,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
 	m.mu.Lock()
-	m.handlers[proto] = h
+	if m.stopped {
+		m.mu.Unlock()
+		return // a post-Stop registration would leak its drainer
+	}
+	prev := m.boxes[proto]
+	m.boxes[proto] = box
 	m.mu.Unlock()
+	if prev != nil {
+		prev.terminate()
+	}
+	go box.drain()
+}
+
+// Unhandle deregisters proto and terminates its mailbox goroutine. Messages
+// already queued for it are discarded.
+func (m *Mux) Unhandle(proto ProtoID) {
+	m.mu.Lock()
+	box := m.boxes[proto]
+	delete(m.boxes, proto)
+	m.mu.Unlock()
+	if box != nil {
+		box.terminate()
+	}
+}
+
+// Dropped reports how many messages proto's mailbox has discarded under the
+// DropNewest policy.
+func (m *Mux) Dropped(proto ProtoID) uint64 {
+	m.mu.RLock()
+	box := m.boxes[proto]
+	m.mu.RUnlock()
+	if box == nil {
+		return 0
+	}
+	return box.dropped.Load()
+}
+
+// Enqueued reports how many messages have been queued for proto's handler.
+func (m *Mux) Enqueued(proto ProtoID) uint64 {
+	m.mu.RLock()
+	box := m.boxes[proto]
+	m.mu.RUnlock()
+	if box == nil {
+		return 0
+	}
+	return box.enqueued.Load()
 }
 
 // Start launches the read loop.
 func (m *Mux) Start() {
-	m.startOnce.Do(func() { go m.readLoop() })
+	m.startOnce.Do(func() {
+		m.started.Store(true)
+		go m.readLoop()
+	})
 }
 
-// Stop terminates the read loop and closes the endpoint.
+// Stop terminates the read loop, closes the endpoint, and waits for every
+// mailbox drainer to exit, so no handler runs after Stop returns.
 func (m *Mux) Stop() {
 	m.stopOnce.Do(func() {
 		close(m.done)
 		m.ep.Close()
+		if m.started.Load() {
+			<-m.readDone
+		}
+		m.mu.Lock()
+		m.stopped = true
+		boxes := make([]*protoMailbox, 0, len(m.boxes))
+		for proto, box := range m.boxes {
+			boxes = append(boxes, box)
+			delete(m.boxes, proto)
+		}
+		m.mu.Unlock()
+		for _, box := range boxes {
+			box.terminate()
+		}
 	})
 }
 
 func (m *Mux) readLoop() {
+	defer close(m.readDone)
 	for {
 		select {
 		case <-m.done:
@@ -78,10 +245,10 @@ func (m *Mux) readLoop() {
 			}
 			proto := ProtoID(msg.Payload[0])
 			m.mu.RLock()
-			h := m.handlers[proto]
+			box := m.boxes[proto]
 			m.mu.RUnlock()
-			if h != nil {
-				h(msg.From, msg.Payload[1:])
+			if box != nil {
+				box.enqueue(Message{From: msg.From, Payload: msg.Payload[1:]}, m.done)
 			}
 		}
 	}

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+)
+
+// muxPair returns started muxes for a fresh 2-node network; the caller
+// registers handlers on b before sending from a.
+func muxPair(t *testing.T) (*ChanNetwork, *Mux, *Mux) {
+	t.Helper()
+	net := NewChanNetwork(ChanConfig{N: 2})
+	t.Cleanup(net.Close)
+	a, b := NewMux(net.Endpoint(0)), NewMux(net.Endpoint(1))
+	t.Cleanup(a.Stop)
+	t.Cleanup(b.Stop)
+	return net, a, b
+}
+
+func TestMuxMailboxPreservesOrderPerProto(t *testing.T) {
+	_, a, b := muxPair(t)
+	got := make(chan byte, 256)
+	b.Handle(1, func(_ flcrypto.NodeID, p []byte) { got <- p[0] })
+	a.Start()
+	b.Start()
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := a.Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		select {
+		case v := <-got:
+			if v != byte(i) {
+				t.Fatalf("message %d delivered out of order (got %d)", i, v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out at message %d", i)
+		}
+	}
+}
+
+func TestMuxBackpressureNeverDrops(t *testing.T) {
+	// A slow handler on a Backpressure mailbox with a tiny capacity: the
+	// sender outpaces it massively, yet every message must eventually be
+	// handled, in order.
+	_, a, b := muxPair(t)
+	release := make(chan struct{})
+	var handled atomic.Uint64
+	b.HandleWith(1, func(_ flcrypto.NodeID, p []byte) {
+		<-release
+		handled.Add(1)
+	}, MailboxConfig{Capacity: 4, Policy: Backpressure})
+	a.Start()
+	b.Start()
+
+	const k = 100
+	for i := 0; i < k; i++ {
+		if err := a.Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stalled handler: nothing handled, nothing dropped.
+	time.Sleep(50 * time.Millisecond)
+	if n := handled.Load(); n != 0 {
+		t.Fatalf("handled %d messages while stalled", n)
+	}
+	if d := b.Dropped(1); d != 0 {
+		t.Fatalf("Backpressure mailbox dropped %d messages", d)
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for handled.Load() < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d messages handled after release", handled.Load(), k)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := b.Dropped(1); d != 0 {
+		t.Fatalf("Backpressure mailbox dropped %d messages", d)
+	}
+}
+
+func TestMuxDropPolicyShedsOverflow(t *testing.T) {
+	_, a, b := muxPair(t)
+	release := make(chan struct{})
+	var handled atomic.Uint64
+	b.HandleWith(1, func(_ flcrypto.NodeID, p []byte) {
+		<-release
+		handled.Add(1)
+	}, MailboxConfig{Capacity: 8, Policy: DropNewest})
+	a.Start()
+	b.Start()
+
+	const k = 200
+	for i := 0; i < k; i++ {
+		if err := a.Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the flood has hit the full mailbox: enqueued+dropped
+	// accounts for every sent message.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Enqueued(1)+b.Dropped(1) < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("flood not absorbed: enqueued=%d dropped=%d", b.Enqueued(1), b.Dropped(1))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d := b.Dropped(1); d == 0 {
+		t.Fatal("expected drops from a stalled DropNewest mailbox")
+	}
+	close(release)
+	// Everything that was enqueued is delivered; the drops are gone.
+	deadline = time.Now().Add(5 * time.Second)
+	for handled.Load() < b.Enqueued(1) {
+		if time.Now().After(deadline) {
+			t.Fatalf("handled %d < enqueued %d", handled.Load(), b.Enqueued(1))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMuxFloodedProtoDoesNotStarveOthers(t *testing.T) {
+	// The isolation property the refactor is for: a flood on a DropNewest
+	// protocol whose handler is wedged must not delay another protocol's
+	// delivery.
+	_, a, b := muxPair(t)
+	wedge := make(chan struct{})
+	b.HandleWith(1, func(_ flcrypto.NodeID, _ []byte) { <-wedge }, MailboxConfig{Capacity: 4, Policy: DropNewest})
+	defer close(wedge)
+	got := make(chan []byte, 1)
+	b.Handle(2, func(_ flcrypto.NodeID, p []byte) { got <- p })
+	a.Start()
+	b.Start()
+
+	for i := 0; i < 500; i++ {
+		if err := a.Send(1, 1, []byte("flood")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Send(2, 1, []byte("control")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p) != "control" {
+			t.Fatalf("got %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("control-plane message starved by flooded protocol")
+	}
+}
+
+func TestMuxUnhandleStopsDelivery(t *testing.T) {
+	_, a, b := muxPair(t)
+	got := make(chan struct{}, 16)
+	b.Handle(1, func(_ flcrypto.NodeID, _ []byte) { got <- struct{}{} })
+	a.Start()
+	b.Start()
+	if err := a.Send(1, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("registered handler never ran")
+	}
+	b.Unhandle(1)
+	if err := a.Send(1, 1, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		t.Fatal("handler ran after Unhandle")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestMuxStopTerminatesMailboxes(t *testing.T) {
+	net := NewChanNetwork(ChanConfig{N: 2})
+	defer net.Close()
+	m := NewMux(net.Endpoint(0))
+	running := make(chan struct{}, 1)
+	m.Handle(1, func(_ flcrypto.NodeID, _ []byte) { running <- struct{}{} })
+	m.Start()
+	if err := m.Send(1, 0, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-running:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never ran")
+	}
+	m.Stop() // must return promptly and leave no drainer behind
+}

@@ -127,7 +127,15 @@ func DecodeSignedHeader(d *Decoder) SignedHeader {
 
 // Verify checks the proposer's signature against the registry.
 func (s *SignedHeader) Verify(reg *flcrypto.Registry) bool {
-	return reg.Verify(s.Header.Proposer, s.Header.Marshal(), s.Sig)
+	return s.VerifyPooled(reg, nil)
+}
+
+// VerifyPooled is Verify through a verification pool's cache; WRB piggyback
+// echoes, OBBC evidence responses, and recovery versions all re-present the
+// same signed header, so consensus-path callers route through the shared
+// pool. A nil pool verifies synchronously and uncached.
+func (s *SignedHeader) VerifyPooled(reg *flcrypto.Registry, pool *flcrypto.VerifyPool) bool {
+	return pool.VerifyNode(reg, s.Header.Proposer, s.Header.Marshal(), s.Sig)
 }
 
 // Sign produces a SignedHeader using the proposer's private key.

@@ -15,6 +15,7 @@ package wrb
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flcrypto"
@@ -53,6 +54,12 @@ type Config struct {
 	OBBC *obbc.Service
 	// Registry validates header signatures.
 	Registry *flcrypto.Registry
+	// VerifyPool, when non-nil, runs header signature checks through the
+	// node's shared verification pool: pushes and piggybacks verify on pool
+	// workers instead of the transport mailbox goroutine, and the pool's
+	// cache collapses the n−1 echoed copies of each signed header into one
+	// crypto operation. Nil verifies synchronously (deterministic tests).
+	VerifyPool *flcrypto.VerifyPool
 	// InitialTimer is the starting τ of Algorithm 1 (default 50ms).
 	InitialTimer time.Duration
 	// MinTimer / MaxTimer clamp the adaptive timer (defaults 2ms / 10s).
@@ -109,6 +116,13 @@ type Service struct {
 	mu     sync.Mutex
 	slots  map[Key]*slot
 	timers map[uint32]*timerState
+
+	// dropGen counts DropFrom invocations (bumped under mu). Asynchronously
+	// verified headers capture it at arrival and are discarded if a
+	// recovery's DropFrom ran in between — otherwise a pre-recovery header
+	// still queued in the verify pool could repopulate a slot the recovery
+	// just cleared and shadow the redone round's real header.
+	dropGen atomic.Uint64
 
 	// Body store hooks (SetBodyStore); nil in header-only deployments.
 	getBody func(flcrypto.Hash) ([]byte, bool)
@@ -213,7 +227,7 @@ func (s *Service) ValidEvidence(key Key, ev []byte) bool {
 	if d.Finish() != nil || flag > evWithBody {
 		return false
 	}
-	if !hdr.Verify(s.cfg.Registry) || !s.matches(hdr, key) {
+	if !hdr.VerifyPooled(s.cfg.Registry, s.cfg.VerifyPool) || !s.matches(hdr, key) {
 		return false
 	}
 	s.mu.Lock()
@@ -239,25 +253,29 @@ func (s *Service) ValidEvidence(key Key, ev []byte) bool {
 }
 
 // OnPgd ingests a piggybacked header from an OBBC vote (§5.1): the next
-// round's proposer attaches its header to its current-round vote.
+// round's proposer attaches its header to its current-round vote. The
+// signature check is handed to the verify pool when one is configured, so
+// the OBBC mailbox goroutine never runs crypto.
 func (s *Service) OnPgd(from flcrypto.NodeID, _ Key, pgd []byte) {
-	hdr, ok := s.decodeHeader(pgd)
-	if !ok || hdr.Header.Proposer != from {
+	d := types.NewDecoder(pgd)
+	hdr := types.DecodeSignedHeader(d)
+	if d.Finish() != nil || hdr.Header.Proposer != from {
 		return
 	}
-	s.stash(hdr)
+	s.stashVerified(hdr)
 }
 
-func (s *Service) decodeHeader(buf []byte) (types.SignedHeader, bool) {
-	d := types.NewDecoder(buf)
-	hdr := types.DecodeSignedHeader(d)
-	if d.Finish() != nil {
-		return types.SignedHeader{}, false
-	}
-	if !hdr.Verify(s.cfg.Registry) {
-		return types.SignedHeader{}, false
-	}
-	return hdr, true
+// stashVerified checks hdr's proposer signature and stashes it. With a
+// verify pool the check runs asynchronously on a pool worker (repeat copies
+// of the same header resolve from the cache); a nil pool runs it — and the
+// stash — inline on the caller.
+func (s *Service) stashVerified(hdr types.SignedHeader) {
+	gen := s.dropGen.Load()
+	s.cfg.VerifyPool.VerifyAsyncNode(s.cfg.Registry, hdr.Header.Proposer, hdr.Header.Marshal(), hdr.Sig, func(ok bool) {
+		if ok {
+			s.stashAt(hdr, &gen)
+		}
+	})
 }
 
 func (s *Service) matches(hdr types.SignedHeader, key Key) bool {
@@ -278,8 +296,8 @@ func (s *Service) slot(key Key) *slot {
 // different correctly-signed headers by the same proposer for the same
 // (instance, round). Such a pair is a transferable proof of Byzantine
 // behavior (see internal/evidence); the consensus layer feeds it to its
-// evidence pool. The callback runs on the transport goroutine and must not
-// block.
+// evidence pool. The callback runs on a transport mailbox or verify-pool
+// goroutine and must not block.
 func (s *Service) SetOnEquivocation(fn func(a, b types.SignedHeader)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -287,9 +305,19 @@ func (s *Service) SetOnEquivocation(fn func(a, b types.SignedHeader)) {
 }
 
 // stash stores a verified header under its own key and wakes waiters.
-func (s *Service) stash(hdr types.SignedHeader) {
+func (s *Service) stash(hdr types.SignedHeader) { s.stashAt(hdr, nil) }
+
+// stashAt is stash guarded by a DropFrom generation: when gen is non-nil and
+// a DropFrom ran since it was captured, the header is stale (verified before
+// a recovery cleared its rounds) and is discarded. DropFrom bumps the
+// generation while holding mu, so the check here cannot race it.
+func (s *Service) stashAt(hdr types.SignedHeader, gen *uint64) {
 	key := Key{Instance: hdr.Header.Instance, Round: hdr.Header.Round, Proposer: hdr.Header.Proposer}
 	s.mu.Lock()
+	if gen != nil && *gen != s.dropGen.Load() {
+		s.mu.Unlock()
+		return
+	}
 	sl := s.slot(key)
 	if sl.hdr != nil {
 		prev := *sl.hdr
@@ -327,6 +355,7 @@ func (s *Service) Kick(key Key) {
 func (s *Service) DropFrom(instance uint32, fromRound uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dropGen.Add(1)
 	for key := range s.slots {
 		if key.Instance == instance && key.Round >= fromRound {
 			delete(s.slots, key)
@@ -353,10 +382,10 @@ func (s *Service) onWire(from flcrypto.NodeID, buf []byte) {
 	switch kind {
 	case kindPush:
 		hdr := types.DecodeSignedHeader(d)
-		if d.Finish() != nil || hdr.Header.Proposer != from || !hdr.Verify(s.cfg.Registry) {
+		if d.Finish() != nil || hdr.Header.Proposer != from {
 			return
 		}
-		s.stash(hdr)
+		s.stashVerified(hdr)
 	case kindReqMsg:
 		key := Key{Instance: d.Uint32(), Round: d.Uint64(), Proposer: flcrypto.NodeID(d.Int64())}
 		if d.Finish() != nil {
