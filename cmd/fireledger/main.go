@@ -47,6 +47,8 @@ func main() {
 		clientAddr = flag.String("client", "", "listen address for flclient submissions (optional)")
 		dataDir    = flag.String("data", "", "directory for the persistent chain logs (optional; enables restart recovery)")
 		syncWrites = flag.Bool("sync", false, "fsync every persisted block (requires -data)")
+		catchBatch = flag.Int("catchup-batch", 64, "blocks per streaming catch-up batch; also the lag threshold that switches a node from per-round pulls to range sync")
+		snapEvery  = flag.Uint64("snapshot-every", 0, "checkpoint and compact the chain log every N definite rounds (requires -data; 0 disables)")
 		statsEvery = flag.Duration("stats", 5*time.Second, "stats print interval")
 		gossip     = flag.Bool("gossip", false, "disseminate block bodies by push-gossip instead of the clique overlay")
 		fanout     = flag.Int("fanout", 3, "gossip fanout (with -gossip)")
@@ -85,6 +87,8 @@ func main() {
 		Saturate:         *saturate,
 		DataDir:          *dataDir,
 		SyncWrites:       *syncWrites,
+		CatchUpBatch:     *catchBatch,
+		SnapshotEvery:    *snapEvery,
 		GossipBodies:     *gossip,
 		GossipFanout:     *fanout,
 		CompressBodies:   *compressB,

@@ -16,27 +16,62 @@ import (
 )
 
 // Chain is the per-worker blockchain: an append-only list of blocks rounds
-// 1..tip, with an implicit genesis header at round 0. The last f+1 entries
-// are tentative and may be replaced by the recovery procedure; everything
-// at depth ≥ f+2 is definite (BBFC-Finality).
+// base+1..tip, with an implicit genesis header at round 0. The last f+1
+// entries are tentative and may be replaced by the recovery procedure;
+// everything at depth ≥ f+2 is definite (BBFC-Finality).
+//
+// A non-zero base is the compaction case: the node restarted from a
+// snapshot, rounds ≤ base live only in that snapshot, and the chain holds
+// just the post-snapshot suffix. Only the base round's header *hash* is
+// retained (it anchors linkage); header and body contents below base are
+// gone, so BlockAt/HeaderAt report absence for them.
 type Chain struct {
 	mu       sync.RWMutex
 	instance uint32
 	genesis  types.BlockHeader
-	blocks   []types.Block // blocks[i] is round i+1
-	definite uint64        // rounds ≤ definite are final
+	base     uint64        // rounds ≤ base are compacted away; blocks[i] is round base+1+i
+	baseHash flcrypto.Hash // header hash at round base (the genesis hash when base is 0)
+	blocks   []types.Block
+	definite uint64 // rounds ≤ definite are final (always ≥ base)
 }
 
 // NewChain creates the empty chain of one worker instance.
 func NewChain(instance uint32) *Chain {
-	return &Chain{instance: instance, genesis: types.GenesisHeader(instance)}
+	return NewChainAt(instance, 0, flcrypto.Hash{})
 }
 
-// Tip returns the highest appended round (0 when empty).
+// NewChainAt creates a chain whose first appendable round is base+1,
+// anchored on baseHash (the header hash at round base). Rounds ≤ base were
+// finalized before a snapshot/compaction cycle and are definite by
+// construction. With base 0 the anchor is the genesis header and baseHash is
+// ignored.
+func NewChainAt(instance uint32, base uint64, baseHash flcrypto.Hash) *Chain {
+	c := &Chain{
+		instance: instance,
+		genesis:  types.GenesisHeader(instance),
+		base:     base,
+		baseHash: baseHash,
+		definite: base,
+	}
+	if base == 0 {
+		c.baseHash = c.genesis.Hash()
+	}
+	return c
+}
+
+// Base returns the compaction base: the highest round whose block content is
+// no longer held in memory (0 for a full chain).
+func (c *Chain) Base() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
+}
+
+// Tip returns the highest appended round (base when empty).
 func (c *Chain) Tip() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return uint64(len(c.blocks))
+	return c.base + uint64(len(c.blocks))
 }
 
 // Definite returns the highest definite (final) round.
@@ -56,43 +91,62 @@ func (c *Chain) TipHash() flcrypto.Hash {
 
 func (c *Chain) tipHashLocked() flcrypto.Hash {
 	if len(c.blocks) == 0 {
-		return c.genesis.Hash()
+		return c.baseHash
 	}
 	return c.blocks[len(c.blocks)-1].Hash()
 }
 
 // HeaderAt returns the header of round r (the genesis header for r = 0) and
-// whether it exists.
+// whether it exists. Rounds at or below a non-zero compaction base report
+// absence: only their hash survives (see HashAt).
 func (c *Chain) HeaderAt(r uint64) (types.BlockHeader, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if r == 0 {
 		return c.genesis, true
 	}
-	if r > uint64(len(c.blocks)) {
+	if r <= c.base || r > c.base+uint64(len(c.blocks)) {
 		return types.BlockHeader{}, false
 	}
-	return c.blocks[r-1].Signed.Header, true
+	return c.blocks[r-c.base-1].Signed.Header, true
+}
+
+// HashAt returns the header hash at round r. Unlike HeaderAt it also serves
+// the compaction base itself (whose hash is the snapshot anchor), so
+// recovery anchoring works on a compacted chain.
+func (c *Chain) HashAt(r uint64) (flcrypto.Hash, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if r == 0 {
+		return c.genesis.Hash(), true
+	}
+	if r == c.base {
+		return c.baseHash, true
+	}
+	if r < c.base || r > c.base+uint64(len(c.blocks)) {
+		return flcrypto.Hash{}, false
+	}
+	return c.blocks[r-c.base-1].Hash(), true
 }
 
 // BlockAt returns the block of round r, if present.
 func (c *Chain) BlockAt(r uint64) (types.Block, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if r == 0 || r > uint64(len(c.blocks)) {
+	if r <= c.base || r > c.base+uint64(len(c.blocks)) {
 		return types.Block{}, false
 	}
-	return c.blocks[r-1], true
+	return c.blocks[r-c.base-1], true
 }
 
 // SignedAt returns the signed header of round r, if present.
 func (c *Chain) SignedAt(r uint64) (types.SignedHeader, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if r == 0 || r > uint64(len(c.blocks)) {
+	if r <= c.base || r > c.base+uint64(len(c.blocks)) {
 		return types.SignedHeader{}, false
 	}
-	return c.blocks[r-1].Signed, true
+	return c.blocks[r-c.base-1].Signed, true
 }
 
 // Append adds blk as the next round. It enforces linkage: blk must extend
@@ -101,7 +155,7 @@ func (c *Chain) Append(blk types.Block) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	hdr := blk.Signed.Header
-	want := uint64(len(c.blocks)) + 1
+	want := c.base + uint64(len(c.blocks)) + 1
 	if hdr.Round != want {
 		return fmt.Errorf("core: append round %d, tip is %d", hdr.Round, want-1)
 	}
@@ -120,8 +174,8 @@ func (c *Chain) Append(blk types.Block) error {
 func (c *Chain) MarkDefinite(r uint64) []uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if r > uint64(len(c.blocks)) {
-		r = uint64(len(c.blocks))
+	if tip := c.base + uint64(len(c.blocks)); r > tip {
+		r = tip
 	}
 	var newly []uint64
 	for c.definite < r {
@@ -142,13 +196,14 @@ func (c *Chain) ReplaceSuffix(from uint64, version []types.Block) error {
 	if from <= c.definite {
 		return fmt.Errorf("core: recovery would replace definite round %d", from)
 	}
-	if from > uint64(len(c.blocks))+1 {
-		return fmt.Errorf("core: recovery suffix starts at %d, tip is %d", from, len(c.blocks))
+	tip := c.base + uint64(len(c.blocks))
+	if from > tip+1 {
+		return fmt.Errorf("core: recovery suffix starts at %d, tip is %d", from, tip)
 	}
-	c.blocks = c.blocks[:from-1]
+	c.blocks = c.blocks[:from-c.base-1]
 	for _, blk := range version {
 		hdr := blk.Signed.Header
-		if hdr.Round != uint64(len(c.blocks))+1 || hdr.PrevHash != c.tipHashLocked() {
+		if hdr.Round != c.base+uint64(len(c.blocks))+1 || hdr.PrevHash != c.tipHashLocked() {
 			return fmt.Errorf("core: recovery version does not chain at round %d", hdr.Round)
 		}
 		c.blocks = append(c.blocks, blk)
@@ -156,18 +211,21 @@ func (c *Chain) ReplaceSuffix(from uint64, version []types.Block) error {
 	return nil
 }
 
-// Suffix returns copies of the blocks at rounds [from, tip].
+// Suffix returns copies of the blocks at rounds [from, tip]. Rounds at or
+// below the compaction base cannot be returned; the suffix starts at
+// max(from, base+1).
 func (c *Chain) Suffix(from uint64) []types.Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if from == 0 {
-		from = 1
+	if from <= c.base {
+		from = c.base + 1
 	}
-	if from > uint64(len(c.blocks)) {
+	tip := c.base + uint64(len(c.blocks))
+	if from > tip {
 		return nil
 	}
-	out := make([]types.Block, uint64(len(c.blocks))-from+1)
-	copy(out, c.blocks[from-1:])
+	out := make([]types.Block, tip-from+1)
+	copy(out, c.blocks[from-c.base-1:])
 	return out
 }
 
@@ -175,24 +233,30 @@ func (c *Chain) Suffix(from uint64) []types.Block {
 func (c *Chain) ProposersOf(from, to uint64) []flcrypto.NodeID {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	tip := c.base + uint64(len(c.blocks))
 	var out []flcrypto.NodeID
-	for r := from; r <= to && r >= 1 && r <= uint64(len(c.blocks)); r++ {
-		out = append(out, c.blocks[r-1].Signed.Header.Proposer)
+	for r := from; r <= to && r >= 1 && r <= tip; r++ {
+		if r <= c.base {
+			continue
+		}
+		out = append(out, c.blocks[r-c.base-1].Signed.Header.Proposer)
 	}
 	return out
 }
 
 // Audit verifies the whole chain's internal consistency: hash links, body
 // hashes, and the Lemma 5.3.2 proposer-diversity invariant for windows of
-// f+1 consecutive blocks. Tests use it as the safety oracle.
+// f+1 consecutive blocks. Tests use it as the safety oracle. On a compacted
+// chain the audit covers the in-memory suffix, anchored on the snapshot
+// hash.
 func (c *Chain) Audit(reg *flcrypto.Registry) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	prev := c.genesis.Hash()
+	prev := c.baseHash
 	f := reg.F()
 	for i, blk := range c.blocks {
 		hdr := blk.Signed.Header
-		if hdr.Round != uint64(i)+1 {
+		if hdr.Round != c.base+uint64(i)+1 {
 			return fmt.Errorf("core: audit: block %d has round %d", i, hdr.Round)
 		}
 		if hdr.PrevHash != prev {

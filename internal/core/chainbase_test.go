@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestChainAtBase covers the compacted-chain arithmetic: a chain anchored at
+// a snapshot base must append, finalize, audit, and serve lookups exactly
+// like the full chain it is a suffix of.
+func TestChainAtBase(t *testing.T) {
+	ks := testKeySet(t, 4)
+	full := buildChain(t, ks, 0, 10)
+	full.MarkDefinite(10)
+
+	const base = 6
+	baseHash, ok := full.HashAt(base)
+	if !ok {
+		t.Fatal("full chain misses round 6")
+	}
+	c := NewChainAt(0, base, baseHash)
+	if c.Tip() != base || c.Definite() != base || c.Base() != base {
+		t.Fatalf("fresh compacted chain: tip=%d definite=%d base=%d", c.Tip(), c.Definite(), c.Base())
+	}
+	for r := uint64(base + 1); r <= 10; r++ {
+		blk, _ := full.BlockAt(r)
+		if err := c.Append(blk); err != nil {
+			t.Fatalf("append round %d: %v", r, err)
+		}
+	}
+	if c.Tip() != 10 {
+		t.Fatalf("tip %d, want 10", c.Tip())
+	}
+	if c.TipHash() != full.TipHash() {
+		t.Fatal("tip hash diverges from the full chain")
+	}
+	if err := c.Audit(ks.Registry); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+
+	// Lookups: below base absent, base hash available, suffix present.
+	if _, ok := c.BlockAt(3); ok {
+		t.Fatal("compacted round 3 must be absent")
+	}
+	if _, ok := c.HeaderAt(base); ok {
+		t.Fatal("the base round's header content is gone; only its hash survives")
+	}
+	if h, ok := c.HashAt(base); !ok || h != baseHash {
+		t.Fatal("base hash must be served")
+	}
+	if _, ok := c.HashAt(base - 1); ok {
+		t.Fatal("hashes below base are unknown")
+	}
+	full7, _ := full.BlockAt(7)
+	got7, ok := c.BlockAt(7)
+	if !ok || got7.Hash() != full7.Hash() {
+		t.Fatal("suffix block mismatch")
+	}
+
+	// Suffix clamps to the base.
+	if s := c.Suffix(1); len(s) != 4 || s[0].Header().Round != base+1 {
+		t.Fatalf("suffix from 1: got %d blocks starting at %d", len(s), s[0].Header().Round)
+	}
+
+	// ReplaceSuffix uses base-relative indexing (rounds 9.. are still
+	// tentative here: nothing has been marked definite past the base).
+	tail := c.Suffix(9)
+	if err := c.ReplaceSuffix(9, tail); err != nil {
+		t.Fatalf("replace suffix on compacted chain: %v", err)
+	}
+
+	// MarkDefinite clamps to the tip.
+	c.MarkDefinite(99)
+	if c.Definite() != 10 {
+		t.Fatalf("definite %d, want 10", c.Definite())
+	}
+}

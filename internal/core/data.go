@@ -21,6 +21,22 @@ const (
 	kindRespBody  = 3 // pull response (framed body)
 	kindReqBlock  = 4 // definite-block pull by round (recovery catch-up)
 	kindRespBlock = 5
+	kindReqRange  = 6 // streaming catch-up: [from, to) definite rounds from one peer
+	kindRespRange = 7 // one size-capped batch of a range stream
+	kindTipHint   = 8 // definite-tip announcement pushed to a lagging peer
+)
+
+// Range-stream tuning: a batch never exceeds maxRangeBatchBytes of encoded
+// blocks (so one response cannot monopolize the wire), and one request is
+// answered with at most maxBatchesPerReq batches (so the requester paces the
+// stream — it re-requests from its new frontier once a window is consumed,
+// which also keeps a crashed requester from being flooded forever).
+const (
+	maxRangeBatchBytes = 512 << 10
+	maxBatchesPerReq   = 8
+	// maxRangeRespBlocks hard-bounds a decoded batch regardless of the
+	// sender's claimed configuration.
+	maxRangeRespBlocks = 4096
 )
 
 // dataOpts selects the dissemination and encoding strategy of a data path.
@@ -33,6 +49,10 @@ type dataOpts struct {
 	// compress DEFLATE-frames body payloads at least compress.MinSize long
 	// (the paper's conclusion for large σ).
 	compress bool
+	// catchUpBatch is the block count per range-sync batch (flo.Config's
+	// CatchUpBatch; default 64). It doubles as the behind-threshold: a node
+	// ≥ one batch behind switches from per-round pulls to range sync.
+	catchUpBatch int
 }
 
 // dataPath owns body dissemination, the body store, and block catch-up for
@@ -53,32 +73,63 @@ type dataPath struct {
 	// path, so the instance can divert from a stuck round to adopt it.
 	onFetched func(round uint64)
 
-	mu      sync.Mutex
-	bodies  map[flcrypto.Hash]types.Body
-	fetched map[uint64]types.Block // recovery catch-up responses by round
+	// metrics is the owning instance's counter block (catch-up request
+	// accounting); never nil.
+	metrics *Metrics
+	// ranger drives streaming range catch-up (see rangesync.go).
+	ranger *rangeSyncer
+
+	mu     sync.Mutex
+	bodies map[flcrypto.Hash]types.Body
+	// fetched holds catch-up blocks by round, pending adoption by the round
+	// loop. Every insert path verifies signature and body first, so
+	// adoption only needs to enforce chain linkage. The map is bounded to a
+	// window above the chain tip (see storeFetched): a Byzantine flood of
+	// validly-signed far-future blocks costs the flooder its traffic, not
+	// this node's memory.
+	fetched map[uint64]types.Block
 	update  chan struct{}
 
-	// lastPull rate-limits the proactive pull-on-accept-miss (one request
-	// per hash per interval); see maybeRequestBody.
-	lastPull     flcrypto.Hash
-	lastPullTime time.Time
+	// lastPull rate-limits the proactive pull-on-accept-miss per body hash
+	// (one request per hash per interval); see maybeRequestBody.
+	lastPull map[flcrypto.Hash]time.Time
 }
 
 // pullRetryInterval paces proactive body pulls from the accept predicate.
 const pullRetryInterval = 5 * time.Millisecond
 
-// maybeRequestBody broadcasts a pull for hash unless one was just sent —
-// called from the vote-accept path so a node a gossip rumor missed recovers
-// the body before its delivery timer runs out, not after.
+// maxPullEntries bounds the pacing map; beyond it, expired entries are swept
+// and — if everything is fresh — arbitrary entries are evicted (re-sending a
+// pull early is harmless, growing without bound is not).
+const maxPullEntries = 1024
+
+// maybeRequestBody broadcasts a pull for hash unless one was recently sent
+// for that same hash — called from the vote-accept path so a node a gossip
+// rumor missed recovers the body before its delivery timer runs out, not
+// after. Pacing is per hash: misses alternating between two hashes (e.g. the
+// current round's body and a piggybacked next block) must not bypass the
+// limiter, and a new hash must not reset another hash's pacing window.
 func (dp *dataPath) maybeRequestBody(hash flcrypto.Hash) {
 	now := time.Now()
 	dp.mu.Lock()
-	if dp.lastPull == hash && now.Sub(dp.lastPullTime) < pullRetryInterval {
+	if t, ok := dp.lastPull[hash]; ok && now.Sub(t) < pullRetryInterval {
 		dp.mu.Unlock()
 		return
 	}
-	dp.lastPull = hash
-	dp.lastPullTime = now
+	if len(dp.lastPull) >= maxPullEntries {
+		for h, t := range dp.lastPull {
+			if now.Sub(t) >= pullRetryInterval {
+				delete(dp.lastPull, h)
+			}
+		}
+		for h := range dp.lastPull {
+			if len(dp.lastPull) < maxPullEntries {
+				break
+			}
+			delete(dp.lastPull, h)
+		}
+	}
+	dp.lastPull[hash] = now
 	dp.mu.Unlock()
 	e := types.NewEncoder(40)
 	e.Uint8(kindReqBody)
@@ -90,16 +141,22 @@ func (dp *dataPath) maybeRequestBody(hash flcrypto.Hash) {
 // the chain, so the store only needs to cover in-flight rounds.
 const maxStoredBodies = 4096
 
-func newDataPath(mux *transport.Mux, proto transport.ProtoID, reg *flcrypto.Registry, pool *flcrypto.VerifyPool, chain *Chain, opts dataOpts) *dataPath {
+func newDataPath(mux *transport.Mux, proto transport.ProtoID, reg *flcrypto.Registry, pool *flcrypto.VerifyPool, chain *Chain, metrics *Metrics, opts dataOpts) *dataPath {
+	if opts.catchUpBatch <= 0 {
+		opts.catchUpBatch = 64
+	}
 	dp := &dataPath{
-		mux:    mux,
-		proto:  proto,
-		reg:    reg,
-		pool:   pool,
-		chain:  chain,
-		opts:   opts,
-		bodies: make(map[flcrypto.Hash]types.Body),
-		update: make(chan struct{}),
+		mux:      mux,
+		proto:    proto,
+		reg:      reg,
+		pool:     pool,
+		chain:    chain,
+		metrics:  metrics,
+		opts:     opts,
+		bodies:   make(map[flcrypto.Hash]types.Body),
+		fetched:  make(map[uint64]types.Block),
+		update:   make(chan struct{}),
+		lastPull: make(map[flcrypto.Hash]time.Time),
 	}
 	// Every data-path message has a pull/retry fallback (bodies are
 	// re-pullable by hash, catch-up blocks are re-requested in a loop), so
@@ -271,28 +328,260 @@ func (dp *dataPath) onWire(from flcrypto.NodeID, buf []byte) {
 		if !blk.Signed.VerifyPooled(dp.reg, dp.pool) || blk.CheckBody() != nil {
 			return
 		}
-		dp.mu.Lock()
-		if dp.fetched == nil {
-			dp.fetched = make(map[uint64]types.Block)
+		dp.storeFetched([]types.Block{blk})
+	case kindReqRange:
+		reqID := d.Uint64()
+		lo := d.Uint64()
+		hi := d.Uint64()
+		if d.Finish() != nil {
+			return
 		}
-		dp.fetched[blk.Header().Round] = blk
-		close(dp.update)
-		dp.update = make(chan struct{})
-		dp.mu.Unlock()
-		if dp.onFetched != nil {
-			dp.onFetched(blk.Header().Round)
+		dp.serveRange(from, reqID, lo, hi)
+	case kindRespRange:
+		reqID := d.Uint64()
+		serverDef := d.Uint64()
+		firstAvail := d.Uint64()
+		more := d.Bool()
+		count := d.Uint32()
+		if count > maxRangeRespBlocks {
+			return
+		}
+		blks := make([]types.Block, 0, count)
+		for i := uint32(0); i < count && d.Err() == nil; i++ {
+			blks = append(blks, types.DecodeBlock(d))
+		}
+		if d.Finish() != nil {
+			return
+		}
+		// Pipeline the batch's signature checks through the shared verify
+		// pool, then keep only the valid blocks.
+		valid := dp.verifyBlocks(blks)
+		kept := blks[:0]
+		for i := range blks {
+			if valid[i] {
+				kept = append(kept, blks[i])
+			}
+		}
+		stored := dp.storeFetched(kept)
+		dp.metrics.CatchUpRangeBlocks.Add(uint64(stored))
+		if dp.ranger != nil {
+			dp.ranger.onBatch(reqID, serverDef, firstAvail, more, stored)
+		}
+	case kindTipHint:
+		def := d.Uint64()
+		if d.Finish() != nil {
+			return
+		}
+		if dp.ranger != nil {
+			dp.ranger.noteBehind(def)
 		}
 	}
 }
 
+// verifyBlocks checks signatures and bodies of a batch, fanning the
+// signature work out to the shared verify pool so a large catch-up batch
+// verifies across all pool workers instead of serially on the transport
+// goroutine.
+func (dp *dataPath) verifyBlocks(blks []types.Block) []bool {
+	res := make([]bool, len(blks))
+	if dp.pool == nil {
+		for i := range blks {
+			res[i] = blks[i].CheckBody() == nil && blks[i].Signed.Verify(dp.reg)
+		}
+		return res
+	}
+	var wg sync.WaitGroup
+	for i := range blks {
+		if blks[i].CheckBody() != nil {
+			continue
+		}
+		i := i
+		sh := blks[i].Signed
+		wg.Add(1)
+		dp.pool.VerifyAsyncNode(dp.reg, sh.Header.Proposer, sh.Header.Marshal(), sh.Sig, func(ok bool) {
+			res[i] = ok
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	return res
+}
+
+// serveRange answers one range-sync request: stream rounds [lo, hi) — a
+// zero hi means "everything definite" — to the requester in size- and
+// count-capped batches, at most maxBatchesPerReq per request. Each batch
+// carries this node's definite tip and first available round so the
+// requester can retarget (the tip may have advanced; the prefix may have
+// been compacted away).
+func (dp *dataPath) serveRange(to flcrypto.NodeID, reqID, lo, hi uint64) {
+	def := dp.chain.Definite()
+	firstAvail := dp.chain.Base() + 1
+	if lo < firstAvail {
+		lo = firstAvail
+	}
+	last := def
+	if hi > 0 && hi-1 < last {
+		last = hi - 1
+	}
+	r := lo
+	for batches := 0; batches < maxBatchesPerReq; batches++ {
+		var blks []types.Block
+		bytes := 0
+		for r <= last && len(blks) < dp.opts.catchUpBatch && bytes < maxRangeBatchBytes {
+			blk, ok := dp.chain.BlockAt(r)
+			if !ok {
+				last = r - 1
+				break
+			}
+			blks = append(blks, blk)
+			bytes += 64 + blk.Body.Size()
+			r++
+		}
+		more := r <= last && batches+1 < maxBatchesPerReq
+		e := types.NewEncoder(64 + bytes)
+		e.Uint8(kindRespRange)
+		e.Uint64(reqID)
+		e.Uint64(def)
+		e.Uint64(firstAvail)
+		e.Bool(more)
+		e.Uint32(uint32(len(blks)))
+		for i := range blks {
+			blks[i].Encode(e)
+		}
+		dp.mux.Send(dp.proto, to, e.Bytes())
+		if !more {
+			return
+		}
+	}
+}
+
+// sendRangeReq asks one peer for definite rounds [from, to).
+func (dp *dataPath) sendRangeReq(peer flcrypto.NodeID, reqID, from, to uint64) {
+	e := types.NewEncoder(32)
+	e.Uint8(kindReqRange)
+	e.Uint64(reqID)
+	e.Uint64(from)
+	e.Uint64(to)
+	dp.mux.Send(dp.proto, peer, e.Bytes())
+}
+
+// sendTipHint tells a lagging peer how far this node's definite chain
+// reaches, so the peer switches to range sync instead of being drip-fed one
+// handoff block per vote.
+func (dp *dataPath) sendTipHint(to flcrypto.NodeID) {
+	e := types.NewEncoder(16)
+	e.Uint8(kindTipHint)
+	e.Uint64(dp.chain.Definite())
+	dp.mux.Send(dp.proto, to, e.Bytes())
+}
+
+// fetchWindow bounds how far above the chain tip catch-up blocks are
+// buffered before adoption.
+func (dp *dataPath) fetchWindow() uint64 {
+	return uint64(4 * dp.opts.catchUpBatch)
+}
+
+// storeFetched inserts verified catch-up blocks whose rounds fall inside
+// the adoption window (tip, tip+fetchWindow], reporting how many were
+// newly stored. Out-of-window rounds are dropped — they are either already
+// adopted or too far ahead to buffer.
+func (dp *dataPath) storeFetched(blks []types.Block) int {
+	if len(blks) == 0 {
+		return 0
+	}
+	tip := dp.chain.Tip()
+	window := dp.fetchWindow()
+	stored := 0
+	lowest := uint64(0)
+	dp.mu.Lock()
+	// Sweep rounds the chain has since passed (inserted before an adoption
+	// advanced the tip), so the map cannot accumulate stale entries.
+	if uint64(len(dp.fetched)) > 2*window {
+		for r := range dp.fetched {
+			if r <= tip {
+				delete(dp.fetched, r)
+			}
+		}
+	}
+	for i := range blks {
+		round := blks[i].Header().Round
+		if round <= tip || round > tip+window {
+			continue
+		}
+		if _, dup := dp.fetched[round]; dup {
+			continue
+		}
+		dp.fetched[round] = blks[i]
+		stored++
+		if lowest == 0 || round < lowest {
+			lowest = round
+		}
+	}
+	if stored > 0 {
+		close(dp.update)
+		dp.update = make(chan struct{})
+	}
+	dp.mu.Unlock()
+	if stored > 0 && dp.onFetched != nil {
+		dp.onFetched(lowest)
+	}
+	return stored
+}
+
+// frontier returns the first round not covered by the chain or the
+// contiguous run of fetched blocks above it — the next round a range
+// request should ask for.
+func (dp *dataPath) frontier() uint64 {
+	next := dp.chain.Tip() + 1
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	for {
+		if _, ok := dp.fetched[next]; !ok {
+			return next
+		}
+		next++
+	}
+}
+
+// fetchedLen reports the adoption backlog (range-sync flow control).
+func (dp *dataPath) fetchedLen() int {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	return len(dp.fetched)
+}
+
+// updateChan returns the channel closed at the next store/adoption update.
+func (dp *dataPath) updateChan() <-chan struct{} {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	return dp.update
+}
+
+// hasFetched reports whether a catch-up block for round is buffered.
+func (dp *dataPath) hasFetched(round uint64) bool {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	_, ok := dp.fetched[round]
+	return ok
+}
+
 // waitBody blocks until the body referenced by hdr is available, pulling it
 // from peers ("p has to retrieve the block from a correct node q that has
-// it", §6.1.1). Returns false if aborted.
+// it", §6.1.1). The catch-up buffer doubles as a source: when the round's
+// definite block already arrived there, its body serves the delivery — the
+// body store alone cannot, because peers drop bodies once they are absorbed
+// into definite blocks, so a node delivering a long-decided round would
+// otherwise pull forever. Returns false if aborted.
 func (dp *dataPath) waitBody(hdr types.BlockHeader, abort <-chan struct{}) (types.Body, bool) {
 	interval := 10 * time.Millisecond
 	for {
 		dp.mu.Lock()
 		body, ok := dp.bodies[hdr.BodyHash]
+		if !ok {
+			if blk, have := dp.fetched[hdr.Round]; have && blk.Header().BodyHash == hdr.BodyHash {
+				body, ok = blk.Body, true
+			}
+		}
 		ch := dp.update
 		dp.mu.Unlock()
 		if hdr.TxCount == 0 {
@@ -338,19 +627,33 @@ func (dp *dataPath) sendBlockTo(to flcrypto.NodeID, round uint64) {
 	dp.mux.Send(dp.proto, to, e.Bytes())
 }
 
-// takeFetched pops the catch-up block for round, if one arrived.
-func (dp *dataPath) takeFetched(round uint64) (types.Block, bool) {
+// takeSegment pops the contiguous run of catch-up blocks starting at round
+// `from` (at most max blocks), so the round loop adopts whole verified
+// chain segments atomically instead of one block per iteration.
+func (dp *dataPath) takeSegment(from uint64, max int) []types.Block {
 	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	blk, ok := dp.fetched[round]
-	if ok {
-		delete(dp.fetched, round)
+	var out []types.Block
+	for len(out) < max {
+		blk, ok := dp.fetched[from+uint64(len(out))]
+		if !ok {
+			break
+		}
+		delete(dp.fetched, from+uint64(len(out)))
+		out = append(out, blk)
 	}
-	return blk, ok
+	if len(out) > 0 {
+		// Adoption progress unblocks the range syncer's backlog wait.
+		close(dp.update)
+		dp.update = make(chan struct{})
+	}
+	dp.mu.Unlock()
+	return out
 }
 
-// requestBlock broadcasts one catch-up request for round.
+// requestBlock broadcasts one catch-up request for round — the legacy
+// single-gap chase; bulk lag goes through the range syncer instead.
 func (dp *dataPath) requestBlock(round uint64) {
+	dp.metrics.CatchUpBlockReqs.Add(1)
 	e := types.NewEncoder(16)
 	e.Uint8(kindReqBlock)
 	e.Uint64(round)
@@ -369,10 +672,7 @@ func (dp *dataPath) fetchBlock(round uint64, abort <-chan struct{}) (types.Block
 		if ok {
 			return blk, true
 		}
-		e := types.NewEncoder(16)
-		e.Uint8(kindReqBlock)
-		e.Uint64(round)
-		dp.mux.Broadcast(dp.proto, e.Bytes())
+		dp.requestBlock(round)
 		select {
 		case <-ch:
 		case <-time.After(interval):

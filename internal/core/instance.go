@@ -87,9 +87,35 @@ type Config struct {
 	// loop starts — the restart path: blocks replayed from the persistent
 	// store (internal/store) resume the node at its last finalized round.
 	Preload []types.Block
+	// PreloadBase / PreloadBaseHash anchor Preload after log compaction:
+	// Preload[0] is round PreloadBase+1 and extends the block whose header
+	// hash is PreloadBaseHash (the snapshot anchor). Zero values mean a
+	// full log starting at round 1.
+	PreloadBase     uint64
+	PreloadBaseHash flcrypto.Hash
+	// CatchUpBatch is the block count per streaming catch-up batch and the
+	// behind-threshold that switches a lagging node from per-round pulls
+	// to range sync (default 64; see rangesync.go).
+	CatchUpBatch int
 	// Persist, when non-nil, receives every definite block before OnDecide
 	// (the durability hook; internal/store.BlockLog.Append fits).
 	Persist func(types.Block) error
+	// PersistProposal, when non-nil, receives every block this node signs
+	// for a proposal slot, before the signature can leave the node; the
+	// restart path feeds them back through PreloadProposals. Together they
+	// extend the one-signature-per-slot invariant across restarts: a
+	// rebooted proposer re-proposes its memoized block instead of signing
+	// a fresh (different) one — which would be equivocation from the
+	// evidence layer's point of view, and which can wedge a peer that
+	// already finalized the original block behind a definite conflict.
+	PersistProposal func(types.Block) error
+	// PreloadProposals seeds the proposal memo on restart
+	// (store.OpenProposals' replay fits).
+	PreloadProposals []types.Block
+	// PruneProposals, when non-nil, learns the definite boundary whenever
+	// it advances, so the proposal store can drop slots that can never be
+	// re-proposed.
+	PruneProposals func(definite uint64)
 	// DisablePiggyback turns off the §5.1 optimization that rides the next
 	// block on the current round's OBBC vote; the proposer then pushes its
 	// header explicitly at the start of its round instead. This is an
@@ -133,6 +159,15 @@ type Metrics struct {
 	// Convictions counts culprits excluded from the rotation (with
 	// ExcludeConvicted) or recorded on-chain (without).
 	Convictions atomic.Uint64
+	// CatchUpRangeReqs counts range-sync requests sent (each covers up to
+	// maxBatchesPerReq × CatchUpBatch rounds); CatchUpRangeBlocks counts
+	// blocks received and buffered off the range path; CatchUpBlockReqs
+	// counts legacy one-round pull broadcasts. Together they make the
+	// restart-cost acceptance criterion observable: a node N rounds behind
+	// should see ~N/CatchUpBatch range requests, not N block requests.
+	CatchUpRangeReqs   atomic.Uint64
+	CatchUpRangeBlocks atomic.Uint64
+	CatchUpBlockReqs   atomic.Uint64
 }
 
 // Instance is one FireLedger worker: a single-threaded round loop
@@ -196,7 +231,7 @@ func New(cfg Config) *Instance {
 		id:      cfg.Mux.ID(),
 		n:       n,
 		f:       (n - 1) / 3,
-		chain:   NewChain(cfg.Instance),
+		chain:   NewChainAt(cfg.Instance, cfg.PreloadBase, cfg.PreloadBaseHash),
 		stop:    make(chan struct{}),
 		panicCh: make(chan Proof, 16),
 		abortCh: make(chan struct{}),
@@ -204,12 +239,14 @@ func New(cfg Config) *Instance {
 	}
 	in.sched = newSchedule(n, in.f, cfg.EpochLen)
 	in.fd = newFailureDetector(in.f, cfg.FDThreshold)
-	in.data = newDataPath(cfg.Mux, cfg.DataProto, cfg.Registry, cfg.VerifyPool, in.chain, dataOpts{
-		gossipProto: cfg.GossipProto,
-		useGossip:   cfg.UseGossip,
-		fanout:      cfg.GossipFanout,
-		compress:    cfg.CompressBodies,
+	in.data = newDataPath(cfg.Mux, cfg.DataProto, cfg.Registry, cfg.VerifyPool, in.chain, &in.metrics, dataOpts{
+		gossipProto:  cfg.GossipProto,
+		useGossip:    cfg.UseGossip,
+		fanout:       cfg.GossipFanout,
+		compress:     cfg.CompressBodies,
+		catchUpBatch: cfg.CatchUpBatch,
 	})
+	in.data.ranger = newRangeSyncer(in.data, in.id, n, in.stop, &in.metrics)
 	// The OBBC evidence path carries the block body (see wrb.SetBodyStore):
 	// a node vouches for a header only when it holds the body, and a node
 	// convinced by evidence receives the body with it.
@@ -241,23 +278,40 @@ func New(cfg Config) *Instance {
 	}
 	in.rec = newRecoveryTracker(in)
 	in.data.onFetched = func(round uint64) {
-		// A definite block for the round we are stuck on arrived on the
-		// catch-up path: abort the attempt so the loop adopts it.
+		// A definite block at or below the round we are stuck on arrived
+		// on the catch-up path: abort the attempt so the loop adopts it.
+		// (At-or-below, not equal: by the time this fires the loop may be
+		// attempting a later round than the batch's lowest entry.)
 		in.mu.Lock()
 		key := in.currentKey
 		in.mu.Unlock()
-		if key.Round == round {
+		if key.Round != 0 && round <= key.Round {
 			in.interrupt()
 		}
 	}
 	cfg.OBBC.SetOnVote(func(from flcrypto.NodeID, key obbc.Key) {
-		// A peer voting on a round that is definite here is behind (e.g.,
-		// it restarted): hand it the block directly.
 		if key.Instance != in.cfg.Instance || from == in.id {
 			return
 		}
-		if key.Round <= in.chain.Definite() {
-			in.data.sendBlockTo(from, key.Round)
+		if def := in.chain.Definite(); key.Round <= def {
+			// The peer is behind (e.g., it restarted). A small gap gets the
+			// block handed over directly; a deep gap gets a tip hint so the
+			// peer range-syncs instead of being drip-fed one block per vote.
+			if def-key.Round >= uint64(in.data.opts.catchUpBatch) {
+				in.data.sendTipHint(from)
+			} else {
+				in.data.sendBlockTo(from, key.Round)
+			}
+			return
+		}
+		if key.Round > in.chain.Tip()+1 {
+			// Votes for rounds beyond our tip mean we are the ones behind;
+			// their definite frontier trails the vote round by at most
+			// f+2. (Byzantine votes can at worst trigger range requests
+			// that return empty and rotate away.)
+			if gap := uint64(in.f) + 3; key.Round > gap {
+				in.data.ranger.noteBehind(key.Round - gap)
+			}
 		}
 	})
 	if cfg.Evidence != nil {
@@ -276,9 +330,24 @@ func New(cfg Config) *Instance {
 		}
 	}
 	in.chain.MarkDefinite(in.chain.Tip())
+	// Re-seed the proposal memo from the persistent proposal log, dropping
+	// slots at definite rounds (they can never be re-proposed).
+	for _, blk := range cfg.PreloadProposals {
+		hdr := blk.Signed.Header
+		if hdr.Instance != cfg.Instance || hdr.Round <= in.chain.Definite() {
+			continue
+		}
+		if in.propCache == nil {
+			in.propCache = make(map[propKey]types.Block)
+		}
+		in.propCache[propKey{round: hdr.Round, prev: hdr.PrevHash}] = blk
+	}
 	// Replayed blocks re-derive the conviction set: a restarted node ends
 	// up with the same proposer exclusions as the rest of the cluster.
-	for r := uint64(1); r <= in.chain.Tip(); r++ {
+	// (Convictions below a compaction base were registered before the
+	// snapshot was cut and their exclusions are already reflected in every
+	// live node's schedule going forward.)
+	for r := in.chain.Base() + 1; r <= in.chain.Tip(); r++ {
 		if blk, ok := in.chain.BlockAt(r); ok {
 			in.registerConvictions(blk)
 		}
@@ -439,22 +508,34 @@ func (in *Instance) run() {
 		}
 
 		ri := in.chain.Tip() + 1
-		// Catch-up fast path: a peer already finalized this round and
-		// handed us the block (we restarted or fell behind); adopt it
-		// without running the round.
-		if blk, ok := in.data.takeFetched(ri); ok {
-			if in.validateLink(blk.Signed, ri) && blk.Signed.VerifyPooled(in.cfg.Registry, in.cfg.VerifyPool) && blk.CheckBody() == nil {
-				if in.chain.Append(blk) == nil {
-					in.metrics.TentativeBlocks.Add(1)
-					if ri > uint64(in.f)+2 {
-						in.finalizeThrough(ri - uint64(in.f) - 2)
-					}
-					// Chase the next round proactively.
-					in.data.requestBlock(ri + 1)
-					attempt = 0
-					fullMode = true
-					continue
+		// Catch-up fast path: peers already finalized rounds we lack —
+		// either a single handoff block or a range-synced stream. Adopt
+		// the whole contiguous verified segment atomically (every block in
+		// `fetched` was signature- and body-checked on arrival; Append
+		// enforces the chain linkage).
+		if seg := in.data.takeSegment(ri, 2*in.data.opts.catchUpBatch); len(seg) > 0 {
+			adopted := 0
+			for i := range seg {
+				if in.chain.Append(seg[i]) != nil {
+					break // fork or gap: drop the rest, it will be refetched
 				}
+				adopted++
+				in.metrics.TentativeBlocks.Add(1)
+			}
+			if adopted > 0 {
+				tip := in.chain.Tip()
+				if tip > uint64(in.f)+2 {
+					in.finalizeThrough(tip - uint64(in.f) - 2)
+				}
+				if !in.data.ranger.active() {
+					// Chase the next round proactively — but only outside
+					// range sync, where per-round broadcasts are exactly
+					// the O(rounds) cost the syncer exists to avoid.
+					in.data.requestBlock(tip + 1)
+				}
+				attempt = 0
+				fullMode = true
+				continue
 			}
 		}
 		proposer, skipped := in.sched.proposerFor(in.chain, ri, attempt)
@@ -466,6 +547,14 @@ func (in *Instance) run() {
 		}
 		key := obbc.Key{Instance: in.cfg.Instance, Round: ri, Proposer: proposer}
 		abort := in.beginAttempt(key)
+		if in.data.hasFetched(ri) {
+			// A catch-up block for this round landed between the loop-top
+			// check and the attempt installation — the window the
+			// onFetched interrupt cannot see. Without this re-check the
+			// loop would sit out a full delivery timer while adoptable
+			// blocks pile up, throttling catch-up to a crawl.
+			continue
+		}
 
 		// Lines 6–11: in full mode the round's proposer pushes its block
 		// explicitly (no piggyback carried it). The equivocator always
@@ -758,12 +847,26 @@ func (in *Instance) buildBlock(ri uint64, prevHash flcrypto.Hash) (types.Block, 
 		// A concurrent builder (piggyback vs explicit push) won the slot:
 		// discard ours and use the already-signed block.
 		blk = prev
-	} else {
-		if in.propCache == nil {
-			in.propCache = make(map[propKey]types.Block)
-		}
-		in.propCache[key] = blk
+		in.propMu.Unlock()
+		return blk, nil
 	}
+	if in.cfg.PersistProposal != nil {
+		// Memoize durably before the block becomes publishable — the
+		// cache insert below is what makes the signature reachable by
+		// concurrent builders, so the persist must precede it (under
+		// propMu, which also guarantees only the slot winner is ever
+		// persisted). A persist failure refuses the proposal outright:
+		// signing without the durable memo would re-open the
+		// restart-amnesia equivocation the proposal log exists to close.
+		if err := in.cfg.PersistProposal(blk); err != nil {
+			in.propMu.Unlock()
+			return types.Block{}, fmt.Errorf("core: persist proposal: %w", err)
+		}
+	}
+	if in.propCache == nil {
+		in.propCache = make(map[propKey]types.Block)
+	}
+	in.propCache[key] = blk
 	in.propMu.Unlock()
 	return blk, nil
 }
@@ -778,6 +881,9 @@ func (in *Instance) pruneProposals(definite uint64) {
 		}
 	}
 	in.propMu.Unlock()
+	if in.cfg.PruneProposals != nil {
+		in.cfg.PruneProposals(definite)
+	}
 }
 
 // proposeEquivocating is the §7.4.2 Byzantine behavior: split the cluster

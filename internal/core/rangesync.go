@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/flcrypto"
+)
+
+// rangeRetryTimeout is the per-stream patience: if an active range request
+// produces no batch for this long, the syncer retargets to the next peer.
+const rangeRetryTimeout = 250 * time.Millisecond
+
+// rangeSyncer drives streaming catch-up for one worker instance: when the
+// node learns it is at least one batch of rounds behind the cluster's
+// definite frontier (a restart, a recovery, or a slow worker), it abandons
+// the one-broadcast-per-round pull and instead asks a single chosen peer for
+// the whole missing range. The peer streams bounded, size-capped batches;
+// arriving blocks are verified through the shared verify pool and buffered
+// for the round loop to adopt as contiguous segments. A stalled stream
+// retargets to the next peer; a finished stream resumes from the new
+// frontier until the node has caught up.
+type rangeSyncer struct {
+	dp      *dataPath
+	self    flcrypto.NodeID
+	n       int
+	batch   int
+	stop    <-chan struct{}
+	metrics *Metrics
+
+	mu      sync.Mutex
+	running bool
+	// target is the exclusive upper bound of rounds believed to exist as
+	// definite blocks somewhere in the cluster. It only grows; when it
+	// turns out to be unreachable (every peer stalls), the loop exits and
+	// the per-round path takes over.
+	target uint64
+	// reqID numbers requests; streamID/streamDone track the active stream.
+	reqID      uint64
+	streamID   uint64
+	streamDone bool
+	// progress is closed (and replaced) whenever a batch arrives.
+	progress chan struct{}
+}
+
+func newRangeSyncer(dp *dataPath, self flcrypto.NodeID, n int, stop <-chan struct{}, metrics *Metrics) *rangeSyncer {
+	return &rangeSyncer{
+		dp:       dp,
+		self:     self,
+		n:        n,
+		batch:    dp.opts.catchUpBatch,
+		stop:     stop,
+		metrics:  metrics,
+		progress: make(chan struct{}),
+	}
+}
+
+// active reports whether a sync loop is running (the round loop suppresses
+// its per-round chase broadcasts while it is).
+func (rs *rangeSyncer) active() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.running
+}
+
+// noteBehind records evidence that definite rounds through `tip` exist
+// elsewhere, and starts the sync loop once the gap reaches one batch.
+func (rs *rangeSyncer) noteBehind(tip uint64) {
+	if tip == 0 {
+		return
+	}
+	rs.mu.Lock()
+	if tip+1 > rs.target {
+		rs.target = tip + 1
+	}
+	start := false
+	if !rs.running {
+		local := rs.dp.chain.Tip()
+		if rs.target > local+1 && rs.target-local-1 >= uint64(rs.batch) {
+			rs.running = true
+			start = true
+		}
+	}
+	rs.mu.Unlock()
+	if start {
+		go rs.run()
+	}
+}
+
+// onBatch ingests one range-response batch's bookkeeping (the blocks
+// themselves were already verified and buffered by the data path).
+func (rs *rangeSyncer) onBatch(reqID, serverDef, firstAvail uint64, more bool, stored int) {
+	rs.mu.Lock()
+	if serverDef+1 > rs.target {
+		rs.target = serverDef + 1
+	}
+	if reqID == rs.streamID && !more {
+		rs.streamDone = true
+	}
+	close(rs.progress)
+	rs.progress = make(chan struct{})
+	rs.mu.Unlock()
+	_ = firstAvail // a peer that compacted past our frontier sends no blocks; the stall path rotates away from it
+}
+
+// nextPeer cycles through the cluster, skipping self.
+func (rs *rangeSyncer) nextPeer(p flcrypto.NodeID) flcrypto.NodeID {
+	for {
+		p = flcrypto.NodeID((int(p) + 1) % rs.n)
+		if p != rs.self {
+			return p
+		}
+	}
+}
+
+// run is the sync loop. It exits when the frontier reaches the target or
+// when a full cycle of peers yields no progress.
+func (rs *rangeSyncer) run() {
+	defer func() {
+		rs.mu.Lock()
+		rs.running = false
+		rs.mu.Unlock()
+	}()
+	peer := rs.nextPeer(rs.self)
+	stalls := 0
+	for {
+		select {
+		case <-rs.stop:
+			return
+		default:
+		}
+		next := rs.dp.frontier()
+		rs.mu.Lock()
+		tgt := rs.target
+		rs.mu.Unlock()
+		if next >= tgt {
+			return // caught up (the round loop adopts the buffered tail)
+		}
+		if stalls >= rs.n-1 {
+			return // no peer can serve the remainder; per-round path takes over
+		}
+		// Flow control: wait for the round loop to drain the buffered
+		// backlog before requesting further ranges.
+		if uint64(rs.dp.fetchedLen()) >= rs.dp.fetchWindow() {
+			select {
+			case <-rs.dp.updateChan():
+			case <-time.After(rangeRetryTimeout):
+			case <-rs.stop:
+				return
+			}
+			continue
+		}
+
+		rs.mu.Lock()
+		rs.reqID++
+		id := rs.reqID
+		rs.streamID = id
+		rs.streamDone = false
+		ch := rs.progress
+		rs.mu.Unlock()
+		// Clamp the request to what the fetched buffer can admit: the
+		// server would happily stream 8×batch blocks, but storeFetched
+		// only accepts fetchWindow rounds above the tip, and everything
+		// past that would be verified and then dropped — wasted bandwidth
+		// and duplicate pool work. The resume loop covers the remainder.
+		reqTo := next + rs.dp.fetchWindow() + 1
+		if tgt < reqTo {
+			reqTo = tgt
+		}
+		rs.metrics.CatchUpRangeReqs.Add(1)
+		rs.dp.sendRangeReq(peer, id, next, reqTo)
+
+		// Consume the stream: each batch renews the patience timer.
+		streamOK := true
+		for {
+			timer := time.NewTimer(rangeRetryTimeout)
+			select {
+			case <-rs.stop:
+				timer.Stop()
+				return
+			case <-ch:
+				timer.Stop()
+				rs.mu.Lock()
+				done := rs.streamDone
+				ch = rs.progress
+				rs.mu.Unlock()
+				if !done {
+					continue
+				}
+			case <-timer.C:
+				streamOK = false
+			}
+			break
+		}
+		if rs.dp.frontier() > next {
+			stalls = 0
+			if streamOK {
+				continue // productive peer: resume from the new frontier
+			}
+		} else {
+			stalls++
+		}
+		peer = rs.nextPeer(peer)
+	}
+}

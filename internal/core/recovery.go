@@ -56,7 +56,15 @@ func decodeVersionMsg(d *types.Decoder) versionMsg {
 	v.RecRound = d.Uint64()
 	v.From = flcrypto.NodeID(d.Int64())
 	n := d.Uint32()
-	if d.Err() != nil || n > 1<<16 {
+	if d.Err() != nil {
+		return v
+	}
+	if n > 1<<16 {
+		// Poison the decoder: without an error a partially decoded message
+		// would pass the caller's Finish check whenever the trailing bytes
+		// happened to line up, and the oversized count itself is a protocol
+		// violation that must reject the whole frame.
+		d.Fail(types.ErrTooLarge)
 		return v
 	}
 	for i := uint32(0); i < n && d.Err() == nil; i++ {
@@ -162,16 +170,12 @@ func (rt *recoveryTracker) validVersion(v *versionMsg, r uint64) bool {
 	if first.Round != start {
 		return false
 	}
-	// Anchor.
-	var anchor flcrypto.Hash
-	if start == 1 {
-		anchor = types.GenesisHeader(rt.in.cfg.Instance).Hash()
-	} else {
-		hdr, ok := rt.in.chain.HeaderAt(start - 1)
-		if !ok {
-			return false
-		}
-		anchor = hdr.Hash()
+	// Anchor. HashAt serves round 0 (genesis) and the compaction base, so a
+	// restarted-from-snapshot node can still anchor versions adjacent to
+	// its snapshot boundary.
+	anchor, ok := rt.in.chain.HashAt(start - 1)
+	if !ok {
+		return false
 	}
 	prev := anchor
 	f := rt.in.f

@@ -231,3 +231,32 @@ func TestVersionTip(t *testing.T) {
 		t.Fatal("empty version tip should be 0")
 	}
 }
+
+// TestDecodeVersionMsgOversizedCountPoisons is the regression test for the
+// oversized-count handling: a block count beyond the 1<<16 bound must
+// poison the decoder so callers reject the frame even when the remaining
+// bytes happen to line up with a clean end-of-buffer.
+func TestDecodeVersionMsgOversizedCountPoisons(t *testing.T) {
+	e := types.NewEncoder(64)
+	e.Uint32(0)         // instance
+	e.Uint64(5)         // recovery round
+	e.Int64(1)          // from
+	e.Uint32(1<<16 + 1) // block count beyond the bound — and nothing after
+	d := types.NewDecoder(e.Bytes())
+	decodeVersionMsg(d)
+	if d.Finish() == nil {
+		t.Fatal("oversized block count must poison the decoder")
+	}
+
+	// And HandleOrdered must reject the whole frame.
+	ks := testKeySet(t, 4)
+	in := newBareInstance(t, ks, 6)
+	full := append([]byte{RecoveryTag}, e.Bytes()...)
+	in.HandleOrdered(full)
+	in.rec.mu.Lock()
+	got := len(in.rec.state(5).versions)
+	in.rec.mu.Unlock()
+	if got != 0 {
+		t.Fatal("oversized version accepted into recovery state")
+	}
+}

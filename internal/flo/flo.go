@@ -89,6 +89,33 @@ type Config struct {
 	DataDir string
 	// SyncWrites fsyncs every persisted block (durable, slower).
 	SyncWrites bool
+	// CatchUpBatch is the block count per streaming catch-up batch and the
+	// lag threshold that switches a node from per-round pulls to range
+	// sync (default 64). A node R rounds behind rejoins with ~R/CatchUpBatch
+	// catch-up requests instead of one broadcast per round.
+	CatchUpBatch int
+	// SnapshotEvery, with DataDir, checkpoints each worker every
+	// SnapshotEvery definite rounds: a snapshot (chain anchor + optional
+	// application state) is written next to the log and the log prefix is
+	// truncated, so restart replay reads only the post-snapshot suffix —
+	// O(delta), not O(history). 0 disables compaction.
+	SnapshotEvery uint64
+	// SnapshotState, when set with SnapshotEvery, supplies the opaque
+	// application checkpoint stored in worker w's snapshots (e.g. a
+	// statemachine KV/Replica snapshot). It is called on the worker's
+	// delivery goroutine right after the block that triggered the
+	// checkpoint was persisted and before it is delivered, so the captured
+	// state reflects exactly the rounds delivered so far. Requires
+	// Workers == 1 (with ω > 1 the merged delivery position is not a
+	// function of one worker's round).
+	SnapshotState func(w uint32) []byte
+	// RestoreState is invoked during NewNode for each worker whose DataDir
+	// held a snapshot: state is the checkpoint captured at stateRound, and
+	// blocks are the replayed post-snapshot rounds above stateRound that
+	// the application must re-apply to reach the chain tip. An
+	// idempotent applier (statemachine.Replica) may simply re-deliver all
+	// of them.
+	RestoreState func(w uint32, stateRound uint64, state []byte, blocks []types.Block)
 	// EnableEvidence activates the accountability path: each worker keeps
 	// an evidence pool, records equivocation proofs it observes, and embeds
 	// pending convictions in its block proposals (see internal/evidence).
@@ -119,14 +146,15 @@ type Node struct {
 	id  flcrypto.NodeID
 	mux *transport.Mux
 
-	replica *pbft.Replica
-	workers []*core.Instance
-	obbcs   []*obbc.Service
-	rbs     []*rbroadcast.Service
-	pools   []*workload.Pool
-	sats    []*workload.SaturatingSource
-	logs    []*store.BlockLog
-	evpools []*evidence.Pool
+	replica  *pbft.Replica
+	workers  []*core.Instance
+	obbcs    []*obbc.Service
+	rbs      []*rbroadcast.Service
+	pools    []*workload.Pool
+	sats     []*workload.SaturatingSource
+	logs     []*store.BlockLog
+	propLogs []*store.ProposalLog
+	evpools  []*evidence.Pool
 
 	verify    *flcrypto.VerifyPool
 	ownVerify bool // the node created verify and must close it
@@ -158,6 +186,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 100
+	}
+	if cfg.SnapshotState != nil && cfg.Workers > 1 {
+		return nil, fmt.Errorf("flo: SnapshotState requires Workers == 1 (the merged delivery position is not a function of one worker's round)")
 	}
 	n := &Node{cfg: cfg, id: cfg.Endpoint.ID(), mux: transport.NewMux(cfg.Endpoint)}
 	if !cfg.SyncVerify {
@@ -237,16 +268,79 @@ func (n *Node) addWorker(w uint32) error {
 	}
 
 	var preload []types.Block
+	var preloadBase uint64
+	var preloadHash flcrypto.Hash
 	var persist func(types.Block) error
+	var persistProp func(types.Block) error
+	var preloadProps []types.Block
+	var pruneProps func(uint64)
 	if cfg.DataDir != "" {
-		log, replayed, err := store.Open(
-			filepath.Join(cfg.DataDir, fmt.Sprintf("w%d.log", w)),
+		logPath := filepath.Join(cfg.DataDir, fmt.Sprintf("w%d.log", w))
+		snapPath := filepath.Join(cfg.DataDir, fmt.Sprintf("w%d.snap", w))
+		log, snap, replayed, err := store.OpenWorker(logPath, snapPath,
 			store.Options{Registry: cfg.Registry, Instance: w, Sync: cfg.SyncWrites})
 		if err != nil {
 			return fmt.Errorf("flo: worker %d store: %w", w, err)
 		}
 		preload = replayed
 		persist = log.Append
+		// The proposal log carries the one-signature-per-slot invariant
+		// across restarts (see store.ProposalLog).
+		props, replayedProps, err := store.OpenProposals(
+			filepath.Join(cfg.DataDir, fmt.Sprintf("w%d.props", w)), cfg.SyncWrites)
+		if err != nil {
+			return fmt.Errorf("flo: worker %d proposal store: %w", w, err)
+		}
+		persistProp = props.Append
+		preloadProps = replayedProps
+		pruneProps = props.SetBound
+		n.propLogs = append(n.propLogs, props)
+		if snap != nil {
+			preloadBase, preloadHash = snap.BaseRound, snap.BaseHash
+			if cfg.RestoreState != nil {
+				// Hand the application its checkpoint plus the replayed
+				// rounds above it (those still need re-applying).
+				var above []types.Block
+				for i := range replayed {
+					if replayed[i].Signed.Header.Round > snap.StateRound {
+						above = append(above, replayed[i])
+					}
+				}
+				cfg.RestoreState(w, snap.StateRound, snap.State, above)
+			}
+		}
+		if cfg.SnapshotEvery > 0 {
+			// Checkpoint cadence: after persisting a definite round that
+			// crosses the boundary, capture the app state (which at this
+			// point reflects deliveries through round-1) and compact the
+			// log. The retained tail keeps (a) recovery anchors near the
+			// tip reachable after a restart and (b) a full snapshot
+			// interval of blocks servable to peers whose definite tips
+			// trail this node's by up to one checkpoint cycle — a node
+			// behind every peer's compaction base would otherwise need
+			// operator-level resync.
+			retain := uint64((n.mux.N()-1)/3) + 2 + cfg.SnapshotEvery
+			every := cfg.SnapshotEvery
+			stateFn := cfg.SnapshotState
+			persist = func(blk types.Block) error {
+				if err := log.Append(blk); err != nil {
+					return err
+				}
+				round := blk.Signed.Header.Round
+				if round%every == 0 {
+					var state []byte
+					stateRound := uint64(0)
+					if stateFn != nil {
+						state = stateFn(w)
+						stateRound = round - 1
+					}
+					if err := log.Checkpoint(snapPath, w, stateRound, state, retain); err != nil {
+						return fmt.Errorf("flo: worker %d checkpoint: %w", w, err)
+					}
+				}
+				return nil
+			}
+		}
 		n.logs = append(n.logs, log)
 	}
 
@@ -283,8 +377,14 @@ func (n *Node) addWorker(w uint32) error {
 		GossipProto:      base + 4,
 		GossipFanout:     cfg.GossipFanout,
 		CompressBodies:   cfg.CompressBodies,
+		CatchUpBatch:     cfg.CatchUpBatch,
 		Preload:          preload,
+		PreloadBase:      preloadBase,
+		PreloadBaseHash:  preloadHash,
 		Persist:          persist,
+		PersistProposal:  persistProp,
+		PreloadProposals: preloadProps,
+		PruneProposals:   pruneProps,
 		OnDecide:         n.merger.enqueue(w),
 		OnEvent: func(round uint64, ev core.Event) {
 			if cfg.OnEvent != nil {
@@ -360,6 +460,9 @@ func (n *Node) Stop() {
 		for _, log := range n.logs {
 			log.Close()
 		}
+		for _, props := range n.propLogs {
+			props.Close()
+		}
 	})
 }
 
@@ -407,7 +510,8 @@ func (n *Node) DeliveredTxs() uint64 { return n.merger.txs.Load() }
 // slow worker therefore delays the merged log — exactly the latency effect
 // the paper discusses.
 type merger struct {
-	mu        sync.Mutex
+	mu        sync.Mutex // guards queues and cursor
+	emitMu    sync.Mutex // serializes pop-and-deliver, preserving the global order
 	queues    [][]types.Block
 	cursor    int // next worker to emit from
 	deliver   func(uint32, types.Block)
@@ -420,28 +524,44 @@ func newMerger(workers int, deliver func(uint32, types.Block)) *merger {
 }
 
 // enqueue returns worker w's OnDecide callback.
+//
+// Delivery runs under emitMu, held across both the ready-run pop and the
+// deliver calls: popping under mu alone would let two workers' OnDecide
+// goroutines each take a run and then race to emit them, so observers could
+// see the "global order" out of order (and the delivered/txs counters could
+// disagree with the emitted sequence).
 func (m *merger) enqueue(w uint32) func(types.Block) {
 	return func(blk types.Block) {
 		m.mu.Lock()
 		m.queues[w] = append(m.queues[w], blk)
-		var ready []struct {
-			w   uint32
-			blk types.Block
-		}
-		for len(m.queues[m.cursor]) > 0 {
-			next := m.queues[m.cursor][0]
-			m.queues[m.cursor] = m.queues[m.cursor][1:]
-			ready = append(ready, struct {
+		m.mu.Unlock()
+
+		m.emitMu.Lock()
+		defer m.emitMu.Unlock()
+		for {
+			m.mu.Lock()
+			var ready []struct {
 				w   uint32
 				blk types.Block
-			}{uint32(m.cursor), next})
-			m.cursor = (m.cursor + 1) % len(m.queues)
-		}
-		m.mu.Unlock()
-		for _, r := range ready {
-			m.delivered.Add(1)
-			m.txs.Add(uint64(len(r.blk.Body.Txs)))
-			m.deliver(r.w, r.blk)
+			}
+			for len(m.queues[m.cursor]) > 0 {
+				next := m.queues[m.cursor][0]
+				m.queues[m.cursor] = m.queues[m.cursor][1:]
+				ready = append(ready, struct {
+					w   uint32
+					blk types.Block
+				}{uint32(m.cursor), next})
+				m.cursor = (m.cursor + 1) % len(m.queues)
+			}
+			m.mu.Unlock()
+			if len(ready) == 0 {
+				return
+			}
+			for _, r := range ready {
+				m.delivered.Add(1)
+				m.txs.Add(uint64(len(r.blk.Body.Txs)))
+				m.deliver(r.w, r.blk)
+			}
 		}
 	}
 }

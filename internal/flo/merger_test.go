@@ -1,6 +1,8 @@
 package flo
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/types"
@@ -84,5 +86,59 @@ func TestMergerCountsTxs(t *testing.T) {
 	m.enqueue(0)(blk)
 	if m.txs.Load() != 7 {
 		t.Fatalf("txs = %d", m.txs.Load())
+	}
+}
+
+// TestMergerConcurrentGlobalOrder is the regression test for the
+// out-of-order delivery bug: with delivery outside the merger's lock, two
+// workers' OnDecide goroutines could each pop a ready run and race to emit
+// it, corrupting the global order. Four goroutines hammer the merger
+// concurrently; every observer-visible prefix must be the strict
+// round-robin sequence, and the counters must match what was emitted.
+func TestMergerConcurrentGlobalOrder(t *testing.T) {
+	const (
+		workers = 4
+		rounds  = 300
+	)
+	type rec struct {
+		w     uint32
+		round uint64
+	}
+	var mu sync.Mutex
+	var out []rec
+	var misordered atomic.Bool
+	m := newMerger(workers, func(w uint32, blk types.Block) {
+		mu.Lock()
+		i := len(out)
+		out = append(out, rec{w, blk.Signed.Header.Round})
+		// Check the invariant at append time: entry i must be worker i%W
+		// at round i/W+1.
+		if w != uint32(i%workers) || blk.Signed.Header.Round != uint64(i/workers)+1 {
+			misordered.Store(true)
+		}
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		enq := m.enqueue(uint32(w))
+		go func(w uint32) {
+			defer wg.Done()
+			for r := uint64(1); r <= rounds; r++ {
+				enq(mkBlock(w, r))
+			}
+		}(uint32(w))
+	}
+	wg.Wait()
+
+	if misordered.Load() {
+		t.Fatal("global order violated under concurrent OnDecide")
+	}
+	if len(out) != workers*rounds {
+		t.Fatalf("delivered %d blocks, want %d", len(out), workers*rounds)
+	}
+	if m.delivered.Load() != uint64(workers*rounds) {
+		t.Fatalf("delivered counter %d disagrees with observed %d", m.delivered.Load(), len(out))
 	}
 }

@@ -157,3 +157,146 @@ func TestFLOLaggingNodeCatchesUp(t *testing.T) {
 	}
 	c.checkAgreement(nodeIDs(4), 0)
 }
+
+// TestFLORestartUnderLoadRangeSync is the restart-under-load integration
+// test: kill one node mid-saturation, let the cluster pull far ahead,
+// restart the node from its DataDir, and require that it (a) rejoins via
+// streaming range sync rather than one broadcast per round, (b) replays
+// only the post-snapshot log suffix (its chain base is non-zero), and
+// (c) resumes participating — the cluster keeps finalizing past the rejoin
+// point with the restarted node tracking it.
+func TestFLORestartUnderLoadRangeSync(t *testing.T) {
+	const (
+		n            = 4
+		catchUpBatch = 8
+		snapEvery    = 10
+	)
+	ks := flcrypto.MustGenerateKeySet(n, flcrypto.Ed25519)
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("node%d", i))
+	}
+	net := transport.NewChanNetwork(transport.ChanConfig{N: n})
+	defer net.Close()
+
+	mkNode := func(i int, ep transport.Endpoint) *Node {
+		t.Helper()
+		node, err := NewNode(Config{
+			Endpoint:      ep,
+			Registry:      ks.Registry,
+			Priv:          ks.Privs[i],
+			Workers:       1,
+			BatchSize:     5,
+			Saturate:      48,
+			DataDir:       dirs[i],
+			CatchUpBatch:  catchUpBatch,
+			SnapshotEvery: snapEvery,
+			InitialTimer:  30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return node
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = mkNode(i, net.Endpoint(flcrypto.NodeID(i)))
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	defer func() {
+		for _, node := range nodes {
+			if node != nil {
+				node.Stop()
+			}
+		}
+	}()
+
+	waitDef := func(idx []int, target uint64, timeout time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(timeout)
+		for {
+			done := true
+			for _, i := range idx {
+				if nodes[i].Worker(0).Chain().Definite() < target {
+					done = false
+					break
+				}
+			}
+			if done {
+				return
+			}
+			if time.Now().After(deadline) {
+				var have []uint64
+				for _, i := range idx {
+					have = append(have, nodes[i].Worker(0).Chain().Definite())
+				}
+				t.Fatalf("stalled waiting for definite %d: %v", target, have)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	all := []int{0, 1, 2, 3}
+	survivors := []int{0, 1, 2}
+	const victim = 3
+
+	// Saturate past the first checkpoint boundary (round 20 with
+	// SnapshotEvery=10 and the f+2+SnapshotEvery retention tail), then
+	// kill the victim mid-load.
+	waitDef(all, 21, 60*time.Second)
+	killTip := nodes[victim].Worker(0).Chain().Definite()
+	net.Crash(victim)
+	nodes[victim].Stop()
+	nodes[victim] = nil
+
+	// The survivors pull far ahead: several range-sync batches plus
+	// several snapshot cycles of downtime.
+	const downtime = 5 * catchUpBatch // 40 rounds ≫ the range threshold
+	waitDef(survivors, killTip+downtime, 120*time.Second)
+	target := nodes[0].Worker(0).Chain().Definite()
+
+	// Restart from disk on a fresh endpoint.
+	net.Heal(victim)
+	restarted := mkNode(victim, net.Reattach(victim))
+	nodes[victim] = restarted
+	if restarted.Worker(0).Chain().Base() == 0 {
+		t.Fatal("restart replayed the full log: compaction never produced a snapshot base")
+	}
+	restarted.Start()
+
+	// (a) It range-syncs to the live tip...
+	waitDef([]int{victim}, target, 120*time.Second)
+	m := restarted.Worker(0).Metrics()
+	if m.CatchUpRangeBlocks.Load() == 0 || m.CatchUpRangeReqs.Load() == 0 {
+		t.Fatalf("rejoin did not use range sync (reqs=%d blocks=%d)",
+			m.CatchUpRangeReqs.Load(), m.CatchUpRangeBlocks.Load())
+	}
+	// ...with bounded request counts, not one broadcast per missed round.
+	missed := target - killTip
+	if reqs := m.CatchUpRangeReqs.Load() + m.CatchUpBlockReqs.Load(); reqs > missed/2 {
+		t.Fatalf("%d catch-up requests for %d missed rounds — per-round pulling is back", reqs, missed)
+	}
+
+	// (c) ...and resumes participating: the cluster (victim included)
+	// finalizes well past the rejoin point.
+	waitDef(all, target+6, 120*time.Second)
+
+	// Agreement across the restart for a sample of rounds.
+	for _, r := range []uint64{target, target + 3} {
+		base, ok := nodes[0].Worker(0).Chain().HeaderAt(r)
+		if !ok {
+			t.Fatalf("node 0 misses round %d", r)
+		}
+		for _, i := range []int{1, 2, victim} {
+			hdr, ok := nodes[i].Worker(0).Chain().HeaderAt(r)
+			if !ok || hdr.Hash() != base.Hash() {
+				t.Fatalf("node %d disagrees at round %d", i, r)
+			}
+		}
+	}
+	if err := restarted.Worker(0).Chain().Audit(ks.Registry); err != nil {
+		t.Fatalf("restarted node's chain fails audit: %v", err)
+	}
+}

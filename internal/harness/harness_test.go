@@ -128,11 +128,11 @@ func TestTable1Runs(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	// Table 1 + Figs 5–17 (14 paper experiments) + the 3 ext-* extensions.
-	if len(Experiments) != 17 {
-		t.Fatalf("registry has %d experiments, want 17 (Table 1 + Figs 5-17 + 3 ext)", len(Experiments))
+	// Table 1 + Figs 5–17 (14 paper experiments) + the 4 ext-* extensions.
+	if len(Experiments) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (Table 1 + Figs 5-17 + 4 ext)", len(Experiments))
 	}
-	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability"} {
+	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart"} {
 		if Experiments[name] == nil {
 			t.Fatalf("extension experiment %q not registered", name)
 		}

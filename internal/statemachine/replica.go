@@ -1,0 +1,105 @@
+package statemachine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Replica applies FLO's merged definite block stream to a KV while tracking
+// the last applied round per worker, making delivery idempotent: a block at
+// a round the replica has already passed is skipped. That property is what
+// snapshot restore needs — the restart path re-delivers every replayed
+// post-snapshot block and the replica applies exactly the ones its
+// checkpoint does not cover — and it also tolerates the at-least-once
+// delivery a crash between persist and apply can produce.
+//
+// A Replica snapshot embeds both the KV state and the per-worker positions,
+// so it plugs directly into flo.Config.SnapshotState/RestoreState.
+type Replica struct {
+	mu   sync.Mutex
+	kv   *KV
+	last map[uint32]uint64 // worker → last applied round
+}
+
+// NewReplica returns an empty replica.
+func NewReplica() *Replica {
+	return &Replica{kv: NewKV(), last: make(map[uint32]uint64)}
+}
+
+// KV exposes the underlying store (read access).
+func (r *Replica) KV() *KV { return r.kv }
+
+// Position returns the last applied round of worker w.
+func (r *Replica) Position(w uint32) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last[w]
+}
+
+// Deliver applies one definite block from worker w, skipping blocks at or
+// below the replica's position for that worker. It reports whether the
+// block was applied. r.mu is held across the position update and the
+// applies, so a concurrent Snapshot never captures a position whose
+// transactions are only partially in the KV.
+func (r *Replica) Deliver(w uint32, blk types.Block) bool {
+	round := blk.Signed.Header.Round
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if round <= r.last[w] {
+		return false
+	}
+	for i := range blk.Body.Txs {
+		// Deterministic rejection is part of the stream semantics; errors
+		// are deliberately not surfaced per-tx here.
+		_ = r.kv.Apply(blk.Body.Txs[i])
+	}
+	r.last[w] = round
+	return true
+}
+
+// Snapshot serializes the replica deterministically: the per-worker
+// positions followed by the KV snapshot, captured atomically with respect
+// to Deliver.
+func (r *Replica) Snapshot() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	workers := make([]uint32, 0, len(r.last))
+	for w := range r.last {
+		workers = append(workers, w)
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i] < workers[j] })
+	e := types.NewEncoder(64)
+	e.Uint32(uint32(len(workers)))
+	for _, w := range workers {
+		e.Uint32(w)
+		e.Uint64(r.last[w])
+	}
+	e.Bytes32(r.kv.Snapshot())
+	return e.Bytes()
+}
+
+// RestoreReplica rebuilds a replica from a Snapshot.
+func RestoreReplica(snap []byte) (*Replica, error) {
+	d := types.NewDecoder(snap)
+	n := d.Uint32()
+	if d.Err() != nil || n > types.MaxFieldLen/12 {
+		return nil, fmt.Errorf("statemachine: corrupt replica snapshot header")
+	}
+	last := make(map[uint32]uint64, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		w := d.Uint32()
+		last[w] = d.Uint64()
+	}
+	kvSnap := d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("statemachine: corrupt replica snapshot: %w", err)
+	}
+	kv, err := Restore(kvSnap)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{kv: kv, last: last}, nil
+}

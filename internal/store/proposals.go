@@ -1,0 +1,187 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// ProposalLog persists this node's own signed block proposals for rounds
+// that are not yet definite. It closes the restart-amnesia hole in the
+// one-signature-per-slot invariant: a correct node must never sign two
+// different blocks for the same (round, parent) slot — the exact offense
+// the evidence layer convicts — but without durability a crashed-and-
+// restarted proposer would forget what it signed and happily sign a
+// different block for a slot it already signed before the crash. That is
+// not just an accountability problem: a rebooting cluster whose members
+// persisted different definite tips re-runs the boundary rounds, and if
+// their proposers re-sign different blocks, a node that already finalized
+// the old block is wedged behind an unresolvable definite conflict.
+//
+// The log is append-only with the same checksummed frame format as the
+// block log; unparseable tails are truncated on open. It self-compacts:
+// proposals at rounds at or below the bound (the definite boundary, set by
+// the owner) are dropped whenever enough appends accumulate.
+type ProposalLog struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	appends int
+	sync    bool
+
+	bound atomic.Uint64 // proposals at rounds ≤ bound may be dropped
+}
+
+// compactEvery is the append count between self-compactions.
+const compactEvery = 256
+
+// OpenProposals opens (creating if needed) the proposal log at path and
+// replays the persisted proposals. Unlike chain replay, proposals need not
+// chain — each is an independent slot memo — so replay is per-frame:
+// damaged frames end the replay and are truncated away.
+func OpenProposals(path string, syncWrites bool) (*ProposalLog, []types.Block, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	var blocks []types.Block
+	offset := scanFrames(f, func(payload []byte) scanAction {
+		d := types.NewDecoder(payload)
+		blk := types.DecodeBlock(d)
+		if d.Finish() != nil {
+			return scanStopExclude
+		}
+		blocks = append(blocks, blk)
+		return scanContinue
+	})
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: truncate proposals: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: seek proposals: %w", err)
+	}
+	return &ProposalLog{f: f, path: path, sync: syncWrites}, blocks, nil
+}
+
+// Append persists one signed proposal. Durability against an OS crash
+// requires syncWrites; without it the write still survives a process
+// crash (the page cache outlives the process), which is the common case.
+func (p *ProposalLog) Append(blk types.Block) error {
+	e := types.NewEncoder(256 + blk.Body.Size())
+	blk.Encode(e)
+	payload := e.Bytes()
+	header := frameHeader(payload)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.f.Write(header[:]); err != nil {
+		return fmt.Errorf("store: proposal write: %w", err)
+	}
+	if _, err := p.f.Write(payload); err != nil {
+		return fmt.Errorf("store: proposal write: %w", err)
+	}
+	if p.sync {
+		if err := p.f.Sync(); err != nil {
+			return fmt.Errorf("store: proposal fsync: %w", err)
+		}
+	}
+	p.appends++
+	if p.appends >= compactEvery {
+		p.appends = 0
+		p.compactLocked()
+	}
+	return nil
+}
+
+// SetBound marks rounds ≤ r as prunable (they are definite: slots that
+// deep can never be re-proposed, because recovery cannot reach below the
+// definite boundary).
+func (p *ProposalLog) SetBound(r uint64) {
+	for {
+		cur := p.bound.Load()
+		if r <= cur || p.bound.CompareAndSwap(cur, r) {
+			return
+		}
+	}
+}
+
+// compactLocked rewrites the log keeping only rounds above the bound.
+// Failures leave the current log in place (compaction is an optimization).
+func (p *ProposalLog) compactLocked() {
+	bound := p.bound.Load()
+	r, err := os.Open(p.path)
+	if err != nil {
+		return
+	}
+	defer r.Close()
+	tmp := p.path + ".tmp"
+	w, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	ok := true
+	scanFrames(r, func(payload []byte) scanAction {
+		d := types.NewDecoder(payload)
+		blk := types.DecodeBlock(d)
+		if d.Finish() != nil {
+			return scanStopExclude
+		}
+		if blk.Signed.Header.Round <= bound {
+			return scanContinue
+		}
+		header := frameHeader(payload)
+		if _, err := w.Write(header[:]); err != nil {
+			ok = false
+			return scanStopExclude
+		}
+		if _, err := w.Write(payload); err != nil {
+			ok = false
+			return scanStopExclude
+		}
+		return scanContinue
+	})
+	if err := w.Sync(); err != nil {
+		ok = false
+	}
+	if err := w.Close(); err != nil {
+		ok = false
+	}
+	if !ok {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, p.path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	nf, err := os.OpenFile(p.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return
+	}
+	p.f.Close()
+	p.f = nf
+}
+
+// Close flushes and closes the log.
+func (p *ProposalLog) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.f.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

@@ -30,10 +30,69 @@ const frameMagic uint32 = 0xF17E_B10C
 // maxFrame bounds a single persisted block.
 const maxFrame = 256 << 20
 
+// scanAction is a frame visitor's verdict.
+type scanAction int
+
+const (
+	// scanContinue consumes the frame and keeps walking.
+	scanContinue scanAction = iota
+	// scanStopInclude consumes the frame, then stops.
+	scanStopInclude
+	// scanStopExclude stops without consuming the frame.
+	scanStopExclude
+)
+
+// scanFrames walks the checksummed frames of r in order, invoking fn with
+// each structurally valid payload (magic, length bound, and CRC all check
+// out — every consumer gets the same integrity guarantees). It returns the
+// byte offset just past the last consumed frame; the walk ends at the first
+// torn/foreign/corrupt frame or when fn stops it.
+func scanFrames(r io.Reader, fn func(payload []byte) scanAction) int64 {
+	var offset int64
+	var header [12]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return offset // clean EOF or torn header
+		}
+		if binary.BigEndian.Uint32(header[0:]) != frameMagic {
+			return offset
+		}
+		n := binary.BigEndian.Uint32(header[4:])
+		if n > maxFrame {
+			return offset
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return offset // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(header[8:]) {
+			return offset // bit rot or torn write across the crc boundary
+		}
+		switch fn(payload) {
+		case scanStopExclude:
+			return offset
+		case scanStopInclude:
+			return offset + 12 + int64(n)
+		}
+		offset += 12 + int64(n)
+	}
+}
+
+// frameHeader builds the wire header for a frame payload.
+func frameHeader(payload []byte) [12]byte {
+	var header [12]byte
+	binary.BigEndian.PutUint32(header[0:], frameMagic)
+	binary.BigEndian.PutUint32(header[4:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[8:], crc32.ChecksumIEEE(payload))
+	return header
+}
+
 // BlockLog is one worker's persistent chain.
 type BlockLog struct {
 	mu   sync.Mutex
 	f    *os.File
+	path string
+	base uint64 // round preceding the first frame (0 for a full log)
 	tip  uint64 // last persisted round
 	sync bool
 }
@@ -57,6 +116,37 @@ type Options struct {
 // tail is truncated away; corruption in the middle of the replayed prefix
 // surfaces as an error.
 func Open(path string, opts Options) (*BlockLog, []types.Block, error) {
+	return openAt(path, opts, 0, types.GenesisHeader(opts.Instance).Hash())
+}
+
+// OpenWorker opens a worker's full persistent state: the snapshot at
+// snapPath (if one exists) plus the block-log suffix at logPath anchored on
+// it. The returned blocks start at snapshot.BaseRound+1 — after a
+// compaction cycle, restart replay touches (and signature-verifies) only
+// the post-snapshot suffix, so restart cost is O(delta), not O(history).
+// The snapshot pointer is nil when no snapshot exists.
+func OpenWorker(logPath, snapPath string, opts Options) (*BlockLog, *Snapshot, []types.Block, error) {
+	snap, ok, err := LoadSnapshot(snapPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	base, baseHash := uint64(0), types.GenesisHeader(opts.Instance).Hash()
+	var snapPtr *Snapshot
+	if ok {
+		if snap.Instance != opts.Instance {
+			return nil, nil, nil, fmt.Errorf("store: snapshot belongs to instance %d, not %d", snap.Instance, opts.Instance)
+		}
+		base, baseHash = snap.BaseRound, snap.BaseHash
+		snapPtr = &snap
+	}
+	log, blocks, err := openAt(logPath, opts, base, baseHash)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return log, snapPtr, blocks, nil
+}
+
+func openAt(path string, opts Options, base uint64, baseHash flcrypto.Hash) (*BlockLog, []types.Block, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: mkdir: %w", err)
 	}
@@ -64,7 +154,7 @@ func Open(path string, opts Options) (*BlockLog, []types.Block, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: open %s: %w", path, err)
 	}
-	blocks, goodBytes, err := replay(f, opts)
+	blocks, goodBytes, err := replay(f, opts, base, baseHash)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
@@ -79,62 +169,55 @@ func Open(path string, opts Options) (*BlockLog, []types.Block, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("store: seek: %w", err)
 	}
-	log := &BlockLog{f: f, sync: opts.Sync}
+	log := &BlockLog{f: f, path: path, base: base, tip: base, sync: opts.Sync}
 	if len(blocks) > 0 {
 		log.tip = blocks[len(blocks)-1].Signed.Header.Round
 	}
 	return log, blocks, nil
 }
 
-// replay scans the file, returning the valid block prefix and the byte
-// offset of the end of the last good frame.
-func replay(f *os.File, opts Options) ([]types.Block, int64, error) {
+// replay scans the file, returning the valid block suffix above base and
+// the byte offset of the end of the last good frame. Frames at rounds ≤
+// base (possible when a crash landed between snapshot write and log
+// compaction) are skimmed without verification — the snapshot covers them.
+func replay(f *os.File, opts Options, base uint64, baseHash flcrypto.Hash) ([]types.Block, int64, error) {
 	var blocks []types.Block
-	var offset int64
-	var prevHash flcrypto.Hash
-	prevHash = types.GenesisHeader(opts.Instance).Hash()
-	nextRound := uint64(1)
-	var header [12]byte
-	for {
-		if _, err := io.ReadFull(f, header[:]); err != nil {
-			break // clean EOF or torn header: stop at last good frame
-		}
-		if binary.BigEndian.Uint32(header[0:]) != frameMagic {
-			break
-		}
-		n := binary.BigEndian.Uint32(header[4:])
-		wantCRC := binary.BigEndian.Uint32(header[8:])
-		if n > maxFrame {
-			break
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			break // torn payload
-		}
-		if crc32.ChecksumIEEE(payload) != wantCRC {
-			break // bit rot or torn write across the crc boundary
-		}
+	var chainErr error
+	prevHash := baseHash
+	nextRound := base + 1
+	offset := scanFrames(f, func(payload []byte) scanAction {
 		d := types.NewDecoder(payload)
 		blk := types.DecodeBlock(d)
 		if d.Finish() != nil {
-			break
+			return scanStopExclude
 		}
 		hdr := blk.Signed.Header
-		// The replayed prefix must be a real chain: in-order rounds,
+		if hdr.Round <= base {
+			// Pre-snapshot frame left behind by an interrupted compaction:
+			// the snapshot supersedes it.
+			return scanContinue
+		}
+		// The replayed suffix must be a real chain: in-order rounds,
 		// intact hash links, matching bodies, valid signatures.
 		if hdr.Instance != opts.Instance || hdr.Round != nextRound || hdr.PrevHash != prevHash {
-			return nil, 0, fmt.Errorf("store: log frame at offset %d does not chain (round %d)", offset, hdr.Round)
+			chainErr = fmt.Errorf("store: log frame does not chain (round %d)", hdr.Round)
+			return scanStopExclude
 		}
 		if blk.CheckBody() != nil {
-			return nil, 0, fmt.Errorf("store: body mismatch at round %d", hdr.Round)
+			chainErr = fmt.Errorf("store: body mismatch at round %d", hdr.Round)
+			return scanStopExclude
 		}
 		if opts.Registry != nil && !blk.Signed.Verify(opts.Registry) {
-			return nil, 0, fmt.Errorf("store: bad signature at round %d", hdr.Round)
+			chainErr = fmt.Errorf("store: bad signature at round %d", hdr.Round)
+			return scanStopExclude
 		}
 		blocks = append(blocks, blk)
 		prevHash = hdr.Hash()
 		nextRound++
-		offset += 12 + int64(n)
+		return scanContinue
+	})
+	if chainErr != nil {
+		return nil, 0, chainErr
 	}
 	return blocks, offset, nil
 }
@@ -154,10 +237,7 @@ func (l *BlockLog) Append(blk types.Block) error {
 	e := types.NewEncoder(256 + blk.Body.Size())
 	blk.Encode(e)
 	payload := e.Bytes()
-	var header [12]byte
-	binary.BigEndian.PutUint32(header[0:], frameMagic)
-	binary.BigEndian.PutUint32(header[4:], uint32(len(payload)))
-	binary.BigEndian.PutUint32(header[8:], crc32.ChecksumIEEE(payload))
+	header := frameHeader(payload)
 	if _, err := l.f.Write(header[:]); err != nil {
 		return fmt.Errorf("store: write: %w", err)
 	}
@@ -178,6 +258,115 @@ func (l *BlockLog) Tip() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.tip
+}
+
+// Base returns the round preceding the log's first frame (0 for a full
+// log; the snapshot anchor after a Checkpoint).
+func (l *BlockLog) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Checkpoint writes a snapshot anchored `retain` rounds below the persisted
+// tip and compacts the log to the post-anchor suffix, bounding restart
+// replay to the last `retain` blocks plus whatever lands after. The retained
+// tail keeps recovery anchors reachable on the restarted node (callers pass
+// ≥ f+2). stateRound/state are the application checkpoint stored in the
+// snapshot (zero/nil when the deployment does not capture app state).
+//
+// Crash safety: the snapshot is written (atomically) before the log is
+// rewritten (atomically, via rename). A crash between the two leaves a
+// snapshot plus an uncompacted log, which replay handles by skimming the
+// pre-anchor frames. A no-op (anchor would not advance) returns nil.
+func (l *BlockLog) Checkpoint(snapPath string, instance uint32, stateRound uint64, state []byte, retain uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tip <= retain {
+		return nil
+	}
+	newBase := l.tip - retain
+	if newBase <= l.base {
+		return nil
+	}
+
+	// Scan the current log (through an independent read handle; the page
+	// cache keeps it coherent with recent appends) for the anchor hash and
+	// the byte offset of the first post-anchor frame.
+	r, err := os.Open(l.path)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint open: %w", err)
+	}
+	defer r.Close()
+	var baseHash flcrypto.Hash
+	found := false
+	cut := scanFrames(r, func(payload []byte) scanAction {
+		d := types.NewDecoder(payload)
+		blk := types.DecodeBlock(d)
+		if d.Finish() != nil {
+			return scanStopExclude
+		}
+		if blk.Signed.Header.Round == newBase {
+			baseHash = blk.Signed.Header.Hash()
+			found = true
+			return scanStopInclude
+		}
+		return scanContinue
+	})
+	if !found {
+		return fmt.Errorf("store: checkpoint anchor round %d not found in log", newBase)
+	}
+
+	if err := WriteSnapshot(snapPath, Snapshot{
+		Instance:   instance,
+		BaseRound:  newBase,
+		BaseHash:   baseHash,
+		StateRound: stateRound,
+		State:      state,
+	}); err != nil {
+		return err
+	}
+
+	// Rewrite the log as the post-anchor suffix and swap it in.
+	end, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint seek: %w", err)
+	}
+	tmp := l.path + ".tmp"
+	w, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint tmp: %w", err)
+	}
+	if _, err := io.Copy(w, io.NewSectionReader(r, cut, end-cut)); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint copy: %w", err)
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint fsync: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint rename: %w", err)
+	}
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint reopen: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("store: checkpoint seek new: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	l.base = newBase
+	return nil
 }
 
 // Close flushes and closes the log.

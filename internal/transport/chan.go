@@ -64,7 +64,36 @@ func NewChanNetwork(cfg ChanConfig) *ChanNetwork {
 // Endpoint returns node id's attachment. It panics on out-of-range ids;
 // membership is static in a permissioned deployment.
 func (n *ChanNetwork) Endpoint(id flcrypto.NodeID) Endpoint {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.eps[id]
+}
+
+// endpoint resolves id's current attachment at delivery time, so senders
+// never hold a reference to a pre-restart endpoint.
+func (n *ChanNetwork) endpoint(id flcrypto.NodeID) *chanEndpoint {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.eps[id]
+}
+
+// Reattach replaces id's endpoint with a fresh one — the restart path for
+// in-process experiments: a node that was stopped (its endpoint closed)
+// comes back with an empty mailbox, like a rebooted process re-binding its
+// socket. The old endpoint stays closed; messages still in flight toward it
+// are delivered to the new mailbox (the link resolves the target at
+// delivery time), which models packets arriving just after the reboot.
+func (n *ChanNetwork) Reattach(id flcrypto.NodeID) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &chanEndpoint{
+		net:   n,
+		id:    id,
+		mbox:  newMailbox(),
+		links: make([]linkQueue, n.cfg.N),
+	}
+	n.eps[id] = ep
+	return ep
 }
 
 // Crash makes id silent: nothing it sends is delivered anymore and nothing
@@ -101,20 +130,24 @@ func (n *ChanNetwork) linkBlocked(from, to flcrypto.NodeID) bool {
 }
 
 // BytesSent reports the cumulative payload bytes node id has sent (excluding
-// self-delivery), for bandwidth accounting in experiments.
+// self-delivery), for bandwidth accounting in experiments. The counter
+// resets when the node is Reattached.
 func (n *ChanNetwork) BytesSent(id flcrypto.NodeID) uint64 {
-	return atomic.LoadUint64(&n.eps[id].bytesSent)
+	return atomic.LoadUint64(&n.endpoint(id).bytesSent)
 }
 
 // MessagesSent reports the cumulative message count node id has sent
-// (excluding self-delivery).
+// (excluding self-delivery). The counter resets when the node is Reattached.
 func (n *ChanNetwork) MessagesSent(id flcrypto.NodeID) uint64 {
-	return atomic.LoadUint64(&n.eps[id].msgsSent)
+	return atomic.LoadUint64(&n.endpoint(id).msgsSent)
 }
 
 // Close shuts down every endpoint.
 func (n *ChanNetwork) Close() {
-	for _, ep := range n.eps {
+	n.mu.RLock()
+	eps := append([]*chanEndpoint(nil), n.eps...)
+	n.mu.RUnlock()
+	for _, ep := range eps {
 		ep.Close()
 	}
 }
@@ -193,7 +226,6 @@ func (e *chanEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
 	e.mu.Unlock()
 	deliverAt := sendDone.Add(e.net.cfg.Latency.Delay(e.id, to))
 
-	target := e.net.eps[to]
 	lq := &e.links[to]
 	lq.mu.Lock()
 	if deliverAt.Before(lq.last) {
@@ -205,17 +237,17 @@ func (e *chanEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
 
 	delay := time.Until(deliverAt)
 	if delay <= 50*time.Microsecond {
-		e.deliverHead(target, lq)
+		e.deliverHead(to, lq)
 		return nil
 	}
-	time.AfterFunc(delay, func() { e.deliverHead(target, lq) })
+	time.AfterFunc(delay, func() { e.deliverHead(to, lq) })
 	return nil
 }
 
 // deliverHead releases the oldest queued message on the link. Every send
 // schedules exactly one deliverHead, so counts match; taking the head keeps
 // the link FIFO regardless of timer callback scheduling order.
-func (e *chanEndpoint) deliverHead(target *chanEndpoint, lq *linkQueue) {
+func (e *chanEndpoint) deliverHead(to flcrypto.NodeID, lq *linkQueue) {
 	lq.mu.Lock()
 	if len(lq.queue) == 0 {
 		lq.mu.Unlock()
@@ -227,10 +259,12 @@ func (e *chanEndpoint) deliverHead(target *chanEndpoint, lq *linkQueue) {
 	// Re-check fault state at delivery time: messages in flight when a
 	// crash or partition is injected are dropped, like packets on a cut
 	// cable.
-	if e.net.linkBlocked(msg.From, target.id) {
+	if e.net.linkBlocked(msg.From, to) {
 		return
 	}
-	target.mbox.put(msg)
+	// Resolve the target at delivery time: a Reattach between send and
+	// delivery routes the message to the restarted node's fresh mailbox.
+	e.net.endpoint(to).mbox.put(msg)
 }
 
 func (e *chanEndpoint) Broadcast(payload []byte) error {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flcrypto"
@@ -26,14 +27,23 @@ type TCPConfig struct {
 	DialTimeout time.Duration
 	// RetryInterval is the pause between reconnection attempts (default 500ms).
 	RetryInterval time.Duration
+	// SendQueueCap bounds each peer's outbound queue in frames (default
+	// 4096). When a peer is dead or too slow to drain its queue, the oldest
+	// frames are dropped and counted — mirroring the mux mailbox design —
+	// so one unreachable peer cannot accumulate unbounded memory. Every
+	// protocol layer tolerates the loss: consensus messages are re-pulled
+	// or re-broadcast, and bodies/blocks have explicit pull fallbacks.
+	SendQueueCap int
 }
 
 // TCPEndpoint implements Endpoint over a TCP clique: for each ordered pair
 // (i→j) node i maintains one outbound connection to j, identified by a
-// 4-byte hello frame carrying i's id. Outbound messages queue in an
-// unbounded per-peer buffer and a writer goroutine drains it, reconnecting
-// with backoff on failure — the retransmission construction of §3.1 that
-// turns fair-lossy links into reliable ones.
+// 4-byte hello frame carrying i's id. Outbound messages queue in a bounded
+// per-peer buffer (SendQueueCap, drop-oldest on overflow) and a writer
+// goroutine drains it, reconnecting with backoff on failure — the
+// retransmission construction of §3.1 that turns fair-lossy links into
+// reliable ones, with the bound keeping a dead or slow peer from
+// accumulating unbounded memory under saturating load.
 type TCPEndpoint struct {
 	cfg  TCPConfig
 	ln   net.Listener
@@ -52,9 +62,19 @@ type tcpPeer struct {
 	id   flcrypto.NodeID
 	addr string
 
-	mu    sync.Mutex
-	queue [][]byte
-	wake  chan struct{}
+	mu      sync.Mutex
+	queue   [][]byte
+	wake    chan struct{}
+	dropped atomic.Uint64
+}
+
+// trimLocked enforces the per-peer queue bound, dropping the oldest frames.
+// Callers hold p.mu.
+func (p *tcpPeer) trimLocked() {
+	if over := len(p.queue) - p.ep.cfg.SendQueueCap; over > 0 {
+		p.dropped.Add(uint64(over))
+		p.queue = p.queue[over:]
+	}
 }
 
 // NewTCPEndpoint binds cfg.Addrs[cfg.ID] and starts the accept loop and one
@@ -70,6 +90,9 @@ func NewTCPEndpoint(cfg TCPConfig) (*TCPEndpoint, error) {
 	}
 	if cfg.RetryInterval == 0 {
 		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	if cfg.SendQueueCap == 0 {
+		cfg.SendQueueCap = 4096
 	}
 	ln, err := net.Listen("tcp", cfg.Addrs[cfg.ID])
 	if err != nil {
@@ -109,6 +132,26 @@ func (e *TCPEndpoint) Recv() <-chan Message { return e.mbox.out }
 // Addr returns the bound listen address (useful with ":0" configs in tests).
 func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
 
+// SendDrops reports how many outbound frames to peer `to` have been dropped
+// by the bounded send queue (0 for self or unknown peers).
+func (e *TCPEndpoint) SendDrops(to flcrypto.NodeID) uint64 {
+	if int(to) < 0 || int(to) >= len(e.peers) || e.peers[to] == nil {
+		return 0
+	}
+	return e.peers[to].dropped.Load()
+}
+
+// TotalSendDrops sums SendDrops over all peers.
+func (e *TCPEndpoint) TotalSendDrops() uint64 {
+	var total uint64
+	for _, p := range e.peers {
+		if p != nil {
+			total += p.dropped.Load()
+		}
+	}
+	return total
+}
+
 // Send implements Endpoint.
 func (e *TCPEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
 	e.mu.Lock()
@@ -127,6 +170,7 @@ func (e *TCPEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
 	p := e.peers[to]
 	p.mu.Lock()
 	p.queue = append(p.queue, payload)
+	p.trimLocked()
 	p.mu.Unlock()
 	select {
 	case p.wake <- struct{}{}:
@@ -283,6 +327,7 @@ func (p *tcpPeer) writeLoop() {
 				// messages are idempotent by construction).
 				p.mu.Lock()
 				p.queue = append(batch[i:], p.queue...)
+				p.trimLocked()
 				p.mu.Unlock()
 				break
 			}

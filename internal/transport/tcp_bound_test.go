@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTCPSendQueueBound is the regression test for unbounded per-peer
+// outbound queues: sends toward a dead peer must cap the queue at
+// SendQueueCap with a drop-oldest policy and count the drops, instead of
+// accumulating memory forever.
+func TestTCPSendQueueBound(t *testing.T) {
+	ep, err := NewTCPEndpoint(TCPConfig{
+		ID: 0,
+		// Peer 1's address points at a port nothing listens on, so its
+		// writer can never drain the queue.
+		Addrs:         []string{"127.0.0.1:0", "127.0.0.1:9"},
+		SendQueueCap:  8,
+		DialTimeout:   50 * time.Millisecond,
+		RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	const sends = 200
+	payload := make([]byte, 128)
+	for i := 0; i < sends; i++ {
+		payload[0] = byte(i)
+		if err := ep.Send(1, append([]byte(nil), payload...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := ep.peers[1]
+	p.mu.Lock()
+	qlen := len(p.queue)
+	var newest byte
+	if qlen > 0 {
+		newest = p.queue[qlen-1][0]
+	}
+	p.mu.Unlock()
+	if qlen > 8 {
+		t.Fatalf("queue grew to %d entries past the cap of 8", qlen)
+	}
+	// Drop-oldest: the newest frame must survive.
+	if qlen > 0 && newest != byte(sends-1) {
+		t.Fatalf("newest queued frame is %d, want %d (drop-oldest violated)", newest, sends-1)
+	}
+	// The writer may have briefly taken a batch out of the queue, so allow
+	// a little slack below the exact count.
+	if drops := ep.SendDrops(1); drops < sends-2*8 {
+		t.Fatalf("only %d drops counted for %d sends against a cap of 8", drops, sends)
+	}
+	if ep.TotalSendDrops() != ep.SendDrops(1) {
+		t.Fatal("aggregate drop counter disagrees with the single dead peer's")
+	}
+	// Self-sends are unaffected by peer queues.
+	if err := ep.Send(0, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-ep.Recv():
+		if string(msg.Payload) != "self" {
+			t.Fatalf("unexpected self payload %q", msg.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("self-send not delivered")
+	}
+}

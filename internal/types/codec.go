@@ -86,6 +86,17 @@ func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 // Err returns the first decode error, if any.
 func (d *Decoder) Err() error { return d.err }
 
+// Fail poisons the decoder with err (keeping an earlier error if one is
+// already set), so message-level validation — bounds checks on element
+// counts, semantic limits — rejects a frame through the same path as
+// structural decode errors: every later read returns zero values and
+// Finish reports the failure.
+func (d *Decoder) Fail(err error) {
+	if d.err == nil && err != nil {
+		d.err = err
+	}
+}
+
 // Len returns the number of unread bytes.
 func (d *Decoder) Len() int { return len(d.buf) }
 

@@ -62,7 +62,7 @@ type Config struct {
 	VerifyPool *flcrypto.VerifyPool
 	// InitialTimer is the starting τ of Algorithm 1 (default 50ms).
 	InitialTimer time.Duration
-	// MinTimer / MaxTimer clamp the adaptive timer (defaults 2ms / 10s).
+	// MinTimer / MaxTimer clamp the adaptive timer (defaults 5ms / 10s).
 	MinTimer time.Duration
 	MaxTimer time.Duration
 	// EMASpan is the N of the §6.1.1 moving average (default 16).
