@@ -31,15 +31,26 @@ func benchOpts(n, workers, batch, size int) harness.Options {
 
 func reportFLO(b *testing.B, opts harness.Options) {
 	b.Helper()
-	var tps, bps, lat float64
+	// Allocation tracking rides on every cluster benchmark: run with
+	// -benchmem to see allocs/op alongside the throughput metrics, so an
+	// encode/hash regression shows up as an allocation spike here even
+	// before it costs visible tps.
+	b.ReportAllocs()
+	var tps, bps, lat, poolReuse float64
 	for i := 0; i < b.N; i++ {
 		res := harness.RunFLO(opts)
 		tps, bps = res.TPS, res.BPS
 		lat = res.Latency.Percentile(50).Seconds()
+		if res.EncPoolGets > 0 {
+			poolReuse = float64(res.EncPoolReuses) / float64(res.EncPoolGets)
+		}
 	}
 	b.ReportMetric(tps, "tps")
 	b.ReportMetric(bps, "bps")
 	b.ReportMetric(lat*1000, "latency-ms-p50")
+	if poolReuse > 0 {
+		b.ReportMetric(poolReuse, "encpool-reuse-frac")
+	}
 }
 
 // BenchmarkTable1 measures the per-mode characteristics: signature

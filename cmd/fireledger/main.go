@@ -38,22 +38,24 @@ import (
 
 func main() {
 	var (
-		id         = flag.Int("id", 0, "this node's index into -addrs")
-		addrs      = flag.String("addrs", "", "comma-separated host:port list, one per node (required)")
-		seed       = flag.String("seed", "fireledger-demo", "shared key-derivation seed (demo PKI)")
-		workers    = flag.Int("workers", 1, "FLO workers (the paper's omega)")
-		batch      = flag.Int("batch", 100, "transactions per block (beta)")
-		saturate   = flag.Int("saturate", 0, "fill blocks with random transactions of this size (sigma); 0 = client load only")
-		clientAddr = flag.String("client", "", "listen address for flclient submissions (optional)")
-		dataDir    = flag.String("data", "", "directory for the persistent chain logs (optional; enables restart recovery)")
-		syncWrites = flag.Bool("sync", false, "fsync every persisted block (requires -data)")
-		catchBatch = flag.Int("catchup-batch", 64, "blocks per streaming catch-up batch; also the lag threshold that switches a node from per-round pulls to range sync")
-		snapEvery  = flag.Uint64("snapshot-every", 0, "checkpoint and compact the chain log every N definite rounds (requires -data; 0 disables)")
-		statsEvery = flag.Duration("stats", 5*time.Second, "stats print interval")
-		gossip     = flag.Bool("gossip", false, "disseminate block bodies by push-gossip instead of the clique overlay")
-		fanout     = flag.Int("fanout", 3, "gossip fanout (with -gossip)")
-		compressB  = flag.Bool("compress", false, "DEFLATE-compress block bodies on the wire")
-		exclude    = flag.Bool("exclude-convicted", false, "convict equivocators on-chain and remove them from the proposer rotation (must match across the cluster)")
+		id          = flag.Int("id", 0, "this node's index into -addrs")
+		addrs       = flag.String("addrs", "", "comma-separated host:port list, one per node (required)")
+		seed        = flag.String("seed", "fireledger-demo", "shared key-derivation seed (demo PKI)")
+		workers     = flag.Int("workers", 1, "FLO workers (the paper's omega)")
+		batch       = flag.Int("batch", 100, "transactions per block (beta)")
+		saturate    = flag.Int("saturate", 0, "fill blocks with random transactions of this size (sigma); 0 = client load only")
+		clientAddr  = flag.String("client", "", "listen address for flclient submissions (optional)")
+		dataDir     = flag.String("data", "", "directory for the persistent chain logs (optional; enables restart recovery)")
+		syncWrites  = flag.Bool("sync", false, "fsync every persisted block (requires -data)")
+		groupCommit = flag.Bool("group-commit", false, "batch durable appends into one fsync per batch (requires -sync)")
+		gcWindow    = flag.Duration("group-commit-window", 0, "optional delay per group-commit flush to grow batches (with -group-commit; 0 = batch only during in-flight fsyncs)")
+		catchBatch  = flag.Int("catchup-batch", 64, "blocks per streaming catch-up batch; also the lag threshold that switches a node from per-round pulls to range sync")
+		snapEvery   = flag.Uint64("snapshot-every", 0, "checkpoint and compact the chain log every N definite rounds (requires -data; 0 disables)")
+		statsEvery  = flag.Duration("stats", 5*time.Second, "stats print interval")
+		gossip      = flag.Bool("gossip", false, "disseminate block bodies by push-gossip instead of the clique overlay")
+		fanout      = flag.Int("fanout", 3, "gossip fanout (with -gossip)")
+		compressB   = flag.Bool("compress", false, "DEFLATE-compress block bodies on the wire")
+		exclude     = flag.Bool("exclude-convicted", false, "convict equivocators on-chain and remove them from the proposer rotation (must match across the cluster)")
 	)
 	flag.Parse()
 
@@ -79,20 +81,22 @@ func main() {
 	}
 
 	node, err := fireledger.NewNode(fireledger.Config{
-		Endpoint:         ep,
-		Registry:         ks.Registry,
-		Priv:             ks.Privs[*id],
-		Workers:          *workers,
-		BatchSize:        *batch,
-		Saturate:         *saturate,
-		DataDir:          *dataDir,
-		SyncWrites:       *syncWrites,
-		CatchUpBatch:     *catchBatch,
-		SnapshotEvery:    *snapEvery,
-		GossipBodies:     *gossip,
-		GossipFanout:     *fanout,
-		CompressBodies:   *compressB,
-		ExcludeConvicted: *exclude,
+		Endpoint:          ep,
+		Registry:          ks.Registry,
+		Priv:              ks.Privs[*id],
+		Workers:           *workers,
+		BatchSize:         *batch,
+		Saturate:          *saturate,
+		DataDir:           *dataDir,
+		SyncWrites:        *syncWrites,
+		GroupCommit:       *groupCommit,
+		GroupCommitWindow: *gcWindow,
+		CatchUpBatch:      *catchBatch,
+		SnapshotEvery:     *snapEvery,
+		GossipBodies:      *gossip,
+		GossipFanout:      *fanout,
+		CompressBodies:    *compressB,
+		ExcludeConvicted:  *exclude,
 		OnConviction: func(w uint32, rec fireledger.ConvictionRecord) {
 			log.Printf("worker %d: node %d convicted of equivocation (offense round %d, on-chain at round %d)",
 				w, rec.Culprit, rec.Proof.Round(), rec.ChainRound)

@@ -26,13 +26,14 @@ import (
 // retained (it anchors linkage); header and body contents below base are
 // gone, so BlockAt/HeaderAt report absence for them.
 type Chain struct {
-	mu       sync.RWMutex
-	instance uint32
-	genesis  types.BlockHeader
-	base     uint64        // rounds ≤ base are compacted away; blocks[i] is round base+1+i
-	baseHash flcrypto.Hash // header hash at round base (the genesis hash when base is 0)
-	blocks   []types.Block
-	definite uint64 // rounds ≤ definite are final (always ≥ base)
+	mu          sync.RWMutex
+	instance    uint32
+	genesis     types.BlockHeader
+	genesisHash flcrypto.Hash // computed once; HashAt(0) is on the catch-up path
+	base        uint64        // rounds ≤ base are compacted away; blocks[i] is round base+1+i
+	baseHash    flcrypto.Hash // header hash at round base (the genesis hash when base is 0)
+	blocks      []types.Block
+	definite    uint64 // rounds ≤ definite are final (always ≥ base)
 }
 
 // NewChain creates the empty chain of one worker instance.
@@ -53,8 +54,9 @@ func NewChainAt(instance uint32, base uint64, baseHash flcrypto.Hash) *Chain {
 		baseHash: baseHash,
 		definite: base,
 	}
+	c.genesisHash = c.genesis.Hash()
 	if base == 0 {
-		c.baseHash = c.genesis.Hash()
+		c.baseHash = c.genesisHash
 	}
 	return c
 }
@@ -118,7 +120,7 @@ func (c *Chain) HashAt(r uint64) (flcrypto.Hash, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if r == 0 {
-		return c.genesis.Hash(), true
+		return c.genesisHash, true
 	}
 	if r == c.base {
 		return c.baseHash, true
@@ -275,7 +277,7 @@ func (c *Chain) Audit(reg *flcrypto.Registry) error {
 					hdr.Proposer, c.blocks[j].Signed.Header.Round, hdr.Round)
 			}
 		}
-		prev = hdr.Hash()
+		prev = blk.Hash()
 	}
 	return nil
 }

@@ -131,10 +131,11 @@ func (dp *dataPath) maybeRequestBody(hash flcrypto.Hash) {
 	}
 	dp.lastPull[hash] = now
 	dp.mu.Unlock()
-	e := types.NewEncoder(40)
+	e := types.GetEncoder(40)
 	e.Uint8(kindReqBody)
 	e.Hash(hash)
 	dp.mux.Broadcast(dp.proto, e.Bytes())
+	e.Release()
 }
 
 // maxStoredBodies bounds the body store; bodies of definite blocks live in
@@ -203,8 +204,7 @@ func (dp *dataPath) ingestFrame(frame []byte) {
 // have reports whether the body for hash is obtainable locally. The empty
 // body needs no dissemination.
 func (dp *dataPath) have(hash flcrypto.Hash) bool {
-	empty := types.Body{}
-	if hash == empty.Hash() {
+	if hash == types.EmptyBodyHash() {
 		return true
 	}
 	dp.mu.Lock()
@@ -215,9 +215,8 @@ func (dp *dataPath) have(hash flcrypto.Hash) bool {
 
 // get returns the stored body for hash.
 func (dp *dataPath) get(hash flcrypto.Hash) (types.Body, bool) {
-	empty := types.Body{}
-	if hash == empty.Hash() {
-		return empty, true
+	if hash == types.EmptyBodyHash() {
+		return types.Body{}, true
 	}
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
@@ -268,20 +267,24 @@ func (dp *dataPath) broadcastBody(body *types.Body) error {
 	if dp.rumor != nil {
 		return dp.rumor.Broadcast(frame)
 	}
-	e := types.NewEncoder(8 + len(frame))
+	e := types.GetEncoder(8 + len(frame))
 	e.Uint8(kindBody)
 	e.Bytes32(frame)
-	return dp.mux.Broadcast(dp.proto, e.Bytes())
+	err := dp.mux.Broadcast(dp.proto, e.Bytes())
+	e.Release()
+	return err
 }
 
 // sendBodyTo sends a body to a single node (used by the Byzantine
 // equivocator harness behavior, §7.4.2).
 func (dp *dataPath) sendBodyTo(to flcrypto.NodeID, body *types.Body) error {
 	frame := dp.frameBody(body)
-	e := types.NewEncoder(8 + len(frame))
+	e := types.GetEncoder(8 + len(frame))
 	e.Uint8(kindBody)
 	e.Bytes32(frame)
-	return dp.mux.Send(dp.proto, to, e.Bytes())
+	err := dp.mux.Send(dp.proto, to, e.Bytes())
+	e.Release()
+	return err
 }
 
 func (dp *dataPath) onWire(from flcrypto.NodeID, buf []byte) {
@@ -300,10 +303,11 @@ func (dp *dataPath) onWire(from flcrypto.NodeID, buf []byte) {
 		}
 		if body, ok := dp.get(hash); ok {
 			frame := dp.frameBody(&body)
-			e := types.NewEncoder(8 + len(frame))
+			e := types.GetEncoder(8 + len(frame))
 			e.Uint8(kindRespBody)
 			e.Bytes32(frame)
 			dp.mux.Send(dp.proto, from, e.Bytes())
+			e.Release()
 		}
 	case kindReqBlock:
 		round := d.Uint64()
@@ -315,10 +319,11 @@ func (dp *dataPath) onWire(from flcrypto.NodeID, buf []byte) {
 			return
 		}
 		if blk, ok := dp.chain.BlockAt(round); ok {
-			e := types.NewEncoder(64 + blk.Body.Size())
+			e := types.GetEncoder(64 + blk.Body.Size())
 			e.Uint8(kindRespBlock)
 			blk.Encode(e)
 			dp.mux.Send(dp.proto, from, e.Bytes())
+			e.Release()
 		}
 	case kindRespBlock:
 		blk := types.DecodeBlock(d)
@@ -398,7 +403,7 @@ func (dp *dataPath) verifyBlocks(blks []types.Block) []bool {
 		i := i
 		sh := blks[i].Signed
 		wg.Add(1)
-		dp.pool.VerifyAsyncNode(dp.reg, sh.Header.Proposer, sh.Header.Marshal(), sh.Sig, func(ok bool) {
+		dp.pool.VerifyAsyncNode(dp.reg, sh.Header.Proposer, sh.HeaderBytes(), sh.Sig, func(ok bool) {
 			res[i] = ok
 			wg.Done()
 		})
@@ -438,7 +443,7 @@ func (dp *dataPath) serveRange(to flcrypto.NodeID, reqID, lo, hi uint64) {
 			r++
 		}
 		more := r <= last && batches+1 < maxBatchesPerReq
-		e := types.NewEncoder(64 + bytes)
+		e := types.GetEncoder(64 + bytes)
 		e.Uint8(kindRespRange)
 		e.Uint64(reqID)
 		e.Uint64(def)
@@ -449,6 +454,7 @@ func (dp *dataPath) serveRange(to flcrypto.NodeID, reqID, lo, hi uint64) {
 			blks[i].Encode(e)
 		}
 		dp.mux.Send(dp.proto, to, e.Bytes())
+		e.Release()
 		if !more {
 			return
 		}
@@ -457,22 +463,24 @@ func (dp *dataPath) serveRange(to flcrypto.NodeID, reqID, lo, hi uint64) {
 
 // sendRangeReq asks one peer for definite rounds [from, to).
 func (dp *dataPath) sendRangeReq(peer flcrypto.NodeID, reqID, from, to uint64) {
-	e := types.NewEncoder(32)
+	e := types.GetEncoder(32)
 	e.Uint8(kindReqRange)
 	e.Uint64(reqID)
 	e.Uint64(from)
 	e.Uint64(to)
 	dp.mux.Send(dp.proto, peer, e.Bytes())
+	e.Release()
 }
 
 // sendTipHint tells a lagging peer how far this node's definite chain
 // reaches, so the peer switches to range sync instead of being drip-fed one
 // handoff block per vote.
 func (dp *dataPath) sendTipHint(to flcrypto.NodeID) {
-	e := types.NewEncoder(16)
+	e := types.GetEncoder(16)
 	e.Uint8(kindTipHint)
 	e.Uint64(dp.chain.Definite())
 	dp.mux.Send(dp.proto, to, e.Bytes())
+	e.Release()
 }
 
 // fetchWindow bounds how far above the chain tip catch-up blocks are
@@ -585,19 +593,19 @@ func (dp *dataPath) waitBody(hdr types.BlockHeader, abort <-chan struct{}) (type
 		ch := dp.update
 		dp.mu.Unlock()
 		if hdr.TxCount == 0 {
-			empty := types.Body{}
-			if empty.Hash() == hdr.BodyHash {
-				return empty, true
+			if types.EmptyBodyHash() == hdr.BodyHash {
+				return types.Body{}, true
 			}
 		}
 		if ok {
 			return body, true
 		}
 		// Pull.
-		e := types.NewEncoder(40)
+		e := types.GetEncoder(40)
 		e.Uint8(kindReqBody)
 		e.Hash(hdr.BodyHash)
 		dp.mux.Broadcast(dp.proto, e.Bytes())
+		e.Release()
 		select {
 		case <-ch:
 		case <-time.After(interval):
@@ -621,10 +629,11 @@ func (dp *dataPath) sendBlockTo(to flcrypto.NodeID, round uint64) {
 	if !ok {
 		return
 	}
-	e := types.NewEncoder(64 + blk.Body.Size())
+	e := types.GetEncoder(64 + blk.Body.Size())
 	e.Uint8(kindRespBlock)
 	blk.Encode(e)
 	dp.mux.Send(dp.proto, to, e.Bytes())
+	e.Release()
 }
 
 // takeSegment pops the contiguous run of catch-up blocks starting at round
@@ -654,10 +663,11 @@ func (dp *dataPath) takeSegment(from uint64, max int) []types.Block {
 // single-gap chase; bulk lag goes through the range syncer instead.
 func (dp *dataPath) requestBlock(round uint64) {
 	dp.metrics.CatchUpBlockReqs.Add(1)
-	e := types.NewEncoder(16)
+	e := types.GetEncoder(16)
 	e.Uint8(kindReqBlock)
 	e.Uint64(round)
 	dp.mux.Broadcast(dp.proto, e.Bytes())
+	e.Release()
 }
 
 // fetchBlock retrieves the definite block at round from peers, for recovery

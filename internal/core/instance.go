@@ -767,7 +767,7 @@ func (in *Instance) preparePiggyback(parent types.SignedHeader) []byte {
 	if in.cfg.MaxPending > 0 && in.chain.Tip()-in.chain.Definite() > uint64(in.cfg.MaxPending) {
 		return nil
 	}
-	blk, err := in.buildBlock(nextRound, parent.Header.Hash())
+	blk, err := in.buildBlock(nextRound, parent.HeaderHash())
 	if err != nil {
 		return nil
 	}
@@ -896,17 +896,21 @@ func (in *Instance) proposeEquivocating(ri uint64) {
 		return
 	}
 	if blkA.Hash() == blkB.Hash() {
-		// Identical blocks (empty pool): perturb one body so the versions
-		// actually differ.
-		blkB.Body.Txs = append(blkB.Body.Txs, types.Transaction{Client: ^uint64(0), Seq: ri})
+		// Identical blocks (empty pool): derive a perturbed version. The
+		// original block's body is frozen (its encoding is memoized), so the
+		// variant is built as a fresh body over a fresh transaction slice
+		// rather than mutated in place.
+		txs := append(append([]types.Transaction(nil), blkB.Body.Txs...),
+			types.Transaction{Client: ^uint64(0), Seq: ri})
+		body := types.Body{Txs: txs}
 		hdr := blkB.Signed.Header
-		hdr.BodyHash = blkB.Body.Hash()
-		hdr.TxCount = uint32(len(blkB.Body.Txs))
+		hdr.BodyHash = body.Hash()
+		hdr.TxCount = uint32(len(txs))
 		signed, err := hdr.Sign(in.cfg.Priv)
 		if err != nil {
 			return
 		}
-		blkB.Signed = signed
+		blkB = types.Block{Signed: signed, Body: body}
 	}
 	perm := in.rng.Perm(in.n)
 	half := in.n / 2

@@ -200,7 +200,7 @@ func (rt *recoveryTracker) validVersion(v *versionMsg, r uint64) bool {
 				return false
 			}
 		}
-		prev = hdr.Hash()
+		prev = blk.Hash()
 	}
 	return true
 }
@@ -227,7 +227,7 @@ func (rt *recoveryTracker) harvestEquivocations(versions []versionMsg, mine []ty
 	observe := func(sh types.SignedHeader) {
 		key := slotKey{round: sh.Header.Round, proposer: sh.Header.Proposer, prev: sh.Header.PrevHash}
 		if first, dup := seen[key]; dup {
-			if first.Header.Hash() != sh.Header.Hash() {
+			if first.HeaderHash() != sh.HeaderHash() {
 				pool.ObservePair(first, sh)
 			}
 			return

@@ -51,7 +51,7 @@ type Equivocation struct {
 // NewEquivocation builds a canonical Equivocation from two conflicting
 // signed headers (in either order).
 func NewEquivocation(x, y types.SignedHeader) Equivocation {
-	hx, hy := x.Header.Hash(), y.Header.Hash()
+	hx, hy := x.HeaderHash(), y.HeaderHash()
 	for i := range hx {
 		if hx[i] < hy[i] {
 			return Equivocation{A: x, B: y}

@@ -89,6 +89,17 @@ type Config struct {
 	DataDir string
 	// SyncWrites fsyncs every persisted block (durable, slower).
 	SyncWrites bool
+	// GroupCommit, with SyncWrites, batches persisted blocks into one
+	// buffered write and a single fsync per batch (store.Options.GroupCommit):
+	// the delivery path enqueues each definite block without blocking on its
+	// fsync, so blocks finalized while a sync is in flight share the next
+	// one. Durability acks become batched; an I/O failure is sticky and
+	// surfaces on the next append and on Close.
+	GroupCommit bool
+	// GroupCommitWindow optionally delays each group-commit flush to grow
+	// the batch (default 0: batches form naturally during the in-flight
+	// fsync, with no added latency).
+	GroupCommitWindow time.Duration
 	// CatchUpBatch is the block count per streaming catch-up batch and the
 	// lag threshold that switches a node from per-round pulls to range
 	// sync (default 64). A node R rounds behind rejoins with ~R/CatchUpBatch
@@ -278,12 +289,27 @@ func (n *Node) addWorker(w uint32) error {
 		logPath := filepath.Join(cfg.DataDir, fmt.Sprintf("w%d.log", w))
 		snapPath := filepath.Join(cfg.DataDir, fmt.Sprintf("w%d.snap", w))
 		log, snap, replayed, err := store.OpenWorker(logPath, snapPath,
-			store.Options{Registry: cfg.Registry, Instance: w, Sync: cfg.SyncWrites})
+			store.Options{
+				Registry:          cfg.Registry,
+				Instance:          w,
+				Sync:              cfg.SyncWrites,
+				GroupCommit:       cfg.GroupCommit,
+				GroupCommitWindow: cfg.GroupCommitWindow,
+			})
 		if err != nil {
 			return fmt.Errorf("flo: worker %d store: %w", w, err)
 		}
 		preload = replayed
 		persist = log.Append
+		if cfg.SyncWrites && cfg.GroupCommit {
+			// Enqueue without waiting for the fsync: the committer acks
+			// batches in the background, validation errors still surface
+			// here, and I/O failures are sticky on the log.
+			persist = func(blk types.Block) error {
+				_, err := log.AppendAsync(blk)
+				return err
+			}
+		}
 		// The proposal log carries the one-signature-per-slot invariant
 		// across restarts (see store.ProposalLog).
 		props, replayedProps, err := store.OpenProposals(
@@ -322,8 +348,9 @@ func (n *Node) addWorker(w uint32) error {
 			retain := uint64((n.mux.N()-1)/3) + 2 + cfg.SnapshotEvery
 			every := cfg.SnapshotEvery
 			stateFn := cfg.SnapshotState
+			basePersist := persist
 			persist = func(blk types.Block) error {
-				if err := log.Append(blk); err != nil {
+				if err := basePersist(blk); err != nil {
 					return err
 				}
 				round := blk.Signed.Header.Round

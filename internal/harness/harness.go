@@ -128,6 +128,12 @@ type Result struct {
 	// across correct nodes by the end of the run (convictions usually land
 	// during warmup, so this is cumulative, not a window delta).
 	Convictions uint64
+	// EncPoolGets / EncPoolReuses are the encoder scratch-pool activity
+	// during the measured window (process-wide deltas of types.PoolStats):
+	// how many hot-path encodings ran through the pool and how many of
+	// those were served by a recycled buffer instead of an allocation.
+	EncPoolGets   uint64
+	EncPoolReuses uint64
 }
 
 // RunFLO executes one FLO cluster experiment.
@@ -228,13 +234,17 @@ func RunFLO(opts Options) Result {
 		msgBases[i] = net.MessagesSent(flcrypto.NodeID(i))
 		byteBases[i] = net.BytesSent(flcrypto.NodeID(i))
 	}
+	poolGets0, poolReuses0 := types.PoolStats()
 	start := time.Now()
 	time.Sleep(opts.Duration)
 	elapsed := time.Since(start).Seconds()
 	measuring.Store(false)
+	poolGets1, poolReuses1 := types.PoolStats()
 
 	var res Result
 	res.Latency = latency
+	res.EncPoolGets = poolGets1 - poolGets0
+	res.EncPoolReuses = poolReuses1 - poolReuses0
 	var txs, blocks, recoveries, sign, fast, fallback, msgs, bytes float64
 	for _, i := range correct {
 		now := snapshot(nodes[i], opts.Workers)

@@ -9,8 +9,73 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The zero value is ready. Hot-path instrumentation (pooled-buffer
+// reuse, coalesced flushes, group commits) uses these so the harness
+// experiments can report the mechanisms' activity alongside throughput.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// BatchStats aggregates batch sizes (coalesced transport flushes,
+// group-commit fsync batches): how many batches were formed, how many items
+// they carried in total, and the largest one observed. Mean batch size is
+// the headline number — it is what turns per-item costs (syscalls, fsyncs)
+// into per-batch costs.
+type BatchStats struct {
+	batches atomic.Uint64
+	items   atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe records one batch of n items. Zero-item batches are ignored.
+func (s *BatchStats) Observe(n int) {
+	if n <= 0 {
+		return
+	}
+	s.batches.Add(1)
+	s.items.Add(uint64(n))
+	for {
+		cur := s.max.Load()
+		if uint64(n) <= cur || s.max.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the totals observed so far.
+func (s *BatchStats) Snapshot() BatchSnapshot {
+	return BatchSnapshot{
+		Batches: s.batches.Load(),
+		Items:   s.items.Load(),
+		Max:     s.max.Load(),
+	}
+}
+
+// BatchSnapshot is a point-in-time view of a BatchStats.
+type BatchSnapshot struct {
+	Batches uint64 // batches formed
+	Items   uint64 // items across all batches
+	Max     uint64 // largest single batch
+}
+
+// Mean returns the average batch size (0 when no batches were observed).
+func (s BatchSnapshot) Mean() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Items) / float64(s.Batches)
+}
 
 // Histogram collects duration samples and answers percentile/CDF queries.
 // It keeps raw samples (bounded) rather than buckets: experiment runs are

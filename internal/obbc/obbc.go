@@ -305,11 +305,12 @@ func (s *Service) onWire(from flcrypto.NodeID, buf []byte) {
 		if s.cfg.Evidence != nil {
 			ev = s.cfg.Evidence(key)
 		}
-		e := types.NewEncoder(32 + len(ev))
+		e := types.GetEncoder(32 + len(ev))
 		e.Uint8(kindEvResp)
 		key.encode(e)
 		e.Bytes32(ev)
 		s.cfg.Mux.Send(s.cfg.Proto, from, e.Bytes())
+		e.Release()
 	case kindEvResp:
 		ev := append([]byte(nil), d.Bytes32()...)
 		if d.Finish() != nil {
@@ -341,7 +342,8 @@ func (s *Service) Propose(key Key, v byte, evidence []byte, pgd []byte) (byte, e
 	// periodically while waiting: receivers deduplicate by sender, and a
 	// peer whose recovery procedure discarded this instance's state (see
 	// DropFrom) re-learns the vote instead of waiting forever.
-	e := types.NewEncoder(64 + len(pgd))
+	e := types.GetEncoder(64 + len(pgd))
+	defer e.Release()
 	e.Uint8(kindVote)
 	key.encode(e)
 	e.Uint8(v)
@@ -407,12 +409,11 @@ func (s *Service) Propose(key Key, v byte, evidence []byte, pgd []byte) (byte, e
 	}
 
 	// OB12–OB13: request evidence, wait for n−f replies.
-	evReq := func() []byte {
-		e := types.NewEncoder(32)
-		e.Uint8(kindEvReq)
-		key.encode(e)
-		return e.Bytes()
-	}()
+	evEnc := types.GetEncoder(32)
+	defer evEnc.Release()
+	evEnc.Uint8(kindEvReq)
+	key.encode(evEnc)
+	evReq := evEnc.Bytes()
 	if err := s.cfg.Mux.Broadcast(s.cfg.Proto, evReq); err != nil {
 		return 0, err
 	}

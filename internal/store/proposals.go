@@ -77,7 +77,8 @@ func OpenProposals(path string, syncWrites bool) (*ProposalLog, []types.Block, e
 // requires syncWrites; without it the write still survives a process
 // crash (the page cache outlives the process), which is the common case.
 func (p *ProposalLog) Append(blk types.Block) error {
-	e := types.NewEncoder(256 + blk.Body.Size())
+	e := types.GetEncoder(256 + blk.Body.Size())
+	defer e.Release()
 	blk.Encode(e)
 	payload := e.Bytes()
 	header := frameHeader(payload)

@@ -19,8 +19,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/flcrypto"
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -87,14 +89,42 @@ func frameHeader(payload []byte) [12]byte {
 	return header
 }
 
+// encodeFrame renders blk's complete checksummed frame (header followed by
+// payload, contiguous) into a pooled encoder. Every append path — inline,
+// group commit, proposal log — frames blocks through here, so the layout
+// lives in one place and each frame costs one buffer and one write. The
+// caller must Release the encoder once the bytes are consumed.
+func encodeFrame(blk types.Block) *types.Encoder {
+	e := types.GetEncoder(12 + 256 + blk.Body.Size())
+	var reserve [12]byte
+	e.Raw(reserve[:])
+	blk.Encode(e)
+	buf := e.Bytes()
+	payload := buf[12:]
+	binary.BigEndian.PutUint32(buf[0:], frameMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(payload))
+	return e
+}
+
 // BlockLog is one worker's persistent chain.
+//
+// Lock order: mu (tip/base/pending state) may be taken before ioMu (file
+// handle I/O), never the other way around. The group committer takes them
+// separately — state under mu, the write+fsync under ioMu alone — so
+// appends keep enqueueing while an fsync is in flight, which is what forms
+// the commit batches.
 type BlockLog struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	base uint64 // round preceding the first frame (0 for a full log)
-	tip  uint64 // last persisted round
-	sync bool
+	mu     sync.Mutex
+	ioMu   sync.Mutex
+	f      *os.File
+	path   string
+	base   uint64 // round preceding the first frame (0 for a full log)
+	tip    uint64 // last persisted round
+	sync   bool
+	failed error // sticky group-commit I/O failure; appends refuse after it
+
+	gc *groupCommitter // non-nil in group-commit mode
 }
 
 // Options configures Open.
@@ -103,6 +133,19 @@ type Options struct {
 	// it the OS page cache owns durability, which is the usual trade for
 	// throughput-oriented deployments.
 	Sync bool
+	// GroupCommit, with Sync, batches appends into one buffered write and a
+	// single fsync per batch instead of one fsync per block: appends that
+	// land while a sync is in flight join the next batch, and waiters are
+	// acked once their batch is durable. Sequential blocking appenders see
+	// per-append durability unchanged; pipelined appenders (AppendAsync)
+	// amortize the fsync across the whole batch. Ignored without Sync.
+	GroupCommit bool
+	// GroupCommitWindow optionally delays each flush to let more appends
+	// join the batch. The default (0) adds no artificial latency — batches
+	// form naturally from appends arriving during the previous fsync.
+	GroupCommitWindow time.Duration
+	// GroupCommitMaxBatch caps the frames per fsync (default 256).
+	GroupCommitMaxBatch int
 	// Registry, when non-nil, verifies block signatures during replay so a
 	// tampered log is rejected rather than adopted.
 	Registry *flcrypto.Registry
@@ -173,6 +216,13 @@ func openAt(path string, opts Options, base uint64, baseHash flcrypto.Hash) (*Bl
 	if len(blocks) > 0 {
 		log.tip = blocks[len(blocks)-1].Signed.Header.Round
 	}
+	if opts.Sync && opts.GroupCommit {
+		maxBatch := opts.GroupCommitMaxBatch
+		if maxBatch <= 0 {
+			maxBatch = 256
+		}
+		log.gc = newGroupCommitter(log, opts.GroupCommitWindow, maxBatch)
+	}
 	return log, blocks, nil
 }
 
@@ -212,7 +262,7 @@ func replay(f *os.File, opts Options, base uint64, baseHash flcrypto.Hash) ([]ty
 			return scanStopExclude
 		}
 		blocks = append(blocks, blk)
-		prevHash = hdr.Hash()
+		prevHash = blk.Hash()
 		nextRound++
 		return scanContinue
 	})
@@ -225,32 +275,263 @@ func replay(f *os.File, opts Options, base uint64, baseHash flcrypto.Hash) ([]ty
 // ErrOutOfOrder reports an append that does not extend the persisted tip.
 var ErrOutOfOrder = errors.New("store: append out of order")
 
-// Append persists one definite block. Blocks must arrive in round order
-// with no gaps (the core emits definite decisions exactly that way).
+// Append persists one definite block and returns once it is as durable as
+// the log's mode promises (page cache without Sync; on stable storage with
+// it — in group-commit mode the return may share its fsync with neighboring
+// appends). Blocks must arrive in round order with no gaps (the core emits
+// definite decisions exactly that way).
 func (l *BlockLog) Append(blk types.Block) error {
+	wait, err := l.AppendAsync(blk)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// AppendAsync enqueues one definite block for persistence and returns a
+// wait function that blocks until the block is durable (per the log's
+// mode) and reports the outcome. Ordering violations and sticky failures
+// are reported immediately through err. Without group commit the write
+// happens inline and wait is trivial; with it, a single sequential caller
+// can pipeline appends — enqueueing round r+1 while round r's batch is
+// fsyncing is exactly what forms the commit batches.
+func (l *BlockLog) AppendAsync(blk types.Block) (wait func() error, err error) {
 	hdr := blk.Signed.Header
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return nil, err
+	}
 	if hdr.Round != l.tip+1 {
-		return fmt.Errorf("%w: round %d after tip %d", ErrOutOfOrder, hdr.Round, l.tip)
+		tip := l.tip
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: round %d after tip %d", ErrOutOfOrder, hdr.Round, tip)
 	}
-	e := types.NewEncoder(256 + blk.Body.Size())
-	blk.Encode(e)
-	payload := e.Bytes()
-	header := frameHeader(payload)
-	if _, err := l.f.Write(header[:]); err != nil {
-		return fmt.Errorf("store: write: %w", err)
+	if l.gc != nil {
+		// Backpressure: past 2×maxBatch pending frames, wait for the oldest
+		// in-flight batch before enqueueing — an unbounded pipeline would
+		// otherwise buffer arbitrarily much undurable data in memory.
+		for l.gc.pendingFramesLocked() >= 2*l.gc.maxBatch {
+			ch := l.gc.oldestDoneLocked()
+			l.mu.Unlock()
+			l.gc.kick()
+			<-ch
+			l.mu.Lock()
+			if l.failed != nil {
+				err := l.failed
+				l.mu.Unlock()
+				return nil, err
+			}
+		}
+		b := l.gc.enqueueLocked(blk)
+		l.tip = hdr.Round
+		l.mu.Unlock()
+		l.gc.kick()
+		return func() error {
+			<-b.done
+			return b.err
+		}, nil
 	}
-	if _, err := l.f.Write(payload); err != nil {
-		return fmt.Errorf("store: write: %w", err)
+	defer l.mu.Unlock()
+	e := encodeFrame(blk)
+	defer e.Release()
+	if _, err := l.f.Write(e.Bytes()); err != nil {
+		return nil, fmt.Errorf("store: write: %w", err)
 	}
 	if l.sync {
 		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("store: fsync: %w", err)
+			return nil, fmt.Errorf("store: fsync: %w", err)
 		}
 	}
 	l.tip = hdr.Round
-	return nil
+	return func() error { return nil }, nil
+}
+
+// GroupCommitStats reports the group-commit batches fsynced so far (zero
+// snapshot when group commit is off).
+func (l *BlockLog) GroupCommitStats() metrics.BatchSnapshot {
+	if l.gc == nil {
+		return metrics.BatchSnapshot{}
+	}
+	return l.gc.stats.Snapshot()
+}
+
+// gcBatch is one group-commit unit: the concatenated frames of the appends
+// that joined it, acked together after one write + one fsync.
+type gcBatch struct {
+	buf   []byte
+	count int
+	done  chan struct{}
+	err   error
+}
+
+// groupCommitter owns the background flush loop of a group-commit log.
+type groupCommitter struct {
+	l        *BlockLog
+	window   time.Duration
+	maxBatch int
+	stats    metrics.BatchStats
+
+	// cur and sealed are guarded by l.mu (appends already hold it).
+	cur    *gcBatch
+	sealed []*gcBatch
+
+	// flushMu serializes whole flush passes (batch grab through fsync and
+	// ack). flush() is called from the committer goroutine and directly
+	// from Checkpoint/Close; without this, two passes could each grab
+	// batches under l.mu and then race for the file, writing rounds out of
+	// order — replay would reject the log as non-chaining. Lock order:
+	// flushMu → l.mu (released) → ioMu.
+	flushMu sync.Mutex
+
+	kickCh   chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func newGroupCommitter(l *BlockLog, window time.Duration, maxBatch int) *groupCommitter {
+	gc := &groupCommitter{
+		l:        l,
+		window:   window,
+		maxBatch: maxBatch,
+		kickCh:   make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go gc.run()
+	return gc
+}
+
+// pendingFramesLocked counts frames awaiting fsync. Callers hold l.mu.
+func (gc *groupCommitter) pendingFramesLocked() int {
+	n := 0
+	for _, b := range gc.sealed {
+		n += b.count
+	}
+	if gc.cur != nil {
+		n += gc.cur.count
+	}
+	return n
+}
+
+// oldestDoneLocked returns the done channel of the oldest pending batch
+// (the first to be acked). Callers hold l.mu and have checked that pending
+// frames exist.
+func (gc *groupCommitter) oldestDoneLocked() <-chan struct{} {
+	if len(gc.sealed) > 0 {
+		return gc.sealed[0].done
+	}
+	return gc.cur.done
+}
+
+// enqueueLocked appends blk's frame to the open batch. Callers hold l.mu.
+func (gc *groupCommitter) enqueueLocked(blk types.Block) *gcBatch {
+	if gc.cur == nil {
+		gc.cur = &gcBatch{done: make(chan struct{})}
+	}
+	b := gc.cur
+	e := encodeFrame(blk)
+	b.buf = append(b.buf, e.Bytes()...)
+	e.Release()
+	b.count++
+	if b.count >= gc.maxBatch {
+		gc.sealed = append(gc.sealed, b)
+		gc.cur = nil
+	}
+	return b
+}
+
+// kick nudges the flush loop (non-blocking; one pending nudge suffices —
+// the loop drains everything it finds).
+func (gc *groupCommitter) kick() {
+	select {
+	case gc.kickCh <- struct{}{}:
+	default:
+	}
+}
+
+func (gc *groupCommitter) run() {
+	defer close(gc.done)
+	for {
+		select {
+		case <-gc.stop:
+			gc.flush()
+			return
+		case <-gc.kickCh:
+		}
+		if gc.window > 0 {
+			t := time.NewTimer(gc.window)
+			select {
+			case <-gc.stop:
+				t.Stop()
+				gc.flush()
+				return
+			case <-t.C:
+			}
+		}
+		gc.flush()
+	}
+}
+
+// flush drains every sealed and open batch, writes them with one buffered
+// write each and a single fsync for the whole drain, then acks the waiters.
+// It loops until no pending batch remains, so appends that arrive during an
+// fsync are picked up immediately — that in-flight window is where batches
+// come from. Checkpoint and Close also call it directly to drain the log
+// before operating on the file; concurrent calls are safe (state is taken
+// under l.mu, I/O runs under ioMu).
+func (gc *groupCommitter) flush() {
+	gc.flushMu.Lock()
+	defer gc.flushMu.Unlock()
+	l := gc.l
+	for {
+		l.mu.Lock()
+		batches := gc.sealed
+		gc.sealed = nil
+		if gc.cur != nil {
+			batches = append(batches, gc.cur)
+			gc.cur = nil
+		}
+		l.mu.Unlock()
+		if len(batches) == 0 {
+			return
+		}
+		var err error
+		frames := 0
+		l.ioMu.Lock()
+		for _, b := range batches {
+			frames += b.count
+			if err == nil {
+				_, err = l.f.Write(b.buf)
+			}
+		}
+		if err == nil {
+			err = l.f.Sync()
+		}
+		l.ioMu.Unlock()
+		if err != nil {
+			err = fmt.Errorf("store: group commit: %w", err)
+			l.mu.Lock()
+			if l.failed == nil {
+				l.failed = err
+			}
+			l.mu.Unlock()
+		} else {
+			gc.stats.Observe(frames)
+		}
+		for _, b := range batches {
+			b.err = err
+			close(b.done)
+		}
+	}
+}
+
+// stopAndFlush terminates the flush loop after a final drain.
+func (gc *groupCommitter) stopAndFlush() {
+	gc.stopOnce.Do(func() { close(gc.stop) })
+	<-gc.done
 }
 
 // Tip returns the last persisted round.
@@ -280,8 +561,18 @@ func (l *BlockLog) Base() uint64 {
 // snapshot plus an uncompacted log, which replay handles by skimming the
 // pre-anchor frames. A no-op (anchor would not advance) returns nil.
 func (l *BlockLog) Checkpoint(snapPath string, instance uint32, stateRound uint64, state []byte, retain uint64) error {
+	if l.gc != nil {
+		// Drain pending group-commit batches so the scan below sees every
+		// appended frame in the file.
+		l.gc.flush()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
 	if l.tip <= retain {
 		return nil
 	}
@@ -307,7 +598,7 @@ func (l *BlockLog) Checkpoint(snapPath string, instance uint32, stateRound uint6
 			return scanStopExclude
 		}
 		if blk.Signed.Header.Round == newBase {
-			baseHash = blk.Signed.Header.Hash()
+			baseHash = blk.Hash()
 			found = true
 			return scanStopInclude
 		}
@@ -369,10 +660,16 @@ func (l *BlockLog) Checkpoint(snapPath string, instance uint32, stateRound uint6
 	return nil
 }
 
-// Close flushes and closes the log.
+// Close drains any pending group-commit batches, flushes, and closes the
+// log. Callers must have stopped appending.
 func (l *BlockLog) Close() error {
+	if l.gc != nil {
+		l.gc.stopAndFlush()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
 	if err := l.f.Sync(); err != nil {
 		l.f.Close()
 		return err

@@ -267,6 +267,9 @@ func (e *chanEndpoint) deliverHead(to flcrypto.NodeID, lq *linkQueue) {
 	e.net.endpoint(to).mbox.put(msg)
 }
 
+// Broadcast shares one payload slice across all n deliveries — no per-peer
+// copy. Senders hand ownership of the slice to the transport and must not
+// mutate it afterwards; receivers treat inbound payloads as read-only.
 func (e *chanEndpoint) Broadcast(payload []byte) error {
 	if e.closed.Load() {
 		return ErrClosed

@@ -96,16 +96,30 @@ func TestSignedHeaderVerify(t *testing.T) {
 		t.Fatal("valid signed header rejected")
 	}
 	// Claiming a different proposer must fail: impersonation is impossible.
-	forged := signed
+	// The forgeries are built as fresh values (not mutated copies): a
+	// signed/decoded value is frozen — its canonical encoding is memoized —
+	// so this is how a tampered header actually reaches a verifier (the
+	// receiver decodes the attacker's re-encoded bytes fresh).
+	forged := SignedHeader{Header: signed.Header, Sig: signed.Sig}
 	forged.Header.Proposer = 1
 	if forged.Verify(ks.Registry) {
 		t.Fatal("forged proposer accepted")
 	}
 	// Mutating content must fail.
-	tampered := signed
+	tampered := SignedHeader{Header: signed.Header, Sig: signed.Sig}
 	tampered.Header.Round = 9
 	if tampered.Verify(ks.Registry) {
 		t.Fatal("tampered header accepted")
+	}
+	// Wire-level tampering must fail: whatever bytes arrive are what the
+	// decoder memoizes and the verifier checks.
+	e := NewEncoder(0)
+	signed.Encode(e)
+	wire := append([]byte(nil), e.Bytes()...)
+	wire[10] ^= 1 // flip a bit inside the round field
+	got := DecodeSignedHeader(NewDecoder(wire))
+	if got.Verify(ks.Registry) {
+		t.Fatal("wire-tampered header accepted")
 	}
 }
 

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/flcrypto"
+	"repro/internal/metrics"
 )
 
 // ErrTruncated reports a decode that ran off the end of the buffer.
@@ -34,8 +36,58 @@ type Encoder struct {
 // NewEncoder returns an encoder with capacity hint n.
 func NewEncoder(n int) *Encoder { return &Encoder{buf: make([]byte, 0, n)} }
 
-// Bytes returns the encoded buffer. The encoder must not be reused after.
+// encPool recycles Encoder scratch buffers across the hot paths: every
+// protocol round encodes a dozen-plus small control messages plus the block
+// frames, and without pooling each of them is a fresh allocation. Buffers
+// above maxPooledCap are dropped on Release so one giant block does not pin
+// memory forever.
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+const maxPooledCap = 1 << 20
+
+// Pool instrumentation: gets, and how many of those were served by a
+// recycled buffer large enough for the request (the reuse the pool exists
+// for).
+var poolGets, poolReuses metrics.Counter
+
+// GetEncoder returns a pooled encoder with at least n bytes of capacity.
+// The caller must Release it when the encoded bytes have been fully
+// consumed — and must not let Bytes() escape past Release: the buffer is
+// recycled. Sends through a transport.Mux are safe (the mux copies the
+// payload into its wire envelope before queueing); retained values
+// (memoized encodings, mailbox payloads) are not.
+func GetEncoder(n int) *Encoder {
+	e := encPool.Get().(*Encoder)
+	poolGets.Add(1)
+	if cap(e.buf) < n {
+		e.buf = make([]byte, 0, n)
+	} else {
+		poolReuses.Add(1)
+		e.buf = e.buf[:0]
+	}
+	return e
+}
+
+// Release recycles e's buffer. The encoder and any slice obtained from
+// Bytes() must not be used afterwards.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledCap {
+		e.buf = nil
+	}
+	encPool.Put(e)
+}
+
+// PoolStats reports the encoder pool's activity: total GetEncoder calls and
+// how many were satisfied by a recycled buffer.
+func PoolStats() (gets, reuses uint64) { return poolGets.Load(), poolReuses.Load() }
+
+// Bytes returns the encoded buffer. The encoder must not be reused after
+// (except through the Get/Release pool cycle).
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Raw appends pre-encoded bytes verbatim — the fast path for memoized
+// canonical encodings.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
 
 // Uint8 appends a single byte.
 func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }

@@ -1,0 +1,174 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/flcrypto"
+)
+
+func hotpathBlock(t *testing.T, txs int) Block {
+	t.Helper()
+	priv, err := flcrypto.GenerateKey(flcrypto.Ed25519, flcrypto.NewDeterministicReader("hotpath-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Transaction, txs)
+	for i := range batch {
+		batch[i] = Transaction{Client: uint64(i), Seq: uint64(i) * 7, Payload: []byte{byte(i), 1, 2, 3}}
+	}
+	blk, err := NewBlock(3, 9, 1, flcrypto.Hash{31: 1}, batch, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blk
+}
+
+// TestRoundTripByteIdentity is the guard on the memoized-encoding fast
+// path: decode→re-encode must reproduce the original wire bytes exactly,
+// for Block, SignedHeader, and Body, and both the memoized re-encode and a
+// fresh field-wise re-encode of the decoded value must agree. If this ever
+// breaks, a decoded block persisted to the store or served to a range-sync
+// peer would differ from what was signed.
+func TestRoundTripByteIdentity(t *testing.T) {
+	for _, txs := range []int{0, 1, 17} {
+		blk := hotpathBlock(t, txs)
+
+		// Block.
+		e := NewEncoder(0)
+		blk.Encode(e)
+		wire := append([]byte(nil), e.Bytes()...)
+		d := NewDecoder(wire)
+		got := DecodeBlock(d)
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		re := NewEncoder(0)
+		got.Encode(re)
+		if !bytes.Equal(re.Bytes(), wire) {
+			t.Fatalf("txs=%d: block decode->re-encode differs from wire", txs)
+		}
+		// Field-wise re-encode (memo bypassed via fresh values) must agree
+		// with the memoized fast path.
+		fresh := Block{
+			Signed: SignedHeader{Header: got.Signed.Header, Sig: got.Signed.Sig},
+			Body:   Body{Txs: got.Body.Txs},
+		}
+		fe := NewEncoder(0)
+		fresh.Encode(fe)
+		if !bytes.Equal(fe.Bytes(), wire) {
+			t.Fatalf("txs=%d: field-wise re-encode differs from memoized wire bytes", txs)
+		}
+
+		// SignedHeader alone.
+		se := NewEncoder(0)
+		blk.Signed.Encode(se)
+		sWire := append([]byte(nil), se.Bytes()...)
+		sd := NewDecoder(sWire)
+		sGot := DecodeSignedHeader(sd)
+		if err := sd.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		sre := NewEncoder(0)
+		sGot.Encode(sre)
+		if !bytes.Equal(sre.Bytes(), sWire) {
+			t.Fatalf("txs=%d: signed header round trip differs", txs)
+		}
+		if !bytes.Equal(sGot.HeaderBytes(), blk.Signed.HeaderBytes()) {
+			t.Fatalf("txs=%d: canonical header bytes differ across decode", txs)
+		}
+		if sGot.HeaderHash() != blk.Signed.HeaderHash() || sGot.HeaderHash() != sGot.Header.Hash() {
+			t.Fatalf("txs=%d: memoized header hash disagrees with fresh hash", txs)
+		}
+
+		// Body alone.
+		be := NewEncoder(0)
+		blk.Body.Encode(be)
+		bWire := append([]byte(nil), be.Bytes()...)
+		bd := NewDecoder(bWire)
+		bGot := DecodeBody(bd)
+		if err := bd.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bGot.Marshal(), bWire) {
+			t.Fatalf("txs=%d: body marshal differs from wire", txs)
+		}
+		if bGot.Hash() != blk.Body.Hash() {
+			t.Fatalf("txs=%d: body hash differs across decode", txs)
+		}
+	}
+}
+
+// TestImmutabilityContract documents the encode-once contract: once a value
+// has been signed, decoded, or hashed, its canonical encoding and digest
+// are frozen — mutating the fields afterwards does NOT update them. Code
+// that needs a variant must build a fresh value (as proposeEquivocating
+// does). This test pins the contract so a future change to the memoization
+// is made deliberately.
+func TestImmutabilityContract(t *testing.T) {
+	blk := hotpathBlock(t, 3)
+
+	// Hash the body, then mutate a transaction in place: the memoized hash
+	// must remain the pre-mutation one (stale by design).
+	before := blk.Body.Hash()
+	blk.Body.Txs[0].Seq = 999999
+	if blk.Body.Hash() != before {
+		t.Fatal("body hash tracked a post-hash mutation; the memo should be frozen")
+	}
+	// A fresh value over the same (mutated) transactions re-computes.
+	fresh := Body{Txs: blk.Body.Txs}
+	if fresh.Hash() == before {
+		t.Fatal("fresh body value did not re-hash the mutated transactions")
+	}
+
+	// Same for the signed header: the canonical bytes are the signed ones.
+	sh := blk.Signed
+	hdrBytes := append([]byte(nil), sh.HeaderBytes()...)
+	sh.Header.Round = 77777
+	if !bytes.Equal(sh.HeaderBytes(), hdrBytes) {
+		t.Fatal("header bytes tracked a post-sign mutation; the memo should be frozen")
+	}
+	freshSH := SignedHeader{Header: sh.Header, Sig: sh.Sig}
+	if bytes.Equal(freshSH.HeaderBytes(), hdrBytes) {
+		t.Fatal("fresh signed header did not re-encode the mutated header")
+	}
+}
+
+// TestEmptyBodyHash pins the precomputed empty-body sentinel to the real
+// encoding's digest.
+func TestEmptyBodyHash(t *testing.T) {
+	empty := Body{}
+	e := NewEncoder(4)
+	empty.encodeInto(e)
+	if want := flcrypto.Sum256(e.Bytes()); EmptyBodyHash() != want {
+		t.Fatalf("EmptyBodyHash %x, want %x", EmptyBodyHash(), want)
+	}
+	if empty.Hash() != EmptyBodyHash() {
+		t.Fatal("Body{}.Hash does not use the sentinel value")
+	}
+	withTx := Body{Txs: []Transaction{{Client: 1}}}
+	if withTx.Hash() == EmptyBodyHash() {
+		t.Fatal("non-empty body collides with the empty sentinel")
+	}
+}
+
+// TestEncoderPoolReuse checks the pooled-scratch cycle recycles buffers and
+// counts its activity.
+func TestEncoderPoolReuse(t *testing.T) {
+	gets0, _ := PoolStats()
+	for i := 0; i < 64; i++ {
+		e := GetEncoder(128)
+		e.Uint64(uint64(i))
+		if len(e.Bytes()) != 8 {
+			t.Fatal("pooled encoder did not reset")
+		}
+		e.Release()
+	}
+	gets1, reuses1 := PoolStats()
+	if gets1-gets0 < 64 {
+		t.Fatalf("pool gets %d, want >= 64", gets1-gets0)
+	}
+	if reuses1 == 0 {
+		t.Fatal("no pooled buffer was ever reused")
+	}
+}

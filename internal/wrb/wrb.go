@@ -271,7 +271,7 @@ func (s *Service) OnPgd(from flcrypto.NodeID, _ Key, pgd []byte) {
 // stash — inline on the caller.
 func (s *Service) stashVerified(hdr types.SignedHeader) {
 	gen := s.dropGen.Load()
-	s.cfg.VerifyPool.VerifyAsyncNode(s.cfg.Registry, hdr.Header.Proposer, hdr.Header.Marshal(), hdr.Sig, func(ok bool) {
+	s.cfg.VerifyPool.VerifyAsyncNode(s.cfg.Registry, hdr.Header.Proposer, hdr.HeaderBytes(), hdr.Sig, func(ok bool) {
 		if ok {
 			s.stashAt(hdr, &gen)
 		}
@@ -326,7 +326,7 @@ func (s *Service) stashAt(hdr types.SignedHeader, gen *uint64) {
 		// First one wins for delivery purposes (chain validation catches a
 		// bad winner), but a *different* second header is an equivocation
 		// proof worth reporting.
-		if onEq != nil && prev.Header.Hash() != hdr.Header.Hash() {
+		if onEq != nil && prev.HeaderHash() != hdr.HeaderHash() {
 			onEq(prev, hdr)
 		}
 		return
@@ -397,11 +397,12 @@ func (s *Service) onWire(from flcrypto.NodeID, buf []byte) {
 		if ev == nil {
 			return
 		}
-		e := types.NewEncoder(64 + len(ev))
+		e := types.GetEncoder(64 + len(ev))
 		e.Uint8(kindRespMsg)
 		keyEncode(e, key)
 		e.Bytes32(ev)
 		s.cfg.Mux.Send(s.cfg.Proto, from, e.Bytes())
+		e.Release()
 	case kindRespMsg:
 		key := Key{Instance: d.Uint32(), Round: d.Uint64(), Proposer: flcrypto.NodeID(d.Int64())}
 		ev := append([]byte(nil), d.Bytes32()...)
@@ -424,20 +425,24 @@ func keyEncode(e *types.Encoder, key Key) {
 // Broadcast is WRB-broadcast(m): push the signed header to everyone
 // (Algorithm 1 line 3). The header must already be signed by this node.
 func (s *Service) Broadcast(hdr types.SignedHeader) error {
-	e := types.NewEncoder(160)
+	e := types.GetEncoder(160)
 	e.Uint8(kindPush)
 	hdr.Encode(e)
-	return s.cfg.Mux.Broadcast(s.cfg.Proto, e.Bytes())
+	err := s.cfg.Mux.Broadcast(s.cfg.Proto, e.Bytes())
+	e.Release()
+	return err
 }
 
 // PushTo sends a push to a single node. Correct nodes have no use for it —
 // it exists so the harness can realize the §7.4.2 Byzantine proposer that
 // distributes different block versions to different parts of the cluster.
 func (s *Service) PushTo(to flcrypto.NodeID, hdr types.SignedHeader) error {
-	e := types.NewEncoder(160)
+	e := types.GetEncoder(160)
 	e.Uint8(kindPush)
 	hdr.Encode(e)
-	return s.cfg.Mux.Send(s.cfg.Proto, to, e.Bytes())
+	err := s.cfg.Mux.Send(s.cfg.Proto, to, e.Bytes())
+	e.Release()
+	return err
 }
 
 // timer returns the instance's adaptive timer state.
@@ -599,7 +604,8 @@ func (s *Service) awaitHeader(key Key, accept func(types.SignedHeader) bool, dea
 // pull broadcasts requests for key's header until one arrives (line 23's
 // wait; re-broadcast makes it robust to a responder crashing mid-answer).
 func (s *Service) pull(key Key, accept func(types.SignedHeader) bool, abort <-chan struct{}) (*types.SignedHeader, error) {
-	req := types.NewEncoder(32)
+	req := types.GetEncoder(32)
+	defer req.Release()
 	req.Uint8(kindReqMsg)
 	keyEncode(req, key)
 	interval := 20 * time.Millisecond
