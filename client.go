@@ -2,86 +2,92 @@ package fireledger
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
-	"repro/internal/evidence"
+	"repro/internal/clientapi"
 	"repro/internal/types"
 )
 
-// Client is the application-facing submission handle of a FLO node: it
-// assigns client-local sequence numbers, routes writes through the node's
-// least-loaded worker (§6.2), and resolves each write when the transaction
-// appears in a definite block of the merged, globally-ordered stream — i.e.,
-// when the write is final under BBFC(f+1), not merely tentative.
+// Client is the in-process Session implementation: it attaches directly to
+// a *Node in the same process, assigns client-local sequence numbers, routes
+// writes through the node's least-loaded worker (§6.2), and resolves each
+// write with its commit receipt when the transaction appears in a definite
+// block of the merged, globally-ordered stream — i.e., when the write is
+// final under BBFC(f+1), not merely tentative.
 //
-// A Client tracks only its own transactions; many Clients (with distinct
-// IDs) may share a node. Wait-style methods respect context cancellation.
+// A Client tracks only its own transactions; many sessions (with distinct
+// ids) may share a node. Wait-style methods respect context cancellation.
 type Client struct {
-	node *Node
-	id   uint64
+	node      *Node
+	id        uint64
+	cancelSub func()
 
 	mu      sync.Mutex
 	seq     uint64
-	pending map[uint64]chan struct{} // seq → closed on commit
+	pending map[uint64]*inflight // seq → resolution
+	closed  bool
 }
 
-// NewClient attaches a client with the given identity to a node. The
-// identity must be unique among the node's clients and must not be the
-// reserved system identity used for conviction transactions. Create clients
-// before calling Node.Start, or accept that earlier deliveries are not
-// observed.
+// inflight pairs a Pending with its resolver.
+type inflight struct {
+	p       *Pending
+	resolve func(Receipt, error)
+}
+
+// NewClient attaches a session with the given identity to a node. The
+// identity is claimed exclusively — a second session (in-process or remote)
+// with the same id is refused until this one closes — and must not be the
+// reserved system identity used for conviction transactions.
 func NewClient(node *Node, clientID uint64) (*Client, error) {
-	if clientID == evidence.SystemClient {
-		return nil, fmt.Errorf("fireledger: client id %#x is reserved for conviction transactions", clientID)
+	if err := node.RegisterClient(clientID); err != nil {
+		return nil, fmt.Errorf("fireledger: %w", err)
 	}
-	c := &Client{node: node, id: clientID, pending: make(map[uint64]chan struct{})}
-	node.SubscribeDeliver(func(_ uint32, blk types.Block) {
-		for i := range blk.Body.Txs {
-			tx := &blk.Body.Txs[i]
-			if tx.Client != c.id {
-				continue
-			}
-			c.mu.Lock()
-			if ch, ok := c.pending[tx.Seq]; ok {
-				close(ch)
-				delete(c.pending, tx.Seq)
-			}
-			c.mu.Unlock()
-		}
-	})
+	// The sequence base is clock-seeded so two sessions of the same client
+	// identity (a Close/NewClient cycle with writes still in flight) can
+	// never mint the same (client, seq) transaction identity.
+	c := &Client{node: node, id: clientID, seq: uint64(time.Now().UnixNano()), pending: make(map[uint64]*inflight)}
+	c.cancelSub = node.SubscribeDeliver(c.onDeliver)
 	return c, nil
 }
 
-// Pending is an in-flight write: it resolves when the transaction reaches a
-// definite block in the merged order.
-type Pending struct {
-	// Tx is the submitted transaction (with the assigned Seq).
-	Tx Transaction
-	ch <-chan struct{}
-}
-
-// Done returns a channel closed when the write is final.
-func (p *Pending) Done() <-chan struct{} { return p.ch }
-
-// Wait blocks until the write is final or ctx ends.
-func (p *Pending) Wait(ctx context.Context) error {
-	select {
-	case <-p.ch:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("fireledger: waiting for tx (client %d, seq %d): %w", p.Tx.Client, p.Tx.Seq, ctx.Err())
+// onDeliver resolves this session's writes out of the merged definite
+// stream. It runs on the node's delivery path and must not block.
+func (c *Client) onDeliver(w uint32, blk types.Block) {
+	var receipt Receipt // lazily built: most blocks carry none of our txs
+	for i := range blk.Body.Txs {
+		tx := &blk.Body.Txs[i]
+		if tx.Client != c.id {
+			continue
+		}
+		c.mu.Lock()
+		e := c.pending[tx.Seq]
+		delete(c.pending, tx.Seq)
+		c.mu.Unlock()
+		if e == nil {
+			continue
+		}
+		if receipt.Round == 0 {
+			receipt = Receipt{Worker: w, Round: blk.Signed.Header.Round, BlockHash: blk.Hash()}
+		}
+		e.resolve(receipt, nil)
 	}
 }
 
-// Submit sends payload as this client's next transaction and returns its
-// Pending handle.
+// Submit sends payload as this session's next transaction and returns its
+// Pending handle, acked immediately (in-process acceptance is synchronous).
 func (c *Client) Submit(payload []byte) (*Pending, error) {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("fireledger: session closed")
+	}
 	c.seq++
 	tx := Transaction{Client: c.id, Seq: c.seq, Payload: payload}
-	ch := make(chan struct{})
-	c.pending[tx.Seq] = ch
+	p, ack, resolve := clientapi.NewPending(tx)
+	c.pending[tx.Seq] = &inflight{p: p, resolve: resolve}
 	c.mu.Unlock()
 	if err := c.node.Submit(tx); err != nil {
 		c.mu.Lock()
@@ -89,19 +95,89 @@ func (c *Client) Submit(payload []byte) (*Pending, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	return &Pending{Tx: tx, ch: ch}, nil
+	ack()
+	return p, nil
 }
 
-// SubmitWait is Submit followed by Wait.
-func (c *Client) SubmitWait(ctx context.Context, payload []byte) error {
+// SubmitWait is Submit followed by Pending.Wait: it blocks until the write
+// is final and returns its commit receipt.
+func (c *Client) SubmitWait(ctx context.Context, payload []byte) (Receipt, error) {
 	p, err := c.Submit(payload)
 	if err != nil {
-		return err
+		return Receipt{}, err
 	}
 	return p.Wait(ctx)
 }
 
-// InFlight reports how many of this client's writes are not yet final.
+// Blocks streams the node's merged definite block sequence from cursor:
+// history replayed from the node's log (or in-memory chain), then the live
+// delivery tail, every block exactly once. Multiple concurrent streams per
+// in-process session are allowed.
+func (c *Client) Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("fireledger: session closed")
+	}
+	c.mu.Unlock()
+	ch := make(chan BlockEvent, 256)
+	go func() {
+		defer close(ch)
+		err := clientapi.Stream(ctx, c.node, cursor, func(w uint32, blk types.Block) error {
+			select {
+			case ch <- BlockEvent{Worker: w, Block: blk}:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			// The terminal error is a contract signal (ErrCompacted means
+			// the consumer has a gap); it must not be droppable by a full
+			// buffer. Blocking on ctx is safe: the consumer owns ctx and a
+			// consumer that stopped draining blocks the stream either way.
+			select {
+			case ch <- BlockEvent{Err: err}:
+			case <-ctx.Done():
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// Info reports the serving node's identity and delivery totals.
+func (c *Client) Info(context.Context) (Info, error) {
+	return Info{
+		Node:            int64(c.node.ID()),
+		N:               c.node.N(),
+		Workers:         c.node.Workers(),
+		DeliveredBlocks: c.node.DeliveredBlocks(),
+		DeliveredTxs:    c.node.DeliveredTxs(),
+	}, nil
+}
+
+// Close detaches the session and releases its client identity (the id may
+// be re-registered afterwards). Unresolved Pendings fail; Blocks streams
+// end via their contexts.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	pend := c.pending
+	c.pending = make(map[uint64]*inflight)
+	c.mu.Unlock()
+	c.cancelSub()
+	c.node.UnregisterClient(c.id)
+	for _, e := range pend {
+		e.resolve(Receipt{}, errors.New("fireledger: session closed"))
+	}
+	return nil
+}
+
+// InFlight reports how many of this session's writes are not yet final.
 func (c *Client) InFlight() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

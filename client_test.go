@@ -26,7 +26,7 @@ func clientCluster(t *testing.T, tweak func(i int, cfg *Config)) *Cluster {
 	return cluster
 }
 
-func TestClientSubmitWait(t *testing.T) {
+func TestClientSubmitWaitReceipt(t *testing.T) {
 	cluster := clientCluster(t, nil)
 	client, err := NewClient(cluster.Node(0), 42)
 	if err != nil {
@@ -35,8 +35,28 @@ func TestClientSubmitWait(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	for i := 0; i < 5; i++ {
-		if err := client.SubmitWait(ctx, []byte(fmt.Sprintf("write-%d", i))); err != nil {
+		receipt, err := client.SubmitWait(ctx, []byte(fmt.Sprintf("write-%d", i)))
+		if err != nil {
 			t.Fatalf("write %d: %v", i, err)
+		}
+		// The receipt must name a real definite block that contains the
+		// write and whose hash matches.
+		blk, ok := cluster.Node(0).Worker(int(receipt.Worker)).Chain().BlockAt(receipt.Round)
+		if !ok {
+			t.Fatalf("write %d: receipt names round %d, which the node does not hold", i, receipt.Round)
+		}
+		if blk.Hash() != receipt.BlockHash {
+			t.Fatalf("write %d: receipt hash mismatch at (w%d, r%d)", i, receipt.Worker, receipt.Round)
+		}
+		found := false
+		for _, tx := range blk.Body.Txs {
+			if tx.Client == 42 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("write %d: receipt block has no tx of client 42", i)
 		}
 	}
 	if n := client.InFlight(); n != 0 {
@@ -61,7 +81,7 @@ func TestClientConcurrentWriters(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 			defer cancel()
 			for i := 0; i < each; i++ {
-				if err := c.SubmitWait(ctx, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+				if _, err := c.SubmitWait(ctx, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
 					errs <- err
 					return
 				}
@@ -97,7 +117,7 @@ func TestClientSequencesAreDistinct(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	for i, p := range ps {
-		if err := p.Wait(ctx); err != nil {
+		if _, err := p.Wait(ctx); err != nil {
 			t.Fatalf("pending %d: %v", i, err)
 		}
 	}
@@ -108,6 +128,34 @@ func TestClientRejectsReservedID(t *testing.T) {
 	if _, err := NewClient(cluster.Node(0), 0xF1_7E_1E_D6_E5_00_00_01); err == nil {
 		t.Fatal("reserved system client id accepted")
 	}
+}
+
+// TestClientDuplicateIDRejected: a client identity is an exclusive claim on
+// its node — a second registration must fail (it would otherwise resolve
+// the first session's sequence numbers), and Close must release it.
+func TestClientDuplicateIDRejected(t *testing.T) {
+	cluster := clientCluster(t, nil)
+	c1, err := NewClient(cluster.Node(0), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(cluster.Node(0), 77); err == nil {
+		t.Fatal("duplicate client id accepted on the same node")
+	}
+	// The same id on a different node is a distinct claim.
+	other, err := NewClient(cluster.Node(1), 77)
+	if err != nil {
+		t.Fatalf("same id on another node refused: %v", err)
+	}
+	other.Close()
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewClient(cluster.Node(0), 77)
+	if err != nil {
+		t.Fatalf("id not released by Close: %v", err)
+	}
+	c3.Close()
 }
 
 func TestClientWaitHonorsContext(t *testing.T) {
@@ -126,10 +174,78 @@ func TestClientWaitHonorsContext(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
-	if err := client.SubmitWait(ctx, []byte("never")); err == nil {
+	if _, err := client.SubmitWait(ctx, []byte("never")); err == nil {
 		t.Fatal("wait returned success without quorum")
 	}
 	if client.InFlight() != 1 {
 		t.Fatalf("in-flight = %d, want 1 (uncommitted)", client.InFlight())
+	}
+}
+
+// TestClientBlocksStream: the in-process session's Blocks stream from the
+// genesis cursor reproduces the node's own merged delivery exactly.
+func TestClientBlocksStream(t *testing.T) {
+	type key struct {
+		worker uint32
+		round  uint64
+		hash   Hash
+	}
+	var mu sync.Mutex
+	var local []key
+	cluster := clientCluster(t, func(i int, cfg *Config) {
+		if i == 0 {
+			cfg.Workers = 2 // exercise merged-order cursor arithmetic
+			cfg.Deliver = func(w uint32, blk Block) {
+				mu.Lock()
+				local = append(local, key{w, blk.Signed.Header.Round, blk.Hash()})
+				mu.Unlock()
+			}
+		} else {
+			cfg.Workers = 2
+		}
+	})
+	client, err := NewClient(cluster.Node(0), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	events, err := client.Blocks(ctx, Cursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 20
+	var got []key
+	for len(got) < want {
+		select {
+		case ev, ok := <-events:
+			if !ok || ev.Err != nil {
+				t.Fatalf("stream ended after %d: %v", len(got), ev.Err)
+			}
+			got = append(got, key{ev.Worker, ev.Block.Signed.Header.Round, ev.Block.Hash()})
+		case <-ctx.Done():
+			t.Fatalf("timed out after %d blocks", len(got))
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := len(local)
+		mu.Unlock()
+		if n >= want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node delivered only %d blocks", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < want; i++ {
+		if got[i] != local[i] {
+			t.Fatalf("stream diverges at %d: session %+v, node %+v", i, got[i], local[i])
+		}
 	}
 }

@@ -15,23 +15,23 @@
 //	fireledger -id 3 -addrs ...
 //
 // With -saturate σ the node fills every block with random σ-byte
-// transactions (the paper's §7.2 load). With -client :port it also accepts
-// client transactions from cmd/flclient on that port.
+// transactions (the paper's §7.2 load). With -client :port it serves the
+// versioned client wire protocol of internal/clientapi on that port:
+// fireledger.Dial / cmd/flclient sessions submit transactions, receive
+// commit receipts, and stream the merged definite block sequence from a
+// cursor.
 package main
 
 import (
-	"encoding/binary"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	fireledger "repro"
+	"repro/internal/clientapi"
 	"repro/internal/flcrypto"
 	"repro/internal/transport"
 )
@@ -111,7 +111,12 @@ func main() {
 		*id, list[*id], len(list), *workers, *batch, *saturate)
 
 	if *clientAddr != "" {
-		go serveClients(*clientAddr, node)
+		srv := clientapi.NewServer(node, clientapi.ServerOptions{Logf: log.Printf})
+		if err := srv.Listen(*clientAddr); err != nil {
+			log.Fatalf("client API: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("serving client API v%d on %s", clientapi.Version, srv.Addr())
 	}
 
 	go func() {
@@ -129,45 +134,4 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Print("shutting down")
-}
-
-// serveClients accepts flclient connections: a stream of length-prefixed
-// transaction payloads, each submitted to the node's client manager.
-func serveClients(addr string, node *fireledger.Node) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		log.Printf("client listener: %v", err)
-		return
-	}
-	log.Printf("accepting client transactions on %s", addr)
-	var clientSeq uint64
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go func(conn net.Conn) {
-			defer conn.Close()
-			for {
-				var lenBuf [4]byte
-				if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
-					return
-				}
-				n := binary.BigEndian.Uint32(lenBuf[:])
-				if n > 16<<20 {
-					return
-				}
-				payload := make([]byte, n)
-				if _, err := io.ReadFull(conn, payload); err != nil {
-					return
-				}
-				clientSeq++
-				tx := fireledger.Transaction{Client: 1, Seq: clientSeq, Payload: payload}
-				if err := node.Submit(tx); err != nil {
-					fmt.Fprintln(os.Stderr, "submit:", err)
-					return
-				}
-			}
-		}(conn)
-	}
 }

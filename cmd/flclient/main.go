@@ -1,61 +1,286 @@
-// Command flclient submits random transactions to a running cmd/fireledger
-// node's client port (-client on the node) at a configurable rate, for
-// driving multi-process clusters by hand.
+// Command flclient drives a running cmd/fireledger node's client port over
+// the Session API (fireledger.Dial): concurrent sessions submit random
+// transactions at a configurable rate, every write waits for its commit
+// receipt, and the run reports sustained committed throughput plus
+// submit→commit latency percentiles (optionally as JSON, the format of
+// BENCH_clientapi.json).
 //
-//	flclient -node 127.0.0.1:9000 -size 512 -rate 1000 -duration 30s
+//	flclient -node 127.0.0.1:9000 -clients 4 -size 512 -rate 1000 -duration 30s
+//
+// With -selfhost the command instead boots its own 4-node loopback-TCP
+// cluster in-process and benches against it — the zero-setup round trip:
+//
+//	flclient -selfhost -clients 4 -size 256 -duration 10s -out BENCH_clientapi.json
+//
+// With -subscribe an extra session streams the merged definite block
+// sequence from cursor zero for the whole run and the block count is
+// reported alongside — exercising the SUBSCRIBE replay/live path under
+// submission load.
 package main
 
 import (
-	"encoding/binary"
+	"context"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	fireledger "repro"
+	"repro/internal/clientapi"
+	"repro/internal/flcrypto"
+	"repro/internal/metrics"
+	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		node     = flag.String("node", "127.0.0.1:9000", "node client address")
-		size     = flag.Int("size", 512, "transaction payload size (sigma)")
-		rate     = flag.Int("rate", 1000, "transactions per second (0 = as fast as possible)")
-		duration = flag.Duration("duration", 30*time.Second, "how long to run")
+		node      = flag.String("node", "127.0.0.1:9000", "node client-API address")
+		clients   = flag.Int("clients", 1, "concurrent sessions")
+		idBase    = flag.Uint64("id-base", 1000, "client id of the first session (ids are id-base..id-base+clients-1)")
+		size      = flag.Int("size", 512, "transaction payload size (sigma)")
+		rate      = flag.Int("rate", 1000, "total transactions per second across all sessions (0 = as fast as possible)")
+		inflight  = flag.Int("inflight", 256, "max unresolved writes per session (pipelining bound)")
+		duration  = flag.Duration("duration", 30*time.Second, "how long to submit")
+		subscribe = flag.Bool("subscribe", false, "also stream the merged definite blocks from cursor 0 during the run")
+		selfhost  = flag.Bool("selfhost", false, "boot an in-process 4-node loopback cluster and bench against it")
+		out       = flag.String("out", "", "write the result as JSON to this file")
 	)
 	flag.Parse()
 
-	conn, err := net.Dial("tcp", *node)
-	if err != nil {
-		log.Fatalf("dial %s: %v", *node, err)
+	addr := *node
+	if *selfhost {
+		var stop func()
+		addr, stop = startSelfhostCluster()
+		defer stop()
 	}
-	defer conn.Close()
 
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	payload := make([]byte, *size)
-	lenBuf := make([]byte, 4)
-	binary.BigEndian.PutUint32(lenBuf, uint32(*size))
+	hist := metrics.NewHistogram(1 << 20)
+	var submitted, committed, failed, streamed atomic.Uint64
 
-	var interval time.Duration
-	if *rate > 0 {
-		interval = time.Second / time.Duration(*rate)
-	}
-	deadline := time.Now().Add(*duration)
-	sent := 0
-	next := time.Now()
-	for time.Now().Before(deadline) {
-		rng.Read(payload)
-		if _, err := conn.Write(lenBuf); err != nil {
-			log.Fatalf("write: %v", err)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *subscribe {
+		sess, err := fireledger.Dial(addr, *idBase+uint64(*clients))
+		if err != nil {
+			log.Fatalf("dial subscriber: %v", err)
 		}
-		if _, err := conn.Write(payload); err != nil {
-			log.Fatalf("write: %v", err)
+		defer sess.Close()
+		events, err := sess.Blocks(ctx, fireledger.Cursor{})
+		if err != nil {
+			log.Fatalf("subscribe: %v", err)
 		}
-		sent++
-		if interval > 0 {
-			next = next.Add(interval)
-			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
+		go func() {
+			for ev := range events {
+				if ev.Err != nil {
+					log.Printf("stream ended: %v", ev.Err)
+					return
+				}
+				streamed.Add(1)
 			}
+		}()
+	}
+
+	benchStart := time.Now()
+	stopAt := benchStart.Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess, err := fireledger.Dial(addr, *idBase+uint64(i))
+			if err != nil {
+				log.Printf("session %d: dial: %v", i, err)
+				failed.Add(1)
+				return
+			}
+			defer sess.Close()
+			rng := rand.New(rand.NewSource(int64(i)*7919 + time.Now().UnixNano()))
+			var interval time.Duration
+			if *rate > 0 {
+				interval = time.Duration(*clients) * time.Second / time.Duration(*rate)
+			}
+			sem := make(chan struct{}, *inflight)
+			var pwg sync.WaitGroup
+			next := time.Now()
+			for time.Now().Before(stopAt) {
+				payload := make([]byte, *size)
+				rng.Read(payload)
+				sem <- struct{}{}
+				start := time.Now()
+				p, err := sess.Submit(payload)
+				if err != nil {
+					<-sem
+					log.Printf("session %d: submit: %v", i, err)
+					failed.Add(1)
+					break
+				}
+				submitted.Add(1)
+				pwg.Add(1)
+				go func() {
+					defer pwg.Done()
+					defer func() { <-sem }()
+					wctx, wcancel := context.WithTimeout(context.Background(), 60*time.Second)
+					defer wcancel()
+					if _, err := p.Wait(wctx); err != nil {
+						failed.Add(1)
+						return
+					}
+					committed.Add(1)
+					hist.Observe(time.Since(start))
+				}()
+				if interval > 0 {
+					next = next.Add(interval)
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				}
+			}
+			pwg.Wait()
+		}(i)
+	}
+	wg.Wait()
+	cancel()
+
+	// Measured wall time, not the nominal -duration: it includes dial time
+	// and the drain of writes still in flight at the deadline, so tps is
+	// committed work over the window the commits actually occupied.
+	elapsed := time.Since(benchStart).Seconds()
+	result := benchResult{
+		Protocol:     clientapi.Version,
+		Clients:      *clients,
+		Rate:         *rate,
+		TxSize:       *size,
+		DurationS:    elapsed,
+		Submitted:    submitted.Load(),
+		Committed:    committed.Load(),
+		Failed:       failed.Load(),
+		TPS:          float64(committed.Load()) / elapsed,
+		LatencyMsP50: ms(hist.Percentile(50)),
+		LatencyMsP90: ms(hist.Percentile(90)),
+		LatencyMsP99: ms(hist.Percentile(99)),
+		LatencyMsMax: ms(hist.Percentile(100)),
+	}
+	if *subscribe {
+		result.BlocksStreamed = streamed.Load()
+	}
+	log.Printf("committed %d/%d txs of %d bytes in %.1fs: %.0f tps, latency p50=%.1fms p90=%.1fms p99=%.1fms (failed %d, streamed %d blocks)",
+		result.Committed, result.Submitted, *size, elapsed, result.TPS,
+		result.LatencyMsP50, result.LatencyMsP90, result.LatencyMsP99, result.Failed, result.BlocksStreamed)
+	if *out != "" {
+		env := benchEnv{
+			Date:   time.Now().Format("2006-01-02"),
+			GOOS:   runtime.GOOS,
+			GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(),
+		}
+		doc := benchDoc{
+			Description: "flclient round trip over the clientapi wire protocol: concurrent remote sessions submit σ-byte writes and wait for commit receipts; latency is submit→COMMIT (write finality in the merged definite order), tps counts committed writes. With -selfhost the bench runs against a 4-node loopback-TCP cluster in one process.",
+			Environment: env,
+			Runs:        []benchResult{result},
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal result: %v", err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	if result.Committed == 0 {
+		log.Fatal("no write committed — the cluster never acked finality")
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+type benchDoc struct {
+	Description string        `json:"description"`
+	Environment benchEnv      `json:"environment"`
+	Runs        []benchResult `json:"runs"`
+}
+
+type benchEnv struct {
+	Date   string `json:"date"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	NumCPU int    `json:"num_cpu"`
+}
+
+type benchResult struct {
+	Protocol       uint32  `json:"protocol_version"`
+	Clients        int     `json:"clients"`
+	Rate           int     `json:"rate_limit_tps"`
+	TxSize         int     `json:"tx_size"`
+	DurationS      float64 `json:"duration_s"`
+	Submitted      uint64  `json:"submitted"`
+	Committed      uint64  `json:"committed"`
+	Failed         uint64  `json:"failed"`
+	TPS            float64 `json:"tps"`
+	LatencyMsP50   float64 `json:"latency_ms_p50"`
+	LatencyMsP90   float64 `json:"latency_ms_p90"`
+	LatencyMsP99   float64 `json:"latency_ms_p99"`
+	LatencyMsMax   float64 `json:"latency_ms_max"`
+	BlocksStreamed uint64  `json:"blocks_streamed,omitempty"`
+}
+
+// startSelfhostCluster boots a 4-node FLO cluster over loopback TCP inside
+// this process, serves the client API from node 0, and returns its address
+// plus a shutdown function — cmd/fireledger's deployment path without the
+// process orchestration, for zero-setup benching.
+func startSelfhostCluster() (addr string, stop func()) {
+	const n = 4
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("selfhost: reserve port: %v", err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	ks, err := flcrypto.GenerateKeySet(n, flcrypto.Ed25519, flcrypto.NewDeterministicReader("flclient-selfhost"))
+	if err != nil {
+		log.Fatalf("selfhost: keys: %v", err)
+	}
+	nodes := make([]*fireledger.Node, n)
+	for i := 0; i < n; i++ {
+		ep, err := transport.NewTCPEndpoint(transport.TCPConfig{ID: flcrypto.NodeID(i), Addrs: addrs})
+		if err != nil {
+			log.Fatalf("selfhost: endpoint %d: %v", i, err)
+		}
+		node, err := fireledger.NewNode(fireledger.Config{
+			Endpoint:     ep,
+			Registry:     ks.Registry,
+			Priv:         ks.Privs[i],
+			Workers:      1,
+			BatchSize:    100,
+			InitialTimer: 50 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatalf("selfhost: node %d: %v", i, err)
+		}
+		nodes[i] = node
+	}
+	srv := clientapi.NewServer(nodes[0], clientapi.ServerOptions{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatalf("selfhost: client API: %v", err)
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	fmt.Fprintf(os.Stderr, "selfhost: 4-node loopback cluster up, client API on %s\n", srv.Addr())
+	return srv.Addr(), func() {
+		srv.Close()
+		for _, node := range nodes {
+			node.Stop()
 		}
 	}
-	log.Printf("submitted %d transactions of %d bytes", sent, *size)
 }

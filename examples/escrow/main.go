@@ -167,10 +167,11 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	must := func(payload []byte, what string) {
-		if err := client.SubmitWait(ctx, payload); err != nil {
+		receipt, err := client.SubmitWait(ctx, payload)
+		if err != nil {
 			panic(fmt.Sprintf("%s: %v", what, err))
 		}
-		fmt.Printf("final: %s\n", what)
+		fmt.Printf("final at (worker %d, round %d): %s\n", receipt.Worker, receipt.Round, what)
 	}
 
 	const alice, bob, carol = 0xA11CE, 0xB0B, 0xCA401

@@ -1,11 +1,14 @@
-// Command kvstore builds a replicated key-value store on FireLedger: SET
-// operations are ordered by the blockchain and applied to every replica's
-// map in the definite order; reads are served locally from finalized state
-// only — the paper's FLO read path, where an answer is returned only once it
-// is definitely decided (§6.2).
+// Command kvstore builds a replicated key-value store on FireLedger's
+// Session API: SET operations are submitted through a session and ordered
+// by the blockchain; every replica materializes its map by consuming a
+// Blocks stream from cursor zero — the merged definite order, replayed from
+// history and then followed live, each block exactly once. Reads are served
+// locally from finalized state only — the paper's FLO read path, where an
+// answer is returned only once it is definitely decided (§6.2).
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -46,15 +49,16 @@ func (s *store) get(key string) (string, bool) {
 	return v, ok
 }
 
+func (s *store) opCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ops
+}
+
 func main() {
-	stores := make([]*store, 4)
-	for i := range stores {
-		stores[i] = newStore()
-	}
 	cluster, err := fireledger.NewLocalCluster(4, func(i int, cfg *fireledger.Config) {
 		cfg.Workers = 2 // two ordering workers, merged round-robin
 		cfg.BatchSize = 8
-		cfg.Deliver = func(_ uint32, blk fireledger.Block) { stores[i].apply(blk) }
 	})
 	if err != nil {
 		panic(err)
@@ -62,18 +66,47 @@ func main() {
 	cluster.Start()
 	defer cluster.Stop()
 
-	// Write 50 keys, with later writes overwriting earlier ones for the
-	// same key: total order makes the final value identical everywhere.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// One replica per node, each materializing its state from its own
+	// node's Blocks stream — the total order makes them identical.
+	stores := make([]*store, 4)
+	for i := range stores {
+		stores[i] = newStore()
+		session, err := fireledger.NewClient(cluster.Node(i), 100+uint64(i))
+		if err != nil {
+			panic(err)
+		}
+		defer session.Close()
+		events, err := session.Blocks(ctx, fireledger.Cursor{})
+		if err != nil {
+			panic(err)
+		}
+		go func(s *store, events <-chan fireledger.BlockEvent) {
+			for ev := range events {
+				if ev.Err != nil {
+					return
+				}
+				s.apply(ev.Block)
+			}
+		}(stores[i], events)
+	}
+
+	// Write 50 keys through one session, with later writes overwriting
+	// earlier ones for the same key: total order makes the final value
+	// identical everywhere. Waiting for each receipt keeps the overwrite
+	// order deterministic.
+	writer, err := fireledger.NewClient(cluster.Node(0), 1)
+	if err != nil {
+		panic(err)
+	}
+	defer writer.Close()
 	const writes = 50
 	for j := 0; j < writes; j++ {
 		key := fmt.Sprintf("user:%d", j%10)
 		value := fmt.Sprintf("v%d", j)
-		tx := fireledger.Transaction{
-			Client:  1,
-			Seq:     uint64(j + 1),
-			Payload: []byte(key + "=" + value),
-		}
-		if err := cluster.Node(j % 4).Submit(tx); err != nil {
+		if _, err := writer.SubmitWait(ctx, []byte(key+"="+value)); err != nil {
 			panic(err)
 		}
 	}
@@ -82,10 +115,7 @@ func main() {
 	for {
 		done := true
 		for _, s := range stores {
-			s.mu.RLock()
-			n := s.ops
-			s.mu.RUnlock()
-			if n < writes {
+			if s.opCount() < writes {
 				done = false
 				break
 			}

@@ -1,33 +1,22 @@
-// Command quickstart runs a 4-node in-process FireLedger cluster, submits a
-// handful of transactions through the FLO client manager, and prints each
-// block as it becomes definite — the smallest end-to-end tour of the public
-// API.
+// Command quickstart runs a 4-node in-process FireLedger cluster and walks
+// the Session API end to end: writes submitted through a session resolve
+// with commit receipts naming the definite block they landed in, and a
+// Blocks stream from cursor zero replays the same merged definite sequence
+// — the smallest tour of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	fireledger "repro"
 )
 
 func main() {
-	var mu sync.Mutex
-	delivered := 0
-
 	cluster, err := fireledger.NewLocalCluster(4, func(i int, cfg *fireledger.Config) {
 		cfg.Workers = 1
 		cfg.BatchSize = 4
-		if i == 0 {
-			cfg.Deliver = func(worker uint32, blk fireledger.Block) {
-				mu.Lock()
-				delivered++
-				mu.Unlock()
-				fmt.Printf("definite block: worker=%d round=%d proposer=%d txs=%d\n",
-					worker, blk.Signed.Header.Round, blk.Signed.Header.Proposer, len(blk.Body.Txs))
-			}
-		}
 	})
 	if err != nil {
 		panic(err)
@@ -35,30 +24,54 @@ func main() {
 	cluster.Start()
 	defer cluster.Stop()
 
-	// Submit 12 transactions round-robin across the nodes; the client
-	// manager routes each to the least-loaded worker (§6.2).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A session per node would work too; one suffices — the client manager
+	// routes each write to the node's least-loaded worker (§6.2).
+	session, err := fireledger.NewClient(cluster.Node(0), 7)
+	if err != nil {
+		panic(err)
+	}
+	defer session.Close()
+
+	// Submit 12 operations and wait for each commit receipt: the write is
+	// final (definite under BBFC(f+1)), and the receipt says where.
 	for j := 0; j < 12; j++ {
-		tx := fireledger.Transaction{
-			Client:  7,
-			Seq:     uint64(j + 1),
-			Payload: []byte(fmt.Sprintf("operation %d", j)),
-		}
-		if err := cluster.Node(j % 4).Submit(tx); err != nil {
+		receipt, err := session.SubmitWait(ctx, []byte(fmt.Sprintf("operation %d", j)))
+		if err != nil {
 			panic(err)
 		}
+		fmt.Printf("operation %d final in block (worker %d, round %d, hash %x…)\n",
+			j, receipt.Worker, receipt.Round, receipt.BlockHash[:4])
 	}
 
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if cluster.Node(0).Worker(0).Metrics().DefiniteTxs.Load() >= 12 {
+	// Independently replay the ledger from genesis: a Blocks stream with the
+	// zero cursor serves history first, then the live tail. Count our
+	// transactions back out of the definite blocks.
+	streamCtx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	events, err := session.Blocks(streamCtx, fireledger.Cursor{})
+	if err != nil {
+		panic(err)
+	}
+	seen := 0
+	for ev := range events {
+		if ev.Err != nil {
+			panic(ev.Err)
+		}
+		for _, tx := range ev.Block.Body.Txs {
+			if tx.Client == 7 {
+				seen++
+			}
+		}
+		if seen >= 12 {
+			stopStream()
 			break
 		}
-		if time.Now().After(deadline) {
-			panic("transactions were not finalized in time")
-		}
-		time.Sleep(20 * time.Millisecond)
 	}
-	fmt.Printf("all 12 transactions finalized; chain tip=%d definite=%d\n",
+	fmt.Printf("replayed all %d operations from the merged definite stream; chain tip=%d definite=%d\n",
+		seen,
 		cluster.Node(0).Worker(0).Chain().Tip(),
 		cluster.Node(0).Worker(0).Chain().Definite())
 }

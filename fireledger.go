@@ -12,16 +12,32 @@
 // detected through the chain's hash links and repaired by an
 // atomic-broadcast recovery procedure that all correct nodes run together.
 //
+// Applications talk to a node through the Session API — one interface with
+// an in-process implementation (NewClient) and a remote one (Dial, speaking
+// the versioned wire protocol of internal/clientapi). Every write resolves
+// with a commit receipt naming the definite block it landed in, and Blocks
+// streams the merged definite block sequence from a cursor, replaying
+// history before following the live tail.
+//
 // Quick start (in-process cluster):
 //
-//	cluster, _ := fireledger.NewLocalCluster(4, func(i int, cfg *fireledger.Config) {
-//	    cfg.Workers = 2
-//	})
+//	cluster, _ := fireledger.NewLocalCluster(4, nil)
 //	cluster.Start()
 //	defer cluster.Stop()
-//	cluster.Node(0).Submit(fireledger.Transaction{Client: 1, Seq: 1, Payload: []byte("pay alice 10")})
 //
-// See examples/ for complete applications and cmd/fireledger for a TCP
+//	session, _ := fireledger.NewClient(cluster.Node(0), 1)
+//	receipt, _ := session.SubmitWait(ctx, []byte("pay alice 10"))
+//	fmt.Printf("final in block (worker %d, round %d, hash %x)\n",
+//	    receipt.Worker, receipt.Round, receipt.BlockHash)
+//
+//	events, _ := session.Blocks(ctx, fireledger.Cursor{}) // from genesis
+//	for ev := range events {
+//	    // definite blocks, merged order, exactly once
+//	}
+//
+// Against a TCP deployment the only change is the constructor:
+// fireledger.Dial("host:port", clientID) returns the same Session. See
+// examples/ for complete applications and cmd/fireledger for a TCP
 // multi-process deployment.
 package fireledger
 
@@ -51,6 +67,8 @@ type (
 	Config = flo.Config
 	// NodeID identifies a cluster member (0..n−1).
 	NodeID = flcrypto.NodeID
+	// Hash is a 32-byte content digest (block identities, receipts).
+	Hash = flcrypto.Hash
 	// KeySet bundles a test/simulation cluster's keys.
 	KeySet = flcrypto.KeySet
 	// Event is a per-round lifecycle event (block proposed, header

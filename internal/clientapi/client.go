@@ -1,0 +1,405 @@
+package clientapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// DialOptions tune Dial.
+type DialOptions struct {
+	// Timeout bounds the TCP dial and the handshake round trip (default 5s).
+	Timeout time.Duration
+	// SubscribeBuffer is the capacity of the Subscribe event channel
+	// (default 256). A consumer that stops draining it stalls the session's
+	// read loop — by design, the backpressure travels over TCP to the
+	// server, which pauses the stream at its replay source.
+	SubscribeBuffer int
+}
+
+// Client is a remote FireLedger session: one TCP connection speaking the
+// clientapi wire protocol to a node's client port. It assigns client-local
+// sequence numbers, pipelines submissions (Submit returns before the ACK;
+// the Pending resolves on the asynchronous COMMIT receipt), and carries at
+// most one block subscription. Methods are safe for concurrent use.
+type Client struct {
+	conn     net.Conn
+	clientID uint64
+	welcome  welcomeMsg
+	opts     DialOptions
+
+	writeMu sync.Mutex // serializes whole-frame writes
+
+	mu       sync.Mutex
+	seq      uint64
+	pending  map[uint64]*pendingEntry
+	sub      *subscription
+	infoC    []chan Info
+	closed   bool
+	readErr  error
+	readDone chan struct{}
+}
+
+type pendingEntry struct {
+	p       *Pending
+	resolve func(Receipt, error)
+}
+
+type subscription struct {
+	ctx   context.Context
+	ch    chan BlockEvent
+	ended chan struct{} // closed when the subscription detaches
+}
+
+// Dial connects to a node's client port and performs the HELLO/WELCOME
+// handshake, claiming clientID for this session. The id must be unique
+// among the node's live sessions (in-process clients included); the server
+// refuses duplicates and the reserved conviction identity.
+func Dial(addr string, clientID uint64, opts DialOptions) (*Client, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.SubscribeBuffer <= 0 {
+		opts.SubscribeBuffer = 256
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("clientapi: dial %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(opts.Timeout))
+	if _, err := conn.Write(marshalHello(helloMsg{Magic: Magic, Version: Version, ClientID: clientID})); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("clientapi: handshake write: %w", err)
+	}
+	kind, payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("clientapi: handshake read: %w", err)
+	}
+	if kind != kindWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("clientapi: handshake: unexpected frame kind %d", kind)
+	}
+	welcome, err := decodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("clientapi: handshake decode: %w", err)
+	}
+	if welcome.Err != "" {
+		conn.Close()
+		return nil, fmt.Errorf("clientapi: server refused session: %s", welcome.Err)
+	}
+	conn.SetDeadline(time.Time{})
+	c := &Client{
+		conn:     conn,
+		clientID: clientID,
+		welcome:  welcome,
+		opts:     opts,
+		// The sequence base is clock-seeded so two sessions of the same
+		// client identity can never mint the same (client, seq): a write
+		// left in a worker pool by a dropped connection must not have its
+		// eventual COMMIT routed onto an unrelated pending of the redialed
+		// session, nor collide with its pool identity.
+		seq:      uint64(time.Now().UnixNano()),
+		pending:  make(map[uint64]*pendingEntry),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// ClientID returns the session's claimed client identity.
+func (c *Client) ClientID() uint64 { return c.clientID }
+
+// Workers returns the serving node's worker count ω (from the handshake),
+// which Cursor.Next needs.
+func (c *Client) Workers() int { return int(c.welcome.Workers) }
+
+// write sends one complete frame.
+func (c *Client) write(frame []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.conn.Write(frame); err != nil {
+		return fmt.Errorf("clientapi: write: %w", err)
+	}
+	return nil
+}
+
+// Submit sends payload as this session's next transaction. It returns once
+// the frame is on the wire — submissions pipeline; the returned Pending is
+// acked when the node accepts the write and resolves with the commit
+// receipt when it reaches a definite block.
+func (c *Client) Submit(payload []byte) (*Pending, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("clientapi: session closed")
+		}
+		return nil, err
+	}
+	c.seq++
+	seq := c.seq
+	tx := types.Transaction{Client: c.clientID, Seq: seq, Payload: payload}
+	p, _, resolve := NewPending(tx)
+	c.pending[seq] = &pendingEntry{p: p, resolve: resolve}
+	c.mu.Unlock()
+	if err := c.write(marshalSubmit(submitMsg{Seq: seq, Payload: payload})); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return p, nil
+}
+
+// SubmitWait is Submit followed by Pending.Wait.
+func (c *Client) SubmitWait(ctx context.Context, payload []byte) (Receipt, error) {
+	p, err := c.Submit(payload)
+	if err != nil {
+		return Receipt{}, err
+	}
+	return p.Wait(ctx)
+}
+
+// InFlight reports how many of this session's writes are not yet resolved.
+func (c *Client) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Subscribe opens the session's block stream at cursor cur: the merged
+// definite stream, history replayed first, then the live tail, every block
+// exactly once. One subscription is active per session; the stream ends
+// (with a terminal Err event for abnormal ends) when ctx is canceled, the
+// session closes, or the cursor predates the node's retained history.
+func (c *Client) Subscribe(ctx context.Context, cur Cursor) (<-chan BlockEvent, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("clientapi: session closed")
+	}
+	if c.sub != nil {
+		c.mu.Unlock()
+		return nil, errors.New("clientapi: a subscription is already active on this session")
+	}
+	sub := &subscription{ctx: ctx, ch: make(chan BlockEvent, c.opts.SubscribeBuffer), ended: make(chan struct{})}
+	c.sub = sub
+	c.mu.Unlock()
+	if err := c.write(marshalSubscribe(cur)); err != nil {
+		c.mu.Lock()
+		c.sub = nil
+		c.mu.Unlock()
+		return nil, err
+	}
+	// Relay ctx cancellation to the server; the stream then ends cleanly
+	// with a STREAM_END and the channel closes. The relay dies with its own
+	// subscription (ended), and re-checks it is still the active one under
+	// the lock before writing — a stale cancel firing after this stream
+	// already ended must not kill a successor subscription on the session.
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			active := c.sub == sub
+			if active {
+				c.write(marshalEmpty(kindUnsubscribe))
+			}
+			c.mu.Unlock()
+		case <-sub.ended:
+		case <-c.readDone:
+		}
+	}()
+	return sub.ch, nil
+}
+
+// Info queries the serving node's identity and delivery totals.
+func (c *Client) Info(ctx context.Context) (Info, error) {
+	ch := make(chan Info, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Info{}, errors.New("clientapi: session closed")
+	}
+	c.infoC = append(c.infoC, ch)
+	c.mu.Unlock()
+	if err := c.write(marshalEmpty(kindInfo)); err != nil {
+		return Info{}, err
+	}
+	select {
+	case info := <-ch:
+		return info, nil
+	case <-c.readDone:
+		return Info{}, errors.New("clientapi: session closed")
+	case <-ctx.Done():
+		return Info{}, ctx.Err()
+	}
+}
+
+// Close terminates the session. Unresolved Pendings fail; an active
+// subscription receives a terminal error event.
+func (c *Client) Close() error {
+	c.conn.Close()
+	<-c.readDone // fail() has run; pendings and subscription are resolved
+	return nil
+}
+
+// finish delivers the subscription's terminal error (if any) and closes
+// its channel. The error is a contract signal — ErrCompacted means the
+// consumer has a gap it must handle — so it must not be droppable by a full
+// buffer: the send blocks until the consumer drains or its ctx ends. It
+// runs on its own goroutine so a consumer that abandoned the channel
+// without canceling stalls only this goroutine (until its ctx dies), never
+// the session's read loop or Close.
+func (s *subscription) finish(err error) {
+	if err == nil {
+		close(s.ch)
+		return
+	}
+	go func() {
+		select {
+		case s.ch <- BlockEvent{Err: err}:
+		case <-s.ctx.Done():
+		}
+		close(s.ch)
+	}()
+}
+
+// readLoop owns the connection's read half and dispatches every inbound
+// frame: ACKs and COMMITs resolve pendings, BLOCK/STREAM_END feed the
+// subscription, INFO_REPLY answers waiters.
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var kind uint8
+		var payload []byte
+		kind, payload, err = readFrame(c.conn)
+		if err != nil {
+			break
+		}
+		switch kind {
+		case kindAck:
+			m, derr := decodeAck(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			e := c.pending[m.Seq]
+			if e != nil && m.Err != "" {
+				delete(c.pending, m.Seq)
+			}
+			c.mu.Unlock()
+			if e == nil {
+				continue
+			}
+			if m.Err != "" {
+				e.resolve(Receipt{}, fmt.Errorf("clientapi: submit rejected: %s", m.Err))
+			} else {
+				e.p.ack()
+			}
+		case kindCommit:
+			m, derr := decodeCommit(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			e := c.pending[m.Seq]
+			delete(c.pending, m.Seq)
+			c.mu.Unlock()
+			if e != nil {
+				e.resolve(m.Receipt, nil)
+			}
+		case kindBlock:
+			m, derr := decodeBlockMsg(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			sub := c.sub
+			c.mu.Unlock()
+			if sub == nil {
+				continue
+			}
+			select {
+			case sub.ch <- BlockEvent{Worker: m.Worker, Block: m.Block}:
+			case <-sub.ctx.Done():
+				// Consumer gone; drop the event. STREAM_END follows (the
+				// unsubscribe relay fired) and detaches the subscription.
+			}
+		case kindStreamEnd:
+			streamErr, derr := decodeStreamEnd(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			sub := c.sub
+			c.sub = nil
+			c.mu.Unlock()
+			if sub != nil {
+				close(sub.ended)
+				sub.finish(streamErr)
+			}
+		case kindInfoReply:
+			info, derr := decodeInfoReply(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			var ch chan Info
+			if len(c.infoC) > 0 {
+				ch = c.infoC[0]
+				c.infoC = c.infoC[1:]
+			}
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- info
+			}
+		default:
+			err = fmt.Errorf("clientapi: unexpected frame kind %d", kind)
+		}
+		if err != nil {
+			break
+		}
+	}
+	c.fail(err)
+}
+
+// fail tears the session down after the read loop exits: every unresolved
+// Pending fails, the subscription ends with a terminal error, info waiters
+// unblock (via readDone).
+func (c *Client) fail(err error) {
+	if err == nil {
+		err = errors.New("clientapi: connection closed")
+	}
+	sessionErr := fmt.Errorf("clientapi: session lost: %w", err)
+	c.mu.Lock()
+	c.closed = true
+	c.readErr = sessionErr
+	pend := c.pending
+	c.pending = make(map[uint64]*pendingEntry)
+	sub := c.sub
+	c.sub = nil
+	c.infoC = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, e := range pend {
+		e.resolve(Receipt{}, sessionErr)
+	}
+	if sub != nil {
+		close(sub.ended)
+		sub.finish(sessionErr)
+	}
+	close(c.readDone)
+}

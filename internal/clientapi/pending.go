@@ -1,0 +1,79 @@
+package clientapi
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Pending is an in-flight write: a submitted transaction on its way to a
+// definite block. It resolves exactly once — with the commit Receipt when
+// the transaction reaches a definite block of the merged order, or with an
+// error (submission rejected, session closed). Both the in-process and the
+// remote session produce Pendings, so callers are agnostic to the transport.
+type Pending struct {
+	// Tx is the submitted transaction with its assigned sequence number.
+	Tx types.Transaction
+
+	acked    chan struct{}
+	ackOnce  sync.Once
+	done     chan struct{}
+	mu       sync.Mutex
+	resolved bool
+	receipt  Receipt
+	err      error
+}
+
+// NewPending creates an unresolved Pending for tx, returning it with its
+// ack marker and resolver. Both are idempotent and safe from any goroutine;
+// sessions call ack when the node accepts the write and resolve when the
+// commit receipt arrives (or the session dies). Resolution implies the ack.
+func NewPending(tx types.Transaction) (p *Pending, ack func(), resolve func(Receipt, error)) {
+	p = &Pending{Tx: tx, acked: make(chan struct{}), done: make(chan struct{})}
+	return p, p.ack, p.resolve
+}
+
+func (p *Pending) resolve(r Receipt, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.resolved {
+		return
+	}
+	p.resolved = true
+	p.receipt = r
+	p.err = err
+	p.ack() // a commit implies acceptance even if the ACK frame was lost
+	close(p.done)
+}
+
+// ack marks the write accepted by the node (the SUBMIT→ACK half of the
+// round trip). Idempotent under concurrency (a session's submit path and a
+// racing commit may both call it). Sessions call it; resolution implies it.
+func (p *Pending) ack() {
+	p.ackOnce.Do(func() { close(p.acked) })
+}
+
+// Acked returns a channel closed once the node has accepted the write into
+// a worker pool (the ACK). Commitment follows later via Done.
+func (p *Pending) Acked() <-chan struct{} { return p.acked }
+
+// Done returns a channel closed when the write has resolved (committed or
+// failed). After it closes, Wait returns immediately.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the write resolves or ctx ends, returning the commit
+// receipt: the worker, round, and block hash of the definite block the
+// transaction landed in.
+func (p *Pending) Wait(ctx context.Context) (Receipt, error) {
+	select {
+	case <-p.done:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.receipt, p.err
+	case <-ctx.Done():
+		return Receipt{}, fmt.Errorf("clientapi: waiting for tx (client %d, seq %d): %w",
+			p.Tx.Client, p.Tx.Seq, ctx.Err())
+	}
+}

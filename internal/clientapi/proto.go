@@ -1,0 +1,397 @@
+// Package clientapi is FireLedger's application-facing client protocol: a
+// versioned, length-framed TCP wire format plus the server and client that
+// speak it, and the cursor-replay streaming engine both the remote and the
+// in-process session share.
+//
+// One connection is one session. The conversation:
+//
+//	client                              server
+//	  | HELLO  {magic, version, id}  →    |   version + identity handshake
+//	  |  ←  WELCOME {version, node, n, ω} |   (or an error, then close)
+//	  | SUBMIT {seq, payload}  →          |
+//	  |  ←  ACK {seq}                     |   accepted into a worker pool
+//	  |  ←  COMMIT {seq, w, r, hash}      |   asynchronous, when definite
+//	  | SUBSCRIBE {worker, round}  →      |
+//	  |  ←  BLOCK {w, block} …            |   history from the log, then live
+//	  | INFO →  /  ← INFO_REPLY           |
+//
+// Framing is uint32 big-endian length, then one kind byte, then the kind's
+// payload in the deterministic codec of internal/types. SUBMIT payloads are
+// opaque; COMMIT receipts identify the definite block (worker, round, header
+// hash) the write landed in. SUBSCRIBE carries a (worker, round) cursor into
+// the merged definite stream: the historical prefix is served from the
+// node's persistent BlockLog (or in-memory chain), then the subscription
+// switches to the live delivery tail — reconnecting with the cursor just
+// past the last observed block resumes with no gaps and no duplicates.
+package clientapi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/flcrypto"
+	"repro/internal/store"
+	"repro/internal/types"
+)
+
+// Magic opens every HELLO, guarding the port against stray connections.
+const Magic uint32 = 0x464C_4331 // "FLC1"
+
+// Version is the wire-protocol version this build speaks. The handshake is
+// exact-match: a server rejects clients of any other version in the WELCOME,
+// so incompatible frames are never interpreted. Bump on any frame-layout
+// change.
+const Version uint32 = 1
+
+// MaxFrame bounds one protocol frame (a BLOCK frame carries one full block).
+const MaxFrame = 64 << 20
+
+// Frame kinds.
+const (
+	kindHello       uint8 = 1  // client→server: magic, version, client id
+	kindWelcome     uint8 = 2  // server→client: version, node, n, ω, error
+	kindSubmit      uint8 = 3  // client→server: seq, payload
+	kindAck         uint8 = 4  // server→client: seq, error ("" = accepted)
+	kindCommit      uint8 = 5  // server→client: seq, worker, round, hash
+	kindSubscribe   uint8 = 6  // client→server: cursor (worker, round)
+	kindBlock       uint8 = 7  // server→client: worker, block
+	kindStreamEnd   uint8 = 8  // server→client: subscription over, error
+	kindInfo        uint8 = 9  // client→server: (empty)
+	kindInfoReply   uint8 = 10 // server→client: node, n, ω, delivered counts
+	kindUnsubscribe uint8 = 11 // client→server: (empty) stop the stream
+)
+
+// ErrFrameTooLarge reports a length prefix above MaxFrame.
+var ErrFrameTooLarge = errors.New("clientapi: frame exceeds MaxFrame")
+
+// readFrame reads one length-prefixed frame, returning its kind and payload.
+// The payload is freshly allocated per frame, so decoded values (including
+// blocks, whose codec retains the wire slice) may alias it freely.
+func readFrame(r io.Reader) (kind uint8, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1 {
+		return 0, nil, errors.New("clientapi: empty frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// frame starts a wire frame of the given kind, reserving the length prefix;
+// finish it with finishFrame once the payload is encoded. Frames are built
+// on plain (non-pooled) encoders because they are retained in send queues.
+func frame(kind uint8, sizeHint int) *types.Encoder {
+	e := types.NewEncoder(5 + sizeHint)
+	e.Uint32(0) // length, patched by finishFrame
+	e.Uint8(kind)
+	return e
+}
+
+// finishFrame patches the length prefix and returns the complete wire bytes.
+func finishFrame(e *types.Encoder) []byte {
+	buf := e.Bytes()
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(buf)-4))
+	return buf
+}
+
+// ---- message bodies ----
+
+type helloMsg struct {
+	Magic    uint32
+	Version  uint32
+	ClientID uint64
+}
+
+func marshalHello(m helloMsg) []byte {
+	e := frame(kindHello, 16)
+	e.Uint32(m.Magic)
+	e.Uint32(m.Version)
+	e.Uint64(m.ClientID)
+	return finishFrame(e)
+}
+
+func decodeHello(payload []byte) (helloMsg, error) {
+	d := types.NewDecoder(payload)
+	m := helloMsg{Magic: d.Uint32(), Version: d.Uint32(), ClientID: d.Uint64()}
+	return m, d.Finish()
+}
+
+type welcomeMsg struct {
+	Version uint32
+	Node    int64
+	N       uint32
+	Workers uint32
+	Err     string
+}
+
+func marshalWelcome(m welcomeMsg) []byte {
+	e := frame(kindWelcome, 24+len(m.Err))
+	e.Uint32(m.Version)
+	e.Int64(m.Node)
+	e.Uint32(m.N)
+	e.Uint32(m.Workers)
+	e.Bytes32([]byte(m.Err))
+	return finishFrame(e)
+}
+
+func decodeWelcome(payload []byte) (welcomeMsg, error) {
+	d := types.NewDecoder(payload)
+	m := welcomeMsg{Version: d.Uint32(), Node: d.Int64(), N: d.Uint32(), Workers: d.Uint32(), Err: string(d.Bytes32())}
+	return m, d.Finish()
+}
+
+type submitMsg struct {
+	Seq     uint64
+	Payload []byte
+}
+
+func marshalSubmit(m submitMsg) []byte {
+	e := frame(kindSubmit, 12+len(m.Payload))
+	e.Uint64(m.Seq)
+	e.Bytes32(m.Payload)
+	return finishFrame(e)
+}
+
+func decodeSubmit(payload []byte) (submitMsg, error) {
+	d := types.NewDecoder(payload)
+	m := submitMsg{Seq: d.Uint64(), Payload: d.Bytes32()}
+	return m, d.Finish()
+}
+
+type ackMsg struct {
+	Seq uint64
+	Err string
+}
+
+func marshalAck(m ackMsg) []byte {
+	e := frame(kindAck, 12+len(m.Err))
+	e.Uint64(m.Seq)
+	e.Bytes32([]byte(m.Err))
+	return finishFrame(e)
+}
+
+func decodeAck(payload []byte) (ackMsg, error) {
+	d := types.NewDecoder(payload)
+	m := ackMsg{Seq: d.Uint64(), Err: string(d.Bytes32())}
+	return m, d.Finish()
+}
+
+type commitMsg struct {
+	Seq     uint64
+	Receipt Receipt
+}
+
+func marshalCommit(m commitMsg) []byte {
+	e := frame(kindCommit, 52)
+	e.Uint64(m.Seq)
+	e.Uint32(m.Receipt.Worker)
+	e.Uint64(m.Receipt.Round)
+	e.Hash(m.Receipt.BlockHash)
+	return finishFrame(e)
+}
+
+func decodeCommit(payload []byte) (commitMsg, error) {
+	d := types.NewDecoder(payload)
+	var m commitMsg
+	m.Seq = d.Uint64()
+	m.Receipt.Worker = d.Uint32()
+	m.Receipt.Round = d.Uint64()
+	m.Receipt.BlockHash = d.Hash()
+	return m, d.Finish()
+}
+
+func marshalSubscribe(c Cursor) []byte {
+	e := frame(kindSubscribe, 12)
+	e.Uint32(c.Worker)
+	e.Uint64(c.Round)
+	return finishFrame(e)
+}
+
+func decodeSubscribe(payload []byte) (Cursor, error) {
+	d := types.NewDecoder(payload)
+	c := Cursor{Worker: d.Uint32(), Round: d.Uint64()}
+	return c, d.Finish()
+}
+
+type blockMsg struct {
+	Worker uint32
+	Block  types.Block
+}
+
+func marshalBlock(m blockMsg) []byte {
+	e := frame(kindBlock, 4+256+m.Block.Body.Size())
+	e.Uint32(m.Worker)
+	m.Block.Encode(e)
+	return finishFrame(e)
+}
+
+func decodeBlockMsg(payload []byte) (blockMsg, error) {
+	d := types.NewDecoder(payload)
+	var m blockMsg
+	m.Worker = d.Uint32()
+	m.Block = types.DecodeBlock(d)
+	return m, d.Finish()
+}
+
+// STREAM_END codes: why a subscription ended. The code travels alongside
+// the human-readable message so typed contracts survive the wire — a remote
+// consumer must be able to errors.Is a compaction gap exactly like an
+// in-process one.
+const (
+	streamEndClean     uint8 = 0 // client unsubscribed
+	streamEndError     uint8 = 1 // transport or internal failure
+	streamEndCompacted uint8 = 2 // cursor predates retained history
+)
+
+func marshalStreamEnd(err error) []byte {
+	code := streamEndClean
+	if err != nil {
+		code = streamEndError
+		if errors.Is(err, store.ErrCompacted) {
+			code = streamEndCompacted
+		}
+	}
+	msg := errString(err)
+	e := frame(kindStreamEnd, 5+len(msg))
+	e.Uint8(code)
+	e.Bytes32([]byte(msg))
+	return finishFrame(e)
+}
+
+// decodeStreamEnd returns the stream's terminal error (nil for a clean
+// unsubscribe) and any decode failure.
+func decodeStreamEnd(payload []byte) (error, error) {
+	d := types.NewDecoder(payload)
+	code := d.Uint8()
+	msg := string(d.Bytes32())
+	if derr := d.Finish(); derr != nil {
+		return nil, derr
+	}
+	switch code {
+	case streamEndClean:
+		return nil, nil
+	case streamEndCompacted:
+		return fmt.Errorf("clientapi: %s: %w", msg, store.ErrCompacted), nil
+	default:
+		return fmt.Errorf("clientapi: %s", msg), nil
+	}
+}
+
+func marshalEmpty(kind uint8) []byte { return finishFrame(frame(kind, 0)) }
+
+func marshalInfoReply(info Info) []byte {
+	e := frame(kindInfoReply, 36)
+	e.Int64(info.Node)
+	e.Uint32(uint32(info.N))
+	e.Uint32(uint32(info.Workers))
+	e.Uint64(info.DeliveredBlocks)
+	e.Uint64(info.DeliveredTxs)
+	return finishFrame(e)
+}
+
+func decodeInfoReply(payload []byte) (Info, error) {
+	d := types.NewDecoder(payload)
+	var info Info
+	info.Node = d.Int64()
+	info.N = int(d.Uint32())
+	info.Workers = int(d.Uint32())
+	info.DeliveredBlocks = d.Uint64()
+	info.DeliveredTxs = d.Uint64()
+	return info, d.Finish()
+}
+
+// ---- shared session vocabulary ----
+
+// Receipt is the proof of commitment a resolved write carries: the definite
+// block of the merged order the transaction landed in, identified by worker,
+// round, and the block's header hash. Any cluster member (or auditor holding
+// the chain) can locate the write from it.
+type Receipt struct {
+	Worker    uint32
+	Round     uint64
+	BlockHash flcrypto.Hash
+}
+
+// Cursor addresses a position in the merged definite stream: the next block
+// the subscriber wants is worker Worker's round Round. The merged order
+// interleaves workers round-robin — round 1 of workers 0..ω−1, then round 2,
+// and so on — so a cursor is totally ordered by (Round, Worker). The zero
+// Cursor means "from genesis" (worker 0, round 1). After receiving a block,
+// resume later with Cursor{w, r}.Next(ω) — exactly-once streaming across
+// reconnects is the client pairing every block with the cursor just past it.
+type Cursor struct {
+	Worker uint32
+	Round  uint64
+}
+
+// norm maps the zero value to the genesis cursor.
+func (c Cursor) norm() Cursor {
+	if c.Round == 0 {
+		c.Round = 1
+	}
+	return c
+}
+
+// pos returns the cursor's 0-based index into the merged stream.
+func (c Cursor) pos(workers int) uint64 {
+	c = c.norm()
+	return (c.Round-1)*uint64(workers) + uint64(c.Worker)
+}
+
+// Next returns the cursor immediately past this one in the merged order of a
+// deployment with the given worker count: the resume point after receiving
+// block (c.Worker, c.Round).
+func (c Cursor) Next(workers int) Cursor {
+	c = c.norm()
+	if int(c.Worker)+1 < workers {
+		return Cursor{Worker: c.Worker + 1, Round: c.Round}
+	}
+	return Cursor{Worker: 0, Round: c.Round + 1}
+}
+
+// Info describes the serving node: its identity, the cluster size, the
+// worker count ω (which cursor arithmetic needs), and the node's merged
+// delivery totals.
+type Info struct {
+	Node            int64
+	N               int
+	Workers         int
+	DeliveredBlocks uint64
+	DeliveredTxs    uint64
+}
+
+// BlockEvent is one element of a Blocks subscription: a definite block of
+// the merged stream, or a terminal error (stream ends after an Err event).
+type BlockEvent struct {
+	Worker uint32
+	Block  types.Block
+	// Err, when non-nil, reports why the stream ended: the context was
+	// canceled, the connection was lost, or the cursor predates retained
+	// history. The channel is closed right after.
+	Err error
+}
+
+// ErrCompacted reports a cursor below the retained history: the rounds were
+// checkpointed away and survive only in a snapshot, so the stream cannot be
+// served without a gap. Typed identically on the in-process and remote
+// paths (the STREAM_END code preserves it across the wire).
+var ErrCompacted = store.ErrCompacted
+
+// errString renders an error for the wire ("" for nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

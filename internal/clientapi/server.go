@@ -1,0 +1,468 @@
+package clientapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// ServerOptions tune a Server.
+type ServerOptions struct {
+	// SendQueueCap bounds each connection's outbound queue in frames
+	// (default 4096). Stream (BLOCK) frames block their subscription
+	// goroutine when the queue is full — backpressure that pauses replay at
+	// the pace the client drains. Control frames (ACK, COMMIT, replies)
+	// originate on goroutines that must never block — the node's delivery
+	// path among them — so a queue still full when one arrives declares the
+	// client dead and closes the connection; the client redials and resumes
+	// from its cursor.
+	SendQueueCap int
+	// Logf, when set, receives server diagnostics (accept/handshake/conn
+	// errors). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the client wire protocol on behalf of one node. It owns a
+// listener, one goroutine pair per connection (reader + writer), at most one
+// stream goroutine per connection, and a single SubscribeDeliver tap that
+// routes commit receipts to the sessions whose transactions appear in
+// delivered blocks.
+type Server struct {
+	node Node
+	opts ServerOptions
+
+	ln            net.Listener
+	cancelDeliver func()
+
+	mu       sync.Mutex
+	conns    map[*serverConn]bool
+	sessions map[uint64]*serverConn // client id → its connection
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server for node. Call Listen to start serving.
+func NewServer(node Node, opts ServerOptions) *Server {
+	if opts.SendQueueCap <= 0 {
+		opts.SendQueueCap = 4096
+	}
+	return &Server{
+		node:     node,
+		opts:     opts,
+		conns:    make(map[*serverConn]bool),
+		sessions: make(map[uint64]*serverConn),
+	}
+}
+
+// Listen binds addr and starts accepting client sessions. The bound address
+// (useful with ":0") is available via Addr.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("clientapi: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("clientapi: server is closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.cancelDeliver = s.node.SubscribeDeliver(s.onDeliver)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and tears down every session.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	ln := s.ln
+	s.mu.Unlock()
+	if s.cancelDeliver != nil {
+		s.cancelDeliver()
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.close(errors.New("server shutting down"))
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			s.logf("clientapi: accept: %v", err)
+			continue
+		}
+		c := &serverConn{srv: s, conn: conn}
+		c.sendCond = sync.NewCond(&c.sendMu)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// onDeliver is the server's single tap on the merged definite stream: it
+// turns every delivered transaction of a connected client into a COMMIT
+// receipt on that client's session. It runs on the node's delivery
+// goroutine and must not block — receipts go through the non-blocking
+// control enqueue, which sacrifices the connection rather than the node.
+func (s *Server) onDeliver(w uint32, blk types.Block) {
+	if len(blk.Body.Txs) == 0 {
+		return
+	}
+	// One lock acquisition per block, not per transaction — this runs on
+	// the consensus delivery path, and saturated blocks carry hundreds of
+	// transactions.
+	type route struct {
+		c   *serverConn
+		seq uint64
+	}
+	var routes []route
+	s.mu.Lock()
+	if len(s.sessions) > 0 {
+		for i := range blk.Body.Txs {
+			tx := &blk.Body.Txs[i]
+			if c := s.sessions[tx.Client]; c != nil {
+				routes = append(routes, route{c: c, seq: tx.Seq})
+			}
+		}
+	}
+	s.mu.Unlock()
+	if len(routes) == 0 {
+		return
+	}
+	receipt := Receipt{Worker: w, Round: blk.Signed.Header.Round, BlockHash: blk.Hash()}
+	for _, r := range routes {
+		r.c.enqueueControl(marshalCommit(commitMsg{Seq: r.seq, Receipt: receipt}))
+	}
+}
+
+// serverConn is one client session.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+
+	clientID   uint64
+	registered bool
+
+	sendMu   sync.Mutex
+	sendCond *sync.Cond
+	queue    [][]byte
+	closed   bool
+
+	subMu     sync.Mutex
+	subCancel context.CancelFunc
+	subDone   chan struct{}
+}
+
+// close tears the connection down once: marks the send queue closed (waking
+// writer and blocked enqueuers), closes the socket, cancels the stream
+// without waiting for its goroutine (close may run on the node's delivery
+// path via enqueueControl overflow, which must not block on a stream
+// goroutine mid disk read — the canceled stream reaps itself), and releases
+// the client id. registered/clientID are guarded by srv.mu: either the
+// handshake registers first (and close here releases the id) or a closing
+// server wins (and handshake sees srv.closed and releases it itself).
+func (c *serverConn) close(reason error) {
+	c.sendMu.Lock()
+	if c.closed {
+		c.sendMu.Unlock()
+		return
+	}
+	c.closed = true
+	c.sendCond.Broadcast()
+	c.sendMu.Unlock()
+	c.conn.Close()
+	c.cancelStream(false)
+	s := c.srv
+	s.mu.Lock()
+	delete(s.conns, c)
+	registered, clientID := c.registered, c.clientID
+	if registered && s.sessions[clientID] == c {
+		delete(s.sessions, clientID)
+	}
+	s.mu.Unlock()
+	if registered {
+		s.node.UnregisterClient(clientID)
+	}
+	if reason != nil {
+		s.logf("clientapi: session %d closed: %v", clientID, reason)
+	}
+}
+
+// enqueueControl appends a control frame (ACK, COMMIT, replies) without
+// blocking. Stream frames stop at SendQueueCap, so the [cap, 2·cap) band is
+// headroom reserved for control frames — replay backpressure holding the
+// queue at cap must not read as a dead client. A queue past 2·cap means the
+// client has truly stopped draining; the connection is closed rather than
+// letting receipts pile up unboundedly or stalling the caller (which may be
+// the node's delivery goroutine).
+func (c *serverConn) enqueueControl(frame []byte) {
+	c.sendMu.Lock()
+	if c.closed {
+		c.sendMu.Unlock()
+		return
+	}
+	if len(c.queue) >= 2*c.srv.opts.SendQueueCap {
+		c.sendMu.Unlock()
+		c.close(errors.New("send queue overflow (slow client)"))
+		return
+	}
+	c.queue = append(c.queue, frame)
+	c.sendCond.Broadcast()
+	c.sendMu.Unlock()
+}
+
+// enqueueStream appends a BLOCK frame, blocking while the queue is full —
+// the per-connection backpressure that paces a subscription's replay to the
+// client's drain rate. It returns an error once the connection is closed or
+// the subscription's context is canceled (cancelStream broadcasts the cond
+// after canceling, so a blocked enqueue re-checks).
+func (c *serverConn) enqueueStream(ctx context.Context, frame []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	for !c.closed && ctx.Err() == nil && len(c.queue) >= c.srv.opts.SendQueueCap {
+		c.sendCond.Wait()
+	}
+	if c.closed {
+		return errors.New("clientapi: connection closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.queue = append(c.queue, frame)
+	c.sendCond.Broadcast()
+	return nil
+}
+
+func (c *serverConn) writeLoop() {
+	defer c.srv.wg.Done()
+	for {
+		c.sendMu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.sendCond.Wait()
+		}
+		if len(c.queue) == 0 && c.closed {
+			c.sendMu.Unlock()
+			return
+		}
+		batch := c.queue
+		c.queue = nil
+		c.sendCond.Broadcast() // wake stream enqueuers blocked on the bound
+		c.sendMu.Unlock()
+		bufs := make(net.Buffers, len(batch))
+		copy(bufs, batch)
+		if _, err := bufs.WriteTo(c.conn); err != nil {
+			c.close(fmt.Errorf("write: %w", err))
+			return
+		}
+	}
+}
+
+func (c *serverConn) readLoop() {
+	defer c.srv.wg.Done()
+	defer c.close(nil)
+	if err := c.handshake(); err != nil {
+		return
+	}
+	for {
+		kind, payload, err := readFrame(c.conn)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case kindSubmit:
+			m, err := decodeSubmit(payload)
+			if err != nil {
+				return
+			}
+			tx := types.Transaction{Client: c.clientID, Seq: m.Seq, Payload: m.Payload}
+			c.enqueueControl(marshalAck(ackMsg{Seq: m.Seq, Err: errString(c.srv.node.Submit(tx))}))
+		case kindSubscribe:
+			cur, err := decodeSubscribe(payload)
+			if err != nil {
+				return
+			}
+			c.startStream(cur)
+		case kindUnsubscribe:
+			c.cancelStream(true)
+		case kindInfo:
+			node := c.srv.node
+			c.enqueueControl(marshalInfoReply(Info{
+				Node:            int64(node.ID()),
+				N:               node.N(),
+				Workers:         node.Workers(),
+				DeliveredBlocks: node.DeliveredBlocks(),
+				DeliveredTxs:    node.DeliveredTxs(),
+			}))
+		default:
+			return // unknown kind: protocol violation, drop the session
+		}
+	}
+}
+
+// handshake performs HELLO/WELCOME: version exact-match, then an exclusive
+// claim on the client identity (duplicate and reserved ids are refused).
+func (c *serverConn) handshake() error {
+	kind, payload, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if kind != kindHello {
+		return errors.New("clientapi: expected HELLO")
+	}
+	hello, err := decodeHello(payload)
+	if err != nil {
+		return err
+	}
+	refuse := func(msg string) error {
+		// Written synchronously: the read loop closes the connection as soon
+		// as handshake returns, which must not race the refusal onto the
+		// floor. Nothing else writes this early (the session is not yet
+		// registered, so no receipts or streams target it).
+		c.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		c.conn.Write(marshalWelcome(welcomeMsg{Version: Version, Err: msg}))
+		return errors.New("clientapi: " + msg)
+	}
+	if hello.Magic != Magic {
+		return refuse("bad magic: not a FireLedger client")
+	}
+	if hello.Version != Version {
+		return refuse(fmt.Sprintf("unsupported protocol version %d (server speaks %d)", hello.Version, Version))
+	}
+	if err := c.srv.node.RegisterClient(hello.ClientID); err != nil {
+		return refuse(err.Error())
+	}
+	node := c.srv.node
+	// WELCOME is enqueued before the session becomes routable: a
+	// reconnecting client may have writes from its previous connection
+	// still committing, and a COMMIT enqueued ahead of the WELCOME would
+	// break the handshake's frame order.
+	c.enqueueControl(marshalWelcome(welcomeMsg{
+		Version: Version,
+		Node:    int64(node.ID()),
+		N:       uint32(node.N()),
+		Workers: uint32(node.Workers()),
+	}))
+	c.srv.mu.Lock()
+	if c.srv.closed {
+		// Server.Close already swept the session maps; releasing here keeps
+		// the id from leaking on the node.
+		c.srv.mu.Unlock()
+		node.UnregisterClient(hello.ClientID)
+		return errors.New("clientapi: server is closed")
+	}
+	c.clientID = hello.ClientID
+	c.registered = true
+	c.srv.sessions[hello.ClientID] = c
+	c.srv.mu.Unlock()
+	return nil
+}
+
+// startStream launches the cursor-replay subscription, replacing any
+// previous one on this connection (one active stream per session).
+func (c *serverConn) startStream(cur Cursor) {
+	c.cancelStream(true)
+	s := c.srv
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1) // under s.mu: Close sets closed before it waits
+	s.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	c.subMu.Lock()
+	c.subCancel = cancel
+	c.subDone = done
+	c.subMu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		defer close(done)
+		err := Stream(ctx, s.node, cur, func(w uint32, blk types.Block) error {
+			return c.enqueueStream(ctx, marshalBlock(blockMsg{Worker: w, Block: blk}))
+		})
+		// Tell the client why the stream ended, unless the session itself
+		// is gone (then the frame has nowhere to go). A canceled context is
+		// the client's own unsubscribe: report a clean end.
+		if errors.Is(err, context.Canceled) {
+			err = nil
+		}
+		c.enqueueControl(marshalStreamEnd(err))
+	}()
+}
+
+// cancelStream stops the active subscription, if any. With wait it blocks
+// until the stream goroutine has finished, so a replacement stream cannot
+// interleave frames; close passes false (the dying connection has no
+// successor, and close may be running on the node's delivery path).
+func (c *serverConn) cancelStream(wait bool) {
+	c.subMu.Lock()
+	cancel, done := c.subCancel, c.subDone
+	c.subCancel, c.subDone = nil, nil
+	c.subMu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	// Wake a stream goroutine parked in enqueueStream so it observes the
+	// cancellation; otherwise the wait below could deadlock behind a full
+	// send queue.
+	c.sendMu.Lock()
+	c.sendCond.Broadcast()
+	c.sendMu.Unlock()
+	if wait {
+		<-done
+	}
+}

@@ -1,0 +1,199 @@
+package clientapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// Node is the node-side surface the client API drives. *flo.Node implements
+// it; tests may substitute a fake.
+type Node interface {
+	ID() flcrypto.NodeID
+	N() int
+	Workers() int
+	Submit(tx types.Transaction) error
+	SubscribeDeliver(fn func(worker uint32, blk types.Block)) (cancel func())
+	ReadDefinite(worker uint32, from uint64, max int) ([]types.Block, error)
+	RegisterClient(id uint64) error
+	UnregisterClient(id uint64)
+	DeliveredBlocks() uint64
+	DeliveredTxs() uint64
+}
+
+// replayBatch is how many blocks one historical read fetches per worker.
+const replayBatch = 64
+
+// liveBufCap bounds the live-tail buffer that bridges replay and the
+// delivery stream. A consumer that cannot keep up with live block
+// production overflows it and is sent back to replay (which paces reads to
+// the consumer) instead of stalling the node's delivery path.
+const liveBufCap = 1024
+
+// errFellBehind is the internal signal that the live buffer overflowed (or
+// the tail showed a gap) and the stream must re-enter replay at its cursor.
+var errFellBehind = errors.New("clientapi: live tail fell behind; resuming from replay")
+
+// Stream delivers the merged definite stream from cursor cur, calling emit
+// for every block in merged order — each exactly once, no gaps. The
+// historical prefix below the definite frontier is replayed from the node's
+// log (Node.ReadDefinite); the stream then follows the live delivery tail,
+// falling back to replay whenever the consumer cannot keep up. Stream
+// returns when ctx ends, when emit returns an error (which it propagates),
+// or when the cursor predates retained history (ErrCompacted from the
+// store). It never returns nil.
+//
+// emit may block: backpressure propagates to replay pacing, never to the
+// node's delivery goroutine (live deliveries land in a bounded buffer).
+func Stream(ctx context.Context, node Node, cur Cursor, emit func(worker uint32, blk types.Block) error) error {
+	workers := node.Workers()
+	if int(cur.Worker) >= workers {
+		return fmt.Errorf("clientapi: cursor worker %d out of range (ω=%d)", cur.Worker, workers)
+	}
+	pos := cur.pos(workers)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Attach the live buffer before replaying: everything delivered
+		// from this instant is either replayed (if it became readable in
+		// time) or buffered, so the switchover cannot lose a block.
+		lb := newLiveBuffer()
+		cancel := node.SubscribeDeliver(lb.push)
+		err := func() error {
+			if err := replay(ctx, node, workers, &pos, emit); err != nil {
+				return err
+			}
+			return follow(ctx, workers, &pos, lb, emit)
+		}()
+		cancel()
+		if errors.Is(err, errFellBehind) {
+			continue // re-replay from the current cursor
+		}
+		return err
+	}
+}
+
+// replay emits definite blocks in merged order starting at *pos until the
+// definite frontier is reached (the next block in merged order is not yet
+// definite). Per-worker reads are batched so a W-worker replay costs
+// O(blocks/replayBatch) historical reads, not one per block.
+func replay(ctx context.Context, node Node, workers int, pos *uint64, emit func(uint32, types.Block) error) error {
+	queues := make([][]types.Block, workers)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w := uint32(*pos % uint64(workers))
+		r := *pos/uint64(workers) + 1
+		if len(queues[w]) == 0 {
+			blocks, err := node.ReadDefinite(w, r, replayBatch)
+			if err != nil {
+				return err
+			}
+			if len(blocks) == 0 {
+				return nil // frontier: the live tail takes over
+			}
+			queues[w] = blocks
+		}
+		blk := queues[w][0]
+		if got := blk.Signed.Header.Round; got != r {
+			return fmt.Errorf("clientapi: replay expected worker %d round %d, source yielded %d", w, r, got)
+		}
+		queues[w] = queues[w][1:]
+		if err := emit(w, blk); err != nil {
+			return err
+		}
+		*pos++
+	}
+}
+
+// follow drains the live buffer, emitting the events at *pos and skipping
+// those replay already covered. It returns errFellBehind on buffer overflow
+// or a tail gap, sending the stream back to replay.
+func follow(ctx context.Context, workers int, pos *uint64, lb *liveBuffer, emit func(uint32, types.Block) error) error {
+	for {
+		ev, err := lb.pop(ctx)
+		if err != nil {
+			return err
+		}
+		evPos := (ev.round-1)*uint64(workers) + uint64(ev.worker)
+		if evPos < *pos {
+			continue // replay already emitted it
+		}
+		if evPos > *pos {
+			return errFellBehind // should not happen; replay re-verifies
+		}
+		if err := emit(ev.worker, ev.blk); err != nil {
+			return err
+		}
+		*pos++
+	}
+}
+
+// liveEvent is one buffered delivery.
+type liveEvent struct {
+	worker uint32
+	round  uint64
+	blk    types.Block
+}
+
+// liveBuffer decouples the node's synchronous delivery path from a stream
+// consumer: push never blocks (overflow flips a flag instead), pop blocks
+// the consumer until an event, overflow, or ctx end.
+type liveBuffer struct {
+	mu       sync.Mutex
+	buf      []liveEvent
+	overflow bool
+	wake     chan struct{}
+}
+
+func newLiveBuffer() *liveBuffer {
+	return &liveBuffer{wake: make(chan struct{}, 1)}
+}
+
+// push is the SubscribeDeliver callback; it must not block.
+func (b *liveBuffer) push(w uint32, blk types.Block) {
+	b.mu.Lock()
+	if !b.overflow {
+		if len(b.buf) >= liveBufCap {
+			b.overflow = true
+			b.buf = nil // the run is broken; replay will re-read it
+		} else {
+			b.buf = append(b.buf, liveEvent{worker: w, round: blk.Signed.Header.Round, blk: blk})
+		}
+	}
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop returns the oldest buffered event, blocking until one arrives. It
+// returns errFellBehind once the buffer has overflowed and drained.
+func (b *liveBuffer) pop(ctx context.Context) (liveEvent, error) {
+	for {
+		b.mu.Lock()
+		if len(b.buf) > 0 {
+			ev := b.buf[0]
+			b.buf = b.buf[1:]
+			b.mu.Unlock()
+			return ev, nil
+		}
+		overflow := b.overflow
+		b.mu.Unlock()
+		if overflow {
+			return liveEvent{}, errFellBehind
+		}
+		select {
+		case <-ctx.Done():
+			return liveEvent{}, ctx.Err()
+		case <-b.wake:
+		}
+	}
+}

@@ -172,19 +172,80 @@ type Node struct {
 
 	merger *merger
 
-	subMu sync.RWMutex
-	subs  []func(uint32, types.Block)
+	subMu     sync.RWMutex
+	subs      []deliverSub
+	nextSubID uint64
+
+	clientMu sync.Mutex
+	clients  map[uint64]bool
 
 	stopOnce sync.Once
 }
 
+// deliverSub is one SubscribeDeliver registration; the id makes it
+// individually cancelable.
+type deliverSub struct {
+	id uint64
+	fn func(uint32, types.Block)
+}
+
 // SubscribeDeliver registers an additional consumer of the merged definite
-// block stream (alongside Config.Deliver). Subscribers run synchronously in
-// delivery order and must not block; register before Start.
-func (n *Node) SubscribeDeliver(fn func(worker uint32, blk types.Block)) {
+// block stream (alongside Config.Deliver) and returns a cancel function that
+// detaches it. Subscribers run synchronously in delivery order and must not
+// block. Subscribers registered after Start observe only deliveries from
+// registration onward (the client API's cursor replay covers the gap from
+// the log); a delivery already in flight when cancel returns may still
+// invoke the callback once.
+func (n *Node) SubscribeDeliver(fn func(worker uint32, blk types.Block)) (cancel func()) {
 	n.subMu.Lock()
-	n.subs = append(n.subs, fn)
+	id := n.nextSubID
+	n.nextSubID++
+	n.subs = append(n.subs, deliverSub{id: id, fn: fn})
 	n.subMu.Unlock()
+	return func() {
+		n.subMu.Lock()
+		for i := range n.subs {
+			if n.subs[i].id == id {
+				// Rebuild rather than splice in place: a delivery running
+				// concurrently iterates the old backing array.
+				n.subs = append(n.subs[:i:i], n.subs[i+1:]...)
+				break
+			}
+		}
+		n.subMu.Unlock()
+	}
+}
+
+// SystemClientID is the reserved client identity of on-chain conviction
+// transactions (see internal/evidence); RegisterClient refuses it.
+const SystemClientID = evidence.SystemClient
+
+// RegisterClient claims a client identity on this node. Claims are exclusive
+// — a second registration of a live id fails — so two sessions can never
+// resolve each other's sequence numbers; the reserved conviction identity is
+// rejected outright. UnregisterClient releases the claim (sessions do this
+// on Close, so a reconnecting client can re-register).
+func (n *Node) RegisterClient(id uint64) error {
+	if id == evidence.SystemClient {
+		return fmt.Errorf("flo: client id %#x is reserved for conviction transactions", id)
+	}
+	n.clientMu.Lock()
+	defer n.clientMu.Unlock()
+	if n.clients == nil {
+		n.clients = make(map[uint64]bool)
+	}
+	if n.clients[id] {
+		return fmt.Errorf("flo: client id %d is already registered on this node", id)
+	}
+	n.clients[id] = true
+	return nil
+}
+
+// UnregisterClient releases a RegisterClient claim.
+func (n *Node) UnregisterClient(id uint64) {
+	n.clientMu.Lock()
+	delete(n.clients, id)
+	n.clientMu.Unlock()
 }
 
 // NewNode wires a node; call Start to run it.
@@ -216,8 +277,8 @@ func NewNode(cfg Config) (*Node, error) {
 		n.subMu.RLock()
 		subs := n.subs
 		n.subMu.RUnlock()
-		for _, fn := range subs {
-			fn(w, blk)
+		for _, s := range subs {
+			s.fn(w, blk)
 		}
 	})
 
@@ -457,6 +518,66 @@ func (n *Node) onOrdered(_ uint64, batch [][]byte) {
 
 // ID returns the node's identity.
 func (n *Node) ID() flcrypto.NodeID { return n.id }
+
+// N returns the cluster size.
+func (n *Node) N() int { return n.mux.N() }
+
+// ErrCompacted reports a historical read below the retained history (the
+// rounds survive only in a snapshot). Clients whose cursor falls below every
+// source must restart from current state instead of replaying.
+var ErrCompacted = store.ErrCompacted
+
+// ReadDefinite returns up to max consecutive definite blocks of worker w
+// starting at round `from` — the historical half of a client cursor replay
+// (internal/clientapi). The persistent log is the primary source: replay
+// reads from store.BlockLog when the node has one and the cursor is above
+// its compaction base, then tops up from the in-memory chain (which covers
+// rounds a group-commit batch has not flushed yet, and everything when the
+// node runs without a DataDir). An empty result means the cursor sits at the
+// definite frontier — the caller switches to the live SubscribeDeliver tail.
+// A cursor below every source's base returns ErrCompacted.
+func (n *Node) ReadDefinite(w uint32, from uint64, max int) ([]types.Block, error) {
+	if int(w) >= len(n.workers) {
+		return nil, fmt.Errorf("flo: worker %d out of range (ω=%d)", w, len(n.workers))
+	}
+	if from == 0 {
+		return nil, fmt.Errorf("flo: round cursor starts at 1 (round 0 is the implicit genesis header)")
+	}
+	chain := n.workers[w].Chain()
+	definite := chain.Definite()
+	if from > definite {
+		return nil, nil
+	}
+	count := max
+	if avail := definite - from + 1; uint64(count) > avail {
+		count = int(avail)
+	}
+	if count <= 0 {
+		return nil, nil
+	}
+	var blocks []types.Block
+	if len(n.logs) > 0 {
+		if lg := n.logs[w]; from > lg.Base() {
+			// I/O errors degrade to the chain path rather than failing the
+			// stream: the chain holds every round the log does.
+			if got, err := lg.ReadFrom(from, count); err == nil {
+				blocks = got
+			}
+		}
+	}
+	for next := from + uint64(len(blocks)); len(blocks) < count; next++ {
+		blk, ok := chain.BlockAt(next)
+		if !ok {
+			break
+		}
+		blocks = append(blocks, blk)
+	}
+	if len(blocks) == 0 && from <= chain.Base() {
+		return nil, fmt.Errorf("%w: worker %d round %d predates retained history (base %d)",
+			store.ErrCompacted, w, from, chain.Base())
+	}
+	return blocks, nil
+}
 
 // Start launches the transport, the PBFT replica, and all workers.
 func (n *Node) Start() {

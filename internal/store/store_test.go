@@ -217,6 +217,136 @@ func TestStoreAppendOrderEnforced(t *testing.T) {
 	}
 }
 
+func TestStoreReadFrom(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	path := filepath.Join(t.TempDir(), "w0.log")
+	log, _, err := Open(path, Options{Registry: ks.Registry, Instance: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	want := buildBlocks(t, ks, 0, 10)
+	for _, blk := range want {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mid-log cursor, bounded batch.
+	got, err := log.ReadFrom(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ReadFrom(4,3) returned %d blocks", len(got))
+	}
+	for i, blk := range got {
+		if r := blk.Signed.Header.Round; r != uint64(4+i) {
+			t.Fatalf("block %d has round %d", i, r)
+		}
+		if blk.Hash() != want[3+i].Hash() {
+			t.Fatalf("round %d content differs from what was appended", 4+i)
+		}
+	}
+
+	// A batch running past the tip returns just the available suffix; a
+	// cursor past the tip returns nothing.
+	if got, _ := log.ReadFrom(9, 10); len(got) != 2 {
+		t.Fatalf("ReadFrom(9,10) returned %d blocks, want 2", len(got))
+	}
+	if got, _ := log.ReadFrom(11, 5); len(got) != 0 {
+		t.Fatalf("ReadFrom past tip returned %d blocks", len(got))
+	}
+}
+
+// TestStoreReadFromSequentialCache: consecutive cursor reads (the clientapi
+// replay pattern) resume at the cached byte offset, and the cache survives
+// interleaved appends and is invalidated by Checkpoint's file swap — the
+// results must be indistinguishable from full scans throughout.
+func TestStoreReadFromSequentialCache(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	dir := t.TempDir()
+	log, _, err := Open(filepath.Join(dir, "w0.log"), Options{Registry: ks.Registry, Instance: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	blocks := buildBlocks(t, ks, 0, 40)
+	for _, blk := range blocks[:20] {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(from uint64, max, wantLen int) {
+		t.Helper()
+		got, err := log.ReadFrom(from, max)
+		if err != nil {
+			t.Fatalf("ReadFrom(%d,%d): %v", from, max, err)
+		}
+		if len(got) != wantLen {
+			t.Fatalf("ReadFrom(%d,%d) returned %d blocks, want %d", from, max, len(got), wantLen)
+		}
+		for i, blk := range got {
+			if blk.Hash() != blocks[from-1+uint64(i)].Hash() {
+				t.Fatalf("ReadFrom(%d,%d): block %d mismatches round %d", from, max, i, from+uint64(i))
+			}
+		}
+	}
+	check(1, 8, 8)  // cold
+	check(9, 8, 8)  // cached offset
+	check(17, 8, 4) // cached, truncated at tip
+	check(21, 8, 0) // at the frontier
+	for _, blk := range blocks[20:30] {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(21, 8, 8) // the frontier offset stays valid across appends
+	// Checkpoint rewrites the file; the stale offset must not leak in.
+	if err := log.Checkpoint(filepath.Join(dir, "w0.snap"), 0, 0, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	check(29, 4, 2) // post-compaction read (base 22), fresh scan
+	check(23, 8, 8) // backwards jump: cache miss, still exact
+}
+
+func TestStoreReadFromCompacted(t *testing.T) {
+	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w0.log")
+	snap := filepath.Join(dir, "w0.snap")
+	log, _, err := Open(path, Options{Registry: ks.Registry, Instance: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	for _, blk := range buildBlocks(t, ks, 0, 20) {
+		if err := log.Append(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact away rounds 1..15 (retain 5 below the tip).
+	if err := log.Checkpoint(snap, 0, 0, nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	if log.Base() != 15 {
+		t.Fatalf("base after checkpoint = %d", log.Base())
+	}
+	if _, err := log.ReadFrom(10, 4); err == nil {
+		t.Fatal("read below the compaction base must fail")
+	}
+	got, err := log.ReadFrom(16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("post-compaction read returned %d blocks, want 5", len(got))
+	}
+	if got[0].Signed.Header.Round != 16 {
+		t.Fatalf("first retained round = %d", got[0].Signed.Header.Round)
+	}
+}
+
 func TestStoreSyncMode(t *testing.T) {
 	ks := flcrypto.MustGenerateKeySet(4, flcrypto.Ed25519)
 	path := filepath.Join(t.TempDir(), "w0.log")

@@ -1,0 +1,105 @@
+package fireledger
+
+import (
+	"context"
+
+	"repro/internal/clientapi"
+)
+
+// ErrCompacted reports a Blocks cursor below the node's retained history
+// (the rounds were checkpointed away): the stream cannot be served without
+// a gap, and the consumer must restart from current state instead of
+// replaying. Detect it on a terminal BlockEvent with errors.Is — it is
+// typed identically on the in-process and remote paths.
+var ErrCompacted = clientapi.ErrCompacted
+
+// Session-layer vocabulary, shared by the in-process Client and the remote
+// session behind Dial. Downstream code imports only this package.
+type (
+	// Receipt is the proof of commitment a resolved write carries: the
+	// worker, round, and header hash of the definite block (in the merged
+	// global order) the transaction landed in.
+	Receipt = clientapi.Receipt
+	// Cursor addresses a position in the merged definite block stream —
+	// the next block wanted is (Worker, Round). The zero Cursor means
+	// "from genesis"; resume after a block with Cursor{w, r}.Next(ω).
+	Cursor = clientapi.Cursor
+	// Pending is an in-flight write: acked when a node accepts it,
+	// resolved with its Receipt when it reaches a definite block.
+	Pending = clientapi.Pending
+	// BlockEvent is one element of a Blocks stream: a definite block of
+	// the merged order, or a terminal error before the channel closes.
+	BlockEvent = clientapi.BlockEvent
+	// Info describes the serving node: identity, cluster size, worker
+	// count ω (needed for Cursor.Next), and delivery totals.
+	Info = clientapi.Info
+)
+
+// Session is the application-facing FireLedger client API. Both transports
+// implement it identically:
+//
+//   - NewClient attaches an in-process session to a *Node in the same
+//     process (examples, embedded deployments, tests).
+//   - Dial opens a remote session to a node's client port over the
+//     versioned wire protocol of internal/clientapi (cmd/fireledger
+//     -client serves it; cmd/flclient consumes it).
+//
+// Writes: Submit pipelines a payload and returns a Pending that resolves
+// with the commit Receipt once the transaction is in a definite block of
+// the merged order — final under BBFC(f+1), not merely tentative. Reads:
+// Blocks streams the merged definite block sequence from a Cursor, replaying
+// history from the node's log before following the live tail, every block
+// exactly once — so a consumer that reconnects with the cursor just past
+// its last block resumes with no gaps and no duplicates.
+type Session interface {
+	// Submit sends payload as this session's next transaction.
+	Submit(payload []byte) (*Pending, error)
+	// SubmitWait is Submit followed by Pending.Wait: it blocks until the
+	// write is final and returns its commit receipt.
+	SubmitWait(ctx context.Context, payload []byte) (Receipt, error)
+	// Blocks streams the merged definite block sequence from cursor. The
+	// channel closes when ctx ends, the session closes, or the cursor
+	// predates the node's retained history (a terminal BlockEvent.Err
+	// reports abnormal ends; test the latter with
+	// errors.Is(ev.Err, ErrCompacted)). Portable code opens at most one
+	// stream per session: a remote session carries one subscription per
+	// connection, and the in-process implementation's support for several
+	// concurrent streams is an extension.
+	Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, error)
+	// Info reports the serving node's identity and delivery totals.
+	Info(ctx context.Context) (Info, error)
+	// Close releases the session and its client identity; unresolved
+	// Pendings fail.
+	Close() error
+}
+
+// Dial opens a remote Session to a node's client port (cmd/fireledger
+// -client). clientID is the session's identity: it must be unique among the
+// node's live sessions — the server refuses duplicates — and scopes the
+// sequence numbers that pair submissions with commit receipts.
+func Dial(addr string, clientID uint64) (Session, error) {
+	c, err := clientapi.Dial(addr, clientID, clientapi.DialOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &remoteSession{c: c}, nil
+}
+
+// remoteSession adapts the wire client to the Session interface.
+type remoteSession struct{ c *clientapi.Client }
+
+func (s *remoteSession) Submit(payload []byte) (*Pending, error) { return s.c.Submit(payload) }
+func (s *remoteSession) SubmitWait(ctx context.Context, payload []byte) (Receipt, error) {
+	return s.c.SubmitWait(ctx, payload)
+}
+func (s *remoteSession) Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, error) {
+	return s.c.Subscribe(ctx, cursor)
+}
+func (s *remoteSession) Info(ctx context.Context) (Info, error) { return s.c.Info(ctx) }
+func (s *remoteSession) Close() error                           { return s.c.Close() }
+
+// Both session implementations satisfy the interface.
+var (
+	_ Session = (*Client)(nil)
+	_ Session = (*remoteSession)(nil)
+)

@@ -1,0 +1,188 @@
+package fireledger
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clientapi"
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+)
+
+// TestRemoteSessionEndToEnd is the cmd/fireledger + cmd/flclient deployment
+// path as an integration test: a 4-node FLO cluster over real loopback TCP
+// sockets, the clientapi server fronting node 0, and remote Sessions dialed
+// through the public fireledger.Dial. It asserts the acceptance contract of
+// the client API redesign:
+//
+//   - every submit is acked, and every write yields a commit receipt that
+//     names a real definite block containing the transaction;
+//   - a subscriber started at cursor zero observes the identical merged
+//     definite stream the node's own delivery hook saw — same blocks, same
+//     order, no gaps, no duplicates.
+func TestRemoteSessionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens real sockets")
+	}
+	const n = 4
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	ks, err := flcrypto.GenerateKeySet(n, flcrypto.Ed25519,
+		flcrypto.NewDeterministicReader("session-e2e"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		worker uint32
+		round  uint64
+		hash   Hash
+	}
+	var mu sync.Mutex
+	var local []key
+
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		ep, err := transport.NewTCPEndpoint(transport.TCPConfig{
+			ID:    flcrypto.NodeID(i),
+			Addrs: addrs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Endpoint:     ep,
+			Registry:     ks.Registry,
+			Priv:         ks.Privs[i],
+			Workers:      1,
+			BatchSize:    8,
+			InitialTimer: 100 * time.Millisecond,
+		}
+		if i == 0 {
+			cfg.Deliver = func(w uint32, blk Block) {
+				mu.Lock()
+				local = append(local, key{w, blk.Signed.Header.Round, blk.Hash()})
+				mu.Unlock()
+			}
+		}
+		node, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	srv := clientapi.NewServer(nodes[0], clientapi.ServerOptions{})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range nodes {
+		node.Start()
+	}
+	defer func() {
+		srv.Close()
+		for _, node := range nodes {
+			node.Stop()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Subscriber from cursor zero, started before any write.
+	subscriber, err := Dial(srv.Addr(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subscriber.Close()
+	events, err := subscriber.Blocks(ctx, Cursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer session: every write acked and committed with a receipt
+	// pointing at a real definite block that contains it.
+	writer, err := Dial(srv.Addr(), 501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	const writes = 10
+	for i := 0; i < writes; i++ {
+		p, err := writer.Submit([]byte{byte(i)})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		select {
+		case <-p.Acked():
+		case <-ctx.Done():
+			t.Fatalf("write %d was never acked", i)
+		}
+		receipt, err := p.Wait(ctx)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		blk, ok := nodes[0].Worker(int(receipt.Worker)).Chain().BlockAt(receipt.Round)
+		if !ok {
+			t.Fatalf("write %d: receipt names unknown round %d", i, receipt.Round)
+		}
+		if blk.Hash() != receipt.BlockHash {
+			t.Fatalf("write %d: receipt hash mismatch", i)
+		}
+		found := false
+		for _, tx := range blk.Body.Txs {
+			if tx.Client == 501 && tx.Seq == p.Tx.Seq {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("write %d: receipt block does not contain the transaction", i)
+		}
+	}
+
+	// The subscriber's stream must be byte-identical (worker, round, hash)
+	// with what node 0's own delivery hook observed, from the beginning.
+	const compare = 30
+	var remote []key
+	for len(remote) < compare {
+		select {
+		case ev, ok := <-events:
+			if !ok || ev.Err != nil {
+				t.Fatalf("stream ended after %d blocks: %v", len(remote), ev.Err)
+			}
+			remote = append(remote, key{ev.Worker, ev.Block.Signed.Header.Round, ev.Block.Hash()})
+		case <-ctx.Done():
+			t.Fatalf("timed out after %d streamed blocks", len(remote))
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		mu.Lock()
+		have := len(local)
+		mu.Unlock()
+		if have >= compare {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node 0 delivered only %d blocks", have)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < compare; i++ {
+		if remote[i] != local[i] {
+			t.Fatalf("merged stream diverges at %d: remote %+v, local %+v", i, remote[i], local[i])
+		}
+	}
+}
