@@ -1,0 +1,114 @@
+// Command flsim runs long offline simulation campaigns: seeded randomized
+// fault schedules (internal/simnet/check.Explore) against in-process
+// FireLedger clusters, with every failing seed shrunk to a minimal repro and
+// written out for the regression corpus. CI's sim-nightly job runs it for an
+// hour and uploads failures as artifacts; locally it is the tool for
+// soak-testing a change:
+//
+//	go run ./cmd/flsim -seeds 500 -out failures/
+//	go run ./cmd/flsim -duration 1h -out failures/        # time-bounded
+//	go run ./cmd/flsim -replay 9                          # rerun one seed
+//
+// A failure report names the seed; `go test ./internal/simnet/check -run
+// TestSimExplore -seed=<seed> -v` (or -replay here) reruns the exact
+// schedule.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/simnet/check"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 200, "number of seeded scenarios to run")
+		baseSeed = flag.Int64("base-seed", 0, "first seed (0 = derive from current time)")
+		n        = flag.Int("n", 0, "fixed cluster size (0 = mixed 4/7)")
+		replay   = flag.Int64("replay", 0, "replay a single seed verbosely and exit")
+		out      = flag.String("out", "", "directory for failing-seed reports (created if missing)")
+		duration = flag.Duration("duration", 0, "wall-clock budget (0 = run all seeds)")
+		noByz    = flag.Bool("no-byzantine", false, "exclude equivocator scenarios")
+		verbose  = flag.Bool("v", false, "log every scenario, not just failures")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	gen := check.GenOpts{N: *n, NoByzantine: *noByz}
+
+	if *replay != 0 {
+		sc := check.Generate(*replay, gen)
+		logf("%s", sc.String())
+		if err := check.Run(sc, check.RunOpts{Logf: logf}); err != nil {
+			logf("seed %d FAILED: %v", *replay, err)
+			os.Exit(1)
+		}
+		logf("seed %d ok", *replay)
+		return
+	}
+
+	if *baseSeed == 0 {
+		*baseSeed = time.Now().UnixNano() % (1 << 40)
+	}
+	opts := check.ExploreOpts{
+		BaseSeed: *baseSeed,
+		Count:    *seeds,
+		Gen:      gen,
+		Logf:     logf,
+	}
+	if !*verbose {
+		// Quiet mode still reports failures and shrink progress.
+		opts.Logf = func(format string, args ...any) {
+			msg := fmt.Sprintf(format, args...)
+			if strings.Contains(msg, " ok (") {
+				return
+			}
+			fmt.Println(msg)
+		}
+	}
+	if *duration > 0 {
+		opts.Deadline = time.Now().Add(*duration)
+	}
+	start := time.Now()
+	failures := check.Explore(opts)
+	logf("campaign: base-seed=%d seeds=%d failures=%d elapsed=%s",
+		*baseSeed, *seeds, len(failures), time.Since(start).Round(time.Second))
+
+	if *out != "" && len(failures) > 0 {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			logf("mkdir %s: %v", *out, err)
+			os.Exit(1)
+		}
+		for _, f := range failures {
+			report := map[string]any{
+				"seed":     f.Seed,
+				"error":    f.Err.Error(),
+				"scenario": f.Scenario.String(),
+				"replay":   f.ReplayCommand(),
+			}
+			if f.Shrunk != nil {
+				report["shrunk"] = f.Shrunk.String()
+				if f.ShrunkErr != nil {
+					report["shrunk_error"] = f.ShrunkErr.Error()
+				}
+			}
+			buf, _ := json.MarshalIndent(report, "", "  ")
+			path := filepath.Join(*out, fmt.Sprintf("seed-%d.json", f.Seed))
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				logf("write %s: %v", path, err)
+			}
+		}
+		logf("wrote %d failure report(s) to %s", len(failures), *out)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,367 @@
+package clientapi
+
+// Client-API behavior under simulated cluster faults (internal/simnet): the
+// serving node is partitioned away from its peers mid-session, or crashed
+// and restarted from disk, while a remote session keeps submitting and
+// streaming. The session contract under test: every acked write resolves
+// with exactly one commit receipt (no loss through the partition, no
+// duplicate inclusion in the definite stream), and cursor replay across a
+// server crash stays gap-free.
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/flo"
+	"repro/internal/simnet"
+)
+
+// simCluster is a 4-node cluster over a seeded SimNetwork with a clientapi
+// server fronting node 0.
+type simCluster struct {
+	net   *simnet.SimNetwork
+	nodes []*flo.Node
+	srv   *Server
+	ks    *flcrypto.KeySet
+	dirs  []string
+}
+
+func newSimCluster(t *testing.T, seed int64, tweak func(i int, dir string, cfg *flo.Config)) *simCluster {
+	t.Helper()
+	const n = 4
+	c := &simCluster{
+		net: simnet.New(simnet.Config{N: n, Seed: seed}),
+		ks:  flcrypto.MustGenerateKeySet(n, flcrypto.Ed25519),
+	}
+	c.dirs = make([]string, n)
+	for i := 0; i < n; i++ {
+		c.dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("node%d", i))
+		cfg := flo.Config{
+			Endpoint:     c.net.Endpoint(flcrypto.NodeID(i)),
+			Registry:     c.ks.Registry,
+			Priv:         c.ks.Privs[i],
+			Workers:      1,
+			BatchSize:    8,
+			InitialTimer: 25 * time.Millisecond,
+			ViewTimeout:  250 * time.Millisecond,
+		}
+		if tweak != nil {
+			tweak(i, c.dirs[i], &cfg)
+		}
+		node, err := flo.NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	c.srv = NewServer(c.nodes[0], ServerOptions{})
+	if err := c.srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range c.nodes {
+		node.Start()
+	}
+	t.Cleanup(func() {
+		c.srv.Close()
+		for _, node := range c.nodes {
+			if node != nil {
+				node.Stop()
+			}
+		}
+		c.net.Close()
+	})
+	return c
+}
+
+// TestSessionPartitionHealExactlyOneReceipt drives a session through a
+// partition that cuts the serving node off from its peers: writes submitted
+// before and during the partition are acked (they pool on the node) but
+// cannot commit until the links heal. Every acked write must then resolve
+// with exactly one receipt, and the definite stream must contain each
+// (client, seq) exactly once — no write lost in the pool, none duplicated
+// by the re-propose path.
+func TestSessionPartitionHealExactlyOneReceipt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cluster scenario")
+	}
+	c := newSimCluster(t, 4242, func(i int, _ string, cfg *flo.Config) {
+		// Short leases: a write whose tentative block was dropped during the
+		// partition re-pools (and re-proposes) quickly after healing.
+		cfg.LeaseTimeout = 800 * time.Millisecond
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	cl, err := Dial(c.srv.Addr(), 77, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const before, during = 40, 40
+	var pendings []*Pending
+	submit := func(k int) {
+		t.Helper()
+		for j := 0; j < k; j++ {
+			p, err := cl.Submit([]byte(fmt.Sprintf("op-%d", len(pendings))))
+			if err != nil {
+				t.Fatalf("submit %d: %v", len(pendings), err)
+			}
+			pendings = append(pendings, p)
+		}
+	}
+	submit(before)
+
+	// Cut the serving node off from the cluster (its client port stays up:
+	// the TCP session is outside the simulated fabric). Lossy links on the
+	// heal add seeded drop/duplication noise to the commit path.
+	c.net.Isolate(0)
+	submit(during)
+	for _, p := range pendings[before:] {
+		select {
+		case <-p.Acked():
+		case <-ctx.Done():
+			t.Fatal("write submitted during the partition was never acked")
+		}
+	}
+	time.Sleep(700 * time.Millisecond)
+	c.net.SetLinkFaults(0.05, 0.02, 2*time.Millisecond)
+	c.net.Partition() // heal
+	defer c.net.SetLinkFaults(0, 0, 0)
+
+	// Every acked write resolves with a receipt.
+	receipts := make(map[uint64]Receipt, len(pendings))
+	for i, p := range pendings {
+		r, err := p.Wait(ctx)
+		if err != nil {
+			// Diagnose before failing: is the write lost from the system,
+			// stranded in a tentative block, or committed with its receipt
+			// lost? (The nightly campaigns act on this line.)
+			var where []string
+			for ni, node := range c.nodes {
+				ch := node.Worker(0).Chain()
+				for rr := ch.Base() + 1; rr <= ch.Tip(); rr++ {
+					if blk, ok := ch.BlockAt(rr); ok {
+						for _, tx := range blk.Body.Txs {
+							if tx.Client == 77 && tx.Seq == p.Tx.Seq {
+								kind := "definite"
+								if rr > ch.Definite() {
+									kind = "tentative"
+								}
+								where = append(where, fmt.Sprintf("node%d@%d(%s)", ni, rr, kind))
+							}
+						}
+					}
+				}
+			}
+			t.Fatalf("pending %d (seq %d) failed: %v; found in %v (empty = lost); node0 def=%d tip=%d poolPending=%d",
+				i, p.Tx.Seq, err, where,
+				c.nodes[0].Worker(0).Chain().Definite(), c.nodes[0].Worker(0).Chain().Tip(),
+				c.nodes[0].PoolPending())
+		}
+		if r.Round == 0 {
+			t.Fatalf("pending %d resolved with a zero receipt", i)
+		}
+		if prev, dup := receipts[p.Tx.Seq]; dup {
+			t.Fatalf("seq %d received two receipts: %+v and %+v", p.Tx.Seq, prev, r)
+		}
+		receipts[p.Tx.Seq] = r
+	}
+	c.net.SetLinkFaults(0, 0, 0)
+
+	// The definite stream contains each sequence at least once, including
+	// in the block its receipt names. At-least-once, not exactly-once: a
+	// write leased into a tentative block that a partition strands can be
+	// re-proposed after its lease expires while the original block still
+	// decides later — both inclusions finalize, the session resolves on
+	// the first receipt, and duplicate occurrences are the application
+	// layer's to absorb (statemachine.Replica is idempotent for exactly
+	// this reason). Duplicates are logged for visibility.
+	events, err := cl.Subscribe(ctx, Cursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]int)
+	blocks := make(map[Cursor]flcrypto.Hash)
+	maxRound := uint64(0)
+	for _, r := range receipts {
+		if r.Round > maxRound {
+			maxRound = r.Round
+		}
+	}
+	for {
+		var ev BlockEvent
+		var ok bool
+		select {
+		case ev, ok = <-events:
+		case <-ctx.Done():
+			t.Fatalf("timed out scanning the stream (saw %d/%d seqs)", len(seen), len(receipts))
+		}
+		if !ok || ev.Err != nil {
+			t.Fatalf("stream ended early: %v", ev.Err)
+		}
+		round := ev.Block.Signed.Header.Round
+		blocks[Cursor{Worker: ev.Worker, Round: round}] = ev.Block.Hash()
+		for _, tx := range ev.Block.Body.Txs {
+			if tx.Client == 77 {
+				seen[tx.Seq]++
+			}
+		}
+		if round > maxRound {
+			break // past every receipt: all inclusions are behind us
+		}
+	}
+	dups := 0
+	for seq := range receipts {
+		switch n := seen[seq]; {
+		case n == 0:
+			t.Errorf("seq %d has a receipt but never appears in the definite stream", seq)
+		case n > 1:
+			dups++
+		}
+	}
+	if dups > 0 {
+		t.Logf("%d/%d writes appear more than once in the stream (lease-expiry re-proposal racing a late-deciding block; receipts stayed exactly-once)", dups, len(receipts))
+	}
+	for seq, n := range seen {
+		if _, ours := receipts[seq]; !ours && n > 0 {
+			t.Errorf("stream carries unknown seq %d for our client", seq)
+		}
+	}
+	for seq, r := range receipts {
+		if h, ok := blocks[Cursor{Worker: r.Worker, Round: r.Round}]; ok && h != r.BlockHash {
+			t.Errorf("seq %d receipt names block %x, stream delivered %x at (%d,%d)",
+				seq, r.BlockHash[:8], h[:8], r.Worker, r.Round)
+		}
+	}
+}
+
+// TestCursorReplayAcrossServerCrashGapFree crashes the serving node (server
+// and node both), restarts it from its DataDir, and resumes the block
+// subscription from the last cursor: the replayed stream must continue
+// exactly at the cursor with no gap, no duplicate, and the same blocks the
+// cluster delivered.
+func TestCursorReplayAcrossServerCrashGapFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cluster scenario")
+	}
+	c := newSimCluster(t, 777, func(i int, dir string, cfg *flo.Config) {
+		cfg.Saturate = 32 // self-generating load keeps the chain moving
+		cfg.DataDir = dir
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	cl, err := Dial(c.srv.Addr(), 88, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := cl.Subscribe(ctx, Cursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		cur  Cursor
+		hash flcrypto.Hash
+	}
+	var got []key
+	cursor := Cursor{}
+	for len(got) < 12 {
+		select {
+		case ev, ok := <-events:
+			if !ok || ev.Err != nil {
+				t.Fatalf("pre-crash stream ended: %v", ev.Err)
+			}
+			at := Cursor{Worker: ev.Worker, Round: ev.Block.Signed.Header.Round}
+			got = append(got, key{cur: at, hash: ev.Block.Hash()})
+			cursor = at.Next(cl.Workers())
+		case <-ctx.Done():
+			t.Fatal("timed out on pre-crash stream")
+		}
+	}
+	cl.Close()
+
+	// Crash the serving node: server down, node down, links dark.
+	c.srv.Close()
+	c.net.Crash(0)
+	c.nodes[0].Stop()
+
+	// The survivors keep finalizing while the server is gone.
+	target := c.nodes[1].Worker(0).Chain().Definite() + 8
+	deadline := time.Now().Add(60 * time.Second)
+	for c.nodes[1].Worker(0).Chain().Definite() < target {
+		if time.Now().After(deadline) {
+			t.Fatal("survivors stalled while the serving node was down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Restart from disk on a fresh endpoint, with a fresh server.
+	c.net.Heal(0)
+	node, err := flo.NewNode(flo.Config{
+		Endpoint:     c.net.Reattach(0),
+		Registry:     c.ks.Registry,
+		Priv:         c.ks.Privs[0],
+		Workers:      1,
+		BatchSize:    8,
+		Saturate:     32,
+		DataDir:      c.dirs[0],
+		InitialTimer: 25 * time.Millisecond,
+		ViewTimeout:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[0] = node
+	if node.Worker(0).Chain().Definite() == 0 {
+		t.Fatal("restart replayed nothing from disk")
+	}
+	c.srv = NewServer(node, ServerOptions{})
+	if err := c.srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	node.Start()
+
+	// Resume at the saved cursor: the stream must continue contiguously.
+	cl2, err := Dial(c.srv.Addr(), 88, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	events2, err := cl2.Subscribe(ctx, cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := cursor
+	for resumed := 0; resumed < 20; resumed++ {
+		select {
+		case ev, ok := <-events2:
+			if !ok || ev.Err != nil {
+				t.Fatalf("resumed stream ended after %d blocks: %v", resumed, ev.Err)
+			}
+			at := Cursor{Worker: ev.Worker, Round: ev.Block.Signed.Header.Round}
+			if at != expect {
+				t.Fatalf("gap in resumed stream: got (%d,%d), want (%d,%d)",
+					at.Worker, at.Round, expect.Worker, expect.Round)
+			}
+			expect = at.Next(cl2.Workers())
+		case <-ctx.Done():
+			t.Fatal("timed out on resumed stream")
+		}
+	}
+
+	// The pre-crash prefix the restarted node replays matches what we saw.
+	for _, k := range got {
+		hdr, ok := node.Worker(int(k.cur.Worker)).Chain().HeaderAt(k.cur.Round)
+		if !ok {
+			t.Fatalf("restarted node lost round %d", k.cur.Round)
+		}
+		if hdr.Hash() != k.hash {
+			t.Fatalf("restarted node rewrote round %d", k.cur.Round)
+		}
+	}
+}

@@ -558,6 +558,21 @@ func (dp *dataPath) fetchedLen() int {
 	return len(dp.fetched)
 }
 
+// fetchedSpan summarizes the buffered catch-up rounds for diagnostics.
+func (dp *dataPath) fetchedSpan() (lo, hi uint64, n int) {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	for r := range dp.fetched {
+		if lo == 0 || r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return lo, hi, len(dp.fetched)
+}
+
 // updateChan returns the channel closed at the next store/adoption update.
 func (dp *dataPath) updateChan() <-chan struct{} {
 	dp.mu.Lock()
@@ -579,19 +594,37 @@ func (dp *dataPath) hasFetched(round uint64) bool {
 // definite block already arrived there, its body serves the delivery — the
 // body store alone cannot, because peers drop bodies once they are absorbed
 // into definite blocks, so a node delivering a long-decided round would
-// otherwise pull forever. Returns false if aborted.
+// otherwise pull forever.
+//
+// Returns false if aborted — or if the catch-up buffer holds a *different*
+// block for hdr's round. That means the cluster decided the round against
+// the delivered header (an equivocator's split proposal whose other variant
+// won, or a proposer the majority rotated past): the variant's body will
+// never be served — no correct peer retains a body that reached no definite
+// block — so pulling for it wedges the round loop forever while the true
+// chain piles up in the buffer (a liveness bug the simulation harness found
+// under seed replay). Giving up routes the caller back to its loop top,
+// where the buffered segment is adopted instead.
 func (dp *dataPath) waitBody(hdr types.BlockHeader, abort <-chan struct{}) (types.Body, bool) {
 	interval := 10 * time.Millisecond
 	for {
+		superseded := false
 		dp.mu.Lock()
 		body, ok := dp.bodies[hdr.BodyHash]
 		if !ok {
-			if blk, have := dp.fetched[hdr.Round]; have && blk.Header().BodyHash == hdr.BodyHash {
-				body, ok = blk.Body, true
+			if blk, have := dp.fetched[hdr.Round]; have {
+				if *blk.Header() == hdr {
+					body, ok = blk.Body, true
+				} else {
+					superseded = true
+				}
 			}
 		}
 		ch := dp.update
 		dp.mu.Unlock()
+		if superseded {
+			return types.Body{}, false
+		}
 		if hdr.TxCount == 0 {
 			if types.EmptyBodyHash() == hdr.BodyHash {
 				return types.Body{}, true

@@ -168,6 +168,13 @@ type Metrics struct {
 	CatchUpRangeReqs   atomic.Uint64
 	CatchUpRangeBlocks atomic.Uint64
 	CatchUpBlockReqs   atomic.Uint64
+	// TentativeResyncs counts rollbacks of a divergent tentative suffix in
+	// favor of the cluster's definite chain during catch-up (see
+	// resyncTentativeSuffix). Found by the simulation harness: a node that
+	// tentatively delivered a proposal the partitioned majority later
+	// re-decided used to wedge forever once the cluster outran the
+	// recovery window.
+	TentativeResyncs atomic.Uint64
 }
 
 // Instance is one FireLedger worker: a single-threaded round loop
@@ -314,6 +321,25 @@ func New(cfg Config) *Instance {
 			}
 		}
 	})
+	// The chain is OBBC's input oracle for instances this node never voted
+	// on (state discarded by a recovery's DropFrom, or the round adopted
+	// wholesale via catch-up): a materialized block at (round, proposer)
+	// means that instance decided 1; a block from a different proposer
+	// means the rotation passed it by. Lets the node join a starved
+	// fallback with a grounded input (see obbc.Config.ChainInput).
+	cfg.OBBC.SetChainInput(func(key obbc.Key) (byte, bool) {
+		if key.Instance != cfg.Instance {
+			return 0, false
+		}
+		hdr, ok := in.chain.HeaderAt(key.Round)
+		if !ok {
+			return 0, false
+		}
+		if hdr.Proposer == key.Proposer {
+			return 1, true
+		}
+		return 0, true
+	})
 	if cfg.Evidence != nil {
 		// WRB sees two conflicting headers from the same proposer: a
 		// ready-made equivocation proof.
@@ -453,6 +479,18 @@ func (in *Instance) OnPanic(origin flcrypto.NodeID, seq uint64, payload []byte) 
 	in.interrupt()
 }
 
+// DebugString summarizes live round-loop state for harness diagnostics: the
+// attempt the loop is parked on, the buffered catch-up span, and whether the
+// range syncer believes it is running.
+func (in *Instance) DebugString() string {
+	in.mu.Lock()
+	key := in.currentKey
+	in.mu.Unlock()
+	lo, hi, n := in.data.fetchedSpan()
+	return fmt.Sprintf("attempt=(round %d, proposer %d) fetched=[%d..%d]#%d rangerActive=%v",
+		key.Round, key.Proposer, lo, hi, n, in.data.ranger.active())
+}
+
 // interrupt aborts the in-flight WRB delivery so the round loop regains
 // control (the paper's panic thread interrupting the main thread, Fig 3).
 func (in *Instance) interrupt() {
@@ -517,10 +555,18 @@ func (in *Instance) run() {
 			adopted := 0
 			for i := range seg {
 				if in.chain.Append(seg[i]) != nil {
+					if i == 0 && in.resyncTentativeSuffix(ri, seg) {
+						adopted = -1 // suffix replaced; restart the loop
+					}
 					break // fork or gap: drop the rest, it will be refetched
 				}
 				adopted++
 				in.metrics.TentativeBlocks.Add(1)
+			}
+			if adopted < 0 {
+				attempt = 0
+				fullMode = true
+				continue
 			}
 			if adopted > 0 {
 				tip := in.chain.Tip()
@@ -653,6 +699,79 @@ func (in *Instance) run() {
 		fullMode = false
 		attempt = 0
 	}
+}
+
+// resyncTentativeSuffix resolves a catch-up conflict against the local
+// tentative suffix. A verified catch-up block for round ri = tip+1 that does
+// not link to our tip means our rounds (definite, tip] diverge from the
+// chain the cluster finalized — an honest possibility: inside a partition we
+// can WRB-deliver a proposal tentatively while the majority times the
+// proposer out, rotates, and decides the round differently. Live, the next
+// delivered header triggers a panic and the recovery replaces our suffix
+// (Algorithm 3); but once the cluster has outrun the retained protocol
+// state, no WRB delivery for our stuck round will ever come, and before this
+// fix the node refetched the true chain forever while Append rejected every
+// block (a permanent wedge the simulation harness found — seed-replayable).
+//
+// The resolution mirrors recovery: discard the tentative suffix (never
+// definite state — ReplaceSuffix refuses that by construction) and re-adopt
+// the cluster's chain from our definite boundary. The refetch-and-adopt runs
+// inline on the round loop so a memoized WRB redelivery of the divergent
+// proposal cannot re-append it mid-resync; definiteness of the adopted
+// blocks still derives only from the depth-(f+2) rule over proposer-signed
+// linkage, exactly like every other catch-up adoption. On timeout (no peer
+// serves the gap) the truncation stands and the normal paths take over —
+// at worst the old tentative blocks are re-delivered by WRB and the next
+// conflicting segment retries. seg is the already-verified catch-up segment
+// whose first block exposed the conflict; it is re-buffered after the
+// truncation so the re-adoption below serves it from memory instead of
+// refetching rounds the node just paid to verify. Returns true when it made
+// progress (the caller restarts its loop).
+func (in *Instance) resyncTentativeSuffix(ri uint64, seg []types.Block) bool {
+	def := in.chain.Definite()
+	if def >= ri-1 {
+		// The conflicting parent is definite. Honest peers can never serve
+		// a block conflicting with a definite round (safety), so this is
+		// forged catch-up data: drop it, keep the chain.
+		return false
+	}
+	if err := in.chain.ReplaceSuffix(def+1, nil); err != nil {
+		return false
+	}
+	in.metrics.TentativeResyncs.Add(1)
+	// The truncation moved the fetch window down to (def, def+window]; the
+	// consumed segment's rounds [ri, ...) fall back inside it.
+	in.data.storeFetched(seg)
+	// Re-adopt from the definite boundary. The truncation moved the fetch
+	// window down, so peers' responses for the uncovered rounds are now
+	// storable; the range syncer (if alive) refetches on its own, and the
+	// explicit per-round requests below cover the case where it already
+	// gave up while we were wedged.
+	deadline := time.Now().Add(2 * time.Second)
+	for in.chain.Tip() < ri && time.Now().Before(deadline) {
+		next := in.chain.Tip() + 1
+		if seg := in.data.takeSegment(next, 2*in.data.opts.catchUpBatch); len(seg) > 0 {
+			for i := range seg {
+				if in.chain.Append(seg[i]) != nil {
+					break
+				}
+				in.metrics.TentativeBlocks.Add(1)
+			}
+			continue
+		}
+		ch := in.data.updateChan()
+		in.data.requestBlock(next)
+		select {
+		case <-ch:
+		case <-time.After(50 * time.Millisecond):
+		case <-in.stop:
+			return true
+		}
+	}
+	if tip := in.chain.Tip(); tip > uint64(in.f)+2 {
+		in.finalizeThrough(tip - uint64(in.f) - 2)
+	}
+	return true
 }
 
 // finalizeThrough marks rounds ≤ r definite and emits them.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/flcrypto"
 	"repro/internal/types"
@@ -10,6 +11,12 @@ import (
 // RecoveryTag prefixes recovery versions in the shared atomic-broadcast
 // stream (obbc.BBCTag is 0x01).
 const RecoveryTag byte = 0x02
+
+// versionWaitTimeout bounds a recovery's wait for n−f versions: peers serve
+// versions even for recoveries they already completed, so a longer
+// starvation means they are partitioned away or down, and the abandoned
+// recovery (safe pre-adoption) is retried by the round loop's next panic.
+const versionWaitTimeout = 10 * time.Second
 
 // versionMsg is one node's proposed chain version in a recovery (Algorithm 3
 // line 6): the last f+1 blocks in dispute followed by everything newer the
@@ -96,6 +103,9 @@ type recoveryTracker struct {
 	mu      sync.Mutex
 	states  map[uint64]*recState
 	handled uint64 // highest recovery round completed
+	// servedLate dedups version service for proofs at or below handled
+	// (see runRecovery's late-proof path).
+	servedLate map[uint64]bool
 }
 
 func newRecoveryTracker(in *Instance) *recoveryTracker {
@@ -244,22 +254,11 @@ func (rt *recoveryTracker) harvestEquivocations(versions []versionMsg, mine []ty
 	}
 }
 
-// runRecovery executes Algorithm 3 for the proof's round. It returns true
-// if a recovery actually ran (the caller resets its round state).
-func (rt *recoveryTracker) runRecovery(proof Proof) bool {
-	r := proof.Round()
-	rt.mu.Lock()
-	if r <= rt.handled {
-		rt.mu.Unlock()
-		return false
-	}
-	rt.mu.Unlock()
-
+// submitVersion signs and atomically broadcasts this node's version for
+// recovery round r (Algorithm 3 lines 3–7).
+func (rt *recoveryTracker) submitVersion(r uint64) error {
 	in := rt.in
-	in.metrics.Recoveries.Add(1)
 	start := rt.startRound(r)
-
-	// Lines 3–7: build our version.
 	var myBlocks []types.Block
 	tip := in.chain.Tip()
 	if tip+1 >= r { // ri ≥ r−1 in the paper's terms
@@ -268,13 +267,52 @@ func (rt *recoveryTracker) runRecovery(proof Proof) bool {
 	v := versionMsg{Instance: in.cfg.Instance, RecRound: r, From: in.id, Blocks: myBlocks}
 	sig, err := in.cfg.Priv.Sign(versionSigBody(v.Instance, v.RecRound, v.From, v.Blocks))
 	if err != nil {
-		return false
+		return err
 	}
 	in.metrics.SignOps.Add(1)
 	v.Sig = sig
 	e := types.NewEncoder(1024)
 	v.encode(e)
-	if err := in.cfg.SubmitAB(e.Bytes()); err != nil {
+	return in.cfg.SubmitAB(e.Bytes())
+}
+
+// runRecovery executes Algorithm 3 for the proof's round. It returns true
+// if a recovery actually ran (the caller resets its round state).
+func (rt *recoveryTracker) runRecovery(proof Proof) bool {
+	r := proof.Round()
+	rt.mu.Lock()
+	if r <= rt.handled {
+		served := rt.servedLate[r]
+		if !served {
+			if rt.servedLate == nil {
+				rt.servedLate = make(map[uint64]bool)
+			}
+			if len(rt.servedLate) > 128 {
+				rt.servedLate = make(map[uint64]bool) // cheap pruning; worst case re-serves once
+			}
+			rt.servedLate[r] = true
+		}
+		rt.mu.Unlock()
+		if !served {
+			// A valid proof for a recovery this node already completed (or
+			// superseded by a later one): the round is settled here, but
+			// the panicking straggler still needs n−f versions, and peers
+			// that silently drop late proofs starve its version wait
+			// forever (a permanent stall the simulation harness found —
+			// every live peer had "handled" a higher recovery and ignored
+			// the proof). Serving a version is cheap, needs no protocol
+			// state, and is dedup-limited to once per recovery round.
+			_ = rt.submitVersion(r)
+		}
+		return false
+	}
+	rt.mu.Unlock()
+
+	in := rt.in
+	in.metrics.Recoveries.Add(1)
+	start := rt.startRound(r)
+
+	if err := rt.submitVersion(r); err != nil {
 		return false
 	}
 
@@ -293,7 +331,13 @@ func (rt *recoveryTracker) runRecovery(proof Proof) bool {
 		}
 	}
 
-	// Lines 9–15: collect n−f valid versions.
+	// Lines 9–15: collect n−f valid versions. The wait is bounded: peers
+	// serve versions for late proofs (see the handled-path above), so
+	// starvation here means they are unreachable or gone — abandoning
+	// pre-adoption is safe (no chain or protocol state has changed) and
+	// the round loop re-attempts, re-panicking with a fresh proof if the
+	// conflict persists.
+	waitDeadline := time.Now().Add(versionWaitTimeout)
 	need := in.n - in.f
 	var winner *versionMsg
 	var collected []versionMsg
@@ -320,11 +364,38 @@ func (rt *recoveryTracker) runRecovery(proof Proof) bool {
 			collected = valid
 			break
 		}
-		select {
-		case <-ch:
-		case <-in.stop:
+		// Escape hatch for a node recovering a round the cluster has long
+		// left behind: peers whose tracker already handled a higher
+		// recovery ignore this proof, so the n−f versions never arrive and
+		// the worker would park here forever while the true definite chain
+		// piles up in the catch-up buffer (a wedge the simulation harness
+		// found: an equivocator's conflicting evidence reached a lagging
+		// node after a partition heal). Abandoning is safe only in that
+		// far-behind shape — peers are not redoing these rounds, so no
+		// cross-node state diverges, and the adoption path replaces the
+		// affected suffix wholesale. The running range syncer is the
+		// discriminator: it only runs when the definite frontier is at
+		// least a batch ahead of us. A near-tip recovery among live peers
+		// must keep waiting — abandoning it while the others complete (and
+		// DropFrom-reset the redone rounds) would leave this node's stale
+		// per-round state poisoning the quorum, a stall the harness also
+		// caught when this gate was missing.
+		if in.data.ranger.active() && in.data.hasFetched(in.chain.Tip()+1) {
 			return false
 		}
+		if time.Now().After(waitDeadline) {
+			return false
+		}
+		wait := time.NewTimer(time.Until(waitDeadline))
+		select {
+		case <-ch:
+		case <-in.data.updateChan():
+		case <-wait.C:
+		case <-in.stop:
+			wait.Stop()
+			return false
+		}
+		wait.Stop()
 	}
 
 	// Accountability: the collected versions plus our own pre-adoption

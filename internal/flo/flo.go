@@ -631,6 +631,17 @@ func (n *Node) Submit(tx types.Transaction) error {
 	return nil
 }
 
+// PoolPending reports the client transactions waiting or leased across this
+// node's worker pools (0 in saturating mode) — a liveness probe for "is
+// this write still in the system or was it dropped".
+func (n *Node) PoolPending() int {
+	total := 0
+	for _, p := range n.pools {
+		total += p.Pending()
+	}
+	return total
+}
+
 // Worker exposes worker w's core instance (chain access, metrics).
 func (n *Node) Worker(w int) *core.Instance { return n.workers[w] }
 

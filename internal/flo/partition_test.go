@@ -1,88 +1,54 @@
-package flo
+package flo_test
+
+// The partition fault tests live in the simnet scenario corpus now: the
+// schedules below are seeded check.Scenario entries (internal/simnet/check),
+// so the same runs double as regression seeds for the randomized Explore
+// campaigns, and the invariants — agreement, per-step delivery order,
+// no-quorum stall, post-heal liveness — are asserted by the shared checker
+// instead of bespoke per-test plumbing.
 
 import (
 	"testing"
-	"time"
 
-	"repro/internal/flcrypto"
+	"repro/internal/simnet/check"
 )
+
+// runRegression replays one curated corpus scenario under the full
+// invariant checker.
+func runRegression(t *testing.T, name string, opts check.RunOpts) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-second cluster scenario")
+	}
+	sc := check.RegressionScenario(name)
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	if err := check.Run(sc, opts); err != nil {
+		t.Fatalf("%v\n%s", err, sc.String())
+	}
+}
 
 // TestPartitionHealConvergence cuts one node off (an asynchronous period for
 // it — FireLedger promises safety always, liveness after ◇Synch), lets the
 // majority keep deciding, heals the link, and requires the isolated node to
 // catch up and agree on the whole definite prefix.
 func TestPartitionHealConvergence(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-second cluster test")
-	}
-	c := newCluster(t, 4, func(i int, cfg *Config) {
-		cfg.BatchSize = 5
-	})
-	all := []int{0, 1, 2, 3}
-	majority := []int{0, 1, 2}
-
-	// Warm up with everyone connected.
-	c.waitDefinite(all, 0, 5, 30*time.Second)
-
-	// Partition node 3 away.
-	const isolated = 3
-	c.net.SetLinkFilter(func(from, to flcrypto.NodeID) bool {
-		return from == isolated || to == isolated
-	})
-	base := c.nodes[isolated].Worker(0).Chain().Definite()
-	target := c.nodes[0].Worker(0).Chain().Definite() + 15
-	c.waitDefinite(majority, 0, target, 60*time.Second)
-	if got := c.nodes[isolated].Worker(0).Chain().Definite(); got > base+2 {
-		t.Fatalf("isolated node advanced %d → %d during the partition", base, got)
-	}
-
-	// Heal; the isolated node must chase the frontier and converge.
-	c.net.SetLinkFilter(nil)
-	healTarget := c.nodes[0].Worker(0).Chain().Definite()
-	deadline := time.Now().Add(60 * time.Second)
-	for c.nodes[isolated].Worker(0).Chain().Definite() < healTarget {
-		if time.Now().After(deadline) {
-			t.Fatalf("isolated node stuck at %d after heal (frontier %d)",
-				c.nodes[isolated].Worker(0).Chain().Definite(), healTarget)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	c.assertAgreement(all, 0)
+	runRegression(t, "partition-heal", check.RunOpts{})
 }
 
 // TestMinorityPartitionStallsThenRecovers splits the cluster 2–2: neither
 // side has a quorum (n−f = 3), so no new definite decisions may appear —
-// the safety half of the partition argument — and after healing both sides
-// resume and agree.
+// the runner's no-quorum stall check asserts the safety half at heal time —
+// and after healing both sides resume and agree.
 func TestMinorityPartitionStallsThenRecovers(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-second cluster test")
-	}
-	c := newCluster(t, 4, func(i int, cfg *Config) {
-		cfg.BatchSize = 5
-	})
-	all := []int{0, 1, 2, 3}
-	c.waitDefinite(all, 0, 5, 30*time.Second)
+	runRegression(t, "minority-partition", check.RunOpts{})
+}
 
-	sideA := map[flcrypto.NodeID]bool{0: true, 1: true}
-	c.net.SetLinkFilter(func(from, to flcrypto.NodeID) bool {
-		return sideA[from] != sideA[to]
-	})
-	bases := make([]uint64, 4)
-	for i := range bases {
-		bases[i] = c.nodes[i].Worker(0).Chain().Definite()
-	}
-	time.Sleep(1500 * time.Millisecond)
-	for i := range bases {
-		// In-flight rounds may land (the quorum that formed pre-partition),
-		// but sustained progress is impossible without n−f = 3 votes.
-		if got := c.nodes[i].Worker(0).Chain().Definite(); got > bases[i]+3 {
-			t.Fatalf("node %d finalized %d rounds inside a 2–2 partition", i, got-bases[i])
-		}
-	}
-
-	c.net.SetLinkFilter(nil)
-	target := bases[0] + 10
-	c.waitDefinite(all, 0, target, 60*time.Second)
-	c.assertAgreement(all, 0)
+// TestPartitionTentativeForkResync replays the Explore-found schedule where
+// a node's tentatively-delivered proposal diverged from the majority's
+// decision inside a partition; the node must resync its tentative suffix
+// instead of wedging behind the conflict (core.resyncTentativeSuffix).
+func TestPartitionTentativeForkResync(t *testing.T) {
+	runRegression(t, "tentative-fork-catchup", check.RunOpts{})
 }

@@ -78,6 +78,12 @@ var ErrAborted = errors.New("obbc: instance aborted")
 // a Propose waits on its quorum.
 const retryInterval = 500 * time.Millisecond
 
+// starvedRetries is how many fruitless vote re-broadcast cycles the fast
+// path tolerates before falling back (see Propose). Healthy fast paths
+// decide in milliseconds; a multi-second starvation means the missing
+// voters are gone for good.
+const starvedRetries = 6
+
 // Config wires a Service to its node.
 type Config struct {
 	// Mux and Proto attach the vote/evidence messages to the transport.
@@ -105,6 +111,19 @@ type Config struct {
 	// OnPgd receives piggybacked payloads attached to votes. Runs on the
 	// transport read goroutine; must not block.
 	OnPgd func(from flcrypto.NodeID, key Key, pgd []byte)
+	// ChainInput, when set, supplies a grounded fallback input for an
+	// instance this node never voted on: 1 when the local chain already
+	// holds key's block (it was delivered and adopted — via recovery or
+	// catch-up), 0 when the chain holds a different proposer's block for
+	// that round (the rotation passed key.Proposer). A node whose
+	// per-instance state was discarded (DropFrom after a recovery) uses it
+	// to join a fallback it would otherwise sit out — without it, a
+	// fallback started by starved peers can itself starve below the 2f+1
+	// proposal quorum (found by the simulation harness: lossy links plus a
+	// recovery left only two live voters on an instance the rest of the
+	// cluster had adopted out-of-band). Consulted only under the agreed
+	// total order, so all nodes still decide from the same proposal set.
+	ChainInput func(key Key) (byte, bool)
 	// OnVote observes every incoming vote (after dedup checks are NOT yet
 	// applied). The core uses it to spot peers voting on rounds that are
 	// already definite here — a lagging node it can help catch up. Runs on
@@ -190,6 +209,24 @@ func (s *Service) SetOnVote(fn func(from flcrypto.NodeID, key Key)) {
 	s.mu.Lock()
 	s.cfg.OnVote = fn
 	s.mu.Unlock()
+}
+
+// SetChainInput installs the chain oracle after construction (the core
+// binds it once the chain exists; see Config.ChainInput).
+func (s *Service) SetChainInput(fn func(key Key) (byte, bool)) {
+	s.mu.Lock()
+	s.cfg.ChainInput = fn
+	s.mu.Unlock()
+}
+
+func (s *Service) chainInput(key Key) (byte, bool) {
+	s.mu.Lock()
+	fn := s.cfg.ChainInput
+	s.mu.Unlock()
+	if fn == nil {
+		return 0, false
+	}
+	return fn(key)
 }
 
 // Stop aborts all waiting Propose calls.
@@ -356,6 +393,7 @@ func (s *Service) Propose(key Key, v byte, evidence []byte, pgd []byte) (byte, e
 	i := s.inst(key)
 
 	// OB5–OB8: wait for n−f votes; decide fast on unanimity for 1.
+	starved := 0
 	for {
 		i.mu.Lock()
 		if i.decided {
@@ -397,11 +435,27 @@ func (s *Service) Propose(key Key, v byte, evidence []byte, pgd []byte) (byte, e
 			i.mu.Unlock()
 			break
 		}
+		if starved >= starvedRetries {
+			// Vote starvation: peers that already passed this round will
+			// never re-vote — their fast votes were lost (a lossy period)
+			// and their instance state may be gone (DropFrom after a
+			// recovery), so re-broadcasting ours cannot complete the
+			// quorum. The fallback is safe to enter at any time (it is a
+			// full consensus; skipping the fast path costs only latency)
+			// and is the designed escape: our ordered proposal prompts
+			// every correct node to contribute via its own vote memory or
+			// the ChainInput oracle, so the 2f+1 proposal quorum re-forms
+			// from nodes the fast path could no longer reach. Found by the
+			// simulation harness as a permanent cluster stall.
+			i.mu.Unlock()
+			break
+		}
 		ch := i.update
 		i.mu.Unlock()
 		select {
 		case <-ch:
 		case <-time.After(retryInterval):
+			starved++
 			s.cfg.Mux.Broadcast(s.cfg.Proto, voteMsg)
 		case <-s.stop:
 			return 0, ErrAborted
@@ -541,10 +595,24 @@ func (s *Service) HandleOrdered(req []byte) bool {
 	if !i.fallbackSeen {
 		i.fallbackSeen = true
 		// Line OB26–OB27: a node that decided fast joins the fallback so
-		// it reaches the 2f+1 proposals quorum.
-		if i.fastLocal && !i.submitted {
-			i.submitted = true
-			go s.submitProposal(key, i.value)
+		// it reaches the 2f+1 proposals quorum. Nodes without a fast
+		// decision join from the next-best grounded input: the vote they
+		// broadcast earlier (re-learned or remembered), or the chain
+		// oracle (this round's block was adopted out-of-band — recovery or
+		// catch-up — so the instance's outcome is already materialized
+		// locally). Without these, a fallback among partially-reset nodes
+		// can starve below 2f+1 proposals forever.
+		if !i.submitted {
+			if i.fastLocal {
+				i.submitted = true
+				go s.submitProposal(key, i.value)
+			} else if own, ok := i.votes[s.id]; ok {
+				i.submitted = true
+				go s.submitProposal(key, own)
+			} else if input, ok := s.chainInput(key); ok {
+				i.submitted = true
+				go s.submitProposal(key, input)
+			}
 		}
 		i.bump()
 	}

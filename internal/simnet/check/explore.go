@@ -1,0 +1,146 @@
+package check
+
+import (
+	"fmt"
+	"time"
+)
+
+// ExploreOpts parameterize a randomized campaign.
+type ExploreOpts struct {
+	// BaseSeed is the first scenario seed; scenario i runs seed BaseSeed+i.
+	BaseSeed int64
+	// Count is how many seeded scenarios to run.
+	Count int
+	// Gen bounds the scenario generator.
+	Gen GenOpts
+	// Logf receives per-seed progress and failure reports (required output
+	// path for campaigns; nil discards).
+	Logf func(format string, args ...any)
+	// NoShrink skips minimizing failing schedules (replay mode sets it: the
+	// caller wants the original failure, verbatim).
+	NoShrink bool
+	// Deadline, when nonzero, stops the campaign after the scenario that is
+	// running when it passes (offline campaigns bound wall clock, not seed
+	// count).
+	Deadline time.Time
+}
+
+// Failure is one failing seed: the scenario that failed, its error, and —
+// when shrinking found a strictly smaller schedule that still fails — the
+// minimal repro.
+type Failure struct {
+	Seed     int64
+	Scenario Scenario
+	// Gen are the generator bounds the scenario was derived under; replay
+	// must pass the same ones, since they change the seed's draw sequence.
+	Gen GenOpts
+	Err error
+	// Shrunk is the minimized scenario (nil when shrinking was off or
+	// removed nothing).
+	Shrunk    *Scenario
+	ShrunkErr error
+}
+
+// ReplayCommand is the one-line incantation that reruns exactly this seed.
+// It carries the generator options: Generate(seed) is only a pure function
+// per (seed, GenOpts) pair — a fixed N or NoByzantine short-circuits rng
+// draws and shifts every one after it.
+func (f Failure) ReplayCommand() string {
+	cmd := fmt.Sprintf("go test ./internal/simnet/check -run TestSimExplore -seed=%d", f.Seed)
+	if f.Gen.N != 0 {
+		cmd += fmt.Sprintf(" -cluster-n=%d", f.Gen.N)
+	}
+	if f.Gen.NoByzantine {
+		cmd += " -byzantine=false"
+	}
+	return cmd + " -v"
+}
+
+// Explore samples Count seeded fault schedules, runs each to its horizon
+// under the invariant checker, shrinks every failure to a minimal repro, and
+// returns the failures. An empty slice means every sampled schedule upheld
+// agreement, prefix consistency, durability, and post-heal liveness.
+func Explore(opts ExploreOpts) []Failure {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var failures []Failure
+	for i := 0; i < opts.Count; i++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			logf("deadline reached after %d/%d scenarios", i, opts.Count)
+			break
+		}
+		seed := opts.BaseSeed + int64(i)
+		sc := Generate(seed, opts.Gen)
+		start := time.Now()
+		err := Run(sc, RunOpts{})
+		if err == nil {
+			logf("seed %d ok (%s, %d events)", seed, time.Since(start).Round(time.Millisecond), len(sc.Events))
+			continue
+		}
+		f := Failure{Seed: seed, Scenario: sc, Gen: opts.Gen, Err: err}
+		logf("seed %d FAILED: %v", seed, err)
+		logf("%s", sc.String())
+		logf("replay: %s", f.ReplayCommand())
+		if !opts.NoShrink {
+			if shrunk, serr := Shrink(sc, logf); len(shrunk.Events) < len(sc.Events) ||
+				len(shrunk.Equivocators) < len(sc.Equivocators) {
+				f.Shrunk, f.ShrunkErr = &shrunk, serr
+				logf("shrunk to %d event(s): %v", len(shrunk.Events), serr)
+				logf("%s", shrunk.String())
+			}
+		}
+		failures = append(failures, f)
+	}
+	return failures
+}
+
+// Shrink greedily minimizes a failing scenario: it tries dropping each fault
+// event (and the Byzantine cast) one at a time, keeping any removal after
+// which the scenario still fails, until a pass over the remaining elements
+// removes nothing. The result is a locally-minimal schedule — every
+// remaining element is necessary for the failure — plus the error the
+// minimal schedule fails with. Scheduling noise can make a removal's rerun
+// pass spuriously; greedy single-removal keeps the cost bounded at
+// O(events²) runs worst case.
+func Shrink(sc Scenario, logf func(format string, args ...any)) (Scenario, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	cur := sc
+	curErr := error(nil)
+	for {
+		removed := false
+		// Try dropping the Byzantine cast first: equivocator runs are the
+		// slow ones, so ruling them out early speeds everything after.
+		if len(cur.Equivocators) > 0 {
+			trial := cur
+			trial.Equivocators = nil
+			trial.LivenessTimeout = 0 // refill for the non-Byzantine profile
+			trial.fill()
+			if err := Run(trial, RunOpts{}); err != nil {
+				logf("shrink: fails without equivocators (%v)", err)
+				cur, curErr, removed = trial, err, true
+			}
+		}
+		for i := 0; i < len(cur.Events); i++ {
+			trial := cur
+			trial.Events = append(append([]Event(nil), cur.Events[:i]...), cur.Events[i+1:]...)
+			if err := Run(trial, RunOpts{}); err != nil {
+				logf("shrink: fails without event %d (%s): %v", i, cur.Events[i].describe(), err)
+				cur, curErr, removed = trial, err, true
+				break // indexes shifted; restart the pass
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	if curErr == nil {
+		// Nothing could be removed; rerun once to report the (original)
+		// failure against the unshrunk scenario.
+		curErr = Run(cur, RunOpts{})
+	}
+	return cur, curErr
+}

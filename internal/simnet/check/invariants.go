@@ -1,0 +1,137 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// slot identifies one definite position in the two-dimensional log.
+type slot struct {
+	w uint32
+	r uint64
+}
+
+// firstWrite remembers which node first delivered a hash at a slot, for
+// conflict reports.
+type firstWrite struct {
+	hash flcrypto.Hash
+	node int
+}
+
+// Checker is the always-on invariant oracle: every node's Deliver hook feeds
+// it, and it validates each delivery the moment it happens — agreement
+// against every block any honest node has ever delivered at that slot, and
+// per-node prefix consistency of the merged order (per-worker rounds must
+// advance contiguously within a node incarnation, so a duplicate, a skipped
+// round, or an out-of-order emission is flagged at the step it occurs, not
+// at the end of the run). Violations accumulate; the runner turns them into
+// a failed scenario.
+type Checker struct {
+	mu sync.Mutex
+	// byz marks nodes whose deliveries are recorded but not asserted on
+	// (the paper promises nothing about Byzantine nodes' local state).
+	byz map[int]bool
+	// global is the cluster-wide slot → first delivered hash map; agreement
+	// means no honest node ever contradicts it. It survives restarts — a
+	// definite block is forever.
+	global map[slot]firstWrite
+	// cursor tracks each live node incarnation's last delivered round per
+	// worker; fresh incarnations (restarts) may re-deliver or resume, but
+	// must advance contiguously from wherever they start.
+	cursor map[int]map[uint32]uint64
+	// violations is the flight recorder the runner drains.
+	violations []string
+}
+
+// NewChecker builds a checker for an n-node cluster with the given
+// Byzantine cast.
+func NewChecker(n int, byzantine []int) *Checker {
+	c := &Checker{
+		byz:    make(map[int]bool, len(byzantine)),
+		global: make(map[slot]firstWrite),
+		cursor: make(map[int]map[uint32]uint64, n),
+	}
+	for _, b := range byzantine {
+		c.byz[b] = true
+	}
+	return c
+}
+
+// OnDeliver validates one merged-stream delivery at node `node`. It is the
+// per-step invariant probe: installed as every node's flo Deliver hook, it
+// runs synchronously on the delivery path.
+func (c *Checker) OnDeliver(node int, w uint32, blk types.Block) {
+	round := blk.Signed.Header.Round
+	hash := blk.Hash()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Agreement: one hash per (worker, round), forever, across all honest
+	// nodes and all of their incarnations.
+	s := slot{w: w, r: round}
+	if prev, ok := c.global[s]; ok {
+		if prev.hash != hash && !c.byz[node] {
+			c.violations = append(c.violations, fmt.Sprintf(
+				"agreement violation at (worker %d, round %d): node %d delivered %x, node %d first delivered %x",
+				w, round, node, hash[:8], prev.node, prev.hash[:8]))
+		}
+	} else if !c.byz[node] {
+		c.global[s] = firstWrite{hash: hash, node: node}
+	}
+
+	if c.byz[node] {
+		return
+	}
+
+	// Prefix consistency: within an incarnation, a worker's rounds advance
+	// by exactly one — no duplicates, no gaps, no reordering.
+	rounds := c.cursor[node]
+	if rounds == nil {
+		rounds = make(map[uint32]uint64)
+		c.cursor[node] = rounds
+	}
+	if last, started := rounds[w]; started && round != last+1 {
+		c.violations = append(c.violations, fmt.Sprintf(
+			"delivery order violation at node %d: worker %d delivered round %d after round %d",
+			node, w, round, last))
+	}
+	rounds[w] = round
+}
+
+// ResetNode opens a new incarnation for node: the per-worker cursors reset
+// (a restarted node resumes above its replayed prefix, or re-delivers from
+// round 1 when it restarts stateless), while its slot hashes stay binding.
+func (c *Checker) ResetNode(node int) {
+	c.mu.Lock()
+	delete(c.cursor, node)
+	c.mu.Unlock()
+}
+
+// HashAt exposes the cluster-wide first-delivered hash for a slot (the
+// durability oracle restarts are checked against).
+func (c *Checker) HashAt(w uint32, r uint64) (flcrypto.Hash, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fw, ok := c.global[slot{w: w, r: r}]
+	return fw.hash, ok
+}
+
+// Violate records an externally-detected invariant violation (the runner
+// uses it for durability breaks observed at restart time).
+func (c *Checker) Violate(format string, args ...any) {
+	c.mu.Lock()
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}
+
+// Violations snapshots the recorded invariant breaks.
+func (c *Checker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.violations))
+	copy(out, c.violations)
+	return out
+}

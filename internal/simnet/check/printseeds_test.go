@@ -1,0 +1,18 @@
+package check
+
+import (
+	"flag"
+	"testing"
+)
+
+var printSeeds = flag.Bool("print-seeds", false, "dump the generated schedule of each corpus seed")
+
+func TestPrintSeedSchedules(t *testing.T) {
+	if !*printSeeds {
+		t.Skip("pass -print-seeds")
+	}
+	for s := *baseSeedFlag; s < *baseSeedFlag+int64(*seedsFlag); s++ {
+		sc := Generate(s, GenOpts{})
+		t.Logf("\n%s", sc.String())
+	}
+}

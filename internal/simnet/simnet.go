@@ -1,0 +1,177 @@
+// Package simnet is the deterministic, seed-driven simulation layer over the
+// in-process transport. A SimNetwork is a transport.Network whose every
+// nondeterministic choice — per-link latency jitter, message drops,
+// duplications, extra delays, and the partition/crash epochs the scenario
+// layer schedules on top — is drawn from a single rand.Source derived from
+// one seed. A failing randomized run is therefore reproduced by its seed:
+// the fault schedule, the latency draws, and the injected link faults replay
+// identically (see internal/simnet/check for the scenario runner and
+// invariant checker built on top).
+//
+// Determinism scope, stated honestly: with a virtual clock and a single
+// driving goroutine (transport's determinism regression tests), the entire
+// delivery trace is byte-reproducible. Running a real cluster of goroutines
+// on top, the *schedule* (fault epochs, partitions, crash/restart timing,
+// per-message fault distribution) is a pure function of the seed, while the
+// goroutine interleaving around it stays OS-scheduled — the FoundationDB
+// trade made practical for an existing concurrent codebase.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// N is the cluster size.
+	N int
+	// Seed drives every random choice the network makes. Two SimNetworks
+	// with the same Config draw identical latency and fault schedules.
+	Seed int64
+	// BaseLatency/Jitter shape the per-message one-way delay, drawn
+	// uniformly from [BaseLatency, BaseLatency+Jitter). Defaults: 200µs/300µs
+	// (the single-DC profile). JitterOnly zero values keep the defaults;
+	// set ZeroLatency for a latency-free network.
+	BaseLatency time.Duration
+	Jitter      time.Duration
+	// ZeroLatency disables propagation delay entirely (unit-test profile).
+	ZeroLatency bool
+	// Clock injects a virtual clock (nil = wall clock).
+	Clock transport.Clock
+	// Trace taps every delivery (see transport.ChanConfig.Trace).
+	Trace func(transport.TraceEvent)
+}
+
+// SimNetwork is a seeded fault-injecting transport.Network. The embedded
+// ChanNetwork supplies endpoints, crash/heal, link filtering, and restart
+// reattachment; SimNetwork layers the seeded per-message fault draws and
+// partition helpers on top and serves as the network's FaultInjector.
+type SimNetwork struct {
+	*transport.ChanNetwork
+	n    int
+	seed int64
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	dropProb    float64
+	dupProb     float64
+	extraJitter time.Duration
+}
+
+var _ transport.Network = (*SimNetwork)(nil)
+var _ transport.FaultInjector = (*SimNetwork)(nil)
+
+// New creates a simulated network of cfg.N endpoints seeded by cfg.Seed.
+func New(cfg Config) *SimNetwork {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("simnet: invalid cluster size %d", cfg.N))
+	}
+	if cfg.BaseLatency == 0 && cfg.Jitter == 0 && !cfg.ZeroLatency {
+		cfg.BaseLatency, cfg.Jitter = 200*time.Microsecond, 300*time.Microsecond
+	}
+	s := &SimNetwork{
+		n:    cfg.N,
+		seed: cfg.Seed,
+		// Independent streams for latency draws and fault decisions, both
+		// derived from the one seed: interleaving of Delay and FaultFor
+		// calls cannot shift one another's sequences.
+		rng: rand.New(rand.NewSource(mix(cfg.Seed, 0x5eed_fa17))),
+	}
+	var latency transport.LatencyModel = transport.Zero
+	if !cfg.ZeroLatency {
+		latency = transport.UniformSeeded(cfg.BaseLatency, cfg.Jitter, mix(cfg.Seed, 0x5eed_1a7e))
+	}
+	s.ChanNetwork = transport.NewChanNetwork(transport.ChanConfig{
+		N:       cfg.N,
+		Latency: latency,
+		Clock:   cfg.Clock,
+		Faults:  s,
+		Trace:   cfg.Trace,
+	})
+	return s
+}
+
+// mix derives a sub-seed from the master seed and a stream tag
+// (splitmix64-style finalizer, so nearby seeds land far apart).
+func mix(seed, stream int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// FaultFor implements transport.FaultInjector: one seeded draw per non-self
+// message, honoring the currently-installed fault epoch.
+func (s *SimNetwork) FaultFor(_, _ flcrypto.NodeID, _ int) transport.Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var f transport.Fault
+	if s.dropProb > 0 && s.rng.Float64() < s.dropProb {
+		f.Drop = true
+		return f
+	}
+	if s.dupProb > 0 && s.rng.Float64() < s.dupProb {
+		f.Duplicate = true
+	}
+	if s.extraJitter > 0 {
+		f.ExtraDelay = time.Duration(s.rng.Int63n(int64(s.extraJitter)))
+	}
+	return f
+}
+
+// SetLinkFaults opens a fault epoch: every subsequent message is dropped
+// with probability dropProb, duplicated with probability dupProb, and skewed
+// by up to extraJitter of additional seeded delay. Zeros close the epoch.
+func (s *SimNetwork) SetLinkFaults(dropProb, dupProb float64, extraJitter time.Duration) {
+	s.mu.Lock()
+	s.dropProb, s.dupProb, s.extraJitter = dropProb, dupProb, extraJitter
+	s.mu.Unlock()
+}
+
+// Partition splits the cluster: links between nodes in different groups are
+// cut in both directions (nodes absent from every group form an implicit
+// final group). An empty call heals all partitions.
+func (s *SimNetwork) Partition(groups ...[]int) {
+	if len(groups) == 0 {
+		s.SetLinkFilter(nil)
+		return
+	}
+	group := make([]int, s.n)
+	for i := range group {
+		group[i] = -1 // implicit leftover group
+	}
+	for gi, g := range groups {
+		for _, node := range g {
+			group[node] = gi
+		}
+	}
+	s.SetLinkFilter(func(from, to flcrypto.NodeID) bool {
+		return group[from] != group[to]
+	})
+}
+
+// Isolate cuts one node's links in both directions (a 1 vs n−1 partition).
+func (s *SimNetwork) Isolate(node int) {
+	s.Partition([]int{node})
+}
+
+// HealLinks removes every partition and closes the fault epoch; crashed
+// nodes stay crashed (Heal them individually on restart).
+func (s *SimNetwork) HealLinks() {
+	s.SetLinkFilter(nil)
+	s.SetLinkFaults(0, 0, 0)
+}
+
+// Rand derives a fresh seeded RNG stream from the network's master seed, for
+// scenario code that needs auxiliary choices (e.g. client payloads) tied to
+// the same seed. Streams are independent of each other and of the fault and
+// latency draws — calling Rand never perturbs the network's own schedule.
+func (s *SimNetwork) Rand(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(mix(s.seed, 0x0a0b+stream)))
+}

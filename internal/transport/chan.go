@@ -20,20 +20,79 @@ type ChanConfig struct {
 	// egress for (n−1)·B / rate. Zero disables bandwidth modeling.
 	// The paper's VMs have "up to 10 Gbps" links (§7).
 	EgressBytesPerSec float64
+	// Clock supplies time reads and delivery timers (nil means WallClock).
+	// Simulated runs inject a seeded VirtualClock so the delivery schedule
+	// is a deterministic function of the send sequence.
+	Clock Clock
+	// Faults, when non-nil, is consulted once per non-self Send for a
+	// per-message fault decision (drop / duplicate / extra delay). The
+	// simulation layer (internal/simnet) installs a seeded injector here;
+	// SetFaultInjector swaps it at runtime.
+	Faults FaultInjector
+	// Trace, when non-nil, observes every delivery (including loopback)
+	// synchronously at the instant the message enters the target mailbox.
+	// Used by the determinism regression tests to capture delivery traces.
+	Trace func(TraceEvent)
 }
+
+// Fault is one message's injected fate.
+type Fault struct {
+	// Drop discards the message at send time (indistinguishable, to the
+	// protocols, from an arbitrarily slow link).
+	Drop bool
+	// Duplicate delivers the message twice; the copy draws its own latency.
+	Duplicate bool
+	// ExtraDelay is added to the latency model's draw. Per-link FIFO order
+	// still holds (the link horizon clamps every message at or after its
+	// predecessor), so this skews timing without violating the §3.1 no-
+	// reorder link contract.
+	ExtraDelay time.Duration
+}
+
+// FaultInjector decides per-message faults. Implementations must be safe for
+// concurrent use; deterministic injectors serialize their RNG internally.
+type FaultInjector interface {
+	FaultFor(from, to flcrypto.NodeID, size int) Fault
+}
+
+// TraceEvent is one delivered message, as observed by ChanConfig.Trace.
+type TraceEvent struct {
+	At       time.Time
+	From, To flcrypto.NodeID
+	Payload  []byte // the delivered bytes; observers must not mutate
+}
+
+// Network is the restart-capable in-process fabric the cluster harnesses
+// run on: endpoints, crash/heal, link filtering, and reattachment. Both
+// ChanNetwork and simnet.SimNetwork implement it.
+type Network interface {
+	Endpoint(id flcrypto.NodeID) Endpoint
+	Reattach(id flcrypto.NodeID) Endpoint
+	Crash(id flcrypto.NodeID)
+	Heal(id flcrypto.NodeID)
+	SetLinkFilter(f func(from, to flcrypto.NodeID) bool)
+	Close()
+}
+
+var _ Network = (*ChanNetwork)(nil)
 
 // ChanNetwork is the in-process network used by tests, examples, and the
 // benchmark harness. It plays the role of the paper's AWS fabric and adds
 // the fault injection needed for §7.4: crashes, per-link omission, and
 // partitions.
 type ChanNetwork struct {
-	cfg  ChanConfig
-	eps  []*chanEndpoint
-	now0 time.Time
+	cfg   ChanConfig
+	eps   []*chanEndpoint
+	now0  time.Time
+	clock Clock
 
 	mu        sync.RWMutex
 	crashed   map[flcrypto.NodeID]bool
 	blockLink func(from, to flcrypto.NodeID) bool
+	faults    FaultInjector
+
+	faultDrops atomic.Uint64
+	faultDups  atomic.Uint64
 }
 
 // NewChanNetwork creates a network of cfg.N endpoints.
@@ -44,10 +103,15 @@ func NewChanNetwork(cfg ChanConfig) *ChanNetwork {
 	if cfg.Latency == nil {
 		cfg.Latency = Zero
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock
+	}
 	n := &ChanNetwork{
 		cfg:     cfg,
-		now0:    time.Now(),
+		clock:   cfg.Clock,
+		now0:    cfg.Clock.Now(),
 		crashed: make(map[flcrypto.NodeID]bool),
+		faults:  cfg.Faults,
 	}
 	n.eps = make([]*chanEndpoint, cfg.N)
 	for i := range n.eps {
@@ -119,6 +183,31 @@ func (n *ChanNetwork) SetLinkFilter(f func(from, to flcrypto.NodeID) bool) {
 	n.blockLink = f
 	n.mu.Unlock()
 }
+
+// SetFaultInjector installs (or, with nil, removes) the per-message fault
+// injector at runtime. The simulation layer swaps injectors between fault
+// epochs.
+func (n *ChanNetwork) SetFaultInjector(f FaultInjector) {
+	n.mu.Lock()
+	n.faults = f
+	n.mu.Unlock()
+}
+
+func (n *ChanNetwork) faultFor(from, to flcrypto.NodeID, size int) Fault {
+	n.mu.RLock()
+	f := n.faults
+	n.mu.RUnlock()
+	if f == nil {
+		return Fault{}
+	}
+	return f.FaultFor(from, to, size)
+}
+
+// FaultDrops reports how many messages the fault injector has discarded.
+func (n *ChanNetwork) FaultDrops() uint64 { return n.faultDrops.Load() }
+
+// FaultDups reports how many duplicate deliveries the injector has minted.
+func (n *ChanNetwork) FaultDups() uint64 { return n.faultDups.Load() }
 
 func (n *ChanNetwork) linkBlocked(from, to flcrypto.NodeID) bool {
 	n.mu.RLock()
@@ -201,6 +290,9 @@ func (e *chanEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
 	}
 	if to == e.id {
 		// Loopback: immediate, no NIC cost.
+		if tr := e.net.cfg.Trace; tr != nil {
+			tr(TraceEvent{At: e.net.clock.Now(), From: e.id, To: e.id, Payload: payload})
+		}
 		e.mbox.put(Message{From: e.id, Payload: payload})
 		return nil
 	}
@@ -210,10 +302,15 @@ func (e *chanEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
 		// is exactly the asynchronous-period behavior being modeled.
 		return nil
 	}
+	fault := e.net.faultFor(e.id, to, len(payload))
+	if fault.Drop {
+		e.net.faultDrops.Add(1)
+		return nil
+	}
 	atomic.AddUint64(&e.bytesSent, uint64(len(payload)))
 	atomic.AddUint64(&e.msgsSent, 1)
 
-	now := time.Now()
+	now := e.net.clock.Now()
 	e.mu.Lock()
 	sendDone := now
 	if rate := e.net.cfg.EgressBytesPerSec; rate > 0 {
@@ -224,7 +321,20 @@ func (e *chanEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
 		sendDone = e.egress
 	}
 	e.mu.Unlock()
-	deliverAt := sendDone.Add(e.net.cfg.Latency.Delay(e.id, to))
+	e.enqueue(to, payload, sendDone, fault.ExtraDelay)
+	if fault.Duplicate {
+		// The copy draws its own latency, so it trails (or lands with) the
+		// original under the link's FIFO horizon.
+		e.net.faultDups.Add(1)
+		e.enqueue(to, payload, sendDone, fault.ExtraDelay)
+	}
+	return nil
+}
+
+// enqueue schedules one delivery of payload on the id→to link at
+// sendDone + latency draw + extraDelay, clamped to the link's FIFO horizon.
+func (e *chanEndpoint) enqueue(to flcrypto.NodeID, payload []byte, sendDone time.Time, extraDelay time.Duration) {
+	deliverAt := sendDone.Add(e.net.cfg.Latency.Delay(e.id, to) + extraDelay)
 
 	lq := &e.links[to]
 	lq.mu.Lock()
@@ -235,13 +345,15 @@ func (e *chanEndpoint) Send(to flcrypto.NodeID, payload []byte) error {
 	lq.queue = append(lq.queue, Message{From: e.id, Payload: payload})
 	lq.mu.Unlock()
 
-	delay := time.Until(deliverAt)
-	if delay <= 50*time.Microsecond {
+	delay := deliverAt.Sub(e.net.clock.Now())
+	if _, virtual := e.net.clock.(*VirtualClock); delay <= 50*time.Microsecond && !virtual {
+		// Wall-clock fast path: a due message skips the timer. Virtual
+		// clocks always go through AfterFunc so delivery order is a pure
+		// function of (deadline, registration) even for zero-latency links.
 		e.deliverHead(to, lq)
-		return nil
+		return
 	}
-	time.AfterFunc(delay, func() { e.deliverHead(to, lq) })
-	return nil
+	e.net.clock.AfterFunc(delay, func() { e.deliverHead(to, lq) })
 }
 
 // deliverHead releases the oldest queued message on the link. Every send
@@ -261,6 +373,9 @@ func (e *chanEndpoint) deliverHead(to flcrypto.NodeID, lq *linkQueue) {
 	// cable.
 	if e.net.linkBlocked(msg.From, to) {
 		return
+	}
+	if tr := e.net.cfg.Trace; tr != nil {
+		tr(TraceEvent{At: e.net.clock.Now(), From: msg.From, To: to, Payload: msg.Payload})
 	}
 	// Resolve the target at delivery time: a Reattach between send and
 	// delivery routes the message to the restarted node's fresh mailbox.

@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the two time operations the in-process network performs —
+// reading the current instant and scheduling a callback — so simulated runs
+// can substitute a virtual clock and become time-deterministic. The wall
+// clock is the default everywhere; tests and the simulation harness
+// (internal/simnet) inject their own.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// AfterFunc runs f once d has elapsed, on an unspecified goroutine
+	// (the wall clock) or inline during Advance (the virtual clock). The
+	// returned stop function cancels a not-yet-fired timer.
+	AfterFunc(d time.Duration, f func()) (stop func() bool)
+}
+
+// WallClock is the real-time Clock used outside simulations.
+var WallClock Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) AfterFunc(d time.Duration, f func()) func() bool {
+	t := time.AfterFunc(d, f)
+	return t.Stop
+}
+
+// VirtualClock is a manually-advanced Clock: Now returns a virtual instant
+// that moves only through Advance, and AfterFunc callbacks fire inline
+// during Advance in deterministic (deadline, registration) order. Two runs
+// that perform the same sequence of clock operations therefore observe
+// byte-identical timer schedules — the property the simnet determinism
+// regression tests pin down.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	timers vtimerHeap
+}
+
+// NewVirtualClock starts a virtual clock at `start` (a fixed epoch keeps
+// traces byte-comparable across runs).
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual instant.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc schedules f at now+d. A non-positive d fires on the next
+// Advance, never inline — callers hold their own locks.
+func (c *VirtualClock) AfterFunc(d time.Duration, f func()) (stop func() bool) {
+	c.mu.Lock()
+	t := &vtimer{at: c.now.Add(d), seq: c.seq, f: f}
+	c.seq++
+	heap.Push(&c.timers, t)
+	c.mu.Unlock()
+	return func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if t.fired || t.index < 0 {
+			return false
+		}
+		heap.Remove(&c.timers, t.index)
+		return true
+	}
+}
+
+// Advance moves virtual time forward by d, firing every timer whose deadline
+// falls inside the window, in (deadline, registration) order. Callbacks run
+// inline on the caller's goroutine with the clock unlocked, so they may
+// re-read Now and schedule further timers; a timer scheduled inside the
+// window by a callback fires during the same Advance.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		if len(c.timers) == 0 || c.timers[0].at.After(target) {
+			break
+		}
+		t := heap.Pop(&c.timers).(*vtimer)
+		t.fired = true
+		if t.at.After(c.now) {
+			c.now = t.at
+		}
+		c.mu.Unlock()
+		t.f()
+		c.mu.Lock()
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// PendingTimers reports how many timers are waiting to fire.
+func (c *VirtualClock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+type vtimer struct {
+	at    time.Time
+	seq   uint64
+	f     func()
+	index int
+	fired bool
+}
+
+type vtimerHeap []*vtimer
+
+func (h vtimerHeap) Len() int { return len(h) }
+func (h vtimerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vtimerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *vtimerHeap) Push(x any) {
+	t := x.(*vtimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *vtimerHeap) Pop() any {
+	old := *h
+	t := old[len(old)-1]
+	old[len(old)-1] = nil
+	t.index = -1
+	*h = old[:len(old)-1]
+	return t
+}

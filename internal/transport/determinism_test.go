@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+)
+
+// scriptInjector is a deterministic test fault injector: decisions are a
+// pure function of (seed, call order). Single-goroutine tests need no lock.
+type scriptInjector struct {
+	rng *rand.Rand
+}
+
+func (s *scriptInjector) FaultFor(_, _ flcrypto.NodeID, _ int) Fault {
+	var f Fault
+	switch s.rng.Intn(10) {
+	case 0:
+		f.Drop = true
+	case 1:
+		f.Duplicate = true
+	case 2:
+		f.ExtraDelay = time.Duration(s.rng.Intn(3000)) * time.Microsecond
+	}
+	return f
+}
+
+// traceRun drives a fixed send script over a virtual-clock ChanNetwork and
+// returns the serialized delivery trace.
+func traceRun(seed int64) []byte {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	var buf bytes.Buffer
+	net := NewChanNetwork(ChanConfig{
+		N:       4,
+		Latency: UniformSeeded(200*time.Microsecond, 400*time.Microsecond, seed),
+		Clock:   clock,
+		Faults:  &scriptInjector{rng: rand.New(rand.NewSource(seed + 1))},
+		Trace: func(ev TraceEvent) {
+			sum := sha256.Sum256(ev.Payload)
+			fmt.Fprintf(&buf, "%d %d->%d %x\n", ev.At.UnixNano(), ev.From, ev.To, sum[:8])
+		},
+	})
+	defer net.Close()
+
+	script := rand.New(rand.NewSource(seed + 2))
+	for i := 0; i < 400; i++ {
+		from := flcrypto.NodeID(script.Intn(4))
+		payload := make([]byte, 1+script.Intn(64))
+		script.Read(payload)
+		if script.Intn(4) == 0 {
+			net.Endpoint(from).Broadcast(payload)
+		} else {
+			net.Endpoint(from).Send(flcrypto.NodeID(script.Intn(4)), payload)
+		}
+		if script.Intn(8) == 0 {
+			clock.Advance(time.Duration(script.Intn(2000)) * time.Microsecond)
+		}
+	}
+	clock.Advance(time.Second) // flush every pending delivery timer
+	return buf.Bytes()
+}
+
+// TestChanNetworkDeterministicTrace is the seed-replay contract of the
+// simulation layer: with an injected virtual clock and seeded rand, two runs
+// of the same send script produce byte-identical delivery traces — latency
+// draws, fault decisions (drops, duplicates, extra delays), and delivery
+// timestamps included.
+func TestChanNetworkDeterministicTrace(t *testing.T) {
+	first := traceRun(7)
+	if len(first) == 0 {
+		t.Fatal("empty delivery trace")
+	}
+	for i := 0; i < 3; i++ {
+		if again := traceRun(7); !bytes.Equal(first, again) {
+			t.Fatalf("same seed diverged on rerun %d:\n--- first\n%s\n--- rerun\n%s", i, first, again)
+		}
+	}
+	if other := traceRun(8); bytes.Equal(first, other) {
+		t.Fatal("different seeds produced identical traces; seed is not reaching the schedule")
+	}
+}
+
+// TestVirtualClockOrdering pins the virtual clock's timer semantics: inline
+// firing during Advance in (deadline, registration) order, stop semantics,
+// and timers scheduled by callbacks inside the advanced window firing in the
+// same Advance.
+func TestVirtualClockOrdering(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	var fired []string
+	clock.AfterFunc(20*time.Millisecond, func() { fired = append(fired, "b") })
+	clock.AfterFunc(10*time.Millisecond, func() {
+		fired = append(fired, "a")
+		// Scheduled mid-Advance, lands inside the window: fires this Advance.
+		clock.AfterFunc(5*time.Millisecond, func() { fired = append(fired, "a+") })
+	})
+	clock.AfterFunc(10*time.Millisecond, func() { fired = append(fired, "a2") })
+	stop := clock.AfterFunc(15*time.Millisecond, func() { fired = append(fired, "cancelled") })
+	if !stop() {
+		t.Fatal("stop of pending timer reported already-fired")
+	}
+	clock.AfterFunc(40*time.Millisecond, func() { fired = append(fired, "late") })
+
+	clock.Advance(30 * time.Millisecond)
+	want := "a,a2,a+,b"
+	if got := fmt.Sprint(fired); got != fmt.Sprint([]string{"a", "a2", "a+", "b"}) {
+		t.Fatalf("firing order = %v, want %s", fired, want)
+	}
+	if clock.PendingTimers() != 1 {
+		t.Fatalf("pending timers = %d, want 1 (the 40ms timer)", clock.PendingTimers())
+	}
+	if got := clock.Now(); got != time.Unix(0, 0).Add(30*time.Millisecond) {
+		t.Fatalf("virtual now = %v", got)
+	}
+	clock.Advance(10 * time.Millisecond)
+	if fired[len(fired)-1] != "late" {
+		t.Fatalf("40ms timer never fired: %v", fired)
+	}
+}

@@ -28,7 +28,14 @@ var Zero = LatencyFunc(func(_, _ flcrypto.NodeID) time.Duration { return 0 })
 // Uniform returns a model drawing delays uniformly from [base, base+jitter).
 // With jitter 0 it is constant.
 func Uniform(base, jitter time.Duration) LatencyModel {
-	return &uniformModel{base: base, jitter: jitter, rng: rand.New(rand.NewSource(1))}
+	return UniformSeeded(base, jitter, 1)
+}
+
+// UniformSeeded is Uniform with an explicit RNG seed, so a simulated run's
+// jitter draws are a pure function of (seed, draw order) — the injected-rand
+// half of making simulations replayable (internal/simnet).
+func UniformSeeded(base, jitter time.Duration, seed int64) LatencyModel {
+	return &uniformModel{base: base, jitter: jitter, rng: rand.New(rand.NewSource(seed))}
 }
 
 type uniformModel struct {
@@ -83,10 +90,15 @@ var geoRTTms = [10][10]float64{
 // benchmarks use smaller scales to keep wall-clock runs short while
 // preserving the latency *structure*).
 func Geo(scale float64) LatencyModel {
+	return GeoSeeded(scale, 2)
+}
+
+// GeoSeeded is Geo with an explicit RNG seed (see UniformSeeded).
+func GeoSeeded(scale float64, seed int64) LatencyModel {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &geoModel{scale: scale, rng: rand.New(rand.NewSource(2))}
+	return &geoModel{scale: scale, rng: rand.New(rand.NewSource(seed))}
 }
 
 type geoModel struct {
