@@ -13,7 +13,7 @@ import (
 
 // Client is the in-process Session implementation: it attaches directly to
 // a *Node in the same process, assigns client-local sequence numbers, routes
-// writes through the node's least-loaded worker (§6.2), and resolves each
+// writes through the node's hash-affinity worker choice (§6.2), and resolves each
 // write with its commit receipt when the transaction appears in a definite
 // block of the merged, globally-ordered stream — i.e., when the write is
 // final under BBFC(f+1), not merely tentative.
@@ -153,6 +153,7 @@ func (c *Client) Info(context.Context) (Info, error) {
 		Workers:         c.node.Workers(),
 		DeliveredBlocks: c.node.DeliveredBlocks(),
 		DeliveredTxs:    c.node.DeliveredTxs(),
+		PoolPending:     c.node.PoolPending(),
 	}, nil
 }
 

@@ -6,6 +6,7 @@
 //	flbench -exp fig7            # quick profile of Fig 7's sweep
 //	flbench -exp fig16 -full     # paper-scale FLO vs HotStuff comparison
 //	flbench -exp all             # the whole evaluation, in paper order
+//	flbench -exp workers -out BENCH_workers.json   # ω scaling artifact
 //	flbench -list                # what's available
 //
 // The quick profile compresses sweeps and measurement windows so the full
@@ -16,20 +17,35 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/harness"
 )
 
+// workersDoc is the BENCH_workers.json shape: the scaling cells plus enough
+// environment metadata to read the numbers honestly.
+type workersDoc struct {
+	Date      string                `json:"date"`
+	GOOS      string                `json:"goos"`
+	GOARCH    string                `json:"goarch"`
+	NumCPU    int                   `json:"num_cpu"`
+	GoVersion string                `json:"go_version"`
+	Profile   string                `json:"profile"`
+	Cells     []harness.WorkersCell `json:"cells"`
+}
+
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment to run: table1, fig5..fig17, or all")
+		exp  = flag.String("exp", "", "experiment to run: workers, table1, fig5..fig17, or all")
 		full = flag.Bool("full", false, "paper-scale parameters instead of the quick profile")
 		list = flag.Bool("list", false, "list available experiments")
+		out  = flag.String("out", "", "for -exp workers: also write the cells as JSON to this path")
 	)
 	flag.Parse()
 
@@ -51,8 +67,45 @@ func main() {
 	}
 
 	scale := harness.Quick
+	profile := "quick"
 	if *full {
 		scale = harness.Full
+		profile = "full"
+	}
+
+	if *out != "" {
+		if *exp != "workers" {
+			fmt.Fprintln(os.Stderr, "-out is only supported with -exp workers")
+			os.Exit(2)
+		}
+		start := time.Now()
+		cells := harness.WorkersSweep(scale)
+		doc := workersDoc{
+			Date:      time.Now().UTC().Format("2006-01-02"),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			GoVersion: runtime.Version(),
+			Profile:   profile,
+			Cells:     cells,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# workers: tps vs omega, n=4, batch=100, sigma=512, single data-center\n")
+		fmt.Printf("gomaxprocs\tworkers\ttps\tp50-ms\tp99-ms\tblocks\n")
+		for _, c := range cells {
+			fmt.Printf("%d\t%d\t%.0f\t%.2f\t%.2f\t%d\n",
+				c.GoMaxProcs, c.Workers, c.TPS, c.P50Ms, c.P99Ms, c.Blocks)
+		}
+		fmt.Printf("# workers done in %v; wrote %s\n", time.Since(start).Round(time.Millisecond), *out)
+		return
 	}
 
 	run := func(name string) {

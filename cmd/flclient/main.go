@@ -50,6 +50,7 @@ func main() {
 		duration  = flag.Duration("duration", 30*time.Second, "how long to submit")
 		subscribe = flag.Bool("subscribe", false, "also stream the merged definite blocks from cursor 0 during the run")
 		selfhost  = flag.Bool("selfhost", false, "boot an in-process 4-node loopback cluster and bench against it")
+		workers   = flag.Int("workers", 1, "with -selfhost: worker instances (omega) per node")
 		out       = flag.String("out", "", "write the result as JSON to this file")
 	)
 	flag.Parse()
@@ -57,7 +58,7 @@ func main() {
 	addr := *node
 	if *selfhost {
 		var stop func()
-		addr, stop = startSelfhostCluster()
+		addr, stop = startSelfhostCluster(*workers)
 		defer stop()
 	}
 
@@ -235,7 +236,7 @@ type benchResult struct {
 // this process, serves the client API from node 0, and returns its address
 // plus a shutdown function — cmd/fireledger's deployment path without the
 // process orchestration, for zero-setup benching.
-func startSelfhostCluster() (addr string, stop func()) {
+func startSelfhostCluster(workers int) (addr string, stop func()) {
 	const n = 4
 	addrs := make([]string, n)
 	for i := range addrs {
@@ -260,7 +261,7 @@ func startSelfhostCluster() (addr string, stop func()) {
 			Endpoint:     ep,
 			Registry:     ks.Registry,
 			Priv:         ks.Privs[i],
-			Workers:      1,
+			Workers:      workers,
 			BatchSize:    100,
 			InitialTimer: 50 * time.Millisecond,
 		})

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/binary"
 	"net"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -13,6 +15,17 @@ import (
 	"repro/internal/transport"
 	"repro/internal/types"
 )
+
+// testWorkers mirrors the flo test suite: ω defaults to 1, FLO_TEST_WORKERS
+// overrides it (CI runs the package once at ω=4 under -race).
+func testWorkers() int {
+	if s := os.Getenv("FLO_TEST_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
 
 // flo.Node is the production implementation of the backend interface.
 var _ Node = (*flo.Node)(nil)
@@ -74,7 +87,7 @@ func newClusterServer(t *testing.T, tweak func(i int, cfg *flo.Config)) (addr st
 			Endpoint:     net.Endpoint(flcrypto.NodeID(i)),
 			Registry:     ks.Registry,
 			Priv:         ks.Privs[i],
-			Workers:      1,
+			Workers:      testWorkers(),
 			BatchSize:    8,
 			InitialTimer: 50 * time.Millisecond,
 			ViewTimeout:  300 * time.Millisecond,
@@ -293,54 +306,107 @@ func TestRemoteDuplicateClientIDRefused(t *testing.T) {
 	}
 }
 
+// TestVersionMismatchRefused pins the exact-match handshake on the packed
+// major.minor version word: a client differing in only the minor half is
+// refused exactly like one differing in the major half.
 func TestVersionMismatchRefused(t *testing.T) {
 	addr, _, _ := newClusterServer(t, nil)
-	conn, err := net.Dial("tcp", addr)
+	for _, tc := range []struct {
+		name    string
+		version uint32
+	}{
+		{"minor-bump", VersionMajor<<16 | (VersionMinor + 1)},
+		{"major-bump", (VersionMajor + 1) << 16},
+		{"legacy-1.0", VersionMajor<<16 | (VersionMinor - 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(marshalHello(helloMsg{Magic: Magic, Version: tc.version, ClientID: 1})); err != nil {
+				t.Fatal(err)
+			}
+			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			kind, payload, err := readFrame(conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kind != kindWelcome {
+				t.Fatalf("got frame kind %d, want WELCOME", kind)
+			}
+			welcome, err := decodeWelcome(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if welcome.Err == "" {
+				t.Fatalf("protocol version %#x was accepted", tc.version)
+			}
+			if welcome.Version != Version {
+				t.Fatalf("refusal advertises version %#x, want %#x (for client-side diagnostics)", welcome.Version, Version)
+			}
+		})
+	}
+}
+
+// TestInfoReplyRoundTrip covers the 1.1 INFO_REPLY layout, PoolPending
+// included.
+func TestInfoReplyRoundTrip(t *testing.T) {
+	want := Info{Node: 2, N: 4, Workers: 8, DeliveredBlocks: 123, DeliveredTxs: 4567, PoolPending: 42}
+	wire := marshalInfoReply(want)
+	kind, payload := wire[4], wire[5:]
+	if kind != kindInfoReply {
+		t.Fatalf("kind = %d", kind)
+	}
+	got, err := decodeInfoReply(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
-	if _, err := conn.Write(marshalHello(helloMsg{Magic: Magic, Version: Version + 1, ClientID: 1})); err != nil {
-		t.Fatal(err)
-	}
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	kind, payload, err := readFrame(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if kind != kindWelcome {
-		t.Fatalf("got frame kind %d, want WELCOME", kind)
-	}
-	welcome, err := decodeWelcome(payload)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if welcome.Err == "" {
-		t.Fatal("future protocol version was accepted")
-	}
-	if welcome.Version != Version {
-		t.Fatalf("refusal advertises version %d, want %d (for client-side diagnostics)", welcome.Version, Version)
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
 	}
 }
 
 func TestRemoteInfo(t *testing.T) {
-	addr, _, _ := newClusterServer(t, nil)
+	addr, _, node0 := newClusterServer(t, nil)
 	c, err := Dial(addr, 11, DialOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if c.Workers() != 1 {
-		t.Fatalf("handshake workers = %d, want 1", c.Workers())
+	if c.Workers() != node0.Workers() {
+		t.Fatalf("handshake workers = %d, want %d", c.Workers(), node0.Workers())
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	info, err := c.Info(ctx)
-	if err != nil {
-		t.Fatal(err)
+	// Park some writes in the pools so the 1.1 PoolPending field has
+	// something to report (client-pool mode: nothing drains until blocks
+	// form, but acceptance is synchronous server-side).
+	const parked = 5
+	for i := 0; i < parked; i++ {
+		if _, err := c.Submit([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if info.Node != 0 || info.N != 4 || info.Workers != 1 {
-		t.Fatalf("info = %+v", info)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		info, err := c.Info(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Node != 0 || info.N != 4 || info.Workers != node0.Workers() {
+			t.Fatalf("info = %+v", info)
+		}
+		// The writes may already have drained into definite blocks; either
+		// the backlog or the delivered-tx counter must account for them.
+		if info.PoolPending > 0 || info.DeliveredTxs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submitted writes visible in neither PoolPending nor DeliveredTxs: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -39,11 +39,18 @@ import (
 // Magic opens every HELLO, guarding the port against stray connections.
 const Magic uint32 = 0x464C_4331 // "FLC1"
 
-// Version is the wire-protocol version this build speaks. The handshake is
-// exact-match: a server rejects clients of any other version in the WELCOME,
-// so incompatible frames are never interpreted. Bump on any frame-layout
-// change.
-const Version uint32 = 1
+// VersionMajor and VersionMinor identify the wire protocol this build
+// speaks, packed into the single Version word the HELLO/WELCOME handshake
+// exchanges (major in the high 16 bits, minor in the low 16). The handshake
+// is exact-match on the packed word: a server rejects clients of any other
+// version in the WELCOME, so incompatible frames are never interpreted.
+// Bump the major on any layout change to an existing frame; bump the minor
+// when a frame gains fields (1.1: INFO_REPLY carries PoolPending).
+const (
+	VersionMajor uint32 = 1
+	VersionMinor uint32 = 1
+	Version      uint32 = VersionMajor<<16 | VersionMinor
+)
 
 // MaxFrame bounds one protocol frame (a BLOCK frame carries one full block).
 const MaxFrame = 64 << 20
@@ -291,12 +298,13 @@ func decodeStreamEnd(payload []byte) (error, error) {
 func marshalEmpty(kind uint8) []byte { return finishFrame(frame(kind, 0)) }
 
 func marshalInfoReply(info Info) []byte {
-	e := frame(kindInfoReply, 36)
+	e := frame(kindInfoReply, 44)
 	e.Int64(info.Node)
 	e.Uint32(uint32(info.N))
 	e.Uint32(uint32(info.Workers))
 	e.Uint64(info.DeliveredBlocks)
 	e.Uint64(info.DeliveredTxs)
+	e.Uint64(uint64(info.PoolPending))
 	return finishFrame(e)
 }
 
@@ -308,6 +316,7 @@ func decodeInfoReply(payload []byte) (Info, error) {
 	info.Workers = int(d.Uint32())
 	info.DeliveredBlocks = d.Uint64()
 	info.DeliveredTxs = d.Uint64()
+	info.PoolPending = int(d.Uint64())
 	return info, d.Finish()
 }
 
@@ -361,14 +370,16 @@ func (c Cursor) Next(workers int) Cursor {
 }
 
 // Info describes the serving node: its identity, the cluster size, the
-// worker count ω (which cursor arithmetic needs), and the node's merged
-// delivery totals.
+// worker count ω (which cursor arithmetic needs), the node's merged
+// delivery totals, and its current submit backlog across all worker pools
+// (a load signal clients can use to pick a less-busy node). Since 1.1.
 type Info struct {
 	Node            int64
 	N               int
 	Workers         int
 	DeliveredBlocks uint64
 	DeliveredTxs    uint64
+	PoolPending     int
 }
 
 // BlockEvent is one element of a Blocks subscription: a definite block of

@@ -344,6 +344,7 @@ func (c *serverConn) readLoop() {
 				Workers:         node.Workers(),
 				DeliveredBlocks: node.DeliveredBlocks(),
 				DeliveredTxs:    node.DeliveredTxs(),
+				PoolPending:     node.PoolPending(),
 			}))
 		default:
 			return // unknown kind: protocol violation, drop the session

@@ -23,6 +23,7 @@ type Node interface {
 	UnregisterClient(id uint64)
 	DeliveredBlocks() uint64
 	DeliveredTxs() uint64
+	PoolPending() int
 }
 
 // replayBatch is how many blocks one historical read fetches per worker.

@@ -88,6 +88,12 @@ func (f *fakeNode) UnregisterClient(id uint64) {
 func (f *fakeNode) DeliveredBlocks() uint64 { return f.log.Tip() }
 func (f *fakeNode) DeliveredTxs() uint64    { return 0 }
 
+func (f *fakeNode) PoolPending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.submits)
+}
+
 // deliver appends blk to the log and announces it to subscribers — the
 // fake's stand-in for a definite decision plus merged delivery.
 func (f *fakeNode) deliver(blk types.Block) {

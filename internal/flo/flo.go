@@ -1,15 +1,20 @@
 // Package flo implements the FireLedger Orchestrator of paper §6.2: each
 // node runs ω FireLedger worker instances as a blockchain-based ordering
-// service, a client manager that routes each write to the least-loaded
-// worker, and a round-robin merger that delivers the workers' definite
-// blocks in one global order. All workers share a single transport endpoint
-// and a single PBFT replica (the paper likewise shares one BFT-SMaRt
-// instance across workers, Fig 3).
+// service, a client manager that routes each write to a worker pool by
+// hash affinity on the client id (with a guarded least-loaded fallback),
+// and a round-robin merger that delivers the workers' definite blocks in
+// one global order. Each worker runs its own pipeline end to end — propose,
+// verify, persist (own BlockLog and group-commit committer), catch-up fetch
+// window — and only the final sequencing of already-processed blocks goes
+// through the lock-light merge point. All workers share a single transport
+// endpoint and a single PBFT replica (the paper likewise shares one
+// BFT-SMaRt instance across workers, Fig 3).
 package flo
 
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,21 +117,26 @@ type Config struct {
 	// O(delta), not O(history). 0 disables compaction.
 	SnapshotEvery uint64
 	// SnapshotState, when set with SnapshotEvery, supplies the opaque
-	// application checkpoint stored in worker w's snapshots (e.g. a
-	// statemachine KV/Replica snapshot). It is called on the worker's
-	// delivery goroutine right after the block that triggered the
-	// checkpoint was persisted and before it is delivered, so the captured
-	// state reflects exactly the rounds delivered so far. Requires
-	// Workers == 1 (with ω > 1 the merged delivery position is not a
-	// function of one worker's round).
-	SnapshotState func(w uint32) []byte
-	// RestoreState is invoked during NewNode for each worker whose DataDir
-	// held a snapshot: state is the checkpoint captured at stateRound, and
-	// blocks are the replayed post-snapshot rounds above stateRound that
-	// the application must re-apply to reach the chain tip. An
-	// idempotent applier (statemachine.Replica) may simply re-deliver all
-	// of them.
-	RestoreState func(w uint32, stateRound uint64, state []byte, blocks []types.Block)
+	// application checkpoint stored in every worker's snapshots (e.g. a
+	// statemachine Replica snapshot, which embeds its own merged-stream
+	// cursor). It is called at the merge point — on the delivery goroutine,
+	// right after the block completing a checkpoint cycle was delivered —
+	// so the captured state reflects exactly the merged prefix delivered so
+	// far; each worker's snapshot records that worker's last delivered
+	// round as its StateRound. Works with any ω: the merged delivery
+	// position is an explicit (worker, round) cursor carried in the
+	// application state, not a function of one worker's round.
+	SnapshotState func() []byte
+	// RestoreState is invoked once during NewNode when DataDir held at
+	// least one worker snapshot: state is the freshest application
+	// checkpoint found across workers (nil when snapshots were captured
+	// without SnapshotState), and blocks are the replayed post-snapshot
+	// rounds of every worker — sorted in merged (round, worker) order, each
+	// carrying its worker in Signed.Header.Instance — that the application
+	// must re-apply to reach the chain tips. An idempotent applier
+	// (statemachine.Replica) simply re-delivers all of them; the ones the
+	// checkpoint already covers are skipped by position.
+	RestoreState func(state []byte, blocks []types.Block)
 	// EnableEvidence activates the accountability path: each worker keeps
 	// an evidence pool, records equivocation proofs it observes, and embeds
 	// pending convictions in its block proposals (see internal/evidence).
@@ -171,6 +181,21 @@ type Node struct {
 	ownVerify bool // the node created verify and must close it
 
 	merger *merger
+
+	// Merge-point checkpointing (DataDir + SnapshotEvery): one capture
+	// covers all workers, written as ω per-worker snapshots.
+	snapPaths []string
+	retain    uint64
+	ckptErr   atomic.Value // error: first failed checkpoint, sticky
+
+	// overload is the pool backlog above which Submit consults its
+	// second hashed choice (power of two choices).
+	overload int
+
+	// Restore accumulation during NewNode (cleared after RestoreState).
+	restoreBest   *store.Snapshot
+	restoreFound  bool
+	restoreBlocks []types.Block
 
 	subMu     sync.RWMutex
 	subs      []deliverSub
@@ -259,10 +284,17 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 100
 	}
-	if cfg.SnapshotState != nil && cfg.Workers > 1 {
-		return nil, fmt.Errorf("flo: SnapshotState requires Workers == 1 (the merged delivery position is not a function of one worker's round)")
-	}
 	n := &Node{cfg: cfg, id: cfg.Endpoint.ID(), mux: transport.NewMux(cfg.Endpoint)}
+	n.overload = 4 * cfg.BatchSize
+	if cfg.DataDir != "" && cfg.SnapshotEvery > 0 {
+		// Checkpoint cadence: a full merge cycle crossing the boundary
+		// captures the app state once and compacts every worker's log. The
+		// retained tail keeps (a) recovery anchors near the tip reachable
+		// after a restart and (b) a full snapshot interval of blocks
+		// servable to peers whose definite tips trail this node's by up to
+		// one checkpoint cycle.
+		n.retain = uint64((n.mux.N()-1)/3) + 2 + cfg.SnapshotEvery
+	}
 	if !cfg.SyncVerify {
 		n.verify = cfg.VerifyPool
 		if n.verify == nil {
@@ -280,6 +312,7 @@ func NewNode(cfg Config) (*Node, error) {
 		for _, s := range subs {
 			s.fn(w, blk)
 		}
+		n.maybeCheckpoint(w, blk.Signed.Header.Round)
 	})
 
 	// Shared PBFT replica: the ordering substrate for OBBC fallbacks and
@@ -299,7 +332,69 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil, err
 		}
 	}
+	if n.restoreFound {
+		// One unified restore across workers: hand the application the
+		// freshest checkpoint found (snapshots written in the same capture
+		// carry identical state; a crash mid-checkpoint leaves some workers
+		// one capture behind, and the per-worker StateRound clamp in
+		// store.Checkpoint guarantees every round the freshest capture does
+		// not cover is still in some worker's replayed log) plus all
+		// replayed post-snapshot blocks in merged (round, worker) order.
+		blocks := n.restoreBlocks
+		sort.Slice(blocks, func(i, j int) bool {
+			hi, hj := &blocks[i].Signed.Header, &blocks[j].Signed.Header
+			if hi.Round != hj.Round {
+				return hi.Round < hj.Round
+			}
+			return hi.Instance < hj.Instance
+		})
+		cfg.RestoreState(n.restoreBest.State, blocks)
+		n.restoreBest, n.restoreBlocks, n.restoreFound = nil, nil, false
+	}
 	return n, nil
+}
+
+// maybeCheckpoint runs on the merge point's delivery goroutine after each
+// merged delivery: when the last worker's block completes a checkpoint
+// cycle, it captures the application state once and checkpoints every
+// worker's log — each snapshot anchored at that worker's last merged-
+// delivered round, so restore knows exactly which replayed rounds the state
+// does not cover. A checkpoint failure is sticky (CheckpointErr) and
+// disables further checkpoints; delivery itself continues.
+func (n *Node) maybeCheckpoint(w uint32, round uint64) {
+	if n.retain == 0 || len(n.logs) != len(n.workers) {
+		return
+	}
+	if int(w) != len(n.workers)-1 || round%n.cfg.SnapshotEvery != 0 {
+		return
+	}
+	if n.ckptErr.Load() != nil {
+		return
+	}
+	var state []byte
+	stateful := n.cfg.SnapshotState != nil
+	if stateful {
+		state = n.cfg.SnapshotState()
+	}
+	for v, lg := range n.logs {
+		stateRound := uint64(0)
+		if stateful {
+			stateRound = n.merger.lastDelivered[v]
+		}
+		if err := lg.Checkpoint(n.snapPaths[v], uint32(v), stateRound, state, n.retain); err != nil {
+			n.ckptErr.Store(fmt.Errorf("flo: worker %d checkpoint: %w", v, err))
+			return
+		}
+	}
+}
+
+// CheckpointErr reports the first merge-point checkpoint failure, if any
+// (checkpointing stops after it; the chain and delivery continue).
+func (n *Node) CheckpointErr() error {
+	if err, ok := n.ckptErr.Load().(error); ok {
+		return err
+	}
+	return nil
 }
 
 func (n *Node) addWorker(w uint32) error {
@@ -385,50 +480,36 @@ func (n *Node) addWorker(w uint32) error {
 		if snap != nil {
 			preloadBase, preloadHash = snap.BaseRound, snap.BaseHash
 			if cfg.RestoreState != nil {
-				// Hand the application its checkpoint plus the replayed
-				// rounds above it (those still need re-applying).
-				var above []types.Block
+				// Accumulate for the unified post-addWorker restore: the
+				// freshest capture wins; each worker contributes its
+				// replayed rounds above its own snapshot's StateRound
+				// (those may still need re-applying).
+				n.restoreFound = true
+				if n.restoreBest == nil || snap.StateRound > n.restoreBest.StateRound {
+					n.restoreBest = snap
+				}
 				for i := range replayed {
 					if replayed[i].Signed.Header.Round > snap.StateRound {
-						above = append(above, replayed[i])
+						n.restoreBlocks = append(n.restoreBlocks, replayed[i])
 					}
 				}
-				cfg.RestoreState(w, snap.StateRound, snap.State, above)
 			}
 		}
-		if cfg.SnapshotEvery > 0 {
-			// Checkpoint cadence: after persisting a definite round that
-			// crosses the boundary, capture the app state (which at this
-			// point reflects deliveries through round-1) and compact the
-			// log. The retained tail keeps (a) recovery anchors near the
-			// tip reachable after a restart and (b) a full snapshot
-			// interval of blocks servable to peers whose definite tips
-			// trail this node's by up to one checkpoint cycle — a node
-			// behind every peer's compaction base would otherwise need
-			// operator-level resync.
-			retain := uint64((n.mux.N()-1)/3) + 2 + cfg.SnapshotEvery
-			every := cfg.SnapshotEvery
-			stateFn := cfg.SnapshotState
-			basePersist := persist
-			persist = func(blk types.Block) error {
-				if err := basePersist(blk); err != nil {
-					return err
-				}
-				round := blk.Signed.Header.Round
-				if round%every == 0 {
-					var state []byte
-					stateRound := uint64(0)
-					if stateFn != nil {
-						state = stateFn(w)
-						stateRound = round - 1
-					}
-					if err := log.Checkpoint(snapPath, w, stateRound, state, retain); err != nil {
-						return fmt.Errorf("flo: worker %d checkpoint: %w", w, err)
-					}
-				}
-				return nil
-			}
+		// Seed the merged cursor at the boot frontier: restore re-applies
+		// every replayed round, so the application state already covers
+		// this worker through its replayed tip — a post-restart checkpoint
+		// that runs before the worker's first new delivery must anchor its
+		// StateRound there, not at zero (zero would bypass the compaction
+		// clamp in store.Checkpoint).
+		boot := preloadBase
+		if len(preload) > 0 {
+			boot = preload[len(preload)-1].Signed.Header.Round
 		}
+		n.merger.lastDelivered[w] = boot
+		// Compaction happens at the merge point (maybeCheckpoint), not on
+		// the per-worker persist path: the app state captured there reflects
+		// the merged delivery position across all ω pipelines.
+		n.snapPaths = append(n.snapPaths, snapPath)
 		n.logs = append(n.logs, log)
 	}
 
@@ -614,21 +695,50 @@ func (n *Node) Stop() {
 	})
 }
 
-// Submit routes a client write to the least-loaded worker's pool (§6.2).
-// It errors when the node runs the saturating load model.
+// Submit routes a client write to a worker pool (§6.2, scaled out). Routing
+// is hash affinity on the client id: a session's writes land on one worker
+// — preserving the per-session submission order through one pipeline —
+// while distinct sessions spread uniformly across all ω pipelines. The cost
+// is O(1) per submit regardless of ω (the previous least-loaded scan read
+// every pool's mutex-guarded Pending on every call). When the affinity
+// pool's backlog exceeds the overload guard (4·β), Submit consults the
+// client's second hashed choice and takes the less loaded of the two — the
+// power-of-two-choices fallback, still O(1) and still deterministic per
+// client, so even an overloaded session touches at most two pools. It
+// errors when the node runs the saturating load model.
 func (n *Node) Submit(tx types.Transaction) error {
 	if len(n.pools) == 0 {
 		return fmt.Errorf("flo: node runs the saturating load model; Submit is for client pools")
 	}
-	best := 0
-	bestLoad := int(^uint(0) >> 1)
-	for i, p := range n.pools {
-		if load := p.Pending(); load < bestLoad {
-			best, bestLoad = i, load
+	if len(n.pools) == 1 {
+		n.pools[0].Add(tx)
+		return nil
+	}
+	w := affinity(tx.Client, 0, len(n.pools))
+	if load := n.pools[w].Pending(); load > n.overload {
+		alt := affinity(tx.Client, 1, len(n.pools))
+		if alt == w {
+			alt = (alt + 1) % len(n.pools)
+		}
+		if n.pools[alt].Pending() < load {
+			w = alt
 		}
 	}
-	n.pools[best].Add(tx)
+	n.pools[w].Add(tx)
 	return nil
+}
+
+// affinity maps a client id onto one of n workers via the splitmix64
+// finalizer — stateless, cheap, and well mixed even for dense sequential
+// client ids. salt selects independent hash choices for the same client.
+func affinity(client, salt uint64, n int) int {
+	x := client + (salt+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(n))
 }
 
 // PoolPending reports the client transactions waiting or leased across this
@@ -668,35 +778,58 @@ func (n *Node) DeliveredTxs() uint64 { return n.merger.txs.Load() }
 // cycle emits each worker's k-th definite block, worker 0 first. A single
 // slow worker therefore delays the merged log — exactly the latency effect
 // the paper discusses.
+//
+// The merge point is deliberately lock-light: each worker's pipeline
+// (verify → apply → persist) runs upstream on its own goroutines and hands
+// only finished blocks to enqueue, which never waits for a delivery in
+// progress. Whoever wins emitMu.TryLock becomes the single emitter and
+// drains every ready run in the global order; losers return immediately.
 type merger struct {
-	mu        sync.Mutex // guards queues and cursor
-	emitMu    sync.Mutex // serializes pop-and-deliver, preserving the global order
-	queues    [][]types.Block
-	cursor    int // next worker to emit from
-	deliver   func(uint32, types.Block)
-	delivered atomic.Uint64
-	txs       atomic.Uint64
+	mu     sync.Mutex // guards queues and cursor
+	emitMu sync.Mutex // held by the single active emitter (TryLock only)
+	queues [][]types.Block
+	cursor int // next worker to emit from
+	// lastDelivered[w] is worker w's last merged-delivered round — the
+	// explicit merged cursor. Seeded once at NewNode time with each
+	// worker's replayed boot frontier, then written and read only by the
+	// active emitter (under emitMu).
+	lastDelivered []uint64
+	deliver       func(uint32, types.Block)
+	delivered     atomic.Uint64
+	txs           atomic.Uint64
 }
 
 func newMerger(workers int, deliver func(uint32, types.Block)) *merger {
-	return &merger{queues: make([][]types.Block, workers), deliver: deliver}
+	return &merger{
+		queues:        make([][]types.Block, workers),
+		lastDelivered: make([]uint64, workers),
+		deliver:       deliver,
+	}
 }
 
-// enqueue returns worker w's OnDecide callback.
-//
-// Delivery runs under emitMu, held across both the ready-run pop and the
-// deliver calls: popping under mu alone would let two workers' OnDecide
-// goroutines each take a run and then race to emit them, so observers could
-// see the "global order" out of order (and the delivered/txs counters could
-// disagree with the emitted sequence).
+// enqueue returns worker w's OnDecide callback: append the block, then
+// drain without ever blocking on an in-flight delivery — per-worker
+// pipelines stay decoupled all the way to the merge point.
 func (m *merger) enqueue(w uint32) func(types.Block) {
 	return func(blk types.Block) {
 		m.mu.Lock()
 		m.queues[w] = append(m.queues[w], blk)
 		m.mu.Unlock()
+		m.drain()
+	}
+}
 
-		m.emitMu.Lock()
-		defer m.emitMu.Unlock()
+// drain elects this goroutine the emitter if none is active and delivers
+// every ready run. The post-unlock re-check closes the lost-wakeup window:
+// an enqueue that appended its block while we held emitMu and then failed
+// its own TryLock is guaranteed to be observed here, because its append
+// happened before its failed TryLock, which happened before our unlock and
+// therefore before our re-check.
+func (m *merger) drain() {
+	for {
+		if !m.emitMu.TryLock() {
+			return // the active emitter will observe the new block
+		}
 		for {
 			m.mu.Lock()
 			var ready []struct {
@@ -714,13 +847,21 @@ func (m *merger) enqueue(w uint32) func(types.Block) {
 			}
 			m.mu.Unlock()
 			if len(ready) == 0 {
-				return
+				break
 			}
 			for _, r := range ready {
+				m.lastDelivered[r.w] = r.blk.Signed.Header.Round
 				m.delivered.Add(1)
 				m.txs.Add(uint64(len(r.blk.Body.Txs)))
 				m.deliver(r.w, r.blk)
 			}
+		}
+		m.emitMu.Unlock()
+		m.mu.Lock()
+		again := len(m.queues[m.cursor]) > 0
+		m.mu.Unlock()
+		if !again {
+			return
 		}
 	}
 }

@@ -2,6 +2,8 @@ package flo
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -10,6 +12,18 @@ import (
 	"repro/internal/transport"
 	"repro/internal/types"
 )
+
+// testWorkers returns the cluster tests' ω: 1 by default, overridden by
+// FLO_TEST_WORKERS (CI runs the suite once at ω=4 under -race). Tests that
+// genuinely require a specific ω pin it via their tweak function.
+func testWorkers() int {
+	if s := os.Getenv("FLO_TEST_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
 
 type cluster struct {
 	t     *testing.T
@@ -30,7 +44,7 @@ func newCluster(t *testing.T, n int, tweak func(i int, cfg *Config)) *cluster {
 			Endpoint:     c.net.Endpoint(flcrypto.NodeID(i)),
 			Registry:     c.ks.Registry,
 			Priv:         c.ks.Privs[i],
-			Workers:      1,
+			Workers:      testWorkers(),
 			BatchSize:    10,
 			Saturate:     64,
 			InitialTimer: 50 * time.Millisecond,
@@ -182,10 +196,12 @@ func TestFLOClientPoolNonTriviality(t *testing.T) {
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for {
+		// Hash-affinity routing parks each client's writes on one worker's
+		// pool, so at ω>1 the definite-tx count must be summed across all
+		// of the node's worker instances.
 		var total uint64
-		for _, node := range c.nodes {
-			total = node.Worker(0).Metrics().DefiniteTxs.Load()
-			break
+		for w := 0; w < c.nodes[0].Workers(); w++ {
+			total += c.nodes[0].Worker(w).Metrics().DefiniteTxs.Load()
 		}
 		if total >= k {
 			break

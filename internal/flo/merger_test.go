@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/types"
 )
@@ -140,5 +141,56 @@ func TestMergerConcurrentGlobalOrder(t *testing.T) {
 	}
 	if m.delivered.Load() != uint64(workers*rounds) {
 		t.Fatalf("delivered counter %d disagrees with observed %d", m.delivered.Load(), len(out))
+	}
+	// The explicit merged cursor must have tracked every worker to its tip.
+	for w := 0; w < workers; w++ {
+		if m.lastDelivered[w] != rounds {
+			t.Fatalf("worker %d merged cursor at %d, want %d", w, m.lastDelivered[w], rounds)
+		}
+	}
+}
+
+// TestMergerNonBlockingEnqueue pins the lock-light merge-point contract:
+// a worker's OnDecide must hand its block over and return even while
+// another worker's delivery is in flight — per-worker pipelines never stall
+// on the merge point. The parked emitter then picks the block up via its
+// post-unlock re-check (the lost-wakeup window this design must close).
+func TestMergerNonBlockingEnqueue(t *testing.T) {
+	inDeliver := make(chan struct{})
+	release := make(chan struct{})
+	var m *merger
+	m = newMerger(2, func(w uint32, blk types.Block) {
+		if w == 0 && blk.Signed.Header.Round == 1 {
+			close(inDeliver)
+			<-release
+		}
+	})
+	go m.enqueue(0)(mkBlock(0, 1)) // becomes the emitter and parks in deliver
+	<-inDeliver
+
+	done := make(chan struct{})
+	go func() {
+		m.enqueue(1)(mkBlock(1, 1))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("enqueue blocked behind an in-flight delivery")
+	}
+	if got := m.delivered.Load(); got != 1 {
+		t.Fatalf("delivered %d blocks while the emitter was parked, want 1", got)
+	}
+
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.delivered.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("emitter never picked up the concurrently enqueued block (delivered=%d)", m.delivered.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.lastDelivered[0] != 1 || m.lastDelivered[1] != 1 {
+		t.Fatalf("merged cursor %v, want [1 1]", m.lastDelivered)
 	}
 }

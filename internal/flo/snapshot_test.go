@@ -13,13 +13,14 @@ import (
 	"repro/internal/types"
 )
 
-// TestFLOSnapshotStateRestore runs the full checkpoint loop: every node
-// applies the merged stream to a statemachine replica whose snapshot rides
-// in the worker checkpoints; the whole cluster is stopped and rebooted from
-// disk; the restored replicas (checkpoint + replayed-suffix re-delivery +
-// live deliveries) must converge to identical state at identical positions
-// — i.e. compaction loses no transactions and double-applies none.
-func TestFLOSnapshotStateRestore(t *testing.T) {
+// runSnapshotStateRestore runs the full checkpoint loop at a given ω: every
+// node applies the merged stream to a statemachine replica whose snapshot
+// rides in the worker checkpoints; the whole cluster is stopped and rebooted
+// from disk; the restored replicas (checkpoint + replayed-suffix re-delivery
+// + live deliveries) must converge to identical state at identical positions
+// — i.e. compaction loses no transactions and double-applies none, and at
+// ω>1 the merged stream resumes gap-free across every worker.
+func runSnapshotStateRestore(t *testing.T, workers int) {
 	const n = 4
 	ks := flcrypto.MustGenerateKeySet(n, flcrypto.Ed25519)
 	dirs := make([]string, n)
@@ -43,26 +44,26 @@ func TestFLOSnapshotStateRestore(t *testing.T) {
 				Endpoint:      w.net.Endpoint(flcrypto.NodeID(i)),
 				Registry:      ks.Registry,
 				Priv:          ks.Privs[i],
-				Workers:       1,
+				Workers:       workers,
 				BatchSize:     4,
 				Saturate:      32,
 				DataDir:       dirs[i],
 				SnapshotEvery: 5,
 				CatchUpBatch:  8,
 				InitialTimer:  40 * time.Millisecond,
-				SnapshotState: func(uint32) []byte {
+				SnapshotState: func() []byte {
 					mu.Lock()
 					defer mu.Unlock()
 					return w.replicas[i].Snapshot()
 				},
-				RestoreState: func(_ uint32, _ uint64, state []byte, blocks []types.Block) {
+				RestoreState: func(state []byte, blocks []types.Block) {
 					rep, err := statemachine.RestoreReplica(state)
 					if err != nil {
 						t.Errorf("node %d: restore: %v", i, err)
 						return
 					}
 					for b := range blocks {
-						rep.Deliver(0, blocks[b])
+						rep.Deliver(blocks[b].Signed.Header.Instance, blocks[b])
 					}
 					mu.Lock()
 					w.replicas[i] = rep
@@ -93,12 +94,17 @@ func TestFLOSnapshotStateRestore(t *testing.T) {
 	}
 	waitDef := func(w *world, target uint64) {
 		t.Helper()
-		deadline := time.Now().Add(60 * time.Second)
+		deadline := time.Now().Add(90 * time.Second)
 		for {
 			done := true
 			for _, node := range w.nodes {
-				if node.Worker(0).Chain().Definite() < target {
-					done = false
+				for wk := 0; wk < workers; wk++ {
+					if node.Worker(wk).Chain().Definite() < target {
+						done = false
+						break
+					}
+				}
+				if !done {
 					break
 				}
 			}
@@ -108,11 +114,13 @@ func TestFLOSnapshotStateRestore(t *testing.T) {
 			if time.Now().After(deadline) {
 				var state []string
 				for i, node := range w.nodes {
-					m := node.Worker(0).Metrics()
-					state = append(state, fmt.Sprintf("node%d base=%d def=%d tip=%d rreq=%d rblk=%d breq=%d",
-						i, node.Worker(0).Chain().Base(),
-						node.Worker(0).Chain().Definite(), node.Worker(0).Chain().Tip(),
-						m.CatchUpRangeReqs.Load(), m.CatchUpRangeBlocks.Load(), m.CatchUpBlockReqs.Load()))
+					for wk := 0; wk < workers; wk++ {
+						m := node.Worker(wk).Metrics()
+						state = append(state, fmt.Sprintf("node%d/w%d base=%d def=%d tip=%d rreq=%d rblk=%d breq=%d",
+							i, wk, node.Worker(wk).Chain().Base(),
+							node.Worker(wk).Chain().Definite(), node.Worker(wk).Chain().Tip(),
+							m.CatchUpRangeReqs.Load(), m.CatchUpRangeBlocks.Load(), m.CatchUpBlockReqs.Load()))
+					}
 				}
 				t.Fatalf("stalled before definite %d: %v", target, state)
 			}
@@ -128,37 +136,92 @@ func TestFLOSnapshotStateRestore(t *testing.T) {
 	// Session 2: reboot from compacted logs, keep finalizing.
 	w = boot()
 	for i, node := range w.nodes {
-		if node.Worker(0).Chain().Base() == 0 {
-			t.Fatalf("node %d rebooted without a snapshot base", i)
+		for wk := 0; wk < workers; wk++ {
+			if node.Worker(wk).Chain().Base() == 0 {
+				t.Fatalf("node %d worker %d rebooted without a snapshot base", i, wk)
+			}
 		}
 	}
 	waitDef(w, 24)
+	// Merged delivery lags the per-worker definite frontier (round-robin
+	// skew + in-flight OnDecide), so wait on the replicas' applied positions
+	// directly before quiescing.
+	posDeadline := time.Now().Add(90 * time.Second)
+	for {
+		mu.Lock()
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			for wk := 0; wk < workers; wk++ {
+				if w.replicas[i].Position(uint32(wk)) < 24 {
+					ok = false
+					break
+				}
+			}
+		}
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(posDeadline) {
+			t.Fatal("merged delivery never reached position 24 on every worker")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	stop(w) // quiesce: all deliveries done once Stop returns
 
 	mu.Lock()
 	defer mu.Unlock()
 	for i := 0; i < n; i++ {
 		rep := w.replicas[i]
-		pos := rep.Position(0)
-		if pos < 24 {
-			t.Fatalf("node %d replica stalled at position %d", i, pos)
+		var sum uint64
+		for wk := 0; wk < workers; wk++ {
+			pos := rep.Position(uint32(wk))
+			if pos < 24 {
+				t.Fatalf("node %d replica stalled at position %d on worker %d", i, pos, wk)
+			}
+			sum += pos
 		}
 		// Every definite block under the saturating model carries exactly
-		// BatchSize transactions, so a replica at position P must have
-		// applied exactly 4·P of them: a compaction gap (missed rounds) or
-		// an overlap (double-applied rounds) both break this count.
-		if got, want := rep.KV().Applied(), 4*pos; got != want {
-			t.Fatalf("node %d applied %d txs at position %d, want %d", i, got, pos, want)
+		// BatchSize transactions, so a replica whose per-worker positions sum
+		// to S must have applied exactly 4·S of them: a compaction gap
+		// (missed rounds on any worker) or an overlap (double-applied rounds)
+		// both break this count — the merged stream resumed gap-free.
+		if got, want := rep.KV().Applied(), 4*sum; got != want {
+			t.Fatalf("node %d applied %d txs at summed position %d, want %d", i, got, sum, want)
+		}
+		// The restored merged cursor kept advancing past the reboot.
+		if _, round := rep.Cursor(); round < 17 {
+			t.Fatalf("node %d merged cursor stuck at round %d after restart", i, round)
 		}
 	}
 	// Replicas at equal positions saw identical prefixes of the
 	// deterministic stream and must hold identical state.
+	samePositions := func(a, b *statemachine.Replica) bool {
+		for wk := 0; wk < workers; wk++ {
+			if a.Position(uint32(wk)) != b.Position(uint32(wk)) {
+				return false
+			}
+		}
+		return true
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if w.replicas[i].Position(0) == w.replicas[j].Position(0) &&
+			if samePositions(w.replicas[i], w.replicas[j]) &&
 				w.replicas[i].KV().Hash() != w.replicas[j].KV().Hash() {
-				t.Fatalf("nodes %d and %d diverged at position %d", i, j, w.replicas[i].Position(0))
+				t.Fatalf("nodes %d and %d diverged at equal positions", i, j)
 			}
 		}
 	}
+}
+
+func TestFLOSnapshotStateRestore(t *testing.T) {
+	runSnapshotStateRestore(t, 1)
+}
+
+// TestFLOSnapshotStateRestoreMultiWorker is the ω=4 restart round-trip: the
+// per-worker checkpoints share one state capture anchored at the merged
+// cursor, and a rebooted node must resume the interleaved stream with no
+// worker's rounds lost or double-applied.
+func TestFLOSnapshotStateRestoreMultiWorker(t *testing.T) {
+	runSnapshotStateRestore(t, 4)
 }

@@ -1,0 +1,115 @@
+package flo
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/flcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// newSubmitNode builds an unstarted node with ω client pools — enough to
+// exercise the Submit routing path without running consensus.
+func newSubmitNode(tb testing.TB, workers int) *Node {
+	tb.Helper()
+	ks := flcrypto.MustGenerateKeySet(1, flcrypto.Ed25519)
+	net := transport.NewChanNetwork(transport.ChanConfig{N: 1})
+	tb.Cleanup(func() { net.Close() })
+	node, err := NewNode(Config{
+		Endpoint:   net.Endpoint(0),
+		Registry:   ks.Registry,
+		Priv:       ks.Privs[0],
+		Workers:    workers,
+		SyncVerify: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return node
+}
+
+// TestSubmitAffinityRouting checks the routing contract: a client's writes
+// land on one worker pool (its hash choice) until that pool is overloaded,
+// and the fallback consults exactly one alternative (power of two choices)
+// rather than scanning all pools.
+func TestSubmitAffinityRouting(t *testing.T) {
+	const workers = 8
+	node := newSubmitNode(t, workers)
+
+	// Affinity: all of one client's writes stay on one pool.
+	const client = 42
+	for seq := uint64(1); seq <= 50; seq++ {
+		if err := node.Submit(types.Transaction{Client: client, Seq: seq, Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nonEmpty := 0
+	for _, p := range node.pools {
+		if p.Pending() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("one client's writes spread over %d pools, want 1", nonEmpty)
+	}
+
+	// Distribution: many clients spread across all ω pools.
+	for c := uint64(1000); c < 1000+64*workers; c++ {
+		if err := node.Submit(types.Transaction{Client: c, Seq: 1, Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w, p := range node.pools {
+		if p.Pending() == 0 {
+			t.Fatalf("worker %d pool got no writes from %d clients", w, 64*workers)
+		}
+	}
+
+	// Overload fallback: push one client far past the guard and check the
+	// spill lands on at most one more pool (its second hashed choice).
+	node2 := newSubmitNode(t, workers)
+	const heavy = 7
+	for seq := uint64(1); seq <= uint64(node2.overload)*3; seq++ {
+		if err := node2.Submit(types.Transaction{Client: heavy, Seq: seq, Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := 0
+	for _, p := range node2.pools {
+		if p.Pending() > 0 {
+			used++
+		}
+	}
+	if used > 2 {
+		t.Fatalf("overloaded client touched %d pools, want ≤ 2 (affinity + one fallback)", used)
+	}
+	if used < 2 {
+		t.Fatalf("overload guard never engaged the fallback pool (used=%d)", used)
+	}
+}
+
+// BenchmarkSubmitContended measures the per-submit cost under concurrent
+// submitters as ω grows. The previous implementation scanned every pool's
+// mutex-guarded Pending() per submit (O(ω), all submitters serializing on
+// all pool locks); hash-affinity routing touches at most two pools, so
+// ns/op should stay flat as workers increase.
+func BenchmarkSubmitContended(b *testing.B) {
+	for _, workers := range []int{1, 2, 8, 32} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			node := newSubmitNode(b, workers)
+			var clients atomic.Uint64
+			payload := make([]byte, 64)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := clients.Add(1)
+				seq := uint64(0)
+				for pb.Next() {
+					seq++
+					_ = node.Submit(types.Transaction{Client: client, Seq: seq, Payload: payload})
+				}
+			})
+		})
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/flcrypto"
@@ -343,26 +344,85 @@ func Table1(w io.Writer, s Scale) {
 	}
 }
 
+// WorkersCell is one point of the tps-vs-workers scaling sweep.
+type WorkersCell struct {
+	Workers    int     `json:"workers"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	TPS        float64 `json:"tps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	Blocks     uint64  `json:"blocks"`
+}
+
+// WorkersSweep runs the multi-worker scaling experiment behind the "workers"
+// entry and BENCH_workers.json: ω ∈ {1,2,4,8} at each GOMAXPROCS in
+// {1, NumCPU} (deduplicated), n=4, β=100, σ=512 on the single-data-center
+// latency model. The ω sweep is fixed (not Scale.Workers) so the artifact is
+// comparable across profiles; Scale still sets the measurement windows. On
+// the simulated network the scaling is latency-bound pipelining — ω worker
+// instances keep ω blocks in flight over the same links — so the tps ratio
+// ω=4/ω=1 is meaningful even on a single-core host.
+func WorkersSweep(s Scale) []WorkersCell {
+	procs := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		procs = append(procs, n)
+	}
+	var cells []WorkersCell
+	for _, gmp := range procs {
+		prev := runtime.GOMAXPROCS(gmp)
+		for _, workers := range []int{1, 2, 4, 8} {
+			res := RunFLO(Options{
+				N: 4, Workers: workers, Batch: 100, TxSize: 512,
+				Latency: transport.SingleDC(), EgressBytesPerSec: s.Bandwidth,
+				Warmup: s.Warmup, Duration: s.Duration,
+			})
+			cells = append(cells, WorkersCell{
+				Workers:    workers,
+				GoMaxProcs: gmp,
+				TPS:        res.TPS,
+				P50Ms:      res.Latency.Percentile(50).Seconds() * 1000,
+				P99Ms:      res.Latency.Percentile(99).Seconds() * 1000,
+				Blocks:     res.DefiniteBlocks,
+			})
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+	return cells
+}
+
+// Workers prints the tps-vs-workers scaling sweep (cmd/flbench -exp workers;
+// -out additionally writes the cells as BENCH_workers.json).
+func Workers(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "# workers: tps vs omega, n=4, batch=100, sigma=512, single data-center\n")
+	fmt.Fprintf(w, "gomaxprocs\tworkers\ttps\tp50-ms\tp99-ms\tblocks\n")
+	for _, c := range WorkersSweep(s) {
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.2f\t%.2f\t%d\n",
+			c.GoMaxProcs, c.Workers, c.TPS, c.P50Ms, c.P99Ms, c.Blocks)
+	}
+}
+
 // Experiments maps experiment names to their runners, for cmd/flbench.
 var Experiments = map[string]func(io.Writer, Scale){
-	"table1": Table1,
-	"fig5":   Fig5,
-	"fig6":   Fig6,
-	"fig7":   Fig7,
-	"fig8":   Fig8,
-	"fig9":   Fig9,
-	"fig10":  Fig10,
-	"fig11":  Fig11,
-	"fig12":  Fig12,
-	"fig13":  Fig13,
-	"fig14":  Fig14,
-	"fig15":  Fig15,
-	"fig16":  Fig16,
-	"fig17":  Fig17,
+	"workers": Workers,
+	"table1":  Table1,
+	"fig5":    Fig5,
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9":    Fig9,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"fig12":   Fig12,
+	"fig13":   Fig13,
+	"fig14":   Fig14,
+	"fig15":   Fig15,
+	"fig16":   Fig16,
+	"fig17":   Fig17,
 }
 
 // ExperimentOrder lists experiments in paper order for `-exp all`.
 var ExperimentOrder = []string{
 	"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+	"workers",
 }

@@ -128,11 +128,12 @@ func TestTable1Runs(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	// Table 1 + Figs 5–17 (14 paper experiments) + the 4 ext-* extensions.
-	if len(Experiments) != 18 {
-		t.Fatalf("registry has %d experiments, want 18 (Table 1 + Figs 5-17 + 4 ext)", len(Experiments))
+	// Table 1 + Figs 5–17 (14 paper experiments) + the 4 ext-* extensions
+	// + the workers scale-out sweep.
+	if len(Experiments) != 19 {
+		t.Fatalf("registry has %d experiments, want 19 (Table 1 + Figs 5-17 + 4 ext + workers)", len(Experiments))
 	}
-	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart"} {
+	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart", "workers"} {
 		if Experiments[name] == nil {
 			t.Fatalf("extension experiment %q not registered", name)
 		}

@@ -123,6 +123,22 @@ func RegressionScenarios() []Scenario {
 			Horizon: 4,
 		},
 		{
+			// ω=4 scale-out shape (PR 6): partition a majority group away,
+			// then restart the minority node of a persisted, compacting
+			// four-pipeline cluster. Exercises the merge-point checkpoint
+			// (all four worker logs anchored to one state capture), the
+			// unified freshest-snapshot restore, and per-worker catch-up
+			// running concurrently on every pipeline after the heal.
+			Name: "multiworker-partition-restart", Seed: 108,
+			Workers: 4, Persist: true, SnapshotEvery: 8, CatchUpBatch: 8,
+			Events: []Event{
+				{Kind: EvPartition, At: 0, Dur: 700 * time.Millisecond, Group: []int{0, 1, 2}},
+				{Kind: EvRestart, At: 900 * time.Millisecond, Dur: 600 * time.Millisecond, Node: 3},
+			},
+			Warmup:  6,
+			Horizon: 4,
+		},
+		{
 			// Found by Explore (seed 57, n=7): an equivocator plus a long
 			// isolation of one node exposed two distinct liveness wedges in
 			// the lagging node once the cluster had outrun the retained

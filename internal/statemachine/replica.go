@@ -22,6 +22,13 @@ type Replica struct {
 	mu   sync.Mutex
 	kv   *KV
 	last map[uint32]uint64 // worker → last applied round
+	// (curW, curRound) is the explicit merged-stream cursor: the position of
+	// the most recent block applied in the merged (round, worker) order. It
+	// rides in Snapshot, so a restored replica knows exactly where in the
+	// merged stream its state sits — the property flo needs to allow
+	// SnapshotState with ω > 1.
+	curW     uint32
+	curRound uint64
 }
 
 // NewReplica returns an empty replica.
@@ -37,6 +44,16 @@ func (r *Replica) Position(w uint32) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.last[w]
+}
+
+// Cursor returns the merged-stream position of the most recently applied
+// block: the (worker, round) pair that is maximal in the merged
+// (round, worker) order among everything this replica has applied. A zero
+// round means nothing was applied yet.
+func (r *Replica) Cursor() (worker uint32, round uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.curW, r.curRound
 }
 
 // Deliver applies one definite block from worker w, skipping blocks at or
@@ -57,12 +74,16 @@ func (r *Replica) Deliver(w uint32, blk types.Block) bool {
 		_ = r.kv.Apply(blk.Body.Txs[i])
 	}
 	r.last[w] = round
+	if round > r.curRound || (round == r.curRound && w > r.curW) {
+		r.curW, r.curRound = w, round
+	}
 	return true
 }
 
-// Snapshot serializes the replica deterministically: the per-worker
-// positions followed by the KV snapshot, captured atomically with respect
-// to Deliver.
+// Snapshot serializes the replica deterministically: the merged-stream
+// cursor, the per-worker positions, and the KV snapshot, captured atomically
+// with respect to Deliver. The encoding is canonical (workers sorted), so
+// restoring a snapshot and re-serializing yields byte-identical output.
 func (r *Replica) Snapshot() []byte {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -72,6 +93,8 @@ func (r *Replica) Snapshot() []byte {
 	}
 	sort.Slice(workers, func(i, j int) bool { return workers[i] < workers[j] })
 	e := types.NewEncoder(64)
+	e.Uint32(r.curW)
+	e.Uint64(r.curRound)
 	e.Uint32(uint32(len(workers)))
 	for _, w := range workers {
 		e.Uint32(w)
@@ -84,6 +107,8 @@ func (r *Replica) Snapshot() []byte {
 // RestoreReplica rebuilds a replica from a Snapshot.
 func RestoreReplica(snap []byte) (*Replica, error) {
 	d := types.NewDecoder(snap)
+	curW := d.Uint32()
+	curRound := d.Uint64()
 	n := d.Uint32()
 	if d.Err() != nil || n > types.MaxFieldLen/12 {
 		return nil, fmt.Errorf("statemachine: corrupt replica snapshot header")
@@ -101,5 +126,5 @@ func RestoreReplica(snap []byte) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Replica{kv: kv, last: last}, nil
+	return &Replica{kv: kv, last: last, curW: curW, curRound: curRound}, nil
 }

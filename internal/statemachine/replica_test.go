@@ -61,3 +61,42 @@ func TestReplicaSnapshotRestoreReplay(t *testing.T) {
 		t.Fatal("garbage snapshot restored")
 	}
 }
+
+// TestReplicaMergedCursor checks the explicit merged-stream cursor: it
+// tracks the maximal applied position in (round, worker) order, ignores
+// idempotent re-deliveries, and survives a snapshot round trip with
+// byte-identical re-serialization (the canonical-encoding property flo's
+// ω>1 checkpoints rely on).
+func TestReplicaMergedCursor(t *testing.T) {
+	r := NewReplica()
+	tx := func(c, s uint64) types.Transaction {
+		return types.Transaction{Client: c, Seq: s, Payload: EncodeAdd("n", 1)}
+	}
+	// Merged order of an ω=3 deployment: (0,1) (1,1) (2,1) (0,2) (1,2).
+	r.Deliver(deliverBlock(0, 1, tx(1, 1)))
+	r.Deliver(deliverBlock(1, 1, tx(1, 2)))
+	r.Deliver(deliverBlock(2, 1, tx(1, 3)))
+	r.Deliver(deliverBlock(0, 2, tx(1, 4)))
+	r.Deliver(deliverBlock(1, 2, tx(1, 5)))
+	if w, round := r.Cursor(); w != 1 || round != 2 {
+		t.Fatalf("cursor (%d,%d), want (1,2)", w, round)
+	}
+	// Idempotent re-delivery of an older position must not move the cursor.
+	r.Deliver(deliverBlock(2, 1, tx(1, 3)))
+	if w, round := r.Cursor(); w != 1 || round != 2 {
+		t.Fatalf("cursor moved on re-delivery: (%d,%d)", w, round)
+	}
+
+	snap := r.Snapshot()
+	r2, err := RestoreReplica(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, round := r2.Cursor(); w != 1 || round != 2 {
+		t.Fatalf("restored cursor (%d,%d), want (1,2)", w, round)
+	}
+	snap2 := r2.Snapshot()
+	if string(snap) != string(snap2) {
+		t.Fatal("snapshot → restore → snapshot is not byte-identical")
+	}
+}

@@ -592,6 +592,14 @@ func (l *BlockLog) Checkpoint(snapPath string, instance uint32, stateRound uint6
 		return nil
 	}
 	newBase := l.tip - retain
+	// Never compact past the application checkpoint: rounds above stateRound
+	// are exactly what restore must re-apply, so they have to survive in the
+	// log. With ω > 1 a fast worker's tip can run far ahead of the merged
+	// delivery position its state was captured at, making this clamp load-
+	// bearing rather than theoretical.
+	if stateRound > 0 && newBase > stateRound {
+		newBase = stateRound
+	}
 	if newBase <= l.base {
 		return nil
 	}
