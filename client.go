@@ -145,6 +145,26 @@ func (c *Client) Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, 
 	return ch, nil
 }
 
+// Get reads key from the node's ledger state once the applied frontier
+// covers at; see Session.Get.
+func (c *Client) Get(ctx context.Context, key string, at ReadToken) ([]byte, bool, error) {
+	return c.node.StateGet(ctx, key, at.Worker, at.Round)
+}
+
+// Scan returns entries with begin <= key < end in ascending key order,
+// anchored at at; see Session.Scan. The in-process path has no per-reply
+// cap: max <= 0 returns the full range.
+func (c *Client) Scan(ctx context.Context, begin, end string, max int, at ReadToken) ([]Entry, error) {
+	return c.node.StateScan(ctx, begin, end, max, at.Worker, at.Round)
+}
+
+// WatchKey streams updates to key, anchored at at; see Session.WatchKey.
+// The watch ends when ctx does.
+func (c *Client) WatchKey(ctx context.Context, key string, at ReadToken) (<-chan KeyUpdate, error) {
+	ch, _, err := c.node.StateWatch(ctx, key, at.Worker, at.Round)
+	return ch, err
+}
+
 // Info reports the serving node's identity and delivery totals.
 func (c *Client) Info(context.Context) (Info, error) {
 	return Info{

@@ -19,14 +19,20 @@
 // versioned client wire protocol of internal/clientapi on that port:
 // fireledger.Dial / cmd/flclient sessions submit transactions, receive
 // commit receipts, and stream the merged definite block sequence from a
-// cursor.
+// cursor. With -state map|durable the node additionally maintains a
+// queryable ledger replica and serves receipt-anchored point gets, ordered
+// range scans, and key watches over the same client port ("durable"
+// requires -data; with -snapshot-every its snapshot rides in the chain
+// checkpoints, so restarts resume the state too).
 package main
 
 import (
 	"flag"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -51,6 +57,7 @@ func main() {
 		gcWindow    = flag.Duration("group-commit-window", 0, "optional delay per group-commit flush to grow batches (with -group-commit; 0 = batch only during in-flight fsyncs)")
 		catchBatch  = flag.Int("catchup-batch", 64, "blocks per streaming catch-up batch; also the lag threshold that switches a node from per-round pulls to range sync")
 		snapEvery   = flag.Uint64("snapshot-every", 0, "checkpoint and compact the chain log every N definite rounds (requires -data; 0 disables)")
+		state       = flag.String("state", "", "queryable ledger state backend: 'map' (in-memory) or 'durable' (requires -data); empty serves no state reads")
 		statsEvery  = flag.Duration("stats", 5*time.Second, "stats print interval")
 		gossip      = flag.Bool("gossip", false, "disseminate block bodies by push-gossip instead of the clique overlay")
 		fanout      = flag.Int("fanout", 3, "gossip fanout (with -gossip)")
@@ -80,6 +87,27 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 
+	var backend fireledger.StateBackend
+	switch *state {
+	case "":
+	case "map":
+		backend = fireledger.NewMapState()
+	case "durable":
+		if *dataDir == "" {
+			log.Fatal("-state durable requires -data")
+		}
+		b, err := fireledger.OpenDurableState(filepath.Join(*dataDir, "state"))
+		if err != nil {
+			log.Fatalf("open state backend: %v", err)
+		}
+		backend = b
+		if closer, ok := backend.(io.Closer); ok {
+			defer closer.Close()
+		}
+	default:
+		log.Fatalf("unknown -state %q (want 'map' or 'durable')", *state)
+	}
+
 	node, err := fireledger.NewNode(fireledger.Config{
 		Endpoint:          ep,
 		Registry:          ks.Registry,
@@ -93,6 +121,7 @@ func main() {
 		GroupCommitWindow: *gcWindow,
 		CatchUpBatch:      *catchBatch,
 		SnapshotEvery:     *snapEvery,
+		State:             backend,
 		GossipBodies:      *gossip,
 		GossipFanout:      *fanout,
 		CompressBodies:    *compressB,
@@ -107,8 +136,8 @@ func main() {
 	}
 	node.Start()
 	defer node.Stop()
-	log.Printf("node %d up on %s (n=%d, workers=%d, batch=%d, saturate=%d)",
-		*id, list[*id], len(list), *workers, *batch, *saturate)
+	log.Printf("node %d up on %s (n=%d, workers=%d, batch=%d, saturate=%d, state=%s)",
+		*id, list[*id], len(list), *workers, *batch, *saturate, *state)
 
 	if *clientAddr != "" {
 		srv := clientapi.NewServer(node, clientapi.ServerOptions{Logf: log.Printf})

@@ -7,6 +7,7 @@
 //	flbench -exp fig16 -full     # paper-scale FLO vs HotStuff comparison
 //	flbench -exp all             # the whole evaluation, in paper order
 //	flbench -exp workers -out BENCH_workers.json   # ω scaling artifact
+//	flbench -exp state -out BENCH_state.json       # state-backend artifact
 //	flbench -list                # what's available
 //
 // The quick profile compresses sweeps and measurement windows so the full
@@ -28,16 +29,17 @@ import (
 	"repro/internal/harness"
 )
 
-// workersDoc is the BENCH_workers.json shape: the scaling cells plus enough
-// environment metadata to read the numbers honestly.
-type workersDoc struct {
-	Date      string                `json:"date"`
-	GOOS      string                `json:"goos"`
-	GOARCH    string                `json:"goarch"`
-	NumCPU    int                   `json:"num_cpu"`
-	GoVersion string                `json:"go_version"`
-	Profile   string                `json:"profile"`
-	Cells     []harness.WorkersCell `json:"cells"`
+// benchDoc is the shape of the JSON artifacts (BENCH_workers.json,
+// BENCH_state.json): the cells plus enough environment metadata to read the
+// numbers honestly.
+type benchDoc struct {
+	Date      string `json:"date"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+	Profile   string `json:"profile"`
+	Cells     any    `json:"cells"`
 }
 
 func main() {
@@ -74,13 +76,32 @@ func main() {
 	}
 
 	if *out != "" {
-		if *exp != "workers" {
-			fmt.Fprintln(os.Stderr, "-out is only supported with -exp workers")
+		start := time.Now()
+		var cells any
+		switch *exp {
+		case "workers":
+			ws := harness.WorkersSweep(scale)
+			cells = ws
+			fmt.Printf("# workers: tps vs omega, n=4, batch=100, sigma=512, single data-center\n")
+			fmt.Printf("gomaxprocs\tworkers\ttps\tp50-ms\tp99-ms\tblocks\n")
+			for _, c := range ws {
+				fmt.Printf("%d\t%d\t%.0f\t%.2f\t%.2f\t%d\n",
+					c.GoMaxProcs, c.Workers, c.TPS, c.P50Ms, c.P99Ms, c.Blocks)
+			}
+		case "state":
+			ss := harness.StateSweep(scale)
+			cells = ss
+			fmt.Printf("# state: write tps + read rates vs backend, n=4, batch=100, sigma=512, single data-center\n")
+			fmt.Printf("backend\tworkers\ttps\tgets/s\tscans/s\tp50-ms\tblocks\n")
+			for _, c := range ss {
+				fmt.Printf("%s\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%d\n",
+					c.Backend, c.Workers, c.TPS, c.GetsPerSec, c.ScansPerSec, c.P50Ms, c.Blocks)
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "-out is only supported with -exp workers or -exp state")
 			os.Exit(2)
 		}
-		start := time.Now()
-		cells := harness.WorkersSweep(scale)
-		doc := workersDoc{
+		doc := benchDoc{
 			Date:      time.Now().UTC().Format("2006-01-02"),
 			GOOS:      runtime.GOOS,
 			GOARCH:    runtime.GOARCH,
@@ -98,13 +119,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("# workers: tps vs omega, n=4, batch=100, sigma=512, single data-center\n")
-		fmt.Printf("gomaxprocs\tworkers\ttps\tp50-ms\tp99-ms\tblocks\n")
-		for _, c := range cells {
-			fmt.Printf("%d\t%d\t%.0f\t%.2f\t%.2f\t%d\n",
-				c.GoMaxProcs, c.Workers, c.TPS, c.P50Ms, c.P99Ms, c.Blocks)
-		}
-		fmt.Printf("# workers done in %v; wrote %s\n", time.Since(start).Round(time.Millisecond), *out)
+		fmt.Printf("# %s done in %v; wrote %s\n", *exp, time.Since(start).Round(time.Millisecond), *out)
 		return
 	}
 

@@ -1,94 +1,37 @@
 // Command payments is the consortium-ledger scenario the paper's
 // introduction motivates: a permissioned cluster (say, banks) maintaining a
-// shared ledger of transfers. Transfers ride as FireLedger transaction
-// payloads; each replica applies the definite (final) blocks to its balance
-// table in the agreed order and enforces the application-level validity rule
-// — no overdrafts — deterministically, so every correct replica converges on
-// identical balances. This is the external `valid` predicate of the paper's
-// VPBC/BBFC formulation living at the application layer.
+// shared ledger of transfers. Transfers ride as FireLedger's built-in
+// transfer command; each replica's state backend applies the definite
+// (final) blocks in the agreed order and enforces the application-level
+// validity rule — no overdrafts — deterministically, so every correct
+// replica converges on identical balances. This is the external `valid`
+// predicate of the paper's VPBC/BBFC formulation living at the state layer.
+//
+// Balances are read back through the Session read API: Get and Scan anchored
+// at a commit receipt's consistency token, so the reader observes every
+// transfer it issued — even from a session on a different node than the one
+// that accepted the writes.
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	fireledger "repro"
 )
 
-// transfer is the application payload: move Amount from one account to
-// another.
-type transfer struct {
-	From, To uint32
-	Amount   uint64
-}
+func acct(a int) string { return fmt.Sprintf("acct/%02d", a) }
 
-func (t transfer) marshal() []byte {
-	buf := make([]byte, 16)
-	binary.BigEndian.PutUint32(buf[0:], t.From)
-	binary.BigEndian.PutUint32(buf[4:], t.To)
-	binary.BigEndian.PutUint64(buf[8:], t.Amount)
-	return buf
-}
-
-func parseTransfer(b []byte) (transfer, bool) {
-	if len(b) != 16 {
-		return transfer{}, false
+// after returns the merged-order later of two receipts: the one whose
+// definite block comes second in the (round, worker) order.
+func after(a, b fireledger.Receipt) fireledger.Receipt {
+	if b.Round > a.Round || (b.Round == a.Round && b.Worker > a.Worker) {
+		return b
 	}
-	return transfer{
-		From:   binary.BigEndian.Uint32(b[0:]),
-		To:     binary.BigEndian.Uint32(b[4:]),
-		Amount: binary.BigEndian.Uint64(b[8:]),
-	}, true
-}
-
-// ledger is one replica's deterministic state machine.
-type ledger struct {
-	mu       sync.Mutex
-	balances map[uint32]uint64
-	applied  int
-	rejected int
-}
-
-func newLedger(accounts int, opening uint64) *ledger {
-	l := &ledger{balances: make(map[uint32]uint64, accounts)}
-	for a := 0; a < accounts; a++ {
-		l.balances[uint32(a)] = opening
-	}
-	return l
-}
-
-// apply executes a definite block. Overdrafts are rejected — every replica
-// rejects the same ones because blocks arrive in the same order.
-func (l *ledger) apply(blk fireledger.Block) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for _, tx := range blk.Body.Txs {
-		tr, ok := parseTransfer(tx.Payload)
-		if !ok {
-			l.rejected++
-			continue
-		}
-		if l.balances[tr.From] < tr.Amount {
-			l.rejected++ // overdraft: invalid at the application layer
-			continue
-		}
-		l.balances[tr.From] -= tr.Amount
-		l.balances[tr.To] += tr.Amount
-		l.applied++
-	}
-}
-
-func (l *ledger) total() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var sum uint64
-	for _, b := range l.balances {
-		sum += b
-	}
-	return sum
+	return a
 }
 
 func main() {
@@ -97,14 +40,11 @@ func main() {
 		opening  = 1000
 		payments = 200
 	)
-	ledgers := make([]*ledger, 4)
-	for i := range ledgers {
-		ledgers[i] = newLedger(accounts, opening)
-	}
 
+	// Every node applies the definite stream to its own state backend.
 	cluster, err := fireledger.NewLocalCluster(4, func(i int, cfg *fireledger.Config) {
 		cfg.BatchSize = 20
-		cfg.Deliver = func(_ uint32, blk fireledger.Block) { ledgers[i].apply(blk) }
+		cfg.State = fireledger.NewMapState()
 	})
 	if err != nil {
 		panic(err)
@@ -112,56 +52,97 @@ func main() {
 	cluster.Start()
 	defer cluster.Stop()
 
-	// Clients issue random transfers, including some that will overdraft.
-	rng := rand.New(rand.NewSource(42))
-	for j := 0; j < payments; j++ {
-		tr := transfer{
-			From:   uint32(rng.Intn(accounts)),
-			To:     uint32(rng.Intn(accounts)),
-			Amount: uint64(rng.Intn(300)) + 1,
-		}
-		tx := fireledger.Transaction{Client: 100, Seq: uint64(j + 1), Payload: tr.marshal()}
-		if err := cluster.Node(j % 4).Submit(tx); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	session, err := fireledger.NewClient(cluster.Node(0), 100)
+	if err != nil {
+		panic(err)
+	}
+	defer session.Close()
+
+	// Open the accounts (a counter add from zero), then issue random
+	// transfers — including some that will overdraft and be rejected
+	// identically by every replica. Writes are pipelined; each resolves
+	// with the receipt of the definite block it landed in.
+	var last fireledger.Receipt
+	var pending []*fireledger.Pending
+	for a := 0; a < accounts; a++ {
+		p, err := session.Submit(fireledger.EncodeAdd(acct(a), opening))
+		if err != nil {
 			panic(err)
 		}
+		pending = append(pending, p)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for j := 0; j < payments; j++ {
+		from, to := rng.Intn(accounts), rng.Intn(accounts)
+		amount := uint64(rng.Intn(300)) + 1
+		p, err := session.Submit(fireledger.EncodeTransfer(acct(from), acct(to), amount))
+		if err != nil {
+			panic(err)
+		}
+		pending = append(pending, p)
+	}
+	for _, p := range pending {
+		r, err := p.Wait(ctx)
+		if err != nil {
+			panic(err)
+		}
+		last = after(last, r)
+	}
+	token := last.Token()
+	fmt.Printf("%d transfers final; last lands at (worker %d, round %d)\n",
+		payments, token.Worker, token.Round)
+
+	// Read the balances back with the token — from a session on a
+	// *different* node than the writes went to. The token blocks the read
+	// until that replica's applied frontier covers the last write, so the
+	// session reads its own writes without sleeping or polling.
+	reader, err := fireledger.NewClient(cluster.Node(2), 101)
+	if err != nil {
+		panic(err)
+	}
+	defer reader.Close()
+
+	// One ranged scan returns the whole balance table in key order
+	// ("acct0" is the smallest string above every "acct/…" key).
+	entries, err := reader.Scan(ctx, "acct/", "acct0", 0, token)
+	if err != nil {
+		panic(err)
+	}
+	if len(entries) != accounts {
+		panic(fmt.Sprintf("scan returned %d accounts, want %d", len(entries), accounts))
+	}
+	var total uint64
+	for _, e := range entries {
+		total += binary.BigEndian.Uint64(e.Value)
+	}
+	if want := uint64(accounts * opening); total != want {
+		panic(fmt.Sprintf("total = %d, want %d (money not conserved)", total, want))
 	}
 
-	// Wait until every replica has applied all finalized payments.
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		done := true
-		for _, l := range ledgers {
-			l.mu.Lock()
-			n := l.applied + l.rejected
-			l.mu.Unlock()
-			if n < payments {
-				done = false
-				break
+	// Point reads with the same token agree on every node.
+	for i := 0; i < cluster.N(); i++ {
+		s, err := fireledger.NewClient(cluster.Node(i), uint64(200+i))
+		if err != nil {
+			panic(err)
+		}
+		for j, e := range entries {
+			v, ok, err := s.Get(ctx, acct(j), token)
+			if err != nil || !ok {
+				panic(fmt.Sprintf("node %d: Get(%s): ok=%v err=%v", i, acct(j), ok, err))
+			}
+			if binary.BigEndian.Uint64(v) != binary.BigEndian.Uint64(e.Value) {
+				panic(fmt.Sprintf("node %d diverged on %s", i, acct(j)))
 			}
 		}
-		if done {
-			break
-		}
-		if time.Now().After(deadline) {
-			panic("payments were not finalized in time")
-		}
-		time.Sleep(20 * time.Millisecond)
+		s.Close()
 	}
 
-	// Conservation of money + replica agreement.
-	want := uint64(accounts * opening)
-	for i, l := range ledgers {
-		if got := l.total(); got != want {
-			panic(fmt.Sprintf("replica %d total = %d, want %d (money not conserved)", i, got, want))
-		}
+	fmt.Printf("replicas agree on %d balances; total conserved at %d\n", len(entries), total)
+	for _, e := range entries[:4] {
+		fmt.Printf("  %s = %d\n", e.Key, binary.BigEndian.Uint64(e.Value))
 	}
-	for i := 1; i < len(ledgers); i++ {
-		for a := uint32(0); a < accounts; a++ {
-			if ledgers[i].balances[a] != ledgers[0].balances[a] {
-				panic(fmt.Sprintf("replica %d diverged on account %d", i, a))
-			}
-		}
-	}
-	fmt.Printf("replicas agree: %d transfers applied, %d rejected (overdrafts), total conserved at %d\n",
-		ledgers[0].applied, ledgers[0].rejected, want)
+	fmt.Println("  ...")
 }

@@ -48,6 +48,7 @@ import (
 	"repro/internal/evidence"
 	"repro/internal/flcrypto"
 	"repro/internal/flo"
+	"repro/internal/statemachine"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -82,6 +83,11 @@ type (
 	Equivocation = evidence.Equivocation
 	// ConvictionRecord is one culprit's entry in a node's evidence pool.
 	ConvictionRecord = evidence.Record
+	// StateBackend is the pluggable ledger-state store a node applies the
+	// merged definite stream to (Config.State). Two implementations ship:
+	// NewMapState (in-memory) and OpenDurableState (disk-backed value log
+	// with an in-memory ordered index).
+	StateBackend = statemachine.StateBackend
 )
 
 // Lifecycle events, re-exported for Deliver/OnEvent consumers.
@@ -96,6 +102,36 @@ const (
 // endpoint (see NewLocalCluster for the in-process path and
 // transport.NewTCPEndpoint for real deployments).
 func NewNode(cfg Config) (*Node, error) { return flo.NewNode(cfg) }
+
+// NewMapState returns the in-memory ledger-state backend: a hash map with
+// an ordered view built per scan. State survives restarts only through
+// store checkpoints (Config.Store).
+func NewMapState() StateBackend { return statemachine.NewKV() }
+
+// OpenDurableState opens the disk-backed ledger-state backend in dir: values
+// live in an append-only log (reads are one ReadAt), the ordered key index
+// stays in memory, and durability rides in store checkpoints — on restart
+// the node restores the freshest checkpoint into the backend and replays the
+// definite blocks above it.
+func OpenDurableState(dir string) (StateBackend, error) { return statemachine.OpenDurable(dir) }
+
+// The KV command language the built-in backends apply; submit these
+// payloads through a Session and read them back with Get/Scan/WatchKey.
+// Transactions whose payload does not decode as a command are ignored by
+// the state machine (the ledger remains a generic ordered log).
+var (
+	// EncodeSet writes value under key.
+	EncodeSet = statemachine.EncodeSet
+	// EncodeDel removes key.
+	EncodeDel = statemachine.EncodeDel
+	// EncodeAdd adjusts the 8-byte big-endian counter at key by delta
+	// (missing key counts as zero).
+	EncodeAdd = statemachine.EncodeAdd
+	// EncodeTransfer atomically moves amount from one counter key to
+	// another, rejected deterministically on every node if the source
+	// balance is insufficient.
+	EncodeTransfer = statemachine.EncodeTransfer
+)
 
 // Cluster is an in-process FireLedger deployment: n nodes over a simulated
 // network. It is the entry point for examples, tests, and experimentation;

@@ -43,6 +43,14 @@ type Client struct {
 	closed   bool
 	readErr  error
 	readDone chan struct{}
+
+	// State reads (1.2): request-id-correlated waiters — the server answers
+	// reads in completion order, so each in-flight request parks its own
+	// reply channel here.
+	nextReq  uint64
+	getW     map[uint64]chan getReplyMsg
+	scanW    map[uint64]chan scanReplyMsg
+	watchers map[uint64]*clientWatch
 }
 
 type pendingEntry struct {
@@ -108,6 +116,9 @@ func Dial(addr string, clientID uint64, opts DialOptions) (*Client, error) {
 		seq:      uint64(time.Now().UnixNano()),
 		pending:  make(map[uint64]*pendingEntry),
 		readDone: make(chan struct{}),
+		getW:     make(map[uint64]chan getReplyMsg),
+		scanW:    make(map[uint64]chan scanReplyMsg),
+		watchers: make(map[uint64]*clientWatch),
 	}
 	go c.readLoop()
 	return c, nil
@@ -243,6 +254,232 @@ func (c *Client) Info(ctx context.Context) (Info, error) {
 	}
 }
 
+// sessionErrLocked returns the session's terminal error (c.mu held).
+func (c *Client) sessionErrLocked() error {
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return errors.New("clientapi: session closed")
+}
+
+// Get reads key's current value from the serving node's ledger replica. The
+// token anchors the read: the server blocks until its applied frontier
+// covers (token.Worker, token.Round), so Get with a commit Receipt's Token
+// observes that write (read-your-writes). The zero token reads current
+// state without waiting. ErrNoState when the node serves no state backend.
+func (c *Client) Get(ctx context.Context, key string, at ReadToken) ([]byte, bool, error) {
+	ch := make(chan getReplyMsg, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.sessionErrLocked()
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	c.nextReq++
+	id := c.nextReq
+	c.getW[id] = ch
+	c.mu.Unlock()
+	drop := func() {
+		c.mu.Lock()
+		delete(c.getW, id)
+		c.mu.Unlock()
+	}
+	if err := c.write(marshalGet(getMsg{ID: id, Key: key, At: at})); err != nil {
+		drop()
+		return nil, false, err
+	}
+	select {
+	case m := <-ch:
+		if err := readErr(m.Code, m.Err); err != nil {
+			return nil, false, err
+		}
+		return m.Value, m.Found, nil
+	case <-ctx.Done():
+		drop()
+		return nil, false, ctx.Err()
+	case <-c.readDone:
+		c.mu.Lock()
+		err := c.sessionErrLocked()
+		c.mu.Unlock()
+		return nil, false, err
+	}
+}
+
+// Scan reads up to max entries with begin <= key < end (ascending key
+// order) under the same consistency-token semantics as Get. Replies are
+// capped at MaxScanEntries (and a frame-size budget for huge values); page
+// a larger range by reissuing with begin just past the last returned key.
+// max <= 0 requests the cap.
+func (c *Client) Scan(ctx context.Context, begin, end string, max int, at ReadToken) ([]Entry, error) {
+	ch := make(chan scanReplyMsg, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.sessionErrLocked()
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextReq++
+	id := c.nextReq
+	c.scanW[id] = ch
+	c.mu.Unlock()
+	drop := func() {
+		c.mu.Lock()
+		delete(c.scanW, id)
+		c.mu.Unlock()
+	}
+	if max < 0 {
+		max = 0
+	}
+	if err := c.write(marshalScan(scanMsg{ID: id, Begin: begin, End: end, Max: uint32(max), At: at})); err != nil {
+		drop()
+		return nil, err
+	}
+	select {
+	case m := <-ch:
+		if err := readErr(m.Code, m.Err); err != nil {
+			return nil, err
+		}
+		return m.Entries, nil
+	case <-ctx.Done():
+		drop()
+		return nil, ctx.Err()
+	case <-c.readDone:
+		c.mu.Lock()
+		err := c.sessionErrLocked()
+		c.mu.Unlock()
+		return nil, err
+	}
+}
+
+// clientWatch mirrors the replica-side watcher on the client: the read loop
+// offers each WATCH_EVENT into a latest-wins slot (never blocking the
+// session's frame dispatch), and a pump goroutine drains the slot into the
+// consumer channel.
+type clientWatch struct {
+	id    uint64
+	ready chan error // first server response: nil (event arrived) or error
+
+	mu     sync.Mutex
+	latest KeyUpdate
+	has    bool
+	wake   chan struct{}
+	done   chan struct{}
+	out    chan KeyUpdate
+
+	readyOnce sync.Once
+	doneOnce  sync.Once
+}
+
+func (w *clientWatch) offer(upd KeyUpdate) {
+	w.mu.Lock()
+	w.latest, w.has = upd, true
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	w.readyOnce.Do(func() { w.ready <- nil })
+}
+
+func (w *clientWatch) end(err error) {
+	if err == nil {
+		err = errors.New("clientapi: watch ended")
+	}
+	w.readyOnce.Do(func() { w.ready <- err })
+	w.doneOnce.Do(func() { close(w.done) })
+}
+
+func (w *clientWatch) pump() {
+	defer close(w.out)
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.wake:
+		}
+		w.mu.Lock()
+		upd, has := w.latest, w.has
+		w.has = false
+		w.mu.Unlock()
+		if !has {
+			continue
+		}
+		select {
+		case w.out <- upd:
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// WatchKey watches key on the serving node's ledger replica: once the
+// applied frontier covers the token, the returned channel yields the key's
+// current state and then every subsequent change, coalesced to the latest
+// value when the consumer lags. The watch ends — and the channel closes —
+// when ctx is canceled or the session closes. WatchKey blocks until the
+// first state arrives (or the server refuses, e.g. ErrNoState).
+func (c *Client) WatchKey(ctx context.Context, key string, at ReadToken) (<-chan KeyUpdate, error) {
+	w := &clientWatch{
+		ready: make(chan error, 1),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+		out:   make(chan KeyUpdate, 1),
+	}
+	c.mu.Lock()
+	if c.closed {
+		err := c.sessionErrLocked()
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextReq++
+	w.id = c.nextReq
+	c.watchers[w.id] = w
+	c.mu.Unlock()
+	drop := func() {
+		c.mu.Lock()
+		delete(c.watchers, w.id)
+		c.mu.Unlock()
+	}
+	if err := c.write(marshalWatch(watchMsg{ID: w.id, Key: key, At: at})); err != nil {
+		drop()
+		return nil, err
+	}
+	select {
+	case err := <-w.ready:
+		if err != nil {
+			drop()
+			return nil, err
+		}
+	case <-ctx.Done():
+		drop()
+		c.write(marshalUnwatch(w.id))
+		return nil, ctx.Err()
+	case <-c.readDone:
+		c.mu.Lock()
+		err := c.sessionErrLocked()
+		c.mu.Unlock()
+		return nil, err
+	}
+	go w.pump()
+	// Relay ctx cancellation: the server answers the UNWATCH with a
+	// WATCH_END, which ends the watch and closes the channel.
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			active := c.watchers[w.id] == w
+			c.mu.Unlock()
+			if active {
+				c.write(marshalUnwatch(w.id))
+			}
+			w.end(errors.New("clientapi: watch canceled"))
+		case <-w.done:
+		case <-c.readDone:
+		}
+	}()
+	return w.out, nil
+}
+
 // Close terminates the session. Unresolved Pendings fail; an active
 // subscription receives a terminal error event.
 func (c *Client) Close() error {
@@ -350,6 +587,57 @@ func (c *Client) readLoop() {
 				close(sub.ended)
 				sub.finish(streamErr)
 			}
+		case kindGetReply:
+			m, derr := decodeGetReply(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			ch := c.getW[m.ID]
+			delete(c.getW, m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case kindScanReply:
+			m, derr := decodeScanReply(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			ch := c.scanW[m.ID]
+			delete(c.scanW, m.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case kindWatchEvent:
+			m, derr := decodeWatchEvent(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			w := c.watchers[m.ID]
+			c.mu.Unlock()
+			if w != nil {
+				w.offer(m.Upd)
+			}
+		case kindWatchEnd:
+			m, derr := decodeWatchEnd(payload)
+			if derr != nil {
+				err = derr
+				break
+			}
+			c.mu.Lock()
+			w := c.watchers[m.ID]
+			delete(c.watchers, m.ID)
+			c.mu.Unlock()
+			if w != nil {
+				w.end(readErr(m.Code, m.Err))
+			}
 		case kindInfoReply:
 			info, derr := decodeInfoReply(payload)
 			if derr != nil {
@@ -392,14 +680,22 @@ func (c *Client) fail(err error) {
 	sub := c.sub
 	c.sub = nil
 	c.infoC = nil
+	watchers := c.watchers
+	c.watchers = make(map[uint64]*clientWatch)
+	c.getW = make(map[uint64]chan getReplyMsg)
+	c.scanW = make(map[uint64]chan scanReplyMsg)
 	c.mu.Unlock()
 	c.conn.Close()
 	for _, e := range pend {
 		e.resolve(Receipt{}, sessionErr)
 	}
+	for _, w := range watchers {
+		w.end(sessionErr)
+	}
 	if sub != nil {
 		close(sub.ended)
 		sub.finish(sessionErr)
 	}
+	// Get/Scan waiters unblock via readDone (set readErr first, above).
 	close(c.readDone)
 }

@@ -317,7 +317,8 @@ func TestVersionMismatchRefused(t *testing.T) {
 	}{
 		{"minor-bump", VersionMajor<<16 | (VersionMinor + 1)},
 		{"major-bump", (VersionMajor + 1) << 16},
-		{"legacy-1.0", VersionMajor<<16 | (VersionMinor - 1)},
+		{"legacy-1.1", VersionMajor<<16 | 1}, // pre-state-reads protocol: no GET/SCAN/WATCH frames
+		{"legacy-1.0", VersionMajor << 16},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			conn, err := net.Dial("tcp", addr)

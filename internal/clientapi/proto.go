@@ -14,6 +14,13 @@
 //	  | SUBSCRIBE {worker, round}  →      |
 //	  |  ←  BLOCK {w, block} …            |   history from the log, then live
 //	  | INFO →  /  ← INFO_REPLY           |
+//	  | GET {id, key, token}  →           |   state reads (1.2): served from
+//	  |  ←  GET_REPLY {id, value}         |   the node's ledger replica once
+//	  | SCAN {id, begin, end, token}  →   |   its applied frontier covers the
+//	  |  ←  SCAN_REPLY {id, entries}      |   token — take the token from a
+//	  | WATCH {id, key, token}  →         |   commit Receipt to read your own
+//	  |  ←  WATCH_EVENT {id, value} …     |   committed write
+//	  | UNWATCH {id} →  /  ← WATCH_END    |
 //
 // Framing is uint32 big-endian length, then one kind byte, then the kind's
 // payload in the deterministic codec of internal/types. SUBMIT payloads are
@@ -32,6 +39,7 @@ import (
 	"io"
 
 	"repro/internal/flcrypto"
+	"repro/internal/statemachine"
 	"repro/internal/store"
 	"repro/internal/types"
 )
@@ -45,10 +53,11 @@ const Magic uint32 = 0x464C_4331 // "FLC1"
 // is exact-match on the packed word: a server rejects clients of any other
 // version in the WELCOME, so incompatible frames are never interpreted.
 // Bump the major on any layout change to an existing frame; bump the minor
-// when a frame gains fields (1.1: INFO_REPLY carries PoolPending).
+// when a frame gains fields or new frame kinds appear (1.1: INFO_REPLY
+// carries PoolPending; 1.2: the GET/SCAN/WATCH state-read frames).
 const (
 	VersionMajor uint32 = 1
-	VersionMinor uint32 = 1
+	VersionMinor uint32 = 2
 	Version      uint32 = VersionMajor<<16 | VersionMinor
 )
 
@@ -68,7 +77,26 @@ const (
 	kindInfo        uint8 = 9  // client→server: (empty)
 	kindInfoReply   uint8 = 10 // server→client: node, n, ω, delivered counts
 	kindUnsubscribe uint8 = 11 // client→server: (empty) stop the stream
+	// State-read frames, since 1.2. Every request carries a client-assigned
+	// id: the server answers reads on their own goroutines (a consistency
+	// token may block on the applied frontier), so replies return in
+	// completion order, not request order.
+	kindGet        uint8 = 12 // client→server: id, key, token
+	kindGetReply   uint8 = 13 // server→client: id, found, value, code, error
+	kindScan       uint8 = 14 // client→server: id, begin, end, max, token
+	kindScanReply  uint8 = 15 // server→client: id, entries, code, error
+	kindWatch      uint8 = 16 // client→server: id, key, token
+	kindWatchEvent uint8 = 17 // server→client: id, one KeyUpdate
+	kindWatchEnd   uint8 = 18 // server→client: id, code, error — watch over
+	kindUnwatch    uint8 = 19 // client→server: id — stop one watch
 )
+
+// MaxScanEntries caps one SCAN reply (and the in-process Scan, for parity):
+// a larger range is paged by reissuing the scan with begin just past the
+// last returned key. The server additionally bounds a reply's total value
+// bytes to fit MaxFrame, so a scan over huge values may return fewer
+// entries.
+const MaxScanEntries = 4096
 
 // ErrFrameTooLarge reports a length prefix above MaxFrame.
 var ErrFrameTooLarge = errors.New("clientapi: frame exceeds MaxFrame")
@@ -320,6 +348,244 @@ func decodeInfoReply(payload []byte) (Info, error) {
 	return info, d.Finish()
 }
 
+// Read-reply codes: why a state read failed. Like STREAM_END codes, the
+// typed cause travels alongside the message so errors.Is survives the wire.
+const (
+	readOK      uint8 = 0
+	readNoState uint8 = 1 // node has no queryable state backend
+	readError   uint8 = 2 // anything else (bad token, internal failure)
+)
+
+// readErr reconstructs a typed error from a reply's code + message.
+func readErr(code uint8, msg string) error {
+	switch code {
+	case readOK:
+		return nil
+	case readNoState:
+		return fmt.Errorf("clientapi: %s: %w", msg, ErrNoState)
+	default:
+		return fmt.Errorf("clientapi: %s", msg)
+	}
+}
+
+// readCode classifies a read failure for the wire.
+func readCode(err error) uint8 {
+	switch {
+	case err == nil:
+		return readOK
+	case errors.Is(err, ErrNoState):
+		return readNoState
+	default:
+		return readError
+	}
+}
+
+type getMsg struct {
+	ID  uint64
+	Key string
+	At  ReadToken
+}
+
+func marshalGet(m getMsg) []byte {
+	e := frame(kindGet, 28+len(m.Key))
+	e.Uint64(m.ID)
+	e.Bytes32([]byte(m.Key))
+	e.Uint32(m.At.Worker)
+	e.Uint64(m.At.Round)
+	return finishFrame(e)
+}
+
+func decodeGet(payload []byte) (getMsg, error) {
+	d := types.NewDecoder(payload)
+	m := getMsg{ID: d.Uint64(), Key: string(d.Bytes32()), At: ReadToken{Worker: d.Uint32(), Round: d.Uint64()}}
+	return m, d.Finish()
+}
+
+type getReplyMsg struct {
+	ID    uint64
+	Found bool
+	Value []byte
+	Code  uint8
+	Err   string
+}
+
+func marshalGetReply(m getReplyMsg) []byte {
+	e := frame(kindGetReply, 20+len(m.Value)+len(m.Err))
+	e.Uint64(m.ID)
+	e.Bool(m.Found)
+	e.Bytes32(m.Value)
+	e.Uint8(m.Code)
+	e.Bytes32([]byte(m.Err))
+	return finishFrame(e)
+}
+
+func decodeGetReply(payload []byte) (getReplyMsg, error) {
+	d := types.NewDecoder(payload)
+	var m getReplyMsg
+	m.ID = d.Uint64()
+	m.Found = d.Bool()
+	m.Value = append([]byte(nil), d.Bytes32()...)
+	m.Code = d.Uint8()
+	m.Err = string(d.Bytes32())
+	return m, d.Finish()
+}
+
+type scanMsg struct {
+	ID         uint64
+	Begin, End string
+	Max        uint32
+	At         ReadToken
+}
+
+func marshalScan(m scanMsg) []byte {
+	e := frame(kindScan, 36+len(m.Begin)+len(m.End))
+	e.Uint64(m.ID)
+	e.Bytes32([]byte(m.Begin))
+	e.Bytes32([]byte(m.End))
+	e.Uint32(m.Max)
+	e.Uint32(m.At.Worker)
+	e.Uint64(m.At.Round)
+	return finishFrame(e)
+}
+
+func decodeScan(payload []byte) (scanMsg, error) {
+	d := types.NewDecoder(payload)
+	m := scanMsg{
+		ID:    d.Uint64(),
+		Begin: string(d.Bytes32()),
+		End:   string(d.Bytes32()),
+		Max:   d.Uint32(),
+		At:    ReadToken{Worker: d.Uint32(), Round: d.Uint64()},
+	}
+	return m, d.Finish()
+}
+
+type scanReplyMsg struct {
+	ID      uint64
+	Entries []Entry
+	Code    uint8
+	Err     string
+}
+
+func marshalScanReply(m scanReplyMsg) []byte {
+	size := 24 + len(m.Err)
+	for i := range m.Entries {
+		size += 8 + len(m.Entries[i].Key) + len(m.Entries[i].Value)
+	}
+	e := frame(kindScanReply, size)
+	e.Uint64(m.ID)
+	e.Uint32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e.Bytes32([]byte(m.Entries[i].Key))
+		e.Bytes32(m.Entries[i].Value)
+	}
+	e.Uint8(m.Code)
+	e.Bytes32([]byte(m.Err))
+	return finishFrame(e)
+}
+
+func decodeScanReply(payload []byte) (scanReplyMsg, error) {
+	d := types.NewDecoder(payload)
+	var m scanReplyMsg
+	m.ID = d.Uint64()
+	n := d.Uint32()
+	if d.Err() != nil || n > MaxScanEntries {
+		d.Fail(errors.New("clientapi: corrupt scan reply"))
+		return m, d.Err()
+	}
+	m.Entries = make([]Entry, 0, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		m.Entries = append(m.Entries, Entry{
+			Key:   string(d.Bytes32()),
+			Value: append([]byte(nil), d.Bytes32()...),
+		})
+	}
+	m.Code = d.Uint8()
+	m.Err = string(d.Bytes32())
+	return m, d.Finish()
+}
+
+type watchMsg struct {
+	ID  uint64
+	Key string
+	At  ReadToken
+}
+
+func marshalWatch(m watchMsg) []byte {
+	e := frame(kindWatch, 28+len(m.Key))
+	e.Uint64(m.ID)
+	e.Bytes32([]byte(m.Key))
+	e.Uint32(m.At.Worker)
+	e.Uint64(m.At.Round)
+	return finishFrame(e)
+}
+
+func decodeWatch(payload []byte) (watchMsg, error) {
+	d := types.NewDecoder(payload)
+	m := watchMsg{ID: d.Uint64(), Key: string(d.Bytes32()), At: ReadToken{Worker: d.Uint32(), Round: d.Uint64()}}
+	return m, d.Finish()
+}
+
+type watchEventMsg struct {
+	ID  uint64
+	Upd KeyUpdate
+}
+
+func marshalWatchEvent(m watchEventMsg) []byte {
+	e := frame(kindWatchEvent, 32+len(m.Upd.Key)+len(m.Upd.Value))
+	e.Uint64(m.ID)
+	e.Bytes32([]byte(m.Upd.Key))
+	e.Bool(m.Upd.Exists)
+	e.Bytes32(m.Upd.Value)
+	e.Uint32(m.Upd.Worker)
+	e.Uint64(m.Upd.Round)
+	return finishFrame(e)
+}
+
+func decodeWatchEvent(payload []byte) (watchEventMsg, error) {
+	d := types.NewDecoder(payload)
+	var m watchEventMsg
+	m.ID = d.Uint64()
+	m.Upd.Key = string(d.Bytes32())
+	m.Upd.Exists = d.Bool()
+	m.Upd.Value = append([]byte(nil), d.Bytes32()...)
+	m.Upd.Worker = d.Uint32()
+	m.Upd.Round = d.Uint64()
+	return m, d.Finish()
+}
+
+type watchEndMsg struct {
+	ID   uint64
+	Code uint8
+	Err  string
+}
+
+func marshalWatchEnd(m watchEndMsg) []byte {
+	e := frame(kindWatchEnd, 16+len(m.Err))
+	e.Uint64(m.ID)
+	e.Uint8(m.Code)
+	e.Bytes32([]byte(m.Err))
+	return finishFrame(e)
+}
+
+func decodeWatchEnd(payload []byte) (watchEndMsg, error) {
+	d := types.NewDecoder(payload)
+	m := watchEndMsg{ID: d.Uint64(), Code: d.Uint8(), Err: string(d.Bytes32())}
+	return m, d.Finish()
+}
+
+func marshalUnwatch(id uint64) []byte {
+	e := frame(kindUnwatch, 8)
+	e.Uint64(id)
+	return finishFrame(e)
+}
+
+func decodeUnwatch(payload []byte) (uint64, error) {
+	d := types.NewDecoder(payload)
+	id := d.Uint64()
+	return id, d.Finish()
+}
+
 // ---- shared session vocabulary ----
 
 // Receipt is the proof of commitment a resolved write carries: the definite
@@ -331,6 +597,33 @@ type Receipt struct {
 	Round     uint64
 	BlockHash flcrypto.Hash
 }
+
+// Token derives the consistency token of this receipt: a read anchored to
+// it observes the write the receipt certifies (and everything before it in
+// the merged order).
+func (r Receipt) Token() ReadToken { return ReadToken{Worker: r.Worker, Round: r.Round} }
+
+// ReadToken anchors a state read to a position of the merged definite
+// stream: the read blocks until the serving replica's applied frontier
+// covers (Worker, Round), then observes that state or newer — which is what
+// gives a client read-your-writes across any replica. The zero token reads
+// whatever is current without waiting.
+type ReadToken struct {
+	Worker uint32
+	Round  uint64
+}
+
+// Entry is one key/value pair of a range scan (ascending key order).
+type Entry = statemachine.Entry
+
+// KeyUpdate is one observed change of a watched key; Worker/Round is a
+// consistency token for follow-up reads.
+type KeyUpdate = statemachine.KeyUpdate
+
+// ErrNoState reports a state read against a node that serves no queryable
+// backend (flo.Config.State unset). Typed identically on the in-process and
+// remote paths.
+var ErrNoState = statemachine.ErrNoState
 
 // Cursor addresses a position in the merged definite stream: the next block
 // the subscriber wants is worker Worker's round Round. The merged order

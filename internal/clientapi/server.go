@@ -137,6 +137,7 @@ func (s *Server) acceptLoop() {
 		}
 		c := &serverConn{srv: s, conn: conn}
 		c.sendCond = sync.NewCond(&c.sendMu)
+		c.connCtx, c.connCancel = context.WithCancel(context.Background())
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -203,6 +204,14 @@ type serverConn struct {
 	subMu     sync.Mutex
 	subCancel context.CancelFunc
 	subDone   chan struct{}
+
+	// connCtx spans the connection's lifetime; close cancels it, unblocking
+	// state reads parked on a consistency token and tearing down watches.
+	connCtx    context.Context
+	connCancel context.CancelFunc
+
+	watchMu sync.Mutex
+	watches map[uint64]func() // request id → watch cancel
 }
 
 // close tears the connection down once: marks the send queue closed (waking
@@ -223,6 +232,7 @@ func (c *serverConn) close(reason error) {
 	c.sendCond.Broadcast()
 	c.sendMu.Unlock()
 	c.conn.Close()
+	c.connCancel() // unblocks token waits; watches reap themselves
 	c.cancelStream(false)
 	s := c.srv
 	s.mu.Lock()
@@ -336,6 +346,36 @@ func (c *serverConn) readLoop() {
 			c.startStream(cur)
 		case kindUnsubscribe:
 			c.cancelStream(true)
+		case kindGet:
+			m, err := decodeGet(payload)
+			if err != nil {
+				return
+			}
+			c.spawn(func() { c.serveGet(m) })
+		case kindScan:
+			m, err := decodeScan(payload)
+			if err != nil {
+				return
+			}
+			c.spawn(func() { c.serveScan(m) })
+		case kindWatch:
+			m, err := decodeWatch(payload)
+			if err != nil {
+				return
+			}
+			c.spawn(func() { c.serveWatch(m) })
+		case kindUnwatch:
+			id, err := decodeUnwatch(payload)
+			if err != nil {
+				return
+			}
+			c.watchMu.Lock()
+			cancel := c.watches[id]
+			delete(c.watches, id)
+			c.watchMu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
 		case kindInfo:
 			node := c.srv.node
 			c.enqueueControl(marshalInfoReply(Info{
@@ -408,6 +448,100 @@ func (c *serverConn) handshake() error {
 	c.srv.sessions[hello.ClientID] = c
 	c.srv.mu.Unlock()
 	return nil
+}
+
+// spawn runs fn on a server-tracked goroutine (Close waits for it), unless
+// the server is already closing. State reads run off the read loop because
+// a consistency token may block on the applied frontier — replies therefore
+// return in completion order, correlated by request id.
+func (c *serverConn) spawn(fn func()) {
+	s := c.srv
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.wg.Add(1) // under s.mu: Close sets closed before it waits
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		fn()
+	}()
+}
+
+// serveGet answers one GET: wait out the token, read, reply as a control
+// frame (replies never block; a client that stopped draining is closed by
+// the overflow guard).
+func (c *serverConn) serveGet(m getMsg) {
+	v, found, err := c.srv.node.StateGet(c.connCtx, m.Key, m.At.Worker, m.At.Round)
+	if c.connCtx.Err() != nil {
+		return // connection gone; no one to answer
+	}
+	c.enqueueControl(marshalGetReply(getReplyMsg{
+		ID: m.ID, Found: found, Value: v, Code: readCode(err), Err: errString(err),
+	}))
+}
+
+// serveScan answers one SCAN, capping the reply at MaxScanEntries and at a
+// frame-size budget (huge values): a truncated reply simply carries fewer
+// entries, and the client pages with begin = lastKey+"\x00".
+func (c *serverConn) serveScan(m scanMsg) {
+	max := int(m.Max)
+	if max <= 0 || max > MaxScanEntries {
+		max = MaxScanEntries
+	}
+	entries, err := c.srv.node.StateScan(c.connCtx, m.Begin, m.End, max, m.At.Worker, m.At.Round)
+	if c.connCtx.Err() != nil {
+		return
+	}
+	budget := MaxFrame / 2
+	for i := range entries {
+		budget -= 8 + len(entries[i].Key) + len(entries[i].Value)
+		if budget < 0 {
+			entries = entries[:i]
+			break
+		}
+	}
+	c.enqueueControl(marshalScanReply(scanReplyMsg{
+		ID: m.ID, Entries: entries, Code: readCode(err), Err: errString(err),
+	}))
+}
+
+// serveWatch runs one WATCH subscription: wait out the token, register the
+// replica watch, then pump updates until UNWATCH, connection close, or a
+// send failure. Updates use the blocking stream enqueue — backpressure is
+// safe because the replica coalesces to the latest value upstream — and the
+// watch always terminates with a WATCH_END.
+func (c *serverConn) serveWatch(m watchMsg) {
+	ch, cancel, err := c.srv.node.StateWatch(c.connCtx, m.Key, m.At.Worker, m.At.Round)
+	if err != nil {
+		if c.connCtx.Err() == nil {
+			c.enqueueControl(marshalWatchEnd(watchEndMsg{ID: m.ID, Code: readCode(err), Err: errString(err)}))
+		}
+		return
+	}
+	c.watchMu.Lock()
+	if c.watches == nil {
+		c.watches = make(map[uint64]func())
+	}
+	if _, dup := c.watches[m.ID]; dup {
+		c.watchMu.Unlock()
+		cancel()
+		c.enqueueControl(marshalWatchEnd(watchEndMsg{ID: m.ID, Code: readError, Err: "duplicate watch id"}))
+		return
+	}
+	c.watches[m.ID] = cancel
+	c.watchMu.Unlock()
+	for upd := range ch {
+		if c.enqueueStream(c.connCtx, marshalWatchEvent(watchEventMsg{ID: m.ID, Upd: upd})) != nil {
+			cancel()
+			// Keep draining: cancel closes ch, ending the loop.
+		}
+	}
+	c.watchMu.Lock()
+	delete(c.watches, m.ID)
+	c.watchMu.Unlock()
+	c.enqueueControl(marshalWatchEnd(watchEndMsg{ID: m.ID, Code: readOK}))
 }
 
 // startStream launches the cursor-replay subscription, replacing any

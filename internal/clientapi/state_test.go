@@ -1,0 +1,338 @@
+package clientapi
+
+// Protocol 1.2 state reads over the wire: GET/SCAN/WATCH against a cluster
+// whose nodes run a managed state backend, anchored at commit-receipt
+// tokens. The read-your-writes contract under test: Submit → Receipt →
+// Get/Scan with Receipt.Token() observes the write, on both backends,
+// including immediately after the serving node restarts from a
+// durable-backend checkpoint.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/flo"
+	"repro/internal/statemachine"
+)
+
+// eachBackend runs fn against a cluster whose nodes all carry the named
+// managed backend.
+func eachBackend(t *testing.T, fn func(t *testing.T, tweak func(i int, cfg *flo.Config))) {
+	t.Helper()
+	for _, name := range []string{"map", "durable"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			fn(t, func(i int, cfg *flo.Config) {
+				if name == "map" {
+					cfg.State = statemachine.NewKV()
+					return
+				}
+				d, err := statemachine.OpenDurable(filepath.Join(dir, fmt.Sprintf("state%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { d.Close() })
+				cfg.State = d
+			})
+		})
+	}
+}
+
+func TestRemoteReadYourWrites(t *testing.T) {
+	eachBackend(t, func(t *testing.T, tweak func(i int, cfg *flo.Config)) {
+		addr, _, _ := newClusterServer(t, tweak)
+		c, err := Dial(addr, 42, DialOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+
+		// Write, take the receipt, read back with its token: the server
+		// blocks the read until the applied frontier covers the commit, so
+		// no sleep or poll is needed.
+		r, err := c.SubmitWait(ctx, statemachine.EncodeSet("k1", []byte("v1")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := c.Get(ctx, "k1", r.Token())
+		if err != nil || !ok || string(v) != "v1" {
+			t.Fatalf("Get(k1) = %q/%v/%v, want v1", v, ok, err)
+		}
+		// Missing key: found=false, no error.
+		if _, ok, err := c.Get(ctx, "nope", r.Token()); ok || err != nil {
+			t.Fatalf("Get(missing) = %v/%v", ok, err)
+		}
+		// The zero token reads current state without waiting.
+		if v, ok, err := c.Get(ctx, "k1", ReadToken{}); err != nil || !ok || string(v) != "v1" {
+			t.Fatalf("zero-token Get = %q/%v/%v", v, ok, err)
+		}
+
+		// Scan a range with the token of the last write in merged order.
+		var last Receipt
+		for i := 0; i < 6; i++ {
+			r, err := c.SubmitWait(ctx, statemachine.EncodeSet(fmt.Sprintf("s/%d", i), []byte{byte(i)}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Round > last.Round || (r.Round == last.Round && r.Worker > last.Worker) {
+				last = r
+			}
+		}
+		entries, err := c.Scan(ctx, "s/", "s0", 0, last.Token())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 6 {
+			t.Fatalf("scan returned %d entries, want 6: %v", len(entries), entries)
+		}
+		for i, e := range entries {
+			if e.Key != fmt.Sprintf("s/%d", i) || len(e.Value) != 1 || e.Value[0] != byte(i) {
+				t.Fatalf("entry %d = %q/%v", i, e.Key, e.Value)
+			}
+		}
+		// Paged scan: an explicit max caps the reply; resume past the last
+		// key of the page.
+		page, err := c.Scan(ctx, "s/", "s0", 4, last.Token())
+		if err != nil || len(page) != 4 {
+			t.Fatalf("page 1: %d entries, err %v", len(page), err)
+		}
+		rest, err := c.Scan(ctx, page[len(page)-1].Key+"\x00", "s0", 4, last.Token())
+		if err != nil || len(rest) != 2 {
+			t.Fatalf("page 2: %d entries, err %v", len(rest), err)
+		}
+	})
+}
+
+// TestRemoteReadTokenBlocksUntilCovered pins the consistency semantics: a
+// token ahead of the applied frontier parks the read until commits cover it
+// (not an error, not a stale answer), and ctx cancellation unparks it.
+func TestRemoteReadTokenBlocksUntilCovered(t *testing.T) {
+	addr, _, node0 := newClusterServer(t, func(i int, cfg *flo.Config) {
+		cfg.State = statemachine.NewKV()
+	})
+	c, err := Dial(addr, 9, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A token far past the frontier must respect ctx.
+	shortCtx, shortCancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	defer shortCancel()
+	if _, _, err := c.Get(shortCtx, "k", ReadToken{Worker: 0, Round: 1 << 40}); err == nil {
+		t.Fatal("read with an uncoverable token returned instead of blocking")
+	}
+
+	// A token ahead of the frontier parks the read until rounds cover it
+	// (the chain free-runs, so coverage arrives on its own); the parked
+	// read then answers with the previously committed value.
+	if _, err := c.SubmitWait(ctx, statemachine.EncodeSet("future", []byte("yes"))); err != nil {
+		t.Fatal(err)
+	}
+	target := node0.State().Position(0) + 50
+	v, ok, err := c.Get(ctx, "future", ReadToken{Worker: 0, Round: target})
+	if err != nil || !ok || string(v) != "yes" {
+		t.Fatalf("parked read answered %q/%v/%v, want yes", v, ok, err)
+	}
+	if !node0.State().Covered(0, target) {
+		t.Fatal("read returned before its token was covered")
+	}
+}
+
+func TestRemoteWatchKey(t *testing.T) {
+	addr, _, _ := newClusterServer(t, func(i int, cfg *flo.Config) {
+		cfg.State = statemachine.NewKV()
+	})
+	c, err := Dial(addr, 21, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	r, err := c.SubmitWait(ctx, statemachine.EncodeSet("w", []byte("v0")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	watchCtx, watchCancel := context.WithCancel(ctx)
+	defer watchCancel()
+	ch, err := c.WatchKey(watchCtx, "w", r.Token())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First update: the key's state at (or after) the anchor.
+	select {
+	case upd := <-ch:
+		if !upd.Exists || len(upd.Value) == 0 {
+			t.Fatalf("initial update = %+v", upd)
+		}
+	case <-ctx.Done():
+		t.Fatal("no initial watch update")
+	}
+	// Updates are coalesced under load, but the final state always arrives.
+	for i := 1; i <= 5; i++ {
+		if _, err := c.SubmitWait(ctx, statemachine.EncodeSet("w", []byte(fmt.Sprintf("v%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case upd, ok := <-ch:
+			if !ok {
+				t.Fatal("watch channel closed before the final value arrived")
+			}
+			if string(upd.Value) == "v5" {
+				watchCancel()
+				// The canceled watch must close the channel.
+				closeDeadline := time.After(30 * time.Second)
+				for {
+					select {
+					case _, ok := <-ch:
+						if !ok {
+							return
+						}
+					case <-closeDeadline:
+						t.Fatal("watch channel did not close after cancel")
+					}
+				}
+			}
+		case <-deadline:
+			t.Fatal("final value never arrived on the watch")
+		}
+	}
+}
+
+// TestRemoteReadNoState: reads against a node with no configured backend
+// fail with the typed ErrNoState on every read verb, and the error survives
+// the wire (errors.Is on the client side).
+func TestRemoteReadNoState(t *testing.T) {
+	addr, _, _ := newClusterServer(t, nil)
+	c, err := Dial(addr, 33, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, _, err := c.Get(ctx, "k", ReadToken{}); !errors.Is(err, ErrNoState) {
+		t.Fatalf("Get error = %v, want ErrNoState", err)
+	}
+	if _, err := c.Scan(ctx, "", "", 0, ReadToken{}); !errors.Is(err, ErrNoState) {
+		t.Fatalf("Scan error = %v, want ErrNoState", err)
+	}
+	if _, err := c.WatchKey(ctx, "k", ReadToken{}); !errors.Is(err, ErrNoState) {
+		t.Fatalf("WatchKey error = %v, want ErrNoState", err)
+	}
+}
+
+// TestRemoteReadAfterDurableRestart is the acceptance scenario: commit
+// writes on a durable-backend cluster, crash the serving node, restart it
+// from its checkpointed DataDir, and read the old receipt's write back with
+// its token — immediately, on a fresh connection, before any new commit.
+func TestRemoteReadAfterDurableRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cluster scenario")
+	}
+	stateDirs := make([]string, 4)
+	c := newSimCluster(t, 97, func(i int, dir string, cfg *flo.Config) {
+		cfg.DataDir = dir
+		cfg.SnapshotEvery = 5
+		cfg.CatchUpBatch = 8
+		stateDirs[i] = filepath.Join(dir, "state")
+		d, err := statemachine.OpenDurable(stateDirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		cfg.State = d
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	cl, err := Dial(c.srv.Addr(), 55, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive rounds until a checkpoint exists (the store compacts at
+	// SnapshotEvery), then remember one committed write and its receipt.
+	var anchor Receipt
+	for i := 0; ; i++ {
+		r, err := cl.SubmitWait(ctx, statemachine.EncodeSet(fmt.Sprintf("key%03d", i), []byte(fmt.Sprintf("val%03d", i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchor = r
+		if r.Round > 12 {
+			break
+		}
+	}
+	cl.Close()
+
+	// Crash and restart the serving node from disk, durable backend and all.
+	c.srv.Close()
+	c.net.Crash(0)
+	c.nodes[0].Stop()
+	d, err := statemachine.OpenDurable(stateDirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	c.net.Heal(0)
+	node, err := flo.NewNode(flo.Config{
+		Endpoint:      c.net.Reattach(0),
+		Registry:      c.ks.Registry,
+		Priv:          c.ks.Privs[0],
+		Workers:       1,
+		BatchSize:     8,
+		DataDir:       c.dirs[0],
+		SnapshotEvery: 5,
+		CatchUpBatch:  8,
+		State:         d,
+		InitialTimer:  25 * time.Millisecond,
+		ViewTimeout:   250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[0] = node
+	if node.Worker(0).Chain().Base() == 0 {
+		t.Fatal("restart found no checkpoint: the scenario never compacted")
+	}
+	c.srv = NewServer(node, ServerOptions{})
+	if err := c.srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	node.Start()
+
+	// The restored replica (checkpoint + replayed suffix) must already
+	// cover the old receipt: the read answers without any new commit.
+	cl2, err := Dial(c.srv.Addr(), 56, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	readCtx, readCancel := context.WithTimeout(ctx, 30*time.Second)
+	defer readCancel()
+	v, ok, err := cl2.Get(readCtx, "key000", anchor.Token())
+	if err != nil || !ok || string(v) != "val000" {
+		t.Fatalf("post-restart Get = %q/%v/%v, want val000", v, ok, err)
+	}
+	entries, err := cl2.Scan(readCtx, "key", "kez", 0, anchor.Token())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 || entries[0].Key != "key000" {
+		t.Fatalf("post-restart scan = %v", entries)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/flcrypto"
+	"repro/internal/statemachine"
 	"repro/internal/types"
 )
 
@@ -24,6 +25,12 @@ type Node interface {
 	DeliveredBlocks() uint64
 	DeliveredTxs() uint64
 	PoolPending() int
+	// State reads (wire protocol 1.2), served from the node's ledger
+	// replica once its applied frontier covers the (worker, round) token;
+	// statemachine.ErrNoState when the node has no backend configured.
+	StateGet(ctx context.Context, key string, worker uint32, round uint64) ([]byte, bool, error)
+	StateScan(ctx context.Context, begin, end string, max int, worker uint32, round uint64) ([]statemachine.Entry, error)
+	StateWatch(ctx context.Context, key string, worker uint32, round uint64) (<-chan statemachine.KeyUpdate, func(), error)
 }
 
 // replayBatch is how many blocks one historical read fetches per worker.

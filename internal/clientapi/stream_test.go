@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/flcrypto"
+	"repro/internal/statemachine"
 	"repro/internal/store"
 	"repro/internal/types"
 )
@@ -92,6 +93,19 @@ func (f *fakeNode) PoolPending() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return len(f.submits)
+}
+
+// State reads: the fake mirrors a node without a configured backend.
+func (f *fakeNode) StateGet(ctx context.Context, key string, worker uint32, round uint64) ([]byte, bool, error) {
+	return nil, false, statemachine.ErrNoState
+}
+
+func (f *fakeNode) StateScan(ctx context.Context, begin, end string, max int, worker uint32, round uint64) ([]statemachine.Entry, error) {
+	return nil, statemachine.ErrNoState
+}
+
+func (f *fakeNode) StateWatch(ctx context.Context, key string, worker uint32, round uint64) (<-chan statemachine.KeyUpdate, func(), error) {
+	return nil, nil, statemachine.ErrNoState
 }
 
 // deliver appends blk to the log and announces it to subscribers — the

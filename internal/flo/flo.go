@@ -12,6 +12,7 @@
 package flo
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/obbc"
 	"repro/internal/pbft"
 	"repro/internal/rbroadcast"
+	"repro/internal/statemachine"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -137,6 +139,17 @@ type Config struct {
 	// (statemachine.Replica) simply re-delivers all of them; the ones the
 	// checkpoint already covers are skipped by position.
 	RestoreState func(state []byte, blocks []types.Block)
+	// State, when set, makes the node maintain a queryable ledger replica:
+	// the merged definite stream is applied to this backend (before Deliver
+	// and subscribers see each block), and the node serves point gets,
+	// ordered range scans, and key watches from it — anchored to commit
+	// receipts via StateGet/StateScan/StateWatch. With DataDir and
+	// SnapshotEvery the replica's snapshot automatically rides in the worker
+	// checkpoints and is restored (plus replayed-block re-delivery) on
+	// restart, so State is mutually exclusive with the lower-level
+	// SnapshotState/RestoreState hooks. The node does not close the backend;
+	// its owner does, after Stop.
+	State statemachine.StateBackend
 	// EnableEvidence activates the accountability path: each worker keeps
 	// an evidence pool, records equivocation proofs it observes, and embeds
 	// pending convictions in its block proposals (see internal/evidence).
@@ -159,6 +172,11 @@ type Config struct {
 	// CompressibleLoad makes the saturating load model emit compressible
 	// text payloads instead of random bytes (for compression experiments).
 	CompressibleLoad bool
+	// KVLoad makes the saturating load model emit state-machine Set
+	// commands over a KVLoad-key space instead of random bytes, so a
+	// configured State backend sees real writes (the state benchmarks).
+	// Only meaningful with Saturate.
+	KVLoad int
 }
 
 // Node is one FLO participant.
@@ -196,6 +214,13 @@ type Node struct {
 	restoreBest   *store.Snapshot
 	restoreFound  bool
 	restoreBlocks []types.Block
+
+	// Managed ledger state (Config.State): the replica the merged stream is
+	// applied to and reads are served from. Assigned during NewNode (and
+	// replaced at most once by the restore path, before Start), read-only
+	// afterwards.
+	stateRep     *statemachine.Replica
+	stateManaged bool
 
 	subMu     sync.RWMutex
 	subs      []deliverSub
@@ -284,8 +309,18 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 100
 	}
+	if cfg.State != nil && (cfg.SnapshotState != nil || cfg.RestoreState != nil) {
+		return nil, fmt.Errorf("flo: Config.State is mutually exclusive with SnapshotState/RestoreState")
+	}
 	n := &Node{cfg: cfg, id: cfg.Endpoint.ID(), mux: transport.NewMux(cfg.Endpoint)}
 	n.overload = 4 * cfg.BatchSize
+	if cfg.State != nil {
+		n.stateManaged = true
+		n.stateRep = statemachine.NewReplicaWith(cfg.State)
+		// Checkpoints capture the managed replica; maybeCheckpoint keys off
+		// n.cfg.SnapshotState, so install the capture there.
+		n.cfg.SnapshotState = func() []byte { return n.stateRep.Snapshot() }
+	}
 	if cfg.DataDir != "" && cfg.SnapshotEvery > 0 {
 		// Checkpoint cadence: a full merge cycle crossing the boundary
 		// captures the app state once and compacts every worker's log. The
@@ -303,6 +338,12 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 	}
 	n.merger = newMerger(cfg.Workers, func(w uint32, blk types.Block) {
+		if n.stateRep != nil {
+			// Apply before Deliver/subscribers: by the time a client's
+			// COMMIT receipt goes out, the state already covers its write,
+			// so most receipt-anchored reads never block.
+			n.stateRep.Deliver(w, blk)
+		}
 		if cfg.Deliver != nil {
 			cfg.Deliver(w, blk)
 		}
@@ -348,7 +389,26 @@ func NewNode(cfg Config) (*Node, error) {
 			}
 			return hi.Instance < hj.Instance
 		})
-		cfg.RestoreState(n.restoreBest.State, blocks)
+		if n.stateManaged {
+			// Managed restore: load the freshest checkpoint state into the
+			// backend (nil state = no checkpoint yet: the backend starts
+			// empty) and re-deliver every replayed block; the replica's
+			// positions skip what the checkpoint covers.
+			var state []byte
+			if n.restoreBest != nil {
+				state = n.restoreBest.State
+			}
+			rep, err := statemachine.RestoreReplicaInto(n.cfg.State, state)
+			if err != nil {
+				return nil, fmt.Errorf("flo: state restore: %w", err)
+			}
+			for i := range blocks {
+				rep.Deliver(blocks[i].Signed.Header.Instance, blocks[i])
+			}
+			n.stateRep = rep
+		} else {
+			cfg.RestoreState(n.restoreBest.State, blocks)
+		}
 		n.restoreBest, n.restoreBlocks, n.restoreFound = nil, nil, false
 	}
 	return n, nil
@@ -426,6 +486,9 @@ func (n *Node) addWorker(w uint32) error {
 	if cfg.Saturate > 0 {
 		sat := workload.NewSaturatingSource(cfg.Saturate, uint64(n.id)*1000+uint64(w), int64(n.id)*striding+int64(w))
 		sat.SetCompressible(cfg.CompressibleLoad)
+		if cfg.KVLoad > 0 {
+			sat.SetKV(cfg.KVLoad)
+		}
 		n.sats = append(n.sats, sat)
 		pool = sat
 	} else {
@@ -479,7 +542,7 @@ func (n *Node) addWorker(w uint32) error {
 		n.propLogs = append(n.propLogs, props)
 		if snap != nil {
 			preloadBase, preloadHash = snap.BaseRound, snap.BaseHash
-			if cfg.RestoreState != nil {
+			if cfg.RestoreState != nil || n.stateManaged {
 				// Accumulate for the unified post-addWorker restore: the
 				// freshest capture wins; each worker contributes its
 				// replayed rounds above its own snapshot's StateRound
@@ -494,6 +557,12 @@ func (n *Node) addWorker(w uint32) error {
 					}
 				}
 			}
+		} else if n.stateManaged && len(replayed) > 0 {
+			// No checkpoint for this worker yet (e.g. SnapshotEvery unset or
+			// first cycle incomplete): the managed replica still has to
+			// re-apply the whole replayed log to reach the boot frontier.
+			n.restoreFound = true
+			n.restoreBlocks = append(n.restoreBlocks, replayed...)
 		}
 		// Seed the merged cursor at the boot frontier: restore re-applies
 		// every replayed round, so the application state already covers
@@ -773,6 +842,71 @@ func (n *Node) DeliveredBlocks() uint64 { return n.merger.delivered.Load() }
 
 // DeliveredTxs reports how many transactions the merged log contains.
 func (n *Node) DeliveredTxs() uint64 { return n.merger.txs.Load() }
+
+// State exposes the node's managed ledger replica (nil when Config.State is
+// unset).
+func (n *Node) State() *statemachine.Replica { return n.stateRep }
+
+// stateReplica resolves the managed replica and validates a consistency
+// token against ω: a receipt names an existing worker, and a zero round
+// (the zero token) means "read current state, no wait".
+func (n *Node) stateReplica(worker uint32, round uint64) (*statemachine.Replica, error) {
+	if n.stateRep == nil {
+		return nil, statemachine.ErrNoState
+	}
+	if round > 0 && int(worker) >= len(n.workers) {
+		return nil, fmt.Errorf("flo: read token worker %d out of range (ω=%d)", worker, len(n.workers))
+	}
+	return n.stateRep, nil
+}
+
+// StateGet returns key's value from the managed replica once the applied
+// frontier covers the (worker, round) consistency token — take the token
+// from a commit Receipt to read your own committed write. A zero round
+// reads current state without waiting. Returns statemachine.ErrNoState when
+// Config.State was not set.
+func (n *Node) StateGet(ctx context.Context, key string, worker uint32, round uint64) ([]byte, bool, error) {
+	rep, err := n.stateReplica(worker, round)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := rep.WaitCovered(ctx, worker, round); err != nil {
+		return nil, false, err
+	}
+	v, ok := rep.Get(key)
+	return v, ok, nil
+}
+
+// StateScan returns up to max entries with begin <= key < end in ascending
+// key order from the managed replica, under the same consistency-token
+// semantics as StateGet.
+func (n *Node) StateScan(ctx context.Context, begin, end string, max int, worker uint32, round uint64) ([]statemachine.Entry, error) {
+	rep, err := n.stateReplica(worker, round)
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.WaitCovered(ctx, worker, round); err != nil {
+		return nil, err
+	}
+	return rep.Scan(begin, end, max), nil
+}
+
+// StateWatch watches key on the managed replica: once the applied frontier
+// covers the token, the returned channel yields the key's current state and
+// then every subsequent change (coalesced to the latest when the consumer
+// lags) until cancel is called or ctx ends.
+func (n *Node) StateWatch(ctx context.Context, key string, worker uint32, round uint64) (<-chan statemachine.KeyUpdate, func(), error) {
+	rep, err := n.stateReplica(worker, round)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rep.WaitCovered(ctx, worker, round); err != nil {
+		return nil, nil, err
+	}
+	ch, cancel := rep.WatchKey(key)
+	stop := context.AfterFunc(ctx, cancel)
+	return ch, func() { stop(); cancel() }, nil
+}
 
 // merger implements §6.2's pre-defined-order collection: the k-th delivery
 // cycle emits each worker's k-th definite block, worker 0 first. A single

@@ -401,9 +401,68 @@ func Workers(w io.Writer, s Scale) {
 	}
 }
 
+// StateCell is one point of the state-backend sweep: sustained write tps
+// with the backend applying every definite block, plus the point-get and
+// range-scan rates two concurrent readers sustained against the replica.
+type StateCell struct {
+	Backend     string  `json:"backend"` // none | map | durable
+	Workers     int     `json:"workers"`
+	TPS         float64 `json:"tps"`
+	GetsPerSec  float64 `json:"point_gets_per_sec"`
+	ScansPerSec float64 `json:"range_scans_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	Blocks      uint64  `json:"blocks"`
+}
+
+// StateSweep runs the queryable-state experiment behind the "state" entry
+// and BENCH_state.json: backend ∈ {none, map, durable} at ω ∈ {1, 4}, n=4,
+// β=100, σ=512, single data-center — the BENCH_workers.json configuration,
+// so the "none" rows are directly comparable to the ω-scaling baseline and
+// the map/durable rows expose the apply+read overhead. Backed cells run the
+// Set-command load over 5000 keys and two concurrent reader loops.
+func StateSweep(s Scale) []StateCell {
+	var cells []StateCell
+	for _, backend := range []string{"none", "map", "durable"} {
+		for _, workers := range []int{1, 4} {
+			opts := Options{
+				N: 4, Workers: workers, Batch: 100, TxSize: 512,
+				Latency: transport.SingleDC(), EgressBytesPerSec: s.Bandwidth,
+				Warmup: s.Warmup, Duration: s.Duration,
+			}
+			if backend != "none" {
+				opts.State = backend
+				opts.StateReaders = 2
+			}
+			res := RunFLO(opts)
+			cells = append(cells, StateCell{
+				Backend:     backend,
+				Workers:     workers,
+				TPS:         res.TPS,
+				GetsPerSec:  res.GetsPerSec,
+				ScansPerSec: res.ScansPerSec,
+				P50Ms:       res.Latency.Percentile(50).Seconds() * 1000,
+				Blocks:      res.DefiniteBlocks,
+			})
+		}
+	}
+	return cells
+}
+
+// State prints the state-backend sweep (cmd/flbench -exp state; -out
+// additionally writes the cells as BENCH_state.json).
+func State(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "# state: write tps + read rates vs backend, n=4, batch=100, sigma=512, single data-center\n")
+	fmt.Fprintf(w, "backend\tworkers\ttps\tgets/s\tscans/s\tp50-ms\tblocks\n")
+	for _, c := range StateSweep(s) {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%d\n",
+			c.Backend, c.Workers, c.TPS, c.GetsPerSec, c.ScansPerSec, c.P50Ms, c.Blocks)
+	}
+}
+
 // Experiments maps experiment names to their runners, for cmd/flbench.
 var Experiments = map[string]func(io.Writer, Scale){
 	"workers": Workers,
+	"state":   State,
 	"table1":  Table1,
 	"fig5":    Fig5,
 	"fig6":    Fig6,
@@ -424,5 +483,5 @@ var Experiments = map[string]func(io.Writer, Scale){
 var ExperimentOrder = []string{
 	"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"workers",
+	"workers", "state",
 }

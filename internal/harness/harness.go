@@ -7,6 +7,10 @@
 package harness
 
 import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,6 +18,7 @@ import (
 	"repro/internal/flcrypto"
 	"repro/internal/flo"
 	"repro/internal/metrics"
+	"repro/internal/statemachine"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -70,11 +75,27 @@ type Options struct {
 	// pool + verify cache) — the ablation knob for the verification
 	// benchmarks. Default false: the pipeline is on, as in deployment.
 	SyncVerify bool
+	// State attaches a managed state backend to every node: "" (none),
+	// "map", or "durable" (on a temp dir, removed after the run). With a
+	// backend the saturating load emits Set commands over StateKeys keys
+	// (default 5000) instead of random bytes, so the backend sees real
+	// writes of the same σ.
+	State     string
+	StateKeys int
+	// StateReaders runs that many concurrent read loops against node 0's
+	// replica during the measured window. Each loop is paced (one 15-get +
+	// 1-scan cycle per millisecond) so reads ride alongside the write load
+	// instead of starving consensus of CPU; Result.GetsPerSec / ScansPerSec
+	// report the sustained rates.
+	StateReaders int
 }
 
 func (o *Options) fill() {
 	if o.N == 0 {
 		o.N = 4
+	}
+	if o.StateKeys == 0 {
+		o.StateKeys = 5000
 	}
 	if o.Workers == 0 {
 		o.Workers = 1
@@ -134,6 +155,11 @@ type Result struct {
 	// those were served by a recycled buffer instead of an allocation.
 	EncPoolGets   uint64
 	EncPoolReuses uint64
+	// GetsPerSec / ScansPerSec are the state-read rates the StateReaders
+	// loops sustained against node 0 during the measured window (0 when no
+	// backend or no readers were configured).
+	GetsPerSec  float64
+	ScansPerSec float64
 }
 
 // RunFLO executes one FLO cluster experiment.
@@ -150,6 +176,38 @@ func RunFLO(opts Options) Result {
 	timeline := metrics.NewTimeline()
 	latency := metrics.NewHistogram(0)
 	var measuring atomic.Bool
+
+	// Managed state backends (Options.State), torn down after the nodes.
+	var stateClosers []func()
+	defer func() {
+		for _, f := range stateClosers {
+			f()
+		}
+	}()
+	openState := func(i int) statemachine.StateBackend {
+		switch opts.State {
+		case "", "none":
+			return nil
+		case "map":
+			return statemachine.NewKV()
+		case "durable":
+			dir, err := os.MkdirTemp("", "flbench-state")
+			if err != nil {
+				panic(err)
+			}
+			d, err := statemachine.OpenDurable(dir)
+			if err != nil {
+				panic(err)
+			}
+			stateClosers = append(stateClosers, func() {
+				d.Close()
+				os.RemoveAll(dir)
+			})
+			return d
+		default:
+			panic(fmt.Sprintf("harness: unknown state backend %q", opts.State))
+		}
+	}
 
 	nodes := make([]*flo.Node, opts.N)
 	correct := make([]int, 0, opts.N)
@@ -177,6 +235,10 @@ func RunFLO(opts Options) Result {
 			CompressibleLoad: opts.CompressibleLoad,
 			ExcludeConvicted: opts.ExcludeConvicted,
 			SyncVerify:       opts.SyncVerify,
+			State:            openState(i),
+		}
+		if cfg.State != nil {
+			cfg.KVLoad = opts.StateKeys
 		}
 		if i == 0 && !byz {
 			// Node 0 instruments the timeline and the latency histogram.
@@ -214,6 +276,46 @@ func RunFLO(opts Options) Result {
 		}
 	}()
 
+	// State-read load against node 0's replica: each reader alternates 15
+	// point gets with one range scan; ops count only inside the window.
+	var gets, scans atomic.Uint64
+	readersDone := make(chan struct{})
+	var readersWG sync.WaitGroup
+	if opts.StateReaders > 0 && opts.State != "" && opts.State != "none" {
+		for rd := 0; rd < opts.StateReaders; rd++ {
+			readersWG.Add(1)
+			go func(seed int64) {
+				defer readersWG.Done()
+				rng := rand.New(rand.NewSource(seed))
+				rep := nodes[0].State()
+				ticker := time.NewTicker(time.Millisecond)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-readersDone:
+						return
+					case <-ticker.C:
+					}
+					for i := 0; i < 15; i++ {
+						rep.Get(fmt.Sprintf("bench/%08d", rng.Intn(opts.StateKeys)))
+						if measuring.Load() {
+							gets.Add(1)
+						}
+					}
+					begin := fmt.Sprintf("bench/%08d", rng.Intn(opts.StateKeys))
+					rep.Scan(begin, "", 100)
+					if measuring.Load() {
+						scans.Add(1)
+					}
+				}
+			}(int64(rd) * 7919)
+		}
+	}
+	defer func() {
+		close(readersDone)
+		readersWG.Wait()
+	}()
+
 	time.Sleep(opts.Warmup)
 
 	// §7.4.1: crash after warmup, measure after the crash.
@@ -245,6 +347,10 @@ func RunFLO(opts Options) Result {
 	res.Latency = latency
 	res.EncPoolGets = poolGets1 - poolGets0
 	res.EncPoolReuses = poolReuses1 - poolReuses0
+	if elapsed > 0 {
+		res.GetsPerSec = float64(gets.Load()) / elapsed
+		res.ScansPerSec = float64(scans.Load()) / elapsed
+	}
 	var txs, blocks, recoveries, sign, fast, fallback, msgs, bytes float64
 	for _, i := range correct {
 		now := snapshot(nodes[i], opts.Workers)

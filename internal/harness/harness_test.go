@@ -129,11 +129,11 @@ func TestTable1Runs(t *testing.T) {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	// Table 1 + Figs 5–17 (14 paper experiments) + the 4 ext-* extensions
-	// + the workers scale-out sweep.
-	if len(Experiments) != 19 {
-		t.Fatalf("registry has %d experiments, want 19 (Table 1 + Figs 5-17 + 4 ext + workers)", len(Experiments))
+	// + the workers scale-out sweep + the state-backend sweep.
+	if len(Experiments) != 20 {
+		t.Fatalf("registry has %d experiments, want 20 (Table 1 + Figs 5-17 + 4 ext + workers + state)", len(Experiments))
 	}
-	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart", "workers"} {
+	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart", "workers", "state"} {
 		if Experiments[name] == nil {
 			t.Fatalf("extension experiment %q not registered", name)
 		}

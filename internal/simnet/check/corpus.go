@@ -139,6 +139,23 @@ func RegressionScenarios() []Scenario {
 			Horizon: 4,
 		},
 		{
+			// Queryable-state shape (PR 7): a durable state backend on every
+			// node, real client KV writes before chaos, a partition that
+			// heals, and a node restarted from its durable-backend
+			// checkpoint — after which a receipt-anchored Get must answer
+			// with the committed value on every node and state snapshots
+			// must agree byte-for-byte at equal applied positions (the
+			// runner's Stateful oracles).
+			Name: "durable-state-partition-restart", Seed: 109,
+			Workers: 2, Stateful: true, SnapshotEvery: 8, CatchUpBatch: 8,
+			Events: []Event{
+				{Kind: EvPartition, At: 0, Dur: 700 * time.Millisecond, Group: []int{0, 1, 2}},
+				{Kind: EvRestart, At: 900 * time.Millisecond, Dur: 600 * time.Millisecond, Node: 3},
+			},
+			Warmup:  6,
+			Horizon: 4,
+		},
+		{
 			// Found by Explore (seed 57, n=7): an equivocator plus a long
 			// isolation of one node exposed two distinct liveness wedges in
 			// the lagging node once the cluster had outrun the retained

@@ -1,14 +1,18 @@
 package check
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"repro/internal/flcrypto"
 	"repro/internal/flo"
 	"repro/internal/simnet"
+	"repro/internal/statemachine"
 	"repro/internal/types"
 )
 
@@ -40,9 +44,21 @@ type Cluster struct {
 	// armed for persisted scenarios and for schedules with no restarts.
 	evidenceOracle bool
 
+	// states holds each node's durable state backend for Stateful
+	// scenarios (closed at stop boundaries and reopened — empty — on
+	// restart, so recovered state can only come from the checkpoint
+	// restore path, never from the backend file surviving by accident).
+	states []*statemachine.Durable
+	// stateSeq numbers the runner's client KV submissions.
+	stateSeq uint64
+
 	dirs []string
 	logf func(format string, args ...any)
 }
+
+// stateClientID tags the runner's KV submissions; it only needs to be
+// stable within a run so receipts can be matched out of delivered blocks.
+const stateClientID = 0xC11E57A7E
 
 // Run executes one scenario to its horizon and returns the first invariant
 // violation (or schedule-execution failure) as an error; nil means every
@@ -85,6 +101,16 @@ func Run(sc Scenario, opts RunOpts) error {
 			defer os.RemoveAll(dir)
 		}
 	}
+	if sc.Stateful {
+		c.states = make([]*statemachine.Durable, sc.N)
+		defer func() {
+			for _, d := range c.states {
+				if d != nil {
+					d.Close()
+				}
+			}
+		}()
+	}
 	for i := 0; i < sc.N; i++ {
 		node, err := c.makeNode(i, false)
 		if err != nil {
@@ -104,8 +130,16 @@ func Run(sc Scenario, opts RunOpts) error {
 	}()
 
 	// Phase 1 — warmup: a healthy cluster reaches the chaos start line.
+	// Stateful scenarios also land a batch of client KV writes now, so the
+	// checkpoints taken during chaos carry real state for restarts to
+	// restore.
 	if err := c.waitDefinite(sc.honest(), sc.Warmup, 60*time.Second, "warmup"); err != nil {
 		return err
+	}
+	if sc.Stateful {
+		if err := c.seedStateLoad(40); err != nil {
+			return err
+		}
 	}
 
 	// Phase 2 — chaos: play the seeded fault schedule.
@@ -131,7 +165,14 @@ func Run(sc Scenario, opts RunOpts) error {
 
 	// Phase 4 — final global checks: cross-node agreement over the full
 	// retained definite prefixes, chain audits, and the per-step checker's
-	// accumulated violations.
+	// accumulated violations. Stateful scenarios first assert the read
+	// path: a receipt-anchored Get answers with the committed value on
+	// every node (violations land in the checker and surface below).
+	if sc.Stateful {
+		if err := c.stateChecks(); err != nil {
+			return err
+		}
+	}
 	if err := c.finalChecks(); err != nil {
 		return err
 	}
@@ -164,6 +205,21 @@ func (c *Cluster) makeNode(i int, restart bool) (*flo.Node, error) {
 	}
 	if sc.Persist {
 		cfg.DataDir = c.dirs[i]
+	}
+	if sc.Stateful {
+		// Client pools instead of the saturating source (Submit and
+		// Saturate are mutually exclusive), and a durable queryable
+		// backend whose snapshot rides in the worker checkpoints. The
+		// reopen truncates the backend file, so a restarted node's state
+		// is whatever the checkpoint restore rebuilds — the path under
+		// test.
+		cfg.Saturate = 0
+		d, err := statemachine.OpenDurable(filepath.Join(c.dirs[i], "state"))
+		if err != nil {
+			return nil, fmt.Errorf("node %d state backend: %w", i, err)
+		}
+		c.states[i] = d
+		cfg.State = d
 	}
 	if c.evidenceOracle {
 		cfg.EnableEvidence = true
@@ -282,6 +338,10 @@ func (c *Cluster) executeSchedule() error {
 						tips[w] = c.Nodes[ev.Node].Worker(w).Chain().Definite()
 					}
 					preDef[ev.Node] = tips
+				}
+				if sc.Stateful && c.states[ev.Node] != nil {
+					c.states[ev.Node].Close()
+					c.states[ev.Node] = nil
 				}
 				c.Nodes[ev.Node] = nil
 			} else {
@@ -501,6 +561,136 @@ func (c *Cluster) stranded(i, w int) bool {
 		}
 	}
 	return true
+}
+
+// stateKey / stateValue name the runner's i-th seeded KV write.
+func stateKey(i int) string   { return fmt.Sprintf("sim/%06d", i) }
+func stateValue(i int) []byte { return []byte(fmt.Sprintf("v%06d", i)) }
+
+// submitKV submits one Set command through node via's client pool and waits
+// for it to land in a definite block of the merged stream, returning the
+// commit-receipt coordinates (worker, round) — exactly what a Session's
+// Receipt.Token() anchors reads to.
+func (c *Cluster) submitKV(via int, key string, value []byte, timeout time.Duration) (uint32, uint64, error) {
+	c.stateSeq++
+	tx := types.Transaction{Client: stateClientID, Seq: c.stateSeq, Payload: statemachine.EncodeSet(key, value)}
+	id := tx.ID()
+	type receipt struct {
+		w uint32
+		r uint64
+	}
+	got := make(chan receipt, 1)
+	cancel := c.Nodes[via].SubscribeDeliver(func(w uint32, blk types.Block) {
+		for i := range blk.Body.Txs {
+			if blk.Body.Txs[i].ID() == id {
+				select {
+				case got <- receipt{w, blk.Signed.Header.Round}:
+				default:
+				}
+				return
+			}
+		}
+	})
+	defer cancel()
+	if err := c.Nodes[via].Submit(tx); err != nil {
+		return 0, 0, fmt.Errorf("state submit via node %d: %w", via, err)
+	}
+	select {
+	case rc := <-got:
+		return rc.w, rc.r, nil
+	case <-time.After(timeout):
+		return 0, 0, fmt.Errorf("state submit via node %d: %q not definite within %s", via, key, timeout)
+	}
+}
+
+// seedStateLoad lands count client KV writes through node 0 and waits for
+// the last one to finalize, so checkpoints taken during the fault schedule
+// carry real application state.
+func (c *Cluster) seedStateLoad(count int) error {
+	for i := 0; i < count-1; i++ {
+		c.stateSeq++
+		tx := types.Transaction{Client: stateClientID, Seq: c.stateSeq, Payload: statemachine.EncodeSet(stateKey(i), stateValue(i))}
+		if err := c.Nodes[0].Submit(tx); err != nil {
+			return fmt.Errorf("state load: %w", err)
+		}
+	}
+	w, r, err := c.submitKV(0, stateKey(count-1), stateValue(count-1), 30*time.Second)
+	if err != nil {
+		return fmt.Errorf("state load: %w", err)
+	}
+	c.logf("state load seeded: %d keys, last definite at (w%d, r%d)", count, w, r)
+	return nil
+}
+
+// stateChecks asserts the queryable-state guarantees once the schedule has
+// healed: a fresh client write's receipt anchors a Get on every honest node
+// — including nodes restarted from a durable-backend checkpoint — answering
+// with the committed value, the pre-chaos keys are still readable at that
+// receipt, and, after stopping the cluster, nodes at equal applied position
+// vectors hold byte-identical state snapshots. Violations land in the
+// checker (surfaced by finalChecks); the error return is reserved for
+// mechanical failures of the probe itself.
+func (c *Cluster) stateChecks() error {
+	sc := c.Scenario
+	via := sc.honest()[0]
+	probeVal := []byte("committed")
+	w, r, err := c.submitKV(via, "sim/probe", probeVal, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	c.logf("receipt probe definite at (w%d, r%d)", w, r)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, i := range sc.honest() {
+		if v, ok, err := c.Nodes[i].StateGet(ctx, "sim/probe", w, r); err != nil || !ok || !bytes.Equal(v, probeVal) {
+			c.Checker.Violate(
+				"state read violation: node %d receipt-anchored Get(sim/probe @ w%d r%d) = %q/%v/%v, want %q",
+				i, w, r, v, ok, err, probeVal)
+		}
+		if v, ok, err := c.Nodes[i].StateGet(ctx, stateKey(0), w, r); err != nil || !ok || !bytes.Equal(v, stateValue(0)) {
+			c.Checker.Violate(
+				"state read violation: node %d pre-chaos key %s = %q/%v/%v at the probe receipt, want %q",
+				i, stateKey(0), v, ok, err, stateValue(0))
+		}
+	}
+	// Snapshot agreement needs quiescent replicas: stop the cluster (Stop
+	// is idempotent, so the deferred stop becomes a no-op) and compare full
+	// state snapshots across nodes whose applied position vectors match —
+	// anything but byte-identical bytes means the appliers diverged.
+	for _, n := range c.Nodes {
+		if n != nil {
+			n.Stop()
+		}
+	}
+	type stateAt struct {
+		node int
+		snap []byte
+	}
+	byPos := make(map[string]stateAt)
+	for _, i := range sc.honest() {
+		rep := c.Nodes[i].State()
+		if rep == nil {
+			c.Checker.Violate("state violation: node %d lost its ledger replica", i)
+			continue
+		}
+		pos := make([]uint64, sc.Workers)
+		for w := 0; w < sc.Workers; w++ {
+			pos[w] = rep.Position(uint32(w))
+		}
+		key := fmt.Sprintf("%v", pos)
+		snap := rep.Snapshot()
+		if prev, ok := byPos[key]; ok {
+			if !bytes.Equal(prev.snap, snap) {
+				c.Checker.Violate(
+					"state agreement violation: nodes %d and %d applied the same positions %s but hold different snapshots",
+					prev.node, i, key)
+			}
+		} else {
+			byPos[key] = stateAt{node: i, snap: snap}
+		}
+	}
+	c.logf("state snapshots compared: %d honest nodes, %d distinct position vectors", len(sc.honest()), len(byPos))
+	return nil
 }
 
 // finalChecks asserts end-state agreement: for every worker, all honest

@@ -103,6 +103,15 @@ type Scenario struct {
 	// Persist gives each node a DataDir: restarts resume from disk and the
 	// durability invariant is asserted across them.
 	Persist bool
+	// Stateful gives each node a durable queryable state backend
+	// (flo.Config.State) and replaces the saturating load with client KV
+	// submissions driven by the runner: a batch of Set commands lands before
+	// chaos, and after the schedule heals the runner submits a probe write,
+	// anchors a read to its commit receipt on every node — including ones
+	// that restarted from a durable-backend checkpoint — and asserts
+	// state-hash agreement across nodes at equal applied positions. Implies
+	// Persist; SnapshotEvery defaults on so checkpoints carry state.
+	Stateful bool
 	// SnapshotEvery enables log compaction (requires Persist).
 	SnapshotEvery uint64
 	// CatchUpBatch tunes the streaming range-sync threshold.
@@ -122,6 +131,12 @@ type Scenario struct {
 
 // fill applies defaults in place.
 func (s *Scenario) fill() {
+	if s.Stateful {
+		s.Persist = true
+		if s.SnapshotEvery == 0 {
+			s.SnapshotEvery = 8
+		}
+	}
 	if s.N == 0 {
 		s.N = 4
 	}
@@ -192,8 +207,8 @@ func (s *Scenario) String() string {
 	if name == "" {
 		name = "generated"
 	}
-	fmt.Fprintf(&b, "scenario %s seed=%d n=%d ω=%d β=%d σ=%d persist=%v snapshotEvery=%d catchUpBatch=%d warmup=%d horizon=%d",
-		name, s.Seed, s.N, s.Workers, s.BatchSize, s.TxSize, s.Persist, s.SnapshotEvery, s.CatchUpBatch, s.Warmup, s.Horizon)
+	fmt.Fprintf(&b, "scenario %s seed=%d n=%d ω=%d β=%d σ=%d persist=%v stateful=%v snapshotEvery=%d catchUpBatch=%d warmup=%d horizon=%d",
+		name, s.Seed, s.N, s.Workers, s.BatchSize, s.TxSize, s.Persist, s.Stateful, s.SnapshotEvery, s.CatchUpBatch, s.Warmup, s.Horizon)
 	if len(s.Equivocators) > 0 {
 		fmt.Fprintf(&b, " equivocators=%v", s.Equivocators)
 	}

@@ -1,0 +1,63 @@
+package statemachine
+
+import (
+	"errors"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// ErrNoState is returned by state reads against a node that was not
+// configured with a queryable backend (flo.Config.State unset).
+var ErrNoState = errors.New("statemachine: no state backend configured")
+
+// Entry is one key/value pair yielded by a range scan, in ascending key
+// order.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// StateBackend is the pluggable storage engine under a Replica: the applier
+// feeds it the merged definite transaction stream in order, and the read
+// path serves point gets and ordered range scans from it. Two backends ship
+// with the package — the in-memory map (KV, the default) and the durable
+// value-log backend (Durable) — and both serialize to the same canonical
+// snapshot bytes, so a snapshot taken on one restores byte-identically on
+// the other.
+//
+// Implementations must be safe for concurrent use: applies arrive from the
+// replica's single delivery goroutine while gets and scans arrive from any
+// number of client sessions.
+type StateBackend interface {
+	// Apply executes one transaction payload. Malformed or rejected
+	// payloads leave the state unchanged but still advance the applied
+	// count: replicas agree on rejection exactly as they agree on
+	// application.
+	Apply(tx types.Transaction) error
+	// ApplyBatch applies one block's transactions in order. It exists so a
+	// backend can amortize per-batch costs (a single log write, one index
+	// pass); semantics are identical to calling Apply in a loop.
+	ApplyBatch(txs []types.Transaction)
+	// Get returns the current value of key.
+	Get(key string) ([]byte, bool)
+	// Scan returns up to max entries with begin <= key < end in ascending
+	// key order. An empty end means "to the end of the keyspace"; max <= 0
+	// means no cap.
+	Scan(begin, end string, max int) []Entry
+	// Len returns the number of live keys.
+	Len() int
+	// Applied returns how many transactions have been applied (including
+	// rejected ones) — the backend's logical position.
+	Applied() uint64
+	// Hash digests the full state; equal streams yield equal hashes across
+	// backends.
+	Hash() flcrypto.Hash
+	// Snapshot serializes the state canonically (sorted keys, fixed
+	// framing). All backends emit identical bytes for identical state.
+	Snapshot() []byte
+	// Restore replaces the backend's contents with a snapshot's.
+	Restore(snap []byte) error
+	// Close releases any resources (files) the backend holds.
+	Close() error
+}

@@ -1,0 +1,304 @@
+package statemachine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// The conformance suite: every StateBackend implementation must pass every
+// test below. Add new backends to this table.
+func forEachBackend(t *testing.T, fn func(t *testing.T, open func(t *testing.T) StateBackend)) {
+	t.Helper()
+	for name, open := range map[string]func(t *testing.T) StateBackend{
+		"map": func(t *testing.T) StateBackend { return NewKV() },
+		"durable": func(t *testing.T) StateBackend {
+			d, err := OpenDurable(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+	} {
+		t.Run(name, func(t *testing.T) { fn(t, open) })
+	}
+}
+
+func mustApply(t *testing.T, b StateBackend, payloads ...[]byte) {
+	t.Helper()
+	for i, p := range payloads {
+		if err := b.Apply(types.Transaction{Client: 1, Seq: uint64(i + 1), Payload: p}); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+}
+
+func TestBackendScanOrdering(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) StateBackend) {
+		b := open(t)
+		// Inserted out of order; scans must come back sorted.
+		for _, k := range []string{"b", "e", "a", "d", "c"} {
+			mustApply(t, b, EncodeSet(k, []byte("v-"+k)))
+		}
+		got := b.Scan("", "", 0)
+		if len(got) != 5 {
+			t.Fatalf("full scan: %d entries, want 5", len(got))
+		}
+		for i, e := range got {
+			want := string(rune('a' + i))
+			if e.Key != want || string(e.Value) != "v-"+want {
+				t.Fatalf("entry %d = %q/%q, want %q", i, e.Key, e.Value, want)
+			}
+		}
+		// Half-open range [b, d).
+		if got := b.Scan("b", "d", 0); len(got) != 2 || got[0].Key != "b" || got[1].Key != "c" {
+			t.Fatalf("range [b,d) = %v", got)
+		}
+		// Cap.
+		if got := b.Scan("", "", 2); len(got) != 2 || got[1].Key != "b" {
+			t.Fatalf("capped scan = %v", got)
+		}
+		// Empty range.
+		if got := b.Scan("c", "c", 0); len(got) != 0 {
+			t.Fatalf("empty range returned %v", got)
+		}
+		// Deletions disappear from scans.
+		mustApply(t, b, EncodeDel("c"))
+		if got := b.Scan("b", "d", 0); len(got) != 1 || got[0].Key != "b" {
+			t.Fatalf("range after delete = %v", got)
+		}
+	})
+}
+
+func TestBackendSnapshotRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) StateBackend) {
+		b := open(t)
+		mustApply(t, b,
+			EncodeSet("k1", []byte("v1")),
+			EncodeAdd("n", 41),
+			EncodeSet("k2", []byte("v2")),
+			EncodeDel("k1"),
+			EncodeAdd("n", 1),
+		)
+		snap := b.Snapshot()
+
+		b2 := open(t)
+		if err := b2.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		if got := b2.Snapshot(); !bytes.Equal(snap, got) {
+			t.Fatal("snapshot → restore → snapshot is not byte-identical")
+		}
+		if b2.Hash() != b.Hash() {
+			t.Fatal("restored hash differs")
+		}
+		if b2.Applied() != b.Applied() {
+			t.Fatalf("applied %d, want %d", b2.Applied(), b.Applied())
+		}
+		if _, ok := b2.Get("k1"); ok {
+			t.Fatal("deleted key resurrected by restore")
+		}
+		if v, ok := b2.Get("n"); !ok || binary.BigEndian.Uint64(v) != 42 {
+			t.Fatalf("n = %v after restore", v)
+		}
+		// Restore replaces state, not merges: a dirty backend restored from
+		// snap must equal a fresh one restored from snap.
+		b3 := open(t)
+		mustApply(t, b3, EncodeSet("junk", []byte("x")))
+		if err := b3.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		if got := b3.Snapshot(); !bytes.Equal(snap, got) {
+			t.Fatal("restore over dirty state kept residue")
+		}
+	})
+}
+
+// TestBackendsAgree drives both backends through one mixed workload and
+// demands byte-identical snapshots and hashes: the canonical snapshot
+// framing is shared, so checkpoints written by one backend restore into the
+// other.
+func TestBackendsAgree(t *testing.T) {
+	kv := NewKV()
+	d, err := OpenDurable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var seq uint64
+	for i := 0; i < 200; i++ {
+		var p []byte
+		switch i % 4 {
+		case 0:
+			p = EncodeSet(fmt.Sprintf("k%03d", i%50), []byte(fmt.Sprintf("v%d", i)))
+		case 1:
+			p = EncodeAdd(fmt.Sprintf("c%02d", i%10), int64(i))
+		case 2:
+			p = EncodeDel(fmt.Sprintf("k%03d", (i+2)%50))
+		case 3:
+			p = EncodeTransfer("c00", fmt.Sprintf("c%02d", i%10), 1)
+		}
+		seq++
+		tx := types.Transaction{Client: 7, Seq: seq, Payload: p}
+		errKV := kv.Apply(tx)
+		errD := d.Apply(tx)
+		if (errKV == nil) != (errD == nil) {
+			t.Fatalf("op %d: backends disagree on validity: kv=%v durable=%v", i, errKV, errD)
+		}
+	}
+	if kv.Hash() != d.Hash() {
+		t.Fatal("hashes diverge across backends")
+	}
+	if !bytes.Equal(kv.Snapshot(), d.Snapshot()) {
+		t.Fatal("snapshots diverge across backends")
+	}
+	// Cross-restore: a map-backend snapshot restores into the durable
+	// backend (and vice versa) because the framing is canonical.
+	d2, err := OpenDurable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.Restore(kv.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Hash() != kv.Hash() {
+		t.Fatal("cross-backend restore diverged")
+	}
+}
+
+// TestBackendIdempotentReplay runs the restart path through the Replica:
+// restore a checkpoint, then re-deliver a block window overlapping what the
+// checkpoint covers. Replayed positions must not double-apply on any
+// backend.
+func TestBackendIdempotentReplay(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) StateBackend) {
+		r := NewReplicaWith(open(t))
+		r.Deliver(deliverBlock(0, 1, types.Transaction{Client: 1, Seq: 1, Payload: EncodeAdd("n", 3)}))
+		r.Deliver(deliverBlock(1, 1, types.Transaction{Client: 1, Seq: 2, Payload: EncodeSet("k", []byte("v"))}))
+		snap := r.Snapshot()
+
+		r2, err := RestoreReplicaInto(open(t), snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Overlapping replay (both blocks) plus one new block.
+		r2.Deliver(deliverBlock(0, 1, types.Transaction{Client: 1, Seq: 1, Payload: EncodeAdd("n", 3)}))
+		r2.Deliver(deliverBlock(1, 1, types.Transaction{Client: 1, Seq: 2, Payload: EncodeSet("k", []byte("v"))}))
+		r2.Deliver(deliverBlock(0, 2, types.Transaction{Client: 1, Seq: 3, Payload: EncodeAdd("n", 4)}))
+		if v, ok := r2.State().Get("n"); !ok || binary.BigEndian.Uint64(v) != 7 {
+			t.Fatalf("n = %v, want 7 (replayed positions must not double-apply)", v)
+		}
+		if r2.Position(0) != 2 || r2.Position(1) != 1 {
+			t.Fatalf("positions w0=%d w1=%d", r2.Position(0), r2.Position(1))
+		}
+	})
+}
+
+func TestBackendTransfer(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, open func(t *testing.T) StateBackend) {
+		b := open(t)
+		mustApply(t, b, EncodeAdd("alice", 100), EncodeAdd("bob", 10))
+		mustApply(t, b, EncodeTransfer("alice", "bob", 30))
+		counter := func(k string) uint64 {
+			v, ok := b.Get(k)
+			if !ok {
+				t.Fatalf("missing counter %q", k)
+			}
+			return binary.BigEndian.Uint64(v)
+		}
+		if counter("alice") != 70 || counter("bob") != 40 {
+			t.Fatalf("alice=%d bob=%d after transfer", counter("alice"), counter("bob"))
+		}
+		// Overdraft: rejected deterministically, balances untouched, but the
+		// position still advances (rejection is part of the agreed history).
+		applied := b.Applied()
+		err := b.Apply(types.Transaction{Client: 1, Seq: 99, Payload: EncodeTransfer("alice", "bob", 1000)})
+		if err == nil {
+			t.Fatal("overdraft accepted")
+		}
+		if counter("alice") != 70 || counter("bob") != 40 {
+			t.Fatal("overdraft mutated balances")
+		}
+		if b.Applied() != applied+1 {
+			t.Fatalf("applied %d, want %d (rejection must advance the position)", b.Applied(), applied+1)
+		}
+		// Transfer from a missing account is an overdraft of 0.
+		if err := b.Apply(types.Transaction{Client: 1, Seq: 100, Payload: EncodeTransfer("ghost", "bob", 1)}); err == nil {
+			t.Fatal("transfer from missing account accepted")
+		}
+		// Self-transfer within balance is a no-op, beyond it an overdraft.
+		mustApply(t, b, EncodeTransfer("alice", "alice", 70))
+		if counter("alice") != 70 {
+			t.Fatal("self-transfer changed the balance")
+		}
+		if err := b.Apply(types.Transaction{Client: 1, Seq: 101, Payload: EncodeTransfer("alice", "alice", 71)}); err == nil {
+			t.Fatal("self-overdraft accepted")
+		}
+	})
+}
+
+// TestDurableCompaction overwrites one key until the value log holds mostly
+// garbage, then checks compaction rewrote it without losing state.
+func TestDurableCompaction(t *testing.T) {
+	d, err := OpenDurable(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	big := bytes.Repeat([]byte("x"), 64<<10)
+	for i := 0; i < 80; i++ {
+		mustApply(t, d, EncodeSet("hot", append(big, byte(i))), EncodeSet(fmt.Sprintf("cold%02d", i), []byte("keep")))
+	}
+	d.mu.RLock()
+	size, live := d.size, d.live
+	d.mu.RUnlock()
+	if size > 2*live+compactSlack {
+		t.Fatalf("log not compacted: size=%d live=%d", size, live)
+	}
+	if v, ok := d.Get("hot"); !ok || v[len(v)-1] != 79 {
+		t.Fatal("hot key lost its last write")
+	}
+	for i := 0; i < 80; i++ {
+		if v, ok := d.Get(fmt.Sprintf("cold%02d", i)); !ok || string(v) != "keep" {
+			t.Fatalf("cold%02d lost after compaction", i)
+		}
+	}
+}
+
+// TestDurableReopenIsEmpty pins the recovery contract: the value log is NOT
+// the durability story — checkpoints are. Reopening a directory starts
+// empty; state comes back via Restore plus block replay (the flo restart
+// path), never by trusting a log that may be ahead of the checkpointed
+// cursor.
+func TestDurableReopenIsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustApply(t, d, EncodeSet("k", []byte("v")))
+	snap := d.Snapshot()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 0 || d2.Applied() != 0 {
+		t.Fatalf("reopened backend not empty: len=%d applied=%d", d2.Len(), d2.Applied())
+	}
+	if err := d2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d2.Get("k"); !ok || string(v) != "v" {
+		t.Fatal("restore after reopen lost the key")
+	}
+}

@@ -1,0 +1,305 @@
+package statemachine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/flcrypto"
+	"repro/internal/types"
+)
+
+// Durable is the disk-backed state backend: values live in an append-only
+// value log on disk, and an in-memory ordered index maps each live key to
+// its latest value's location. Point gets and range scans read through the
+// index (one ReadAt per value, served from the page cache for hot keys), so
+// the resident footprint is keys-only — the shape that lets applied state
+// outgrow RAM without giving up ordered iteration.
+//
+// Durability rides in store checkpoints, not in the log: Snapshot emits the
+// same canonical bytes as KV.Snapshot (byte-identical across backends) and
+// is captured at the merge point by flo's checkpointer; recovery is always
+// Restore(checkpoint state) followed by replayed-block re-delivery through
+// the replica's idempotent (worker, round) positions. The log is therefore
+// a serving store that is rebuilt on restore, never replayed on its own —
+// which is what keeps a torn log tail from ever corrupting state.
+type Durable struct {
+	mu   sync.RWMutex
+	dir  string
+	f    *os.File // append-only value log
+	size int64    // log end offset
+	live int64    // bytes of live (indexed) values
+
+	index   map[string]valRef
+	keys    []string // sorted live keys
+	applied uint64
+}
+
+// valRef locates one live value in the log.
+type valRef struct {
+	off int64
+	len uint32
+}
+
+// compactSlack is how many bytes of garbage the log tolerates beyond 2×
+// the live set before apply-time compaction rewrites it.
+const compactSlack = 1 << 20
+
+var _ StateBackend = (*Durable)(nil)
+
+// OpenDurable opens a value-log backend rooted at dir, creating it if
+// needed. The backend always starts empty: its contents are rebuilt by
+// Restore (from a checkpoint's state) plus block replay, so a pre-existing
+// log at dir is truncated rather than trusted.
+func OpenDurable(dir string) (*Durable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("statemachine: open durable: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "state.log"), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("statemachine: open durable: %w", err)
+	}
+	return &Durable{dir: dir, f: f, index: make(map[string]valRef)}, nil
+}
+
+// Dir returns the backend's root directory.
+func (d *Durable) Dir() string { return d.dir }
+
+// Apply executes one transaction payload (see StateBackend).
+func (d *Durable) Apply(tx types.Transaction) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.applyLocked(tx)
+	d.maybeCompactLocked()
+	return err
+}
+
+// ApplyBatch applies one block's transactions in order; compaction is
+// considered once per batch.
+func (d *Durable) ApplyBatch(txs []types.Transaction) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range txs {
+		_ = d.applyLocked(txs[i])
+	}
+	d.maybeCompactLocked()
+}
+
+func (d *Durable) applyLocked(tx types.Transaction) error {
+	d.applied++
+	return applyOp(tx.Payload, table{
+		get: d.getLocked,
+		put: d.putLocked,
+		del: d.delLocked,
+	})
+}
+
+// getLocked reads a live value out of the log.
+func (d *Durable) getLocked(key string) ([]byte, bool) {
+	ref, ok := d.index[key]
+	if !ok {
+		return nil, false
+	}
+	buf := make([]byte, ref.len)
+	if _, err := d.f.ReadAt(buf, ref.off); err != nil {
+		// The log is node-local and append-only; a failed read here means
+		// the file was tampered with out-of-band. Treat as absent — the
+		// next checkpoint restore rebuilds the log wholesale.
+		return nil, false
+	}
+	return buf, true
+}
+
+// putLocked appends the value to the log and points the index at it.
+func (d *Durable) putLocked(key string, value []byte) {
+	off := d.size
+	if len(value) > 0 {
+		if _, err := d.f.WriteAt(value, off); err != nil {
+			// Leave the index on the old value; the applied count still
+			// advances, and the divergence heals at the next restore.
+			return
+		}
+	}
+	d.size += int64(len(value))
+	if old, ok := d.index[key]; ok {
+		d.live -= int64(old.len)
+	} else {
+		d.insertKeyLocked(key)
+	}
+	d.index[key] = valRef{off: off, len: uint32(len(value))}
+	d.live += int64(len(value))
+}
+
+func (d *Durable) delLocked(key string) {
+	ref, ok := d.index[key]
+	if !ok {
+		return
+	}
+	d.live -= int64(ref.len)
+	delete(d.index, key)
+	i := sort.SearchStrings(d.keys, key)
+	if i < len(d.keys) && d.keys[i] == key {
+		d.keys = append(d.keys[:i], d.keys[i+1:]...)
+	}
+}
+
+func (d *Durable) insertKeyLocked(key string) {
+	i := sort.SearchStrings(d.keys, key)
+	if i < len(d.keys) && d.keys[i] == key {
+		return
+	}
+	d.keys = append(d.keys, "")
+	copy(d.keys[i+1:], d.keys[i:])
+	d.keys[i] = key
+}
+
+// maybeCompactLocked rewrites the log with live values only once dead bytes
+// dominate — the amortized cleanup that keeps an append-only log bounded by
+// the live set.
+func (d *Durable) maybeCompactLocked() {
+	if d.size <= 2*d.live+compactSlack {
+		return
+	}
+	_ = d.rewriteLocked()
+}
+
+// rewriteLocked streams every live value into a fresh log and atomically
+// swaps it in (write-tmp, rename — the store.WriteSnapshot pattern).
+func (d *Durable) rewriteLocked() error {
+	tmpPath := filepath.Join(d.dir, "state.log.tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("statemachine: compact: %w", err)
+	}
+	newIndex := make(map[string]valRef, len(d.index))
+	var off int64
+	for _, k := range d.keys {
+		v, ok := d.getLocked(k)
+		if !ok {
+			v = nil
+		}
+		if len(v) > 0 {
+			if _, err := tmp.WriteAt(v, off); err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return fmt.Errorf("statemachine: compact: %w", err)
+			}
+		}
+		newIndex[k] = valRef{off: off, len: uint32(len(v))}
+		off += int64(len(v))
+	}
+	logPath := filepath.Join(d.dir, "state.log")
+	if err := os.Rename(tmpPath, logPath); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("statemachine: compact: %w", err)
+	}
+	d.f.Close()
+	d.f = tmp
+	d.index = newIndex
+	d.size, d.live = off, off
+	return nil
+}
+
+// Get returns the current value of key.
+func (d *Durable) Get(key string) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.getLocked(key)
+}
+
+// Scan returns up to max entries with begin <= key < end in ascending key
+// order (empty end = unbounded, max <= 0 = uncapped). The ordered key index
+// makes this a binary search plus a contiguous walk.
+func (d *Durable) Scan(begin, end string, max int) []Entry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	i := sort.SearchStrings(d.keys, begin)
+	var out []Entry
+	for ; i < len(d.keys); i++ {
+		k := d.keys[i]
+		if end != "" && k >= end {
+			break
+		}
+		if max > 0 && len(out) >= max {
+			break
+		}
+		v, _ := d.getLocked(k)
+		out = append(out, Entry{Key: k, Value: v})
+	}
+	return out
+}
+
+// Len returns the number of live keys.
+func (d *Durable) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.keys)
+}
+
+// Applied returns the backend's logical position.
+func (d *Durable) Applied() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.applied
+}
+
+// Hash digests the full state; equal to KV.Hash for equal state.
+func (d *Durable) Hash() flcrypto.Hash {
+	return flcrypto.Sum256(d.Snapshot())
+}
+
+// Snapshot serializes the state canonically — byte-identical to what a KV
+// holding the same data would emit, which is what lets a checkpoint taken
+// on one backend restore on the other.
+func (d *Durable) Snapshot() []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e := types.NewEncoder(64 * (len(d.keys) + 1))
+	e.Uint64(d.applied)
+	e.Uint32(uint32(len(d.keys)))
+	for _, k := range d.keys {
+		v, _ := d.getLocked(k)
+		e.Bytes32([]byte(k))
+		e.Bytes32(v)
+	}
+	return e.Bytes()
+}
+
+// Restore replaces the backend's contents with a snapshot's, rewriting the
+// value log from scratch.
+func (d *Durable) Restore(snap []byte) error {
+	data, applied, err := decodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]string, 0, len(data))
+	for k := range data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if err := d.f.Truncate(0); err != nil {
+		return fmt.Errorf("statemachine: restore: %w", err)
+	}
+	d.size, d.live = 0, 0
+	d.index = make(map[string]valRef, len(data))
+	d.keys = d.keys[:0]
+	for _, k := range keys {
+		d.putLocked(k, data[k])
+	}
+	// putLocked maintained sorted order because keys arrived sorted; the
+	// index and key list are now exactly the snapshot's live set.
+	d.applied = applied
+	return nil
+}
+
+// Close closes the value log.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}

@@ -1,11 +1,13 @@
 // Package statemachine provides the deterministic replicated state machine
 // that rides on FLO's total order: every replica applies the merged definite
-// transaction stream to a KV store and, because application is a pure
-// function of the stream, all replicas hold identical state at equal
-// positions ("transactions may in fact be any deterministic computational
-// step", paper §1). Snapshots make replica state portable: a digest for
-// cross-replica comparison, a serialized form for state transfer and
-// restart.
+// transaction stream to a pluggable state backend and, because application
+// is a pure function of the stream, all replicas hold identical state at
+// equal positions ("transactions may in fact be any deterministic
+// computational step", paper §1). Two backends implement StateBackend: the
+// in-memory map (KV) and the durable value-log store (Durable); both emit
+// the same canonical snapshot bytes, which makes replica state portable — a
+// digest for cross-replica comparison, a serialized form for state transfer
+// and restart, interchangeable across backends.
 package statemachine
 
 import (
@@ -27,6 +29,10 @@ const (
 	// OpAdd increments a key's value interpreted as a big-endian uint64
 	// (missing keys count as 0) — enough for balances and counters.
 	OpAdd = 3
+	// OpTransfer moves an amount between two counter keys atomically,
+	// rejecting deterministically when the source balance is short — the
+	// overdraft check every replica agrees on.
+	OpTransfer = 4
 )
 
 // Errors returned by Apply. An erroring transaction leaves the state
@@ -34,6 +40,9 @@ const (
 // rejection exactly as they agree on application.
 var (
 	ErrBadOp = errors.New("statemachine: malformed operation")
+	// ErrInsufficient rejects a TRANSFER whose source balance is below the
+	// amount.
+	ErrInsufficient = errors.New("statemachine: insufficient balance")
 )
 
 // EncodeSet builds a SET payload.
@@ -63,13 +72,131 @@ func EncodeAdd(key string, delta int64) []byte {
 	return e.Bytes()
 }
 
-// KV is one replica's state. All methods are safe for concurrent use;
-// Apply calls must arrive in the replica's delivery order.
+// EncodeTransfer builds a TRANSFER payload moving amount from one counter
+// key to another.
+func EncodeTransfer(from, to string, amount uint64) []byte {
+	e := types.NewEncoder(24 + len(from) + len(to))
+	e.Uint8(OpTransfer)
+	e.Bytes32([]byte(from))
+	e.Bytes32([]byte(to))
+	e.Uint64(amount)
+	return e.Bytes()
+}
+
+// TxKeys returns the keys a payload touches, in payload order. Malformed
+// payloads return nil. The watch path uses it to decide which registered
+// keys a block may have changed without re-running the ops.
+func TxKeys(payload []byte) []string {
+	d := types.NewDecoder(payload)
+	switch d.Uint8() {
+	case OpSet, OpDel, OpAdd:
+		key := string(d.Bytes32())
+		if d.Err() != nil {
+			return nil
+		}
+		return []string{key}
+	case OpTransfer:
+		from := string(d.Bytes32())
+		to := string(d.Bytes32())
+		if d.Err() != nil {
+			return nil
+		}
+		return []string{from, to}
+	}
+	return nil
+}
+
+// table is the primitive mutation surface applyOp drives; each backend
+// supplies closures over its own storage so the op semantics live in
+// exactly one place.
+type table struct {
+	get func(key string) ([]byte, bool)
+	put func(key string, value []byte)
+	del func(key string)
+}
+
+// applyOp interprets one payload against a table. It is the single
+// definition of the command language: both backends (and therefore every
+// replica) reject and apply identically.
+func applyOp(payload []byte, t table) error {
+	d := types.NewDecoder(payload)
+	op := d.Uint8()
+	switch op {
+	case OpSet:
+		key := string(d.Bytes32())
+		value := append([]byte(nil), d.Bytes32()...)
+		if d.Finish() != nil {
+			return ErrBadOp
+		}
+		t.put(key, value)
+	case OpDel:
+		key := string(d.Bytes32())
+		if d.Finish() != nil {
+			return ErrBadOp
+		}
+		t.del(key)
+	case OpAdd:
+		key := string(d.Bytes32())
+		delta := d.Int64()
+		if d.Finish() != nil {
+			return ErrBadOp
+		}
+		cur, err := counterAt(t, key)
+		if err != nil {
+			return err
+		}
+		t.put(key, beBytes(uint64(int64(cur)+delta)))
+	case OpTransfer:
+		from := string(d.Bytes32())
+		to := string(d.Bytes32())
+		amount := d.Uint64()
+		if d.Finish() != nil {
+			return ErrBadOp
+		}
+		fromV, err := counterAt(t, from)
+		if err != nil {
+			return err
+		}
+		toV, err := counterAt(t, to)
+		if err != nil {
+			return err
+		}
+		if fromV < amount {
+			return fmt.Errorf("%w: %q has %d, needs %d", ErrInsufficient, from, fromV, amount)
+		}
+		if from == to {
+			return nil // self-transfer: balance checked, state unchanged
+		}
+		t.put(from, beBytes(fromV-amount))
+		t.put(to, beBytes(toV+amount))
+	default:
+		return fmt.Errorf("%w: op %d", ErrBadOp, op)
+	}
+	return nil
+}
+
+// counterAt reads key as a big-endian uint64 counter (0 when absent).
+func counterAt(t table, key string) (uint64, error) {
+	raw, ok := t.get(key)
+	if !ok {
+		return 0, nil
+	}
+	if len(raw) != 8 {
+		return 0, fmt.Errorf("%w: counter op on non-counter key %q", ErrBadOp, key)
+	}
+	return beUint64(raw), nil
+}
+
+// KV is the default in-memory backend: a plain map plus the canonical
+// snapshot serialization. All methods are safe for concurrent use; Apply
+// calls must arrive in the replica's delivery order.
 type KV struct {
 	mu      sync.RWMutex
 	data    map[string][]byte
 	applied uint64 // count of Apply calls (including rejected ones)
 }
+
+var _ StateBackend = (*KV)(nil)
 
 // NewKV returns an empty store.
 func NewKV() *KV {
@@ -81,41 +208,25 @@ func NewKV() *KV {
 func (kv *KV) Apply(tx types.Transaction) error {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	return kv.applyLocked(tx)
+}
+
+func (kv *KV) applyLocked(tx types.Transaction) error {
 	kv.applied++
-	d := types.NewDecoder(tx.Payload)
-	op := d.Uint8()
-	switch op {
-	case OpSet:
-		key := string(d.Bytes32())
-		value := append([]byte(nil), d.Bytes32()...)
-		if d.Finish() != nil {
-			return ErrBadOp
-		}
-		kv.data[key] = value
-	case OpDel:
-		key := string(d.Bytes32())
-		if d.Finish() != nil {
-			return ErrBadOp
-		}
-		delete(kv.data, key)
-	case OpAdd:
-		key := string(d.Bytes32())
-		delta := d.Int64()
-		if d.Finish() != nil {
-			return ErrBadOp
-		}
-		cur := int64(0)
-		if raw, ok := kv.data[key]; ok {
-			if len(raw) != 8 {
-				return fmt.Errorf("%w: ADD on non-counter key %q", ErrBadOp, key)
-			}
-			cur = int64(beUint64(raw))
-		}
-		kv.data[key] = beBytes(uint64(cur + delta))
-	default:
-		return fmt.Errorf("%w: op %d", ErrBadOp, op)
+	return applyOp(tx.Payload, table{
+		get: func(k string) ([]byte, bool) { v, ok := kv.data[k]; return v, ok },
+		put: func(k string, v []byte) { kv.data[k] = v },
+		del: func(k string) { delete(kv.data, k) },
+	})
+}
+
+// ApplyBatch applies one block's transactions in order.
+func (kv *KV) ApplyBatch(txs []types.Transaction) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	for i := range txs {
+		_ = kv.applyLocked(txs[i])
 	}
-	return nil
 }
 
 func beUint64(b []byte) uint64 {
@@ -144,6 +255,28 @@ func (kv *KV) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	return append([]byte(nil), v...), true
+}
+
+// Scan returns up to max entries with begin <= key < end in ascending key
+// order (empty end = unbounded, max <= 0 = uncapped).
+func (kv *KV) Scan(begin, end string, max int) []Entry {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		if k >= begin && (end == "" || k < end) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if max > 0 && len(keys) > max {
+		keys = keys[:max]
+	}
+	out := make([]Entry, len(keys))
+	for i, k := range keys {
+		out[i] = Entry{Key: k, Value: append([]byte(nil), kv.data[k]...)}
+	}
+	return out
 }
 
 // Counter returns key's value as a counter (0 when absent or malformed).
@@ -196,25 +329,50 @@ func (kv *KV) Snapshot() []byte {
 	return e.Bytes()
 }
 
-// Restore rebuilds a replica from a snapshot.
-func Restore(snap []byte) (*KV, error) {
+// Restore replaces the store's contents with a snapshot's.
+func (kv *KV) Restore(snap []byte) error {
+	data, applied, err := decodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	kv.mu.Lock()
+	kv.data, kv.applied = data, applied
+	kv.mu.Unlock()
+	return nil
+}
+
+// Close is a no-op for the in-memory backend.
+func (kv *KV) Close() error { return nil }
+
+// decodeSnapshot parses the canonical snapshot framing shared by every
+// backend.
+func decodeSnapshot(snap []byte) (map[string][]byte, uint64, error) {
 	d := types.NewDecoder(snap)
-	kv := NewKV()
-	kv.applied = d.Uint64()
+	applied := d.Uint64()
 	n := d.Uint32()
 	if d.Err() != nil || n > types.MaxFieldLen/8 {
-		return nil, fmt.Errorf("statemachine: corrupt snapshot header")
+		return nil, 0, fmt.Errorf("statemachine: corrupt snapshot header")
 	}
+	data := make(map[string][]byte, n)
 	for i := uint32(0); i < n; i++ {
 		key := string(d.Bytes32())
 		value := append([]byte(nil), d.Bytes32()...)
 		if d.Err() != nil {
 			break
 		}
-		kv.data[key] = value
+		data[key] = value
 	}
 	if err := d.Finish(); err != nil {
-		return nil, fmt.Errorf("statemachine: corrupt snapshot: %w", err)
+		return nil, 0, fmt.Errorf("statemachine: corrupt snapshot: %w", err)
+	}
+	return data, applied, nil
+}
+
+// Restore rebuilds an in-memory store from a snapshot.
+func Restore(snap []byte) (*KV, error) {
+	kv := NewKV()
+	if err := kv.Restore(snap); err != nil {
+		return nil, err
 	}
 	return kv, nil
 }

@@ -7,12 +7,14 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/flcrypto"
+	"repro/internal/statemachine"
 	"repro/internal/types"
 )
 
@@ -122,6 +124,7 @@ type Generator struct {
 	client       uint64
 	seq          uint64
 	compressible bool
+	kvKeys       int
 }
 
 // NewGenerator creates a generator for σ = size payload bytes. client tags
@@ -139,6 +142,20 @@ func (g *Generator) SetCompressible(on bool) {
 	g.compressible = on
 }
 
+// SetKV switches payloads from random bytes to state-machine Set commands
+// cycling over a keys-sized keyspace, so the saturating load exercises a
+// configured state backend (the state benchmarks). Payloads stay ≈ σ bytes:
+// the value is padded to keep the write path comparable to the random load.
+func (g *Generator) SetKV(keys int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.kvKeys = keys
+}
+
+// kvPayloadOverhead approximates the Set-command framing (op byte + two
+// length-prefixed fields + key text) subtracted from σ to size the value.
+const kvPayloadOverhead = 32
+
 // ledgerPhrase is the repeating motif of compressible payloads.
 var ledgerPhrase = []byte("transfer 100 units from account A to account B memo invoice; ")
 
@@ -147,6 +164,16 @@ func (g *Generator) Next() types.Transaction {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.seq++
+	if g.kvKeys > 0 {
+		vlen := g.size - kvPayloadOverhead
+		if vlen < 8 {
+			vlen = 8
+		}
+		value := make([]byte, vlen)
+		g.rng.Read(value)
+		key := fmt.Sprintf("bench/%08d", g.seq%uint64(g.kvKeys))
+		return types.Transaction{Client: g.client, Seq: g.seq, Payload: statemachine.EncodeSet(key, value)}
+	}
 	payload := make([]byte, g.size)
 	if g.compressible {
 		for off := 0; off < len(payload); off += len(ledgerPhrase) {
@@ -182,6 +209,9 @@ func NewSaturatingSource(size int, client uint64, seed int64) *SaturatingSource 
 // SetCompressible switches payload content to compressible text (see
 // Generator.SetCompressible).
 func (s *SaturatingSource) SetCompressible(on bool) { s.gen.SetCompressible(on) }
+
+// SetKV switches payloads to state-machine Set commands (see Generator.SetKV).
+func (s *SaturatingSource) SetKV(keys int) { s.gen.SetKV(keys) }
 
 // NextBatch returns max fresh transactions.
 func (s *SaturatingSource) NextBatch(max int) []types.Transaction {

@@ -13,6 +13,11 @@ import (
 // typed identically on the in-process and remote paths.
 var ErrCompacted = clientapi.ErrCompacted
 
+// ErrNoState reports a state read against a node that runs without a state
+// backend (Config.State nil). It is typed identically on the in-process and
+// remote paths; detect it with errors.Is.
+var ErrNoState = clientapi.ErrNoState
+
 // Session-layer vocabulary, shared by the in-process Client and the remote
 // session behind Dial. Downstream code imports only this package.
 type (
@@ -33,6 +38,18 @@ type (
 	// Info describes the serving node: identity, cluster size, worker
 	// count ω (needed for Cursor.Next), and delivery totals.
 	Info = clientapi.Info
+	// ReadToken anchors a state read at a commit receipt: the read blocks
+	// until the serving node's applied frontier covers (Worker, Round), so
+	// a session that writes and then reads with the write's Receipt.Token()
+	// observes its own write even against a different node. The zero token
+	// reads whatever is currently applied.
+	ReadToken = clientapi.ReadToken
+	// Entry is one key/value pair of a Scan result.
+	Entry = clientapi.Entry
+	// KeyUpdate is one WatchKey notification: the key's value (or deletion)
+	// as of the definite block at (Worker, Round). Intermediate updates may
+	// be coalesced; the latest state is always delivered.
+	KeyUpdate = clientapi.KeyUpdate
 )
 
 // Session is the application-facing FireLedger client API. Both transports
@@ -66,6 +83,22 @@ type Session interface {
 	// connection, and the in-process implementation's support for several
 	// concurrent streams is an extension.
 	Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, error)
+	// Get reads key from the node's ledger state once the applied frontier
+	// covers at (use Receipt.Token() for read-your-writes; the zero token
+	// reads current state). It returns the value and whether the key exists,
+	// or ErrNoState if the node runs without a state backend.
+	Get(ctx context.Context, key string, at ReadToken) ([]byte, bool, error)
+	// Scan returns up to max entries with begin <= key < end in ascending
+	// key order, anchored at at like Get. The empty end means "to the last
+	// key"; max <= 0 asks for the transport's cap (a remote session never
+	// returns more than its per-reply limit — page by re-issuing Scan with
+	// begin just past the last key returned).
+	Scan(ctx context.Context, begin, end string, max int, at ReadToken) ([]Entry, error)
+	// WatchKey streams updates to key: first the key's state once the
+	// frontier covers at, then a KeyUpdate whenever a definite block changes
+	// it (coalesced under load — the latest state always arrives). The
+	// channel closes when ctx ends or the session closes.
+	WatchKey(ctx context.Context, key string, at ReadToken) (<-chan KeyUpdate, error)
 	// Info reports the serving node's identity and delivery totals.
 	Info(ctx context.Context) (Info, error)
 	// Close releases the session and its client identity; unresolved
@@ -94,6 +127,15 @@ func (s *remoteSession) SubmitWait(ctx context.Context, payload []byte) (Receipt
 }
 func (s *remoteSession) Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, error) {
 	return s.c.Subscribe(ctx, cursor)
+}
+func (s *remoteSession) Get(ctx context.Context, key string, at ReadToken) ([]byte, bool, error) {
+	return s.c.Get(ctx, key, at)
+}
+func (s *remoteSession) Scan(ctx context.Context, begin, end string, max int, at ReadToken) ([]Entry, error) {
+	return s.c.Scan(ctx, begin, end, max, at)
+}
+func (s *remoteSession) WatchKey(ctx context.Context, key string, at ReadToken) (<-chan KeyUpdate, error) {
+	return s.c.WatchKey(ctx, key, at)
 }
 func (s *remoteSession) Info(ctx context.Context) (Info, error) { return s.c.Info(ctx) }
 func (s *remoteSession) Close() error                           { return s.c.Close() }
