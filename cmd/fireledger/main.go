@@ -130,6 +130,10 @@ func main() {
 			log.Printf("worker %d: node %d convicted of equivocation (offense round %d, on-chain at round %d)",
 				w, rec.Culprit, rec.Proof.Round(), rec.ChainRound)
 		},
+		OnSnapshotInstall: func(w uint32, base uint64) {
+			log.Printf("worker %d: installed transferred snapshot at base %d (peers had compacted past this node's tail)",
+				w, base)
+		},
 	})
 	if err != nil {
 		log.Fatalf("assemble node: %v", err)

@@ -187,6 +187,52 @@ func (c *Chain) MarkDefinite(r uint64) []uint64 {
 	return newly
 }
 
+// CompactTo drops in-memory blocks at rounds ≤ base, re-anchoring the chain
+// on base's own header hash. It is the live-node counterpart of the store's
+// log checkpoint: without it a long-running node retains every block since
+// boot in RAM and can range-serve arbitrarily old history, which both
+// unbounds memory and silently masks the stranded-peer case the snapshot
+// transfer exists for. Only the definite prefix may compact (tentative
+// rounds can still be replaced); base at or below the current compaction
+// base is a no-op.
+func (c *Chain) CompactTo(base uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if base <= c.base {
+		return nil
+	}
+	if base > c.definite {
+		return fmt.Errorf("core: compaction to round %d past definite %d", base, c.definite)
+	}
+	h := c.blocks[base-c.base-1].Hash()
+	kept := make([]types.Block, len(c.blocks)-int(base-c.base))
+	copy(kept, c.blocks[base-c.base:])
+	c.blocks = kept
+	c.base = base
+	c.baseHash = h
+	return nil
+}
+
+// ResetForward re-anchors a live chain on a snapshot-transfer base: every
+// in-memory block is discarded, rounds ≤ base become definite by
+// construction, and the next appendable round is base+1 linking to baseHash.
+// The jump must be strictly forward of the current tip — snapshot transfer
+// only ever installs state the local chain has not reached, so a reset can
+// never un-finalize anything a caller already observed as definite.
+func (c *Chain) ResetForward(base uint64, baseHash flcrypto.Hash) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tip := c.base + uint64(len(c.blocks))
+	if base <= tip {
+		return fmt.Errorf("core: snapshot reset to round %d, tip is already %d", base, tip)
+	}
+	c.base = base
+	c.baseHash = baseHash
+	c.blocks = nil
+	c.definite = base
+	return nil
+}
+
 // ReplaceSuffix installs version as the new chain content from round `from`
 // onward, discarding any existing blocks at rounds ≥ from. The recovery
 // procedure (Algorithm 3) calls this after adopting the agreed version.

@@ -24,6 +24,16 @@ const (
 	kindReqRange  = 6 // streaming catch-up: [from, to) definite rounds from one peer
 	kindRespRange = 7 // one size-capped batch of a range stream
 	kindTipHint   = 8 // definite-tip announcement pushed to a lagging peer
+
+	// Snapshot transfer (see snapsync.go): the recovery path for a node
+	// stranded below every peer's retained history, where range sync cannot
+	// help because the rounds it needs have been compacted away everywhere.
+	kindReqSnapMeta   = 9  // advertise your freshest checkpoint (reqID)
+	kindRespSnapMeta  = 10 // checkpoint advertisement (base, state round, size, hash)
+	kindReqSnapChunk  = 11 // one size-capped chunk of a pinned checkpoint
+	kindRespSnapChunk = 12 // chunk payload + cumulative hash-chain value
+	kindReqAnchor     = 13 // header-hash attestation request for one round
+	kindRespAnchor    = 14 // attestation response (hash or abstention)
 )
 
 // Range-stream tuning: a batch never exceeds maxRangeBatchBytes of encoded
@@ -53,6 +63,10 @@ type dataOpts struct {
 	// CatchUpBatch; default 64). It doubles as the behind-threshold: a node
 	// ≥ one batch behind switches from per-round pulls to range sync.
 	catchUpBatch int
+	// snapChunkBytes caps one snapshot-transfer chunk (default 256 KiB).
+	// Small values force multi-chunk transfers — the fault-injection tests
+	// use that to exercise resume.
+	snapChunkBytes int
 }
 
 // dataPath owns body dissemination, the body store, and block catch-up for
@@ -78,6 +92,9 @@ type dataPath struct {
 	metrics *Metrics
 	// ranger drives streaming range catch-up (see rangesync.go).
 	ranger *rangeSyncer
+	// snaps drives snapshot transfer for stranded nodes (see snapsync.go);
+	// may be nil on bare data paths (protocol-level tests).
+	snaps *snapSyncer
 
 	mu     sync.Mutex
 	bodies map[flcrypto.Hash]types.Body
@@ -145,6 +162,9 @@ const maxStoredBodies = 4096
 func newDataPath(mux *transport.Mux, proto transport.ProtoID, reg *flcrypto.Registry, pool *flcrypto.VerifyPool, chain *Chain, metrics *Metrics, opts dataOpts) *dataPath {
 	if opts.catchUpBatch <= 0 {
 		opts.catchUpBatch = 64
+	}
+	if opts.snapChunkBytes <= 0 {
+		opts.snapChunkBytes = defaultSnapChunkBytes
 	}
 	dp := &dataPath{
 		mux:      mux,
@@ -380,6 +400,85 @@ func (dp *dataPath) onWire(from flcrypto.NodeID, buf []byte) {
 		if dp.ranger != nil {
 			dp.ranger.noteBehind(def)
 		}
+	case kindReqSnapMeta:
+		reqID := d.Uint64()
+		if d.Finish() != nil {
+			return
+		}
+		if dp.snaps != nil {
+			dp.snaps.serveMeta(from, reqID)
+		}
+	case kindRespSnapMeta:
+		reqID := d.Uint64()
+		var meta snapMeta
+		meta.present = d.Bool()
+		if meta.present {
+			meta.baseRound = d.Uint64()
+			meta.baseHash = d.Hash()
+			meta.stateRound = d.Uint64()
+			meta.totalLen = d.Uint32()
+			meta.snapHash = d.Hash()
+			meta.chunkSize = d.Uint32()
+		}
+		if d.Finish() != nil {
+			return
+		}
+		if dp.snaps != nil {
+			dp.snaps.deliver(reqID, snapResp{from: from, meta: meta})
+		}
+	case kindReqSnapChunk:
+		reqID := d.Uint64()
+		base := d.Uint64()
+		offset := d.Uint32()
+		if d.Finish() != nil {
+			return
+		}
+		if dp.snaps != nil {
+			dp.snaps.serveChunk(from, reqID, base, offset)
+		}
+	case kindRespSnapChunk:
+		reqID := d.Uint64()
+		gone := d.Bool()
+		var offset uint32
+		var chain flcrypto.Hash
+		var data []byte
+		if !gone {
+			offset = d.Uint32()
+			chain = d.Hash()
+			data = append([]byte(nil), d.Bytes32()...)
+		}
+		if d.Finish() != nil {
+			return
+		}
+		if dp.snaps != nil {
+			dp.snaps.deliver(reqID, snapResp{from: from, gone: gone, offset: offset, chain: chain, data: data})
+		}
+	case kindReqAnchor:
+		reqID := d.Uint64()
+		round := d.Uint64()
+		if d.Finish() != nil {
+			return
+		}
+		h, ok := dp.chain.HashAt(round)
+		e := types.GetEncoder(64)
+		e.Uint8(kindRespAnchor)
+		e.Uint64(reqID)
+		e.Uint64(round)
+		e.Bool(ok)
+		e.Hash(h)
+		dp.mux.Send(dp.proto, from, e.Bytes())
+		e.Release()
+	case kindRespAnchor:
+		reqID := d.Uint64()
+		round := d.Uint64()
+		ok := d.Bool()
+		h := d.Hash()
+		if d.Finish() != nil {
+			return
+		}
+		if dp.snaps != nil {
+			dp.snaps.deliver(reqID, snapResp{from: from, round: round, ok: ok, hash: h})
+		}
 	}
 }
 
@@ -534,6 +633,19 @@ func (dp *dataPath) storeFetched(blks []types.Block) int {
 		dp.onFetched(lowest)
 	}
 	return stored
+}
+
+// dropFetchedThrough discards buffered catch-up blocks at rounds ≤ r —
+// after a snapshot install they are covered by the new base and would only
+// occupy the adoption window until the next sweep.
+func (dp *dataPath) dropFetchedThrough(r uint64) {
+	dp.mu.Lock()
+	for round := range dp.fetched {
+		if round <= r {
+			delete(dp.fetched, round)
+		}
+	}
+	dp.mu.Unlock()
 }
 
 // frontier returns the first round not covered by the chain or the

@@ -12,6 +12,7 @@ import (
 	"repro/internal/flcrypto"
 	"repro/internal/obbc"
 	"repro/internal/rbroadcast"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/types"
 	"repro/internal/wrb"
@@ -97,6 +98,9 @@ type Config struct {
 	// behind-threshold that switches a lagging node from per-round pulls
 	// to range sync (default 64; see rangesync.go).
 	CatchUpBatch int
+	// SnapChunkBytes caps one snapshot-transfer chunk (default 256 KiB; see
+	// snapsync.go). Tests shrink it to force multi-chunk transfers.
+	SnapChunkBytes int
 	// Persist, when non-nil, receives every definite block before OnDecide
 	// (the durability hook; internal/store.BlockLog.Append fits).
 	Persist func(types.Block) error
@@ -175,6 +179,19 @@ type Metrics struct {
 	// re-decided used to wedge forever once the cluster outran the
 	// recovery window.
 	TentativeResyncs atomic.Uint64
+	// Snapshot-transfer accounting (see snapsync.go). The donor side counts
+	// chunks served; the requester side counts chunks/bytes fetched, resumes
+	// after donor rotation, chunk-level hash rejections, whole-snapshot
+	// rejections (digest/decode/attestation failures), and installs. A
+	// campaign asserting that a stranded node actually recovered via
+	// transfer — rather than silently range-syncing — checks SnapInstalls.
+	SnapChunksServed  atomic.Uint64
+	SnapChunksFetched atomic.Uint64
+	SnapBytesFetched  atomic.Uint64
+	SnapResumes       atomic.Uint64
+	SnapChunkRejects  atomic.Uint64
+	SnapRejected      atomic.Uint64
+	SnapInstalls      atomic.Uint64
 }
 
 // Instance is one FireLedger worker: a single-threaded round loop
@@ -247,13 +264,15 @@ func New(cfg Config) *Instance {
 	in.sched = newSchedule(n, in.f, cfg.EpochLen)
 	in.fd = newFailureDetector(in.f, cfg.FDThreshold)
 	in.data = newDataPath(cfg.Mux, cfg.DataProto, cfg.Registry, cfg.VerifyPool, in.chain, &in.metrics, dataOpts{
-		gossipProto:  cfg.GossipProto,
-		useGossip:    cfg.UseGossip,
-		fanout:       cfg.GossipFanout,
-		compress:     cfg.CompressBodies,
-		catchUpBatch: cfg.CatchUpBatch,
+		gossipProto:    cfg.GossipProto,
+		useGossip:      cfg.UseGossip,
+		fanout:         cfg.GossipFanout,
+		compress:       cfg.CompressBodies,
+		catchUpBatch:   cfg.CatchUpBatch,
+		snapChunkBytes: cfg.SnapChunkBytes,
 	})
 	in.data.ranger = newRangeSyncer(in.data, in.id, n, in.stop, &in.metrics)
+	in.data.snaps = newSnapSyncer(in.data, in.id, cfg.Instance, n, in.stop, &in.metrics)
 	// The OBBC evidence path carries the block body (see wrb.SetBodyStore):
 	// a node vouches for a header only when it holds the body, and a node
 	// convinced by evidence receives the body with it.
@@ -300,6 +319,12 @@ func New(cfg Config) *Instance {
 		if key.Instance != in.cfg.Instance || from == in.id {
 			return
 		}
+		// A vote is direct liveness evidence: a suspected peer that is
+		// verifiably participating again (e.g. back from a partition) must
+		// regain a real delivery timer on its turns, or the zero-wait nil
+		// rounds it causes would re-suspect it forever (§6.1.1's invalidation
+		// rule alone does not fire at low attempt numbers).
+		in.fd.onAlive(from)
 		if def := in.chain.Definite(); key.Round <= def {
 			// The peer is behind (e.g., it restarted). A small gap gets the
 			// block handed over directly; a deep gap gets a tip hint so the
@@ -433,6 +458,51 @@ func (in *Instance) Chain() *Chain { return in.chain }
 // it could not be passed in Config (its delivery callback needs the
 // instance, so the wiring is circular).
 func (in *Instance) BindRB(rb *rbroadcast.Service) { in.cfg.RB = rb }
+
+// BindSnapshots wires the snapshot-transfer protocol to the node assembly
+// (the wiring is circular, like BindRB: serving needs the node's checkpoint
+// store, installing needs the node's logs and state replica). provide
+// returns the freshest local checkpoint for donating to stranded peers;
+// install atomically adopts a verified remote checkpoint — it must persist
+// the snapshot, truncate the block log, restore application state, and then
+// call AdoptSnapshot to re-anchor this instance's live chain. Either hook
+// may be nil (that half of the protocol stays inert).
+func (in *Instance) BindSnapshots(provide func() (store.Snapshot, bool), install func(store.Snapshot) error) {
+	in.data.snaps.provide = provide
+	in.data.snaps.install = install
+}
+
+// AdoptSnapshot re-anchors the live instance on an installed checkpoint:
+// the in-memory chain resets forward to the snapshot base, buffered
+// catch-up blocks and memoized proposals at covered rounds are dropped,
+// per-round protocol state below the base is collected, and the round loop
+// is interrupted so it resumes from the new tip. Callers (the flo install
+// path) must have persisted the snapshot and truncated the block log first
+// — durability before visibility, the same order finalizeThrough uses.
+func (in *Instance) AdoptSnapshot(base uint64, baseHash flcrypto.Hash) error {
+	if err := in.chain.ResetForward(base, baseHash); err != nil {
+		return err
+	}
+	in.data.dropFetchedThrough(base)
+	in.cfg.WRB.GC(in.cfg.Instance, base)
+	in.cfg.OBBC.GC(in.cfg.Instance, base)
+	in.pruneProposals(base)
+	in.interrupt()
+	return nil
+}
+
+// CompactTo releases this worker's in-memory blocks at rounds ≤ base and
+// the data path's fetch bookkeeping below it. The embedding layer calls it
+// after a durable checkpoint anchored at base: from then on the retained
+// window — not the process's uptime — bounds what this node can range-serve,
+// and peers that fell below it are rescued by snapshot transfer instead.
+func (in *Instance) CompactTo(base uint64) error {
+	if err := in.chain.CompactTo(base); err != nil {
+		return err
+	}
+	in.data.dropFetchedThrough(base)
+	return nil
+}
 
 // HandleOrdered routes one atomically-ordered request to this instance's
 // recovery tracker. It returns false for requests belonging elsewhere.
@@ -621,7 +691,8 @@ func (in *Instance) run() {
 			return in.preparePiggyback(*hdr)
 		}
 		wait := in.cfg.WRB.CurrentTimer(in.cfg.Instance)
-		if in.fd.isSuspected(proposer) {
+		suspected := in.fd.isSuspected(proposer)
+		if suspected {
 			wait = 0 // benign FD: do not wait for a suspected node (§6.1.1)
 		}
 		hdr, err := in.cfg.WRB.DeliverWithWait(key, pgdFn, in.acceptHeader, abort, wait)
@@ -635,7 +706,12 @@ func (in *Instance) run() {
 		if hdr == nil {
 			// Lines 16–20: agreed non-delivery; rotate the proposer.
 			in.metrics.NilRounds.Add(1)
-			in.fd.onTimeout(proposer)
+			if !suspected {
+				// Only a wait we actually granted counts as a strike: a nil
+				// round decided with zero wait is self-inflicted and proves
+				// nothing new about the proposer.
+				in.fd.onTimeout(proposer)
+			}
 			fullMode = true
 			attempt++
 			continue

@@ -41,6 +41,12 @@ type rangeSyncer struct {
 	streamDone bool
 	// progress is closed (and replaced) whenever a batch arrives.
 	progress chan struct{}
+	// firstAvailMax is the highest first-available round any range server
+	// reported — the strandedness evidence: a server whose first retained
+	// round is above our frontier has compacted away the rounds we need,
+	// and if a whole peer cycle stalls that way, only snapshot transfer can
+	// help (see trySnapshot).
+	firstAvailMax uint64
 }
 
 func newRangeSyncer(dp *dataPath, self flcrypto.NodeID, n int, stop <-chan struct{}, metrics *Metrics) *rangeSyncer {
@@ -97,10 +103,35 @@ func (rs *rangeSyncer) onBatch(reqID, serverDef, firstAvail uint64, more bool, s
 	if reqID == rs.streamID && !more {
 		rs.streamDone = true
 	}
+	if firstAvail > rs.firstAvailMax {
+		// A peer that compacted past our frontier sends no useful blocks;
+		// the stall path rotates away from it, and this evidence is what
+		// later distinguishes "stranded below everyone's retained history"
+		// (→ snapshot transfer) from an ordinary dead-peer stall.
+		rs.firstAvailMax = firstAvail
+	}
 	close(rs.progress)
 	rs.progress = make(chan struct{})
 	rs.mu.Unlock()
-	_ = firstAvail // a peer that compacted past our frontier sends no blocks; the stall path rotates away from it
+}
+
+// trySnapshot switches to snapshot-transfer mode when the stall is explained
+// by strandedness: some server's first available round lies beyond the round
+// we need, i.e. at least one peer — and, given the full-cycle stall, in
+// effect every peer — has compacted our next round away. Returns true once a
+// checkpoint was installed (the frontier jumped past the hole).
+func (rs *rangeSyncer) trySnapshot(next uint64) bool {
+	ss := rs.dp.snaps
+	if ss == nil {
+		return false
+	}
+	rs.mu.Lock()
+	evidence := rs.firstAvailMax
+	rs.mu.Unlock()
+	if evidence <= next {
+		return false
+	}
+	return ss.transfer()
 }
 
 // nextPeer cycles through the cluster, skipping self.
@@ -137,6 +168,15 @@ func (rs *rangeSyncer) run() {
 			return // caught up (the round loop adopts the buffered tail)
 		}
 		if stalls >= rs.n-1 {
+			// A full peer cycle served nothing. If servers reported first
+			// available rounds above our frontier, the rounds we need are
+			// compacted away cluster-wide — the stranded case — and the only
+			// way back is a snapshot transfer; afterwards the loop resumes
+			// range-syncing the retained tail above the installed base.
+			if rs.trySnapshot(next) {
+				stalls = 0
+				continue
+			}
 			return // no peer can serve the remainder; per-round path takes over
 		}
 		// Flow control: wait for the round loop to drain the buffered

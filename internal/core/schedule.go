@@ -198,6 +198,21 @@ func (fd *failureDetector) onDelivered(p flcrypto.NodeID) {
 	delete(fd.suspected, p)
 }
 
+// onAlive clears p's suspicion on direct liveness evidence (a vote from p
+// reached this node). Without this escape, suspicion is self-sustaining: a
+// suspected proposer's rounds are decided with zero wait, every such nil
+// round used to strike it again, and a node that merely sat out a partition
+// could stay suspected — and its client pool starved — forever, even while
+// it demonstrably participates in every round.
+func (fd *failureDetector) onAlive(p flcrypto.NodeID) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if fd.suspected[p] {
+		delete(fd.suspected, p)
+		delete(fd.strikes, p)
+	}
+}
+
 // isSuspected reports whether p is currently suspected.
 func (fd *failureDetector) isSuspected(p flcrypto.NodeID) bool {
 	fd.mu.Lock()

@@ -1,0 +1,631 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/store"
+	"repro/internal/types"
+)
+
+// Snapshot transfer: the recovery path of last resort. Log compaction bounds
+// every peer's block log to an f+2+SnapshotEvery tail, so a node that falls
+// further behind than any peer retains can never range-sync back — the
+// rounds it needs exist nowhere as blocks. This file closes that hole: the
+// stranded node downloads a peer's freshest checkpoint (the same
+// store.Snapshot the peer would restart from), verifies it, installs it as
+// its new chain base, and range-syncs only the retained tail above it. No
+// node is ever beyond protocol help.
+//
+// The protocol is pull-based and resumable:
+//
+//   - Negotiate: broadcast kindReqSnapMeta; every peer advertises its
+//     freshest checkpoint (base round/hash, state round, payload length,
+//     hash-chain digest, chunk size). The freshest useful advertisement
+//     picks the donor.
+//   - Stream: pull size-capped chunks one at a time (kindReqSnapChunk →
+//     kindRespSnapChunk). Each response carries the cumulative hash-chain
+//     value h_i = SHA-256(h_{i-1} ‖ chunk_i); a chunk that does not extend
+//     the local chain value is rejected on arrival and the donor rotated.
+//     Because the requester asks for one chunk per round trip, a donor
+//     serves at most one chunk per RTT per restoring node — the stream is
+//     inherently paced and can never starve the donor's hot path.
+//   - Resume: the download (buffer + chain value) survives donor rotation;
+//     any peer advertising the same (base, digest) serves the next chunk
+//     from the last verified offset. A donor that compacted past the pinned
+//     base answers "gone", which restarts negotiation (bounded retries).
+//   - Verify: the assembled payload must match the advertised digest,
+//     decode as a well-formed store.Snapshot for this worker, and carry a
+//     base-round header hash that f peers besides the donor attest to
+//     (kindReqAnchor/kindRespAnchor) — f+1 matching nodes include at least
+//     one honest one, so a fabricated chain anchor cannot be installed.
+//     Conflicting attestations are ignored rather than trusted: a lone
+//     Byzantine attester must not be able to veto every rescue.
+//   - Install: handed to the node assembly (BindSnapshots), which persists
+//     the snapshot, truncates the block log, resets the chain base, and
+//     restores the application state — after which normal range sync
+//     fetches the retained tail.
+const (
+	// defaultSnapChunkBytes caps one transfer chunk.
+	defaultSnapChunkBytes = 256 << 10
+	// maxSnapTransferBytes bounds an advertised payload (mirrors the store's
+	// own snapshot bound).
+	maxSnapTransferBytes = 1 << 30
+	// snapMetaTimeout bounds the negotiation and attestation waits.
+	snapMetaTimeout = 300 * time.Millisecond
+	// snapChunkTimeout is the per-chunk patience before donor rotation.
+	snapChunkTimeout = 250 * time.Millisecond
+	// snapBackoffFloor/Cap bound the exponential backoff between attempts.
+	snapBackoffFloor = 25 * time.Millisecond
+	snapBackoffCap   = 2 * time.Second
+)
+
+// snapMeta is one peer's checkpoint advertisement.
+type snapMeta struct {
+	present    bool
+	baseRound  uint64
+	baseHash   flcrypto.Hash
+	stateRound uint64
+	totalLen   uint32
+	snapHash   flcrypto.Hash // final hash-chain value over all chunks
+	chunkSize  uint32
+}
+
+// snapResp is one routed wire response (meta, chunk, or attestation).
+type snapResp struct {
+	from   flcrypto.NodeID
+	meta   snapMeta
+	gone   bool
+	offset uint32
+	chain  flcrypto.Hash
+	data   []byte
+	round  uint64
+	ok     bool
+	hash   flcrypto.Hash
+}
+
+// snapDownload is an in-progress transfer: the pinned advertisement, the
+// verified prefix, and the hash-chain value over it. It survives donor
+// rotation — that is what makes mid-transfer peer death resume from the
+// last verified chunk instead of from scratch.
+type snapDownload struct {
+	meta  snapMeta
+	buf   []byte
+	chain flcrypto.Hash
+}
+
+// snapServeState caches the donor-side encoding of the latest checkpoint:
+// the canonical payload plus the cumulative hash-chain value after each
+// chunk, rebuilt only when the served base round moves.
+type snapServeState struct {
+	meta    snapMeta
+	payload []byte
+	chunks  []flcrypto.Hash
+}
+
+// snapSyncer owns both halves of the snapshot-transfer protocol for one
+// worker instance: serving the local checkpoint to stranded peers and
+// downloading a remote checkpoint when this node is the stranded one.
+type snapSyncer struct {
+	dp       *dataPath
+	self     flcrypto.NodeID
+	instance uint32
+	n, f     int
+	stop     <-chan struct{}
+	metrics  *Metrics
+
+	// provide returns the freshest local checkpoint (donor side); install
+	// atomically adopts a verified remote one (requester side). Both are
+	// bound post-construction by the node assembly (Instance.BindSnapshots);
+	// unbound halves degrade gracefully (no advertisement / no transfer).
+	provide func() (store.Snapshot, bool)
+	install func(store.Snapshot) error
+
+	mu     sync.Mutex
+	reqSeq uint64
+	waits  map[uint64]chan snapResp
+	// serve is the freshest checkpoint's encoding; servePrev keeps the
+	// previous generation servable so a requester that pinned an
+	// advertisement can finish streaming it across one local checkpoint
+	// advance instead of being told "gone" (at high checkpoint cadence that
+	// churn could outrun every transfer attempt).
+	serve     *snapServeState
+	servePrev *snapServeState
+}
+
+func newSnapSyncer(dp *dataPath, self flcrypto.NodeID, instance uint32, n int, stop <-chan struct{}, metrics *Metrics) *snapSyncer {
+	return &snapSyncer{
+		dp:       dp,
+		self:     self,
+		instance: instance,
+		n:        n,
+		f:        (n - 1) / 3,
+		stop:     stop,
+		metrics:  metrics,
+		waits:    make(map[uint64]chan snapResp),
+	}
+}
+
+// chainStep extends a hash chain by one chunk: h' = SHA-256(h ‖ data).
+func chainStep(h flcrypto.Hash, data []byte) flcrypto.Hash {
+	hasher := flcrypto.NewHasher()
+	hasher.Write(h[:])
+	hasher.Write(data)
+	return hasher.Sum()
+}
+
+// --- request/response plumbing -----------------------------------------
+
+func (ss *snapSyncer) newWait() (uint64, chan snapResp) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.reqSeq++
+	id := ss.reqSeq
+	ch := make(chan snapResp, ss.n)
+	ss.waits[id] = ch
+	return id, ch
+}
+
+func (ss *snapSyncer) clearWait(id uint64) {
+	ss.mu.Lock()
+	delete(ss.waits, id)
+	ss.mu.Unlock()
+}
+
+// deliver routes one wire response to the goroutine waiting on its reqID
+// (dropped when nothing waits — a late response after a timeout).
+func (ss *snapSyncer) deliver(id uint64, r snapResp) {
+	ss.mu.Lock()
+	ch := ss.waits[id]
+	ss.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- r:
+		default:
+		}
+	}
+}
+
+// --- donor side ---------------------------------------------------------
+
+// serveState returns the cached encoding of the freshest local checkpoint,
+// rebuilding it when the checkpoint has advanced. Nil when this node has no
+// checkpoint (or serving is unbound).
+func (ss *snapSyncer) serveState() *snapServeState {
+	if ss.provide == nil {
+		return nil
+	}
+	snap, ok := ss.provide()
+	if !ok {
+		return nil
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.serve != nil && ss.serve.meta.baseRound == snap.BaseRound {
+		return ss.serve
+	}
+	payload := store.EncodeSnapshot(snap)
+	ss.servePrev = ss.serve
+	chunkSize := ss.dp.opts.snapChunkBytes
+	st := &snapServeState{payload: payload}
+	var h flcrypto.Hash
+	for off := 0; off < len(payload); off += chunkSize {
+		end := off + chunkSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		h = chainStep(h, payload[off:end])
+		st.chunks = append(st.chunks, h)
+	}
+	st.meta = snapMeta{
+		present:    true,
+		baseRound:  snap.BaseRound,
+		baseHash:   snap.BaseHash,
+		stateRound: snap.StateRound,
+		totalLen:   uint32(len(payload)),
+		snapHash:   h,
+		chunkSize:  uint32(chunkSize),
+	}
+	ss.serve = st
+	return st
+}
+
+// serveMeta answers a negotiation request with this node's freshest
+// checkpoint advertisement (or an explicit "none").
+func (ss *snapSyncer) serveMeta(to flcrypto.NodeID, reqID uint64) {
+	st := ss.serveState()
+	e := types.GetEncoder(128)
+	e.Uint8(kindRespSnapMeta)
+	e.Uint64(reqID)
+	if st == nil {
+		e.Bool(false)
+	} else {
+		e.Bool(true)
+		e.Uint64(st.meta.baseRound)
+		e.Hash(st.meta.baseHash)
+		e.Uint64(st.meta.stateRound)
+		e.Uint32(st.meta.totalLen)
+		e.Hash(st.meta.snapHash)
+		e.Uint32(st.meta.chunkSize)
+	}
+	ss.dp.mux.Send(ss.dp.proto, to, e.Bytes())
+	e.Release()
+}
+
+// serveStateFor resolves a pinned base round to a servable encoding: the
+// freshest checkpoint, or the immediately previous generation kept for
+// downloads in flight across a local checkpoint advance.
+func (ss *snapSyncer) serveStateFor(baseRound uint64) *snapServeState {
+	st := ss.serveState()
+	if st != nil && st.meta.baseRound == baseRound {
+		return st
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.servePrev != nil && ss.servePrev.meta.baseRound == baseRound {
+		return ss.servePrev
+	}
+	return nil
+}
+
+// serveChunk answers one chunk pull. A request for a base round this node no
+// longer serves (the checkpoint advanced at least twice past the requester's
+// pinned advertisement) gets an explicit "gone", which restarts negotiation
+// on the requester. Serving is size-bounded (one chunk ≤ snapChunkBytes per
+// request) and paced by construction: the requester pulls sequentially, so
+// a donor sends one chunk per round trip.
+func (ss *snapSyncer) serveChunk(to flcrypto.NodeID, reqID, baseRound uint64, offset uint32) {
+	st := ss.serveStateFor(baseRound)
+	if st == nil {
+		e := types.GetEncoder(16)
+		e.Uint8(kindRespSnapChunk)
+		e.Uint64(reqID)
+		e.Bool(true) // gone
+		ss.dp.mux.Send(ss.dp.proto, to, e.Bytes())
+		e.Release()
+		return
+	}
+	chunkSize := st.meta.chunkSize
+	if offset >= st.meta.totalLen || offset%chunkSize != 0 {
+		return // malformed pull: ignore
+	}
+	end := offset + chunkSize
+	if end > st.meta.totalLen {
+		end = st.meta.totalLen
+	}
+	e := types.GetEncoder(64 + int(end-offset))
+	e.Uint8(kindRespSnapChunk)
+	e.Uint64(reqID)
+	e.Bool(false)
+	e.Uint32(offset)
+	e.Hash(st.chunks[offset/chunkSize])
+	e.Bytes32(st.payload[offset:end])
+	ss.dp.mux.Send(ss.dp.proto, to, e.Bytes())
+	e.Release()
+	ss.metrics.SnapChunksServed.Add(1)
+}
+
+// --- requester side -----------------------------------------------------
+
+// pollMetas broadcasts a negotiation request and collects advertisements
+// until every peer answered or the window closes.
+func (ss *snapSyncer) pollMetas() map[flcrypto.NodeID]snapMeta {
+	id, ch := ss.newWait()
+	defer ss.clearWait(id)
+	e := types.GetEncoder(16)
+	e.Uint8(kindReqSnapMeta)
+	e.Uint64(id)
+	ss.dp.mux.Broadcast(ss.dp.proto, e.Bytes())
+	e.Release()
+	out := make(map[flcrypto.NodeID]snapMeta)
+	timer := time.NewTimer(snapMetaTimeout)
+	defer timer.Stop()
+	for len(out) < ss.n-1 {
+		select {
+		case r := <-ch:
+			// Broadcasts self-deliver on every transport; our own "none"
+			// advertisement must not fill the n-1 quota and crowd out a
+			// real peer's response.
+			if r.from == ss.self {
+				continue
+			}
+			out[r.from] = r.meta
+		case <-timer.C:
+			return out
+		case <-ss.stop:
+			return out
+		}
+	}
+	return out
+}
+
+// fetchChunk pulls the chunk at offset of the pinned checkpoint from donor.
+func (ss *snapSyncer) fetchChunk(donor flcrypto.NodeID, baseRound uint64, offset uint32) (snapResp, bool) {
+	id, ch := ss.newWait()
+	defer ss.clearWait(id)
+	e := types.GetEncoder(32)
+	e.Uint8(kindReqSnapChunk)
+	e.Uint64(id)
+	e.Uint64(baseRound)
+	e.Uint32(offset)
+	ss.dp.mux.Send(ss.dp.proto, donor, e.Bytes())
+	e.Release()
+	timer := time.NewTimer(snapChunkTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r, true
+	case <-timer.C:
+		return snapResp{}, false
+	case <-ss.stop:
+		return snapResp{}, false
+	}
+}
+
+// fetchChunks streams the remainder of dl from donor, resuming at the last
+// verified offset. It returns complete=true when the payload is fully
+// assembled; fatal=true when the donor served provably corrupt data (hash
+// chain break) and must be quarantined for this transfer.
+func (ss *snapSyncer) fetchChunks(donor flcrypto.NodeID, dl *snapDownload) (complete, fatal bool) {
+	for uint32(len(dl.buf)) < dl.meta.totalLen {
+		select {
+		case <-ss.stop:
+			return false, false
+		default:
+		}
+		offset := uint32(len(dl.buf))
+		// A pull can time out without the donor being at fault: under live
+		// load the response shares the data protocol's bounded mailbox with
+		// the body flood and may be dropped. Re-pull the same offset a few
+		// times before rotating — each retry is one fresh request, so this
+		// stays within the one-chunk-per-RTT pacing.
+		var resp snapResp
+		ok := false
+		for tries := 0; tries < 3 && !ok; tries++ {
+			select {
+			case <-ss.stop:
+				return false, false
+			default:
+			}
+			resp, ok = ss.fetchChunk(donor, dl.meta.baseRound, offset)
+		}
+		if !ok {
+			return false, false // timeout: rotate, resume elsewhere
+		}
+		if resp.gone {
+			return false, false // donor compacted past the pinned base: renegotiate
+		}
+		if resp.offset != offset {
+			return false, false // desynchronized response: rotate
+		}
+		want := chainStep(dl.chain, resp.data)
+		if len(resp.data) == 0 ||
+			uint32(len(resp.data)) > dl.meta.chunkSize ||
+			offset+uint32(len(resp.data)) > dl.meta.totalLen ||
+			want != resp.chain {
+			// The chunk does not extend the verified chain — bit rot in
+			// flight or a lying donor. Never appended; the verified prefix
+			// stands and the next donor resumes from it.
+			ss.metrics.SnapChunkRejects.Add(1)
+			return false, true
+		}
+		dl.buf = append(dl.buf, resp.data...)
+		dl.chain = want
+		ss.metrics.SnapChunksFetched.Add(1)
+		ss.metrics.SnapBytesFetched.Add(uint64(len(resp.data)))
+	}
+	return true, false
+}
+
+// attestAnchor asks the cluster to vouch for the header hash at the
+// snapshot base. Attested once f peers besides the donor report the same
+// hash: together with the donor that is f+1 nodes, at least one honest —
+// a fabricated anchor cannot gather that. Refuted once f+1 peers report a
+// DIFFERENT hash for a round they hold: at least one of them is honest, so
+// the donor's anchor is provably wrong. Neither (abstentions from peers
+// that compacted past the round, lost responses) is inconclusive: nobody
+// vouched, but nobody proved anything either — the caller renegotiates on
+// fresher advertisements instead of branding the donor. A lone Byzantine
+// attester can therefore delay a rescue but never veto it or frame an
+// honest donor.
+func (ss *snapSyncer) attestAnchor(donor flcrypto.NodeID, round uint64, want flcrypto.Hash) (attested, refuted bool) {
+	if ss.f == 0 {
+		return true, false // no Byzantine tolerance configured; the donor is trusted
+	}
+	id, ch := ss.newWait()
+	defer ss.clearWait(id)
+	e := types.GetEncoder(32)
+	e.Uint8(kindReqAnchor)
+	e.Uint64(id)
+	e.Uint64(round)
+	ss.dp.mux.Broadcast(ss.dp.proto, e.Bytes())
+	e.Release()
+	timer := time.NewTimer(snapMetaTimeout)
+	defer timer.Stop()
+	matches, mismatches := 0, 0
+	for {
+		select {
+		case r := <-ch:
+			// Self-delivered broadcast responses and the donor's own voice
+			// don't count: attestation needs f peers *besides* the parties
+			// already invested in this transfer.
+			if r.from == ss.self || r.from == donor || r.round != round || !r.ok {
+				continue
+			}
+			if r.hash == want {
+				if matches++; matches >= ss.f {
+					return true, false
+				}
+			} else {
+				if mismatches++; mismatches >= ss.f+1 {
+					return false, true
+				}
+			}
+		case <-timer.C:
+			return false, false
+		case <-ss.stop:
+			return false, false
+		}
+	}
+}
+
+// transfer runs one bounded snapshot-transfer campaign: negotiate, stream,
+// verify, install. It returns true once a checkpoint was installed. The
+// range syncer calls it when it has both stalled against every peer and
+// seen first-available evidence that the rounds it needs are compacted away
+// everywhere; on failure the syncer gives up as before and the next tip
+// hint retries.
+func (ss *snapSyncer) transfer() bool {
+	if ss.install == nil {
+		return false
+	}
+	backoff := snapBackoffFloor
+	quarantined := make(map[flcrypto.NodeID]bool)
+	var dl *snapDownload
+	for attempt := 0; attempt < 3*ss.n; attempt++ {
+		select {
+		case <-ss.stop:
+			return false
+		default:
+		}
+		localTip := ss.dp.chain.Tip()
+		metas := ss.pollMetas()
+
+		// Donor choice: a peer continuing the pinned download wins (resume);
+		// otherwise the freshest useful advertisement. A checkpoint is
+		// useful only when its base is beyond the local tip — anything else
+		// means blocks for our rounds still exist and range sync handles it.
+		var donor flcrypto.NodeID
+		var meta snapMeta
+		found := false
+		if dl != nil {
+			for p, m := range metas {
+				if !quarantined[p] && m.present && m.baseRound == dl.meta.baseRound && m.snapHash == dl.meta.snapHash {
+					donor, meta, found = p, m, true
+					break
+				}
+			}
+		}
+		if !found {
+			for p, m := range metas {
+				if quarantined[p] || !m.present || m.baseRound <= localTip {
+					continue
+				}
+				if !found || m.baseRound > meta.baseRound {
+					donor, meta, found = p, m, true
+				}
+			}
+			if found && dl != nil {
+				// Every live donor moved past the pinned checkpoint:
+				// restart negotiation on the fresher one.
+				dl = nil
+			}
+		}
+		if !found {
+			select {
+			case <-time.After(backoff):
+			case <-ss.stop:
+				return false
+			}
+			if backoff *= 2; backoff > snapBackoffCap {
+				backoff = snapBackoffCap
+			}
+			continue
+		}
+		if meta.totalLen == 0 || meta.totalLen > maxSnapTransferBytes || meta.chunkSize == 0 {
+			quarantined[donor] = true
+			continue
+		}
+		if dl == nil {
+			dl = &snapDownload{meta: meta}
+		} else if len(dl.buf) > 0 {
+			ss.metrics.SnapResumes.Add(1)
+		}
+
+		complete, fatal := ss.fetchChunks(donor, dl)
+		if !complete {
+			if fatal {
+				quarantined[donor] = true
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ss.stop:
+				return false
+			}
+			if backoff *= 2; backoff > snapBackoffCap {
+				backoff = snapBackoffCap
+			}
+			continue
+		}
+
+		snap, err := ss.verifyAssembled(donor, dl)
+		if errors.Is(err, errAnchorInconclusive) {
+			// Nobody vouched for the base and nobody refuted it — the
+			// cluster likely compacted past it mid-stream. Not the donor's
+			// fault; renegotiate on fresher advertisements after a beat.
+			dl = nil
+			select {
+			case <-time.After(backoff):
+			case <-ss.stop:
+				return false
+			}
+			if backoff *= 2; backoff > snapBackoffCap {
+				backoff = snapBackoffCap
+			}
+			continue
+		}
+		if err != nil {
+			ss.metrics.SnapRejected.Add(1)
+			quarantined[donor] = true
+			dl = nil
+			continue
+		}
+		if err := ss.install(snap); err != nil {
+			// Installation refused locally (e.g. the chain advanced past the
+			// base while we were downloading). Not the donor's fault; retry
+			// from fresh advertisements.
+			dl = nil
+			continue
+		}
+		ss.metrics.SnapInstalls.Add(1)
+		return true
+	}
+	return false
+}
+
+// verifyAssembled checks a completed download end to end: digest over the
+// whole payload, structural decode, advertisement consistency, and the f+1
+// chain-anchor attestation. Only a snapshot passing all of it may install.
+func (ss *snapSyncer) verifyAssembled(donor flcrypto.NodeID, dl *snapDownload) (store.Snapshot, error) {
+	if dl.chain != dl.meta.snapHash {
+		return store.Snapshot{}, fmt.Errorf("core: snapshot digest mismatch")
+	}
+	snap, err := store.DecodeSnapshotPayload(dl.buf)
+	if err != nil {
+		return store.Snapshot{}, err
+	}
+	if snap.Instance != ss.instance ||
+		snap.BaseRound != dl.meta.baseRound ||
+		snap.BaseHash != dl.meta.baseHash ||
+		snap.StateRound != dl.meta.stateRound {
+		return store.Snapshot{}, fmt.Errorf("core: snapshot contradicts its advertisement")
+	}
+	attested, refuted := ss.attestAnchor(donor, snap.BaseRound, snap.BaseHash)
+	if refuted {
+		return store.Snapshot{}, fmt.Errorf("core: snapshot anchor refuted by f+1 nodes")
+	}
+	if !attested {
+		return store.Snapshot{}, errAnchorInconclusive
+	}
+	return snap, nil
+}
+
+// errAnchorInconclusive marks a completed download whose chain anchor no
+// peer could vouch for or refute — typically because the cluster compacted
+// past the base while the stream was in flight. It is not evidence of donor
+// misbehavior: the caller renegotiates on fresher advertisements without
+// counting a rejection or quarantining anyone.
+var errAnchorInconclusive = errors.New("core: snapshot anchor attestation inconclusive")

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flcrypto"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// newTestSnapNode wires a bare data path plus snapshot syncer onto one node
+// of a chan network, for transfer-protocol fault-injection tests. provide and
+// install are bound afterwards by poking dp.snaps directly.
+func newTestSnapNode(t *testing.T, net *transport.ChanNetwork, ks *flcrypto.KeySet, id flcrypto.NodeID, chain *Chain, chunkBytes int) (*dataPath, *Metrics, chan struct{}) {
+	t.Helper()
+	mux := transport.NewMux(net.Endpoint(id))
+	m := &Metrics{}
+	dp := newDataPath(mux, 3, ks.Registry, nil, chain, m, dataOpts{catchUpBatch: 8, snapChunkBytes: chunkBytes})
+	stop := make(chan struct{})
+	dp.ranger = newRangeSyncer(dp, id, ks.Registry.N(), stop, m)
+	dp.snaps = newSnapSyncer(dp, id, 0, ks.Registry.N(), stop, m)
+	mux.Start()
+	t.Cleanup(mux.Stop)
+	return dp, m, stop
+}
+
+// testStateBlob builds a deterministic opaque application payload big enough
+// to span several transfer chunks.
+func testStateBlob(size int, seed byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(i*7) ^ seed
+	}
+	return b
+}
+
+// snapProvider returns a provide hook serving a fixed snapshot.
+func snapProvider(s store.Snapshot) func() (store.Snapshot, bool) {
+	return func() (store.Snapshot, bool) { return s, true }
+}
+
+// TestSnapshotTransferStrandedRejoin is the end-to-end core-level rescue: a
+// node whose next needed round was compacted away on every peer must switch
+// from range sync to snapshot transfer, install the checkpoint, and then
+// range-sync the retained tail — with zero outside intervention.
+func TestSnapshotTransferStrandedRejoin(t *testing.T) {
+	const (
+		n      = 4
+		rounds = 40
+		base   = 30
+		chunk  = 1024
+	)
+	ks := testKeySet(t, n)
+	net := transport.NewChanNetwork(transport.ChanConfig{N: n})
+	t.Cleanup(net.Close)
+
+	full := buildChain(t, ks, 0, rounds)
+	baseHash, ok := full.HashAt(base)
+	if !ok {
+		t.Fatal("no hash at base")
+	}
+	snap := store.Snapshot{
+		Instance:  0,
+		BaseRound: base,
+		BaseHash:  baseHash,
+		State:     testStateBlob(10_000, 1),
+	}
+	// Donors hold only the compacted tail (31..40); rounds ≤ 30 survive
+	// nowhere as blocks.
+	for id := 1; id < n; id++ {
+		donor := NewChainAt(0, base, baseHash)
+		for r := uint64(base + 1); r <= rounds; r++ {
+			blk, _ := full.BlockAt(r)
+			if err := donor.Append(blk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		donor.MarkDefinite(rounds)
+		ddp, _, _ := newTestSnapNode(t, net, ks, flcrypto.NodeID(id), donor, chunk)
+		ddp.snaps.provide = snapProvider(snap)
+	}
+
+	client := NewChain(0)
+	dp, m, stop := newTestSnapNode(t, net, ks, 0, client, chunk)
+	defer close(stop)
+	var installed atomic.Pointer[store.Snapshot]
+	dp.snaps.install = func(s store.Snapshot) error {
+		if err := client.ResetForward(s.BaseRound, s.BaseHash); err != nil {
+			return err
+		}
+		dp.dropFetchedThrough(s.BaseRound)
+		installed.Store(&s)
+		return nil
+	}
+
+	// Adoption loop standing in for the instance's round loop.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for client.Tip() < rounds {
+			seg := dp.takeSegment(client.Tip()+1, 32)
+			if len(seg) == 0 {
+				select {
+				case <-dp.updateChan():
+				case <-time.After(10 * time.Millisecond):
+				case <-stop:
+					return
+				}
+				continue
+			}
+			for i := range seg {
+				if err := client.Append(seg[i]); err != nil {
+					t.Errorf("adopt round %d: %v", seg[i].Header().Round, err)
+					return
+				}
+			}
+			client.MarkDefinite(client.Tip())
+		}
+	}()
+
+	dp.ranger.noteBehind(rounds)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("stranded node stuck at round %d of %d (installs=%d)", client.Tip(), rounds, m.SnapInstalls.Load())
+	}
+
+	if got := m.SnapInstalls.Load(); got != 1 {
+		t.Fatalf("SnapInstalls = %d, want 1", got)
+	}
+	s := installed.Load()
+	if s == nil || s.BaseRound != base || string(s.State) != string(snap.State) {
+		t.Fatalf("installed snapshot does not match the donated checkpoint")
+	}
+	if client.Base() != base || client.Definite() != rounds {
+		t.Fatalf("chain base=%d definite=%d, want base=%d definite=%d", client.Base(), client.Definite(), base, rounds)
+	}
+	if err := client.Audit(ks.Registry); err != nil {
+		t.Fatalf("rescued chain fails audit: %v", err)
+	}
+	wantChunks := uint64((len(store.EncodeSnapshot(snap)) + chunk - 1) / chunk)
+	if got := m.SnapChunksFetched.Load(); got != wantChunks {
+		t.Fatalf("fetched %d chunks, want %d (no waste, no re-fetch)", got, wantChunks)
+	}
+}
+
+// TestSnapshotTransferBitFlipRejected corrupts one in-flight chunk of the
+// freshest donor: the hash chain must reject it on arrival, quarantine the
+// donor, and complete the transfer from an honest peer — the corrupt
+// snapshot is never installed.
+func TestSnapshotTransferBitFlipRejected(t *testing.T) {
+	const (
+		n     = 4
+		chunk = 1024
+	)
+	ks := testKeySet(t, n)
+	net := transport.NewChanNetwork(transport.ChanConfig{N: n})
+	t.Cleanup(net.Close)
+
+	full := buildChain(t, ks, 0, 40)
+	h30, _ := full.HashAt(30)
+	h32, _ := full.HashAt(32)
+	honest := store.Snapshot{Instance: 0, BaseRound: 30, BaseHash: h30, State: testStateBlob(8_000, 2)}
+	corrupt := store.Snapshot{Instance: 0, BaseRound: 32, BaseHash: h32, State: testStateBlob(8_000, 3)}
+
+	// Node 1 advertises the freshest checkpoint (base 32) — it wins donor
+	// selection — but its served payload is bit-flipped after the chunk
+	// hashes were computed, simulating in-flight corruption.
+	dp1, m1, _ := newTestSnapNode(t, net, ks, 1, full, chunk)
+	dp1.snaps.provide = snapProvider(corrupt)
+	st := dp1.snaps.serveState()
+	st.payload[1500] ^= 0x40 // inside chunk 1
+
+	for id := 2; id < n; id++ {
+		ddp, _, _ := newTestSnapNode(t, net, ks, flcrypto.NodeID(id), full, chunk)
+		ddp.snaps.provide = snapProvider(honest)
+	}
+
+	client := NewChain(0)
+	dp, m, stop := newTestSnapNode(t, net, ks, 0, client, chunk)
+	defer close(stop)
+	var installed atomic.Pointer[store.Snapshot]
+	dp.snaps.install = func(s store.Snapshot) error {
+		if err := client.ResetForward(s.BaseRound, s.BaseHash); err != nil {
+			return err
+		}
+		installed.Store(&s)
+		return nil
+	}
+
+	if !dp.snaps.transfer() {
+		t.Fatal("transfer failed outright")
+	}
+	if got := m.SnapChunkRejects.Load(); got == 0 {
+		t.Fatal("corrupt chunk was not rejected")
+	}
+	s := installed.Load()
+	if s == nil || s.BaseRound != 30 || string(s.State) != string(honest.State) {
+		t.Fatalf("installed snapshot is not the honest checkpoint (base %d)", s.BaseRound)
+	}
+	if m.SnapInstalls.Load() != 1 {
+		t.Fatalf("SnapInstalls = %d, want 1", m.SnapInstalls.Load())
+	}
+	_ = m1
+}
+
+// TestSnapshotTransferDonorCrashResumes kills the serving donor after
+// exactly three chunks: the transfer must rotate to the twin donor and
+// resume from the verified prefix — every chunk crosses the wire once.
+func TestSnapshotTransferDonorCrashResumes(t *testing.T) {
+	const (
+		n     = 4
+		chunk = 512
+	)
+	ks := testKeySet(t, n)
+	net := transport.NewChanNetwork(transport.ChanConfig{N: n})
+	t.Cleanup(net.Close)
+
+	full := buildChain(t, ks, 0, 40)
+	h30, _ := full.HashAt(30)
+	snap := store.Snapshot{Instance: 0, BaseRound: 30, BaseHash: h30, State: testStateBlob(6_000, 4)}
+
+	// Node 1 dies mid-stream: its provide hook counts invocations (one for
+	// the meta poll, one per chunk) and silences the node on what would be
+	// the fourth served chunk — that response is dropped, the requester
+	// times out and rotates.
+	var calls atomic.Uint64
+	dp1, _, _ := newTestSnapNode(t, net, ks, 1, full, chunk)
+	dp1.snaps.provide = func() (store.Snapshot, bool) {
+		if calls.Add(1) == 5 { // 1 meta + 3 chunks served, 4th dropped
+			net.Crash(1)
+		}
+		return snap, true
+	}
+	// Node 2 is the twin donor: identical checkpoint, same hash chain.
+	dp2, m2, _ := newTestSnapNode(t, net, ks, 2, full, chunk)
+	dp2.snaps.provide = snapProvider(snap)
+	// Node 3 holds no checkpoint; it only attests the chain anchor.
+	newTestSnapNode(t, net, ks, 3, full, chunk)
+
+	client := NewChain(0)
+	dp, m, stop := newTestSnapNode(t, net, ks, 0, client, chunk)
+	defer close(stop)
+	dp.snaps.install = func(s store.Snapshot) error {
+		return client.ResetForward(s.BaseRound, s.BaseHash)
+	}
+
+	// Pin the crashing donor as first choice: poll once while node 2 is
+	// still silent... instead, both advertise the same checkpoint, so donor
+	// choice is map-order dependent; run the campaign and rely on the twin
+	// resume either way — if node 2 was picked first there is no crash, so
+	// force node 1 by crashing node 2 for the first negotiation only.
+	net.Crash(2)
+	go func() {
+		// Heal the twin once the doomed donor has started serving.
+		waitFor(t, 10*time.Second, func() bool { return calls.Load() >= 2 })
+		net.Heal(2)
+	}()
+
+	if !dp.snaps.transfer() {
+		t.Fatal("transfer failed outright")
+	}
+	if got := m.SnapResumes.Load(); got == 0 {
+		t.Fatal("transfer restarted from scratch instead of resuming the verified prefix")
+	}
+	wantChunks := uint64((len(store.EncodeSnapshot(snap)) + chunk - 1) / chunk)
+	if got := m.SnapChunksFetched.Load(); got != wantChunks {
+		t.Fatalf("fetched %d chunks, want exactly %d (verified prefix must not re-transfer)", got, wantChunks)
+	}
+	if served := m2.SnapChunksServed.Load(); served >= wantChunks {
+		t.Fatalf("twin donor served %d of %d chunks — the first donor's progress was discarded", served, wantChunks)
+	}
+	if client.Base() != 30 {
+		t.Fatalf("chain base %d, want 30", client.Base())
+	}
+}
+
+// TestSnapshotTransferDonorCompacted has the sole donor advance its
+// checkpoint TWICE past the requester's pinned advertisement mid-stream. A
+// single advance is survivable — the donor keeps the previous generation
+// servable (see TestSnapshotTransferDonorAdvancesOnce) — but two advances
+// push the pinned base out of the serve history: the donor answers "gone",
+// and the requester renegotiates and installs the freshest checkpoint within
+// the bounded campaign.
+func TestSnapshotTransferDonorCompacted(t *testing.T) {
+	const (
+		n     = 4
+		chunk = 512
+	)
+	ks := testKeySet(t, n)
+	net := transport.NewChanNetwork(transport.ChanConfig{N: n})
+	t.Cleanup(net.Close)
+
+	full := buildChain(t, ks, 0, 40)
+	h30, _ := full.HashAt(30)
+	h34, _ := full.HashAt(34)
+	h38, _ := full.HashAt(38)
+	oldSnap := store.Snapshot{Instance: 0, BaseRound: 30, BaseHash: h30, State: testStateBlob(6_000, 5)}
+	midSnap := store.Snapshot{Instance: 0, BaseRound: 34, BaseHash: h34, State: testStateBlob(6_000, 9)}
+	newSnap := store.Snapshot{Instance: 0, BaseRound: 38, BaseHash: h38, State: testStateBlob(6_000, 6)}
+
+	// The sole donor compacts twice after serving two chunks of the old
+	// checkpoint: base 30 leaves the {current, previous} serve pair, so
+	// every later pull for it gets an explicit "gone".
+	var cur atomic.Pointer[store.Snapshot]
+	cur.Store(&oldSnap)
+	var calls atomic.Uint64
+	dp1, m1, _ := newTestSnapNode(t, net, ks, 1, full, chunk)
+	dp1.snaps.provide = func() (store.Snapshot, bool) {
+		switch calls.Add(1) {
+		case 4: // 1 meta + 2 chunks served, then compact once...
+			cur.Store(&midSnap)
+		case 5: // ...and again on the very next pull
+			cur.Store(&newSnap)
+		}
+		return *cur.Load(), true
+	}
+	for id := 2; id < n; id++ {
+		newTestSnapNode(t, net, ks, flcrypto.NodeID(id), full, chunk) // attesters only
+	}
+
+	client := NewChain(0)
+	dp, m, stop := newTestSnapNode(t, net, ks, 0, client, chunk)
+	defer close(stop)
+	var installed atomic.Pointer[store.Snapshot]
+	dp.snaps.install = func(s store.Snapshot) error {
+		if err := client.ResetForward(s.BaseRound, s.BaseHash); err != nil {
+			return err
+		}
+		installed.Store(&s)
+		return nil
+	}
+
+	if !dp.snaps.transfer() {
+		t.Fatal("transfer failed outright")
+	}
+	s := installed.Load()
+	if s == nil || s.BaseRound != 38 || string(s.State) != string(newSnap.State) {
+		t.Fatal("requester did not renegotiate onto the fresher checkpoint")
+	}
+	if got := m.SnapRejected.Load(); got != 0 {
+		t.Fatalf("%d snapshots rejected — 'gone' must renegotiate, not quarantine", got)
+	}
+	if m1.SnapChunksServed.Load() == 0 {
+		t.Fatal("donor never served")
+	}
+}
+
+// TestSnapshotTransferDonorAdvancesOnce has the sole donor advance its
+// checkpoint once mid-stream. The donor keeps the previous generation
+// servable, so the requester must complete the pinned base-30 download from
+// it — no "gone", no renegotiation churn — even though the donor's current
+// checkpoint is fresher by the time the transfer finishes.
+func TestSnapshotTransferDonorAdvancesOnce(t *testing.T) {
+	const (
+		n     = 4
+		chunk = 512
+	)
+	ks := testKeySet(t, n)
+	net := transport.NewChanNetwork(transport.ChanConfig{N: n})
+	t.Cleanup(net.Close)
+
+	full := buildChain(t, ks, 0, 40)
+	h30, _ := full.HashAt(30)
+	h38, _ := full.HashAt(38)
+	oldSnap := store.Snapshot{Instance: 0, BaseRound: 30, BaseHash: h30, State: testStateBlob(6_000, 5)}
+	newSnap := store.Snapshot{Instance: 0, BaseRound: 38, BaseHash: h38, State: testStateBlob(6_000, 6)}
+
+	var cur atomic.Pointer[store.Snapshot]
+	cur.Store(&oldSnap)
+	var calls atomic.Uint64
+	dp1, _, _ := newTestSnapNode(t, net, ks, 1, full, chunk)
+	dp1.snaps.provide = func() (store.Snapshot, bool) {
+		if calls.Add(1) == 4 { // 1 meta + 2 chunks served, then compact once
+			cur.Store(&newSnap)
+		}
+		return *cur.Load(), true
+	}
+	for id := 2; id < n; id++ {
+		newTestSnapNode(t, net, ks, flcrypto.NodeID(id), full, chunk) // attesters only
+	}
+
+	client := NewChain(0)
+	dp, m, stop := newTestSnapNode(t, net, ks, 0, client, chunk)
+	defer close(stop)
+	var installed atomic.Pointer[store.Snapshot]
+	dp.snaps.install = func(s store.Snapshot) error {
+		if err := client.ResetForward(s.BaseRound, s.BaseHash); err != nil {
+			return err
+		}
+		installed.Store(&s)
+		return nil
+	}
+
+	if !dp.snaps.transfer() {
+		t.Fatal("transfer failed outright")
+	}
+	s := installed.Load()
+	if s == nil || s.BaseRound != 30 || string(s.State) != string(oldSnap.State) {
+		t.Fatal("requester did not complete the pinned download from the previous generation")
+	}
+	if got := m.SnapRejected.Load(); got != 0 {
+		t.Fatalf("%d snapshots rejected during a clean previous-generation serve", got)
+	}
+	wantChunks := uint64((len(store.EncodeSnapshot(oldSnap)) + chunk - 1) / chunk)
+	if got := m.SnapChunksFetched.Load(); got != wantChunks {
+		t.Fatalf("fetched %d chunks, want exactly %d (one advance must not restart the stream)", got, wantChunks)
+	}
+}
+
+// TestSnapshotTransferFabricatedAnchorRejected gives the freshest donor a
+// checkpoint whose chain anchor no honest peer can attest: the f+1
+// attestation must reject it (digest and structure are fine — only the
+// anchor is a lie), quarantine the donor, and fall through to the honest
+// checkpoint.
+func TestSnapshotTransferFabricatedAnchorRejected(t *testing.T) {
+	const (
+		n     = 4
+		chunk = 1024
+	)
+	ks := testKeySet(t, n)
+	net := transport.NewChanNetwork(transport.ChanConfig{N: n})
+	t.Cleanup(net.Close)
+
+	full := buildChain(t, ks, 0, 40)
+	h30, _ := full.HashAt(30)
+	honest := store.Snapshot{Instance: 0, BaseRound: 30, BaseHash: h30, State: testStateBlob(5_000, 7)}
+	forged := store.Snapshot{Instance: 0, BaseRound: 36, BaseHash: flcrypto.Sum256([]byte("forged")), State: testStateBlob(5_000, 8)}
+
+	dp1, _, _ := newTestSnapNode(t, net, ks, 1, full, chunk)
+	dp1.snaps.provide = snapProvider(forged)
+	for id := 2; id < n; id++ {
+		ddp, _, _ := newTestSnapNode(t, net, ks, flcrypto.NodeID(id), full, chunk)
+		ddp.snaps.provide = snapProvider(honest)
+	}
+
+	client := NewChain(0)
+	dp, m, stop := newTestSnapNode(t, net, ks, 0, client, chunk)
+	defer close(stop)
+	var installed atomic.Pointer[store.Snapshot]
+	dp.snaps.install = func(s store.Snapshot) error {
+		if err := client.ResetForward(s.BaseRound, s.BaseHash); err != nil {
+			return err
+		}
+		installed.Store(&s)
+		return nil
+	}
+
+	if !dp.snaps.transfer() {
+		t.Fatal("transfer failed outright")
+	}
+	if got := m.SnapRejected.Load(); got != 1 {
+		t.Fatalf("SnapRejected = %d, want 1 (the forged anchor)", got)
+	}
+	s := installed.Load()
+	if s == nil || s.BaseRound != 30 || s.BaseHash != h30 {
+		t.Fatal("forged checkpoint was installed")
+	}
+}

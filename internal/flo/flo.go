@@ -74,6 +74,13 @@ type Config struct {
 	// Deliver receives the merged, definite, globally-ordered blocks
 	// (event E of Fig 9). May be nil.
 	Deliver func(worker uint32, blk types.Block)
+	// OnSnapshotInstall fires after worker w adopts a transferred
+	// checkpoint anchored at base (snapshot transfer — the rescue path for
+	// nodes stranded below every peer's retained history; see
+	// core/snapsync.go). The worker's merged delivery stream resumes at
+	// base+1: rounds at or below base are covered by the installed state
+	// and are never delivered as blocks on this node. May be nil.
+	OnSnapshotInstall func(worker uint32, base uint64)
 	// OnEvent receives per-worker lifecycle events (Fig 9). May be nil.
 	OnEvent func(worker uint32, round uint64, ev core.Event)
 	// Equivocate makes every worker a §7.4.2 Byzantine split-proposer.
@@ -112,6 +119,13 @@ type Config struct {
 	// sync (default 64). A node R rounds behind rejoins with ~R/CatchUpBatch
 	// catch-up requests instead of one broadcast per round.
 	CatchUpBatch int
+	// SnapChunkBytes caps each snapshot-transfer chunk (default 256 KiB).
+	// When a node falls below every peer's retained history — range sync
+	// cannot serve rounds the cluster compacted away — it downloads a peer's
+	// freshest checkpoint in hash-chained chunks of this size and installs
+	// it (see core/snapsync.go); smaller chunks mean finer-grained resume
+	// after a donor failure at the cost of more round trips.
+	SnapChunkBytes int
 	// SnapshotEvery, with DataDir, checkpoints each worker every
 	// SnapshotEvery definite rounds: a snapshot (chain anchor + optional
 	// application state) is written next to the log and the log prefix is
@@ -205,6 +219,17 @@ type Node struct {
 	snapPaths []string
 	retain    uint64
 	ckptErr   atomic.Value // error: first failed checkpoint, sticky
+
+	// Snapshot transfer (DataDir): snapLive[w] is worker w's freshest
+	// on-disk checkpoint, cached in memory so the node can donate it to
+	// stranded peers without a disk read per chunk request. Seeded from the
+	// boot snapshot, refreshed after every merge-point checkpoint and every
+	// local install. installMu serializes installs across workers — the ω
+	// transfers share one replica, and concurrent state resets must not
+	// interleave.
+	snapMu    sync.Mutex
+	snapLive  []*store.Snapshot
+	installMu sync.Mutex
 
 	// overload is the pool backlog above which Submit consults its
 	// second hashed choice (power of two choices).
@@ -445,7 +470,124 @@ func (n *Node) maybeCheckpoint(w uint32, round uint64) {
 			n.ckptErr.Store(fmt.Errorf("flo: worker %d checkpoint: %w", v, err))
 			return
 		}
+		// Refresh the donation cache from disk (Checkpoint may have no-oped
+		// when the anchor would not advance; the file is always the truth).
+		if s, ok, err := store.LoadSnapshot(n.snapPaths[v]); err == nil && ok {
+			n.snapMu.Lock()
+			n.snapLive[v] = &s
+			n.snapMu.Unlock()
+		}
+		// Compact the live in-memory chain to the durable anchor: past this
+		// point the retained window bounds what this node range-serves, and
+		// a peer that fell below it is rescued by snapshot transfer.
+		if err := n.workers[v].CompactTo(lg.Base()); err != nil {
+			n.ckptErr.Store(fmt.Errorf("flo: worker %d compact: %w", v, err))
+			return
+		}
 	}
+}
+
+// latestSnapshot returns worker w's freshest checkpoint for donation to a
+// stranded peer (core.Instance.BindSnapshots provide hook).
+func (n *Node) latestSnapshot(w uint32) (store.Snapshot, bool) {
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	if int(w) >= len(n.snapLive) || n.snapLive[w] == nil {
+		return store.Snapshot{}, false
+	}
+	return *n.snapLive[w], true
+}
+
+// installSnapshot atomically adopts a verified remote checkpoint for worker w
+// — the final step of a snapshot transfer, after core/snapsync.go has hash-
+// verified the payload and attested its chain anchor against f+1 peers. The
+// ordering is crash-safe: the snapshot lands on disk first, then the log is
+// truncated to the new base, then the in-memory chain and replica jump
+// forward. A crash between the first two steps leaves a fresh snapshot over
+// an old log, which restart replay handles by skimming the pre-anchor frames.
+func (n *Node) installSnapshot(w uint32, snap store.Snapshot) error {
+	n.installMu.Lock()
+	defer n.installMu.Unlock()
+	if int(w) >= len(n.workers) || snap.Instance != w {
+		return fmt.Errorf("flo: snapshot for worker %d cannot install on worker %d", snap.Instance, w)
+	}
+	inst := n.workers[w]
+	if tip := inst.Chain().Tip(); snap.BaseRound <= tip {
+		return fmt.Errorf("flo: worker %d snapshot base %d not ahead of local tip %d", w, snap.BaseRound, tip)
+	}
+
+	// Decide what happens to the shared application replica before touching
+	// anything: an install that would leave an unapplied hole between the
+	// replica's position and the new chain base must fail outright (the
+	// transfer loop renegotiates a fresher checkpoint).
+	resetState := false
+	var statePos map[uint32]uint64
+	if len(snap.State) > 0 {
+		if n.stateRep == nil {
+			return fmt.Errorf("flo: worker %d snapshot carries application state but the node runs no managed State backend", w)
+		}
+		pos, err := statemachine.SnapshotPositions(snap.State)
+		if err != nil {
+			return fmt.Errorf("flo: worker %d snapshot state: %w", w, err)
+		}
+		fresher := true
+		for v := range n.workers {
+			if pos[uint32(v)] < n.stateRep.Position(uint32(v)) {
+				fresher = false
+				break
+			}
+		}
+		switch {
+		case fresher:
+			resetState, statePos = true, pos
+		case n.stateRep.Position(w) >= snap.BaseRound:
+			// A concurrent install (another worker's transfer landed first)
+			// already reset the replica to a fresher capture that covers this
+			// worker beyond the new base: keep the fresher state, reset only
+			// chain and log — idempotent delivery skips the overlap.
+		default:
+			return fmt.Errorf("flo: worker %d snapshot state (through round %d) is stale yet the replica (at %d) does not cover the new base %d",
+				w, snap.StateRound, n.stateRep.Position(w), snap.BaseRound)
+		}
+	} else if n.stateRep != nil && n.stateRep.Position(w) < snap.BaseRound {
+		return fmt.Errorf("flo: worker %d stateless snapshot would strand the replica at round %d below base %d",
+			w, n.stateRep.Position(w), snap.BaseRound)
+	}
+
+	if len(n.logs) > int(w) {
+		if err := store.WriteSnapshot(n.snapPaths[w], snap); err != nil {
+			return fmt.Errorf("flo: worker %d snapshot install: %w", w, err)
+		}
+		if err := n.logs[w].ResetToBase(snap.BaseRound); err != nil {
+			return fmt.Errorf("flo: worker %d log reset: %w", w, err)
+		}
+	}
+	if err := inst.AdoptSnapshot(snap.BaseRound, snap.BaseHash); err != nil {
+		return fmt.Errorf("flo: worker %d chain adopt: %w", w, err)
+	}
+	// Fence the merge point before announcing the install: pre-install
+	// blocks of this worker still queued (or in flight to enqueue) must not
+	// surface after consumers learn the stream resumes at base+1.
+	n.merger.advanceBase(w, snap.BaseRound)
+	if resetState {
+		if err := n.stateRep.Reset(snap.State); err != nil {
+			return fmt.Errorf("flo: worker %d state reset: %w", w, err)
+		}
+		// The installed state covers every worker through its captured
+		// position; anchor the merged cursor there so the next checkpoint's
+		// StateRound does not undershoot what the state already holds.
+		for v, r := range statePos {
+			n.merger.bump(v, r)
+		}
+	}
+	n.snapMu.Lock()
+	s := snap
+	n.snapLive[w] = &s
+	n.snapMu.Unlock()
+	if n.cfg.OnSnapshotInstall != nil {
+		n.cfg.OnSnapshotInstall(w, snap.BaseRound)
+	}
+	return nil
 }
 
 // CheckpointErr reports the first merge-point checkpoint failure, if any
@@ -580,6 +722,7 @@ func (n *Node) addWorker(w uint32) error {
 		// the merged delivery position across all ω pipelines.
 		n.snapPaths = append(n.snapPaths, snapPath)
 		n.logs = append(n.logs, log)
+		n.snapLive = append(n.snapLive, snap)
 	}
 
 	var evpool *evidence.Pool
@@ -616,6 +759,7 @@ func (n *Node) addWorker(w uint32) error {
 		GossipFanout:     cfg.GossipFanout,
 		CompressBodies:   cfg.CompressBodies,
 		CatchUpBatch:     cfg.CatchUpBatch,
+		SnapChunkBytes:   cfg.SnapChunkBytes,
 		Preload:          preload,
 		PreloadBase:      preloadBase,
 		PreloadBaseHash:  preloadHash,
@@ -635,6 +779,15 @@ func (n *Node) addWorker(w uint32) error {
 		inst.OnPanic(origin, seq, payload)
 	})
 	inst.BindRB(rbSvc)
+	if cfg.DataDir != "" {
+		// Snapshot transfer: this worker can donate its freshest checkpoint
+		// to stranded peers and install a downloaded one when it is the
+		// stranded side (core/snapsync.go drives both directions).
+		inst.BindSnapshots(
+			func() (store.Snapshot, bool) { return n.latestSnapshot(w) },
+			func(s store.Snapshot) error { return n.installSnapshot(w, s) },
+		)
+	}
 
 	n.workers = append(n.workers, inst)
 	n.obbcs = append(n.obbcs, obbcSvc)
@@ -919,10 +1072,16 @@ func (n *Node) StateWatch(ctx context.Context, key string, worker uint32, round 
 // progress. Whoever wins emitMu.TryLock becomes the single emitter and
 // drains every ready run in the global order; losers return immediately.
 type merger struct {
-	mu     sync.Mutex // guards queues and cursor
+	mu     sync.Mutex // guards queues, cursor, and floor
 	emitMu sync.Mutex // held by the single active emitter (TryLock only)
 	queues [][]types.Block
 	cursor int // next worker to emit from
+	// floor[w] is worker w's snapshot-install base: rounds at or below it
+	// are covered by installed state and must never reach the merged
+	// stream — an already-queued (or still in-pipeline) pre-install block
+	// emitted after the install would reorder the stream the consumers
+	// observed. Set only by advanceBase.
+	floor []uint64
 	// lastDelivered[w] is worker w's last merged-delivered round — the
 	// explicit merged cursor. Seeded once at NewNode time with each
 	// worker's replayed boot frontier, then written and read only by the
@@ -936,9 +1095,50 @@ type merger struct {
 func newMerger(workers int, deliver func(uint32, types.Block)) *merger {
 	return &merger{
 		queues:        make([][]types.Block, workers),
+		floor:         make([]uint64, workers),
 		lastDelivered: make([]uint64, workers),
 		deliver:       deliver,
 	}
+}
+
+// advanceBase fences the merge point for a snapshot install at base: every
+// queued block of worker w at or below base is purged, later arrivals at or
+// below base are dropped at enqueue (floor), and the merged cursor jumps to
+// base. emitMu is taken first so an emitter mid-delivery finishes before the
+// fence — after advanceBase returns, no pre-install block of w can ever be
+// emitted, so the install notification the caller fires next is a true
+// linearization point in the merged stream.
+func (m *merger) advanceBase(w uint32, base uint64) {
+	m.emitMu.Lock()
+	m.mu.Lock()
+	if base > m.floor[w] {
+		m.floor[w] = base
+	}
+	kept := m.queues[w][:0]
+	for _, blk := range m.queues[w] {
+		if blk.Signed.Header.Round > base {
+			kept = append(kept, blk)
+		}
+	}
+	m.queues[w] = kept
+	m.mu.Unlock()
+	if base > m.lastDelivered[w] {
+		m.lastDelivered[w] = base
+	}
+	m.emitMu.Unlock()
+}
+
+// bump raises worker w's merged cursor to at least r after a snapshot
+// install: the installed state covers w through r, and a checkpoint taken
+// before w's first post-install delivery must not anchor its StateRound
+// below that. Takes emitMu to serialize with the active emitter (installs
+// are rare; the emitter is idle on a stranded node anyway).
+func (m *merger) bump(w uint32, r uint64) {
+	m.emitMu.Lock()
+	if r > m.lastDelivered[w] {
+		m.lastDelivered[w] = r
+	}
+	m.emitMu.Unlock()
 }
 
 // enqueue returns worker w's OnDecide callback: append the block, then
@@ -947,6 +1147,12 @@ func newMerger(workers int, deliver func(uint32, types.Block)) *merger {
 func (m *merger) enqueue(w uint32) func(types.Block) {
 	return func(blk types.Block) {
 		m.mu.Lock()
+		if blk.Signed.Header.Round <= m.floor[w] {
+			// Pre-install straggler (see advanceBase): its rounds are
+			// covered by the installed state.
+			m.mu.Unlock()
+			return
+		}
 		m.queues[w] = append(m.queues[w], blk)
 		m.mu.Unlock()
 		m.drain()

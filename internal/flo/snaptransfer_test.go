@@ -1,0 +1,93 @@
+package flo_test
+
+// Stranded-node snapshot-transfer integration tests: full flo clusters over
+// the seeded simulation network, replaying the stranded corpus scenarios
+// (internal/simnet/check/corpus.go) with Inspect hooks that assert the
+// rescue actually ran over the transfer protocol — a stranded node must
+// rejoin with zero operator intervention, and the rescue must be a verified
+// chunked snapshot install, not a silent range sync that only worked because
+// the schedule failed to strand anyone.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet/check"
+)
+
+// requireTransfer asserts node `victim` installed at least one transferred
+// snapshot (counted by the checker across incarnations, so it survives the
+// victim restarting mid-transfer) and that some surviving peer actually
+// served transfer chunks.
+func requireTransfer(c *check.Cluster, victim int) error {
+	if got := c.Checker.SnapshotInstalls(victim); got == 0 {
+		return fmt.Errorf("node %d rejoined without a snapshot install: the schedule never stranded it", victim)
+	}
+	var served, rejects uint64
+	for i, n := range c.Nodes {
+		for w := 0; w < n.Workers(); w++ {
+			m := n.Worker(w).Metrics()
+			if i != victim {
+				served += m.SnapChunksServed.Load()
+			}
+			rejects += m.SnapRejected.Load()
+		}
+	}
+	if served == 0 {
+		return fmt.Errorf("no surviving peer served a transfer chunk")
+	}
+	if rejects != 0 {
+		return fmt.Errorf("%d snapshots rejected in a fault-free transfer schedule", rejects)
+	}
+	return nil
+}
+
+// TestFLOStrandedNodeSnapshotRejoin keeps node 3 down until the
+// aggressively-compacting survivors (SnapshotEvery 4) discard every round it
+// still needs, then requires it to rejoin unaided: detect the hole from
+// firstAvail evidence, pull a verified multi-chunk snapshot transfer,
+// install it, and range-sync the tail. The Stateful oracles additionally
+// hold the rescued node to receipt-anchored reads and byte-equal state
+// snapshots at equal applied positions.
+func TestFLOStrandedNodeSnapshotRejoin(t *testing.T) {
+	const victim = 3
+	runRegression(t, "stranded-node-snapshot-rejoin", check.RunOpts{
+		Inspect: func(c *check.Cluster) error {
+			if err := requireTransfer(c, victim); err != nil {
+				return err
+			}
+			// The rescue must have anchored the victim's chain at a
+			// transferred base, not replayed from genesis.
+			if base := c.Nodes[victim].Worker(0).Chain().Base(); base == 0 {
+				return fmt.Errorf("victim chain base is 0 after a snapshot install")
+			}
+			return nil
+		},
+	})
+}
+
+// TestFLOStrandedNodeSnapshotRejoinMapState is the harsher ω=4 variant on
+// the in-memory map backend: with no durable state file, the restarted
+// node's replica state can only come back through checkpoint restore and the
+// snapshot transfer, across all four worker pipelines.
+func TestFLOStrandedNodeSnapshotRejoinMapState(t *testing.T) {
+	const victim = 3
+	runRegression(t, "stranded-node-snapshot-rejoin-map", check.RunOpts{
+		Inspect: func(c *check.Cluster) error {
+			return requireTransfer(c, victim)
+		},
+	})
+}
+
+// TestFLOStrandedNodeCrashMidTransfer restarts the stranded node again
+// shortly after it comes back — cutting down its first post-rejoin
+// incarnation while a transfer is (or was just) in flight — and requires the
+// next incarnation to renegotiate and still rejoin unaided.
+func TestFLOStrandedNodeCrashMidTransfer(t *testing.T) {
+	const victim = 3
+	runRegression(t, "stranded-node-crash-mid-transfer", check.RunOpts{
+		Inspect: func(c *check.Cluster) error {
+			return requireTransfer(c, victim)
+		},
+	})
+}

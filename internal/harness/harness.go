@@ -160,6 +160,19 @@ type Result struct {
 	// backend or no readers were configured).
 	GetsPerSec  float64
 	ScansPerSec float64
+	// Snapshot-transfer totals, cluster-wide and cumulative over the whole
+	// run (rescues are rare whole-run events, not windowed rates): chunks
+	// served by donors, chunks and bytes fetched by restoring nodes, resumed
+	// transfers, snapshots rejected by verification, and completed installs.
+	// A campaign that strands a node asserts SnapInstalls > 0 — the rescue
+	// actually ran over the transfer protocol instead of silently
+	// range-syncing.
+	SnapChunksServed  uint64
+	SnapChunksFetched uint64
+	SnapBytesFetched  uint64
+	SnapResumes       uint64
+	SnapRejected      uint64
+	SnapInstalls      uint64
 }
 
 // RunFLO executes one FLO cluster experiment.
@@ -364,6 +377,15 @@ func RunFLO(opts Options) Result {
 		msgs += float64(net.MessagesSent(flcrypto.NodeID(i)) - msgBases[i])
 		bytes += float64(net.BytesSent(flcrypto.NodeID(i)) - byteBases[i])
 		res.Convictions += now.convictions
+		for w := 0; w < opts.Workers; w++ {
+			m := nodes[i].Worker(w).Metrics()
+			res.SnapChunksServed += m.SnapChunksServed.Load()
+			res.SnapChunksFetched += m.SnapChunksFetched.Load()
+			res.SnapBytesFetched += m.SnapBytesFetched.Load()
+			res.SnapResumes += m.SnapResumes.Load()
+			res.SnapRejected += m.SnapRejected.Load()
+			res.SnapInstalls += m.SnapInstalls.Load()
+		}
 	}
 	nc := float64(len(correct))
 	if nc > 0 && elapsed > 0 {

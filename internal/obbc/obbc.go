@@ -247,15 +247,16 @@ func (s *Service) inst(key Key) *inst {
 
 // GC drops instances of `instance` with round < olderThan. The core calls it
 // as rounds become definite; instances can no longer be needed once their
-// round is beyond recovery reach.
+// round is beyond recovery reach. A Propose still blocked on a dropped
+// instance is woken with an abort: once the entry leaves the map, votes and
+// evidence route to a fresh entry and a later Abort cannot reach the old one,
+// so without this wake a snapshot install racing an in-flight Propose (the
+// round loop parked on a round the whole cluster compacted away) would sleep
+// on the orphaned instance forever.
 func (s *Service) GC(instance uint32, olderThan uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for key := range s.insts {
-		if key.Instance == instance && key.Round < olderThan {
-			delete(s.insts, key)
-		}
-	}
+	s.dropWhere(func(key Key) bool {
+		return key.Instance == instance && key.Round < olderThan
+	})
 }
 
 // DropFrom discards all state of `instance` at rounds ≥ fromRound. The
@@ -263,12 +264,27 @@ func (s *Service) GC(instance uint32, olderThan uint64) {
 // pre-recovery votes and decisions cannot leak into the redone attempts
 // (every correct node drops and re-votes, so quorums re-form).
 func (s *Service) DropFrom(instance uint32, fromRound uint64) {
+	s.dropWhere(func(key Key) bool {
+		return key.Instance == instance && key.Round >= fromRound
+	})
+}
+
+// dropWhere removes matching instances and aborts their blocked waiters.
+func (s *Service) dropWhere(match func(Key) bool) {
+	var dropped []*inst
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for key := range s.insts {
-		if key.Instance == instance && key.Round >= fromRound {
+	for key, i := range s.insts {
+		if match(key) {
 			delete(s.insts, key)
+			dropped = append(dropped, i)
 		}
+	}
+	s.mu.Unlock()
+	for _, i := range dropped {
+		i.mu.Lock()
+		i.aborted = true
+		i.bump()
+		i.mu.Unlock()
 	}
 }
 

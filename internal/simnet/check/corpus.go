@@ -156,6 +156,55 @@ func RegressionScenarios() []Scenario {
 			Horizon: 4,
 		},
 		{
+			// Stranded-node rescue (PR 8): node 3 is down long enough for the
+			// aggressively-compacting survivors (SnapshotEvery 4 → retain 7)
+			// to discard every round it still needs — range catch-up alone can
+			// never close the gap. On rejoin the node must detect the hole
+			// from firstAvail evidence, pull a verified snapshot transfer in
+			// small chunks (SnapChunkBytes 256 forces a real multi-chunk
+			// stream), install it, and range-sync the tail — with zero
+			// operator intervention. The Stateful oracles then hold the
+			// rescued node to the same receipt-anchored-read and
+			// state-hash-agreement bar as everyone else.
+			Name: "stranded-node-snapshot-rejoin", Seed: 110,
+			Stateful: true, SnapshotEvery: 4, CatchUpBatch: 8, SnapChunkBytes: 256,
+			Events: []Event{
+				{Kind: EvRestart, At: 0, Dur: 3000 * time.Millisecond, Node: 3},
+			},
+			Warmup:  6,
+			Horizon: 4,
+		},
+		{
+			// The harsher ω=4 variant on the in-memory map backend: with no
+			// durable state file, the restarted node's replica state comes
+			// back exclusively through checkpoint restore and the snapshot
+			// transfer — all four worker pipelines must install and resume
+			// cleanly at their respective bases.
+			Name: "stranded-node-snapshot-rejoin-map", Seed: 111,
+			Workers: 4, Stateful: true, MapState: true,
+			SnapshotEvery: 4, CatchUpBatch: 8, SnapChunkBytes: 256,
+			Events: []Event{
+				{Kind: EvRestart, At: 0, Dur: 3000 * time.Millisecond, Node: 3},
+			},
+			Warmup:  6,
+			Horizon: 4,
+		},
+		{
+			// Crash mid-transfer: the stranded node comes back, starts a
+			// chunked snapshot transfer, and is killed again in the middle of
+			// it. The second incarnation must renegotiate or resume and still
+			// rejoin unaided — exercising transfer-state reconstruction after
+			// the receiver itself (not just the donor) dies mid-stream.
+			Name: "stranded-node-crash-mid-transfer", Seed: 112,
+			Stateful: true, SnapshotEvery: 4, CatchUpBatch: 8, SnapChunkBytes: 256,
+			Events: []Event{
+				{Kind: EvRestart, At: 0, Dur: 3000 * time.Millisecond, Node: 3},
+				{Kind: EvRestart, At: 3200 * time.Millisecond, Dur: 500 * time.Millisecond, Node: 3},
+			},
+			Warmup:  6,
+			Horizon: 4,
+		},
+		{
 			// Found by Explore (seed 57, n=7): an equivocator plus a long
 			// isolation of one node exposed two distinct liveness wedges in
 			// the lagging node once the cluster had outrun the retained

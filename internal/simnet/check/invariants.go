@@ -42,6 +42,10 @@ type Checker struct {
 	// worker; fresh incarnations (restarts) may re-deliver or resume, but
 	// must advance contiguously from wherever they start.
 	cursor map[int]map[uint32]uint64
+	// installs counts snapshot-transfer installs per node across all of its
+	// incarnations (per-instance metrics die with a restart; this survives,
+	// so crash-mid-transfer scenarios can assert a rescue happened at all).
+	installs map[int]uint64
 	// violations is the flight recorder the runner drains.
 	violations []string
 }
@@ -50,9 +54,10 @@ type Checker struct {
 // Byzantine cast.
 func NewChecker(n int, byzantine []int) *Checker {
 	c := &Checker{
-		byz:    make(map[int]bool, len(byzantine)),
-		global: make(map[slot]firstWrite),
-		cursor: make(map[int]map[uint32]uint64, n),
+		byz:      make(map[int]bool, len(byzantine)),
+		global:   make(map[slot]firstWrite),
+		cursor:   make(map[int]map[uint32]uint64, n),
+		installs: make(map[int]uint64, n),
 	}
 	for _, b := range byzantine {
 		c.byz[b] = true
@@ -99,6 +104,32 @@ func (c *Checker) OnDeliver(node int, w uint32, blk types.Block) {
 			node, w, round, last))
 	}
 	rounds[w] = round
+}
+
+// NoteSnapshotInstall records that node's worker w adopted a transferred
+// checkpoint anchored at base: within the same incarnation the merged stream
+// legitimately resumes at base+1 — rounds at or below base are covered by
+// the installed state and never delivered as blocks on that node. Agreement
+// stays binding: everything the node delivers above base is still checked
+// against the cluster-wide slot hashes.
+func (c *Checker) NoteSnapshotInstall(node int, w uint32, base uint64) {
+	c.mu.Lock()
+	rounds := c.cursor[node]
+	if rounds == nil {
+		rounds = make(map[uint32]uint64)
+		c.cursor[node] = rounds
+	}
+	rounds[w] = base
+	c.installs[node]++
+	c.mu.Unlock()
+}
+
+// SnapshotInstalls reports how many snapshot-transfer installs node has
+// performed across all incarnations of this run.
+func (c *Checker) SnapshotInstalls(node int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.installs[node]
 }
 
 // ResetNode opens a new incarnation for node: the per-worker cursors reset

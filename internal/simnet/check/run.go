@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/flcrypto"
@@ -190,18 +191,23 @@ func Run(sc Scenario, opts RunOpts) error {
 func (c *Cluster) makeNode(i int, restart bool) (*flo.Node, error) {
 	sc := c.Scenario
 	cfg := flo.Config{
-		Endpoint:      c.Net.Endpoint(flcrypto.NodeID(i)),
-		Registry:      c.KS.Registry,
-		Priv:          c.KS.Privs[i],
-		Workers:       sc.Workers,
-		BatchSize:     sc.BatchSize,
-		Saturate:      sc.TxSize,
-		Equivocate:    sc.byzantine(i),
-		CatchUpBatch:  sc.CatchUpBatch,
-		InitialTimer:  25 * time.Millisecond,
-		ViewTimeout:   250 * time.Millisecond,
-		Deliver:       func(w uint32, blk types.Block) { c.Checker.OnDeliver(i, w, blk) },
-		SnapshotEvery: sc.SnapshotEvery,
+		Endpoint:     c.Net.Endpoint(flcrypto.NodeID(i)),
+		Registry:     c.KS.Registry,
+		Priv:         c.KS.Privs[i],
+		Workers:      sc.Workers,
+		BatchSize:    sc.BatchSize,
+		Saturate:     sc.TxSize,
+		Equivocate:   sc.byzantine(i),
+		CatchUpBatch: sc.CatchUpBatch,
+		InitialTimer: 25 * time.Millisecond,
+		ViewTimeout:  250 * time.Millisecond,
+		Deliver:      func(w uint32, blk types.Block) { c.Checker.OnDeliver(i, w, blk) },
+		OnSnapshotInstall: func(w uint32, base uint64) {
+			c.logf("node %d worker %d installed a transferred snapshot at base %d", i, w, base)
+			c.Checker.NoteSnapshotInstall(i, w, base)
+		},
+		SnapshotEvery:  sc.SnapshotEvery,
+		SnapChunkBytes: sc.SnapChunkBytes,
 	}
 	if sc.Persist {
 		cfg.DataDir = c.dirs[i]
@@ -214,12 +220,19 @@ func (c *Cluster) makeNode(i int, restart bool) (*flo.Node, error) {
 		// is whatever the checkpoint restore rebuilds — the path under
 		// test.
 		cfg.Saturate = 0
-		d, err := statemachine.OpenDurable(filepath.Join(c.dirs[i], "state"))
-		if err != nil {
-			return nil, fmt.Errorf("node %d state backend: %w", i, err)
+		if sc.MapState {
+			// In-memory backend: a restart starts from a genuinely empty
+			// map, so recovered state can only come from checkpoint restore
+			// or snapshot transfer.
+			cfg.State = statemachine.NewKV()
+		} else {
+			d, err := statemachine.OpenDurable(filepath.Join(c.dirs[i], "state"))
+			if err != nil {
+				return nil, fmt.Errorf("node %d state backend: %w", i, err)
+			}
+			c.states[i] = d
+			cfg.State = d
 		}
-		c.states[i] = d
-		cfg.State = d
 	}
 	if c.evidenceOracle {
 		cfg.EnableEvidence = true
@@ -496,19 +509,16 @@ func (c *Cluster) waitDefinite(who []int, rounds uint64, timeout time.Duration, 
 			return nil
 		}
 		if time.Now().After(deadline) {
-			// A lagging node whose next needed round has been compacted away
-			// on every live honest peer cannot catch up by any protocol
-			// means — wire snapshot/state transfer does not exist yet (the
-			// "operator-level resync" case flo's checkpoint retention
-			// comment documents, surfaced by simnet seed 57). Excuse a
-			// timeout that consists solely of such stranded nodes: it is a
-			// known capability gap, not a liveness regression.
-			allStranded := true
+			// No excusals: a node stranded below every peer's retained
+			// history is exactly what the snapshot-transfer path exists to
+			// rescue (core/snapsync.go), so lagging behind the target is a
+			// liveness violation no matter how the node got there. The report
+			// includes each laggard's transfer counters and every peer's
+			// retained base to make a failed rescue diagnosable.
 			var tips []string
 			for _, i := range who {
 				if c.Nodes[i] == nil {
 					tips = append(tips, fmt.Sprintf("node %d: down", i))
-					allStranded = false
 					continue
 				}
 				for w := 0; w < c.Scenario.Workers; w++ {
@@ -517,50 +527,25 @@ func (c *Cluster) waitDefinite(who []int, rounds uint64, timeout time.Duration, 
 						continue
 					}
 					m := inst.Metrics()
-					tips = append(tips, fmt.Sprintf("node %d/w%d: definite=%d tip=%d rangeReqs=%d rangeBlocks=%d recoveries=%d resyncs=%d nilRounds=%d %s",
+					var bases []string
+					for _, j := range c.Scenario.honest() {
+						if j != i && c.Nodes[j] != nil {
+							bases = append(bases, fmt.Sprintf("%d:base=%d", j, c.Nodes[j].Worker(w).Chain().Base()))
+						}
+					}
+					tips = append(tips, fmt.Sprintf("node %d/w%d: definite=%d tip=%d rangeReqs=%d rangeBlocks=%d recoveries=%d resyncs=%d nilRounds=%d snapInstalls=%d snapResumes=%d snapRejects=%d peers(%s) %s",
 						i, w, inst.Chain().Definite(), inst.Chain().Tip(),
 						m.CatchUpRangeReqs.Load(), m.CatchUpRangeBlocks.Load(), m.Recoveries.Load(),
-						m.TentativeResyncs.Load(), m.NilRounds.Load(), inst.DebugString()))
-					if !c.stranded(i, w) {
-						var bases []string
-						for _, j := range c.Scenario.honest() {
-							if j != i && c.Nodes[j] != nil {
-								bases = append(bases, fmt.Sprintf("%d:base=%d", j, c.Nodes[j].Worker(w).Chain().Base()))
-							}
-						}
-						tips[len(tips)-1] += fmt.Sprintf(" (not stranded; peers %s)", bases)
-						allStranded = false
-					}
+						m.TentativeResyncs.Load(), m.NilRounds.Load(),
+						m.SnapInstalls.Load(), m.SnapResumes.Load(), m.SnapChunkRejects.Load(),
+						strings.Join(bases, " "), inst.DebugString()))
 				}
-			}
-			if allStranded && len(tips) > 0 {
-				c.logf("liveness excused (%s): lagging nodes are stranded below every peer's retained history (snapshot transfer is an open roadmap item): %s",
-					phase, tips)
-				return nil
 			}
 			return fmt.Errorf("liveness violation (%s): definite target %d not reached within %s; tips: %s",
 				phase, rounds, timeout, tips)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-}
-
-// stranded reports whether node i's worker w is beyond protocol help: the
-// next round it needs (tip+1) has been compacted below every live honest
-// peer's retained base, so no range request or block handoff can ever serve
-// it. Recovery requires a snapshot/state transfer, which the system does not
-// implement over the wire yet.
-func (c *Cluster) stranded(i, w int) bool {
-	next := c.Nodes[i].Worker(w).Chain().Tip() + 1
-	for _, j := range c.Scenario.honest() {
-		if j == i || c.Nodes[j] == nil {
-			continue
-		}
-		if c.Nodes[j].Worker(w).Chain().Base() < next {
-			return false // peer j still retains round `next` and can serve it
-		}
-	}
-	return true
 }
 
 // stateKey / stateValue name the runner's i-th seeded KV write.

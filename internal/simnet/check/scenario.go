@@ -112,8 +112,18 @@ type Scenario struct {
 	// state-hash agreement across nodes at equal applied positions. Implies
 	// Persist; SnapshotEvery defaults on so checkpoints carry state.
 	Stateful bool
+	// MapState, with Stateful, swaps the durable state backend for the
+	// in-memory map backend (statemachine.KV): restarts then recover state
+	// exclusively through the checkpoint-restore and snapshot-transfer
+	// paths, with no backend file to lean on — the harsher variant of the
+	// stranded-rejoin scenarios.
+	MapState bool
 	// SnapshotEvery enables log compaction (requires Persist).
 	SnapshotEvery uint64
+	// SnapChunkBytes caps snapshot-transfer chunks (flo.Config
+	// passthrough); small values force real multi-chunk transfers in
+	// scenarios that strand a node.
+	SnapChunkBytes int
 	// CatchUpBatch tunes the streaming range-sync threshold.
 	CatchUpBatch int
 	// Equivocators lists the §7.4.2 Byzantine split-proposers (≤ f).
@@ -207,8 +217,8 @@ func (s *Scenario) String() string {
 	if name == "" {
 		name = "generated"
 	}
-	fmt.Fprintf(&b, "scenario %s seed=%d n=%d ω=%d β=%d σ=%d persist=%v stateful=%v snapshotEvery=%d catchUpBatch=%d warmup=%d horizon=%d",
-		name, s.Seed, s.N, s.Workers, s.BatchSize, s.TxSize, s.Persist, s.Stateful, s.SnapshotEvery, s.CatchUpBatch, s.Warmup, s.Horizon)
+	fmt.Fprintf(&b, "scenario %s seed=%d n=%d ω=%d β=%d σ=%d persist=%v stateful=%v mapState=%v snapshotEvery=%d snapChunk=%d catchUpBatch=%d warmup=%d horizon=%d",
+		name, s.Seed, s.N, s.Workers, s.BatchSize, s.TxSize, s.Persist, s.Stateful, s.MapState, s.SnapshotEvery, s.SnapChunkBytes, s.CatchUpBatch, s.Warmup, s.Horizon)
 	if len(s.Equivocators) > 0 {
 		fmt.Fprintf(&b, " equivocators=%v", s.Equivocators)
 	}

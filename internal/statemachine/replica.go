@@ -289,6 +289,65 @@ func (r *Replica) Snapshot() []byte {
 	return e.Bytes()
 }
 
+// decodeReplicaSnapshot parses a Replica snapshot into its cursor,
+// per-worker positions, and backend payload.
+func decodeReplicaSnapshot(snap []byte) (curW uint32, curRound uint64, last map[uint32]uint64, stateSnap []byte, err error) {
+	d := types.NewDecoder(snap)
+	curW = d.Uint32()
+	curRound = d.Uint64()
+	n := d.Uint32()
+	if d.Err() != nil || n > types.MaxFieldLen/12 {
+		return 0, 0, nil, nil, fmt.Errorf("statemachine: corrupt replica snapshot header")
+	}
+	last = make(map[uint32]uint64, n)
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		w := d.Uint32()
+		last[w] = d.Uint64()
+	}
+	stateSnap = d.Bytes32()
+	if err := d.Finish(); err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("statemachine: corrupt replica snapshot: %w", err)
+	}
+	return curW, curRound, last, stateSnap, nil
+}
+
+// SnapshotPositions returns the per-worker applied positions recorded in a
+// Replica snapshot, without restoring it — the transfer path uses this to
+// verify a donated snapshot's claimed frontier before installing anything.
+func SnapshotPositions(snap []byte) (map[uint32]uint64, error) {
+	_, _, last, _, err := decodeReplicaSnapshot(snap)
+	return last, err
+}
+
+// Reset restores a Replica snapshot into a live replica in place: the
+// backend contents are replaced, the positions jump to the snapshot's, and
+// every blocked WaitCovered re-evaluates against the new frontier (watchers
+// are re-offered their key's post-restore value). This is the
+// snapshot-transfer install path — unlike RestoreReplicaInto it keeps the
+// replica identity (and thus every Session holding it) intact.
+func (r *Replica) Reset(snap []byte) error {
+	curW, curRound, last, stateSnap, err := decodeReplicaSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.state.Restore(stateSnap); err != nil {
+		return err
+	}
+	r.last, r.curW, r.curRound = last, curW, curRound
+	close(r.frontier)
+	r.frontier = make(chan struct{})
+	for key, ws := range r.watchers {
+		v, ok := r.state.Get(key)
+		upd := KeyUpdate{Key: key, Value: v, Exists: ok, Worker: r.curW, Round: r.curRound}
+		for _, wt := range ws {
+			wt.offer(upd)
+		}
+	}
+	return nil
+}
+
 // RestoreReplica rebuilds a replica over the in-memory backend from a
 // Snapshot.
 func RestoreReplica(snap []byte) (*Replica, error) {
@@ -302,21 +361,9 @@ func RestoreReplicaInto(b StateBackend, snap []byte) (*Replica, error) {
 	if snap == nil {
 		return NewReplicaWith(b), nil
 	}
-	d := types.NewDecoder(snap)
-	curW := d.Uint32()
-	curRound := d.Uint64()
-	n := d.Uint32()
-	if d.Err() != nil || n > types.MaxFieldLen/12 {
-		return nil, fmt.Errorf("statemachine: corrupt replica snapshot header")
-	}
-	last := make(map[uint32]uint64, n)
-	for i := uint32(0); i < n && d.Err() == nil; i++ {
-		w := d.Uint32()
-		last[w] = d.Uint64()
-	}
-	stateSnap := d.Bytes32()
-	if err := d.Finish(); err != nil {
-		return nil, fmt.Errorf("statemachine: corrupt replica snapshot: %w", err)
+	curW, curRound, last, stateSnap, err := decodeReplicaSnapshot(snap)
+	if err != nil {
+		return nil, err
 	}
 	if err := b.Restore(stateSnap); err != nil {
 		return nil, err

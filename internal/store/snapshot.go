@@ -72,6 +72,18 @@ func decodeSnapshot(payload []byte) (Snapshot, error) {
 	return s, nil
 }
 
+// EncodeSnapshot serializes s to the canonical snapshot payload — the bytes
+// that travel in a snapshot transfer and whose SHA-256 is the transfer's
+// integrity anchor. WriteSnapshot wraps the same payload in the on-disk
+// magic/CRC header.
+func EncodeSnapshot(s Snapshot) []byte { return s.encode() }
+
+// DecodeSnapshotPayload parses a canonical snapshot payload (the
+// EncodeSnapshot format, without the on-disk header).
+func DecodeSnapshotPayload(payload []byte) (Snapshot, error) {
+	return decodeSnapshot(payload)
+}
+
 // WriteSnapshot atomically persists s at path (write to a temp file in the
 // same directory, fsync, rename): a crash mid-write leaves either the old
 // snapshot or none, never a torn one.

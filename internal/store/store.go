@@ -684,6 +684,46 @@ func (l *BlockLog) Checkpoint(snapPath string, instance uint32, stateRound uint6
 	return nil
 }
 
+// ResetToBase re-anchors the log on a snapshot-transfer base: every persisted
+// frame is discarded and the next appendable round becomes newBase+1. The
+// caller must have written the snapshot covering rounds ≤ newBase first
+// (WriteSnapshot is atomic) — a crash after the snapshot write but before
+// this truncation is safe because replay skims frames at rounds ≤ base.
+// newBase must be strictly above the current tip: snapshot transfer only
+// installs state from beyond the local horizon, so nothing durable is lost.
+func (l *BlockLog) ResetToBase(newBase uint64) error {
+	if l.gc != nil {
+		// Drain in-flight batches first; their waiters must be acked before
+		// the file is truncated out from under them.
+		l.gc.flush()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if newBase <= l.tip {
+		return fmt.Errorf("store: reset to base %d at or below tip %d", newBase, l.tip)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: reset truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: reset seek: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("store: reset fsync: %w", err)
+		}
+	}
+	l.base = newBase
+	l.tip = newBase
+	l.readGen++ // cached read offsets point into the discarded content
+	return nil
+}
+
 // ErrCompacted reports a read below the log's compaction base: those rounds
 // were checkpointed away and survive only in the snapshot.
 var ErrCompacted = errors.New("store: rounds compacted away")

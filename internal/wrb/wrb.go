@@ -98,6 +98,11 @@ type slot struct {
 	hdr     *types.SignedHeader
 	arrived time.Time
 	update  chan struct{}
+	// waitStart is when the local delivery attempt for this key began
+	// waiting (zero if the header arrived before any waiter). A header
+	// stashed after the deadline measured from here is a late arrival,
+	// the one delay signal in-window sampling never sees (see stashAt).
+	waitStart time.Time
 }
 
 // timerState implements the §6.1.1 EMA tuning:
@@ -334,9 +339,26 @@ func (s *Service) stashAt(hdr types.SignedHeader, gen *uint64) {
 	cp := hdr
 	sl.hdr = &cp
 	sl.arrived = time.Now()
+	// A header that lands after the local attempt's deadline is the only
+	// delay sample that ever reflects a proposer slower than the current
+	// timer: in-window deliveries by the fast majority keep the EMA at
+	// their latency, so without this a systematically slower (but live)
+	// peer would miss every window forever. A dead proposer stashes
+	// nothing, so it cannot inflate the timer this way — stopping waits
+	// for it stays the failure detector's job.
+	var late time.Duration
+	if !sl.waitStart.IsZero() {
+		deadline := s.timer(key.Instance).cur * time.Duration(s.cfg.Margin)
+		if d := sl.arrived.Sub(sl.waitStart); d > deadline {
+			late = d
+		}
+	}
 	close(sl.update)
 	sl.update = make(chan struct{})
 	s.mu.Unlock()
+	if late > 0 {
+		s.observeDelay(key.Instance, late)
+	}
 }
 
 // Kick wakes Deliver waiters for key so they re-evaluate their accept
@@ -477,7 +499,14 @@ func (s *Service) observeDelay(instance uint32, d time.Duration) {
 	ts.cur = s.clamp(next)
 }
 
-// onTimeout doubles the timer (line 14's "increase timer").
+// onTimeout doubles the timer (line 14's "increase timer"). prev keeps the
+// pre-doubling value on purpose: the doubled deadline covers the immediate
+// rotation, but a proposer that is actually dead must not ratchet the
+// shared timer toward MaxTimer while the failure detector still needs two
+// strikes to stop waiting for it — every wasted full-window wait would
+// double it again and the cluster would crawl. A proposer that is merely
+// slow is learned from its late header arrivals instead (see stashAt),
+// which a dead node never produces.
 func (s *Service) onTimeout(instance uint32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -519,6 +548,11 @@ func (s *Service) Deliver(key Key, pgdFn func(*types.SignedHeader) []byte, accep
 func (s *Service) DeliverWithWait(key Key, pgdFn func(*types.SignedHeader) []byte, accept func(types.SignedHeader) bool, abort <-chan struct{}, wait time.Duration) (*types.SignedHeader, error) {
 	start := time.Now()
 	deadline := start.Add(wait)
+	s.mu.Lock()
+	if sl := s.slot(key); sl.waitStart.IsZero() {
+		sl.waitStart = start
+	}
+	s.mu.Unlock()
 
 	hdr := s.awaitHeader(key, accept, deadline, abort)
 	ready := time.Now()
@@ -558,7 +592,12 @@ func (s *Service) DeliverWithWait(key Key, pgdFn func(*types.SignedHeader) []byt
 	}
 
 	if decision == 0 {
-		s.onTimeout(key.Instance)
+		// Only a wait we actually sat out is a timeout; a zero-wait vote
+		// against a suspected proposer proves nothing about the deadline
+		// and must not inflate the shared timer.
+		if wait > 0 {
+			s.onTimeout(key.Instance)
+		}
 		return nil, nil
 	}
 	if hdr != nil {
@@ -574,6 +613,8 @@ func (s *Service) DeliverWithWait(key Key, pgdFn func(*types.SignedHeader) []byt
 	}
 	// Decision is 1 but we lack the header: pull phase (lines 22–24). At
 	// least one correct node voted 1, so it has the header and will answer.
+	// (The header's lateness is sampled into the EMA by stashAt when the
+	// pull response lands, so the next deadline accounts for it.)
 	return s.pull(key, accept, abort)
 }
 
