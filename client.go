@@ -111,19 +111,21 @@ func (c *Client) SubmitWait(ctx context.Context, payload []byte) (Receipt, error
 
 // Blocks streams the node's merged definite block sequence from cursor:
 // history replayed from the node's log (or in-memory chain), then the live
-// delivery tail, every block exactly once. Multiple concurrent streams per
+// delivery tail, every block exactly once — every matching block, when
+// filter options narrow the stream. Multiple concurrent streams per
 // in-process session are allowed.
-func (c *Client) Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, error) {
+func (c *Client) Blocks(ctx context.Context, cursor Cursor, opts ...StreamOption) (<-chan BlockEvent, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, errors.New("fireledger: session closed")
 	}
 	c.mu.Unlock()
+	cfg := clientapi.StreamConfig{Filter: clientapi.BuildFilter(opts...)}
 	ch := make(chan BlockEvent, 256)
 	go func() {
 		defer close(ch)
-		err := clientapi.Stream(ctx, c.node, cursor, func(w uint32, blk types.Block) error {
+		err := clientapi.StreamWith(ctx, c.node, cursor, cfg, func(w uint32, blk types.Block) error {
 			select {
 			case ch <- BlockEvent{Worker: w, Block: blk}:
 				return nil

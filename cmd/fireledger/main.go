@@ -143,8 +143,9 @@ func main() {
 	log.Printf("node %d up on %s (n=%d, workers=%d, batch=%d, saturate=%d, state=%s)",
 		*id, list[*id], len(list), *workers, *batch, *saturate, *state)
 
+	var srv *clientapi.Server
 	if *clientAddr != "" {
-		srv := clientapi.NewServer(node, clientapi.ServerOptions{Logf: log.Printf})
+		srv = clientapi.NewServer(node, clientapi.ServerOptions{Logf: log.Printf})
 		if err := srv.Listen(*clientAddr); err != nil {
 			log.Fatalf("client API: %v", err)
 		}
@@ -154,12 +155,28 @@ func main() {
 
 	go func() {
 		var lastTxs, lastBlocks uint64
+		var lastFan clientapi.FanoutStats
 		for range time.Tick(*statsEvery) {
 			txs, blocks := node.DeliveredTxs(), node.DeliveredBlocks()
 			secs := statsEvery.Seconds()
 			log.Printf("tps=%.0f bps=%.0f (total: %d txs, %d blocks)",
 				float64(txs-lastTxs)/secs, float64(blocks-lastBlocks)/secs, txs, blocks)
 			lastTxs, lastBlocks = txs, blocks
+			if srv == nil {
+				continue
+			}
+			fs := srv.Fanout()
+			// Fan-out counters only when subscribers are (or were) attached:
+			// frames shared vs encoded is the hub's encode-once ratio.
+			if fs.FramesShared == 0 && fs.LiveSubs+fs.LaggingSubs+fs.CohortSubs == 0 {
+				continue
+			}
+			log.Printf("fanout: subs=%d/%d/%d (live/lagging/cohort) shared=%d encoded=%d replays=%d demotions=%d overflow-disconnects=%d",
+				fs.LiveSubs, fs.LaggingSubs, fs.CohortSubs,
+				fs.FramesShared-lastFan.FramesShared, fs.FramesEncoded-lastFan.FramesEncoded,
+				fs.CohortReplays-lastFan.CohortReplays, fs.Demotions-lastFan.Demotions,
+				fs.OverflowDisconnects-lastFan.OverflowDisconnects)
+			lastFan = fs
 		}
 	}()
 

@@ -8,6 +8,7 @@
 //	flbench -exp all             # the whole evaluation, in paper order
 //	flbench -exp workers -out BENCH_workers.json   # ω scaling artifact
 //	flbench -exp state -out BENCH_state.json       # state-backend artifact
+//	flbench -exp fanout -out BENCH_fanout.json     # fan-out hub artifact
 //	flbench -list                # what's available
 //
 // The quick profile compresses sweeps and measurement windows so the full
@@ -97,8 +98,18 @@ func main() {
 				fmt.Printf("%s\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%d\n",
 					c.Backend, c.Workers, c.TPS, c.GetsPerSec, c.ScansPerSec, c.P50Ms, c.Blocks)
 			}
+		case "fanout":
+			fs := harness.FanoutSweep(scale)
+			cells = fs
+			fmt.Printf("# fanout: shared fan-out hub vs subscriber count, n=4, workers=1, batch=100, sigma=256, single data-center\n")
+			fmt.Printf("subs\tfiltered\tstalled\ttps\tdeliv/s\tlag-p50-ms\tlag-p99-ms\tenc/blk\tshare-ratio\tdemotions\treplays\toverflow\n")
+			for _, c := range fs {
+				fmt.Printf("%d\t%t\t%t\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.1f\t%d\t%d\t%d\n",
+					c.Subs, c.Filtered, c.Stalled, c.TPS, c.DeliveriesPerSec, c.LagP50Ms, c.LagP99Ms,
+					c.EncodesPerBlock, c.SharingRatio, c.Demotions, c.CohortReplays, c.OverflowDisconnects)
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "-out is only supported with -exp workers or -exp state")
+			fmt.Fprintln(os.Stderr, "-out is only supported with -exp workers, state, or fanout")
 			os.Exit(2)
 		}
 		doc := benchDoc{

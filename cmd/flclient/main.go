@@ -16,6 +16,14 @@
 // sequence from cursor zero for the whole run and the block count is
 // reported alongside — exercising the SUBSCRIBE replay/live path under
 // submission load.
+//
+// With -subscribers N the run additionally attaches N concurrent streaming
+// sessions over real TCP, all from cursor zero — the fan-out smoke: every
+// stream must be gap-free (each session checks its merged-position sequence
+// is exactly 0,1,2,...), and the run exits nonzero if any stream gapped or
+// died. The soft file-descriptor limit is raised to the hard ceiling first:
+//
+//	flclient -selfhost -subscribers 5000 -clients 2 -duration 10s
 package main
 
 import (
@@ -49,6 +57,7 @@ func main() {
 		inflight  = flag.Int("inflight", 256, "max unresolved writes per session (pipelining bound)")
 		duration  = flag.Duration("duration", 30*time.Second, "how long to submit")
 		subscribe = flag.Bool("subscribe", false, "also stream the merged definite blocks from cursor 0 during the run")
+		subsN     = flag.Int("subscribers", 0, "attach this many concurrent streaming sessions from cursor 0; each asserts a gap-free stream")
 		selfhost  = flag.Bool("selfhost", false, "boot an in-process 4-node loopback cluster and bench against it")
 		workers   = flag.Int("workers", 1, "with -selfhost: worker instances (omega) per node")
 		out       = flag.String("out", "", "write the result as JSON to this file")
@@ -86,6 +95,84 @@ func main() {
 				streamed.Add(1)
 			}
 		}()
+	}
+
+	// The fan-out population: -subscribers sessions over real TCP, every one
+	// streaming from cursor 0 and checking its merged-position sequence for
+	// gaps. Session ids sit far above the submitters' so commit receipts
+	// (routed by tx client id) can never target a subscriber session.
+	var (
+		subsWG    sync.WaitGroup
+		subEvents atomic.Uint64
+		subFailed atomic.Uint64
+		subGapped atomic.Uint64
+		subIDBase = uint64(1) << 32
+	)
+	if *subsN > 0 {
+		raiseFDLimit()
+		attachStart := time.Now()
+		dialSem := make(chan struct{}, 64)
+		for i := 0; i < *subsN; i++ {
+			subsWG.Add(1)
+			dialSem <- struct{}{}
+			go func(i int) {
+				defer subsWG.Done()
+				released := false
+				release := func() {
+					if !released {
+						released = true
+						<-dialSem
+					}
+				}
+				defer release()
+				c, err := clientapi.Dial(addr, subIDBase+uint64(i), clientapi.DialOptions{Timeout: time.Minute})
+				if err != nil {
+					log.Printf("subscriber %d: dial: %v", i, err)
+					subFailed.Add(1)
+					return
+				}
+				defer c.Close()
+				events, err := c.Subscribe(ctx, clientapi.Cursor{})
+				if err != nil {
+					log.Printf("subscriber %d: subscribe: %v", i, err)
+					subFailed.Add(1)
+					return
+				}
+				release() // bound concurrent dials, not session lifetimes
+				workers := uint64(c.Workers())
+				var next uint64
+				for ev := range events {
+					if ev.Err != nil {
+						log.Printf("subscriber %d: stream died at pos %d: %v", i, next, ev.Err)
+						subFailed.Add(1)
+						return
+					}
+					pos := (ev.Block.Signed.Header.Round-1)*workers + uint64(ev.Worker)
+					if pos != next {
+						if ctx.Err() != nil {
+							// A canceled stream may shed events while it winds
+							// down (the client drops frames a gone consumer
+							// would block); only a gap seen before cancellation
+							// indicts the server's fan-out.
+							return
+						}
+						log.Printf("subscriber %d: GAP: got merged pos %d, want %d", i, pos, next)
+						subGapped.Add(1)
+						return
+					}
+					next++
+					subEvents.Add(1)
+				}
+			}(i)
+		}
+		// Fill the semaphore to know every dial finished, then drain it.
+		for i := 0; i < cap(dialSem); i++ {
+			dialSem <- struct{}{}
+		}
+		for i := 0; i < cap(dialSem); i++ {
+			<-dialSem
+		}
+		log.Printf("%d subscribers attached in %v", *subsN, time.Since(attachStart).Round(time.Millisecond))
 	}
 
 	benchStart := time.Now()
@@ -148,6 +235,7 @@ func main() {
 	}
 	wg.Wait()
 	cancel()
+	subsWG.Wait() // streams end cleanly on ctx cancel (STREAM_END, channel close)
 
 	// Measured wall time, not the nominal -duration: it includes dial time
 	// and the drain of writes still in flight at the deadline, so tps is
@@ -170,6 +258,12 @@ func main() {
 	}
 	if *subscribe {
 		result.BlocksStreamed = streamed.Load()
+	}
+	if *subsN > 0 {
+		result.Subscribers = *subsN
+		result.SubscriberEvents = subEvents.Load()
+		log.Printf("fan-out: %d subscribers streamed %d block events (gapped %d, died %d)",
+			*subsN, result.SubscriberEvents, subGapped.Load(), subFailed.Load())
 	}
 	log.Printf("committed %d/%d txs of %d bytes in %.1fs: %.0f tps, latency p50=%.1fms p90=%.1fms p99=%.1fms (failed %d, streamed %d blocks)",
 		result.Committed, result.Submitted, *size, elapsed, result.TPS,
@@ -197,6 +291,9 @@ func main() {
 	}
 	if result.Committed == 0 {
 		log.Fatal("no write committed — the cluster never acked finality")
+	}
+	if g, f := subGapped.Load(), subFailed.Load(); g > 0 || f > 0 {
+		log.Fatalf("fan-out smoke failed: %d subscriber streams gapped, %d died", g, f)
 	}
 }
 
@@ -230,6 +327,10 @@ type benchResult struct {
 	LatencyMsP99   float64 `json:"latency_ms_p99"`
 	LatencyMsMax   float64 `json:"latency_ms_max"`
 	BlocksStreamed uint64  `json:"blocks_streamed,omitempty"`
+	// -subscribers mode: the fan-out population and the total block events
+	// it absorbed (every stream verified gap-free from cursor 0).
+	Subscribers      int    `json:"subscribers,omitempty"`
+	SubscriberEvents uint64 `json:"subscriber_events,omitempty"`
 }
 
 // startSelfhostCluster boots a 4-node FLO cluster over loopback TCP inside
@@ -270,7 +371,7 @@ func startSelfhostCluster(workers int) (addr string, stop func()) {
 		}
 		nodes[i] = node
 	}
-	srv := clientapi.NewServer(nodes[0], clientapi.ServerOptions{})
+	srv := clientapi.NewServer(nodes[0], clientapi.ServerOptions{Logf: log.Printf})
 	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		log.Fatalf("selfhost: client API: %v", err)
 	}

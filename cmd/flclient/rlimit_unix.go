@@ -1,0 +1,19 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFDLimit lifts the soft open-file limit to the hard ceiling before a
+// -subscribers run: with -selfhost both ends of every subscriber connection
+// live in this process, so N subscribers hold ~2N descriptors.
+func raiseFDLimit() {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+}

@@ -72,12 +72,24 @@ func Dial(addr string, clientID uint64, opts DialOptions) (*Client, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 5 * time.Second
 	}
-	if opts.SubscribeBuffer <= 0 {
-		opts.SubscribeBuffer = 256
-	}
 	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("clientapi: dial %s: %w", addr, err)
+	}
+	return Attach(conn, clientID, opts)
+}
+
+// Attach runs the HELLO/WELCOME handshake over an already-established
+// connection and returns the session. Any net.Conn works: scale tests and
+// benches attach over net.Pipe ends served by Server.ServeConn, taking the
+// file-descriptor limit out of subscriber-count experiments. Attach owns
+// conn; it is closed on handshake failure and by Client.Close.
+func Attach(conn net.Conn, clientID uint64, opts DialOptions) (*Client, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.SubscribeBuffer <= 0 {
+		opts.SubscribeBuffer = 256
 	}
 	conn.SetDeadline(time.Now().Add(opts.Timeout))
 	if _, err := conn.Write(marshalHello(helloMsg{Magic: Magic, Version: Version, ClientID: clientID})); err != nil {
@@ -192,6 +204,14 @@ func (c *Client) InFlight() int {
 // (with a terminal Err event for abnormal ends) when ctx is canceled, the
 // session closes, or the cursor predates the node's retained history.
 func (c *Client) Subscribe(ctx context.Context, cur Cursor) (<-chan BlockEvent, error) {
+	return c.SubscribeFiltered(ctx, cur, Filter{})
+}
+
+// SubscribeFiltered is Subscribe with a server-side filter (wire 1.3): only
+// blocks carrying at least one transaction matching flt are sent over the
+// wire; the cursor still advances over suppressed blocks, so resuming from
+// the last received block's Cursor.Next is gap-free in the filtered view.
+func (c *Client) SubscribeFiltered(ctx context.Context, cur Cursor, flt Filter) (<-chan BlockEvent, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -204,7 +224,7 @@ func (c *Client) Subscribe(ctx context.Context, cur Cursor) (<-chan BlockEvent, 
 	sub := &subscription{ctx: ctx, ch: make(chan BlockEvent, c.opts.SubscribeBuffer), ended: make(chan struct{})}
 	c.sub = sub
 	c.mu.Unlock()
-	if err := c.write(marshalSubscribe(cur)); err != nil {
+	if err := c.write(marshalSubscribe(cur, flt)); err != nil {
 		c.mu.Lock()
 		c.sub = nil
 		c.mu.Unlock()
@@ -567,11 +587,18 @@ func (c *Client) readLoop() {
 			if sub == nil {
 				continue
 			}
+			// Prefer delivery: a canceled consumer that is still draining gets
+			// every in-flight frame in order until STREAM_END. Only a consumer
+			// that stopped receiving (buffer full, ctx done) loses the tail.
 			select {
 			case sub.ch <- BlockEvent{Worker: m.Worker, Block: m.Block}:
-			case <-sub.ctx.Done():
-				// Consumer gone; drop the event. STREAM_END follows (the
-				// unsubscribe relay fired) and detaches the subscription.
+			default:
+				select {
+				case sub.ch <- BlockEvent{Worker: m.Worker, Block: m.Block}:
+				case <-sub.ctx.Done():
+					// Consumer gone; drop the event. STREAM_END follows (the
+					// unsubscribe relay fired) and detaches the subscription.
+				}
 			}
 		case kindStreamEnd:
 			streamErr, derr := decodeStreamEnd(payload)

@@ -317,6 +317,7 @@ func TestVersionMismatchRefused(t *testing.T) {
 	}{
 		{"minor-bump", VersionMajor<<16 | (VersionMinor + 1)},
 		{"major-bump", (VersionMajor + 1) << 16},
+		{"legacy-1.2", VersionMajor<<16 | 2}, // pre-filter protocol: SUBSCRIBE carries no filter clause
 		{"legacy-1.1", VersionMajor<<16 | 1}, // pre-state-reads protocol: no GET/SCAN/WATCH frames
 		{"legacy-1.0", VersionMajor << 16},
 	} {

@@ -11,7 +11,7 @@
 //	  | SUBMIT {seq, payload}  →          |
 //	  |  ←  ACK {seq}                     |   accepted into a worker pool
 //	  |  ←  COMMIT {seq, w, r, hash}      |   asynchronous, when definite
-//	  | SUBSCRIBE {worker, round}  →      |
+//	  | SUBSCRIBE {worker, round, filter} |   filter clause since 1.3:
 //	  |  ←  BLOCK {w, block} …            |   history from the log, then live
 //	  | INFO →  /  ← INFO_REPLY           |
 //	  | GET {id, key, token}  →           |   state reads (1.2): served from
@@ -30,6 +30,11 @@
 // node's persistent BlockLog (or in-memory chain), then the subscription
 // switches to the live delivery tail — reconnecting with the cursor just
 // past the last observed block resumes with no gaps and no duplicates.
+// Since 1.3 SUBSCRIBE additionally carries a Filter clause (client-id and/or
+// transaction-payload-prefix conditions): the server evaluates the filter
+// once per block and sends only the blocks carrying at least one matching
+// transaction, so an end-user application streams its own traffic instead
+// of the whole ledger.
 package clientapi
 
 import (
@@ -54,10 +59,11 @@ const Magic uint32 = 0x464C_4331 // "FLC1"
 // version in the WELCOME, so incompatible frames are never interpreted.
 // Bump the major on any layout change to an existing frame; bump the minor
 // when a frame gains fields or new frame kinds appear (1.1: INFO_REPLY
-// carries PoolPending; 1.2: the GET/SCAN/WATCH state-read frames).
+// carries PoolPending; 1.2: the GET/SCAN/WATCH state-read frames; 1.3:
+// SUBSCRIBE carries a filter clause).
 const (
 	VersionMajor uint32 = 1
-	VersionMinor uint32 = 2
+	VersionMinor uint32 = 3
 	Version      uint32 = VersionMajor<<16 | VersionMinor
 )
 
@@ -71,7 +77,7 @@ const (
 	kindSubmit      uint8 = 3  // client→server: seq, payload
 	kindAck         uint8 = 4  // server→client: seq, error ("" = accepted)
 	kindCommit      uint8 = 5  // server→client: seq, worker, round, hash
-	kindSubscribe   uint8 = 6  // client→server: cursor (worker, round)
+	kindSubscribe   uint8 = 6  // client→server: cursor (worker, round) + filter (1.3)
 	kindBlock       uint8 = 7  // server→client: worker, block
 	kindStreamEnd   uint8 = 8  // server→client: subscription over, error
 	kindInfo        uint8 = 9  // client→server: (empty)
@@ -246,17 +252,100 @@ func decodeCommit(payload []byte) (commitMsg, error) {
 	return m, d.Finish()
 }
 
-func marshalSubscribe(c Cursor) []byte {
-	e := frame(kindSubscribe, 12)
+// Filter restricts a block subscription (wire protocol 1.3). A transaction
+// matches when it satisfies every set condition; a block is delivered iff it
+// carries at least one matching transaction — the subscriber receives whole
+// blocks (the shared encode-once frame), filtered at block granularity. The
+// zero Filter matches every block.
+type Filter struct {
+	// HasClient, when true, requires a transaction submitted by Client.
+	HasClient bool
+	Client    uint64
+	// TxPrefix, when non-empty, requires a transaction whose payload starts
+	// with these bytes.
+	TxPrefix []byte
+}
+
+// Empty reports whether the filter matches everything.
+func (f Filter) Empty() bool { return !f.HasClient && len(f.TxPrefix) == 0 }
+
+// MatchTx reports whether one transaction satisfies every set condition.
+func (f Filter) MatchTx(tx *types.Transaction) bool {
+	if f.HasClient && tx.Client != f.Client {
+		return false
+	}
+	if len(f.TxPrefix) > 0 {
+		if len(tx.Payload) < len(f.TxPrefix) || string(tx.Payload[:len(f.TxPrefix)]) != string(f.TxPrefix) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchBlock reports whether the block carries at least one matching
+// transaction (always true for the empty filter, even on empty blocks).
+func (f Filter) MatchBlock(body *types.Body) bool {
+	if f.Empty() {
+		return true
+	}
+	for i := range body.Txs {
+		if f.MatchTx(&body.Txs[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// key renders the filter as a comparable cache key (hub verdict caching).
+func (f Filter) key() string {
+	var b [9]byte
+	if f.HasClient {
+		b[0] = 1
+		binary.BigEndian.PutUint64(b[1:], f.Client)
+	}
+	return string(b[:]) + string(f.TxPrefix)
+}
+
+// SUBSCRIBE filter-clause flags (1.3).
+const (
+	subFilterClient uint8 = 1 << 0
+	subFilterPrefix uint8 = 1 << 1
+)
+
+func marshalSubscribe(c Cursor, f Filter) []byte {
+	e := frame(kindSubscribe, 26+len(f.TxPrefix))
 	e.Uint32(c.Worker)
 	e.Uint64(c.Round)
+	var flags uint8
+	if f.HasClient {
+		flags |= subFilterClient
+	}
+	if len(f.TxPrefix) > 0 {
+		flags |= subFilterPrefix
+	}
+	e.Uint8(flags)
+	if f.HasClient {
+		e.Uint64(f.Client)
+	}
+	if len(f.TxPrefix) > 0 {
+		e.Bytes32(f.TxPrefix)
+	}
 	return finishFrame(e)
 }
 
-func decodeSubscribe(payload []byte) (Cursor, error) {
+func decodeSubscribe(payload []byte) (Cursor, Filter, error) {
 	d := types.NewDecoder(payload)
 	c := Cursor{Worker: d.Uint32(), Round: d.Uint64()}
-	return c, d.Finish()
+	var f Filter
+	flags := d.Uint8()
+	if flags&subFilterClient != 0 {
+		f.HasClient = true
+		f.Client = d.Uint64()
+	}
+	if flags&subFilterPrefix != 0 {
+		f.TxPrefix = append([]byte(nil), d.Bytes32()...)
+	}
+	return c, f, d.Finish()
 }
 
 type blockMsg struct {

@@ -14,27 +14,34 @@ import (
 // ServerOptions tune a Server.
 type ServerOptions struct {
 	// SendQueueCap bounds each connection's outbound queue in frames
-	// (default 4096). Stream (BLOCK) frames block their subscription
-	// goroutine when the queue is full — backpressure that pauses replay at
-	// the pace the client drains. Control frames (ACK, COMMIT, replies)
-	// originate on goroutines that must never block — the node's delivery
-	// path among them — so a queue still full when one arrives declares the
-	// client dead and closes the connection; the client redials and resumes
-	// from its cursor.
+	// (default 4096). A BLOCK frame arriving at a full queue parks the
+	// subscriber at the fan-out hub (it is retried from the shared ring, or
+	// demoted to a replay cohort, once the connection drains) — backpressure
+	// that paces the stream to the client without a blocked goroutine.
+	// Control frames (ACK, COMMIT, replies) originate on goroutines that
+	// must never block — the node's delivery path among them — so a queue
+	// still full when one arrives declares the client dead and closes the
+	// connection; the client redials and resumes from its cursor.
 	SendQueueCap int
 	// Logf, when set, receives server diagnostics (accept/handshake/conn
 	// errors). Nil discards them.
 	Logf func(format string, args ...any)
+	// Hub tunes the fan-out hub (ring capacity, cohort segment width).
+	// Hub.Logf defaults to Logf.
+	Hub HubConfig
 }
 
 // Server serves the client wire protocol on behalf of one node. It owns a
-// listener, one goroutine pair per connection (reader + writer), at most one
-// stream goroutine per connection, and a single SubscribeDeliver tap that
-// routes commit receipts to the sessions whose transactions appear in
-// delivered blocks.
+// listener, one goroutine pair per connection (reader + writer), a
+// SubscribeDeliver tap that routes commit receipts to the sessions whose
+// transactions appear in delivered blocks, and one fan-out Hub through which
+// every SUBSCRIBE stream is served (one encoding per block shared across all
+// subscribers; see fanout.go — connections no longer run private replay
+// loops).
 type Server struct {
 	node Node
 	opts ServerOptions
+	hub  *Hub
 
 	ln            net.Listener
 	cancelDeliver func()
@@ -46,18 +53,30 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// NewServer creates a server for node. Call Listen to start serving.
+// NewServer creates a server for node. Call Listen to start serving
+// (ServeConn serves pre-established connections without a listener).
 func NewServer(node Node, opts ServerOptions) *Server {
 	if opts.SendQueueCap <= 0 {
 		opts.SendQueueCap = 4096
 	}
-	return &Server{
+	s := &Server{
 		node:     node,
 		opts:     opts,
 		conns:    make(map[*serverConn]bool),
 		sessions: make(map[uint64]*serverConn),
 	}
+	hubCfg := opts.Hub
+	if hubCfg.Logf == nil {
+		hubCfg.Logf = opts.Logf
+	}
+	s.hub = NewHub(node, hubCfg)
+	s.cancelDeliver = node.SubscribeDeliver(s.onDeliver)
+	return s
 }
+
+// Fanout snapshots the server's fan-out hub counters (frames shared vs
+// encoded, cohort replays, demotions, overflow disconnects, tier sizes).
+func (s *Server) Fanout() FanoutStats { return s.hub.Stats() }
 
 // Listen binds addr and starts accepting client sessions. The bound address
 // (useful with ":0") is available via Addr.
@@ -74,10 +93,38 @@ func (s *Server) Listen(addr string) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
-	s.cancelDeliver = s.node.SubscribeDeliver(s.onDeliver)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return nil
+}
+
+// ServeConn serves one client session over a pre-established connection —
+// any net.Conn, typically one end of a net.Pipe. Scale tests and benches use
+// it to attach tens of thousands of subscribers without consuming file
+// descriptors. It returns once the session's goroutines are started; the
+// connection is closed when the session ends or the server closes.
+func (s *Server) ServeConn(conn net.Conn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("clientapi: server is closed")
+	}
+	c := s.newConnLocked(conn)
+	s.mu.Unlock()
+	s.wg.Add(2)
+	go c.readLoop()
+	go c.writeLoop()
+	return nil
+}
+
+// newConnLocked registers a serverConn for conn; s.mu held, s not closed.
+func (s *Server) newConnLocked(conn net.Conn) *serverConn {
+	c := &serverConn{srv: s, conn: conn}
+	c.sendCond = sync.NewCond(&c.sendMu)
+	c.connCtx, c.connCancel = context.WithCancel(context.Background())
+	s.conns[c] = true
+	return c
 }
 
 // Addr returns the bound listen address ("" before Listen).
@@ -108,6 +155,7 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	s.hub.Close()
 	for _, c := range conns {
 		c.close(errors.New("server shutting down"))
 	}
@@ -135,16 +183,13 @@ func (s *Server) acceptLoop() {
 			s.logf("clientapi: accept: %v", err)
 			continue
 		}
-		c := &serverConn{srv: s, conn: conn}
-		c.sendCond = sync.NewCond(&c.sendMu)
-		c.connCtx, c.connCancel = context.WithCancel(context.Background())
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		s.conns[c] = true
+		c := s.newConnLocked(conn)
 		s.mu.Unlock()
 		s.wg.Add(2)
 		go c.readLoop()
@@ -201,9 +246,13 @@ type serverConn struct {
 	queue    [][]byte
 	closed   bool
 
-	subMu     sync.Mutex
-	subCancel context.CancelFunc
-	subDone   chan struct{}
+	// The active SUBSCRIBE stream, served by the server's fan-out hub (at
+	// most one per session). fanSink is the hub-facing delivery surface; it
+	// doubles as the stream's identity so the hub-initiated end and the
+	// client-initiated unsubscribe race to send exactly one STREAM_END.
+	subMu   sync.Mutex
+	fanSink *connSink
+	fanSub  *hubSub
 
 	// connCtx spans the connection's lifetime; close cancels it, unblocking
 	// state reads parked on a consistency token and tearing down watches.
@@ -215,10 +264,9 @@ type serverConn struct {
 }
 
 // close tears the connection down once: marks the send queue closed (waking
-// writer and blocked enqueuers), closes the socket, cancels the stream
-// without waiting for its goroutine (close may run on the node's delivery
-// path via enqueueControl overflow, which must not block on a stream
-// goroutine mid disk read — the canceled stream reaps itself), and releases
+// writer and blocked enqueuers), closes the socket, detaches the stream from
+// the fan-out hub (Unsubscribe never blocks on the subscriber — close may
+// run on the node's delivery path via enqueueControl overflow), and releases
 // the client id. registered/clientID are guarded by srv.mu: either the
 // handshake registers first (and close here releases the id) or a closing
 // server wins (and handshake sees srv.closed and releases it itself).
@@ -265,6 +313,7 @@ func (c *serverConn) enqueueControl(frame []byte) {
 	}
 	if len(c.queue) >= 2*c.srv.opts.SendQueueCap {
 		c.sendMu.Unlock()
+		c.srv.hub.NoteOverflowDisconnect()
 		c.close(errors.New("send queue overflow (slow client)"))
 		return
 	}
@@ -273,11 +322,26 @@ func (c *serverConn) enqueueControl(frame []byte) {
 	c.sendMu.Unlock()
 }
 
-// enqueueStream appends a BLOCK frame, blocking while the queue is full —
-// the per-connection backpressure that paces a subscription's replay to the
-// client's drain rate. It returns an error once the connection is closed or
-// the subscription's context is canceled (cancelStream broadcasts the cond
-// after canceling, so a blocked enqueue re-checks).
+// tryEnqueueStream appends a BLOCK frame without blocking: false when the
+// queue is at SendQueueCap (or the connection is closed), which tells the
+// fan-out hub to park the subscriber until the write loop drains. This is
+// the non-blocking half of stream backpressure — BLOCK frames never occupy
+// the control headroom above SendQueueCap.
+func (c *serverConn) tryEnqueueStream(frame []byte) bool {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.closed || len(c.queue) >= c.srv.opts.SendQueueCap {
+		return false
+	}
+	c.queue = append(c.queue, frame)
+	c.sendCond.Broadcast()
+	return true
+}
+
+// enqueueStream appends a WATCH_EVENT frame, blocking while the queue is
+// full — backpressure that paces a watch to the client's drain rate
+// (coalescing happens upstream in the replica). It returns an error once the
+// connection is closed or ctx is canceled.
 func (c *serverConn) enqueueStream(ctx context.Context, frame []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -316,6 +380,15 @@ func (c *serverConn) writeLoop() {
 			c.close(fmt.Errorf("write: %w", err))
 			return
 		}
+		// The queue just drained by a batch: if the hub parked this
+		// connection's subscriber against a full queue, tell it to retry
+		// (no-op unless parked — one atomic load).
+		c.subMu.Lock()
+		sub := c.fanSub
+		c.subMu.Unlock()
+		if sub != nil {
+			c.srv.hub.Unpark(sub)
+		}
 	}
 }
 
@@ -339,11 +412,11 @@ func (c *serverConn) readLoop() {
 			tx := types.Transaction{Client: c.clientID, Seq: m.Seq, Payload: m.Payload}
 			c.enqueueControl(marshalAck(ackMsg{Seq: m.Seq, Err: errString(c.srv.node.Submit(tx))}))
 		case kindSubscribe:
-			cur, err := decodeSubscribe(payload)
+			cur, flt, err := decodeSubscribe(payload)
 			if err != nil {
 				return
 			}
-			c.startStream(cur)
+			c.startStream(cur, flt)
 		case kindUnsubscribe:
 			c.cancelStream(true)
 		case kindGet:
@@ -544,60 +617,86 @@ func (c *serverConn) serveWatch(m watchMsg) {
 	c.enqueueControl(marshalWatchEnd(watchEndMsg{ID: m.ID, Code: readOK}))
 }
 
-// startStream launches the cursor-replay subscription, replacing any
-// previous one on this connection (one active stream per session).
-func (c *serverConn) startStream(cur Cursor) {
-	c.cancelStream(true)
-	s := c.srv
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.wg.Add(1) // under s.mu: Close sets closed before it waits
-	s.mu.Unlock()
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan struct{})
+// connSink adapts a serverConn to the fan-out hub's delivery surface. The
+// sink pointer identifies one subscription for the lifetime of the stream:
+// STREAM_END is sent by whichever of the hub (terminal error) or the
+// connection (unsubscribe / replacement) detaches it first.
+type connSink struct{ c *serverConn }
+
+func (s *connSink) TrySend(frame []byte) bool { return s.c.tryEnqueueStream(frame) }
+
+func (s *connSink) End(err error) { s.c.streamEnded(s, err) }
+
+// streamEnded handles a hub-initiated stream end (compacted cursor, read
+// failure): if sink is still this connection's active stream, detach it and
+// report the error to the client. The hub has already forgotten the
+// subscription when this runs.
+func (c *serverConn) streamEnded(sink *connSink, err error) {
 	c.subMu.Lock()
-	c.subCancel = cancel
-	c.subDone = done
+	if c.fanSink != sink {
+		c.subMu.Unlock()
+		return // already replaced or unsubscribed; its STREAM_END went out
+	}
+	c.fanSink, c.fanSub = nil, nil
 	c.subMu.Unlock()
-	go func() {
-		defer s.wg.Done()
-		defer close(done)
-		err := Stream(ctx, s.node, cur, func(w uint32, blk types.Block) error {
-			return c.enqueueStream(ctx, marshalBlock(blockMsg{Worker: w, Block: blk}))
-		})
-		// Tell the client why the stream ended, unless the session itself
-		// is gone (then the frame has nowhere to go). A canceled context is
-		// the client's own unsubscribe: report a clean end.
-		if errors.Is(err, context.Canceled) {
-			err = nil
-		}
-		c.enqueueControl(marshalStreamEnd(err))
-	}()
+	c.enqueueControl(marshalStreamEnd(err))
 }
 
-// cancelStream stops the active subscription, if any. With wait it blocks
-// until the stream goroutine has finished, so a replacement stream cannot
-// interleave frames; close passes false (the dying connection has no
-// successor, and close may be running on the node's delivery path).
-func (c *serverConn) cancelStream(wait bool) {
+// startStream subscribes this connection at the server's fan-out hub,
+// replacing any previous subscription (one active stream per session). The
+// hub serves the replay — shared with every cohort member in the same
+// segment — and the live tail from the shared frame ring; this connection
+// contributes only its send queue.
+func (c *serverConn) startStream(cur Cursor, flt Filter) {
+	c.cancelStream(true)
+	sink := &connSink{c: c}
 	c.subMu.Lock()
-	cancel, done := c.subCancel, c.subDone
-	c.subCancel, c.subDone = nil, nil
+	c.fanSink = sink
 	c.subMu.Unlock()
-	if cancel == nil {
+	sub, err := c.srv.hub.Subscribe(cur, flt, sink)
+	if err != nil {
+		c.streamEnded(sink, err)
 		return
 	}
-	cancel()
-	// Wake a stream goroutine parked in enqueueStream so it observes the
-	// cancellation; otherwise the wait below could deadlock behind a full
-	// send queue.
-	c.sendMu.Lock()
-	c.sendCond.Broadcast()
-	c.sendMu.Unlock()
-	if wait {
-		<-done
+	c.subMu.Lock()
+	if c.fanSink == sink {
+		c.fanSub = sub
+		c.subMu.Unlock()
+		// If close tore the connection down while we were registering, its
+		// cancelStream may have run before the handle existed: detach now
+		// rather than leak the subscription at the hub.
+		c.sendMu.Lock()
+		closed := c.closed
+		c.sendMu.Unlock()
+		if closed {
+			c.cancelStream(false)
+		}
+		return
+	}
+	// The hub ended the stream while we were registering the handle (e.g.
+	// an immediately-compacted cursor): nothing to track.
+	c.subMu.Unlock()
+	c.srv.hub.Unsubscribe(sub)
+}
+
+// cancelStream detaches the active subscription from the hub, if any. With
+// notify, the client is told the stream ended cleanly (unsubscribe or
+// replacement by a new SUBSCRIBE); close passes false — the dying
+// connection has no one to notify. Never blocks on the hub beyond its
+// mutex, so it is safe on the node's delivery path (enqueueControl
+// overflow → close).
+func (c *serverConn) cancelStream(notify bool) {
+	c.subMu.Lock()
+	sink, sub := c.fanSink, c.fanSub
+	c.fanSink, c.fanSub = nil, nil
+	c.subMu.Unlock()
+	if sink == nil {
+		return
+	}
+	if sub != nil {
+		c.srv.hub.Unsubscribe(sub)
+	}
+	if notify {
+		c.enqueueControl(marshalStreamEnd(nil))
 	}
 }

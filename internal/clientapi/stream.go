@@ -42,27 +42,93 @@ const replayBatch = 64
 // the consumer) instead of stalling the node's delivery path.
 const liveBufCap = 1024
 
-// errFellBehind is the internal signal that the live buffer overflowed (or
-// the tail showed a gap) and the stream must re-enter replay at its cursor.
+// errFellBehind is the internal signal that the live tail cannot continue —
+// the buffer overflowed or the tail showed a gap — and the stream must
+// re-enter replay at its cursor. The concrete value is a fellBehindError
+// carrying which of the two cases fired (they are operationally identical —
+// both resume from replay — but diagnostically distinct: overflow means the
+// consumer is slow, a gap means the delivery tail skipped past the cursor).
 var errFellBehind = errors.New("clientapi: live tail fell behind; resuming from replay")
 
+// fellBehindError is the typed errFellBehind: errors.Is-compatible, plus the
+// positions that distinguish a buffer overflow from a genuine tail gap.
+type fellBehindError struct {
+	gap        bool   // true: tail gap; false: live buffer overflow
+	evPos, pos uint64 // gap case: the event seen vs. the cursor expected
+}
+
+func (e *fellBehindError) Error() string {
+	if e.gap {
+		return fmt.Sprintf("clientapi: live tail gap (event at merged pos %d, cursor at %d); resuming from replay", e.evPos, e.pos)
+	}
+	return "clientapi: live buffer overflowed (slow consumer); resuming from replay"
+}
+
+func (e *fellBehindError) Is(target error) bool { return target == errFellBehind }
+
+// StreamOption narrows a block subscription with a server-side filter
+// (wire protocol 1.3). Options combine conjunctively: every set condition
+// must hold on the same transaction for a block to be delivered.
+type StreamOption func(*Filter)
+
+// WithClientFilter delivers only blocks carrying a transaction submitted by
+// client — an end-user app streaming its own writes, not the whole ledger.
+func WithClientFilter(client uint64) StreamOption {
+	return func(f *Filter) { f.HasClient, f.Client = true, client }
+}
+
+// WithTxPrefix delivers only blocks carrying a transaction whose payload
+// starts with prefix.
+func WithTxPrefix(prefix []byte) StreamOption {
+	return func(f *Filter) { f.TxPrefix = append([]byte(nil), prefix...) }
+}
+
+// BuildFilter folds options into a wire Filter.
+func BuildFilter(opts ...StreamOption) Filter {
+	var f Filter
+	for _, o := range opts {
+		o(&f)
+	}
+	return f
+}
+
+// StreamConfig tunes StreamWith beyond the cursor.
+type StreamConfig struct {
+	// Filter suppresses non-matching blocks (delivered blocks carry at least
+	// one matching transaction). The cursor still advances over suppressed
+	// blocks, so resume arithmetic is unchanged. Zero value: no filtering.
+	Filter Filter
+	// Logf, when set, receives stream diagnostics (currently: the first
+	// genuine live-tail gap, with positions). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
 // Stream delivers the merged definite stream from cursor cur, calling emit
-// for every block in merged order — each exactly once, no gaps. The
-// historical prefix below the definite frontier is replayed from the node's
-// log (Node.ReadDefinite); the stream then follows the live delivery tail,
-// falling back to replay whenever the consumer cannot keep up. Stream
-// returns when ctx ends, when emit returns an error (which it propagates),
-// or when the cursor predates retained history (ErrCompacted from the
-// store). It never returns nil.
+// for every block in merged order — each exactly once, no gaps. See
+// StreamWith; Stream is the unfiltered form.
+func Stream(ctx context.Context, node Node, cur Cursor, emit func(worker uint32, blk types.Block) error) error {
+	return StreamWith(ctx, node, cur, StreamConfig{}, emit)
+}
+
+// StreamWith delivers the merged definite stream from cursor cur, calling
+// emit for every block in merged order that matches cfg.Filter — each
+// exactly once, no gaps among matching blocks. The historical prefix below
+// the definite frontier is replayed from the node's log (Node.ReadDefinite);
+// the stream then follows the live delivery tail, falling back to replay
+// whenever the consumer cannot keep up. StreamWith returns when ctx ends,
+// when emit returns an error (which it propagates), or when the cursor
+// predates retained history (ErrCompacted from the store). It never returns
+// nil.
 //
 // emit may block: backpressure propagates to replay pacing, never to the
 // node's delivery goroutine (live deliveries land in a bounded buffer).
-func Stream(ctx context.Context, node Node, cur Cursor, emit func(worker uint32, blk types.Block) error) error {
+func StreamWith(ctx context.Context, node Node, cur Cursor, cfg StreamConfig, emit func(worker uint32, blk types.Block) error) error {
 	workers := node.Workers()
 	if int(cur.Worker) >= workers {
 		return fmt.Errorf("clientapi: cursor worker %d out of range (ω=%d)", cur.Worker, workers)
 	}
 	pos := cur.pos(workers)
+	gapLogged := false
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -73,13 +139,22 @@ func Stream(ctx context.Context, node Node, cur Cursor, emit func(worker uint32,
 		lb := newLiveBuffer()
 		cancel := node.SubscribeDeliver(lb.push)
 		err := func() error {
-			if err := replay(ctx, node, workers, &pos, emit); err != nil {
+			if err := replay(ctx, node, workers, &pos, cfg.Filter, emit); err != nil {
 				return err
 			}
-			return follow(ctx, workers, &pos, lb, emit)
+			return follow(ctx, workers, &pos, lb, cfg.Filter, emit)
 		}()
 		cancel()
-		if errors.Is(err, errFellBehind) {
+		var fb *fellBehindError
+		if errors.As(err, &fb) {
+			if fb.gap && !gapLogged && cfg.Logf != nil {
+				// A gap is rare (the delivery tail announced a block past the
+				// cursor without the one at it): log the first occurrence with
+				// positions so it is distinguishable from routine slow-consumer
+				// overflows; replay re-reads and re-verifies the missed range.
+				cfg.Logf("%v", fb)
+				gapLogged = true
+			}
 			continue // re-replay from the current cursor
 		}
 		return err
@@ -89,8 +164,9 @@ func Stream(ctx context.Context, node Node, cur Cursor, emit func(worker uint32,
 // replay emits definite blocks in merged order starting at *pos until the
 // definite frontier is reached (the next block in merged order is not yet
 // definite). Per-worker reads are batched so a W-worker replay costs
-// O(blocks/replayBatch) historical reads, not one per block.
-func replay(ctx context.Context, node Node, workers int, pos *uint64, emit func(uint32, types.Block) error) error {
+// O(blocks/replayBatch) historical reads, not one per block. Blocks the
+// filter suppresses still advance the cursor.
+func replay(ctx context.Context, node Node, workers int, pos *uint64, flt Filter, emit func(uint32, types.Block) error) error {
 	queues := make([][]types.Block, workers)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -113,6 +189,10 @@ func replay(ctx context.Context, node Node, workers int, pos *uint64, emit func(
 			return fmt.Errorf("clientapi: replay expected worker %d round %d, source yielded %d", w, r, got)
 		}
 		queues[w] = queues[w][1:]
+		if !flt.MatchBlock(&blk.Body) {
+			*pos++
+			continue
+		}
 		if err := emit(w, blk); err != nil {
 			return err
 		}
@@ -121,9 +201,12 @@ func replay(ctx context.Context, node Node, workers int, pos *uint64, emit func(
 }
 
 // follow drains the live buffer, emitting the events at *pos and skipping
-// those replay already covered. It returns errFellBehind on buffer overflow
-// or a tail gap, sending the stream back to replay.
-func follow(ctx context.Context, workers int, pos *uint64, lb *liveBuffer, emit func(uint32, types.Block) error) error {
+// those replay already covered. It returns a fellBehindError — sending the
+// stream back to replay — in two distinct cases: the buffer overflowed (slow
+// consumer), or the tail showed a genuine gap (an event past *pos arrived
+// while the event at *pos was neither buffered nor readable during replay —
+// a delivery that slipped between the log read and the buffer attach).
+func follow(ctx context.Context, workers int, pos *uint64, lb *liveBuffer, flt Filter, emit func(uint32, types.Block) error) error {
 	for {
 		ev, err := lb.pop(ctx)
 		if err != nil {
@@ -134,7 +217,11 @@ func follow(ctx context.Context, workers int, pos *uint64, lb *liveBuffer, emit 
 			continue // replay already emitted it
 		}
 		if evPos > *pos {
-			return errFellBehind // should not happen; replay re-verifies
+			return &fellBehindError{gap: true, evPos: evPos, pos: *pos}
+		}
+		if !flt.MatchBlock(&ev.blk.Body) {
+			*pos++
+			continue
 		}
 		if err := emit(ev.worker, ev.blk); err != nil {
 			return err
@@ -183,7 +270,8 @@ func (b *liveBuffer) push(w uint32, blk types.Block) {
 }
 
 // pop returns the oldest buffered event, blocking until one arrives. It
-// returns errFellBehind once the buffer has overflowed and drained.
+// returns the overflow form of fellBehindError once the buffer has
+// overflowed and drained.
 func (b *liveBuffer) pop(ctx context.Context) (liveEvent, error) {
 	for {
 		b.mu.Lock()
@@ -196,7 +284,7 @@ func (b *liveBuffer) pop(ctx context.Context) (liveEvent, error) {
 		overflow := b.overflow
 		b.mu.Unlock()
 		if overflow {
-			return liveEvent{}, errFellBehind
+			return liveEvent{}, &fellBehindError{gap: false}
 		}
 		select {
 		case <-ctx.Done():

@@ -267,10 +267,12 @@ type deliverSub struct {
 // SubscribeDeliver registers an additional consumer of the merged definite
 // block stream (alongside Config.Deliver) and returns a cancel function that
 // detaches it. Subscribers run synchronously in delivery order and must not
-// block. Subscribers registered after Start observe only deliveries from
-// registration onward (the client API's cursor replay covers the gap from
-// the log); a delivery already in flight when cancel returns may still
-// invoke the callback once.
+// block. The client API registers O(1) taps per node, not per connection:
+// its fan-out hub takes a single tap and shares each delivery across every
+// remote subscriber (replay cohorts cover historical cursors from the log).
+// Subscribers registered after Start observe only deliveries from
+// registration onward; a delivery already in flight when cancel returns may
+// still invoke the callback once.
 func (n *Node) SubscribeDeliver(fn func(worker uint32, blk types.Block)) (cancel func()) {
 	n.subMu.Lock()
 	id := n.nextSubID

@@ -463,6 +463,7 @@ func State(w io.Writer, s Scale) {
 var Experiments = map[string]func(io.Writer, Scale){
 	"workers": Workers,
 	"state":   State,
+	"fanout":  Fanout,
 	"table1":  Table1,
 	"fig5":    Fig5,
 	"fig6":    Fig6,
@@ -483,5 +484,5 @@ var Experiments = map[string]func(io.Writer, Scale){
 var ExperimentOrder = []string{
 	"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"workers", "state",
+	"workers", "state", "fanout",
 }

@@ -1,0 +1,326 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clientapi"
+	"repro/internal/flo"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// fanSubBase keeps subscriber client identities far away from the
+// saturating load's tx client ids (nodeID*1000+worker): the server routes a
+// delivered tx's COMMIT receipt to the session registered under its client
+// id, and a collision would spray receipts into a subscriber's send queue.
+const fanSubBase = uint64(1) << 32
+
+// fanoutRig is the in-run fan-out load: a client API server on node 0 plus
+// Options.Subscribers streaming sessions over in-memory pipes, every one
+// subscribed from genesis. A delivery-time tap timestamps each merged
+// position so sampled subscribers can measure delivery→receive lag.
+type fanoutRig struct {
+	srv       *clientapi.Server
+	cancelTap func()
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	measuring *atomic.Bool
+	workers   uint64
+
+	received  atomic.Uint64 // BLOCK events absorbed inside the window
+	delivered atomic.Uint64 // node-0 deliveries since attach
+	lag       *metrics.Histogram
+
+	wallMu sync.RWMutex
+	wall   map[uint64]time.Time // merged pos -> delivery wall clock
+
+	clients []*clientapi.Client
+}
+
+// attachFanout wires the rig to node and spawns the subscribers. It returns
+// once every subscription is established (so the measured window opens with
+// the full population attached); call stop before the node goes down.
+func attachFanout(node *flo.Node, opts Options, measuring *atomic.Bool) *fanoutRig {
+	r := &fanoutRig{
+		measuring: measuring,
+		workers:   uint64(node.Workers()),
+		lag:       metrics.NewHistogram(0),
+		wall:      make(map[uint64]time.Time),
+	}
+	// The lag tap registers before the server so the timestamp for a
+	// position exists by the time the hub's tap (registered by NewServer)
+	// fans the block out.
+	r.cancelTap = node.SubscribeDeliver(func(w uint32, blk types.Block) {
+		pos := (blk.Signed.Header.Round-1)*r.workers + uint64(w)
+		now := time.Now()
+		r.wallMu.Lock()
+		r.wall[pos] = now
+		r.wallMu.Unlock()
+		r.delivered.Add(1)
+	})
+	// A small send queue and ring keep the demotion machinery observable
+	// within a short measured window: a stalled connection parks after 16
+	// frames and falls to a replay cohort once the ring advances 32 past it,
+	// so ~50 delivered blocks are enough to watch the whole stall play out —
+	// the loaded cells on a 1-CPU box never produce the hundreds of blocks
+	// the production-sized defaults would need. Shrinking the queue further
+	// is counterproductive: at 8 slots healthy subscribers park on every
+	// burst and the demote→cohort→promote churn dominates the lag tail.
+	r.srv = clientapi.NewServer(node, clientapi.ServerOptions{
+		SendQueueCap: 16,
+		Hub:          clientapi.HubConfig{RingCap: 32},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.clients = make([]*clientapi.Client, opts.Subscribers, opts.Subscribers+1)
+
+	if opts.SubscriberStall {
+		// The stalled subscriber: a 1-slot event buffer it never drains, so
+		// its session's read loop wedges, the pipe backs up, and the server
+		// queue fills. The hub must park and demote it — never block on it.
+		// It attaches before the population so the stall plays out while the
+		// cluster is still at full block rate: the ring advances past its
+		// parked position within the attach phase, which is what makes the
+		// demotion observable even in cells where the loaded hub later slows
+		// block production to a crawl.
+		c, _, err := r.subscribe(ctx, fanSubBase-1, clientapi.Filter{}, 1)
+		if err != nil {
+			panic(fmt.Sprintf("harness: stalled fan-out subscriber: %v", err))
+		}
+		r.clients = append(r.clients, c)
+	}
+
+	// Sampled subscribers (at most 64, evenly spread) observe lag; the rest
+	// only count, so the histogram mutex never becomes the bottleneck.
+	stride := opts.Subscribers/64 + 1
+
+	var attach sync.WaitGroup
+	sem := make(chan struct{}, 64)
+	for i := 0; i < opts.Subscribers; i++ {
+		attach.Add(1)
+		sem <- struct{}{}
+		r.wg.Add(1)
+		go func(i int) {
+			defer r.wg.Done()
+			var flt clientapi.Filter
+			if opts.SubscriberFilter {
+				flt = clientapi.BuildFilter(clientapi.WithTxPrefix([]byte{byte(i % 256)}))
+			}
+			// A 2-slot event buffer per subscriber: each buffered event pins a
+			// decoded block body, so at 50k subscribers a deep buffer is tens
+			// of gigabytes of in-flight decodes; the consumers below only
+			// count, so depth buys nothing.
+			c, events, err := r.subscribe(ctx, fanSubBase+uint64(i), flt, 2)
+			if err != nil {
+				attach.Done()
+				<-sem
+				panic(fmt.Sprintf("harness: fan-out subscriber %d: %v", i, err))
+			}
+			r.clients[i] = c
+			attach.Done()
+			// Release the dial slot now that the session is attached: the
+			// semaphore bounds concurrent dials, not consumer lifetimes —
+			// holding it through the consume loop would cap the whole
+			// population at the semaphore width and deadlock attach.Wait.
+			<-sem
+			sampled := i%stride == 0
+			for ev := range events {
+				if ev.Err != nil {
+					return // rig teardown or server close
+				}
+				if !r.measuring.Load() {
+					continue
+				}
+				r.received.Add(1)
+				if sampled {
+					pos := (ev.Block.Signed.Header.Round-1)*r.workers + uint64(ev.Worker)
+					r.wallMu.RLock()
+					t, ok := r.wall[pos]
+					r.wallMu.RUnlock()
+					if ok {
+						r.lag.Observe(time.Since(t))
+					}
+				}
+			}
+		}(i)
+	}
+	attach.Wait()
+	return r
+}
+
+// subscribe opens one piped session against the rig's server and starts the
+// block stream at genesis.
+func (r *fanoutRig) subscribe(ctx context.Context, id uint64, flt clientapi.Filter, buf int) (*clientapi.Client, <-chan clientapi.BlockEvent, error) {
+	sc, cc := net.Pipe()
+	if err := r.srv.ServeConn(sc); err != nil {
+		return nil, nil, err
+	}
+	c, err := clientapi.Attach(cc, id, clientapi.DialOptions{Timeout: time.Minute, SubscribeBuffer: buf})
+	if err != nil {
+		return nil, nil, err
+	}
+	events, err := c.SubscribeFiltered(ctx, clientapi.Cursor{}, flt)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	return c, events, nil
+}
+
+// collect fills the Fan* Result fields. The counters are cumulative over
+// the rig's lifetime (attach → window close), not window deltas: the
+// encode-once property is a statement about the whole population's traffic,
+// and at large populations a short window can catch the hub fully
+// backpressured (every send queue full, clients draining backlog) and read
+// ~zero activity. The rate and the lag percentiles stay window-scoped.
+func (r *fanoutRig) collect(res *Result, elapsed float64) {
+	fs := r.srv.Fanout()
+	res.FanFramesEncoded = fs.FramesEncoded
+	res.FanFramesShared = fs.FramesShared
+	res.FanBytesEncoded = fs.BytesEncoded
+	res.FanBytesSent = fs.BytesSent
+	res.FanBlocksFiltered = fs.BlocksFiltered
+	res.FanCohortReplays = fs.CohortReplays
+	res.FanDemotions = fs.Demotions
+	res.FanPromotions = fs.Promotions
+	res.FanOverflowDisconnects = fs.OverflowDisconnects
+	res.FanDelivered = r.delivered.Load()
+	res.FanLag = r.lag
+	if elapsed > 0 {
+		res.FanDeliveriesPerSec = float64(r.received.Load()) / elapsed
+	}
+}
+
+// stop tears the rig down: cancel the streams, wait the consumers out, close
+// the sessions and the server, detach the lag tap.
+func (r *fanoutRig) stop() {
+	r.cancel()
+	r.wg.Wait()
+	for _, c := range r.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	r.srv.Close()
+	r.cancelTap()
+}
+
+// FanoutCell is one point of the fan-out sweep: a subscriber population
+// (with or without per-subscriber filters) against a sustained write load.
+type FanoutCell struct {
+	Subs     int  `json:"subs"`
+	Filtered bool `json:"filtered"`
+	Stalled  bool `json:"stalled"`
+	// TPS is the cluster's definite write throughput with the fan-out riding
+	// on node 0; DeliveriesPerSec is the total BLOCK-event rate across
+	// subscribers; the lag percentiles are delivery→receive over sampled
+	// subscribers.
+	TPS              float64 `json:"tps"`
+	DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+	LagP50Ms         float64 `json:"lag_p50_ms"`
+	LagP99Ms         float64 `json:"lag_p99_ms"`
+	// The encode-once accounting, cumulative from subscriber attach to
+	// window close: EncodesPerBlock ~ 1 however many subscribers;
+	// SharingRatio = BytesSent / BytesEncoded ~ the subscriber count on
+	// unfiltered cells.
+	FramesEncoded       uint64  `json:"frames_encoded"`
+	FramesShared        uint64  `json:"frames_shared"`
+	BytesEncoded        uint64  `json:"bytes_encoded"`
+	BytesSent           uint64  `json:"bytes_sent"`
+	EncodesPerBlock     float64 `json:"encodes_per_block"`
+	SharingRatio        float64 `json:"sharing_ratio"`
+	BlocksFiltered      uint64  `json:"blocks_filtered"`
+	CohortReplays       uint64  `json:"cohort_replays"`
+	Demotions           uint64  `json:"demotions"`
+	Promotions          uint64  `json:"promotions"`
+	OverflowDisconnects uint64  `json:"overflow_disconnects"`
+}
+
+// FanoutSweep runs the shared fan-out experiment behind the "fanout" entry
+// and BENCH_fanout.json: subscribers ∈ {1, 1000, 10000, 50000}, unfiltered
+// and filtered, on an n=4, ω=1, β=100, σ=256 single-data-center cluster.
+// The population sweep is fixed (not scaled by profile) so the artifact
+// always demonstrates the 50k-subscriber cell; Scale sets the measurement
+// windows. A stalled/stall-free twin pair runs at 200 subscribers: the
+// stalled twin's Demotions must read exactly 1 (the deliberately stalled
+// subscriber moved out of the live tier, nobody else), and its lag
+// percentiles must match the stall-free twin. The pair sits at 200 — not at
+// 10k+ — because a saturated 1-CPU box throttles block production below any
+// demotion threshold and drowns the lag comparison in scheduler churn; at
+// 200 the box still delivers at full rate, so the twins isolate the stall's
+// effect.
+func FanoutSweep(s Scale) []FanoutCell {
+	type variant struct {
+		subs              int
+		filtered, stalled bool
+	}
+	var grid []variant
+	for _, subs := range []int{1, 200, 1000, 10000, 50000} {
+		if subs == 200 { // the stalled/stall-free twin pair
+			grid = append(grid, variant{subs, false, false}, variant{subs, false, true})
+			continue
+		}
+		for _, filtered := range []bool{false, true} {
+			grid = append(grid, variant{subs, filtered, false})
+		}
+	}
+	var cells []FanoutCell
+	for _, v := range grid {
+		fmt.Fprintf(os.Stderr, "# fanout cell: subs=%d filtered=%t stalled=%t\n", v.subs, v.filtered, v.stalled)
+		res := RunFLO(Options{
+			N: 4, Workers: 1, Batch: 100, TxSize: 256,
+			Latency: transport.SingleDC(), EgressBytesPerSec: s.Bandwidth,
+			Warmup: s.Warmup, Duration: s.Duration,
+			Subscribers:      v.subs,
+			SubscriberFilter: v.filtered,
+			SubscriberStall:  v.stalled,
+		})
+		// Return the cell's heap to the OS before the next one attaches
+		// its own subscriber population: two 50k cells back to back
+		// otherwise ratchet RSS past what one cell ever needs.
+		debug.FreeOSMemory()
+		cells = append(cells, FanoutCell{
+			Subs:                v.subs,
+			Filtered:            v.filtered,
+			Stalled:             v.stalled,
+			TPS:                 res.TPS,
+			DeliveriesPerSec:    res.FanDeliveriesPerSec,
+			LagP50Ms:            res.FanLag.Percentile(50).Seconds() * 1000,
+			LagP99Ms:            res.FanLag.Percentile(99).Seconds() * 1000,
+			FramesEncoded:       res.FanFramesEncoded,
+			FramesShared:        res.FanFramesShared,
+			BytesEncoded:        res.FanBytesEncoded,
+			BytesSent:           res.FanBytesSent,
+			EncodesPerBlock:     safeDiv(float64(res.FanFramesEncoded), float64(res.FanDelivered)),
+			SharingRatio:        safeDiv(float64(res.FanBytesSent), float64(res.FanBytesEncoded)),
+			BlocksFiltered:      res.FanBlocksFiltered,
+			CohortReplays:       res.FanCohortReplays,
+			Demotions:           res.FanDemotions,
+			Promotions:          res.FanPromotions,
+			OverflowDisconnects: res.FanOverflowDisconnects,
+		})
+	}
+	return cells
+}
+
+// Fanout prints the fan-out sweep (cmd/flbench -exp fanout; -out
+// additionally writes the cells as BENCH_fanout.json).
+func Fanout(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "# fanout: shared fan-out hub vs subscriber count, n=4, workers=1, batch=100, sigma=256, single data-center\n")
+	fmt.Fprintf(w, "subs\tfiltered\tstalled\ttps\tdeliv/s\tlag-p50-ms\tlag-p99-ms\tenc/blk\tshare-ratio\tdemotions\treplays\toverflow\n")
+	for _, c := range FanoutSweep(s) {
+		fmt.Fprintf(w, "%d\t%t\t%t\t%.0f\t%.0f\t%.2f\t%.2f\t%.2f\t%.1f\t%d\t%d\t%d\n",
+			c.Subs, c.Filtered, c.Stalled, c.TPS, c.DeliveriesPerSec, c.LagP50Ms, c.LagP99Ms,
+			c.EncodesPerBlock, c.SharingRatio, c.Demotions, c.CohortReplays, c.OverflowDisconnects)
+	}
+}

@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// More subscribers than the 64-wide dial semaphore: attach must still
+// complete (the slot is released after subscribe, not at consumer exit —
+// holding it through the consume loop deadlocked any population > 64).
+func TestRunFLOFanoutBeyondDialWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fan-out rig run")
+	}
+	res := RunFLO(Options{
+		N: 4, Workers: 1, Batch: 50, TxSize: 64,
+		Latency: transport.SingleDC(),
+		Warmup:  200 * time.Millisecond, Duration: 600 * time.Millisecond,
+		Subscribers: 200,
+	})
+	if res.FanDelivered == 0 || res.FanFramesShared == 0 {
+		t.Fatalf("fan-out rig saw no traffic: %+v", res)
+	}
+}

@@ -88,6 +88,22 @@ type Options struct {
 	// instead of starving consensus of CPU; Result.GetsPerSec / ScansPerSec
 	// report the sustained rates.
 	StateReaders int
+	// Subscribers attaches a client API server to node 0 and that many
+	// streaming block subscriptions over in-memory pipes (Server.ServeConn +
+	// Attach, so the file-descriptor limit never bounds the count). Every
+	// subscriber starts at genesis — replaying through the fan-out hub's
+	// shared cohorts, then riding its live tier — and the Fan* Result fields
+	// report the hub counters and delivery lag over the measured window.
+	Subscribers int
+	// SubscriberFilter gives every subscriber a distinct one-byte tx-prefix
+	// filter (subscriber i filters on byte i%256), exercising the wire-1.3
+	// server-side filter path under fan-out load.
+	SubscriberFilter bool
+	// SubscriberStall adds one deliberately stalled subscriber (it
+	// subscribes, then never drains) on top of Subscribers. The hub must
+	// park and demote it to a replay cohort without raising the healthy
+	// subscribers' delivery lag.
+	SubscriberStall bool
 }
 
 func (o *Options) fill() {
@@ -173,6 +189,29 @@ type Result struct {
 	SnapResumes       uint64
 	SnapRejected      uint64
 	SnapInstalls      uint64
+	// Fan-out subsystem measurements (Options.Subscribers > 0): node 0's
+	// client-API hub counters, cumulative from subscriber attach to window
+	// close (a short window can catch the hub fully backpressured and read
+	// zero, so these are lifetime totals, not window deltas). The
+	// encode-once contract shows up as FanFramesEncoded staying near the
+	// number of delivered blocks while FanFramesShared scales with
+	// subscribers; FanBytesSent / FanBytesEncoded is the sharing ratio.
+	FanFramesEncoded       uint64
+	FanFramesShared        uint64
+	FanBytesEncoded        uint64
+	FanBytesSent           uint64
+	FanBlocksFiltered      uint64
+	FanCohortReplays       uint64
+	FanDemotions           uint64
+	FanPromotions          uint64
+	FanOverflowDisconnects uint64
+	// FanDelivered counts node 0's delivered blocks since attach (the
+	// denominator for encodes-per-block); FanDeliveriesPerSec is the total
+	// in-window BLOCK-event rate the subscribers absorbed; FanLag is the
+	// delivery→receive lag distribution over sampled subscribers.
+	FanDelivered        uint64
+	FanDeliveriesPerSec float64
+	FanLag              *metrics.Histogram
 }
 
 // RunFLO executes one FLO cluster experiment.
@@ -329,6 +368,13 @@ func RunFLO(opts Options) Result {
 		readersWG.Wait()
 	}()
 
+	// Fan-out load against node 0's client API (Options.Subscribers).
+	var rig *fanoutRig
+	if opts.Subscribers > 0 {
+		rig = attachFanout(nodes[0], opts, &measuring)
+		defer rig.stop()
+	}
+
 	time.Sleep(opts.Warmup)
 
 	// §7.4.1: crash after warmup, measure after the crash.
@@ -358,6 +404,9 @@ func RunFLO(opts Options) Result {
 
 	var res Result
 	res.Latency = latency
+	if rig != nil {
+		rig.collect(&res, elapsed)
+	}
 	res.EncPoolGets = poolGets1 - poolGets0
 	res.EncPoolReuses = poolReuses1 - poolReuses0
 	if elapsed > 0 {

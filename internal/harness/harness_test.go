@@ -61,6 +61,35 @@ func TestRunFLOLatencyModelSlowsItDown(t *testing.T) {
 	t.Fatalf("latency model had no effect: %v bps (5ms links) vs %v bps (zero latency)", slowBPS, fastBPS)
 }
 
+func TestRunFLOFanout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment")
+	}
+	opts := shortOpts()
+	opts.Duration = 800 * time.Millisecond
+	opts.Subscribers = 50
+	opts.SubscriberStall = true
+	res := RunFLO(opts)
+	if res.FanDelivered == 0 {
+		t.Fatal("no deliveries landed inside the measured window")
+	}
+	if res.FanFramesShared == 0 || res.FanDeliveriesPerSec <= 0 {
+		t.Fatalf("subscribers absorbed nothing: shared=%d deliv/s=%.0f", res.FanFramesShared, res.FanDeliveriesPerSec)
+	}
+	// Encode-once: the hub must not encode per subscriber. Cohort sweeps may
+	// re-encode blocks the ring dropped, so allow a small multiple.
+	if res.FanFramesEncoded > 8*res.FanDelivered {
+		t.Fatalf("FramesEncoded = %d for %d delivered blocks: encoding scales with subscribers",
+			res.FanFramesEncoded, res.FanDelivered)
+	}
+	if res.FanLag.Count() == 0 {
+		t.Fatal("no delivery-lag samples")
+	}
+	if res.FanOverflowDisconnects != 0 {
+		t.Fatalf("a subscriber hit the control-overflow kill switch (%d)", res.FanOverflowDisconnects)
+	}
+}
+
 func TestRunFLOWithCrash(t *testing.T) {
 	opts := shortOpts()
 	opts.CrashF = 1
@@ -129,11 +158,11 @@ func TestTable1Runs(t *testing.T) {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	// Table 1 + Figs 5–17 (14 paper experiments) + the 4 ext-* extensions
-	// + the workers scale-out sweep + the state-backend sweep.
-	if len(Experiments) != 20 {
-		t.Fatalf("registry has %d experiments, want 20 (Table 1 + Figs 5-17 + 4 ext + workers + state)", len(Experiments))
+	// + the workers scale-out, state-backend, and fan-out sweeps.
+	if len(Experiments) != 21 {
+		t.Fatalf("registry has %d experiments, want 21 (Table 1 + Figs 5-17 + 4 ext + workers + state + fanout)", len(Experiments))
 	}
-	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart", "workers", "state"} {
+	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart", "workers", "state", "fanout"} {
 		if Experiments[name] == nil {
 			t.Fatalf("extension experiment %q not registered", name)
 		}

@@ -50,7 +50,22 @@ type (
 	// as of the definite block at (Worker, Round). Intermediate updates may
 	// be coalesced; the latest state is always delivered.
 	KeyUpdate = clientapi.KeyUpdate
+	// StreamOption narrows a Blocks stream with a server-side filter
+	// (WithClientFilter, WithTxPrefix); see Session.Blocks.
+	StreamOption = clientapi.StreamOption
 )
+
+// WithClientFilter restricts a Blocks stream to blocks carrying at least one
+// transaction submitted by client — an end-user app streams its own writes,
+// not the whole ledger. Evaluated on the serving side (once per block, shared
+// across subscribers on the remote path), so suppressed blocks never cross
+// the wire.
+func WithClientFilter(client uint64) StreamOption { return clientapi.WithClientFilter(client) }
+
+// WithTxPrefix restricts a Blocks stream to blocks carrying at least one
+// transaction whose payload starts with prefix. Options combine
+// conjunctively: with both set, some single transaction must match both.
+func WithTxPrefix(prefix []byte) StreamOption { return clientapi.WithTxPrefix(prefix) }
 
 // Session is the application-facing FireLedger client API. Both transports
 // implement it identically:
@@ -78,11 +93,15 @@ type Session interface {
 	// channel closes when ctx ends, the session closes, or the cursor
 	// predates the node's retained history (a terminal BlockEvent.Err
 	// reports abnormal ends; test the latter with
-	// errors.Is(ev.Err, ErrCompacted)). Portable code opens at most one
-	// stream per session: a remote session carries one subscription per
-	// connection, and the in-process implementation's support for several
-	// concurrent streams is an extension.
-	Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, error)
+	// errors.Is(ev.Err, ErrCompacted)). Options (WithClientFilter,
+	// WithTxPrefix) narrow the stream to blocks carrying a matching
+	// transaction; the cursor still advances over suppressed blocks, so
+	// resuming from the last received block's Cursor.Next is gap-free in
+	// the filtered view. Portable code opens at most one stream per
+	// session: a remote session carries one subscription per connection,
+	// and the in-process implementation's support for several concurrent
+	// streams is an extension.
+	Blocks(ctx context.Context, cursor Cursor, opts ...StreamOption) (<-chan BlockEvent, error)
 	// Get reads key from the node's ledger state once the applied frontier
 	// covers at (use Receipt.Token() for read-your-writes; the zero token
 	// reads current state). It returns the value and whether the key exists,
@@ -125,8 +144,8 @@ func (s *remoteSession) Submit(payload []byte) (*Pending, error) { return s.c.Su
 func (s *remoteSession) SubmitWait(ctx context.Context, payload []byte) (Receipt, error) {
 	return s.c.SubmitWait(ctx, payload)
 }
-func (s *remoteSession) Blocks(ctx context.Context, cursor Cursor) (<-chan BlockEvent, error) {
-	return s.c.Subscribe(ctx, cursor)
+func (s *remoteSession) Blocks(ctx context.Context, cursor Cursor, opts ...StreamOption) (<-chan BlockEvent, error) {
+	return s.c.SubscribeFiltered(ctx, cursor, clientapi.BuildFilter(opts...))
 }
 func (s *remoteSession) Get(ctx context.Context, key string, at ReadToken) ([]byte, bool, error) {
 	return s.c.Get(ctx, key, at)
