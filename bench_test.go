@@ -253,12 +253,13 @@ func BenchmarkFig16(b *testing.B) {
 // internal/flcrypto; this one shows the end-to-end difference.
 func BenchmarkVerifyPipeline(b *testing.B) {
 	for _, mode := range []struct {
-		name string
-		sync bool
-	}{{"pooled", false}, {"sync", true}} {
+		name            string
+		sync, batchless bool
+	}{{"pooled", false, false}, {"pooled-nobatch", false, true}, {"sync", true, false}} {
 		b.Run(mode.name, func(b *testing.B) {
 			opts := benchOpts(4, 4, 200, 512)
 			opts.SyncVerify = mode.sync
+			opts.DisableBatchVerify = mode.batchless
 			reportFLO(b, opts)
 		})
 	}

@@ -54,7 +54,13 @@ func main() {
 		dataDir     = flag.String("data", "", "directory for the persistent chain logs (optional; enables restart recovery)")
 		syncWrites  = flag.Bool("sync", false, "fsync every persisted block (requires -data)")
 		groupCommit = flag.Bool("group-commit", false, "batch durable appends into one fsync per batch (requires -sync)")
-		gcWindow    = flag.Duration("group-commit-window", 0, "optional delay per group-commit flush to grow batches (with -group-commit; 0 = batch only during in-flight fsyncs)")
+		gcWindow    = flag.Duration("group-commit-window", 0, "static delay per group-commit flush to grow batches (with -group-commit; overrides -group-commit-adaptive; 0 = batch only during in-flight fsyncs)")
+		gcAdaptive  = flag.Bool("group-commit-adaptive", false, "size the group-commit flush delay from the observed block arrival rate (with -group-commit)")
+		gcMaxWindow = flag.Duration("group-commit-max-window", 0, "cap on the adaptive group-commit flush delay (0 = store default)")
+		noBatchVer  = flag.Bool("no-batch-verify", false, "verify every signature individually instead of batching Ed25519 checks into multi-scalar combinations")
+		verBatchMax = flag.Int("verify-batch-max", 0, "cap on signatures per batched Ed25519 combination (0 = default)")
+		verMinWait  = flag.Duration("verify-min-wait", 0, "minimum batch-fill grace period per verification batch (0 = default)")
+		verMaxWait  = flag.Duration("verify-max-wait", 0, "maximum adaptive batch-fill wait per verification batch (0 = default)")
 		catchBatch  = flag.Int("catchup-batch", 64, "blocks per streaming catch-up batch; also the lag threshold that switches a node from per-round pulls to range sync")
 		snapEvery   = flag.Uint64("snapshot-every", 0, "checkpoint and compact the chain log every N definite rounds (requires -data; 0 disables)")
 		state       = flag.String("state", "", "queryable ledger state backend: 'map' (in-memory) or 'durable' (requires -data); empty serves no state reads")
@@ -109,23 +115,29 @@ func main() {
 	}
 
 	node, err := fireledger.NewNode(fireledger.Config{
-		Endpoint:          ep,
-		Registry:          ks.Registry,
-		Priv:              ks.Privs[*id],
-		Workers:           *workers,
-		BatchSize:         *batch,
-		Saturate:          *saturate,
-		DataDir:           *dataDir,
-		SyncWrites:        *syncWrites,
-		GroupCommit:       *groupCommit,
-		GroupCommitWindow: *gcWindow,
-		CatchUpBatch:      *catchBatch,
-		SnapshotEvery:     *snapEvery,
-		State:             backend,
-		GossipBodies:      *gossip,
-		GossipFanout:      *fanout,
-		CompressBodies:    *compressB,
-		ExcludeConvicted:  *exclude,
+		Endpoint:             ep,
+		Registry:             ks.Registry,
+		Priv:                 ks.Privs[*id],
+		Workers:              *workers,
+		BatchSize:            *batch,
+		Saturate:             *saturate,
+		DataDir:              *dataDir,
+		SyncWrites:           *syncWrites,
+		GroupCommit:          *groupCommit,
+		GroupCommitWindow:    *gcWindow,
+		GroupCommitAdaptive:  *gcAdaptive,
+		GroupCommitMaxWindow: *gcMaxWindow,
+		DisableBatchVerify:   *noBatchVer,
+		VerifyBatchMax:       *verBatchMax,
+		VerifyMinWait:        *verMinWait,
+		VerifyMaxWait:        *verMaxWait,
+		CatchUpBatch:         *catchBatch,
+		SnapshotEvery:        *snapEvery,
+		State:                backend,
+		GossipBodies:         *gossip,
+		GossipFanout:         *fanout,
+		CompressBodies:       *compressB,
+		ExcludeConvicted:     *exclude,
 		OnConviction: func(w uint32, rec fireledger.ConvictionRecord) {
 			log.Printf("worker %d: node %d convicted of equivocation (offense round %d, on-chain at round %d)",
 				w, rec.Culprit, rec.Proof.Round(), rec.ChainRound)

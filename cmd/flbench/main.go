@@ -9,6 +9,7 @@
 //	flbench -exp workers -out BENCH_workers.json   # ω scaling artifact
 //	flbench -exp state -out BENCH_state.json       # state-backend artifact
 //	flbench -exp fanout -out BENCH_fanout.json     # fan-out hub artifact
+//	flbench -exp verify -out verify.json           # verification-mode sweep
 //	flbench -list                # what's available
 //
 // The quick profile compresses sweeps and measurement windows so the full
@@ -108,8 +109,17 @@ func main() {
 					c.Subs, c.Filtered, c.Stalled, c.TPS, c.DeliveriesPerSec, c.LagP50Ms, c.LagP99Ms,
 					c.EncodesPerBlock, c.SharingRatio, c.Demotions, c.CohortReplays, c.OverflowDisconnects)
 			}
+		case "verify":
+			vs := harness.VerifySweep(scale)
+			cells = vs
+			fmt.Printf("# verify: tps vs verification mode, n=4, workers=4, batch=200, sigma=512\n")
+			fmt.Printf("latency\tmode\ttps\tp50-ms\tblocks\tbatches\tavg-batch\tbisections\tsingles\n")
+			for _, c := range vs {
+				fmt.Printf("%s\t%s\t%.0f\t%.2f\t%d\t%d\t%.1f\t%d\t%d\n",
+					c.Latency, c.Mode, c.TPS, c.P50Ms, c.Blocks, c.Batches, c.AvgBatch, c.Bisections, c.Singles)
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "-out is only supported with -exp workers, state, or fanout")
+			fmt.Fprintln(os.Stderr, "-out is only supported with -exp workers, state, fanout, or verify")
 			os.Exit(2)
 		}
 		doc := benchDoc{

@@ -1,0 +1,127 @@
+package adaptive
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func feed(r *Rate, start time.Time, gap time.Duration, n int) time.Time {
+	now := start
+	for i := 0; i < n; i++ {
+		r.Observe(now)
+		now = now.Add(gap)
+	}
+	return now
+}
+
+func TestRateConverges(t *testing.T) {
+	var r Rate
+	base := time.Unix(1000, 0)
+	feed(&r, base, time.Millisecond, 64)
+	got := r.Gap()
+	if got < 900*time.Microsecond || got > 1100*time.Microsecond {
+		t.Fatalf("gap %v after steady 1ms stream", got)
+	}
+	if ps := r.PerSecond(); ps < 900 || ps > 1100 {
+		t.Fatalf("rate %v/s after steady 1ms stream", ps)
+	}
+}
+
+func TestRateUnknownUntilTwoEvents(t *testing.T) {
+	var r Rate
+	if r.Gap() != 0 || r.PerSecond() != 0 {
+		t.Fatal("zero-value Rate reports a rate")
+	}
+	r.Observe(time.Unix(1000, 0))
+	if r.Gap() != 0 {
+		t.Fatal("single event produced a gap estimate")
+	}
+}
+
+// TestRateIdleGapClipped is the idle-poisoning guard: one enormous gap after
+// a quiet period must not swamp the estimate for the next burst.
+func TestRateIdleGapClipped(t *testing.T) {
+	var r Rate
+	base := time.Unix(1000, 0)
+	now := feed(&r, base, time.Millisecond, 32)
+	now = now.Add(10 * time.Minute) // idle
+	feed(&r, now, time.Millisecond, 64)
+	if got := r.Gap(); got > 150*time.Millisecond {
+		t.Fatalf("gap %v still poisoned by a clipped idle period", got)
+	}
+}
+
+func TestRateReset(t *testing.T) {
+	var r Rate
+	feed(&r, time.Unix(1000, 0), time.Millisecond, 8)
+	r.Reset()
+	if r.Gap() != 0 {
+		t.Fatal("Reset did not clear the estimate")
+	}
+}
+
+func TestRateConcurrentObserve(t *testing.T) {
+	var r Rate
+	var wg sync.WaitGroup
+	base := time.Unix(1000, 0)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Observe(base.Add(time.Duration(g*1000+i) * time.Microsecond))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Gap() > 2*time.Duration(maxGap) {
+		t.Fatalf("implausible gap %v after concurrent observes", r.Gap())
+	}
+}
+
+func TestFillWait(t *testing.T) {
+	const min, max = 100 * time.Microsecond, 2 * time.Millisecond
+	steady := func(gap time.Duration) *Rate {
+		var r Rate
+		feed(&r, time.Unix(1000, 0), gap, 64)
+		return &r
+	}
+	cases := []struct {
+		name         string
+		r            *Rate
+		have, target int
+		min, max     time.Duration
+		want         time.Duration
+		approx       time.Duration // ±10%, tolerating EWMA rounding
+	}{
+		{name: "full-batch", r: steady(time.Microsecond), have: 64, target: 64, min: min, max: max, want: 0},
+		{name: "max-zero-disables", r: steady(time.Microsecond), have: 0, target: 64, min: min, max: 0, want: 0},
+		{name: "unknown-rate-min-only", r: &Rate{}, have: 1, target: 64, min: min, max: max, want: min},
+		{name: "too-slow-min-only", r: steady(100 * time.Millisecond), have: 1, target: 64, min: min, max: max, want: min},
+		{name: "fast-projected-fill", r: steady(10 * time.Microsecond), have: 14, target: 64, min: min, max: max, approx: 500 * time.Microsecond},
+		{name: "projection-clamped-min", r: steady(time.Microsecond), have: 62, target: 64, min: min, max: max, want: min},
+		// Projected full fill 64·40µs ≈ 2.56ms > max: the batch can't fill
+		// inside the cap, so only the minimal grace period applies.
+		{name: "overflow-waits-min", r: steady(40 * time.Microsecond), have: 0, target: 64, min: min, max: max, want: min},
+		// Same overflow with the gap itself inside [min, max]: still min —
+		// waiting ~1ms to pair a ~50µs verification is a bad trade.
+		{name: "partial-batch-waits-min", r: steady(time.Millisecond), have: 0, target: 64, min: min, max: max, want: min},
+		{name: "negative-min-is-zero", r: &Rate{}, have: 0, target: 64, min: -time.Second, max: max, want: 0},
+		{name: "min-above-max-capped", r: &Rate{}, have: 0, target: 64, min: 2 * max, max: max, want: max},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := FillWait(c.r, c.have, c.target, c.min, c.max)
+			if c.approx != 0 {
+				if got < c.approx*9/10 || got > c.approx*11/10 {
+					t.Fatalf("FillWait = %v, want ≈%v", got, c.approx)
+				}
+				return
+			}
+			if got != c.want {
+				t.Fatalf("FillWait = %v, want %v", got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,254 @@
+package flcrypto
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha512"
+
+	"repro/internal/flcrypto/edwards25519"
+)
+
+// Batch Ed25519 verification: one multi-scalar curve combination checks
+// dozens of signatures at roughly half the per-signature cost of individual
+// verification (the 256 accumulator doublings are shared across the batch;
+// see edwards25519.VarTimeMultiScalarBaseMult).
+//
+// Per signature i with decompressed nonce point R_i, scalar s_i, public-key
+// point A_i and challenge k_i = SHA-512(R_i ‖ A_i ‖ M_i), the single check
+// is [s_i]B − [k_i]A_i − R_i == 0. The batch draws an independent random
+// 128-bit odd coefficient z_i per signature and checks
+//
+//	[Σ z_i·s_i]B − Σ [z_i·k_i]A_i − Σ [z_i]R_i == identity.
+//
+// If every signature is individually valid the sum is exactly zero; if any
+// is not, the random z_i make the sum nonzero except with probability
+// ≤ 2⁻¹²⁶, so a failed combination proves at least one bad signature. The
+// failure path bisects: halves are re-checked (fresh coefficients each
+// time), and singleton leaves are resolved by stdlib ed25519.Verify — the
+// authoritative verdict — so one forged envelope costs O(log n) extra
+// combinations and can never reject an honest peer's signature riding in
+// the same batch.
+//
+// Equivalence with the stdlib single-verify path is load-bearing (every
+// node must accept exactly the same envelopes, whichever path it used):
+//
+//   - s is required canonical (SetCanonicalBytes), as stdlib requires;
+//   - R must round-trip through point decoding back to the exact signature
+//     bytes — stdlib compares recomputed-R bytes to sig[:32], so a
+//     non-canonical R encoding is stdlib-invalid; such signatures (and any
+//     undecodable R/A) are diverted to the individual path rather than
+//     batched;
+//   - z_i is forced odd so a single signature whose defect lies entirely in
+//     the small 8-torsion subgroup cannot vanish from the combination.
+//
+// The one remaining divergence from stdlib is inherent to cofactorless
+// batching (Chalkias et al., "Taming the many EdDSAs"): a signer who knows
+// a key's private scalar can craft ≥2 signatures whose torsion defects
+// cancel (e.g. twin order-2 offsets), which pass a combined check but fail
+// individually. Crafting such a defect without the private key is as hard
+// as forging, so this never admits a forgery of an honest node's signature
+// — it only lets a Byzantine signer get its own messages accepted
+// inconsistently, which is exactly the equivocation power it already has by
+// signing two conflicts honestly, and which the protocol layer above
+// already tolerates and convicts. The verify cache is still guarded: a
+// batch that fails anywhere caches only individually-confirmed verdicts
+// (see VerifyPool).
+const batchRandBytes = 16
+
+// batchSig is one decoded, batch-eligible signature check.
+type batchSig struct {
+	A   *edwards25519.Point // decoded public key (shared, memoized on the key)
+	R   *edwards25519.Point // decoded, canonical nonce point
+	s   *edwards25519.Scalar
+	k   *edwards25519.Scalar
+	idx int // caller's position
+}
+
+// batchOutcome reports one signature's verdict and how it was reached.
+type batchOutcome struct {
+	ok        bool
+	confirmed bool // true when stdlib ed25519.Verify produced the verdict
+}
+
+// batchStats counts the work a batchVerify call did, for pool metrics.
+type batchStats struct {
+	combinations int // multi-scalar checks run (incl. bisection re-checks)
+	bisections   int // failed combinations that split
+	singles      int // stdlib verifications (leaves + ineligible items)
+	cleanPass    bool
+}
+
+// decodeBatchSig prepares one signature for the combined check. ok=false
+// means the item cannot ride in a batch — undecodable or non-canonical
+// components — and must take the individual path (which is authoritative
+// for exactly these cases).
+func decodeBatchSig(pub *ed25519Pub, msg []byte, sig Signature, idx int) (batchSig, bool) {
+	if len(sig) != ed25519.SignatureSize || sig[63]&224 != 0 {
+		return batchSig{}, false
+	}
+	A := pub.batchPoint()
+	if A == nil {
+		return batchSig{}, false
+	}
+	R, err := new(edwards25519.Point).SetBytes(sig[:32])
+	if err != nil {
+		return batchSig{}, false
+	}
+	// stdlib compares recomputed-R *bytes* against sig[:32]; a
+	// non-canonical encoding of the right point is stdlib-invalid, so only
+	// round-tripping encodings may be batched.
+	rb := R.Bytes()
+	for i := range rb {
+		if rb[i] != sig[i] {
+			return batchSig{}, false
+		}
+	}
+	s, err := edwards25519.NewScalar().SetCanonicalBytes(sig[32:])
+	if err != nil {
+		return batchSig{}, false
+	}
+	kh := sha512.New()
+	kh.Write(sig[:32])
+	kh.Write(pub.k)
+	kh.Write(msg)
+	k, err := edwards25519.NewScalar().SetUniformBytes(kh.Sum(nil))
+	if err != nil {
+		return batchSig{}, false
+	}
+	return batchSig{A: A, R: R, s: s, k: k, idx: idx}, true
+}
+
+// combinedCheck runs one randomized multi-scalar combination over sigs.
+// It returns false on any error drawing randomness (callers then fall back
+// to individual verification — batch soundness rests on the coefficients).
+func combinedCheck(sigs []batchSig) bool {
+	buf := make([]byte, batchRandBytes*len(sigs))
+	if _, err := rand.Read(buf); err != nil {
+		return false
+	}
+	b := edwards25519.NewScalar()
+	scalars := make([]*edwards25519.Scalar, 0, 2*len(sigs))
+	points := make([]*edwards25519.Point, 0, 2*len(sigs))
+	var zb [32]byte
+	for i, sg := range sigs {
+		copy(zb[:], buf[i*batchRandBytes:(i+1)*batchRandBytes])
+		// Odd z: a pure small-torsion defect (order dividing 8) in a single
+		// signature cannot be annihilated by the coefficient.
+		zb[0] |= 1
+		for j := batchRandBytes; j < len(zb); j++ {
+			zb[j] = 0
+		}
+		z, err := edwards25519.NewScalar().SetCanonicalBytes(zb[:])
+		if err != nil {
+			return false // unreachable: z < 2^128 < ℓ is canonical
+		}
+		// Accumulate Σ z·s on the basepoint; add −[z·k]A and −[z]R terms.
+		b.MultiplyAdd(z, sg.s, b)
+		negZ := edwards25519.NewScalar().Negate(z)
+		zk := edwards25519.NewScalar().Multiply(negZ, sg.k)
+		scalars = append(scalars, zk, negZ)
+		points = append(points, sg.A, sg.R)
+	}
+	v := new(edwards25519.Point).VarTimeMultiScalarBaseMult(b, scalars, points)
+	return v.Equal(edwards25519.NewIdentityPoint()) == 1
+}
+
+// resolveBatch assigns verdicts for sigs into out, bisecting on failure.
+// Passing groups are trusted wholesale only via the caller's bookkeeping
+// (stats.cleanPass); inside a failure cone every singleton leaf is resolved
+// by stdlib verification.
+func resolveBatch(sigs []batchSig, pubs []*ed25519Pub, msgs [][]byte, rawSigs []Signature, out []batchOutcome, st *batchStats) {
+	if len(sigs) == 0 {
+		return
+	}
+	if len(sigs) == 1 {
+		i := sigs[0].idx
+		st.singles++
+		ok := pubs[i].Verify(msgs[i], rawSigs[i])
+		out[i] = batchOutcome{ok: ok, confirmed: true}
+		return
+	}
+	st.combinations++
+	if combinedCheck(sigs) {
+		for _, sg := range sigs {
+			out[sg.idx] = batchOutcome{ok: true}
+		}
+		return
+	}
+	st.bisections++
+	mid := len(sigs) / 2
+	resolveBatch(sigs[:mid], pubs, msgs, rawSigs, out, st)
+	resolveBatch(sigs[mid:], pubs, msgs, rawSigs, out, st)
+}
+
+// batchVerify checks all (pubs[i], msgs[i], sigs[i]) tuples, returning one
+// outcome per item plus work stats. Items whose key is not batch-eligible
+// Ed25519 (wrong scheme, undecodable, non-canonical components) are
+// resolved individually. The three slices must have equal length.
+func batchVerify(pubs []*ed25519Pub, msgs [][]byte, sigs []Signature) ([]batchOutcome, batchStats) {
+	out := make([]batchOutcome, len(pubs))
+	var st batchStats
+	eligible := make([]batchSig, 0, len(pubs))
+	for i := range pubs {
+		if bs, ok := decodeBatchSig(pubs[i], msgs[i], sigs[i], i); ok {
+			eligible = append(eligible, bs)
+		} else {
+			st.singles++
+			out[i] = batchOutcome{ok: pubs[i].Verify(msgs[i], sigs[i]), confirmed: true}
+		}
+	}
+	if len(eligible) == 0 {
+		return out, st
+	}
+	if len(eligible) == 1 {
+		i := eligible[0].idx
+		st.singles++
+		out[i] = batchOutcome{ok: pubs[i].Verify(msgs[i], sigs[i]), confirmed: true}
+		return out, st
+	}
+	st.combinations++
+	if combinedCheck(eligible) {
+		st.cleanPass = len(eligible) == len(pubs)
+		for _, sg := range eligible {
+			out[sg.idx] = batchOutcome{ok: true}
+		}
+		return out, st
+	}
+	st.bisections++
+	mid := len(eligible) / 2
+	resolveBatch(eligible[:mid], pubs, msgs, sigs, out, &st)
+	resolveBatch(eligible[mid:], pubs, msgs, sigs, out, &st)
+	return out, st
+}
+
+// VerifyBatch checks the signature tuples as one Ed25519 batch, returning
+// per-item validity identical to calling pub.Verify item by item. Keys that
+// are not Ed25519 — and signatures with undecodable or non-canonical
+// components — are verified individually inside the call, so mixed batches
+// are fine. It is the standalone (uncached) face of the VerifyPool batch
+// path; panics if the slice lengths differ.
+func VerifyBatch(pubs []PublicKey, msgs [][]byte, sigs []Signature) []bool {
+	if len(pubs) != len(msgs) || len(msgs) != len(sigs) {
+		panic("flcrypto: VerifyBatch slice lengths differ")
+	}
+	valid := make([]bool, len(pubs))
+	eds := make([]*ed25519Pub, 0, len(pubs))
+	edIdx := make([]int, 0, len(pubs))
+	edMsgs := make([][]byte, 0, len(pubs))
+	edSigs := make([]Signature, 0, len(pubs))
+	for i, pub := range pubs {
+		if ep, ok := pub.(*ed25519Pub); ok {
+			eds = append(eds, ep)
+			edIdx = append(edIdx, i)
+			edMsgs = append(edMsgs, msgs[i])
+			edSigs = append(edSigs, sigs[i])
+			continue
+		}
+		valid[i] = pub != nil && pub.Verify(msgs[i], sigs[i])
+	}
+	outcomes, _ := batchVerify(eds, edMsgs, edSigs)
+	for j, o := range outcomes {
+		valid[edIdx[j]] = o.ok
+	}
+	return valid
+}

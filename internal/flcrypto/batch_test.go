@@ -1,0 +1,166 @@
+package flcrypto
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func batchFixture(t *testing.T, n int) ([]PublicKey, [][]byte, []Signature) {
+	t.Helper()
+	pubs := make([]PublicKey, n)
+	msgs := make([][]byte, n)
+	sigs := make([]Signature, n)
+	for i := 0; i < n; i++ {
+		priv, err := GenerateKey(Ed25519, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs[i] = priv.Public()
+		msgs[i] = []byte(fmt.Sprintf("batch envelope %d — padded out to a realistic header size ........", i))
+		sigs[i], err = priv.Sign(msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pubs, msgs, sigs
+}
+
+func TestVerifyBatchAllValid(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 16, 64} {
+		pubs, msgs, sigs := batchFixture(t, n)
+		for i, ok := range VerifyBatch(pubs, msgs, sigs) {
+			if !ok {
+				t.Fatalf("n=%d: valid signature %d rejected by batch", n, i)
+			}
+		}
+	}
+}
+
+// TestVerifyBatchMatchesSingle is the equivalence property the consensus
+// layer depends on: for every corruption class we can construct, the batch
+// verdict must equal pub.Verify's verdict, item by item.
+func TestVerifyBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	corrupt := []struct {
+		name string
+		mut  func(msgs [][]byte, sigs []Signature, i int)
+	}{
+		{"flip-sig-R", func(_ [][]byte, sigs []Signature, i int) { sigs[i][rng.Intn(32)] ^= 0x40 }},
+		{"flip-sig-s", func(_ [][]byte, sigs []Signature, i int) { sigs[i][32+rng.Intn(31)] ^= 0x04 }},
+		{"flip-msg", func(msgs [][]byte, _ []Signature, i int) { msgs[i][rng.Intn(len(msgs[i]))] ^= 0x01 }},
+		{"noncanonical-s", func(_ [][]byte, sigs []Signature, i int) { sigs[i][63] |= 0xe0 }},
+		{"truncated-sig", func(_ [][]byte, sigs []Signature, i int) { sigs[i] = sigs[i][:40] }},
+		{"all-ff-R", func(_ [][]byte, sigs []Signature, i int) {
+			for j := 0; j < 32; j++ {
+				sigs[i][j] = 0xff
+			}
+		}},
+	}
+	for _, c := range corrupt {
+		t.Run(c.name, func(t *testing.T) {
+			pubs, msgs, sigs := batchFixture(t, 12)
+			bad := map[int]bool{}
+			for _, i := range []int{0, 5, 11} {
+				c.mut(msgs, sigs, i)
+				bad[i] = true
+			}
+			got := VerifyBatch(pubs, msgs, sigs)
+			for i := range pubs {
+				want := pubs[i].Verify(msgs[i], sigs[i])
+				if got[i] != want {
+					t.Fatalf("item %d: batch=%v single=%v (corruption %s, bad=%v)", i, got[i], want, c.name, bad[i])
+				}
+				if bad[i] && got[i] {
+					t.Fatalf("corrupted item %d accepted", i)
+				}
+				if !bad[i] && !got[i] {
+					t.Fatalf("honest item %d rejected alongside forgeries", i)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyBatchMixedSchemes(t *testing.T) {
+	pubs, msgs, sigs := batchFixture(t, 6)
+	// Swap two items for ECDSA (non-batchable scheme; must route through
+	// the individual path transparently).
+	for _, i := range []int{1, 4} {
+		priv, err := GenerateKey(ECDSAP256, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs[i] = priv.Public()
+		sigs[i], err = priv.Sign(msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// And one ECDSA forgery.
+	sigs[4] = append(Signature(nil), sigs[4]...)
+	sigs[4][5] ^= 0xff
+	got := VerifyBatch(pubs, msgs, sigs)
+	for i := range pubs {
+		if want := pubs[i].Verify(msgs[i], sigs[i]); got[i] != want {
+			t.Fatalf("item %d: batch=%v single=%v", i, got[i], want)
+		}
+	}
+	if got[4] {
+		t.Fatal("forged ECDSA signature accepted in mixed batch")
+	}
+}
+
+func TestVerifyBatchWrongKey(t *testing.T) {
+	pubs, msgs, sigs := batchFixture(t, 8)
+	// Signature 3 presented under key 2: a well-formed signature that is
+	// simply not by that key — the large-defect case bisection must isolate.
+	sigs[3] = sigs[2]
+	msgs[3] = msgs[2]
+	got := VerifyBatch(pubs, msgs, sigs)
+	for i := range pubs {
+		want := i != 3
+		if got[i] != want {
+			t.Fatalf("item %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestBatchVerifyStats(t *testing.T) {
+	pubs, msgs, sigs := batchFixture(t, 16)
+	eds := make([]*ed25519Pub, len(pubs))
+	for i := range pubs {
+		eds[i] = pubs[i].(*ed25519Pub)
+	}
+	outcomes, st := batchVerify(eds, msgs, sigs)
+	if !st.cleanPass || st.combinations != 1 || st.bisections != 0 || st.singles != 0 {
+		t.Fatalf("clean batch stats off: %+v", st)
+	}
+	for i, o := range outcomes {
+		if !o.ok || o.confirmed {
+			t.Fatalf("clean batch outcome %d: %+v (group-confirmed expected)", i, o)
+		}
+	}
+
+	// Tamper with the message, not the signature bytes: the signature stays
+	// fully decodable, so the forgery rides into the combination and must
+	// be isolated by bisection (a corrupted R would be diverted to the
+	// individual path before any combination ran).
+	msgs[9] = append([]byte(nil), msgs[9]...)
+	msgs[9][3] ^= 0x10
+	outcomes, st = batchVerify(eds, msgs, sigs)
+	if st.cleanPass {
+		t.Fatal("cleanPass set on a failing batch")
+	}
+	if st.bisections == 0 || st.singles == 0 {
+		t.Fatalf("failing batch did not bisect to singles: %+v", st)
+	}
+	for i, o := range outcomes {
+		if (i == 9) == o.ok {
+			t.Fatalf("outcome %d: ok=%v", i, o.ok)
+		}
+		if i == 9 && !o.confirmed {
+			t.Fatal("forged item's verdict not individually confirmed")
+		}
+	}
+}

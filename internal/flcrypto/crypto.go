@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+
+	"repro/internal/flcrypto/edwards25519"
 )
 
 // Hash is a SHA-256 digest. It is the authentication primitive that links
@@ -145,17 +148,40 @@ func (p ed25519Priv) Sign(msg []byte) (Signature, error) {
 	return Signature(ed25519.Sign(p.k, msg)), nil
 }
 func (p ed25519Priv) Public() PublicKey {
-	return ed25519Pub{p.k.Public().(ed25519.PublicKey)}
+	return &ed25519Pub{k: p.k.Public().(ed25519.PublicKey)}
 }
 func (p ed25519Priv) Scheme() Scheme { return Ed25519 }
 
-type ed25519Pub struct{ k ed25519.PublicKey }
+// ed25519Pub memoizes the decoded curve point of the key so the batch
+// verification path (batch.go) pays the ~one-field-exponentiation point
+// decompression once per key, not once per batched signature.
+type ed25519Pub struct {
+	k ed25519.PublicKey
 
-func (p ed25519Pub) Verify(msg []byte, sig Signature) bool {
+	decodeOnce sync.Once
+	point      *edwards25519.Point // nil if the key bytes are not a valid point
+}
+
+func (p *ed25519Pub) Verify(msg []byte, sig Signature) bool {
 	return len(sig) == ed25519.SignatureSize && ed25519.Verify(p.k, msg, sig)
 }
-func (p ed25519Pub) Bytes() []byte  { return append([]byte(nil), p.k...) }
-func (p ed25519Pub) Scheme() Scheme { return Ed25519 }
+func (p *ed25519Pub) Bytes() []byte  { return append([]byte(nil), p.k...) }
+func (p *ed25519Pub) Scheme() Scheme { return Ed25519 }
+
+// batchPoint returns the key's decoded curve point, or nil if the key bytes
+// do not decode (such a key can never verify anything; the caller falls back
+// to the single path, which rejects).
+func (p *ed25519Pub) batchPoint() *edwards25519.Point {
+	p.decodeOnce.Do(func() {
+		if len(p.k) != ed25519.PublicKeySize {
+			return
+		}
+		if pt, err := new(edwards25519.Point).SetBytes(p.k); err == nil {
+			p.point = pt
+		}
+	})
+	return p.point
+}
 
 type ecdsaPriv struct{ k *ecdsa.PrivateKey }
 
@@ -188,7 +214,7 @@ func ParsePublicKey(scheme Scheme, b []byte) (PublicKey, error) {
 		if len(b) != ed25519.PublicKeySize {
 			return nil, errors.New("flcrypto: bad ed25519 public key length")
 		}
-		return ed25519Pub{ed25519.PublicKey(append([]byte(nil), b...))}, nil
+		return &ed25519Pub{k: ed25519.PublicKey(append([]byte(nil), b...))}, nil
 	case ECDSAP256:
 		x, y := elliptic.UnmarshalCompressed(elliptic.P256(), b)
 		if x == nil {

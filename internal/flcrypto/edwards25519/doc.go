@@ -1,0 +1,18 @@
+// Package edwards25519 implements group logic for the twisted Edwards curve
+//
+//	-x^2 + y^2 = 1 + -(121665/121666)*x^2*y^2
+//
+// This package is a repo-local adaptation of the Go standard library's
+// crypto/internal/fips140/edwards25519 (itself derived from
+// filippo.io/edwards25519), carried here because that package is internal to
+// the toolchain and this repository builds without network access to fetch
+// the importable module. The only changes are import-path adjustments
+// (byteorder/subtle shims onto encoding/binary and crypto/subtle) and the
+// addition of multiscalar.go, which provides the variable-time multi-scalar
+// multiplication that batch signature verification needs. Everything else is
+// byte-for-byte the upstream source; keep it that way so diffs against the
+// toolchain stay reviewable.
+//
+// Use crypto/ed25519 for single signatures. This package exists solely for
+// flcrypto's batch verification path.
+package edwards25519

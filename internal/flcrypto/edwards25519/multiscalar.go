@@ -1,0 +1,72 @@
+// Repo-local addition (not part of the upstream toolchain source): the
+// variable-time multi-scalar multiplication used by flcrypto's batch
+// signature verification. Modeled on VarTimeDoubleScalarBaseMult, extended
+// from one dynamic point to many so the 256 doublings of the accumulator are
+// shared across every term of the batch equation.
+
+package edwards25519
+
+// VarTimeMultiScalarBaseMult sets v = b*B + Σ scalars[i]*points[i], where B
+// is the canonical generator, and returns v. scalars and points must have
+// equal length; len 0 reduces to b*B.
+//
+// The basepoint term uses the precomputed width-8 NAF table; every dynamic
+// point gets a width-5 NAF table built on the fly. One pass of 256 shared
+// doublings then adds whichever table entries the NAF digits select, so the
+// per-point cost is ~256/6 additions plus the table build instead of a full
+// scalar multiplication.
+//
+// Execution time depends on the inputs.
+func (v *Point) VarTimeMultiScalarBaseMult(b *Scalar, scalars []*Scalar, points []*Point) *Point {
+	if len(scalars) != len(points) {
+		panic("edwards25519: mismatched multiscalar input lengths")
+	}
+	checkInitialized(points...)
+
+	basepointNafTable := basepointNafTable()
+	bNaf := b.nonAdjacentForm(8)
+
+	tables := make([]nafLookupTable5, len(points))
+	nafs := make([][256]int8, len(scalars))
+	for i := range points {
+		tables[i].FromP3(points[i])
+		nafs[i] = scalars[i].nonAdjacentForm(5)
+	}
+
+	multP := &projCached{}
+	multB := &affineCached{}
+	tmp1 := &projP1xP1{}
+	tmp2 := &projP2{}
+	tmp2.Zero()
+
+	// Walk bits high to low, doubling the shared accumulator once per bit
+	// and folding in the (sparse) nonzero NAF digits of every term.
+	for i := 255; i >= 0; i-- {
+		tmp1.Double(tmp2)
+
+		for j := range nafs {
+			if d := nafs[j][i]; d > 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(multP, d)
+				tmp1.Add(v, multP)
+			} else if d < 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(multP, -d)
+				tmp1.Sub(v, multP)
+			}
+		}
+		if d := bNaf[i]; d > 0 {
+			v.fromP1xP1(tmp1)
+			basepointNafTable.SelectInto(multB, d)
+			tmp1.AddAffine(v, multB)
+		} else if d < 0 {
+			v.fromP1xP1(tmp1)
+			basepointNafTable.SelectInto(multB, -d)
+			tmp1.SubAffine(v, multB)
+		}
+
+		tmp2.FromP1xP1(tmp1)
+	}
+
+	return v.fromP2(tmp2)
+}

@@ -1,0 +1,60 @@
+package edwards25519
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func randomScalar(t *testing.T) *Scalar {
+	t.Helper()
+	var buf [64]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScalar().SetUniformBytes(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randomPoint(t *testing.T) *Point {
+	t.Helper()
+	return new(Point).ScalarBaseMult(randomScalar(t))
+}
+
+// TestVarTimeMultiScalarBaseMult checks the shared-doubling combination
+// against the sum of independent scalar multiplications, across batch sizes
+// including the degenerate empty batch.
+func TestVarTimeMultiScalarBaseMult(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 32} {
+		b := randomScalar(t)
+		scalars := make([]*Scalar, n)
+		points := make([]*Point, n)
+		want := new(Point).ScalarBaseMult(b)
+		for i := 0; i < n; i++ {
+			scalars[i] = randomScalar(t)
+			points[i] = randomPoint(t)
+			term := new(Point).ScalarMult(scalars[i], points[i])
+			want.Add(want, term)
+		}
+		got := new(Point).VarTimeMultiScalarBaseMult(b, scalars, points)
+		if got.Equal(want) != 1 {
+			t.Fatalf("n=%d: multiscalar result differs from term-by-term sum", n)
+		}
+	}
+}
+
+// TestVarTimeMultiScalarBaseMultIdentity exercises the batch-verification
+// shape: coefficients chosen so the combination collapses to the identity.
+func TestVarTimeMultiScalarBaseMultIdentity(t *testing.T) {
+	// a*B + (-a)*B + 0*P == identity for any P.
+	a := randomScalar(t)
+	nega := NewScalar().Negate(a)
+	zero := NewScalar()
+	p := randomPoint(t)
+	got := new(Point).VarTimeMultiScalarBaseMult(a, []*Scalar{nega, zero}, []*Point{NewGeneratorPoint(), p})
+	if got.Equal(NewIdentityPoint()) != 1 {
+		t.Fatal("identity combination did not collapse to the identity point")
+	}
+}

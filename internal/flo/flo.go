@@ -63,6 +63,23 @@ type Config struct {
 	// signature is checked inline and uncached where it arrives. The
 	// deterministic escape hatch for tests and debugging.
 	SyncVerify bool
+	// DisableBatchVerify makes the node-owned verify pool check every
+	// signature individually instead of batching queued requests into
+	// multi-scalar Ed25519 combinations (flcrypto batch verification). An
+	// ablation/debug switch; ignored when VerifyPool is supplied (that pool
+	// carries its own batching configuration).
+	DisableBatchVerify bool
+	// VerifyBatchMax caps signatures per batch combination of the node-owned
+	// pool (default flcrypto.DefaultBatchMax). Ignored with VerifyPool set.
+	VerifyBatchMax int
+	// VerifyMinWait and VerifyMaxWait override the node-owned pool's
+	// adaptive batch-fill pacing: a worker holding a partial batch waits at
+	// least VerifyMinWait and at most VerifyMaxWait for more arrivals, the
+	// point in between chosen from the observed request rate (see
+	// flcrypto.PoolOptions). Zero keeps the defaults; ignored with
+	// VerifyPool set.
+	VerifyMinWait time.Duration
+	VerifyMaxWait time.Duration
 	// Workers is the paper's ω (default 1).
 	Workers int
 	// BatchSize is the paper's β (default 100).
@@ -112,8 +129,17 @@ type Config struct {
 	GroupCommit bool
 	// GroupCommitWindow optionally delays each group-commit flush to grow
 	// the batch (default 0: batches form naturally during the in-flight
-	// fsync, with no added latency).
+	// fsync, with no added latency). Setting it overrides
+	// GroupCommitAdaptive.
 	GroupCommitWindow time.Duration
+	// GroupCommitAdaptive sizes the group-commit flush delay from the
+	// observed block arrival rate instead of a fixed window (see
+	// store.Options.GroupCommitAdaptive): quiet workers fsync immediately,
+	// saturated workers grow batches up to GroupCommitMaxWindow.
+	GroupCommitAdaptive bool
+	// GroupCommitMaxWindow caps the adaptive flush delay (default
+	// store.DefaultGroupCommitMaxWindow).
+	GroupCommitMaxWindow time.Duration
 	// CatchUpBatch is the block count per streaming catch-up batch and the
 	// lag threshold that switches a node from per-round pulls to range
 	// sync (default 64). A node R rounds behind rejoins with ~R/CatchUpBatch
@@ -360,7 +386,12 @@ func NewNode(cfg Config) (*Node, error) {
 	if !cfg.SyncVerify {
 		n.verify = cfg.VerifyPool
 		if n.verify == nil {
-			n.verify = flcrypto.NewVerifyPool(0, 0)
+			n.verify = flcrypto.NewVerifyPoolOpts(flcrypto.PoolOptions{
+				BatchMax:     cfg.VerifyBatchMax,
+				MinBatchWait: cfg.VerifyMinWait,
+				MaxBatchWait: cfg.VerifyMaxWait,
+				DisableBatch: cfg.DisableBatchVerify,
+			})
 			n.ownVerify = true
 		}
 	}
@@ -653,11 +684,13 @@ func (n *Node) addWorker(w uint32) error {
 		snapPath := filepath.Join(cfg.DataDir, fmt.Sprintf("w%d.snap", w))
 		log, snap, replayed, err := store.OpenWorker(logPath, snapPath,
 			store.Options{
-				Registry:          cfg.Registry,
-				Instance:          w,
-				Sync:              cfg.SyncWrites,
-				GroupCommit:       cfg.GroupCommit,
-				GroupCommitWindow: cfg.GroupCommitWindow,
+				Registry:             cfg.Registry,
+				Instance:             w,
+				Sync:                 cfg.SyncWrites,
+				GroupCommit:          cfg.GroupCommit,
+				GroupCommitWindow:    cfg.GroupCommitWindow,
+				GroupCommitAdaptive:  cfg.GroupCommitAdaptive,
+				GroupCommitMaxWindow: cfg.GroupCommitMaxWindow,
 			})
 		if err != nil {
 			return fmt.Errorf("flo: worker %d store: %w", w, err)
@@ -991,6 +1024,11 @@ func (n *Node) OBBCMetrics(w int) *obbc.Metrics { return n.obbcs[w].Metrics() }
 // EvidencePool exposes worker w's evidence pool (nil unless EnableEvidence
 // or ExcludeConvicted is set).
 func (n *Node) EvidencePool(w int) *evidence.Pool { return n.evpools[w] }
+
+// VerifyPool exposes the node's signature-verification pool (nil in
+// SyncVerify mode) — harnesses read its BatchStats to report how much
+// verification actually batched.
+func (n *Node) VerifyPool() *flcrypto.VerifyPool { return n.verify }
 
 // DeliveredBlocks reports how many merged blocks this node has delivered.
 func (n *Node) DeliveredBlocks() uint64 { return n.merger.delivered.Load() }

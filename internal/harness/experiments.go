@@ -459,11 +459,95 @@ func State(w io.Writer, s Scale) {
 	}
 }
 
+// VerifyCell is one point of the verification-mode sweep: saturated
+// throughput at the Fig 7 heavy corner under one of the three verification
+// modes, plus the batch path's own activity counters.
+type VerifyCell struct {
+	Mode    string  `json:"mode"`    // sync | pool-nobatch | pool-batch
+	Latency string  `json:"latency"` // single-dc | geo-wan
+	TPS     float64 `json:"tps"`
+	P50Ms   float64 `json:"p50_ms"`
+	Blocks  uint64  `json:"blocks"`
+	// Batch-path activity over the measured window (zero in the first two
+	// modes): combinations run, signatures they resolved, the achieved
+	// average batch size, bisections (0 in fault-free runs), and one-off
+	// verifications that bypassed or fell off the batch path.
+	Batches     uint64  `json:"batches"`
+	BatchedSigs uint64  `json:"batched_sigs"`
+	AvgBatch    float64 `json:"avg_batch"`
+	Bisections  uint64  `json:"bisections"`
+	Singles     uint64  `json:"singles"`
+}
+
+// VerifySweep runs the verification-mode experiment behind the "verify"
+// entry and BENCH_verify.json's sweep section: sync-inline vs pooled without
+// the batch path vs the default batched pool, at BenchmarkVerifyPipeline's
+// saturated corner (n=4, ω=4, β=200, σ=512, single data-center), plus the
+// sync and batched modes again on the §7.5 geo latency model at 0.1 scale —
+// the WAN shape the adaptive pacing was tuned under. The pool-batch
+// single-dc row is the acceptance cell: it must beat the recorded
+// pre-batching pooled throughput by ≥1.3×.
+func VerifySweep(s Scale) []VerifyCell {
+	type lat struct {
+		name  string
+		model transport.LatencyModel
+	}
+	lats := []lat{
+		{"single-dc", transport.SingleDC()},
+		{"geo-wan", transport.Geo(0.1)},
+	}
+	modes := []string{"sync", "pool-nobatch", "pool-batch"}
+	var cells []VerifyCell
+	for _, l := range lats {
+		for _, mode := range modes {
+			if l.name == "geo-wan" && mode == "pool-nobatch" {
+				continue // the middle ablation only matters at the saturated corner
+			}
+			opts := Options{
+				N: 4, Workers: 4, Batch: 200, TxSize: 512,
+				Latency: l.model, EgressBytesPerSec: s.Bandwidth,
+				Warmup: s.Warmup, Duration: s.Duration,
+				SyncVerify:         mode == "sync",
+				DisableBatchVerify: mode == "pool-nobatch",
+			}
+			res := RunFLO(opts)
+			cell := VerifyCell{
+				Mode:        mode,
+				Latency:     l.name,
+				TPS:         res.TPS,
+				P50Ms:       res.Latency.Percentile(50).Seconds() * 1000,
+				Blocks:      res.DefiniteBlocks,
+				Batches:     res.VerifyBatches,
+				BatchedSigs: res.VerifyBatchedSigs,
+				Bisections:  res.VerifyBisections,
+				Singles:     res.VerifySingles,
+			}
+			if cell.Batches > 0 {
+				cell.AvgBatch = float64(cell.BatchedSigs) / float64(cell.Batches)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells
+}
+
+// Verify prints the verification-mode sweep (cmd/flbench -exp verify; -out
+// additionally writes the cells for BENCH_verify.json).
+func Verify(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "# verify: tps vs verification mode, n=4, workers=4, batch=200, sigma=512\n")
+	fmt.Fprintf(w, "latency\tmode\ttps\tp50-ms\tblocks\tbatches\tavg-batch\tbisections\tsingles\n")
+	for _, c := range VerifySweep(s) {
+		fmt.Fprintf(w, "%s\t%s\t%.0f\t%.2f\t%d\t%d\t%.1f\t%d\t%d\n",
+			c.Latency, c.Mode, c.TPS, c.P50Ms, c.Blocks, c.Batches, c.AvgBatch, c.Bisections, c.Singles)
+	}
+}
+
 // Experiments maps experiment names to their runners, for cmd/flbench.
 var Experiments = map[string]func(io.Writer, Scale){
 	"workers": Workers,
 	"state":   State,
 	"fanout":  Fanout,
+	"verify":  Verify,
 	"table1":  Table1,
 	"fig5":    Fig5,
 	"fig6":    Fig6,
@@ -484,5 +568,5 @@ var Experiments = map[string]func(io.Writer, Scale){
 var ExperimentOrder = []string{
 	"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"workers", "state", "fanout",
+	"workers", "state", "fanout", "verify",
 }

@@ -75,6 +75,11 @@ type Options struct {
 	// pool + verify cache) — the ablation knob for the verification
 	// benchmarks. Default false: the pipeline is on, as in deployment.
 	SyncVerify bool
+	// DisableBatchVerify keeps the verify pool but turns off its
+	// multi-scalar batch path, so every async miss runs a one-off
+	// ed25519.Verify — the middle ablation between SyncVerify and the
+	// default batched pipeline (the "verify" experiment's three modes).
+	DisableBatchVerify bool
 	// State attaches a managed state backend to every node: "" (none),
 	// "map", or "durable" (on a temp dir, removed after the run). With a
 	// backend the saturating load emits Set commands over StateKeys keys
@@ -212,6 +217,17 @@ type Result struct {
 	FanDelivered        uint64
 	FanDeliveriesPerSec float64
 	FanLag              *metrics.Histogram
+	// Verify-pool batch-path activity, summed over the correct nodes during
+	// the measured window (deltas of flcrypto.PoolBatchStats): multi-scalar
+	// combinations run, the signatures those combinations resolved
+	// (BatchedSigs/Batches is the achieved average batch size), failed
+	// combinations that bisected to isolate a forgery, and async misses
+	// resolved by one-off verification. All zero under SyncVerify (no pool)
+	// or DisableBatchVerify (pool without the batch path).
+	VerifyBatches     uint64
+	VerifyBatchedSigs uint64
+	VerifyBisections  uint64
+	VerifySingles     uint64
 }
 
 // RunFLO executes one FLO cluster experiment.
@@ -269,25 +285,26 @@ func RunFLO(opts Options) Result {
 			correct = append(correct, i)
 		}
 		cfg := flo.Config{
-			Endpoint:         net.Endpoint(flcrypto.NodeID(i)),
-			Registry:         ks.Registry,
-			Priv:             ks.Privs[i],
-			Workers:          opts.Workers,
-			BatchSize:        opts.Batch,
-			Saturate:         opts.TxSize,
-			Equivocate:       byz,
-			EpochLen:         opts.EpochLen,
-			InitialTimer:     opts.InitialTimer,
-			MaxPending:       opts.MaxPending,
-			DisablePiggyback: opts.DisablePiggyback,
-			FDThreshold:      opts.FDThreshold,
-			GossipBodies:     opts.GossipBodies,
-			GossipFanout:     opts.GossipFanout,
-			CompressBodies:   opts.CompressBodies,
-			CompressibleLoad: opts.CompressibleLoad,
-			ExcludeConvicted: opts.ExcludeConvicted,
-			SyncVerify:       opts.SyncVerify,
-			State:            openState(i),
+			Endpoint:           net.Endpoint(flcrypto.NodeID(i)),
+			Registry:           ks.Registry,
+			Priv:               ks.Privs[i],
+			Workers:            opts.Workers,
+			BatchSize:          opts.Batch,
+			Saturate:           opts.TxSize,
+			Equivocate:         byz,
+			EpochLen:           opts.EpochLen,
+			InitialTimer:       opts.InitialTimer,
+			MaxPending:         opts.MaxPending,
+			DisablePiggyback:   opts.DisablePiggyback,
+			FDThreshold:        opts.FDThreshold,
+			GossipBodies:       opts.GossipBodies,
+			GossipFanout:       opts.GossipFanout,
+			CompressBodies:     opts.CompressBodies,
+			CompressibleLoad:   opts.CompressibleLoad,
+			ExcludeConvicted:   opts.ExcludeConvicted,
+			SyncVerify:         opts.SyncVerify,
+			DisableBatchVerify: opts.DisableBatchVerify,
+			State:              openState(i),
 		}
 		if cfg.State != nil {
 			cfg.KVLoad = opts.StateKeys
@@ -390,10 +407,12 @@ func RunFLO(opts Options) Result {
 	bases := make([]snap, opts.N)
 	msgBases := make([]uint64, opts.N)
 	byteBases := make([]uint64, opts.N)
+	verifyBases := make([]flcrypto.PoolBatchStats, opts.N)
 	for _, i := range correct {
 		bases[i] = snapshot(nodes[i], opts.Workers)
 		msgBases[i] = net.MessagesSent(flcrypto.NodeID(i))
 		byteBases[i] = net.BytesSent(flcrypto.NodeID(i))
+		verifyBases[i] = nodes[i].VerifyPool().BatchStats()
 	}
 	poolGets0, poolReuses0 := types.PoolStats()
 	start := time.Now()
@@ -425,6 +444,11 @@ func RunFLO(opts Options) Result {
 		fallback += float64(now.fallback - b.fallback)
 		msgs += float64(net.MessagesSent(flcrypto.NodeID(i)) - msgBases[i])
 		bytes += float64(net.BytesSent(flcrypto.NodeID(i)) - byteBases[i])
+		vs := nodes[i].VerifyPool().BatchStats()
+		res.VerifyBatches += vs.Batches - verifyBases[i].Batches
+		res.VerifyBatchedSigs += vs.BatchedSigs - verifyBases[i].BatchedSigs
+		res.VerifyBisections += vs.Bisections - verifyBases[i].Bisections
+		res.VerifySingles += vs.Singles - verifyBases[i].Singles
 		res.Convictions += now.convictions
 		for w := 0; w < opts.Workers; w++ {
 			m := nodes[i].Worker(w).Metrics()

@@ -158,11 +158,11 @@ func TestTable1Runs(t *testing.T) {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	// Table 1 + Figs 5–17 (14 paper experiments) + the 4 ext-* extensions
-	// + the workers scale-out, state-backend, and fan-out sweeps.
-	if len(Experiments) != 21 {
-		t.Fatalf("registry has %d experiments, want 21 (Table 1 + Figs 5-17 + 4 ext + workers + state + fanout)", len(Experiments))
+	// + the workers scale-out, state-backend, fan-out, and verify sweeps.
+	if len(Experiments) != 22 {
+		t.Fatalf("registry has %d experiments, want 22 (Table 1 + Figs 5-17 + 4 ext + workers + state + fanout + verify)", len(Experiments))
 	}
-	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart", "workers", "state", "fanout"} {
+	for _, name := range []string{"ext-gossip", "ext-compression", "ext-accountability", "ext-restart", "workers", "state", "fanout", "verify"} {
 		if Experiments[name] == nil {
 			t.Fatalf("extension experiment %q not registered", name)
 		}

@@ -71,8 +71,8 @@ func Run(sc Scenario, opts RunOpts) error {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if len(sc.Equivocators) > sc.f() {
-		return fmt.Errorf("invalid scenario: %d equivocators exceed f=%d", len(sc.Equivocators), sc.f())
+	if byz := len(sc.Equivocators) + len(sc.Forgers); byz > sc.f() {
+		return fmt.Errorf("invalid scenario: %d Byzantine nodes exceed f=%d", byz, sc.f())
 	}
 
 	restarts := false
@@ -83,9 +83,9 @@ func Run(sc Scenario, opts RunOpts) error {
 	}
 	c := &Cluster{
 		Scenario:       sc,
-		Net:            simnet.New(simnet.Config{N: sc.N, Seed: sc.Seed}),
+		Net:            simnet.New(simnet.Config{N: sc.N, Seed: sc.Seed, Geo: sc.Geo}),
 		Nodes:          make([]*flo.Node, sc.N),
-		Checker:        NewChecker(sc.N, sc.Equivocators),
+		Checker:        NewChecker(sc.N, sc.byzantineCast()),
 		KS:             flcrypto.MustGenerateKeySet(sc.N, flcrypto.Ed25519),
 		evidenceOracle: sc.Persist || !restarts,
 		logf:           logf,
@@ -197,7 +197,7 @@ func (c *Cluster) makeNode(i int, restart bool) (*flo.Node, error) {
 		Workers:      sc.Workers,
 		BatchSize:    sc.BatchSize,
 		Saturate:     sc.TxSize,
-		Equivocate:   sc.byzantine(i),
+		Equivocate:   sc.equivocator(i),
 		CatchUpBatch: sc.CatchUpBatch,
 		InitialTimer: 25 * time.Millisecond,
 		ViewTimeout:  250 * time.Millisecond,
@@ -208,6 +208,15 @@ func (c *Cluster) makeNode(i int, restart bool) (*flo.Node, error) {
 		},
 		SnapshotEvery:  sc.SnapshotEvery,
 		SnapChunkBytes: sc.SnapChunkBytes,
+		VerifyMinWait:  sc.VerifyMinWait,
+		VerifyMaxWait:  sc.VerifyMaxWait,
+	}
+	if sc.forger(i) {
+		// Every signature this node emits is corrupted in place: envelopes
+		// decode fine at honest peers but fail verification — inside real
+		// multi-signature batches whenever traffic is dense enough, which is
+		// exactly the bisection path under test.
+		cfg.Priv = corruptSigner{c.KS.Privs[i]}
 	}
 	if sc.Persist {
 		cfg.DataDir = c.dirs[i]
@@ -245,6 +254,25 @@ func (c *Cluster) makeNode(i int, restart bool) (*flo.Node, error) {
 		return nil, fmt.Errorf("node %d: %w", i, err)
 	}
 	return node, nil
+}
+
+// corruptSigner implements a Scenario.Forgers node: signatures are produced
+// honestly and then damaged in the scalar half, so they keep the right
+// length and decodable components — the kind of forgery that rides into a
+// batched multi-scalar combination rather than being diverted to the
+// individual path at decode time.
+type corruptSigner struct {
+	flcrypto.PrivateKey
+}
+
+func (s corruptSigner) Sign(msg []byte) (flcrypto.Signature, error) {
+	sig, err := s.PrivateKey.Sign(msg)
+	if err != nil || len(sig) == 0 {
+		return sig, err
+	}
+	out := append(flcrypto.Signature(nil), sig...)
+	out[len(out)/2+1] ^= 0x20
+	return out, nil
 }
 
 // scheduledAction is one half of an event: its opening or its closing.

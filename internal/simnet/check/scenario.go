@@ -126,8 +126,29 @@ type Scenario struct {
 	SnapChunkBytes int
 	// CatchUpBatch tunes the streaming range-sync threshold.
 	CatchUpBatch int
-	// Equivocators lists the §7.4.2 Byzantine split-proposers (≤ f).
+	// Equivocators lists the §7.4.2 Byzantine split-proposers; together with
+	// Forgers they must stay within the f budget.
 	Equivocators []int
+	// Forgers lists nodes whose every outgoing signature is corrupted: their
+	// envelopes decode but fail verification at every honest peer. The shape
+	// that exercises the batch-verification failure cone under faults —
+	// forged envelopes land in real multi-signature batches and must be
+	// bisected out without rejecting the honest signatures around them.
+	// Forgers count as Byzantine for every oracle (they cannot rejoin:
+	// peers drop even their catch-up traffic).
+	Forgers []int
+	// Geo, when positive, runs the cluster over the seeded geo-distributed
+	// WAN latency model at that scale instead of the single-DC profile
+	// (simnet.Config.Geo) — validates that adaptive batching tuned on
+	// arrival rates holds on WAN round-trips, not just loopback.
+	Geo float64
+	// VerifyMinWait/VerifyMaxWait override the verify pools' batch-fill
+	// pacing (flo.Config passthrough). Scenarios that assert batch
+	// formation widen these: simulated latency jitter spreads a round's
+	// envelope burst over a few milliseconds, more than the
+	// production-default grace period bothers to bridge.
+	VerifyMinWait time.Duration
+	VerifyMaxWait time.Duration
 	// Events is the fault schedule, executed relative to chaos start.
 	Events []Event
 	// Warmup is the definite-round count every node reaches before chaos.
@@ -167,8 +188,9 @@ func (s *Scenario) fill() {
 	}
 	if s.LivenessTimeout == 0 {
 		s.LivenessTimeout = 90 * time.Second
-		if len(s.Equivocators) > 0 {
-			// Recovery rounds are an order of magnitude slower.
+		if len(s.Equivocators) > 0 || len(s.Forgers) > 0 {
+			// Recovery rounds are an order of magnitude slower (a forger's
+			// proposal slots all time out, like an equivocator's).
 			s.LivenessTimeout = 150 * time.Second
 		}
 	}
@@ -177,14 +199,37 @@ func (s *Scenario) fill() {
 // f returns the fault tolerance ⌊(n−1)/3⌋.
 func (s *Scenario) f() int { return (s.N - 1) / 3 }
 
-// byzantine reports whether node i is in the scenario's Byzantine cast.
+// byzantine reports whether node i is in the scenario's Byzantine cast
+// (equivocator or forger).
 func (s *Scenario) byzantine(i int) bool {
+	return s.equivocator(i) || s.forger(i)
+}
+
+// equivocator reports whether node i is a split-proposer.
+func (s *Scenario) equivocator(i int) bool {
 	for _, b := range s.Equivocators {
 		if b == i {
 			return true
 		}
 	}
 	return false
+}
+
+// forger reports whether node i corrupts its outgoing signatures.
+func (s *Scenario) forger(i int) bool {
+	for _, b := range s.Forgers {
+		if b == i {
+			return true
+		}
+	}
+	return false
+}
+
+// byzantineCast lists every Byzantine node (for the checker's exemption
+// list).
+func (s *Scenario) byzantineCast() []int {
+	out := append([]int(nil), s.Equivocators...)
+	return append(out, s.Forgers...)
 }
 
 // honest lists the scenario's non-Byzantine nodes.
@@ -221,6 +266,12 @@ func (s *Scenario) String() string {
 		name, s.Seed, s.N, s.Workers, s.BatchSize, s.TxSize, s.Persist, s.Stateful, s.MapState, s.SnapshotEvery, s.SnapChunkBytes, s.CatchUpBatch, s.Warmup, s.Horizon)
 	if len(s.Equivocators) > 0 {
 		fmt.Fprintf(&b, " equivocators=%v", s.Equivocators)
+	}
+	if len(s.Forgers) > 0 {
+		fmt.Fprintf(&b, " forgers=%v", s.Forgers)
+	}
+	if s.Geo > 0 {
+		fmt.Fprintf(&b, " geo=%g", s.Geo)
 	}
 	for _, e := range s.Events {
 		fmt.Fprintf(&b, "\n  %s", e.describe())

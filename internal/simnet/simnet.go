@@ -42,6 +42,12 @@ type Config struct {
 	Jitter      time.Duration
 	// ZeroLatency disables propagation delay entirely (unit-test profile).
 	ZeroLatency bool
+	// Geo, when positive, swaps the uniform single-DC latency profile for
+	// the seeded geo-distributed WAN model (transport.GeoSeeded) at that
+	// scale: per-link delays follow real inter-region RTT structure —
+	// milliseconds to ~hundreds of milliseconds at scale 1 — instead of a
+	// few hundred microseconds of jitter. Overrides BaseLatency/Jitter.
+	Geo float64
 	// Clock injects a virtual clock (nil = wall clock).
 	Clock transport.Clock
 	// Trace taps every delivery (see transport.ChanConfig.Trace).
@@ -84,7 +90,10 @@ func New(cfg Config) *SimNetwork {
 		rng: rand.New(rand.NewSource(mix(cfg.Seed, 0x5eed_fa17))),
 	}
 	var latency transport.LatencyModel = transport.Zero
-	if !cfg.ZeroLatency {
+	switch {
+	case cfg.Geo > 0:
+		latency = transport.GeoSeeded(cfg.Geo, mix(cfg.Seed, 0x5eed_1a7e))
+	case !cfg.ZeroLatency:
 		latency = transport.UniformSeeded(cfg.BaseLatency, cfg.Jitter, mix(cfg.Seed, 0x5eed_1a7e))
 	}
 	s.ChanNetwork = transport.NewChanNetwork(transport.ChanConfig{

@@ -274,3 +274,84 @@ func TestGroupCommitCheckpointConcurrentFlush(t *testing.T) {
 		t.Fatal("no post-snapshot suffix replayed")
 	}
 }
+
+// TestGroupCommitAdaptive exercises the rate-driven flush delay: under a
+// pipelined append stream the adaptive committer must both stay durable
+// (every ack honored, clean replay) and actually batch, while a lone append
+// on a quiet log must ack without waiting out the window cap.
+func TestGroupCommitAdaptive(t *testing.T) {
+	blocks, reg := testChain(t, 300)
+	path := filepath.Join(t.TempDir(), "w0.log")
+	opts := Options{
+		Sync: true, GroupCommit: true, GroupCommitAdaptive: true,
+		// A cap a starvation bug would make painfully visible.
+		GroupCommitMaxWindow: 2 * time.Second,
+		Registry:             reg, Instance: 0,
+	}
+	log, _, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet log: the very first append has no observable rate, so the
+	// adaptive window must collapse to zero rather than hold the fsync open.
+	start := time.Now()
+	if err := log.Append(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("lone append on quiet log took %v (cap %v)", elapsed, opts.GroupCommitMaxWindow)
+	}
+	// Saturated log: pipeline the rest and require real batching.
+	waits := make([]func() error, 0, len(blocks)-1)
+	for _, blk := range blocks[1:] {
+		w, err := log.AppendAsync(blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, w)
+	}
+	for _, w := range waits {
+		if err := w(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := log.GroupCommitStats()
+	if stats.Items != uint64(len(blocks)) {
+		t.Fatalf("group commit covered %d frames, want %d", stats.Items, len(blocks))
+	}
+	if stats.Batches >= stats.Items {
+		t.Fatalf("adaptive committer never batched: %d batches for %d frames", stats.Batches, stats.Items)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(blocks) {
+		t.Fatalf("replayed %d blocks, want %d", len(replayed), len(blocks))
+	}
+}
+
+// TestGroupCommitStaticWindowOverridesAdaptive pins the override contract:
+// an explicit GroupCommitWindow disables the adaptive controller.
+func TestGroupCommitStaticWindowOverridesAdaptive(t *testing.T) {
+	blocks, reg := testChain(t, 1)
+	path := filepath.Join(t.TempDir(), "w0.log")
+	log, _, err := Open(path, Options{
+		Sync: true, GroupCommit: true, GroupCommitAdaptive: true,
+		GroupCommitWindow: time.Millisecond,
+		Registry:          reg, Instance: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if log.gc.adapt {
+		t.Fatal("explicit GroupCommitWindow did not override adaptive mode")
+	}
+	if err := log.Append(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+}
